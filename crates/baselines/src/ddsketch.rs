@@ -1,0 +1,282 @@
+//! DDSketch (Masson, Rim, Lee, VLDB 2019) — reference \[15\] of the REQ
+//! paper.
+//!
+//! DDSketch guarantees relative error **on values**, not on ranks: the item
+//! returned for a quantile query is within `(1 ± α)` of the true item's
+//! *value*. The REQ paper (§1.1) points out this notion "only makes sense for
+//! data universes with a notion of magnitude", is not invariant under data
+//! translation, and "is trivially achieved by maintaining a histogram with
+//! buckets ((1+α)^i, (1+α)^{i+1}]" — which is exactly what DDSketch is:
+//! geometric buckets plus a collapsing rule bounding the bucket count.
+//! Experiment E12 contrasts this value-error guarantee with REQ's rank-error
+//! guarantee under translation.
+
+use std::collections::BTreeMap;
+
+use sketch_traits::{MergeableSketch, QuantileSketch, SpaceUsage};
+
+/// DDSketch with low-bucket collapsing (the paper's bounded-memory variant).
+#[derive(Debug, Clone)]
+pub struct DdSketch {
+    alpha: f64,
+    gamma: f64,
+    log_gamma: f64,
+    max_buckets: usize,
+    /// bucket index -> count; bucket i covers (γ^{i−1}, γ^i].
+    buckets: BTreeMap<i32, u64>,
+    zero_count: u64,
+    n: u64,
+    min: f64,
+    max: f64,
+}
+
+impl DdSketch {
+    /// New sketch with value-relative accuracy `alpha ∈ (0, 1)` and a bucket
+    /// budget (collapses the lowest buckets when exceeded; 2048 is the
+    /// DataDog default).
+    pub fn new(alpha: f64, max_buckets: usize) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        assert!(max_buckets >= 2, "need at least two buckets");
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        DdSketch {
+            alpha,
+            gamma,
+            log_gamma: gamma.ln(),
+            max_buckets,
+            buckets: BTreeMap::new(),
+            zero_count: 0,
+            n: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Configured α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of non-empty buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len() + usize::from(self.zero_count > 0)
+    }
+
+    fn bucket_index(&self, x: f64) -> i32 {
+        debug_assert!(x > 0.0);
+        (x.ln() / self.log_gamma).ceil() as i32
+    }
+
+    /// Representative value of bucket `i`: the midpoint estimate
+    /// `2·γ^i / (γ + 1)`, within `(1±α)` of anything in the bucket.
+    fn bucket_value(&self, i: i32) -> f64 {
+        2.0 * self.gamma.powi(i) / (self.gamma + 1.0)
+    }
+
+    fn collapse_if_needed(&mut self) {
+        while self.buckets.len() > self.max_buckets {
+            // merge the two lowest buckets (the paper's collapsing rule:
+            // tail accuracy at high quantiles is preserved).
+            let mut it = self.buckets.keys().copied();
+            let lowest = it.next().expect("nonempty");
+            let second = it.next().expect("len > max >= 2");
+            let c = self.buckets.remove(&lowest).expect("present");
+            *self.buckets.entry(second).or_insert(0) += c;
+        }
+    }
+
+    /// Observe a value; negative inputs are clamped to the zero bucket
+    /// (this variant models non-negative measurements such as latencies).
+    pub fn update_f64(&mut self, x: f64) {
+        self.n += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        if x <= 0.0 || !x.is_finite() {
+            self.zero_count += 1;
+            return;
+        }
+        let idx = self.bucket_index(x);
+        *self.buckets.entry(idx).or_insert(0) += 1;
+        self.collapse_if_needed();
+    }
+
+    /// Quantile in value space (the operation DDSketch guarantees).
+    pub fn quantile_f64(&self, q: f64) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.n as f64).ceil() as u64).clamp(1, self.n);
+        let mut acc = self.zero_count;
+        if acc >= target {
+            return Some(0.0);
+        }
+        for (&i, &c) in &self.buckets {
+            acc += c;
+            if acc >= target {
+                return Some(self.bucket_value(i));
+            }
+        }
+        Some(self.bucket_value(*self.buckets.keys().last()?))
+    }
+
+    /// Estimated rank of a value (derived from the histogram; ranks carry no
+    /// formal guarantee — that's the point of E12).
+    pub fn rank_f64(&self, y: f64) -> u64 {
+        let mut acc = if y >= 0.0 { self.zero_count } else { 0 };
+        if y > 0.0 {
+            let yi = self.bucket_index(y);
+            for (&i, &c) in &self.buckets {
+                if i <= yi {
+                    acc += c;
+                } else {
+                    break;
+                }
+            }
+        }
+        acc
+    }
+}
+
+impl QuantileSketch<f64> for DdSketch {
+    fn update(&mut self, item: f64) {
+        self.update_f64(item);
+    }
+
+    fn len(&self) -> u64 {
+        self.n
+    }
+
+    fn rank(&self, item: &f64) -> u64 {
+        self.rank_f64(*item)
+    }
+
+    fn quantile(&self, q: f64) -> Option<f64> {
+        self.quantile_f64(q)
+    }
+}
+
+impl MergeableSketch for DdSketch {
+    fn merge(&mut self, other: Self) {
+        assert!(
+            (self.alpha - other.alpha).abs() < f64::EPSILON,
+            "alpha mismatch"
+        );
+        for (i, c) in other.buckets {
+            *self.buckets.entry(i).or_insert(0) += c;
+        }
+        self.zero_count += other.zero_count;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.collapse_if_needed();
+    }
+}
+
+impl SpaceUsage for DdSketch {
+    fn retained(&self) -> usize {
+        self.num_buckets()
+    }
+
+    fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.buckets.len() * (std::mem::size_of::<(i32, u64)>() + 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_relative_guarantee_holds() {
+        let alpha = 0.01;
+        let mut s = DdSketch::new(alpha, 4096);
+        let n = 100_000u64;
+        for i in 1..=n {
+            s.update_f64(i as f64);
+        }
+        for q in [0.01, 0.5, 0.9, 0.99, 0.999] {
+            let est = s.quantile_f64(q).unwrap();
+            let true_v = (q * n as f64).ceil().max(1.0);
+            let rel = (est - true_v).abs() / true_v;
+            assert!(rel <= alpha + 1e-9, "q={q}: est {est} vs {true_v}");
+        }
+    }
+
+    #[test]
+    fn bucket_count_is_logarithmic() {
+        let mut s = DdSketch::new(0.01, 1 << 20);
+        for i in 1..=1_000_000u64 {
+            s.update_f64(i as f64);
+        }
+        // log_gamma(10^6) ≈ ln(10^6)/ln(1.0202) ≈ 690 buckets
+        assert!(s.num_buckets() < 800, "{} buckets", s.num_buckets());
+    }
+
+    #[test]
+    fn collapsing_bounds_buckets_and_keeps_tail() {
+        let mut s = DdSketch::new(0.02, 64);
+        for i in 1..=100_000u64 {
+            s.update_f64(i as f64);
+        }
+        assert!(s.num_buckets() <= 65);
+        // tail quantiles survive collapsing of *low* buckets
+        let p99 = s.quantile_f64(0.99).unwrap();
+        assert!((p99 - 99_000.0).abs() / 99_000.0 < 0.05, "p99 {p99}");
+    }
+
+    #[test]
+    fn zero_and_negative_values() {
+        let mut s = DdSketch::new(0.05, 128);
+        s.update_f64(0.0);
+        s.update_f64(-3.0);
+        s.update_f64(10.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.quantile_f64(0.1), Some(0.0));
+        let r = s.rank_f64(5.0);
+        assert_eq!(r, 2);
+    }
+
+    #[test]
+    fn merge_sums_buckets() {
+        let mut a = DdSketch::new(0.02, 1024);
+        let mut b = DdSketch::new(0.02, 1024);
+        for i in 1..=10_000u64 {
+            a.update_f64(i as f64);
+            b.update_f64((i + 10_000) as f64);
+        }
+        a.merge(b);
+        assert_eq!(a.len(), 20_000);
+        let med = a.quantile_f64(0.5).unwrap();
+        assert!((med - 10_000.0).abs() / 10_000.0 < 0.05, "median {med}");
+    }
+
+    #[test]
+    fn not_translation_invariant_unlike_rank_error() {
+        // The REQ paper's critique: shifting all data by a constant changes
+        // which queries DDSketch answers accurately. A value near the shifted
+        // p50 has value-relative slack proportional to the *shifted* value.
+        let mut s = DdSketch::new(0.05, 4096);
+        let shift = 1_000_000.0;
+        for i in 1..=1_000u64 {
+            s.update_f64(shift + i as f64);
+        }
+        let p50 = s.quantile_f64(0.5).unwrap();
+        // α-relative slack on the value ~ 50,000 — vastly exceeding the
+        // whole data spread of 1,000.
+        let value_slack = 0.05 * p50;
+        assert!(value_slack > 1_000.0);
+        // The returned value is within α of the true value ...
+        assert!((p50 - (shift + 500.0)).abs() / (shift + 500.0) <= 0.05 + 1e-9);
+        // ... but its RANK can be arbitrarily wrong: everything collapses
+        // into very few buckets at this magnitude.
+        assert!(s.num_buckets() < 10, "{} buckets", s.num_buckets());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha mismatch")]
+    fn merge_rejects_mismatched_alpha() {
+        let mut a = DdSketch::new(0.02, 64);
+        let b = DdSketch::new(0.05, 64);
+        a.merge(b);
+    }
+}

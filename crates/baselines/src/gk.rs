@@ -1,0 +1,252 @@
+//! The Greenwald–Khanna summary (SIGMOD 2001) — the classic deterministic
+//! **additive**-error quantile summary, reference \[10\] of the REQ paper.
+//!
+//! The summary is a sorted list of tuples `(v, g, Δ)`: `g` is the gap between
+//! the minimum possible ranks of consecutive tuples, `Δ` the extra rank
+//! uncertainty of `v`. The invariant `g + Δ ≤ 2εn` guarantees every rank is
+//! answered within `εn`. GK stores `O(ε⁻¹·log(εn))` tuples — optimal among
+//! deterministic comparison-based additive summaries (Cormode–Veselý).
+
+use sketch_traits::{QuantileSketch, SpaceUsage};
+
+#[derive(Debug, Clone)]
+struct Tuple<T> {
+    v: T,
+    g: u64,
+    delta: u64,
+}
+
+/// Greenwald–Khanna deterministic additive-error summary.
+#[derive(Debug, Clone)]
+pub struct GkSketch<T> {
+    eps: f64,
+    tuples: Vec<Tuple<T>>,
+    n: u64,
+    inserts_since_compress: u64,
+}
+
+impl<T: Ord + Clone> GkSketch<T> {
+    /// New summary with additive-error target `eps ∈ (0, 1)`.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        GkSketch {
+            eps,
+            tuples: Vec::new(),
+            n: 0,
+            inserts_since_compress: 0,
+        }
+    }
+
+    /// Configured ε.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Current number of stored tuples.
+    pub fn num_tuples(&self) -> usize {
+        self.tuples.len()
+    }
+
+    fn threshold(&self) -> u64 {
+        (2.0 * self.eps * self.n as f64).floor() as u64
+    }
+
+    /// Merge adjacent tuples whose combined uncertainty fits the invariant
+    /// (`COMPRESS` in the paper).
+    fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let threshold = self.threshold();
+        let mut i = self.tuples.len() - 2;
+        // never merge away the first (min) tuple
+        while i >= 1 {
+            let merged_g = self.tuples[i].g + self.tuples[i + 1].g;
+            if merged_g + self.tuples[i + 1].delta <= threshold {
+                self.tuples[i + 1].g = merged_g;
+                self.tuples.remove(i);
+            }
+            i -= 1;
+        }
+    }
+}
+
+impl<T: Ord + Clone> QuantileSketch<T> for GkSketch<T> {
+    fn update(&mut self, item: T) {
+        self.n += 1;
+        // position of the first tuple with v >= item
+        let idx = self.tuples.partition_point(|t| t.v < item);
+        let delta = if idx == 0 || idx == self.tuples.len() {
+            0 // new minimum or maximum is known exactly
+        } else {
+            self.threshold().saturating_sub(1)
+        };
+        self.tuples.insert(
+            idx,
+            Tuple {
+                v: item,
+                g: 1,
+                delta,
+            },
+        );
+        self.inserts_since_compress += 1;
+        if self.inserts_since_compress as f64 >= 1.0 / (2.0 * self.eps) {
+            self.compress();
+            self.inserts_since_compress = 0;
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.n
+    }
+
+    fn rank(&self, y: &T) -> u64 {
+        // For y between tuples i and i+1 the true rank lies in
+        // [r_min(i), r_max(i+1) − 1]; the invariant bounds that interval by
+        // g_{i+1} + Δ_{i+1} ≤ 2εn, so the midpoint errs by at most εn.
+        let mut r_before = 0u64; // r_min of the last tuple with v <= y
+        for t in &self.tuples {
+            if t.v <= *y {
+                r_before += t.g;
+            } else {
+                return r_before + (t.g + t.delta) / 2;
+            }
+        }
+        r_before // y >= max: exact
+    }
+
+    fn quantile(&self, q: f64) -> Option<T> {
+        if self.tuples.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.n as f64).ceil() as u64).clamp(1, self.n);
+        // Inverse of the midpoint rank estimator: first tuple whose midpoint
+        // estimate reaches the target.
+        let mut r_before = 0u64;
+        for t in &self.tuples {
+            if r_before + (t.g + t.delta).div_ceil(2) >= target {
+                return Some(t.v.clone());
+            }
+            r_before += t.g;
+        }
+        self.tuples.last().map(|t| t.v.clone())
+    }
+}
+
+impl<T> SpaceUsage for GkSketch<T> {
+    fn retained(&self) -> usize {
+        self.tuples.len()
+    }
+
+    fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.tuples.capacity() * std::mem::size_of::<Tuple<T>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_invariant<T: Ord + Clone>(s: &GkSketch<T>) {
+        // g + Δ ≤ floor(2εn) + 1 (the +1 covers the freshly inserted tuple)
+        let t = s.threshold() + 1;
+        for tu in &s.tuples {
+            assert!(tu.g + tu.delta <= t.max(1), "invariant violated");
+        }
+    }
+
+    #[test]
+    fn ranks_within_additive_eps_n() {
+        let eps = 0.01;
+        let mut s = GkSketch::<u64>::new(eps);
+        let n = 50_000u64;
+        for i in 0..n {
+            s.update(i.wrapping_mul(2654435761) % n);
+        }
+        check_invariant(&s);
+        for y in (0..n).step_by(997) {
+            let err = (s.rank(&y) as f64 - (y + 1) as f64).abs();
+            assert!(err <= eps * n as f64 + 1.0, "rank({y}) err {err}");
+        }
+    }
+
+    #[test]
+    fn deterministic_runs_are_identical() {
+        let build = || {
+            let mut s = GkSketch::<u64>::new(0.02);
+            for i in 0..20_000u64 {
+                s.update(i.wrapping_mul(48271) % 10_007);
+            }
+            (s.rank(&5000), s.num_tuples())
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn space_is_sublinear() {
+        let mut s = GkSketch::<u64>::new(0.01);
+        let n = 200_000u64;
+        for i in 0..n {
+            s.update(i.wrapping_mul(16807) % n);
+        }
+        assert!(
+            s.num_tuples() < (n as usize) / 20,
+            "{} tuples",
+            s.num_tuples()
+        );
+    }
+
+    #[test]
+    fn sorted_input_respects_bound() {
+        let eps = 0.02;
+        let mut s = GkSketch::<u64>::new(eps);
+        let n = 30_000u64;
+        for i in 0..n {
+            s.update(i);
+        }
+        for y in (0..n).step_by(499) {
+            let err = (s.rank(&y) as f64 - (y + 1) as f64).abs();
+            assert!(err <= eps * n as f64 + 1.0, "rank({y}) err {err}");
+        }
+    }
+
+    #[test]
+    fn quantile_is_close() {
+        let mut s = GkSketch::<u64>::new(0.01);
+        let n = 100_000u64;
+        for i in 0..n {
+            s.update(i.wrapping_mul(2654435761) % n);
+        }
+        let med = s.quantile(0.5).unwrap();
+        assert!(
+            (med as f64 - n as f64 / 2.0).abs() < 0.05 * n as f64,
+            "median {med}"
+        );
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut s = GkSketch::<u64>::new(0.05);
+        for i in 100..1_100u64 {
+            s.update(i);
+        }
+        assert_eq!(s.rank(&99), 0);
+        assert_eq!(s.rank(&1_099), 1000);
+        assert_eq!(s.quantile(0.0), Some(100));
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = GkSketch::<u64>::new(0.1);
+        assert_eq!(s.rank(&1), 0);
+        assert_eq!(s.quantile(0.5), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be in (0,1)")]
+    fn rejects_bad_eps() {
+        let _ = GkSketch::<u64>::new(0.0);
+    }
+}

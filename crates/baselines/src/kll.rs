@@ -1,0 +1,247 @@
+//! The KLL sketch (Karnin, Lang, Liberty, FOCS 2016) — the optimal
+//! **additive**-error quantile sketch, reference \[12\] of the REQ paper.
+//!
+//! Like REQ, KLL is a stack of compactors where a level-`h` item weighs
+//! `2^h`; unlike REQ, level capacities *shrink geometrically with depth*
+//! (`k·c^(depth)`, `c = 2/3`) and a compaction halves the **whole** buffer.
+//! That yields `O(k)` total space and additive error `εn` with `ε = O(1/k)`
+//! — excellent at the median, useless deep in the tails, which is precisely
+//! the contrast experiment E1 demonstrates.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use req_core::SortedView;
+use sketch_traits::{MergeableSketch, QuantileSketch, SpaceUsage};
+
+const DECAY: f64 = 2.0 / 3.0;
+const MIN_LEVEL_CAP: usize = 8;
+
+/// KLL additive-error quantile sketch.
+#[derive(Debug, Clone)]
+pub struct KllSketch<T> {
+    k: u32,
+    levels: Vec<Vec<T>>,
+    n: u64,
+    rng: SmallRng,
+}
+
+impl<T: Ord + Clone> KllSketch<T> {
+    /// New sketch; `k` controls accuracy (`ε ≈ c/k`) and space (`O(k)`).
+    pub fn new(k: u32, seed: u64) -> Self {
+        KllSketch {
+            k: k.max(8),
+            levels: vec![Vec::new()],
+            n: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Accuracy parameter `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Capacity of level `h` given the current height: top level holds `k`
+    /// items, each level below shrinks by `c`, floored at a small constant.
+    fn level_capacity(&self, h: usize) -> usize {
+        let depth = self.levels.len().saturating_sub(1 + h) as i32;
+        let cap = (self.k as f64 * DECAY.powi(depth)).ceil() as usize;
+        cap.max(MIN_LEVEL_CAP)
+    }
+
+    fn compress(&mut self) {
+        let mut h = 0;
+        while h < self.levels.len() {
+            if self.levels[h].len() >= self.level_capacity(h) {
+                if h + 1 == self.levels.len() {
+                    self.levels.push(Vec::new());
+                }
+                let coin = self.rng.gen::<bool>();
+                let mut buf = std::mem::take(&mut self.levels[h]);
+                buf.sort_unstable();
+                // keep one parity item behind so weight is conserved exactly
+                let keep_odd = buf.len() % 2 == 1;
+                let offset = usize::from(coin);
+                let mut kept_parity = None;
+                if keep_odd {
+                    kept_parity = buf.pop();
+                }
+                let promote: Vec<T> = buf
+                    .into_iter()
+                    .enumerate()
+                    .filter_map(|(i, x)| (i % 2 == offset).then_some(x))
+                    .collect();
+                self.levels[h + 1].extend(promote);
+                if let Some(x) = kept_parity {
+                    self.levels[h].push(x);
+                }
+            }
+            h += 1;
+        }
+    }
+
+    /// Weighted sorted snapshot for batched queries.
+    pub fn sorted_view(&self) -> SortedView<T> {
+        let mut raw = Vec::with_capacity(self.retained());
+        for (h, level) in self.levels.iter().enumerate() {
+            let w = 1u64 << h;
+            raw.extend(level.iter().map(|x| (x.clone(), w)));
+        }
+        SortedView::from_weighted_items(raw)
+    }
+
+    /// Total weight of retained items (equals `n`: compactions conserve it).
+    pub fn total_weight(&self) -> u64 {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(h, l)| (l.len() as u64) << h)
+            .sum()
+    }
+}
+
+impl<T: Ord + Clone> QuantileSketch<T> for KllSketch<T> {
+    fn update(&mut self, item: T) {
+        self.n += 1;
+        self.levels[0].push(item);
+        if self.levels[0].len() >= self.level_capacity(0) {
+            self.compress();
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.n
+    }
+
+    fn rank(&self, y: &T) -> u64 {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(h, l)| (l.iter().filter(|x| *x <= y).count() as u64) << h)
+            .sum()
+    }
+
+    fn quantile(&self, q: f64) -> Option<T> {
+        self.sorted_view().quantile(q).cloned()
+    }
+}
+
+impl<T: Ord + Clone> MergeableSketch for KllSketch<T> {
+    fn merge(&mut self, other: Self) {
+        while self.levels.len() < other.levels.len() {
+            self.levels.push(Vec::new());
+        }
+        for (h, level) in other.levels.into_iter().enumerate() {
+            self.levels[h].extend(level);
+        }
+        self.n += other.n;
+        self.compress();
+    }
+}
+
+impl<T> SpaceUsage for KllSketch<T> {
+    fn retained(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+
+    fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .levels
+                .iter()
+                .map(|l| l.capacity() * std::mem::size_of::<T>() + std::mem::size_of::<Vec<T>>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_stream_is_exact() {
+        let mut s = KllSketch::<u64>::new(200, 1);
+        for i in 0..100 {
+            s.update(i);
+        }
+        for y in 0..100 {
+            assert_eq!(s.rank(&y), y + 1);
+        }
+    }
+
+    #[test]
+    fn weight_is_conserved() {
+        let mut s = KllSketch::<u64>::new(64, 2);
+        for i in 0..300_000u64 {
+            s.update(i.wrapping_mul(48271));
+        }
+        assert_eq!(s.total_weight(), 300_000);
+    }
+
+    #[test]
+    fn space_is_bounded_by_o_k() {
+        let mut s = KllSketch::<u64>::new(200, 3);
+        for i in 0..1_000_000u64 {
+            s.update(i);
+        }
+        // Σ k·c^d ≤ k/(1-c) = 3k, plus per-level minimum slack.
+        let bound = 3 * 200 + s.num_levels() * (2 * MIN_LEVEL_CAP);
+        assert!(s.retained() <= bound, "{} > {}", s.retained(), bound);
+    }
+
+    #[test]
+    fn additive_error_at_median_is_small() {
+        let mut s = KllSketch::<u64>::new(256, 4);
+        let n = 1u64 << 20;
+        for i in 0..n {
+            s.update(i.wrapping_mul(2654435761) % n);
+        }
+        let r = s.rank(&(n / 2));
+        let err = (r as f64 - (n / 2 + 1) as f64).abs();
+        assert!(err < 0.01 * n as f64, "median err {err}");
+    }
+
+    #[test]
+    fn merge_adds_up_and_stays_accurate() {
+        let mut a = KllSketch::<u64>::new(128, 5);
+        let mut b = KllSketch::<u64>::new(128, 6);
+        let n = 100_000u64;
+        for i in 0..n {
+            a.update(i);
+            b.update(n + i);
+        }
+        a.merge(b);
+        assert_eq!(a.len(), 2 * n);
+        assert_eq!(a.total_weight(), 2 * n);
+        let r = a.rank(&n);
+        let err = (r as f64 - (n + 1) as f64).abs();
+        assert!(err < 0.02 * (2 * n) as f64, "err {err}");
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut s = KllSketch::<u64>::new(64, 7);
+        for i in 0..200_000u64 {
+            s.update(i.wrapping_mul(16807) % 1_000_003);
+        }
+        let mut prev = 0;
+        for i in 0..=20 {
+            let q = s.quantile(i as f64 / 20.0).unwrap();
+            assert!(q >= prev);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn empty_sketch() {
+        let s = KllSketch::<u64>::new(64, 8);
+        assert!(s.is_empty());
+        assert_eq!(s.rank(&5), 0);
+        assert_eq!(s.quantile(0.5), None);
+    }
+}

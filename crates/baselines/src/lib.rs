@@ -1,0 +1,43 @@
+//! # `baselines` — every comparator from the REQ paper's related work
+//!
+//! The paper positions the REQ sketch against a landscape of prior summaries
+//! (§1, §1.1). This crate implements that landscape from scratch so the
+//! experiment harness can regenerate the comparisons:
+//!
+//! | Module | Algorithm | Guarantee | Paper role |
+//! |---|---|---|---|
+//! | [`kll`] | Karnin–Lang–Liberty compactor sketch \[12\] | additive `εn` | optimal additive sketch REQ builds on |
+//! | [`gk`] | Greenwald–Khanna summary \[10\] | additive `εn`, deterministic | classic deterministic baseline |
+//! | [`ckms`] | Cormode et al. biased quantiles \[4\] | relative, **order-sensitive** | needs linear space under adversarial order (§1.1) |
+//! | [`zw`] | deterministic relative-error sketch \[21\] | relative, deterministic | Zhang–Wang bound via the paper's App. C reduction |
+//! | [`halving`] | always-halve relative compactor | relative with `k ≈ 1/ε²` | §2.1 ablation; Zhang et al. \[22\] space regime |
+//! | [`sampling`] | reservoir sampling | additive `εn` (w.h.p.) | why sampling can't give relative error (§1) |
+//! | [`offline`] | offline-optimal coreset | relative, offline | the `Θ(ε⁻¹·log(εn))` yardstick of Appendix A |
+//! | [`tdigest`] | merging t-digest \[7\] | none (heuristic) | "no formal accuracy analysis" (§1.1) |
+//! | [`ddsketch`] | DDSketch \[15\] | relative **value** error | a different "relative error" notion (§1.1) |
+//!
+//! All implement [`sketch_traits::QuantileSketch`], so the harness treats
+//! them interchangeably with the REQ sketch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ckms;
+pub mod ddsketch;
+pub mod gk;
+pub mod halving;
+pub mod kll;
+pub mod offline;
+pub mod sampling;
+pub mod tdigest;
+pub mod zw;
+
+pub use ckms::CkmsSketch;
+pub use ddsketch::DdSketch;
+pub use gk::GkSketch;
+pub use halving::HalvingSketch;
+pub use kll::KllSketch;
+pub use offline::OfflineOptimalSummary;
+pub use sampling::ReservoirSampler;
+pub use tdigest::TDigest;
+pub use zw::DeterministicRelativeSketch;

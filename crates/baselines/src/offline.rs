@@ -1,0 +1,190 @@
+//! The offline-optimal relative-error summary (paper Appendix A, remark
+//! after Theorem 15).
+//!
+//! > "an optimal summary consisting of O(ε⁻¹·log(εn)) items can be
+//! > constructed offline. For ℓ = ε⁻¹, this summary stores all items of rank
+//! > 1, …, 2ℓ appearing in the stream and assigns them weight one, stores
+//! > every other item of rank between 2ℓ + 1 and 4ℓ and assigns them weight
+//! > 2, stores every fourth item of rank between 4ℓ + 1 and 8ℓ and assigns
+//! > them weight 4, and so forth."
+//!
+//! This is the information-theoretic yardstick: any (even offline,
+//! non-comparison-based) summary needs `Ω(ε⁻¹·log(εn))` items (Theorem 15),
+//! and this construction matches it. Experiment E14 measures how far the
+//! streaming REQ sketch sits above it — the paper's `O(√log(εn))` gap.
+
+use req_core::SortedView;
+use sketch_traits::SpaceUsage;
+
+/// Offline-optimal weighted coreset for relative-error rank queries.
+#[derive(Debug, Clone)]
+pub struct OfflineOptimalSummary {
+    view: SortedView<u64>,
+    eps: f64,
+    n: u64,
+}
+
+impl OfflineOptimalSummary {
+    /// Build from the full data (sorted internally). `eps ∈ (0, 1]`.
+    pub fn build(items: &[u64], eps: f64) -> Self {
+        assert!(eps > 0.0 && eps <= 1.0, "eps must be in (0,1]");
+        let mut sorted = items.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        let ell = (1.0 / eps).ceil() as u64;
+
+        let mut weighted: Vec<(u64, u64)> = Vec::new();
+        // Phase i covers ranks (2^i·ℓ, 2^(i+1)·ℓ], storing every 2^i-th item
+        // with weight 2^i; phase 0 covers ranks 1..=2ℓ exactly.
+        let mut phase_start = 0u64; // exclusive rank where the phase begins
+        let mut step = 1u64;
+        while phase_start < n {
+            let phase_end = if phase_start == 0 {
+                2 * ell
+            } else {
+                2 * phase_start
+            }
+            .min(n);
+            // within (phase_start, phase_end], take ranks start+step, +2step...
+            let mut r = phase_start + step;
+            while r <= phase_end {
+                weighted.push((sorted[(r - 1) as usize], step));
+                r += step;
+            }
+            // the tail of the phase may be cut by n: account the remainder
+            // onto the final item so total weight is exactly n.
+            let covered = phase_end - phase_start;
+            let counted = (covered / step) * step;
+            let remainder = covered - counted;
+            if remainder > 0 {
+                weighted.push((sorted[(phase_end - 1) as usize], remainder));
+            }
+            phase_start = phase_end;
+            if phase_start >= 2 * ell {
+                step *= 2;
+            }
+        }
+        OfflineOptimalSummary {
+            view: SortedView::from_weighted_items(weighted),
+            eps,
+            n,
+        }
+    }
+
+    /// Configured ε.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Stream length summarized.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Estimated inclusive rank.
+    pub fn rank(&self, y: u64) -> u64 {
+        self.view.rank(&y)
+    }
+
+    /// Quantile query.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.view.quantile(q).copied()
+    }
+
+    /// The underlying weighted view.
+    pub fn view(&self) -> &SortedView<u64> {
+        &self.view
+    }
+}
+
+impl SpaceUsage for OfflineOptimalSummary {
+    fn retained(&self) -> usize {
+        self.view.num_entries()
+    }
+
+    fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.view.num_entries() * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn permutation(n: u64) -> Vec<u64> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn total_weight_is_exactly_n() {
+        for n in [10u64, 100, 1000, 65_536, 100_001] {
+            let s = OfflineOptimalSummary::build(&permutation(n), 0.1);
+            assert_eq!(s.view().total_weight(), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn size_is_ell_log_n() {
+        let n = 1u64 << 20;
+        let eps = 0.01;
+        let s = OfflineOptimalSummary::build(&permutation(n), eps);
+        let ell = 1.0 / eps;
+        let bound = 2.0 * ell * ((eps * n as f64).log2() + 2.0);
+        assert!(
+            (s.retained() as f64) < bound,
+            "{} items > bound {bound}",
+            s.retained()
+        );
+        // and it's not trivially small either
+        assert!((s.retained() as f64) > ell);
+    }
+
+    #[test]
+    fn relative_error_bound_holds_everywhere() {
+        let n = 1u64 << 16;
+        let eps = 0.05;
+        let s = OfflineOptimalSummary::build(&permutation(n), eps);
+        for y in 0..n {
+            let truth = y + 1;
+            let err = s.rank(y).abs_diff(truth) as f64;
+            assert!(
+                err <= eps * truth as f64 + 1.0,
+                "rank({y}): err {err} vs bound {}",
+                eps * truth as f64
+            );
+        }
+    }
+
+    #[test]
+    fn low_ranks_are_exact() {
+        let s = OfflineOptimalSummary::build(&permutation(10_000), 0.1);
+        // ranks 1..=2ℓ (= 20) stored exactly
+        for y in 0..20u64 {
+            assert_eq!(s.rank(y), y + 1);
+        }
+    }
+
+    #[test]
+    fn duplicates_and_tiny_inputs() {
+        let s = OfflineOptimalSummary::build(&[], 0.1);
+        assert_eq!(s.retained(), 0);
+        assert_eq!(s.rank(5), 0);
+        assert_eq!(s.quantile(0.5), None);
+
+        let s = OfflineOptimalSummary::build(&[7, 7, 7], 0.5);
+        assert_eq!(s.rank(7), 3);
+        assert_eq!(s.rank(6), 0);
+        assert_eq!(s.quantile(0.5), Some(7));
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let s = OfflineOptimalSummary::build(&permutation(100_000), 0.02);
+        let mut prev = 0;
+        for i in 0..=20 {
+            let q = s.quantile(i as f64 / 20.0).unwrap();
+            assert!(q >= prev);
+            prev = q;
+        }
+    }
+}

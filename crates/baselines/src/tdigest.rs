@@ -1,0 +1,334 @@
+//! The merging t-digest (Dunning & Ertl) — reference \[7\] of the REQ paper.
+//!
+//! t-digest clusters the input into centroids whose maximum weight shrinks
+//! toward the distribution's ends, via the scale function
+//! `k₁(q) = (δ/2π)·asin(2q−1)`: a centroid may absorb items only while the
+//! `k₁` span of its quantile range stays below 1. This biases precision
+//! toward the tails — the same goal as REQ — but, as the paper notes
+//! (§1.1), "they provide no formal accuracy analysis"; E12 probes where the
+//! heuristic drifts.
+//!
+//! This is the *merging* variant: incoming values buffer, and a periodic
+//! merge pass re-clusters buffer + centroids in one sorted sweep.
+
+use sketch_traits::{MergeableSketch, QuantileSketch, SpaceUsage};
+
+/// One cluster: mean value and item count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Centroid {
+    /// Weighted mean of the absorbed items.
+    pub mean: f64,
+    /// Number of absorbed items.
+    pub weight: u64,
+}
+
+/// Merging t-digest.
+#[derive(Debug, Clone)]
+pub struct TDigest {
+    compression: f64,
+    centroids: Vec<Centroid>,
+    buffer: Vec<f64>,
+    buffer_cap: usize,
+    n: u64,
+    min: f64,
+    max: f64,
+}
+
+impl TDigest {
+    /// New digest; `compression` (the paper's δ) bounds the centroid count —
+    /// 100 is the common default.
+    pub fn new(compression: f64) -> Self {
+        assert!(compression >= 10.0, "compression must be >= 10");
+        TDigest {
+            compression,
+            centroids: Vec::new(),
+            buffer: Vec::new(),
+            buffer_cap: (8.0 * compression) as usize,
+            n: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The δ parameter.
+    pub fn compression(&self) -> f64 {
+        self.compression
+    }
+
+    /// Current number of centroids (after flushing internal buffers).
+    pub fn num_centroids(&self) -> usize {
+        self.merged().len()
+    }
+
+    fn k1(&self, q: f64) -> f64 {
+        self.compression / (2.0 * std::f64::consts::PI) * (2.0 * q - 1.0).clamp(-1.0, 1.0).asin()
+    }
+
+    fn k1_inv(&self, k: f64) -> f64 {
+        ((2.0 * std::f64::consts::PI * k / self.compression).sin() + 1.0) / 2.0
+    }
+
+    /// One merge pass over sorted `(mean, weight)` pairs (Algorithm 1 of the
+    /// t-digest paper).
+    fn merge_pass(&self, mut input: Vec<Centroid>) -> Vec<Centroid> {
+        input.retain(|c| c.weight > 0);
+        if input.is_empty() {
+            return input;
+        }
+        input.sort_by(|a, b| a.mean.total_cmp(&b.mean));
+        let total: u64 = input.iter().map(|c| c.weight).sum();
+        let mut out: Vec<Centroid> = Vec::new();
+        let mut cur = input[0];
+        let mut q0 = 0.0f64;
+        let mut q_limit = self.k1_inv(self.k1(q0) + 1.0);
+        for next in input.into_iter().skip(1) {
+            let q = q0 + (cur.weight + next.weight) as f64 / total as f64;
+            if q <= q_limit {
+                // absorb: weighted mean
+                let w = cur.weight + next.weight;
+                cur.mean = (cur.mean * cur.weight as f64 + next.mean * next.weight as f64)
+                    / w as f64;
+                cur.weight = w;
+            } else {
+                q0 += cur.weight as f64 / total as f64;
+                q_limit = self.k1_inv(self.k1(q0) + 1.0);
+                out.push(cur);
+                cur = next;
+            }
+        }
+        out.push(cur);
+        out
+    }
+
+    fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let mut input = self.centroids.clone();
+        input.extend(self.buffer.drain(..).map(|x| Centroid { mean: x, weight: 1 }));
+        self.centroids = self.merge_pass(input);
+    }
+
+    /// Centroids including any still-buffered values (used by queries so
+    /// they can run on `&self`).
+    fn merged(&self) -> Vec<Centroid> {
+        if self.buffer.is_empty() {
+            return self.centroids.clone();
+        }
+        let mut input = self.centroids.clone();
+        input.extend(self.buffer.iter().map(|&x| Centroid { mean: x, weight: 1 }));
+        self.merge_pass(input)
+    }
+
+    /// Observe a raw value.
+    pub fn update_f64(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.n += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.buffer.push(x);
+        if self.buffer.len() >= self.buffer_cap {
+            self.flush();
+        }
+    }
+
+    /// Quantile estimate: the mean of the centroid whose weight span covers
+    /// the target rank (exact at the endpoints via tracked min/max).
+    pub fn quantile_f64(&self, q: f64) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return Some(self.min);
+        }
+        if q == 1.0 {
+            return Some(self.max);
+        }
+        let cs = self.merged();
+        let target = q * self.n as f64;
+        let mut cum = 0.0;
+        for c in &cs {
+            cum += c.weight as f64;
+            if cum >= target {
+                return Some(c.mean.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Rank estimate: total weight of centroids with mean ≤ y (tail
+    /// centroids have weight 1, so extreme ranks are near-exact).
+    pub fn rank_f64(&self, y: f64) -> u64 {
+        let cs = self.merged();
+        cs.iter()
+            .filter(|c| c.mean <= y)
+            .map(|c| c.weight)
+            .sum()
+    }
+}
+
+impl QuantileSketch<f64> for TDigest {
+    fn update(&mut self, item: f64) {
+        self.update_f64(item);
+    }
+
+    fn len(&self) -> u64 {
+        self.n
+    }
+
+    fn rank(&self, item: &f64) -> u64 {
+        self.rank_f64(*item)
+    }
+
+    fn quantile(&self, q: f64) -> Option<f64> {
+        self.quantile_f64(q)
+    }
+}
+
+impl MergeableSketch for TDigest {
+    fn merge(&mut self, mut other: Self) {
+        other.flush();
+        self.flush();
+        let mut input = std::mem::take(&mut self.centroids);
+        input.extend(other.centroids);
+        self.centroids = self.merge_pass(input);
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl SpaceUsage for TDigest {
+    fn retained(&self) -> usize {
+        self.centroids.len() + self.buffer.len()
+    }
+
+    fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.centroids.capacity() * std::mem::size_of::<Centroid>()
+            + self.buffer.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: u64, compression: f64) -> TDigest {
+        let mut t = TDigest::new(compression);
+        // pseudo-random permutation of 1..=n
+        let m = n.next_power_of_two();
+        let mut count = 0u64;
+        let mut i = 0u64;
+        while count < n {
+            let v = (i.wrapping_mul(2654435761)) % m;
+            i += 1;
+            if v < n {
+                t.update_f64((v + 1) as f64);
+                count += 1;
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn centroid_count_bounded_by_compression() {
+        let t = filled(200_000, 100.0);
+        assert!(
+            t.num_centroids() <= 2 * 100,
+            "{} centroids",
+            t.num_centroids()
+        );
+    }
+
+    #[test]
+    fn weight_is_conserved() {
+        let t = filled(50_000, 100.0);
+        let total: u64 = t.merged().iter().map(|c| c.weight).sum();
+        assert_eq!(total, 50_000);
+    }
+
+    #[test]
+    fn median_is_close() {
+        let t = filled(100_000, 200.0);
+        let med = t.quantile_f64(0.5).unwrap();
+        assert!((med - 50_000.0).abs() < 2_000.0, "median {med}");
+    }
+
+    #[test]
+    fn tails_are_tight() {
+        let t = filled(100_000, 200.0);
+        let p999 = t.quantile_f64(0.999).unwrap();
+        assert!(
+            (p999 - 99_900.0).abs() < 300.0,
+            "p99.9 {p999} (true 99900)"
+        );
+        assert_eq!(t.quantile_f64(0.0), Some(1.0));
+        assert_eq!(t.quantile_f64(1.0), Some(100_000.0));
+    }
+
+    #[test]
+    fn tail_centroids_are_much_smaller_than_bulk() {
+        // The k1 scale function caps a cluster at roughly δ·q(1−q)·n /
+        // (slope) — near the ends the asin slope diverges, so edge clusters
+        // are orders of magnitude lighter than mid-bulk clusters.
+        let t = filled(100_000, 100.0);
+        let cs = t.merged();
+        let first = cs.first().unwrap().weight;
+        let last = cs.last().unwrap().weight;
+        let mid = cs[cs.len() / 2].weight;
+        assert!(first <= 200, "first centroid weight {first}");
+        assert!(last <= 200, "last centroid weight {last}");
+        assert!(mid > 1000, "bulk centroid weight {mid}");
+        assert!(mid / first.max(1) >= 10);
+    }
+
+    #[test]
+    fn ranks_are_monotone() {
+        let t = filled(50_000, 100.0);
+        let mut prev = 0;
+        for y in (0..50_000).step_by(777) {
+            let r = t.rank_f64(y as f64);
+            assert!(r >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn merge_preserves_count_and_accuracy() {
+        let mut a = TDigest::new(100.0);
+        let mut b = TDigest::new(100.0);
+        for i in 1..=50_000u64 {
+            a.update_f64(i as f64);
+            b.update_f64((i + 50_000) as f64);
+        }
+        a.merge(b);
+        assert_eq!(a.len(), 100_000);
+        let med = a.quantile_f64(0.5).unwrap();
+        assert!((med - 50_000.0).abs() < 3_000.0, "median {med}");
+    }
+
+    #[test]
+    fn empty_and_nonfinite() {
+        let mut t = TDigest::new(50.0);
+        assert_eq!(t.quantile_f64(0.5), None);
+        t.update_f64(f64::NAN);
+        t.update_f64(f64::INFINITY);
+        assert_eq!(t.len(), 0);
+        t.update_f64(1.5);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.quantile_f64(0.5), Some(1.5));
+    }
+
+    #[test]
+    fn scale_function_roundtrips() {
+        let t = TDigest::new(100.0);
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let rt = t.k1_inv(t.k1(q));
+            assert!((rt - q).abs() < 1e-9, "k1 roundtrip at {q}: {rt}");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Single compaction cost: the inner loop of Algorithm 1 — pivot the top
+//! `L`, sort it, emit every other item (E7).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use req_bench::bench_items;
+use req_core::compactor::{RankAccuracy, RelativeCompactor};
+
+fn bench_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compaction");
+
+    for (k, sections) in [(12u32, 8u32), (32, 10), (128, 12)] {
+        let capacity = 2 * k as usize * sections as usize;
+        let items = bench_items(capacity, 3);
+        group.bench_with_input(
+            BenchmarkId::new("scheduled_full_buffer", format!("k{k}_s{sections}")),
+            &(k, sections),
+            |b, &(k, sections)| {
+                b.iter(|| {
+                    let mut compactor = RelativeCompactor::new(k, sections);
+                    for &x in &items {
+                        compactor.push(x);
+                    }
+                    let mut out = Vec::new();
+                    let o = compactor.compact_scheduled(RankAccuracy::LowRank, true, &mut out);
+                    black_box((o.compacted, out.len()))
+                })
+            },
+        );
+    }
+
+    // amortized: stream 64k items through a single compactor
+    group.bench_function("stream_64k_through_one_level", |b| {
+        let items = bench_items(65_536, 5);
+        b.iter(|| {
+            let mut compactor = RelativeCompactor::new(32, 10);
+            let mut out = Vec::new();
+            let mut coin = false;
+            for &x in &items {
+                compactor.push(x);
+                if compactor.is_at_capacity() {
+                    coin = !coin;
+                    compactor.compact_scheduled(RankAccuracy::LowRank, coin, &mut out);
+                }
+            }
+            black_box(out.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_compaction
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Merge cost: pairwise merges and full fan-ins (E7, Theorem 3 machinery).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use req_bench::bench_items;
+use req_core::{merge_balanced, QuantileSketch, RankAccuracy, ReqSketch};
+
+fn shard(n: usize, seed: u64) -> ReqSketch<u64> {
+    let mut s = ReqSketch::<u64>::builder()
+        .k(32)
+        .rank_accuracy(RankAccuracy::LowRank)
+        .seed(seed)
+        .build()
+        .unwrap();
+    for x in bench_items(n, seed) {
+        s.update(x);
+    }
+    s
+}
+
+fn bench_merges(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge");
+
+    for per_shard in [10_000usize, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("pairwise", per_shard),
+            &per_shard,
+            |b, &n| {
+                let left = shard(n, 1);
+                let right = shard(n, 2);
+                b.iter(|| {
+                    let mut a = left.clone();
+                    a.try_merge(right.clone()).unwrap();
+                    black_box(a.len())
+                })
+            },
+        );
+    }
+
+    for shards in [4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("balanced_fanin_20k_each", shards),
+            &shards,
+            |b, &count| {
+                let sketches: Vec<ReqSketch<u64>> =
+                    (0..count).map(|i| shard(20_000, 100 + i as u64)).collect();
+                b.iter(|| {
+                    let copies = sketches.clone();
+                    black_box(merge_balanced(copies).unwrap().unwrap().len())
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_merges
+}
+criterion_main!(benches);

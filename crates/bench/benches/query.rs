@@ -1,0 +1,72 @@
+//! Query latency: single rank queries, batched view queries, quantiles (E7).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use req_bench::bench_items;
+use req_core::{QuantileSketch, RankAccuracy, ReqSketch};
+
+const N: usize = 1_000_000;
+
+fn filled_sketch(k: u32) -> ReqSketch<u64> {
+    let items = bench_items(N, 11);
+    let mut s = ReqSketch::<u64>::builder()
+        .k(k)
+        .rank_accuracy(RankAccuracy::HighRank)
+        .seed(2)
+        .build()
+        .unwrap();
+    for x in items {
+        s.update(x);
+    }
+    s
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let sketch = filled_sketch(32);
+    let probes = bench_items(256, 13);
+
+    let mut group = c.benchmark_group("query");
+
+    group.bench_function("rank_direct_scan", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            black_box(sketch.rank(&probes[i]))
+        })
+    });
+
+    group.bench_function("sorted_view_build", |b| {
+        b.iter(|| black_box(sketch.sorted_view().total_weight()))
+    });
+
+    let view = sketch.sorted_view();
+    group.bench_function("rank_via_view", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            black_box(view.rank(&probes[i]))
+        })
+    });
+
+    group.bench_function("quantile_via_view", |b| {
+        let mut q = 0.0f64;
+        b.iter(|| {
+            q = (q + 0.137) % 1.0;
+            black_box(view.quantile(q))
+        })
+    });
+
+    group.bench_function("cdf_64_splits", |b| {
+        let splits: Vec<u64> = (0..64).map(|i| i * (u64::MAX / 64)).collect();
+        b.iter(|| black_box(view.cdf(&splits)))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Serialization throughput for the compact binary format (E7).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use req_bench::bench_items;
+use req_core::{QuantileSketch, RankAccuracy, ReqSketch, SpaceUsage};
+
+fn filled(n: usize) -> ReqSketch<u64> {
+    let mut s = ReqSketch::<u64>::builder()
+        .k(32)
+        .rank_accuracy(RankAccuracy::HighRank)
+        .seed(4)
+        .build()
+        .unwrap();
+    for x in bench_items(n, 21) {
+        s.update(x);
+    }
+    s
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serialization");
+
+    for n in [10_000usize, 1_000_000] {
+        let sketch = filled(n);
+        let retained = sketch.retained();
+        group.bench_with_input(
+            BenchmarkId::new("to_bytes", format!("n{n}_retained{retained}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut s = sketch.clone();
+                    black_box(s.to_bytes().len())
+                })
+            },
+        );
+        let bytes = sketch.clone().to_bytes();
+        group.bench_with_input(
+            BenchmarkId::new("from_bytes", format!("n{n}_retained{retained}")),
+            &n,
+            |b, _| b.iter(|| black_box(ReqSketch::<u64>::from_bytes(&bytes).unwrap().len())),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_serialization
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Update throughput: items/second into each sketch (E7).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use baselines::{CkmsSketch, DdSketch, GkSketch, KllSketch, ReservoirSampler, TDigest};
+use req_bench::bench_items;
+use req_core::{QuantileSketch, RankAccuracy, ReqSketch};
+
+const N: usize = 100_000;
+
+fn bench_updates(c: &mut Criterion) {
+    let items = bench_items(N, 7);
+    let mut group = c.benchmark_group("update");
+    group.throughput(Throughput::Elements(N as u64));
+
+    for k in [12u32, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("req", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = ReqSketch::<u64>::builder()
+                    .k(k)
+                    .rank_accuracy(RankAccuracy::HighRank)
+                    .seed(1)
+                    .build()
+                    .unwrap();
+                for &x in &items {
+                    s.update(black_box(x));
+                }
+                black_box(s.len())
+            })
+        });
+    }
+
+    group.bench_function("kll_k200", |b| {
+        b.iter(|| {
+            let mut s = KllSketch::<u64>::new(200, 1);
+            for &x in &items {
+                s.update(black_box(x));
+            }
+            black_box(s.len())
+        })
+    });
+
+    group.bench_function("gk_eps0.01", |b| {
+        b.iter(|| {
+            let mut s = GkSketch::<u64>::new(0.01);
+            for &x in &items {
+                s.update(black_box(x));
+            }
+            black_box(s.len())
+        })
+    });
+
+    group.bench_function("ckms_eps0.01", |b| {
+        b.iter(|| {
+            let mut s = CkmsSketch::<u64>::new(0.01);
+            for &x in &items {
+                s.update(black_box(x));
+            }
+            black_box(s.len())
+        })
+    });
+
+    group.bench_function("ddsketch_a0.01", |b| {
+        b.iter(|| {
+            let mut s = DdSketch::new(0.01, 2048);
+            for &x in &items {
+                s.update_f64(black_box(x as f64));
+            }
+            black_box(s.len())
+        })
+    });
+
+    group.bench_function("tdigest_d100", |b| {
+        b.iter(|| {
+            let mut s = TDigest::new(100.0);
+            for &x in &items {
+                s.update_f64(black_box(x as f64));
+            }
+            black_box(s.len())
+        })
+    });
+
+    group.bench_function("reservoir_m4096", |b| {
+        b.iter(|| {
+            let mut s = ReservoirSampler::<u64>::new(4096, 1);
+            for &x in &items {
+                s.update(black_box(x));
+            }
+            black_box(s.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_updates
+}
+criterion_main!(benches);

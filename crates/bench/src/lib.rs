@@ -1,0 +1,20 @@
+//! # `req-bench` — wall-clock micro-benchmarks (experiment E7)
+//!
+//! Criterion benches comparing the REQ sketch against every baseline on
+//! update throughput, query latency, merging, single compactions, and
+//! serialization. Run with:
+//!
+//! ```text
+//! cargo bench -p req-bench
+//! ```
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible pseudo-random value stream for benches.
+pub fn bench_items(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}

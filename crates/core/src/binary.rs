@@ -1,0 +1,489 @@
+//! Versioned compact binary serialization.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "REQ1" | version u8 | flags u8 (bit0 = high-rank accuracy)
+//! policy tag u8 + policy payload
+//! n u64 | max_n u64 | k u32 | num_sections u32 | reseed u64
+//! min item (tag u8 + payload) | max item (tag u8 + payload)
+//! num_levels u32
+//! per level: state u64 | compactions u64 | special u64 | len u32 | items
+//! ```
+//!
+//! The RNG's in-flight state is not serialized; a fresh seed (`reseed`,
+//! drawn from the sketch's RNG at serialization time) is stored instead.
+//! Coin flips after a round-trip therefore differ from those the original
+//! sketch would have drawn, which is immaterial to the guarantee — any coin
+//! sequence satisfies Theorems 1/3.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rand::Rng;
+
+use crate::compactor::{RankAccuracy, RelativeCompactor};
+use crate::error::ReqError;
+use crate::ordf64::OrdF64;
+use crate::params::ParamPolicy;
+use crate::schedule::CompactionState;
+use crate::sketch::ReqSketch;
+
+const MAGIC: &[u8; 4] = b"REQ1";
+const VERSION: u8 = 1;
+
+/// Item types that can be encoded into the binary sketch format.
+pub trait Packable: Sized {
+    /// Append this item's encoding to `out`.
+    fn pack(&self, out: &mut BytesMut);
+    /// Decode one item, consuming bytes from `input`.
+    fn unpack(input: &mut Bytes) -> Result<Self, ReqError>;
+}
+
+fn need(input: &Bytes, n: usize) -> Result<(), ReqError> {
+    if input.remaining() < n {
+        Err(ReqError::CorruptBytes(format!(
+            "need {n} more bytes, have {}",
+            input.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+macro_rules! packable_int {
+    ($t:ty, $put:ident, $get:ident, $size:expr) => {
+        impl Packable for $t {
+            fn pack(&self, out: &mut BytesMut) {
+                out.$put(*self);
+            }
+            fn unpack(input: &mut Bytes) -> Result<Self, ReqError> {
+                need(input, $size)?;
+                Ok(input.$get())
+            }
+        }
+    };
+}
+
+packable_int!(u16, put_u16_le, get_u16_le, 2);
+packable_int!(u32, put_u32_le, get_u32_le, 4);
+packable_int!(u64, put_u64_le, get_u64_le, 8);
+packable_int!(i32, put_i32_le, get_i32_le, 4);
+packable_int!(i64, put_i64_le, get_i64_le, 8);
+
+impl Packable for u8 {
+    fn pack(&self, out: &mut BytesMut) {
+        out.put_u8(*self);
+    }
+    fn unpack(input: &mut Bytes) -> Result<Self, ReqError> {
+        need(input, 1)?;
+        Ok(input.get_u8())
+    }
+}
+
+impl Packable for OrdF64 {
+    fn pack(&self, out: &mut BytesMut) {
+        out.put_u64_le(self.0.to_bits());
+    }
+    fn unpack(input: &mut Bytes) -> Result<Self, ReqError> {
+        need(input, 8)?;
+        Ok(OrdF64(f64::from_bits(input.get_u64_le())))
+    }
+}
+
+impl Packable for String {
+    fn pack(&self, out: &mut BytesMut) {
+        let bytes = self.as_bytes();
+        out.put_u32_le(bytes.len() as u32);
+        out.put_slice(bytes);
+    }
+    fn unpack(input: &mut Bytes) -> Result<Self, ReqError> {
+        need(input, 4)?;
+        let len = input.get_u32_le() as usize;
+        need(input, len)?;
+        let raw = input.copy_to_bytes(len);
+        String::from_utf8(raw.to_vec())
+            .map_err(|e| ReqError::CorruptBytes(format!("invalid utf8 string: {e}")))
+    }
+}
+
+fn pack_policy(policy: &ParamPolicy, out: &mut BytesMut) {
+    match *policy {
+        ParamPolicy::Mergeable { eps, delta, scale } => {
+            out.put_u8(0);
+            out.put_f64_le(eps);
+            out.put_f64_le(delta);
+            out.put_f64_le(scale);
+        }
+        ParamPolicy::Streaming { eps, delta, n } => {
+            out.put_u8(1);
+            out.put_f64_le(eps);
+            out.put_f64_le(delta);
+            out.put_u64_le(n);
+        }
+        ParamPolicy::SmallDelta { eps, delta, n } => {
+            out.put_u8(2);
+            out.put_f64_le(eps);
+            out.put_f64_le(delta);
+            out.put_u64_le(n);
+        }
+        ParamPolicy::Deterministic { eps, n } => {
+            out.put_u8(3);
+            out.put_f64_le(eps);
+            out.put_u64_le(n);
+        }
+        ParamPolicy::FixedK { k } => {
+            out.put_u8(4);
+            out.put_u32_le(k);
+        }
+    }
+}
+
+fn unpack_f64(input: &mut Bytes) -> Result<f64, ReqError> {
+    need(input, 8)?;
+    Ok(input.get_f64_le())
+}
+
+fn unpack_policy(input: &mut Bytes) -> Result<ParamPolicy, ReqError> {
+    need(input, 1)?;
+    let tag = input.get_u8();
+    match tag {
+        0 => {
+            let eps = unpack_f64(input)?;
+            let delta = unpack_f64(input)?;
+            let scale = unpack_f64(input)?;
+            ParamPolicy::mergeable_scaled(eps, delta, scale)
+                .map_err(|e| ReqError::CorruptBytes(e.to_string()))
+        }
+        1 => {
+            let eps = unpack_f64(input)?;
+            let delta = unpack_f64(input)?;
+            let n = u64::unpack(input)?;
+            ParamPolicy::streaming(eps, delta, n).map_err(|e| ReqError::CorruptBytes(e.to_string()))
+        }
+        2 => {
+            let eps = unpack_f64(input)?;
+            let delta = unpack_f64(input)?;
+            let n = u64::unpack(input)?;
+            ParamPolicy::small_delta(eps, delta, n)
+                .map_err(|e| ReqError::CorruptBytes(e.to_string()))
+        }
+        3 => {
+            let eps = unpack_f64(input)?;
+            let n = u64::unpack(input)?;
+            ParamPolicy::deterministic(eps, n).map_err(|e| ReqError::CorruptBytes(e.to_string()))
+        }
+        4 => {
+            let k = u32::unpack(input)?;
+            ParamPolicy::fixed_k(k).map_err(|e| ReqError::CorruptBytes(e.to_string()))
+        }
+        other => Err(ReqError::CorruptBytes(format!("unknown policy tag {other}"))),
+    }
+}
+
+fn pack_option<T: Packable>(value: &Option<T>, out: &mut BytesMut) {
+    match value {
+        Some(v) => {
+            out.put_u8(1);
+            v.pack(out);
+        }
+        None => out.put_u8(0),
+    }
+}
+
+fn unpack_option<T: Packable>(input: &mut Bytes) -> Result<Option<T>, ReqError> {
+    need(input, 1)?;
+    match input.get_u8() {
+        0 => Ok(None),
+        1 => Ok(Some(T::unpack(input)?)),
+        other => Err(ReqError::CorruptBytes(format!("bad option tag {other}"))),
+    }
+}
+
+impl<T: Ord + Clone + Packable> ReqSketch<T> {
+    /// Serialize into the versioned binary format.
+    pub fn to_bytes(&mut self) -> Bytes {
+        let retained: usize = self.levels.iter().map(|l| l.len()).sum();
+        let mut out = BytesMut::with_capacity(64 + 16 * retained);
+        out.put_slice(MAGIC);
+        out.put_u8(VERSION);
+        let flags = match self.rank_accuracy() {
+            RankAccuracy::HighRank => 1u8,
+            RankAccuracy::LowRank => 0u8,
+        };
+        out.put_u8(flags);
+        pack_policy(&self.policy, &mut out);
+        out.put_u64_le(self.n);
+        out.put_u64_le(self.max_n);
+        out.put_u32_le(self.k);
+        out.put_u32_le(self.num_sections);
+        let reseed: u64 = self.rng.gen();
+        out.put_u64_le(reseed);
+        pack_option(&self.min_item, &mut out);
+        pack_option(&self.max_item, &mut out);
+        out.put_u32_le(self.levels.len() as u32);
+        for level in &self.levels {
+            out.put_u64_le(level.state().raw());
+            out.put_u64_le(level.num_compactions());
+            out.put_u64_le(level.num_special_compactions());
+            out.put_u32_le(level.len() as u32);
+            for item in level.items() {
+                item.pack(&mut out);
+            }
+        }
+        out.freeze()
+    }
+
+    /// Deserialize from [`ReqSketch::to_bytes`] output.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, ReqError> {
+        let mut input = Bytes::copy_from_slice(data);
+        need(&input, 6)?;
+        let mut magic = [0u8; 4];
+        input.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(ReqError::CorruptBytes("bad magic".into()));
+        }
+        let version = input.get_u8();
+        if version != VERSION {
+            return Err(ReqError::CorruptBytes(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let flags = input.get_u8();
+        let accuracy = if flags & 1 == 1 {
+            RankAccuracy::HighRank
+        } else {
+            RankAccuracy::LowRank
+        };
+        let policy = unpack_policy(&mut input)?;
+        let n = u64::unpack(&mut input)?;
+        let max_n = u64::unpack(&mut input)?;
+        let k = u32::unpack(&mut input)?;
+        let num_sections = u32::unpack(&mut input)?;
+        if k < 4 || k % 2 != 0 || num_sections == 0 {
+            return Err(ReqError::CorruptBytes(format!(
+                "invalid geometry k={k} sections={num_sections}"
+            )));
+        }
+        let reseed = u64::unpack(&mut input)?;
+        let min_item = unpack_option::<T>(&mut input)?;
+        let max_item = unpack_option::<T>(&mut input)?;
+        let num_levels = u32::unpack(&mut input)? as usize;
+        if num_levels > 64 {
+            return Err(ReqError::CorruptBytes(format!(
+                "implausible level count {num_levels}"
+            )));
+        }
+        let mut levels = Vec::with_capacity(num_levels);
+        for _ in 0..num_levels {
+            let state = u64::unpack(&mut input)?;
+            let compactions = u64::unpack(&mut input)?;
+            let special = u64::unpack(&mut input)?;
+            let len = u32::unpack(&mut input)? as usize;
+            // Every item occupies at least one byte; a length beyond the
+            // remaining input is corruption, and pre-allocating it would be
+            // an allocation-of-attacker-chosen-size hazard.
+            if len > input.remaining() {
+                return Err(ReqError::CorruptBytes(format!(
+                    "level claims {len} items but only {} bytes remain",
+                    input.remaining()
+                )));
+            }
+            let mut buf = Vec::with_capacity(len);
+            for _ in 0..len {
+                buf.push(T::unpack(&mut input)?);
+            }
+            levels.push(RelativeCompactor::from_parts(
+                k,
+                num_sections,
+                buf,
+                CompactionState::from_raw(state),
+                compactions,
+                special,
+            ));
+        }
+        if input.has_remaining() {
+            return Err(ReqError::CorruptBytes(format!(
+                "{} trailing bytes",
+                input.remaining()
+            )));
+        }
+        Ok(ReqSketch::from_parts(
+            policy,
+            accuracy,
+            levels,
+            n,
+            max_n,
+            k,
+            num_sections,
+            min_item,
+            max_item,
+            reseed,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketch_traits::{QuantileSketch, SpaceUsage};
+
+    fn sample_sketch() -> ReqSketch<u64> {
+        let mut s = ReqSketch::with_policy(
+            ParamPolicy::fixed_k(12).unwrap(),
+            RankAccuracy::HighRank,
+            7,
+        );
+        for i in 0..100_000u64 {
+            s.update(i.wrapping_mul(2654435761) % 1_000_003);
+        }
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_observable() {
+        let mut s = sample_sketch();
+        let bytes = s.to_bytes();
+        let t = ReqSketch::<u64>::from_bytes(&bytes).unwrap();
+        assert_eq!(t.len(), s.len());
+        assert_eq!(t.max_n(), s.max_n());
+        assert_eq!(t.k(), s.k());
+        assert_eq!(t.num_sections(), s.num_sections());
+        assert_eq!(t.rank_accuracy(), s.rank_accuracy());
+        assert_eq!(t.min_item(), s.min_item());
+        assert_eq!(t.max_item(), s.max_item());
+        assert_eq!(t.retained(), s.retained());
+        assert_eq!(t.total_weight(), s.total_weight());
+        for y in (0..1_000_003u64).step_by(30_011) {
+            assert_eq!(t.rank(&y), s.rank(&y), "rank mismatch at {y}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_sketch_remains_usable() {
+        let mut s = sample_sketch();
+        let bytes = s.to_bytes();
+        let mut t = ReqSketch::<u64>::from_bytes(&bytes).unwrap();
+        for i in 0..50_000u64 {
+            t.update(i);
+        }
+        assert_eq!(t.len(), 150_000);
+        assert!(t.quantile(0.5).is_some());
+    }
+
+    #[test]
+    fn roundtrip_f64_and_string() {
+        let mut s = ReqSketch::<OrdF64>::with_policy(
+            ParamPolicy::fixed_k(8).unwrap(),
+            RankAccuracy::LowRank,
+            3,
+        );
+        for i in 0..5_000 {
+            s.update(OrdF64(i as f64 * 0.25));
+        }
+        let t = ReqSketch::<OrdF64>::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(t.len(), 5_000);
+        assert_eq!(t.rank(&OrdF64(100.0)), s.rank(&OrdF64(100.0)));
+
+        let mut s = ReqSketch::<String>::with_policy(
+            ParamPolicy::fixed_k(8).unwrap(),
+            RankAccuracy::LowRank,
+            3,
+        );
+        for i in 0..2_000 {
+            s.update(format!("key-{i:06}"));
+        }
+        let t = ReqSketch::<String>::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(t.len(), 2_000);
+        let probe = "key-001000".to_string();
+        assert_eq!(t.rank(&probe), s.rank(&probe));
+    }
+
+    #[test]
+    fn empty_sketch_roundtrips() {
+        let mut s = ReqSketch::<u64>::with_policy(
+            ParamPolicy::fixed_k(12).unwrap(),
+            RankAccuracy::LowRank,
+            1,
+        );
+        let t = ReqSketch::<u64>::from_bytes(&s.to_bytes()).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.quantile(0.5), None);
+    }
+
+    #[test]
+    fn policies_roundtrip() {
+        let policies = [
+            ParamPolicy::mergeable(0.05, 0.05).unwrap(),
+            ParamPolicy::mergeable_scaled(0.05, 0.05, 0.25).unwrap(),
+            ParamPolicy::streaming(0.1, 0.01, 1 << 20).unwrap(),
+            ParamPolicy::small_delta(0.1, 1e-9, 1 << 20).unwrap(),
+            ParamPolicy::deterministic(0.1, 1 << 20).unwrap(),
+            ParamPolicy::fixed_k(24).unwrap(),
+        ];
+        for p in policies {
+            let mut s = ReqSketch::<u64>::with_policy(p, RankAccuracy::LowRank, 1);
+            for i in 0..100 {
+                s.update(i);
+            }
+            let t = ReqSketch::<u64>::from_bytes(&s.to_bytes()).unwrap();
+            assert_eq!(t.policy(), p);
+        }
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected_not_panicking() {
+        let mut s = sample_sketch();
+        let good = s.to_bytes().to_vec();
+
+        // bad magic
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            ReqSketch::<u64>::from_bytes(&bad),
+            Err(ReqError::CorruptBytes(_))
+        ));
+
+        // bad version
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(ReqSketch::<u64>::from_bytes(&bad).is_err());
+
+        // truncations at every prefix length must error, never panic
+        for cut in [0, 1, 5, 10, 20, good.len() / 2, good.len() - 1] {
+            assert!(
+                ReqSketch::<u64>::from_bytes(&good[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+
+        // trailing garbage
+        let mut bad = good.clone();
+        bad.extend_from_slice(&[1, 2, 3]);
+        assert!(ReqSketch::<u64>::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn merged_then_serialized_roundtrips() {
+        let mut a = sample_sketch();
+        let mut b = ReqSketch::with_policy(
+            ParamPolicy::fixed_k(12).unwrap(),
+            RankAccuracy::HighRank,
+            8,
+        );
+        for i in 0..60_000u64 {
+            b.update(i);
+        }
+        a.try_merge(b).unwrap();
+        let t = ReqSketch::<u64>::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(t.len(), a.len());
+        assert_eq!(t.total_weight(), a.total_weight());
+    }
+
+    #[test]
+    fn string_packable_rejects_bad_utf8() {
+        let mut out = BytesMut::new();
+        out.put_u32_le(2);
+        out.put_slice(&[0xFF, 0xFE]);
+        let mut b = out.freeze();
+        assert!(String::unpack(&mut b).is_err());
+    }
+}

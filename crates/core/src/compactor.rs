@@ -1,0 +1,612 @@
+//! The relative-compactor (paper §2.1, Algorithm 1).
+//!
+//! A relative-compactor ingests a stream of items and, whenever its buffer of
+//! capacity `B = 2·k·s` fills, *compacts* the `L = (z(C)+1)·k` items at the
+//! compactable end (`z(C)` = trailing ones of the schedule state `C`): those
+//! `L` items are sorted and either the even- or the odd-indexed half is
+//! emitted to the output stream (each item then represents twice its former
+//! weight), the choice made by one fair coin flip (Observation 4). The
+//! protected half of the buffer — the `B/2` items nearest the accurate end —
+//! is **never** compacted, which is what yields the multiplicative guarantee
+//! at that end.
+//!
+//! Orientation: with [`RankAccuracy::LowRank`] the protected end holds the
+//! *smallest* items (the paper's presentation); with
+//! [`RankAccuracy::HighRank`] it holds the *largest* (the reversed-comparator
+//! construction from §1, which is what a latency-monitoring deployment
+//! wants). The two are mirror images; all schedule logic is shared.
+
+use std::cmp::Ordering;
+
+use crate::schedule::CompactionState;
+
+/// Which end of the rank axis gets the multiplicative guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RankAccuracy {
+    /// Protect low-ranked (small) items: `|R̂(y) − R(y)| ≤ ε·R(y)`.
+    LowRank,
+    /// Protect high-ranked (large) items: `|R̂(y) − R(y)| ≤ ε·(n − R(y) + 1)`.
+    HighRank,
+}
+
+impl RankAccuracy {
+    /// Internal comparison: orders items so that *protected* items compare
+    /// smallest, regardless of orientation.
+    #[inline]
+    pub(crate) fn icmp<T: Ord>(self, a: &T, b: &T) -> Ordering {
+        match self {
+            RankAccuracy::LowRank => a.cmp(b),
+            RankAccuracy::HighRank => b.cmp(a),
+        }
+    }
+}
+
+/// Result of one compaction operation, for weight bookkeeping and stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionOutcome {
+    /// Items removed from this buffer.
+    pub compacted: usize,
+    /// Items emitted to the next level (each of doubled weight).
+    pub emitted: usize,
+    /// Sections involved (1..=num_sections); 0 for special compactions.
+    pub sections: u32,
+}
+
+/// One level of the REQ sketch: Algorithm 1's buffer plus its schedule state.
+///
+/// Public so that downstream code can assemble *variant* sketches from the
+/// same building block — the `baselines` crate uses it with a single section
+/// (`num_sections = 1`) to realize the "always compact `L = B/2`" ablation
+/// the paper discusses in §2.1 (which needs `k ≈ 1/ε²` and matches the space
+/// regime of Zhang et al. \[22\]).
+#[derive(Debug, Clone)]
+pub struct RelativeCompactor<T> {
+    buf: Vec<T>,
+    state: CompactionState,
+    section_size: u32,
+    num_sections: u32,
+    /// Scheduled compactions performed by *this* buffer (stats only; unlike
+    /// `state`, this is additive under merges).
+    num_compactions: u64,
+    /// Special compactions performed (parameter growth / merge reconciliation).
+    num_special_compactions: u64,
+}
+
+impl<T> RelativeCompactor<T> {
+    /// Fresh compactor with section size `k` (even, >= 4) and `s` sections.
+    pub fn new(section_size: u32, num_sections: u32) -> Self {
+        debug_assert!(section_size >= 4 && section_size.is_multiple_of(2));
+        debug_assert!(num_sections >= 1);
+        let cap = 2 * section_size as usize * num_sections as usize;
+        RelativeCompactor {
+            buf: Vec::with_capacity(cap),
+            state: CompactionState::new(),
+            section_size,
+            num_sections,
+            num_compactions: 0,
+            num_special_compactions: 0,
+        }
+    }
+
+    /// Buffer capacity `B = 2·k·s`. The buffer may transiently hold more
+    /// items than this during merges; a compaction then shrinks it below.
+    pub fn capacity(&self) -> usize {
+        2 * self.section_size as usize * self.num_sections as usize
+    }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no items are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// True when the buffer holds at least `B` items (a compaction is due).
+    pub fn is_at_capacity(&self) -> bool {
+        self.buf.len() >= self.capacity()
+    }
+
+    /// Section size `k`.
+    pub fn section_size(&self) -> u32 {
+        self.section_size
+    }
+
+    /// Number of sections in the compactable half.
+    pub fn num_sections(&self) -> u32 {
+        self.num_sections
+    }
+
+    /// The schedule state `C`.
+    pub fn state(&self) -> CompactionState {
+        self.state
+    }
+
+    /// Scheduled compactions performed by this buffer.
+    pub fn num_compactions(&self) -> u64 {
+        self.num_compactions
+    }
+
+    /// Special compactions performed by this buffer.
+    pub fn num_special_compactions(&self) -> u64 {
+        self.num_special_compactions
+    }
+
+    /// The buffered items (unsorted).
+    pub fn items(&self) -> &[T] {
+        &self.buf
+    }
+
+    /// Append one item (caller checks `is_at_capacity` afterwards).
+    pub fn push(&mut self, item: T) {
+        self.buf.push(item);
+    }
+
+    /// Direct access to the backing buffer; compactions at level `h` emit
+    /// straight into level `h+1`'s buffer through this.
+    pub fn buf_mut(&mut self) -> &mut Vec<T> {
+        &mut self.buf
+    }
+
+    /// Update `(k, s)` after the stream-length estimate grew (footnote 9 /
+    /// Algorithm 3 line 7). Existing items are untouched; only the logical
+    /// capacity changes.
+    pub fn set_params(&mut self, section_size: u32, num_sections: u32) {
+        debug_assert!(section_size >= 4 && section_size.is_multiple_of(2));
+        self.section_size = section_size;
+        self.num_sections = num_sections.max(1);
+        let cap = self.capacity();
+        if self.buf.capacity() < cap {
+            self.buf.reserve(cap - self.buf.len());
+        }
+    }
+
+    /// Absorb a same-level buffer from another sketch (Algorithm 3 lines
+    /// 16–18): schedule states combine by bitwise OR; items are concatenated.
+    pub fn absorb(&mut self, other: RelativeCompactor<T>) {
+        self.state.merge(other.state);
+        self.num_compactions += other.num_compactions;
+        self.num_special_compactions += other.num_special_compactions;
+        let mut other_buf = other.buf;
+        self.buf.append(&mut other_buf);
+    }
+
+    /// Estimated heap bytes for this buffer's bookkeeping plus items.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.buf.capacity() * std::mem::size_of::<T>()
+    }
+
+    /// Rebuild from raw parts (deserialization).
+    pub fn from_parts(
+        section_size: u32,
+        num_sections: u32,
+        buf: Vec<T>,
+        state: CompactionState,
+        num_compactions: u64,
+        num_special_compactions: u64,
+    ) -> Self {
+        RelativeCompactor {
+            buf,
+            state,
+            section_size,
+            num_sections,
+            num_compactions,
+            num_special_compactions,
+        }
+    }
+}
+
+impl<T: Ord> RelativeCompactor<T> {
+    /// Number of stored items `x` with `x ≤ y` (external order — used by rank
+    /// estimation regardless of orientation).
+    pub fn count_le(&self, y: &T) -> usize {
+        self.buf.iter().filter(|x| *x <= y).count()
+    }
+
+    /// Number of stored items `x` with `x < y`.
+    pub fn count_lt(&self, y: &T) -> usize {
+        self.buf.iter().filter(|x| *x < y).count()
+    }
+
+    /// Keep the compacted count even by protecting one extra item when the
+    /// tail has odd size.
+    ///
+    /// In the paper's streaming algorithm every scheduled compaction acts on
+    /// exactly `L` (even) items; odd sizes can only arise in merge/special
+    /// compactions, where the paper tolerates a ±1 weight drift per event
+    /// ("may be of an odd size, which does not cause any issues", Alg. 3).
+    /// We instead round the compacted range down to even: weight is then
+    /// conserved *exactly* (`total_weight() == n` always), which keeps
+    /// high-rank estimates unbiased at the extreme tail. The one extra
+    /// protected item only loosens the paper's buffer-occupancy constants by
+    /// +1, absorbed by their slack.
+    fn even_parity_protect(len: usize, protect: usize) -> usize {
+        protect + ((len - protect) & 1)
+    }
+
+    /// A *scheduled* compaction (Algorithm 1 lines 5–10; Algorithm 3
+    /// `ScheduledCompaction`). `coin` selects even vs odd indices
+    /// (Observation 4). Emitted items are appended to `out` and belong to the
+    /// next level up.
+    ///
+    /// All items beyond the smallest `B` (possible only mid-merge) are
+    /// automatically included in the compaction, exactly as in §D.1.
+    pub fn compact_scheduled(&mut self, acc: RankAccuracy, coin: bool, out: &mut Vec<T>) -> CompactionOutcome {
+        let sections = self.state.sections_to_compact(self.num_sections);
+        let l = sections as usize * self.section_size as usize;
+        let protect = self.capacity().saturating_sub(l);
+        let protect = Self::even_parity_protect(self.buf.len(), protect);
+        let outcome = self.compact_above(protect, acc, coin, out, sections);
+        self.state.increment();
+        self.num_compactions += 1;
+        outcome
+    }
+
+    /// A *special* compaction (Algorithm 3 `SpecialCompaction`): compact
+    /// everything above the protected `B/2`, used when the stream-length
+    /// estimate is squared. No-op (returning `None`) when the buffer holds at
+    /// most `B/2` items (plus possibly one parity item).
+    pub fn compact_special(&mut self, acc: RankAccuracy, coin: bool, out: &mut Vec<T>) -> Option<CompactionOutcome> {
+        let protect = self.capacity() / 2;
+        if self.buf.len() <= protect {
+            return None;
+        }
+        let protect = Self::even_parity_protect(self.buf.len(), protect);
+        if self.buf.len() <= protect {
+            return None;
+        }
+        let outcome = self.compact_above(protect, acc, coin, out, 0);
+        self.state.increment();
+        self.num_special_compactions += 1;
+        Some(outcome)
+    }
+
+    /// Core compaction: keep the `protect` internally-smallest items, sort
+    /// the rest, emit every other one (offset chosen by `coin`), drop the
+    /// rest. Runs in `O(B + m log m)` for `m` compacted items.
+    fn compact_above(
+        &mut self,
+        protect: usize,
+        acc: RankAccuracy,
+        coin: bool,
+        out: &mut Vec<T>,
+        sections: u32,
+    ) -> CompactionOutcome {
+        let len = self.buf.len();
+        debug_assert!(len > protect, "compaction requires items above the protected prefix");
+        debug_assert_eq!((len - protect) % 2, 0, "compacted range must be even");
+        if protect > 0 {
+            // Partition: buf[..protect] = the `protect` smallest (internal
+            // order), buf[protect..] = the items to compact.
+            self.buf
+                .select_nth_unstable_by(protect - 1, |a, b| acc.icmp(a, b));
+        }
+        self.buf[protect..].sort_unstable_by(|a, b| acc.icmp(a, b));
+        let compacted = len - protect;
+        let offset = usize::from(coin);
+        let before = out.len();
+        out.extend(
+            self.buf
+                .drain(protect..)
+                .enumerate()
+                .filter_map(|(i, x)| (i % 2 == offset).then_some(x)),
+        );
+        CompactionOutcome {
+            compacted,
+            emitted: out.len() - before,
+            sections,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn new_c(k: u32, s: u32) -> RelativeCompactor<u64> {
+        RelativeCompactor::new(k, s)
+    }
+
+    #[test]
+    fn capacity_is_2_k_s() {
+        let c = new_c(4, 3);
+        assert_eq!(c.capacity(), 24);
+        let c = new_c(12, 5);
+        assert_eq!(c.capacity(), 120);
+    }
+
+    #[test]
+    fn first_compaction_compacts_exactly_one_section() {
+        let mut c = new_c(4, 3); // B = 24, protect = 20 on first compaction
+        for i in 0..24 {
+            c.push(i);
+        }
+        let mut out = Vec::new();
+        let o = c.compact_scheduled(RankAccuracy::LowRank, false, &mut out);
+        assert_eq!(o.compacted, 4);
+        assert_eq!(o.emitted, 2);
+        assert_eq!(o.sections, 1);
+        assert_eq!(c.len(), 20);
+        // LowRank: the *largest* items were compacted.
+        assert!(c.items().iter().all(|&x| x < 20));
+        // Emitted are every-other of the sorted top section {20,21,22,23}.
+        assert_eq!(out, vec![20, 22]);
+    }
+
+    #[test]
+    fn odd_coin_emits_odd_indexed() {
+        let mut c = new_c(4, 3);
+        for i in 0..24 {
+            c.push(i);
+        }
+        let mut out = Vec::new();
+        c.compact_scheduled(RankAccuracy::LowRank, true, &mut out);
+        assert_eq!(out, vec![21, 23]);
+    }
+
+    #[test]
+    fn high_rank_mode_compacts_smallest() {
+        let mut c = new_c(4, 3);
+        for i in 0..24 {
+            c.push(i);
+        }
+        let mut out = Vec::new();
+        let o = c.compact_scheduled(RankAccuracy::HighRank, false, &mut out);
+        assert_eq!(o.compacted, 4);
+        // HighRank: the smallest items {0,1,2,3} get compacted; internal sort
+        // order is descending, so even indices are {3, 1}.
+        assert_eq!(out, vec![3, 1]);
+        assert!(c.items().iter().all(|&x| x >= 4));
+    }
+
+    #[test]
+    fn schedule_growth_follows_trailing_ones() {
+        // Feed a compactor through many fill/compact cycles and check the
+        // section counts follow the ruler sequence 1,2,1,3,1,2,1,4,...
+        let mut c = new_c(4, 4); // B = 32
+        let expected = [1u32, 2, 1, 3, 1, 2, 1, 4, 1, 2, 1, 3, 1, 2, 1];
+        let mut seen = Vec::new();
+        let mut next_val = 0u64;
+        for _ in 0..expected.len() {
+            while !c.is_at_capacity() {
+                c.push(next_val);
+                next_val += 1;
+            }
+            let mut out = Vec::new();
+            let o = c.compact_scheduled(RankAccuracy::LowRank, false, &mut out);
+            seen.push(o.sections);
+            assert_eq!(o.compacted, o.sections as usize * 4);
+            assert_eq!(o.emitted * 2, o.compacted);
+        }
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn protected_half_is_never_compacted() {
+        // Insert 0..B with the smallest values; over many compactions the
+        // lowest B/2 items of everything ever inserted must stay put.
+        let k = 4;
+        let s = 4;
+        let mut c = new_c(k, s);
+        let b = c.capacity();
+        let mut inserted: Vec<u64> = Vec::new();
+        let mut val = 0u64;
+        for round in 0..50 {
+            while !c.is_at_capacity() {
+                c.push(val);
+                inserted.push(val);
+                val += 1;
+            }
+            let mut out = Vec::new();
+            c.compact_scheduled(RankAccuracy::LowRank, round % 2 == 0, &mut out);
+            // The b/2 smallest inserted so far must all still be in the buffer.
+            let mut sorted = inserted.clone();
+            sorted.sort_unstable();
+            for want in &sorted[..b / 2] {
+                assert!(
+                    c.items().contains(want),
+                    "protected item {want} evicted at round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn even_rank_items_suffer_zero_error() {
+        // Observation 4: if R(y; X) is even w.r.t. the compacted slice, then
+        // R(y;X) - 2 R(y;Z) = 0 for both coin outcomes.
+        let input: Vec<u64> = (0..8).collect(); // compact all 8
+        for coin in [false, true] {
+            let mut c = new_c(4, 1); // B = 8, protect = B - L; state 0 -> L = 4
+            for &x in &input {
+                c.push(x);
+            }
+            // Force a full compaction by protecting nothing: use special path
+            // with capacity trick — instead compact twice. Simpler: check on
+            // the scheduled compaction of the top section only.
+            let mut out = Vec::new();
+            let o = c.compact_scheduled(RankAccuracy::LowRank, coin, &mut out);
+            // top section = {4,5,6,7}; y = 5 has rank 2 (even) within it.
+            let r_in = input.iter().filter(|&&x| (4..=5).contains(&x)).count();
+            let r_out = out.iter().filter(|&&z| z <= 5).count();
+            assert_eq!(o.compacted, 4);
+            assert_eq!(r_in as i64 - 2 * r_out as i64, 0, "coin={coin}");
+        }
+    }
+
+    #[test]
+    fn odd_rank_items_err_by_exactly_one() {
+        for coin in [false, true] {
+            let mut c = new_c(4, 1);
+            for x in 0..8u64 {
+                c.push(x);
+            }
+            let mut out = Vec::new();
+            c.compact_scheduled(RankAccuracy::LowRank, coin, &mut out);
+            // y = 4 has rank 1 (odd) within the compacted {4,5,6,7}.
+            let r_in = 1i64;
+            let r_out = out.iter().filter(|&&z| z <= 4).count() as i64;
+            assert_eq!((r_in - 2 * r_out).abs(), 1, "coin={coin}");
+        }
+    }
+
+    #[test]
+    fn special_compaction_halves_to_protected() {
+        let mut c = new_c(4, 3); // B = 24
+        for i in 0..22 {
+            c.push(i);
+        }
+        let mut out = Vec::new();
+        let o = c
+            .compact_special(RankAccuracy::LowRank, false, &mut out)
+            .unwrap();
+        assert_eq!(c.len(), 12); // B/2
+        assert_eq!(o.compacted, 10);
+        assert_eq!(o.emitted, 5);
+        assert_eq!(o.sections, 0);
+        // no-op when at or below B/2
+        assert!(c
+            .compact_special(RankAccuracy::LowRank, false, &mut out)
+            .is_none());
+    }
+
+    #[test]
+    fn special_compaction_rounds_odd_tail_to_even() {
+        // 23 items, protect = 12: the 11-item tail is rounded down to 10 so
+        // weight stays exactly conserved; one parity item stays behind.
+        let mut c = new_c(4, 3);
+        for i in 0..23 {
+            c.push(i);
+        }
+        let mut out = Vec::new();
+        let o = c
+            .compact_special(RankAccuracy::LowRank, true, &mut out)
+            .unwrap();
+        assert_eq!(o.compacted, 10);
+        assert_eq!(o.emitted, 5);
+        assert_eq!(c.len(), 13); // B/2 + 1 parity item
+        // weight conservation: 2*emitted == compacted
+        assert_eq!(o.emitted * 2, o.compacted);
+    }
+
+    #[test]
+    fn special_compaction_noop_on_single_odd_extra() {
+        // B/2 + 1 items with an odd tail of 1: nothing to compact evenly.
+        let mut c = new_c(4, 3);
+        for i in 0..13 {
+            c.push(i);
+        }
+        let mut out = Vec::new();
+        assert!(c
+            .compact_special(RankAccuracy::LowRank, false, &mut out)
+            .is_none());
+        assert_eq!(c.len(), 13);
+        assert_eq!(c.state().raw(), 0);
+    }
+
+    #[test]
+    fn scheduled_compaction_on_oversized_odd_buffer_stays_even() {
+        let mut c = new_c(4, 3); // B = 24, first compaction L = 4, protect 20
+        for i in 0..41 {
+            c.push(i); // 41 items: tail of 21 rounded to 20
+        }
+        let mut out = Vec::new();
+        let o = c.compact_scheduled(RankAccuracy::LowRank, false, &mut out);
+        assert_eq!(o.compacted, 20);
+        assert_eq!(o.emitted, 10);
+        assert_eq!(c.len(), 21);
+    }
+
+    #[test]
+    fn absorb_ors_state_and_concatenates() {
+        let mut a = new_c(4, 3);
+        let mut b = new_c(4, 3);
+        for i in 0..24 {
+            a.push(i);
+            b.push(100 + i);
+        }
+        let mut out = Vec::new();
+        a.compact_scheduled(RankAccuracy::LowRank, false, &mut out); // state -> 1
+        b.compact_scheduled(RankAccuracy::LowRank, false, &mut out);
+        b.compact_scheduled(RankAccuracy::LowRank, false, &mut out); // state -> 2
+        let (alen, blen) = (a.len(), b.len());
+        a.absorb(b);
+        assert_eq!(a.state().raw(), 0b1 | 0b10);
+        assert_eq!(a.len(), alen + blen);
+        assert_eq!(a.num_compactions(), 3);
+    }
+
+    #[test]
+    fn oversized_buffer_compacts_extras() {
+        // Mid-merge a buffer may exceed B; everything above the smallest B
+        // is included in the compaction.
+        let mut c = new_c(4, 3); // B = 24
+        for i in 0..40 {
+            c.push(i);
+        }
+        let mut out = Vec::new();
+        let o = c.compact_scheduled(RankAccuracy::LowRank, false, &mut out);
+        // protect = B - L = 24 - 4 = 20; compacted = 40 - 20 = 20.
+        assert_eq!(o.compacted, 20);
+        assert_eq!(o.emitted, 10);
+        assert_eq!(c.len(), 20);
+        assert!(c.items().iter().all(|&x| x < 20));
+    }
+
+    #[test]
+    fn count_le_lt_use_external_order_in_both_modes() {
+        for acc in [RankAccuracy::LowRank, RankAccuracy::HighRank] {
+            let mut c = new_c(4, 3);
+            for x in [5u64, 1, 9, 5] {
+                c.push(x);
+            }
+            let _ = acc; // counting is orientation-independent
+            assert_eq!(c.count_le(&5), 3);
+            assert_eq!(c.count_lt(&5), 1);
+            assert_eq!(c.count_le(&0), 0);
+            assert_eq!(c.count_le(&100), 4);
+        }
+    }
+
+    #[test]
+    fn weight_is_conserved_by_even_compactions() {
+        // Streaming compactions always compact an even count; the emitted
+        // half at doubled weight carries exactly the removed weight.
+        let mut c = new_c(6, 4);
+        let mut rng_state = 0x9E3779B97F4A7C15u64;
+        for round in 0..200u64 {
+            while !c.is_at_capacity() {
+                rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(round);
+                c.push(rng_state >> 16);
+            }
+            let mut out = Vec::new();
+            let o = c.compact_scheduled(RankAccuracy::LowRank, rng_state & 1 == 0, &mut out);
+            assert_eq!(o.compacted % 2, 0);
+            assert_eq!(o.emitted * 2, o.compacted);
+        }
+    }
+
+    #[test]
+    fn parts_roundtrip() {
+        let mut c = new_c(4, 3);
+        for i in 0..24 {
+            c.push(i);
+        }
+        let mut out = Vec::new();
+        c.compact_scheduled(RankAccuracy::LowRank, false, &mut out);
+        let snapshot: Vec<u64> = c.items().to_vec();
+        let rebuilt = RelativeCompactor::from_parts(
+            4,
+            3,
+            snapshot.clone(),
+            c.state(),
+            c.num_compactions(),
+            c.num_special_compactions(),
+        );
+        assert_eq!(rebuilt.items(), snapshot.as_slice());
+        assert_eq!(rebuilt.state(), c.state());
+        assert_eq!(rebuilt.num_compactions(), 1);
+    }
+}

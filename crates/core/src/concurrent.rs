@@ -1,0 +1,200 @@
+//! Sharded concurrent ingestion.
+//!
+//! The REQ sketch's full mergeability (Theorem 3) is exactly what makes a
+//! lock-sharded writer correct: each shard is an independent sketch of the
+//! substream routed to it, and a snapshot merges the shards along a balanced
+//! tree — "processing the stream in a fully parallel and distributed manner"
+//! (§1, *Mergeability*). Per-shard `parking_lot::Mutex`es keep the hot update
+//! path to one uncontended lock in the common case.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::builder::ReqSketchBuilder;
+use crate::error::ReqError;
+use crate::merge::merge_balanced;
+use crate::sketch::ReqSketch;
+use sketch_traits::QuantileSketch;
+
+/// A thread-safe, sharded REQ sketch front-end.
+///
+/// ```
+/// use req_core::{ConcurrentReqSketch, ReqSketch};
+/// use sketch_traits::QuantileSketch;
+///
+/// let shared = ConcurrentReqSketch::<u64>::new(
+///     ReqSketch::<u64>::builder().k(12).seed(1),
+///     4,
+/// ).unwrap();
+/// std::thread::scope(|scope| {
+///     for t in 0..4u64 {
+///         let shared = &shared;
+///         scope.spawn(move || {
+///             for i in 0..10_000u64 {
+///                 shared.update(t * 10_000 + i);
+///             }
+///         });
+///     }
+/// });
+/// let merged = shared.snapshot().unwrap();
+/// assert_eq!(merged.len(), 40_000);
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentReqSketch<T> {
+    shards: Vec<Mutex<ReqSketch<T>>>,
+    next: AtomicUsize,
+}
+
+impl<T: Ord + Clone> ConcurrentReqSketch<T> {
+    /// Create `num_shards` shard sketches from one builder configuration.
+    /// Each shard receives a distinct derived seed.
+    pub fn new(builder: ReqSketchBuilder, num_shards: usize) -> Result<Self, ReqError> {
+        if num_shards == 0 {
+            return Err(ReqError::InvalidParameter(
+                "num_shards must be positive".into(),
+            ));
+        }
+        // Resolve the base configuration once so every shard shares the
+        // policy (merge compatibility) while seeds differ.
+        let base: ReqSketch<T> = builder.clone().build()?;
+        let policy = base.policy();
+        let accuracy = base.rank_accuracy();
+        let base_seed = base.seed();
+        let shards = (0..num_shards)
+            .map(|i| {
+                Mutex::new(ReqSketch::with_policy(
+                    policy,
+                    accuracy,
+                    base_seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(i as u64 + 1)),
+                ))
+            })
+            .collect();
+        Ok(ConcurrentReqSketch {
+            shards,
+            next: AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Route one item to a shard (round-robin). Threads that want zero
+    /// routing contention can use [`Self::update_in_shard`] with a
+    /// thread-local shard index instead.
+    pub fn update(&self, item: T) {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shards[i].lock().update(item);
+    }
+
+    /// Update a specific shard (`shard` is taken modulo the shard count).
+    pub fn update_in_shard(&self, shard: usize, item: T) {
+        let i = shard % self.shards.len();
+        self.shards[i].lock().update(item);
+    }
+
+    /// Total items ingested across all shards.
+    pub fn len(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clone every shard and merge along a balanced tree into one ordinary
+    /// [`ReqSketch`] ready for querying. Ingestion may continue concurrently;
+    /// the snapshot reflects each shard at the moment its lock was held.
+    pub fn snapshot(&self) -> Result<ReqSketch<T>, ReqError> {
+        let copies: Vec<ReqSketch<T>> = self.shards.iter().map(|s| s.lock().clone()).collect();
+        let policy = copies[0].policy();
+        let accuracy = copies[0].rank_accuracy();
+        Ok(merge_balanced(copies)?
+            .unwrap_or_else(|| ReqSketch::with_policy(policy, accuracy, 0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketch_traits::SpaceUsage;
+
+    fn builder() -> ReqSketchBuilder {
+        ReqSketch::<u64>::builder().k(12).seed(42)
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(ConcurrentReqSketch::<u64>::new(builder(), 0).is_err());
+    }
+
+    #[test]
+    fn single_shard_behaves_like_plain_sketch() {
+        let c = ConcurrentReqSketch::<u64>::new(builder(), 1).unwrap();
+        for i in 0..10_000 {
+            c.update(i);
+        }
+        let snap = c.snapshot().unwrap();
+        assert_eq!(snap.len(), 10_000);
+        let r = snap.rank(&5_000);
+        assert!((r as f64 - 5_001.0).abs() / 5_001.0 < 0.2);
+    }
+
+    #[test]
+    fn multithreaded_ingest_counts_everything() {
+        let c = ConcurrentReqSketch::<u64>::new(builder(), 8).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let c = &c;
+                scope.spawn(move || {
+                    for i in 0..25_000u64 {
+                        c.update_in_shard(t as usize, t * 25_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 200_000);
+        let snap = c.snapshot().unwrap();
+        assert_eq!(snap.len(), 200_000);
+        assert!(snap.retained() < 50_000);
+        // The merged sketch keeps relative accuracy on the low tail.
+        let r = snap.rank(&1_000);
+        assert!(
+            (r as f64 - 1_001.0).abs() / 1_001.0 < 0.25,
+            "rank(1000) = {r}"
+        );
+    }
+
+    #[test]
+    fn round_robin_spreads_items() {
+        let c = ConcurrentReqSketch::<u64>::new(builder(), 4).unwrap();
+        for i in 0..1_000 {
+            c.update(i);
+        }
+        for shard in &c.shards {
+            let len = shard.lock().len();
+            assert_eq!(len, 250);
+        }
+    }
+
+    #[test]
+    fn snapshot_of_empty_is_empty() {
+        let c = ConcurrentReqSketch::<u64>::new(builder(), 4).unwrap();
+        assert!(c.is_empty());
+        let snap = c.snapshot().unwrap();
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn shards_have_distinct_seeds() {
+        let c = ConcurrentReqSketch::<u64>::new(builder(), 4).unwrap();
+        let seeds: Vec<u64> = c.shards.iter().map(|s| s.lock().seed()).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for the REQ sketch.
+
+use std::fmt;
+
+/// Errors surfaced by sketch construction, merging, and (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReqError {
+    /// A construction parameter is out of its documented range
+    /// (e.g. `ε ∉ (0, 1]`, `δ ∉ (0, 0.5]`, odd `k`, `k < 4`).
+    InvalidParameter(String),
+    /// Two sketches cannot be merged (different parameter policies or
+    /// rank-accuracy orientations).
+    IncompatibleMerge(String),
+    /// A serialized byte stream is malformed or from an unsupported version.
+    CorruptBytes(String),
+}
+
+impl fmt::Display for ReqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReqError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ReqError::IncompatibleMerge(msg) => write!(f, "incompatible merge: {msg}"),
+            ReqError::CorruptBytes(msg) => write!(f, "corrupt bytes: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = ReqError::InvalidParameter("epsilon must be in (0, 1]".into());
+        assert_eq!(
+            e.to_string(),
+            "invalid parameter: epsilon must be in (0, 1]"
+        );
+        let e = ReqError::IncompatibleMerge("different k".into());
+        assert_eq!(e.to_string(), "incompatible merge: different k");
+        let e = ReqError::CorruptBytes("bad magic".into());
+        assert_eq!(e.to_string(), "corrupt bytes: bad magic");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ReqError::CorruptBytes("x".into()));
+    }
+}

@@ -1,0 +1,92 @@
+//! # `req-core` — Relative Error Streaming Quantiles
+//!
+//! A from-scratch Rust implementation of the **REQ sketch** from
+//!
+//! > Graham Cormode, Zohar Karnin, Edo Liberty, Justin Thaler, Pavel Veselý.
+//! > *Relative Error Streaming Quantiles.* PODS 2021 (arXiv:2004.01668).
+//!
+//! Given a one-pass stream of `n` items from any totally ordered universe,
+//! the sketch retains `O(ε⁻¹·log^1.5(εn)·√log(1/δ))` items and answers any
+//! fixed rank query `R(y) = |{x ≤ y}|` with **multiplicative** error:
+//! with probability at least `1 − δ`,
+//!
+//! ```text
+//! |R̂(y) − R(y)| ≤ ε·R(y)
+//! ```
+//!
+//! (or `≤ ε·(n − R(y) + 1)` in the high-rank orientation — the right
+//! guarantee for latency tails: p99/p99.9 queries get proportionally tighter
+//! answers than the median). The sketch is comparison-based, needs no prior
+//! knowledge of `n` or the universe, and is **fully mergeable** (Theorem 3):
+//! summaries of shards may be combined along arbitrary merge trees with the
+//! same guarantee.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use req_core::ReqSketch;
+//! use sketch_traits::{QuantileSketch, MergeableSketch};
+//!
+//! // Two shards of a distributed stream:
+//! let mut a = ReqSketch::<u64>::builder().k(12).seed(1).build().unwrap();
+//! let mut b = ReqSketch::<u64>::builder().k(12).seed(2).build().unwrap();
+//! for i in 0..500_000u64 {
+//!     a.update(i);
+//!     b.update(500_000 + i);
+//! }
+//! a.merge(b);
+//! assert_eq!(a.len(), 1_000_000);
+//!
+//! // The p99.9 estimate lands proportionally close to the true tail:
+//! let p999 = a.quantile(0.999).unwrap();
+//! assert!((p999 as f64 - 999_000.0).abs() < 5_000.0);
+//! ```
+//!
+//! ## Module map
+//!
+//! * [`sketch`] — Algorithm 2 (the full sketch) and its query surface;
+//! * [`compactor`] — Algorithm 1 (the relative-compactor building block);
+//! * [`schedule`] — the derandomized-exponential compaction schedule;
+//! * [`params`] — every parameterization the paper proves a theorem for;
+//! * [`merge`] — Algorithm 3 (full mergeability) + merge-tree helpers;
+//! * [`growing`] — the literal §5 unknown-`n` construction;
+//! * [`view`] — sorted weighted snapshots (batched rank/quantile/CDF/PMF);
+//! * [`quantiles_ext`] — rank bounds, batch quantiles, weighted updates;
+//! * [`binary`] — versioned compact binary serialization;
+//! * [`concurrent`] — sharded multi-writer ingestion;
+//! * [`ordf64`] — total-order `f64` wrapper ([`ReqF64`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod builder;
+pub mod compactor;
+pub mod concurrent;
+pub mod error;
+pub mod growing;
+pub mod merge;
+pub mod ordf64;
+pub mod params;
+pub mod quantiles_ext;
+pub mod schedule;
+#[cfg(feature = "serde")]
+pub mod serde_impl;
+pub mod sketch;
+pub mod stats;
+pub mod view;
+
+pub use builder::ReqSketchBuilder;
+pub use compactor::RankAccuracy;
+pub use concurrent::ConcurrentReqSketch;
+pub use error::ReqError;
+pub use growing::GrowingReqSketch;
+pub use merge::{merge_balanced, merge_linear, merge_random_tree};
+pub use ordf64::OrdF64;
+pub use params::{ParamPolicy, Params};
+pub use sketch::{ReqF64, ReqSketch};
+pub use stats::{LevelStats, SketchStats};
+pub use view::SortedView;
+
+// Re-export the shared traits so downstream users need only this crate.
+pub use sketch_traits::{ErrorGuarantee, MergeableSketch, QuantileSketch, SpaceUsage};

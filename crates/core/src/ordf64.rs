@@ -1,0 +1,117 @@
+//! A totally ordered `f64` wrapper.
+//!
+//! The REQ sketch is comparison-based: items only need a total order
+//! (`T: Ord`). `f64` is not `Ord` because of NaN; [`OrdF64`] supplies the
+//! IEEE-754 `totalOrder` ordering (`f64::total_cmp`), under which
+//! `-NaN < -∞ < … < -0.0 < +0.0 < … < +∞ < +NaN`.
+//!
+//! Use [`crate::ReqSketch`]`::<OrdF64>` (alias [`crate::ReqF64`]) for
+//! floating-point streams; convenience methods accepting/returning plain
+//! `f64` are provided on that alias.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// `f64` with the IEEE-754 total order, usable as a sketch item type.
+#[derive(Debug, Clone, Copy, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct OrdF64(pub f64);
+
+impl OrdF64 {
+    /// Wrap a raw `f64`.
+    pub fn new(v: f64) -> Self {
+        OrdF64(v)
+    }
+
+    /// Unwrap to a raw `f64`.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for OrdF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for OrdF64 {
+    fn from(v: f64) -> Self {
+        OrdF64(v)
+    }
+}
+
+impl From<OrdF64> for f64 {
+    fn from(v: OrdF64) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for OrdF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_handles_special_values() {
+        let mut v = [
+            OrdF64(f64::NAN),
+            OrdF64(1.0),
+            OrdF64(f64::NEG_INFINITY),
+            OrdF64(-0.0),
+            OrdF64(0.0),
+            OrdF64(f64::INFINITY),
+            OrdF64(-3.5),
+        ];
+        v.sort();
+        let raw: Vec<f64> = v.iter().map(|x| x.0).collect();
+        assert_eq!(raw[0], f64::NEG_INFINITY);
+        assert_eq!(raw[1], -3.5);
+        assert!(raw[2] == 0.0 && raw[2].is_sign_negative());
+        assert!(raw[3] == 0.0 && raw[3].is_sign_positive());
+        assert_eq!(raw[4], 1.0);
+        assert_eq!(raw[5], f64::INFINITY);
+        assert!(raw[6].is_nan());
+    }
+
+    #[test]
+    fn eq_is_total_cmp_eq() {
+        assert_ne!(OrdF64(-0.0), OrdF64(0.0)); // total order distinguishes them
+        assert_eq!(OrdF64(2.5), OrdF64(2.5));
+        assert_eq!(OrdF64(f64::NAN), OrdF64(f64::NAN)); // same-sign NaN equal
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let x: OrdF64 = 7.25.into();
+        let y: f64 = x.into();
+        assert_eq!(y, 7.25);
+        assert_eq!(OrdF64::new(1.5).get(), 1.5);
+        assert_eq!(OrdF64::default().get(), 0.0);
+    }
+
+    #[test]
+    fn display_matches_f64() {
+        assert_eq!(OrdF64(3.5).to_string(), "3.5");
+    }
+}

@@ -1,0 +1,153 @@
+//! Optional `serde` support (`--features serde`).
+//!
+//! A sketch serializes to a plain data representation (policy, geometry,
+//! counters, per-level buffers). As with the [`crate::binary`] format, the
+//! RNG's in-flight state is replaced by the original seed on deserialization;
+//! any coin sequence satisfies the paper's guarantees, so this only changes
+//! *which* valid random execution continues after a round-trip.
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::compactor::{RankAccuracy, RelativeCompactor};
+use crate::params::ParamPolicy;
+use crate::schedule::CompactionState;
+use crate::sketch::ReqSketch;
+
+#[derive(Serialize, Deserialize)]
+#[serde(rename = "ParamPolicy")]
+enum PolicyRepr {
+    Mergeable { eps: f64, delta: f64, scale: f64 },
+    Streaming { eps: f64, delta: f64, n: u64 },
+    SmallDelta { eps: f64, delta: f64, n: u64 },
+    Deterministic { eps: f64, n: u64 },
+    FixedK { k: u32 },
+}
+
+impl From<ParamPolicy> for PolicyRepr {
+    fn from(p: ParamPolicy) -> Self {
+        match p {
+            ParamPolicy::Mergeable { eps, delta, scale } => {
+                PolicyRepr::Mergeable { eps, delta, scale }
+            }
+            ParamPolicy::Streaming { eps, delta, n } => PolicyRepr::Streaming { eps, delta, n },
+            ParamPolicy::SmallDelta { eps, delta, n } => PolicyRepr::SmallDelta { eps, delta, n },
+            ParamPolicy::Deterministic { eps, n } => PolicyRepr::Deterministic { eps, n },
+            ParamPolicy::FixedK { k } => PolicyRepr::FixedK { k },
+        }
+    }
+}
+
+impl From<PolicyRepr> for ParamPolicy {
+    fn from(p: PolicyRepr) -> Self {
+        match p {
+            PolicyRepr::Mergeable { eps, delta, scale } => {
+                ParamPolicy::Mergeable { eps, delta, scale }
+            }
+            PolicyRepr::Streaming { eps, delta, n } => ParamPolicy::Streaming { eps, delta, n },
+            PolicyRepr::SmallDelta { eps, delta, n } => ParamPolicy::SmallDelta { eps, delta, n },
+            PolicyRepr::Deterministic { eps, n } => ParamPolicy::Deterministic { eps, n },
+            PolicyRepr::FixedK { k } => ParamPolicy::FixedK { k },
+        }
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct LevelRepr<T> {
+    state: u64,
+    num_compactions: u64,
+    num_special_compactions: u64,
+    items: Vec<T>,
+}
+
+#[derive(Serialize, Deserialize)]
+#[serde(rename = "ReqSketch")]
+struct SketchRepr<T> {
+    policy: PolicyRepr,
+    high_rank_accuracy: bool,
+    n: u64,
+    max_n: u64,
+    k: u32,
+    num_sections: u32,
+    min_item: Option<T>,
+    max_item: Option<T>,
+    seed: u64,
+    levels: Vec<LevelRepr<T>>,
+}
+
+impl<T: Ord + Clone + Serialize> Serialize for ReqSketch<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let repr = SketchRepr {
+            policy: self.policy().into(),
+            high_rank_accuracy: self.rank_accuracy() == RankAccuracy::HighRank,
+            n: self.len_raw(),
+            max_n: self.max_n(),
+            k: self.k(),
+            num_sections: self.num_sections(),
+            min_item: self.min_item().cloned(),
+            max_item: self.max_item().cloned(),
+            seed: self.seed(),
+            levels: self
+                .levels
+                .iter()
+                .map(|l| LevelRepr {
+                    state: l.state().raw(),
+                    num_compactions: l.num_compactions(),
+                    num_special_compactions: l.num_special_compactions(),
+                    items: l.items().to_vec(),
+                })
+                .collect(),
+        };
+        repr.serialize(serializer)
+    }
+}
+
+impl<'de, T: Ord + Clone + DeserializeOwned> Deserialize<'de> for ReqSketch<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = SketchRepr::<T>::deserialize(deserializer)?;
+        if repr.k < 4 || repr.k % 2 != 0 || repr.num_sections == 0 {
+            return Err(serde::de::Error::custom(format!(
+                "invalid sketch geometry k={} sections={}",
+                repr.k, repr.num_sections
+            )));
+        }
+        let accuracy = if repr.high_rank_accuracy {
+            RankAccuracy::HighRank
+        } else {
+            RankAccuracy::LowRank
+        };
+        let levels = repr
+            .levels
+            .into_iter()
+            .map(|l| {
+                RelativeCompactor::from_parts(
+                    repr.k,
+                    repr.num_sections,
+                    l.items,
+                    CompactionState::from_raw(l.state),
+                    l.num_compactions,
+                    l.num_special_compactions,
+                )
+            })
+            .collect();
+        Ok(ReqSketch::from_parts(
+            repr.policy.into(),
+            accuracy,
+            levels,
+            repr.n,
+            repr.max_n,
+            repr.k,
+            repr.num_sections,
+            repr.min_item,
+            repr.max_item,
+            repr.seed,
+        ))
+    }
+}
+
+impl<T: Ord + Clone> ReqSketch<T> {
+    /// `n` without going through the trait (internal serde helper).
+    fn len_raw(&self) -> u64 {
+        self.n
+    }
+}

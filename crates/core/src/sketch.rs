@@ -1,0 +1,665 @@
+//! The full REQ sketch (paper §2.2, Algorithm 2 "KLL-relative").
+//!
+//! The sketch is a stack of [relative-compactors](crate::compactor): the
+//! output stream of the level-`h` compactor feeds level `h+1`, and an item
+//! retained at level `h` carries weight `2^h`. Rank estimation sums the
+//! weights of retained items `≤ y` (`Estimate-Rank` in Algorithm 2).
+//!
+//! Stream-length handling follows the paper's most general machinery
+//! (Appendix D + footnote 9): the sketch keeps a current length estimate `N`;
+//! when `n` outgrows it, every non-top level undergoes a *special compaction*,
+//! `N` is squared (`Nᵢ₊₁ = Nᵢ²`, §5), and `k`/`B` are recomputed from the
+//! parameter policy. Single-item updates are the "trivial merge" of Appendix
+//! D, so one code path backs both streaming and merging, and Theorem 36's
+//! guarantee applies to any interleaving of the two.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sketch_traits::{MergeableSketch, QuantileSketch, SpaceUsage};
+
+use crate::compactor::{RankAccuracy, RelativeCompactor};
+use crate::error::ReqError;
+use crate::params::{ParamPolicy, Params};
+use crate::view::SortedView;
+
+/// The Relative Error Quantiles sketch of Cormode, Karnin, Liberty, Thaler
+/// and Veselý (PODS 2021).
+///
+/// * **Guarantee** (Theorems 1 and 3): for any fixed item `y`, with
+///   probability at least `1 − δ`, `|R̂(y) − R(y)| ≤ ε·R(y)` (low-rank
+///   orientation) or `≤ ε·(n − R(y) + 1)` (high-rank orientation).
+/// * **Space**: `O(ε⁻¹·log^1.5(εn)·√log(1/δ))` retained items.
+/// * **Fully mergeable**: arbitrary merge trees preserve the guarantee.
+///
+/// # Example
+/// ```
+/// use req_core::{ReqSketch, RankAccuracy};
+/// use sketch_traits::QuantileSketch;
+///
+/// let mut sketch = ReqSketch::<u64>::builder()
+///     .k(12)
+///     .rank_accuracy(RankAccuracy::HighRank)
+///     .seed(7)
+///     .build()
+///     .unwrap();
+/// for i in 0..100_000u64 {
+///     sketch.update(i);
+/// }
+/// let p99 = sketch.quantile(0.99).unwrap();
+/// assert!((p99 as f64 - 99_000.0).abs() < 2_000.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReqSketch<T> {
+    pub(crate) policy: ParamPolicy,
+    pub(crate) accuracy: RankAccuracy,
+    pub(crate) levels: Vec<RelativeCompactor<T>>,
+    pub(crate) n: u64,
+    pub(crate) max_n: u64,
+    pub(crate) k: u32,
+    pub(crate) num_sections: u32,
+    pub(crate) min_item: Option<T>,
+    pub(crate) max_item: Option<T>,
+    pub(crate) rng: SmallRng,
+    pub(crate) seed: u64,
+}
+
+impl<T: Ord + Clone> ReqSketch<T> {
+    /// Start configuring a sketch. See [`crate::ReqSketchBuilder`].
+    pub fn builder() -> crate::builder::ReqSketchBuilder {
+        crate::builder::ReqSketchBuilder::new()
+    }
+
+    /// Build with an explicit policy, orientation, and RNG seed.
+    pub fn with_policy(policy: ParamPolicy, accuracy: RankAccuracy, seed: u64) -> Self {
+        let max_n = policy.initial_max_n();
+        let Params { k, num_sections } = policy.params_for(max_n);
+        ReqSketch {
+            policy,
+            accuracy,
+            levels: Vec::new(),
+            n: 0,
+            max_n,
+            k,
+            num_sections,
+            min_item: None,
+            max_item: None,
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// Construct deserialized state; `pub(crate)` glue for `binary`/`serde`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        policy: ParamPolicy,
+        accuracy: RankAccuracy,
+        levels: Vec<RelativeCompactor<T>>,
+        n: u64,
+        max_n: u64,
+        k: u32,
+        num_sections: u32,
+        min_item: Option<T>,
+        max_item: Option<T>,
+        seed: u64,
+    ) -> Self {
+        ReqSketch {
+            policy,
+            accuracy,
+            levels,
+            n,
+            max_n,
+            k,
+            num_sections,
+            min_item,
+            max_item,
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The configured parameter policy.
+    pub fn policy(&self) -> ParamPolicy {
+        self.policy
+    }
+
+    /// Which end of the rank axis carries the multiplicative guarantee.
+    pub fn rank_accuracy(&self) -> RankAccuracy {
+        self.accuracy
+    }
+
+    /// Current section size `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Current per-level section count.
+    pub fn num_sections(&self) -> u32 {
+        self.num_sections
+    }
+
+    /// Current per-level buffer capacity `B = 2·k·s`.
+    pub fn level_capacity(&self) -> usize {
+        2 * self.k as usize * self.num_sections as usize
+    }
+
+    /// Number of levels (relative-compactors) currently allocated.
+    ///
+    /// Observation 13 bounds this by `⌈log₂(n/B)⌉ + 1`.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Current stream-length estimate `N` (`n ≤ N` always).
+    pub fn max_n(&self) -> u64 {
+        self.max_n
+    }
+
+    /// The RNG seed this sketch was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Smallest item seen (exact, tracked outside the compactors).
+    pub fn min_item(&self) -> Option<&T> {
+        self.min_item.as_ref()
+    }
+
+    /// Largest item seen (exact).
+    pub fn max_item(&self) -> Option<&T> {
+        self.max_item.as_ref()
+    }
+
+    /// Total weight of retained items, `Σ_h 2^h·|buf_h|`.
+    ///
+    /// Equals `n` exactly for a purely streamed sketch; odd-sized merge
+    /// compactions may drift it by ±1 each (`weight_drift`).
+    pub fn total_weight(&self) -> u64 {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(h, l)| (l.len() as u64) << h)
+            .sum()
+    }
+
+    /// `total_weight() − n`: the signed drift introduced by odd-sized
+    /// compactions during merges. Zero for purely streamed sketches.
+    pub fn weight_drift(&self) -> i64 {
+        self.total_weight() as i64 - self.n as i64
+    }
+
+    /// Estimated exclusive rank `|{x < y}|`.
+    pub fn rank_exclusive(&self, y: &T) -> u64 {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(h, l)| (l.count_lt(y) as u64) << h)
+            .sum()
+    }
+
+    /// Build a sorted weighted snapshot for batched queries
+    /// (`O(retained·log retained)` once, `O(log retained)` per query).
+    pub fn sorted_view(&self) -> SortedView<T> {
+        SortedView::from_levels(&self.levels)
+    }
+
+    /// Structural statistics (per-level fill, schedule states, sizes).
+    pub fn stats(&self) -> crate::stats::SketchStats {
+        crate::stats::SketchStats::collect(self)
+    }
+
+    /// Merge, returning an error (instead of panicking) on incompatible
+    /// sketches. See [`MergeableSketch::merge`] for the panicking version.
+    pub fn try_merge(&mut self, other: Self) -> Result<(), ReqError> {
+        crate::merge::merge_into(self, other)
+    }
+
+    pub(crate) fn ensure_level(&mut self, h: usize) {
+        while self.levels.len() <= h {
+            self.levels
+                .push(RelativeCompactor::new(self.k, self.num_sections));
+        }
+    }
+
+    /// Apply the current `(k, num_sections)` to every level.
+    pub(crate) fn apply_params_to_levels(&mut self) {
+        let (k, s) = (self.k, self.num_sections);
+        for level in &mut self.levels {
+            level.set_params(k, s);
+        }
+    }
+
+    /// Special-compact every level below the top (Algorithm 3,
+    /// `SpecialCompaction`): each is left with at most `B/2` items.
+    pub(crate) fn special_compact_levels(&mut self) {
+        if self.levels.len() < 2 {
+            return;
+        }
+        let top = self.levels.len() - 1;
+        for h in 0..top {
+            let coin = self.rng.gen::<bool>();
+            let accuracy = self.accuracy;
+            let (lo, hi) = self.levels.split_at_mut(h + 1);
+            lo[h].compact_special(accuracy, coin, hi[0].buf_mut());
+        }
+    }
+
+    /// Grow the stream-length estimate to cover `target_n`
+    /// (§5 / Algorithm 3 lines 4–7): special-compact, square `N` (repeatedly,
+    /// for merge jumps), recompute `k`/`B`.
+    pub(crate) fn grow_to_cover(&mut self, target_n: u64) {
+        debug_assert!(self.max_n < target_n);
+        self.special_compact_levels();
+        while self.max_n < target_n {
+            self.max_n = self.policy.next_max_n(self.max_n);
+        }
+        let Params { k, num_sections } = self.policy.params_for(self.max_n);
+        self.k = k;
+        self.num_sections = num_sections;
+        self.apply_params_to_levels();
+        // Special-compaction output can leave a level (including the former
+        // top) at or above its new capacity; normalize with one batch pass.
+        self.merge_compaction_pass();
+    }
+
+    /// Insert compaction output into level `h` one item at a time — the
+    /// `Insert(z, h+1)` recursion of Algorithm 2. This guarantees that every
+    /// streaming compaction fires with the buffer at exactly `B` items, so
+    /// the compacted count is exactly `L` (even) and weight is conserved.
+    pub(crate) fn propagate(&mut self, h: usize, items: Vec<T>) {
+        self.ensure_level(h);
+        for item in items {
+            self.levels[h].push(item);
+            if self.levels[h].is_at_capacity() {
+                let coin = self.rng.gen::<bool>();
+                let accuracy = self.accuracy;
+                let mut out = Vec::new();
+                self.levels[h].compact_scheduled(accuracy, coin, &mut out);
+                self.propagate(h + 1, out);
+            }
+        }
+    }
+
+    /// One bottom-up pass compacting every at-capacity level
+    /// (Algorithm 3 lines 22–24): at most one scheduled compaction per level,
+    /// used after merges and parameter growth where buffers can transiently
+    /// exceed `B`.
+    pub(crate) fn merge_compaction_pass(&mut self) {
+        let mut h = 0;
+        while h < self.levels.len() {
+            if self.levels[h].is_at_capacity() {
+                self.ensure_level(h + 1);
+                let coin = self.rng.gen::<bool>();
+                let accuracy = self.accuracy;
+                let (lo, hi) = self.levels.split_at_mut(h + 1);
+                lo[h].compact_scheduled(accuracy, coin, hi[0].buf_mut());
+            }
+            h += 1;
+        }
+    }
+
+    pub(crate) fn track_min_max(&mut self, item: &T) {
+        match &self.min_item {
+            Some(m) if item >= m => {}
+            _ => self.min_item = Some(item.clone()),
+        }
+        match &self.max_item {
+            Some(m) if item <= m => {}
+            _ => self.max_item = Some(item.clone()),
+        }
+    }
+
+    pub(crate) fn merge_min_max(&mut self, other_min: Option<T>, other_max: Option<T>) {
+        if let Some(m) = other_min {
+            self.track_min_max(&m);
+        }
+        if let Some(m) = other_max {
+            self.track_min_max(&m);
+        }
+    }
+
+}
+
+impl<T: Ord + Clone> QuantileSketch<T> for ReqSketch<T> {
+    fn update(&mut self, item: T) {
+        self.track_min_max(&item);
+        self.n += 1;
+        if self.n > self.max_n {
+            self.grow_to_cover(self.n);
+        }
+        self.ensure_level(0);
+        self.levels[0].push(item);
+        if self.levels[0].is_at_capacity() {
+            let coin = self.rng.gen::<bool>();
+            let accuracy = self.accuracy;
+            let mut out = Vec::new();
+            self.levels[0].compact_scheduled(accuracy, coin, &mut out);
+            self.propagate(1, out);
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// `Estimate-Rank(y)` from Algorithm 2: `Σ_h 2^h · |{x ∈ buf_h : x ≤ y}|`.
+    fn rank(&self, y: &T) -> u64 {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(h, l)| (l.count_le(y) as u64) << h)
+            .sum()
+    }
+
+    /// Builds a [`SortedView`] per call; use [`ReqSketch::sorted_view`] for
+    /// batches of queries. The endpoints `q = 0` and `q = 1` return the
+    /// exactly tracked minimum/maximum (which may have been compacted out of
+    /// the retained set in the unprotected orientation).
+    fn quantile(&self, q: f64) -> Option<T> {
+        if q.is_nan() || q <= 0.0 {
+            return self.min_item.clone();
+        }
+        if q >= 1.0 {
+            return self.max_item.clone();
+        }
+        self.sorted_view().quantile(q).cloned()
+    }
+}
+
+impl<T: Ord + Clone> MergeableSketch for ReqSketch<T> {
+    /// Merge per Algorithm 3.
+    ///
+    /// # Panics
+    /// If the sketches have different parameter policies or orientations;
+    /// use [`ReqSketch::try_merge`] for a fallible version.
+    fn merge(&mut self, other: Self) {
+        self.try_merge(other).expect("incompatible sketches");
+    }
+}
+
+impl<T> SpaceUsage for ReqSketch<T> {
+    fn retained(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+
+    fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.levels.iter().map(|l| l.size_bytes()).sum::<usize>()
+    }
+}
+
+impl<T: Ord + Clone> Default for ReqSketch<T> {
+    /// DataSketches-style default: `k = 12`, high-rank accuracy, seeded from
+    /// the global RNG.
+    fn default() -> Self {
+        ReqSketch::<T>::builder()
+            .build()
+            .expect("default parameters are valid")
+    }
+}
+
+/// REQ sketch over `f64` values via the total-order wrapper.
+pub type ReqF64 = ReqSketch<crate::ordf64::OrdF64>;
+
+impl ReqF64 {
+    /// Update with a raw `f64`.
+    pub fn update_f64(&mut self, value: f64) {
+        self.update(crate::ordf64::OrdF64(value));
+    }
+
+    /// Estimated inclusive rank of a raw `f64`.
+    pub fn rank_f64(&self, value: f64) -> u64 {
+        self.rank(&crate::ordf64::OrdF64(value))
+    }
+
+    /// Quantile as a raw `f64`.
+    pub fn quantile_f64(&self, q: f64) -> Option<f64> {
+        self.quantile(q).map(|v| v.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_k_sketch(k: u32, acc: RankAccuracy) -> ReqSketch<u64> {
+        ReqSketch::with_policy(ParamPolicy::fixed_k(k).unwrap(), acc, 42)
+    }
+
+    #[test]
+    fn empty_sketch_queries() {
+        let s = fixed_k_sketch(12, RankAccuracy::LowRank);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.rank(&5), 0);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.min_item(), None);
+        assert_eq!(s.max_item(), None);
+        assert_eq!(s.retained(), 0);
+        assert_eq!(s.total_weight(), 0);
+    }
+
+    #[test]
+    fn small_stream_is_exact() {
+        // While everything fits in level 0, ranks are exact.
+        let mut s = fixed_k_sketch(12, RankAccuracy::LowRank);
+        for i in 1..=50u64 {
+            s.update(i);
+        }
+        assert_eq!(s.num_levels(), 1);
+        for y in 0..=60u64 {
+            assert_eq!(s.rank(&y), y.clamp(0, 50));
+        }
+    }
+
+    #[test]
+    fn rank_is_monotone_and_bounded() {
+        let mut s = fixed_k_sketch(8, RankAccuracy::LowRank);
+        for i in 0..100_000u64 {
+            s.update(i * 7919 % 100_000);
+        }
+        let mut prev = 0;
+        for y in (0..100_000u64).step_by(997) {
+            let r = s.rank(&y);
+            assert!(r >= prev, "rank not monotone at {y}");
+            prev = r;
+        }
+        assert!(s.rank(&u64::MAX) == s.total_weight());
+    }
+
+    #[test]
+    fn total_weight_equals_n_for_streaming() {
+        // Streaming compactions always compact an even count, so weight is
+        // conserved exactly (Observation 4 bookkeeping).
+        for acc in [RankAccuracy::LowRank, RankAccuracy::HighRank] {
+            let mut s = fixed_k_sketch(12, acc);
+            for i in 0..250_000u64 {
+                s.update(i ^ 0xABCD);
+            }
+            assert_eq!(s.total_weight(), 250_000);
+            assert_eq!(s.weight_drift(), 0);
+        }
+    }
+
+    #[test]
+    fn min_max_are_exact() {
+        let mut s = fixed_k_sketch(8, RankAccuracy::HighRank);
+        let items = [5u64, 900, 3, 1000, 77, 3, 999];
+        for &x in &items {
+            s.update(x);
+        }
+        assert_eq!(s.min_item(), Some(&3));
+        assert_eq!(s.max_item(), Some(&1000));
+    }
+
+    #[test]
+    fn levels_grow_logarithmically() {
+        let mut s = fixed_k_sketch(12, RankAccuracy::LowRank);
+        for i in 0..1_000_000u64 {
+            s.update(i);
+        }
+        // Observation 13: #levels <= ceil(log2(n/B)) + 1.
+        let b = s.level_capacity() as f64;
+        let bound = ((1_000_000.0 / b).log2().ceil() as usize) + 1;
+        assert!(
+            s.num_levels() <= bound,
+            "levels {} exceed Observation 13 bound {}",
+            s.num_levels(),
+            bound
+        );
+        assert!(s.num_levels() >= 2);
+    }
+
+    #[test]
+    fn space_is_sublinear() {
+        let mut s = fixed_k_sketch(12, RankAccuracy::LowRank);
+        for i in 0..1_000_000u64 {
+            s.update(i);
+        }
+        assert!(s.retained() < 20_000, "retained = {}", s.retained());
+        assert!(s.size_bytes() < 1 << 20);
+    }
+
+    #[test]
+    fn max_n_squares_when_exceeded() {
+        let mut s = fixed_k_sketch(4, RankAccuracy::LowRank);
+        let n0 = s.max_n();
+        assert_eq!(n0, 32); // FixedK initial estimate 8k
+        for i in 0..(n0 + 1) {
+            s.update(i);
+        }
+        assert_eq!(s.max_n(), n0 * n0);
+        // Section count grew with the estimate.
+        assert!(s.num_sections() >= 3);
+    }
+
+    #[test]
+    fn streaming_accuracy_low_rank_uniform() {
+        // Statistical smoke test with a generous margin: k=32 on 2^17 items.
+        let mut s = fixed_k_sketch(32, RankAccuracy::LowRank);
+        let n = 1u64 << 17;
+        // pseudo-random permutation of 0..n via multiplication by odd const
+        for i in 0..n {
+            s.update((i.wrapping_mul(2654435761)) % n);
+        }
+        // true rank of y in {perm values} = y+1 ranks... the multiset is a
+        // permutation of 0..n, so R(y) = y+1 for y in range.
+        for y in [10u64, 100, 1000, 10_000, 100_000] {
+            let r_true = (y + 1).min(n);
+            let r_est = s.rank(&y);
+            let rel = (r_est as f64 - r_true as f64).abs() / r_true as f64;
+            assert!(
+                rel < 0.35,
+                "rank({y}) = {r_est}, true {r_true}, rel err {rel:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn high_rank_mode_is_accurate_at_the_top() {
+        let mut s = fixed_k_sketch(32, RankAccuracy::HighRank);
+        let n = 1u64 << 17;
+        for i in 0..n {
+            s.update((i.wrapping_mul(2654435761)) % n);
+        }
+        for y in [n - 10, n - 100, n - 1000, n - 10_000] {
+            let r_true = y + 1;
+            let r_est = s.rank(&y);
+            let tail_true = n - r_true + 1;
+            let err = (r_est as f64 - r_true as f64).abs();
+            assert!(
+                err <= 0.35 * tail_true as f64 + 1.0,
+                "rank({y}) = {r_est}, true {r_true}, tail {tail_true}, err {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_endpoints_match_min_max_stream() {
+        let mut s = fixed_k_sketch(12, RankAccuracy::LowRank);
+        for i in 100..10_100u64 {
+            s.update(i);
+        }
+        // q=0 returns the smallest retained item; in LowRank mode the global
+        // minimum is protected at level 0, so it is exact.
+        assert_eq!(s.quantile(0.0), Some(100));
+        let q1 = s.quantile(1.0).unwrap();
+        assert!(q1 <= 10_099 && q1 > 9_000);
+    }
+
+    #[test]
+    fn quantile_endpoints_exact_even_when_unprotected() {
+        // HRA protects the top; the minimum may leave the retained set, but
+        // q=0 / q=1 answer from the exactly tracked extremes regardless.
+        let mut s = fixed_k_sketch(8, RankAccuracy::HighRank);
+        for i in 0..100_000u64 {
+            s.update(i);
+        }
+        assert_eq!(s.quantile(0.0), Some(0));
+        assert_eq!(s.quantile(1.0), Some(99_999));
+        assert_eq!(s.quantile(f64::NAN), Some(0));
+        assert_eq!(s.quantile(-3.0), Some(0));
+        assert_eq!(s.quantile(7.0), Some(99_999));
+    }
+
+    #[test]
+    fn exclusive_rank_relationship() {
+        let mut s = fixed_k_sketch(12, RankAccuracy::LowRank);
+        for x in [4u64, 4, 4, 9] {
+            s.update(x);
+        }
+        assert_eq!(s.rank(&4), 3);
+        assert_eq!(s.rank_exclusive(&4), 0);
+        assert_eq!(s.rank_exclusive(&9), 3);
+        assert_eq!(s.rank_exclusive(&10), 4);
+    }
+
+    #[test]
+    fn f64_sketch_roundtrip() {
+        let mut s = ReqF64::builder().k(16).seed(3).build_f64().unwrap();
+        for i in 0..10_000 {
+            s.update_f64(i as f64 / 100.0);
+        }
+        assert_eq!(s.len(), 10_000);
+        let med = s.quantile_f64(0.5).unwrap();
+        assert!((med - 50.0).abs() < 5.0, "median {med}");
+        let r = s.rank_f64(25.0);
+        assert!((r as f64 - 2_500.0).abs() < 250.0);
+    }
+
+    #[test]
+    fn default_is_usable() {
+        let mut s: ReqSketch<u64> = ReqSketch::default();
+        for i in 0..1000 {
+            s.update(i);
+        }
+        assert_eq!(s.len(), 1000);
+        assert!(s.quantile(0.5).is_some());
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = fixed_k_sketch(12, RankAccuracy::LowRank);
+        for i in 0..5000u64 {
+            a.update(i);
+        }
+        let b = a.clone();
+        for i in 5000..10_000u64 {
+            a.update(i);
+        }
+        assert_eq!(b.len(), 5000);
+        assert_eq!(a.len(), 10_000);
+        assert_eq!(b.total_weight(), 5000);
+    }
+
+    #[test]
+    fn sorted_view_matches_direct_rank() {
+        let mut s = fixed_k_sketch(8, RankAccuracy::LowRank);
+        for i in 0..50_000u64 {
+            s.update(i.wrapping_mul(48271) % 50_000);
+        }
+        let view = s.sorted_view();
+        assert_eq!(view.total_weight(), s.total_weight());
+        for y in (0..50_000u64).step_by(1777) {
+            assert_eq!(view.rank(&y), s.rank(&y), "view/direct mismatch at {y}");
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Structural introspection of a sketch (per-level fill, schedule states,
+//! size accounting) — used by the experiment harness and handy for debugging
+//! production deployments.
+
+use std::fmt;
+
+use sketch_traits::SpaceUsage;
+
+use crate::sketch::ReqSketch;
+
+/// Snapshot of one level's structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Level index (weight of retained items is `2^level`).
+    pub level: usize,
+    /// Items currently buffered.
+    pub len: usize,
+    /// Buffer capacity `B`.
+    pub capacity: usize,
+    /// Section size `k`.
+    pub section_size: u32,
+    /// Number of sections in the compactable half.
+    pub num_sections: u32,
+    /// Raw schedule state `C`.
+    pub state: u64,
+    /// Scheduled compactions performed by this buffer (summed over merges).
+    pub num_compactions: u64,
+    /// Special compactions performed (growth/merge reconciliation).
+    pub num_special_compactions: u64,
+}
+
+/// Whole-sketch structural statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchStats {
+    /// Stream length `n`.
+    pub n: u64,
+    /// Current stream-length estimate `N`.
+    pub max_n: u64,
+    /// Total retained items (the paper's space measure).
+    pub retained: usize,
+    /// Estimated heap bytes.
+    pub size_bytes: usize,
+    /// Total weight `Σ 2^h·|buf_h|`.
+    pub total_weight: u64,
+    /// Signed difference `total_weight − n` (odd merge compactions).
+    pub weight_drift: i64,
+    /// Per-level details, level 0 first.
+    pub levels: Vec<LevelStats>,
+}
+
+impl SketchStats {
+    pub(crate) fn collect<T: Ord + Clone>(sketch: &ReqSketch<T>) -> Self {
+        let levels = sketch
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(h, l)| LevelStats {
+                level: h,
+                len: l.len(),
+                capacity: l.capacity(),
+                section_size: l.section_size(),
+                num_sections: l.num_sections(),
+                state: l.state().raw(),
+                num_compactions: l.num_compactions(),
+                num_special_compactions: l.num_special_compactions(),
+            })
+            .collect();
+        SketchStats {
+            n: sketch.n,
+            max_n: sketch.max_n(),
+            retained: sketch.retained(),
+            size_bytes: sketch.size_bytes(),
+            total_weight: sketch.total_weight(),
+            weight_drift: sketch.weight_drift(),
+            levels,
+        }
+    }
+
+    /// Total scheduled compactions across all levels.
+    pub fn total_compactions(&self) -> u64 {
+        self.levels.iter().map(|l| l.num_compactions).sum()
+    }
+
+    /// Total special compactions across all levels.
+    pub fn total_special_compactions(&self) -> u64 {
+        self.levels.iter().map(|l| l.num_special_compactions).sum()
+    }
+}
+
+impl fmt::Display for SketchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ReqSketch: n={} N={} retained={} bytes={} weight_drift={}",
+            self.n, self.max_n, self.retained, self.size_bytes, self.weight_drift
+        )?;
+        writeln!(
+            f,
+            "{:>5} {:>8} {:>8} {:>6} {:>9} {:>12} {:>10} {:>8}",
+            "level", "len", "cap", "k", "sections", "state", "compacts", "special"
+        )?;
+        for l in &self.levels {
+            writeln!(
+                f,
+                "{:>5} {:>8} {:>8} {:>6} {:>9} {:>12} {:>10} {:>8}",
+                l.level,
+                l.len,
+                l.capacity,
+                l.section_size,
+                l.num_sections,
+                l.state,
+                l.num_compactions,
+                l.num_special_compactions
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compactor::RankAccuracy;
+    use crate::params::ParamPolicy;
+    use sketch_traits::QuantileSketch;
+
+    fn sketch_with_data(n: u64) -> ReqSketch<u64> {
+        let mut s = ReqSketch::with_policy(
+            ParamPolicy::fixed_k(8).unwrap(),
+            RankAccuracy::LowRank,
+            1,
+        );
+        for i in 0..n {
+            s.update(i);
+        }
+        s
+    }
+
+    #[test]
+    fn stats_match_sketch_accessors() {
+        let s = sketch_with_data(100_000);
+        let stats = s.stats();
+        assert_eq!(stats.n, 100_000);
+        assert_eq!(stats.retained, sketch_traits::SpaceUsage::retained(&s));
+        assert_eq!(stats.total_weight, s.total_weight());
+        assert_eq!(stats.weight_drift, 0);
+        assert_eq!(stats.levels.len(), s.num_levels());
+        assert!(stats.total_compactions() > 0);
+    }
+
+    #[test]
+    fn level_invariants_hold() {
+        let s = sketch_with_data(500_000);
+        let stats = s.stats();
+        for l in &stats.levels {
+            assert!(l.len <= l.capacity, "level {} over capacity", l.level);
+            assert_eq!(l.capacity, 2 * l.section_size as usize * l.num_sections as usize);
+        }
+        // level 0 has performed the most compactions
+        assert!(stats.levels[0].num_compactions >= stats.levels.last().unwrap().num_compactions);
+    }
+
+    #[test]
+    fn display_renders_one_row_per_level() {
+        let s = sketch_with_data(50_000);
+        let text = s.stats().to_string();
+        assert!(text.contains("ReqSketch: n=50000"));
+        let rows = text.lines().count();
+        assert_eq!(rows, 2 + s.num_levels());
+    }
+
+    #[test]
+    fn special_compactions_counted_on_growth() {
+        // FixedK k=8: N0 = 64; growing past it forces special compactions
+        // once at least two levels exist.
+        let s = sketch_with_data(100_000);
+        let stats = s.stats();
+        assert!(stats.total_special_compactions() > 0);
+    }
+}

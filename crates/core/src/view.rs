@@ -1,0 +1,264 @@
+//! Sorted weighted view of a sketch (the paper's weighted coreset `C`).
+//!
+//! Rank estimation (Algorithm 2, `Estimate-Rank`) treats the union of all
+//! level buffers as a weighted set in which a level-`h` item has weight
+//! `2^h`. This module materializes that set once, sorted, with cumulative
+//! weights, so that batches of rank/quantile/CDF queries cost one
+//! `O(retained·log(retained))` build plus `O(log(retained))` per query.
+
+use crate::compactor::RelativeCompactor;
+
+/// An immutable, sorted, cumulative-weight snapshot of a sketch.
+#[derive(Debug, Clone)]
+pub struct SortedView<T> {
+    /// Distinct items ascending; equal items coalesced with summed weights.
+    entries: Vec<(T, u64)>,
+    /// `cum[i]` = total weight of `entries[..=i]`.
+    cum: Vec<u64>,
+    total: u64,
+}
+
+impl<T: Ord + Clone> SortedView<T> {
+    pub(crate) fn from_levels(levels: &[RelativeCompactor<T>]) -> Self {
+        let retained: usize = levels.iter().map(|l| l.len()).sum();
+        let mut raw: Vec<(T, u64)> = Vec::with_capacity(retained);
+        for (h, level) in levels.iter().enumerate() {
+            let w = 1u64 << h;
+            raw.extend(level.items().iter().map(|item| (item.clone(), w)));
+        }
+        raw.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+
+        let mut entries: Vec<(T, u64)> = Vec::with_capacity(raw.len());
+        for (item, w) in raw {
+            match entries.last_mut() {
+                Some((last, lw)) if *last == item => *lw += w,
+                _ => entries.push((item, w)),
+            }
+        }
+        let mut cum = Vec::with_capacity(entries.len());
+        let mut running = 0u64;
+        for (_, w) in &entries {
+            running += w;
+            cum.push(running);
+        }
+        SortedView {
+            entries,
+            cum,
+            total: running,
+        }
+    }
+
+    /// Build directly from `(item, weight)` pairs — used by the §5 growing
+    /// sketch to combine several summaries into one query view, and by
+    /// baseline sketches that need the same weighted-coreset query logic.
+    pub fn from_weighted_items(mut raw: Vec<(T, u64)>) -> Self {
+        raw.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut entries: Vec<(T, u64)> = Vec::with_capacity(raw.len());
+        for (item, w) in raw {
+            match entries.last_mut() {
+                Some((last, lw)) if *last == item => *lw += w,
+                _ => entries.push((item, w)),
+            }
+        }
+        let mut cum = Vec::with_capacity(entries.len());
+        let mut running = 0u64;
+        for (_, w) in &entries {
+            running += w;
+            cum.push(running);
+        }
+        SortedView {
+            entries,
+            cum,
+            total: running,
+        }
+    }
+
+    /// Total weight (≈ `n`; exactly `n` unless odd-sized merge compactions
+    /// introduced ±1 weight drift — see DESIGN.md).
+    pub fn total_weight(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct retained items.
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the view holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Estimated inclusive rank: total weight of items `≤ y`.
+    pub fn rank(&self, y: &T) -> u64 {
+        // partition_point gives the count of entries with item <= y.
+        let idx = self.entries.partition_point(|(item, _)| item <= y);
+        if idx == 0 {
+            0
+        } else {
+            self.cum[idx - 1]
+        }
+    }
+
+    /// Estimated exclusive rank: total weight of items `< y`.
+    pub fn rank_exclusive(&self, y: &T) -> u64 {
+        let idx = self.entries.partition_point(|(item, _)| item < y);
+        if idx == 0 {
+            0
+        } else {
+            self.cum[idx - 1]
+        }
+    }
+
+    /// Estimated normalized rank in `[0, 1]`.
+    pub fn normalized_rank(&self, y: &T) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.rank(y) as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest retained item whose cumulative weight reaches `⌈q·W⌉`
+    /// (`q` clamped to `[0,1]`, target at least 1). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<&T> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let idx = self.cum.partition_point(|&c| c < target);
+        Some(&self.entries[idx.min(self.entries.len() - 1)].0)
+    }
+
+    /// Normalized CDF at each split point (split points must be ascending).
+    pub fn cdf(&self, split_points: &[T]) -> Vec<f64> {
+        debug_assert!(split_points.windows(2).all(|w| w[0] <= w[1]));
+        split_points
+            .iter()
+            .map(|s| self.normalized_rank(s))
+            .collect()
+    }
+
+    /// Normalized PMF over the `m+1` intervals
+    /// `(-∞, s₀], (s₀, s₁], …, (s_{m−1}, +∞)` for ascending splits.
+    pub fn pmf(&self, split_points: &[T]) -> Vec<f64> {
+        debug_assert!(split_points.windows(2).all(|w| w[0] <= w[1]));
+        if self.total == 0 {
+            return vec![0.0; split_points.len() + 1];
+        }
+        let mut out = Vec::with_capacity(split_points.len() + 1);
+        let mut prev = 0u64;
+        for s in split_points {
+            let r = self.rank(s);
+            out.push(r.saturating_sub(prev) as f64 / self.total as f64);
+            prev = r;
+        }
+        out.push((self.total - prev) as f64 / self.total as f64);
+        out
+    }
+
+    /// Iterate `(item, weight, cumulative_weight)` ascending.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, u64, u64)> {
+        self.entries
+            .iter()
+            .zip(self.cum.iter())
+            .map(|((item, w), c)| (item, *w, *c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view_of(items: Vec<(u64, u64)>) -> SortedView<u64> {
+        SortedView::from_weighted_items(items)
+    }
+
+    #[test]
+    fn coalesces_duplicates() {
+        let v = view_of(vec![(5, 1), (5, 2), (3, 1), (9, 4)]);
+        assert_eq!(v.num_entries(), 3);
+        assert_eq!(v.total_weight(), 8);
+        assert_eq!(v.rank(&5), 4); // 1 (item 3) + 3 (item 5)
+    }
+
+    #[test]
+    fn rank_inclusive_vs_exclusive() {
+        let v = view_of(vec![(1, 1), (2, 2), (3, 4)]);
+        assert_eq!(v.rank(&2), 3);
+        assert_eq!(v.rank_exclusive(&2), 1);
+        assert_eq!(v.rank(&0), 0);
+        assert_eq!(v.rank_exclusive(&0), 0);
+        assert_eq!(v.rank(&99), 7);
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_weights() {
+        let v = view_of(vec![(10, 1), (20, 1), (30, 1), (40, 1)]);
+        assert_eq!(v.quantile(0.0), Some(&10));
+        assert_eq!(v.quantile(0.25), Some(&10));
+        assert_eq!(v.quantile(0.26), Some(&20));
+        assert_eq!(v.quantile(0.5), Some(&20));
+        assert_eq!(v.quantile(0.75), Some(&30));
+        assert_eq!(v.quantile(1.0), Some(&40));
+        assert_eq!(v.quantile(2.0), Some(&40)); // clamped
+        assert_eq!(v.quantile(-1.0), Some(&10)); // clamped
+        assert_eq!(v.quantile(f64::NAN), Some(&10));
+    }
+
+    #[test]
+    fn quantile_respects_weights() {
+        let v = view_of(vec![(10, 1), (20, 97), (30, 2)]);
+        assert_eq!(v.quantile(0.5), Some(&20));
+        assert_eq!(v.quantile(0.99), Some(&30));
+        assert_eq!(v.quantile(0.98), Some(&20));
+    }
+
+    #[test]
+    fn empty_view_behaviour() {
+        let v: SortedView<u64> = view_of(vec![]);
+        assert!(v.is_empty());
+        assert_eq!(v.quantile(0.5), None);
+        assert_eq!(v.rank(&5), 0);
+        assert_eq!(v.normalized_rank(&5), 0.0);
+        assert_eq!(v.pmf(&[1, 2]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn cdf_and_pmf_are_consistent() {
+        let v = view_of(vec![(1, 2), (5, 3), (9, 5)]);
+        let splits = vec![0, 1, 5, 9, 12];
+        let cdf = v.cdf(&splits);
+        assert_eq!(cdf, vec![0.0, 0.2, 0.5, 1.0, 1.0]);
+        let pmf = v.pmf(&splits);
+        assert_eq!(pmf.len(), splits.len() + 1);
+        let sum: f64 = pmf.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // PMF buckets are the CDF increments.
+        assert_eq!(pmf[0], 0.0);
+        assert!((pmf[1] - 0.2).abs() < 1e-12);
+        assert!((pmf[2] - 0.3).abs() < 1e-12);
+        assert!((pmf[3] - 0.5).abs() < 1e-12);
+        assert_eq!(pmf[5], 0.0);
+    }
+
+    #[test]
+    fn iter_yields_ascending_with_cumulative() {
+        let v = view_of(vec![(9, 1), (1, 2), (5, 3)]);
+        let collected: Vec<(u64, u64, u64)> = v.iter().map(|(i, w, c)| (*i, w, c)).collect();
+        assert_eq!(collected, vec![(1, 2, 2), (5, 3, 5), (9, 1, 6)]);
+    }
+
+    #[test]
+    fn monotone_rank_property() {
+        let v = view_of(vec![(3, 5), (7, 1), (11, 9), (13, 2)]);
+        let mut prev = 0;
+        for y in 0..20u64 {
+            let r = v.rank(&y);
+            assert!(r >= prev);
+            prev = r;
+        }
+        assert_eq!(prev, v.total_weight());
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates experiment `e01_error_vs_rank` of EXPERIMENTS.md. Run with `--release`.
+fn main() {
+    let cfg = harness::experiments::e01_error_vs_rank::Config::default();
+    for table in harness::experiments::e01_error_vs_rank::run(&cfg) {
+        println!("{table}");
+    }
+}

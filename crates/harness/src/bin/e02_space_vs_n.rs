@@ -1,0 +1,7 @@
+//! Regenerates experiment `e02_space_vs_n` of EXPERIMENTS.md. Run with `--release`.
+fn main() {
+    let cfg = harness::experiments::e02_space_vs_n::Config::default();
+    for table in harness::experiments::e02_space_vs_n::run(&cfg) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates experiment `e03_space_vs_eps` of EXPERIMENTS.md. Run with `--release`.
+fn main() {
+    let cfg = harness::experiments::e03_space_vs_eps::Config::default();
+    for table in harness::experiments::e03_space_vs_eps::run(&cfg) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates experiment `e04_delta_dependence` of EXPERIMENTS.md. Run with `--release`.
+fn main() {
+    let cfg = harness::experiments::e04_delta_dependence::Config::default();
+    for table in harness::experiments::e04_delta_dependence::run(&cfg) {
+        println!("{table}");
+    }
+}

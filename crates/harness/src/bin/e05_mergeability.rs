@@ -1,0 +1,7 @@
+//! Regenerates experiment `e05_mergeability` of EXPERIMENTS.md. Run with `--release`.
+fn main() {
+    let cfg = harness::experiments::e05_mergeability::Config::default();
+    for table in harness::experiments::e05_mergeability::run(&cfg) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates experiment `e06_adversarial` of EXPERIMENTS.md. Run with `--release`.
+fn main() {
+    let cfg = harness::experiments::e06_adversarial::Config::default();
+    for table in harness::experiments::e06_adversarial::run(&cfg) {
+        println!("{table}");
+    }
+}

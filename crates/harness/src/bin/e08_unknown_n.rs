@@ -1,0 +1,7 @@
+//! Regenerates experiment `e08_unknown_n` of EXPERIMENTS.md. Run with `--release`.
+fn main() {
+    let cfg = harness::experiments::e08_unknown_n::Config::default();
+    for table in harness::experiments::e08_unknown_n::run(&cfg) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates experiment `e09_small_delta` of EXPERIMENTS.md. Run with `--release`.
+fn main() {
+    let cfg = harness::experiments::e09_small_delta::Config::default();
+    for table in harness::experiments::e09_small_delta::run(&cfg) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates experiment `e10_schedule_ablation` of EXPERIMENTS.md. Run with `--release`.
+fn main() {
+    let cfg = harness::experiments::e10_schedule_ablation::Config::default();
+    for table in harness::experiments::e10_schedule_ablation::run(&cfg) {
+        println!("{table}");
+    }
+}

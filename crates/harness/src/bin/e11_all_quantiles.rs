@@ -1,0 +1,7 @@
+//! Regenerates experiment `e11_all_quantiles` of EXPERIMENTS.md. Run with `--release`.
+fn main() {
+    let cfg = harness::experiments::e11_all_quantiles::Config::default();
+    for table in harness::experiments::e11_all_quantiles::run(&cfg) {
+        println!("{table}");
+    }
+}

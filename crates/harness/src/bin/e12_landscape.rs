@@ -1,0 +1,7 @@
+//! Regenerates experiment `e12_landscape` of EXPERIMENTS.md. Run with `--release`.
+fn main() {
+    let cfg = harness::experiments::e12_landscape::Config::default();
+    for table in harness::experiments::e12_landscape::run(&cfg) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates experiment `e13_k_calibration` of EXPERIMENTS.md. Run with `--release`.
+fn main() {
+    let cfg = harness::experiments::e13_k_calibration::Config::default();
+    for table in harness::experiments::e13_k_calibration::run(&cfg) {
+        println!("{table}");
+    }
+}

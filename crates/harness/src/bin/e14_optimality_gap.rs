@@ -1,0 +1,7 @@
+//! Regenerates experiment `e14_optimality_gap` of EXPERIMENTS.md. Run with `--release`.
+fn main() {
+    let cfg = harness::experiments::e14_optimality_gap::Config::default();
+    for table in harness::experiments::e14_optimality_gap::run(&cfg) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,106 @@
+//! **E2 — space grows as `ε⁻¹·log^1.5(εn)` (Theorem 1 / Theorem 36).**
+//!
+//! Sweep the stream length with the mergeable parameter policy and record
+//! retained items. The table's last column normalizes by the theorem's
+//! `ε⁻¹·log₂^1.5(εn)` — it should stay (roughly) constant while `n` spans
+//! three orders of magnitude, and the raw count should grow far slower than
+//! `n`.
+
+use req_core::{ParamPolicy, RankAccuracy, ReqSketch};
+use sketch_traits::{QuantileSketch, SpaceUsage};
+
+use crate::table::{fmt_f, Table};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Powers of two to sweep as stream lengths.
+    pub log2_ns: Vec<u32>,
+    /// Accuracy target.
+    pub eps: f64,
+    /// Failure probability.
+    pub delta: f64,
+    /// Constant multiplier on the paper's (pessimistic) k constants.
+    pub scale: f64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            log2_ns: vec![14, 16, 18, 20, 22, 24],
+            eps: 0.05,
+            delta: 0.05,
+            scale: 0.25,
+        }
+    }
+}
+
+/// Run E2.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut t = Table::new(
+        format!(
+            "E2 space vs n (mergeable policy, eps={}, delta={}, scale={})",
+            cfg.eps, cfg.delta, cfg.scale
+        ),
+        &[
+            "n",
+            "retained",
+            "levels",
+            "k",
+            "B",
+            "retained/n",
+            "retained/(eps^-1 log2^1.5(eps n))",
+        ],
+    );
+    for &log2n in &cfg.log2_ns {
+        let n = 1u64 << log2n;
+        let policy = ParamPolicy::mergeable_scaled(cfg.eps, cfg.delta, cfg.scale)
+            .expect("valid parameters");
+        let mut s = ReqSketch::<u64>::with_policy(policy, RankAccuracy::LowRank, log2n as u64);
+        for i in 0..n {
+            s.update(i.wrapping_mul(0x9E3779B97F4A7C15) >> 16);
+        }
+        let retained = s.retained();
+        let shape = (1.0 / cfg.eps) * (cfg.eps * n as f64).log2().powf(1.5);
+        t.row(vec![
+            n.to_string(),
+            retained.to_string(),
+            s.num_levels().to_string(),
+            s.k().to_string(),
+            s.level_capacity().to_string(),
+            fmt_f(retained as f64 / n as f64),
+            fmt_f(retained as f64 / shape),
+        ]);
+    }
+    t.note("Theorem 1/36 shape check: the last column should be near-constant.");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_is_sublinear_and_shape_constant_is_stable() {
+        let cfg = Config {
+            log2_ns: vec![14, 17, 20],
+            eps: 0.1,
+            delta: 0.1,
+            scale: 0.25,
+        };
+        let t = run(&cfg).pop().unwrap();
+        let frac_col = t.column("retained/n").unwrap();
+        let shape_col = t
+            .column("retained/(eps^-1 log2^1.5(eps n))")
+            .unwrap();
+        // space fraction shrinks 64x in n
+        let f0: f64 = t.cell(0, frac_col).parse().unwrap();
+        let f2: f64 = t.cell(2, frac_col).parse().unwrap();
+        assert!(f2 < f0 / 4.0, "space fraction should collapse: {f0} -> {f2}");
+        // shape constant varies by at most ~4x over the sweep
+        let s0: f64 = t.cell(0, shape_col).parse().unwrap();
+        let s2: f64 = t.cell(2, shape_col).parse().unwrap();
+        let ratio = (s0 / s2).max(s2 / s0);
+        assert!(ratio < 4.0, "shape constant drifted {ratio}x");
+    }
+}

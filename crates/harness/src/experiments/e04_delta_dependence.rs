@@ -1,0 +1,113 @@
+//! **E4 — failure-probability dependence `√log(1/δ)` (Theorem 1, Eq. 6).**
+//!
+//! Eq. (6) sets `k ∝ √(ln(1/δ))`. Two checks:
+//! 1. the resolved `k` divided by `√ln(1/δ)` is constant across δ;
+//! 2. the *measured* per-query failure rate over many independent trials
+//!    stays below δ (the guarantee is per fixed item `y`).
+
+use req_core::{ParamPolicy, RankAccuracy, ReqSketch};
+use sketch_traits::QuantileSketch;
+
+use crate::table::{fmt_f, Table};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Stream length per trial.
+    pub n: u64,
+    /// Accuracy target.
+    pub eps: f64,
+    /// δ sweep.
+    pub deltas: Vec<f64>,
+    /// Independent trials per δ.
+    pub trials: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 1 << 16,
+            eps: 0.1,
+            deltas: vec![0.25, 0.1, 0.05, 0.01, 0.001],
+            trials: 400,
+        }
+    }
+}
+
+/// Run E4.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut t = Table::new(
+        format!(
+            "E4 delta dependence (eps={}, n={}, {} trials per delta)",
+            cfg.eps, cfg.n, cfg.trials
+        ),
+        &["delta", "k (Eq.6)", "k/sqrt(ln 1/delta)", "measured fail rate", "bound"],
+    );
+    // fixed query item: the value with true rank n/8 in a fixed permutation
+    let n = cfg.n;
+    let items: Vec<u64> = (0..n).map(|i| i.wrapping_mul(2654435761) % n).collect();
+    let y = n / 8; // permutation of 0..n: R(y) = y + 1
+    let true_rank = y + 1;
+
+    for &delta in &cfg.deltas {
+        let policy = ParamPolicy::streaming(cfg.eps, delta, n).expect("valid");
+        let k = policy.params_for(n).k;
+        let mut failures = 0u64;
+        for trial in 0..cfg.trials {
+            let mut s =
+                ReqSketch::<u64>::with_policy(policy, RankAccuracy::LowRank, trial * 7919 + 1);
+            for &x in &items {
+                s.update(x);
+            }
+            let est = s.rank(&y);
+            let err = est.abs_diff(true_rank) as f64;
+            if err > cfg.eps * true_rank as f64 {
+                failures += 1;
+            }
+        }
+        let rate = failures as f64 / cfg.trials as f64;
+        t.row(vec![
+            format!("{delta:e}"),
+            k.to_string(),
+            fmt_f(k as f64 / (1.0 / delta).ln().sqrt()),
+            fmt_f(rate),
+            fmt_f(delta),
+        ]);
+    }
+    t.note("column 3 constant ⇒ k ∝ sqrt(log(1/delta)); measured rate must stay below the bound");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_scales_with_sqrt_log_and_failures_below_delta() {
+        let cfg = Config {
+            n: 1 << 13,
+            eps: 0.15,
+            deltas: vec![0.25, 0.01],
+            trials: 60,
+        };
+        let t = run(&cfg).pop().unwrap();
+        let kcol = t.column("k/sqrt(ln 1/delta)").unwrap();
+        let c0: f64 = t.cell(0, kcol).parse().unwrap();
+        let c1: f64 = t.cell(1, kcol).parse().unwrap();
+        // ceil-rounding allows some slack; the ratio must stay near 1
+        let ratio = (c0 / c1).max(c1 / c0);
+        assert!(ratio < 1.8, "k not ∝ sqrt(log 1/δ): {c0} vs {c1}");
+
+        let fcol = t.column("measured fail rate").unwrap();
+        for r in 0..t.num_rows() {
+            let rate: f64 = t.cell(r, fcol).parse().unwrap();
+            let bound: f64 = t.cell(r, t.column("bound").unwrap()).parse().unwrap();
+            // With few trials a small overshoot is possible; the theory bound
+            // itself is loose, so require rate ≤ max(bound, 2/trials) + noise.
+            assert!(
+                rate <= (bound + 0.05).max(0.06),
+                "failure rate {rate} way above delta {bound}"
+            );
+        }
+    }
+}

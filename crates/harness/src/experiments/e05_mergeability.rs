@@ -1,0 +1,147 @@
+//! **E5 — full mergeability (Theorem 3 / Theorem 36).**
+//!
+//! Split one stream across `s` shards, sketch each shard independently, and
+//! combine along three merge-tree shapes (balanced, linear, random). The
+//! claim: the merged sketch's error matches the purely-streamed sketch's —
+//! the guarantee does not degrade with the merge topology or shard count.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use req_core::{merge_balanced, merge_linear, merge_random_tree, ReqSketch};
+use sketch_traits::SpaceUsage;
+use streams::{geometric_ranks, Distribution, Ordering, SortOracle, Workload};
+
+use crate::experiments::{feed, req_lra};
+use crate::metrics::{probe_ranks, summarize, ErrorMode};
+use crate::table::{fmt_f, Table};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Total stream length.
+    pub n: u64,
+    /// REQ section size.
+    pub k: u32,
+    /// Shard counts to test (1 = pure streaming reference).
+    pub shard_counts: Vec<usize>,
+    /// Trials per configuration (max error reported).
+    pub trials: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 1 << 20,
+            k: 32,
+            shard_counts: vec![1, 4, 16, 64, 256],
+            trials: 3,
+        }
+    }
+}
+
+fn build_shards(items: &[u64], shards: usize, k: u32, seed: u64) -> Vec<ReqSketch<u64>> {
+    let per = items.len().div_ceil(shards);
+    items
+        .chunks(per)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let mut s = req_lra(k, seed * 1000 + i as u64);
+            feed(&mut s, chunk);
+            s
+        })
+        .collect()
+}
+
+/// Run E5.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut t = Table::new(
+        format!(
+            "E5 mergeability: error under merge topologies (n={}, k={}, max over {} trials)",
+            cfg.n, cfg.k, cfg.trials
+        ),
+        &[
+            "shards",
+            "balanced max-rel",
+            "linear max-rel",
+            "random max-rel",
+            "retained (balanced)",
+            "weight drift",
+        ],
+    );
+    let ranks = geometric_ranks(cfg.n, 4.0);
+    let workload = Workload {
+        distribution: Distribution::Permutation,
+        ordering: Ordering::Shuffled,
+    };
+
+    for &shards in &cfg.shard_counts {
+        let (mut bal_e, mut lin_e, mut rnd_e) = (0.0f64, 0.0f64, 0.0f64);
+        let mut retained = 0usize;
+        let mut drift = 0i64;
+        for trial in 0..cfg.trials {
+            let items = workload.generate(cfg.n as usize, 500 + trial);
+            let oracle = SortOracle::new(&items);
+
+            let bal = merge_balanced(build_shards(&items, shards, cfg.k, trial))
+                .expect("compatible")
+                .expect("nonempty");
+            let lin = merge_linear(build_shards(&items, shards, cfg.k, trial + 71))
+                .expect("compatible")
+                .expect("nonempty");
+            let mut rng = SmallRng::seed_from_u64(trial);
+            let rnd = merge_random_tree(build_shards(&items, shards, cfg.k, trial + 143), &mut rng)
+                .expect("compatible")
+                .expect("nonempty");
+
+            bal_e = bal_e
+                .max(summarize(&probe_ranks(&bal, &oracle, &ranks, ErrorMode::RelativeLow)).max);
+            lin_e = lin_e
+                .max(summarize(&probe_ranks(&lin, &oracle, &ranks, ErrorMode::RelativeLow)).max);
+            rnd_e = rnd_e
+                .max(summarize(&probe_ranks(&rnd, &oracle, &ranks, ErrorMode::RelativeLow)).max);
+            retained = bal.retained();
+            drift = bal.weight_drift();
+        }
+        t.row(vec![
+            shards.to_string(),
+            fmt_f(bal_e),
+            fmt_f(lin_e),
+            fmt_f(rnd_e),
+            retained.to_string(),
+            drift.to_string(),
+        ]);
+    }
+    t.note("row `shards=1` is the pure streaming reference; errors should be comparable in every row");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_error_stays_near_streaming_error() {
+        let cfg = Config {
+            n: 1 << 15,
+            k: 32,
+            shard_counts: vec![1, 16],
+            trials: 2,
+        };
+        let t = run(&cfg).pop().unwrap();
+        let bal = t.column("balanced max-rel").unwrap();
+        let streaming: f64 = t.cell(0, bal).parse().unwrap();
+        let merged: f64 = t.cell(1, bal).parse().unwrap();
+        assert!(streaming < 0.25, "streaming err {streaming}");
+        assert!(merged < 0.35, "merged err {merged}");
+        // merged error within a small constant of streaming error
+        assert!(
+            merged <= 4.0 * streaming.max(0.03),
+            "merging degraded error: {streaming} -> {merged}"
+        );
+        // weight drift must be zero in every topology
+        let dcol = t.column("weight drift").unwrap();
+        for r in 0..t.num_rows() {
+            assert_eq!(t.cell(r, dcol), "0");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! **E6 — order-obliviousness, and the CKMS linear-space blow-up (§1.1).**
+//!
+//! The REQ guarantee is oblivious to arrival order. The CKMS biased-quantiles
+//! summary is not: Zhang et al. observed it "requires linear space to achieve
+//! relative error for all ranks" under adversarial ordering. We run both on
+//! identical value multisets under six orderings and report space + error.
+//! The killer ordering (`MaxFirstAscending`) pins every CKMS tuple at a rank
+//! that never grows, with uncertainty the invariant can never compress.
+
+use sketch_traits::SpaceUsage;
+use streams::{geometric_ranks, Ordering, SortOracle};
+
+use crate::experiments::{feed, req_lra};
+use crate::metrics::{probe_ranks, summarize, ErrorMode};
+use crate::table::{fmt_f, Table};
+use baselines::CkmsSketch;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Stream length.
+    pub n: u64,
+    /// REQ section size.
+    pub req_k: u32,
+    /// CKMS ε.
+    pub ckms_eps: f64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 1 << 16,
+            req_k: 32,
+            ckms_eps: 0.05,
+        }
+    }
+}
+
+/// Run E6.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let orderings: Vec<(&str, Ordering)> = vec![
+        ("shuffled", Ordering::Shuffled),
+        ("ascending", Ordering::Ascending),
+        ("descending", Ordering::Descending),
+        ("zoom-in", Ordering::ZoomIn),
+        ("sorted-blocks", Ordering::SortedBlocks { block: 512 }),
+        ("max-first-asc", Ordering::MaxFirstAscending),
+    ];
+    let mut t = Table::new(
+        format!(
+            "E6 adversarial orderings (n={}, REQ k={}, CKMS eps={})",
+            cfg.n, cfg.req_k, cfg.ckms_eps
+        ),
+        &[
+            "ordering",
+            "REQ retained",
+            "REQ max-rel",
+            "CKMS retained",
+            "CKMS max-rel",
+        ],
+    );
+    let ranks = geometric_ranks(cfg.n, 4.0);
+    for (name, ordering) in orderings {
+        let mut items: Vec<u64> = (0..cfg.n).collect();
+        ordering.apply(&mut items, 77);
+        let oracle = SortOracle::new(&items);
+
+        let mut req = req_lra(cfg.req_k, 7);
+        feed(&mut req, &items);
+        let mut ckms = CkmsSketch::<u64>::new(cfg.ckms_eps);
+        feed(&mut ckms, &items);
+
+        let req_err =
+            summarize(&probe_ranks(&req, &oracle, &ranks, ErrorMode::RelativeLow)).max;
+        let ckms_err =
+            summarize(&probe_ranks(&ckms, &oracle, &ranks, ErrorMode::RelativeLow)).max;
+        t.row(vec![
+            name.to_string(),
+            req.retained().to_string(),
+            fmt_f(req_err),
+            ckms.retained().to_string(),
+            fmt_f(ckms_err),
+        ]);
+    }
+    t.note("REQ space/error are order-oblivious; CKMS space explodes on max-first-asc");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn req_oblivious_ckms_blows_up() {
+        let cfg = Config {
+            n: 1 << 13,
+            req_k: 24,
+            ckms_eps: 0.05,
+        };
+        let t = run(&cfg).pop().unwrap();
+        let reqc = t.column("REQ retained").unwrap();
+        let ckmsc = t.column("CKMS retained").unwrap();
+        let reqe = t.column("REQ max-rel").unwrap();
+
+        let req_sizes: Vec<f64> = (0..t.num_rows())
+            .map(|r| t.cell(r, reqc).parse().unwrap())
+            .collect();
+        let req_spread = req_sizes.iter().cloned().fold(0.0, f64::max)
+            / req_sizes.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(req_spread < 1.5, "REQ space varies {req_spread}x with order");
+
+        // every REQ error row bounded
+        for r in 0..t.num_rows() {
+            let e: f64 = t.cell(r, reqe).parse().unwrap();
+            assert!(e < 0.3, "REQ err {e} on row {r}");
+        }
+
+        // CKMS: max-first-asc (last row) much bigger than shuffled (row 0)
+        let shuffled: f64 = t.cell(0, ckmsc).parse().unwrap();
+        let adversarial: f64 = t.cell(t.num_rows() - 1, ckmsc).parse().unwrap();
+        assert!(
+            adversarial > 8.0 * shuffled,
+            "CKMS blow-up missing: {shuffled} vs {adversarial}"
+        );
+    }
+}

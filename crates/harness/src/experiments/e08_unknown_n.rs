@@ -1,0 +1,128 @@
+//! **E8 — unknown stream lengths (§5 + footnote 9).**
+//!
+//! Two constructions remove the known-`n` assumption:
+//! * the §5 *closed-out summaries* (`GrowingReqSketch`): at most
+//!   `log₂log₂(εn)` read-only summaries, one per estimate `Nᵢ = N₀^(2^i)`;
+//! * the footnote-9 / Appendix-D in-place variant (the default `ReqSketch`
+//!   with the mergeable policy): special-compact, square `N`, recompute
+//!   `k, B`.
+//!
+//! We stream past several `Nᵢ` boundaries and record, at checkpoints, the
+//! summary count, space, and tail accuracy of both.
+
+use req_core::{GrowingReqSketch, ParamPolicy, RankAccuracy, ReqSketch};
+use sketch_traits::{QuantileSketch, SpaceUsage};
+use streams::{geometric_ranks, SortOracle};
+
+use crate::metrics::{probe_ranks, summarize, ErrorMode};
+use crate::table::{fmt_f, Table};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Checkpoints (stream lengths) at which to measure.
+    pub checkpoints: Vec<u64>,
+    /// Accuracy target.
+    pub eps: f64,
+    /// Failure probability.
+    pub delta: f64,
+    /// Scale on paper constants for the in-place variant.
+    pub scale: f64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            checkpoints: vec![1 << 10, 1 << 14, 1 << 18, 1 << 21],
+            eps: 0.1,
+            delta: 0.05,
+            scale: 0.5,
+        }
+    }
+}
+
+/// Run E8.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut t = Table::new(
+        format!(
+            "E8 unknown stream length (eps={}, delta={}): §5 closed-out vs footnote-9 in-place",
+            cfg.eps, cfg.delta
+        ),
+        &[
+            "n",
+            "§5 summaries",
+            "§5 retained",
+            "§5 max-rel",
+            "inplace N",
+            "inplace retained",
+            "inplace max-rel",
+        ],
+    );
+
+    let max_n = *cfg.checkpoints.iter().max().expect("nonempty checkpoints");
+    let items: Vec<u64> = (0..max_n)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 16)
+        .collect();
+
+    let mut growing =
+        GrowingReqSketch::<u64>::new(cfg.eps, cfg.delta, RankAccuracy::LowRank, 3).expect("valid");
+    let policy =
+        ParamPolicy::mergeable_scaled(cfg.eps, cfg.delta, cfg.scale).expect("valid parameters");
+    let mut inplace = ReqSketch::<u64>::with_policy(policy, RankAccuracy::LowRank, 4);
+
+    let mut fed = 0usize;
+    for &checkpoint in &cfg.checkpoints {
+        while (fed as u64) < checkpoint {
+            growing.update(items[fed]);
+            inplace.update(items[fed]);
+            fed += 1;
+        }
+        let prefix = &items[..fed];
+        let oracle = SortOracle::new(prefix);
+        let ranks = geometric_ranks(checkpoint, 4.0);
+        let g_err =
+            summarize(&probe_ranks(&growing, &oracle, &ranks, ErrorMode::RelativeLow)).max;
+        let i_err =
+            summarize(&probe_ranks(&inplace, &oracle, &ranks, ErrorMode::RelativeLow)).max;
+        t.row(vec![
+            checkpoint.to_string(),
+            growing.num_summaries().to_string(),
+            growing.retained().to_string(),
+            fmt_f(g_err),
+            inplace.max_n().to_string(),
+            inplace.retained().to_string(),
+            fmt_f(i_err),
+        ]);
+    }
+    t.note("§5 bounds summaries by log2 log2(eps n); both variants keep the eps guarantee");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_stay_accurate_across_growth() {
+        let cfg = Config {
+            checkpoints: vec![1 << 9, 1 << 13, 1 << 16],
+            eps: 0.12,
+            delta: 0.1,
+            scale: 0.5,
+        };
+        let t = run(&cfg).pop().unwrap();
+        let gcol = t.column("§5 max-rel").unwrap();
+        let icol = t.column("inplace max-rel").unwrap();
+        for r in 0..t.num_rows() {
+            let g: f64 = t.cell(r, gcol).parse().unwrap();
+            let i: f64 = t.cell(r, icol).parse().unwrap();
+            assert!(g <= cfg.eps * 2.5, "growing err {g} at row {r}");
+            assert!(i <= cfg.eps * 2.5, "inplace err {i} at row {r}");
+        }
+        // summary count grows but stays tiny (log log n)
+        let scol = t.column("§5 summaries").unwrap();
+        let last: u64 = t.cell(t.num_rows() - 1, scol).parse().unwrap();
+        assert!(last <= 5, "{last} summaries");
+        assert!(last >= 2, "growth never happened");
+    }
+}

@@ -1,0 +1,140 @@
+//! **E9 — the tiny-δ regime (Theorem 2 / Appendix C).**
+//!
+//! Theorem 1's space is `ε⁻¹·log^1.5(εn)·√log(1/δ)` (Eq. 6); Theorem 2's is
+//! `ε⁻¹·log²(εn)·loglog(1/δ)` (Eq. 15). The paper: "the space bound in
+//! Appendix C is only as good or better than Theorem 14 when
+//! δ ≤ 1/(εn)^Ω(1)" — with the theorems' constants that crossover sits at
+//! astronomically small δ. Two tables:
+//!
+//! 1. **measured** — real sketches built at δ down to 10⁻³⁰⁰ (the f64
+//!    floor): Eq. 6's `k` grows like `√log(1/δ)`, Eq. 15's like
+//!    `loglog(1/δ)` — a 3–4× growth-rate separation over this range;
+//! 2. **analytic** — both bound formulas evaluated far beyond f64 range
+//!    (parameterized by `ln(1/δ)` directly) to exhibit the crossover.
+
+use req_core::{ParamPolicy, RankAccuracy, ReqSketch};
+use sketch_traits::{QuantileSketch, SpaceUsage};
+
+use crate::table::{fmt_f, Table};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Stream length.
+    pub n: u64,
+    /// Accuracy target.
+    pub eps: f64,
+    /// δ sweep (descending; must stay representable in f64).
+    pub deltas: Vec<f64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 1 << 20,
+            eps: 0.1,
+            deltas: vec![1e-1, 1e-3, 1e-9, 1e-30, 1e-100, 1e-300],
+        }
+    }
+}
+
+fn build_and_measure(policy: ParamPolicy, n: u64, seed: u64) -> (u32, usize) {
+    let mut s = ReqSketch::<u64>::with_policy(policy, RankAccuracy::LowRank, seed);
+    for i in 0..n {
+        s.update(i.wrapping_mul(0x9E3779B97F4A7C15) >> 24);
+    }
+    (s.k(), s.retained())
+}
+
+/// Run E9.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut measured = Table::new(
+        format!(
+            "E9a measured sketches (eps={}, n={}): Thm 1 (Eq.6) vs Thm 2 (Eq.15)",
+            cfg.eps, cfg.n
+        ),
+        &[
+            "delta",
+            "Eq.6 k",
+            "Eq.6 retained",
+            "Eq.15 k",
+            "Eq.15 retained",
+        ],
+    );
+    for &delta in &cfg.deltas {
+        let p6 = ParamPolicy::streaming(cfg.eps, delta, cfg.n).expect("valid");
+        let p15 = ParamPolicy::small_delta(cfg.eps, delta, cfg.n).expect("valid");
+        let (k6, r6) = build_and_measure(p6, cfg.n, 1);
+        let (k15, r15) = build_and_measure(p15, cfg.n, 2);
+        measured.row(vec![
+            format!("{delta:e}"),
+            k6.to_string(),
+            r6.to_string(),
+            k15.to_string(),
+            r15.to_string(),
+        ]);
+    }
+    let det = ParamPolicy::deterministic(cfg.eps, cfg.n).expect("valid");
+    let (kd, rd) = build_and_measure(det, cfg.n, 3);
+    measured.note(format!(
+        "deterministic Appendix-C configuration (the delta→0 limit): k={kd}, retained={rd}"
+    ));
+    measured.note("Eq.6 k grows ~sqrt(log 1/delta); Eq.15 k grows ~log log(1/delta)");
+
+    // Analytic crossover, parameterized by L = ln(1/delta):
+    //   bound6(L)  = eps^-1 · log2^1.5(eps n) · sqrt(L)          (Thm 1)
+    //   bound15(L) = eps^-1 · log2^2(eps n)  · log2(L)           (Thm 2)
+    let mut analytic = Table::new(
+        format!(
+            "E9b analytic space bounds vs ln(1/delta) (eps={}, n={}; constants dropped)",
+            cfg.eps, cfg.n
+        ),
+        &["ln(1/delta)", "Thm1 bound", "Thm2 bound", "smaller"],
+    );
+    let lg = (cfg.eps * cfg.n as f64).log2();
+    for exp in [1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0] {
+        let l = 10f64.powf(exp);
+        let b6 = (1.0 / cfg.eps) * lg.powf(1.5) * l.sqrt();
+        let b15 = (1.0 / cfg.eps) * lg.powi(2) * l.log2().max(1.0);
+        analytic.row(vec![
+            format!("1e{exp:.0}"),
+            fmt_f(b6),
+            fmt_f(b15),
+            if b6 <= b15 { "Thm1" } else { "Thm2" }.to_string(),
+        ]);
+    }
+    analytic.note("crossover where sqrt(L) = log2(eps n)^0.5 · log2(L): delta ≤ 1/(eps n)^Ω(1), exactly as §4 remarks");
+    vec![measured, analytic]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_rates_separate_and_analytic_crossover_exists() {
+        let cfg = Config {
+            n: 1 << 16,
+            eps: 0.1,
+            deltas: vec![1e-3, 1e-300],
+        };
+        let tables = run(&cfg);
+        let measured = &tables[0];
+        let k6c = measured.column("Eq.6 k").unwrap();
+        let k15c = measured.column("Eq.15 k").unwrap();
+        let k6_growth: f64 = measured.cell(1, k6c).parse::<f64>().unwrap()
+            / measured.cell(0, k6c).parse::<f64>().unwrap();
+        let k15_growth: f64 = measured.cell(1, k15c).parse::<f64>().unwrap()
+            / measured.cell(0, k15c).parse::<f64>().unwrap();
+        // ln jumps 100x: sqrt grows ~10x, loglog ~3.4x
+        assert!(
+            k6_growth > 2.0 * k15_growth,
+            "growth separation missing: Eq.6 {k6_growth:.1}x vs Eq.15 {k15_growth:.1}x"
+        );
+
+        let analytic = &tables[1];
+        let smaller = analytic.column("smaller").unwrap();
+        assert_eq!(analytic.cell(0, smaller), "Thm1");
+        assert_eq!(analytic.cell(analytic.num_rows() - 1, smaller), "Thm2");
+    }
+}

@@ -1,0 +1,199 @@
+//! **E12 — the comparator landscape (§1.1) on the motivating workload.**
+//!
+//! One table, every summary from the paper's related-work section, on the
+//! synthetic web-latency stream (§1's monitoring scenario): space, and rank
+//! error at the percentiles operators actually watch (p50/p99/p99.9/p99.99),
+//! measured in the **high-rank** relative sense `|R̂−R|/(n−R+1)` — the error
+//! that matters when the question is "how bad is my tail?".
+
+use req_core::{GrowingReqSketch, RankAccuracy};
+use sketch_traits::{QuantileSketch, SpaceUsage};
+use streams::{Distribution, Ordering, SortOracle, Workload};
+
+use crate::experiments::req_hra;
+use crate::metrics::ErrorMode;
+use crate::table::{fmt_f, Table};
+use baselines::{
+    CkmsSketch, DdSketch, GkSketch, HalvingSketch, KllSketch, ReservoirSampler, TDigest,
+};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Stream length.
+    pub n: u64,
+    /// Percentiles to probe.
+    pub percentiles: Vec<f64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 1 << 20,
+            percentiles: vec![0.5, 0.99, 0.999, 0.9999],
+        }
+    }
+}
+
+/// A uniform wrapper so every comparator answers u64 rank queries.
+enum Any {
+    ReqHra(req_core::ReqSketch<u64>),
+    Growing(GrowingReqSketch<u64>),
+    Kll(KllSketch<u64>),
+    Gk(GkSketch<u64>),
+    Ckms(CkmsSketch<u64>),
+    Dd(DdSketch),
+    Td(TDigest),
+    Rsv(ReservoirSampler<u64>),
+    Halving(HalvingSketch<u64>),
+}
+
+impl Any {
+    fn name(&self) -> &'static str {
+        match self {
+            Any::ReqHra(_) => "REQ (HRA, k=32)",
+            Any::Growing(_) => "REQ §5 growing",
+            Any::Kll(_) => "KLL (k=400)",
+            Any::Gk(_) => "GK (eps=0.005)",
+            Any::Ckms(_) => "CKMS (eps=0.01)",
+            Any::Dd(_) => "DDSketch (a=0.01)",
+            Any::Td(_) => "t-digest (d=200)",
+            Any::Rsv(_) => "reservoir (m=4096)",
+            Any::Halving(_) => "halving (B/2=512)",
+        }
+    }
+
+    fn guarantee(&self) -> &'static str {
+        match self {
+            Any::ReqHra(_) | Any::Growing(_) => "relative rank",
+            Any::Kll(_) | Any::Gk(_) | Any::Rsv(_) => "additive rank",
+            Any::Ckms(_) => "relative (order-sensitive)",
+            Any::Dd(_) => "relative value",
+            Any::Td(_) => "heuristic",
+            Any::Halving(_) => "relative rank (1/eps^2)",
+        }
+    }
+
+    fn update(&mut self, x: u64) {
+        match self {
+            Any::ReqHra(s) => s.update(x),
+            Any::Growing(s) => s.update(x),
+            Any::Kll(s) => s.update(x),
+            Any::Gk(s) => s.update(x),
+            Any::Ckms(s) => s.update(x),
+            Any::Dd(s) => s.update(x as f64),
+            Any::Td(s) => s.update(x as f64),
+            Any::Rsv(s) => s.update(x),
+            Any::Halving(s) => s.update(x),
+        }
+    }
+
+    fn rank(&self, y: u64) -> u64 {
+        match self {
+            Any::ReqHra(s) => s.rank(&y),
+            Any::Growing(s) => s.rank(&y),
+            Any::Kll(s) => s.rank(&y),
+            Any::Gk(s) => s.rank(&y),
+            Any::Ckms(s) => s.rank(&y),
+            Any::Dd(s) => s.rank(&(y as f64)),
+            Any::Td(s) => s.rank(&(y as f64)),
+            Any::Rsv(s) => s.rank(&y),
+            Any::Halving(s) => s.rank(&y),
+        }
+    }
+
+    fn retained(&self) -> usize {
+        match self {
+            Any::ReqHra(s) => s.retained(),
+            Any::Growing(s) => s.retained(),
+            Any::Kll(s) => s.retained(),
+            Any::Gk(s) => s.retained(),
+            Any::Ckms(s) => s.retained(),
+            Any::Dd(s) => s.retained(),
+            Any::Td(s) => s.retained(),
+            Any::Rsv(s) => s.retained(),
+            Any::Halving(s) => s.retained(),
+        }
+    }
+}
+
+/// Run E12.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let workload = Workload {
+        distribution: Distribution::WebLatency,
+        ordering: Ordering::Shuffled,
+    };
+    let items = workload.generate(cfg.n as usize, 2024);
+    let oracle = SortOracle::new(&items);
+    let n = oracle.n();
+
+    let growing =
+        GrowingReqSketch::<u64>::new(0.01, 0.05, RankAccuracy::HighRank, 9).expect("valid");
+    let mut sketches: Vec<Any> = vec![
+        Any::ReqHra(req_hra(32, 1)),
+        Any::Growing(growing),
+        Any::Kll(KllSketch::new(400, 2)),
+        Any::Gk(GkSketch::new(0.005)),
+        Any::Ckms(CkmsSketch::new(0.01)),
+        Any::Dd(DdSketch::new(0.01, 2048)),
+        Any::Td(TDigest::new(200.0)),
+        Any::Rsv(ReservoirSampler::new(4096, 3)),
+        Any::Halving(HalvingSketch::new(512, RankAccuracy::HighRank, 4)),
+    ];
+    for s in &mut sketches {
+        for &x in &items {
+            s.update(x);
+        }
+    }
+
+    let mut headers: Vec<String> = vec!["sketch".into(), "guarantee".into(), "retained".into()];
+    for p in &cfg.percentiles {
+        headers.push(format!("p{} tail-rel-err", p * 100.0));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        format!("E12 comparator landscape on web-latency stream (n={n})"),
+        &header_refs,
+    );
+
+    for s in &sketches {
+        let mut row = vec![
+            s.name().to_string(),
+            s.guarantee().to_string(),
+            s.retained().to_string(),
+        ];
+        for &p in &cfg.percentiles {
+            let target_rank = ((p * n as f64).ceil() as u64).clamp(1, n);
+            let item = oracle.item_at_rank(target_rank).expect("nonempty");
+            let truth = oracle.rank(item);
+            let est = s.rank(item);
+            row.push(fmt_f(ErrorMode::RelativeHigh.error(est, truth, n)));
+        }
+        t.row(row);
+    }
+    t.note("tail-rel-err = |est − true| / (n − true + 1): the right yardstick for p99+ monitoring");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn req_dominates_additive_sketches_at_the_far_tail() {
+        let cfg = Config {
+            n: 1 << 16,
+            percentiles: vec![0.5, 0.999],
+        };
+        let t = run(&cfg).pop().unwrap();
+        let tail_col = t.column("p99.9 tail-rel-err").unwrap();
+        let req: f64 = t.cell(0, tail_col).parse().unwrap(); // REQ HRA row
+        let kll: f64 = t.cell(2, tail_col).parse().unwrap(); // KLL row
+        let rsv: f64 = t.cell(7, tail_col).parse().unwrap(); // reservoir row
+        assert!(req < 0.2, "REQ tail err {req}");
+        assert!(
+            kll + rsv > 2.0 * req.max(0.05),
+            "additive sketches should trail REQ at p99.9: req {req}, kll {kll}, rsv {rsv}"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! **E13 — practical `k` → ε calibration.**
+//!
+//! The theory constants in Eqs. (6)/(16) are pessimistic; deployments (like
+//! DataSketches) pick a small even `k` directly. This experiment measures
+//! the achieved worst-case relative error as a function of `k` and checks
+//! the `ε ∝ √(log₂(εn))/k` shape from the informal analysis (§2.3): the
+//! product `k·ε_measured/√log₂(n)` should be roughly constant — the
+//! practical constant a user needs to size a sketch.
+
+use streams::{geometric_ranks, SortOracle, Workload};
+
+use crate::experiments::{feed, req_lra};
+use crate::metrics::{probe_ranks, summarize, ErrorMode};
+use crate::table::{fmt_f, Table};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Stream length.
+    pub n: u64,
+    /// `k` sweep.
+    pub ks: Vec<u32>,
+    /// Trials (max error over trials).
+    pub trials: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 1 << 20,
+            ks: vec![8, 16, 32, 64, 128, 256],
+            trials: 5,
+        }
+    }
+}
+
+/// Run E13.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut t = Table::new(
+        format!(
+            "E13 k calibration (n={}, max rel err over {} trials x geometric ranks)",
+            cfg.n, cfg.trials
+        ),
+        &["k", "retained", "eps_measured", "k*eps/sqrt(log2 n)"],
+    );
+    let ranks = geometric_ranks(cfg.n, 4.0);
+    let workload = Workload::uniform(u64::MAX);
+    let sqrt_log = (cfg.n as f64).log2().sqrt();
+    for &k in &cfg.ks {
+        let mut max_err = 0.0f64;
+        let mut retained = 0usize;
+        for trial in 0..cfg.trials {
+            let items = workload.generate(cfg.n as usize, 31 + trial);
+            let oracle = SortOracle::new(&items);
+            let mut s = req_lra(k, trial);
+            feed(&mut s, &items);
+            retained = sketch_traits::SpaceUsage::retained(&s);
+            max_err = max_err
+                .max(summarize(&probe_ranks(&s, &oracle, &ranks, ErrorMode::RelativeLow)).max);
+        }
+        t.row(vec![
+            k.to_string(),
+            retained.to_string(),
+            fmt_f(max_err),
+            fmt_f(k as f64 * max_err / sqrt_log),
+        ]);
+    }
+    t.note("last column ≈ constant ⇒ eps ∝ sqrt(log n)/k; use it to size k for a target eps");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_scales_inversely_with_k() {
+        let cfg = Config {
+            n: 1 << 15,
+            ks: vec![16, 128],
+            trials: 2,
+        };
+        let t = run(&cfg).pop().unwrap();
+        let e = t.column("eps_measured").unwrap();
+        let e16: f64 = t.cell(0, e).parse().unwrap();
+        let e128: f64 = t.cell(1, e).parse().unwrap();
+        // 8x more k should cut error by at least ~3x
+        assert!(
+            e128 < e16 / 3.0,
+            "error should shrink with k: {e16} -> {e128}"
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! One module per experiment; see EXPERIMENTS.md for the index mapping each
+//! module to the paper claim it regenerates.
+
+pub mod e01_error_vs_rank;
+pub mod e02_space_vs_n;
+pub mod e03_space_vs_eps;
+pub mod e04_delta_dependence;
+pub mod e05_mergeability;
+pub mod e06_adversarial;
+pub mod e08_unknown_n;
+pub mod e09_small_delta;
+pub mod e10_schedule_ablation;
+pub mod e11_all_quantiles;
+pub mod e12_landscape;
+pub mod e13_k_calibration;
+pub mod e14_optimality_gap;
+
+use req_core::{ParamPolicy, RankAccuracy, ReqSketch};
+use sketch_traits::QuantileSketch;
+
+/// REQ sketch with a fixed `k`, low-rank orientation — the workhorse
+/// configuration for experiments probing the paper's base guarantee.
+pub fn req_lra(k: u32, seed: u64) -> ReqSketch<u64> {
+    ReqSketch::with_policy(
+        ParamPolicy::fixed_k(k).expect("valid k"),
+        RankAccuracy::LowRank,
+        seed,
+    )
+}
+
+/// REQ sketch with a fixed `k`, high-rank orientation.
+pub fn req_hra(k: u32, seed: u64) -> ReqSketch<u64> {
+    ReqSketch::with_policy(
+        ParamPolicy::fixed_k(k).expect("valid k"),
+        RankAccuracy::HighRank,
+        seed,
+    )
+}
+
+/// Feed a slice into any sketch.
+pub fn feed<S: QuantileSketch<u64>>(sketch: &mut S, items: &[u64]) {
+    for &x in items {
+        sketch.update(x);
+    }
+}

@@ -1,0 +1,23 @@
+//! # `harness` — the experiment engine
+//!
+//! One module (and one binary) per experiment in EXPERIMENTS.md; each
+//! regenerates a claim of *Relative Error Streaming Quantiles* (PODS 2021).
+//! Run them with, e.g.:
+//!
+//! ```text
+//! cargo run -p harness --release --bin e01_error_vs_rank
+//! ```
+//!
+//! Every experiment is also callable as a library function (with scaled-down
+//! parameters) so the integration tests can assert the *direction* of every
+//! claim on every CI run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod table;
+
+pub use metrics::{ErrorMode, ProbeError, RankErrorSummary};
+pub use table::Table;

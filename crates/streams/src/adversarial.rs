@@ -1,0 +1,209 @@
+//! Arrival orderings, including adversarial ones.
+//!
+//! A comparison-based streaming summary sees values only through their
+//! arrival order, and some prior-work summaries are only accurate for
+//! *benign* orders. The paper (§1.1) recalls Zhang et al.'s observation that
+//! the CKMS biased-quantiles summary "requires linear space to achieve
+//! relative error for all ranks" under adversarial item ordering — experiment
+//! E6 reproduces exactly that, using the orderings defined here. The REQ
+//! sketch's guarantee is order-oblivious.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The order in which a workload's values arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ordering {
+    /// Uniformly random arrival order (seeded Fisher–Yates).
+    Shuffled,
+    /// Ascending values — every arrival is the maximum so far.
+    Ascending,
+    /// Descending values — every arrival is the minimum so far. This is the
+    /// classic killer for summaries that compress the low-rank region based
+    /// on ranks seen *so far* (CKMS).
+    Descending,
+    /// "Zoom-in": arrivals alternate from the two ends, converging on the
+    /// median — max, min, 2nd-max, 2nd-min, …. Every prefix has its extreme
+    /// ranks constantly reassigned.
+    ZoomIn,
+    /// "Zoom-out": starts at the median and alternates outwards — the
+    /// mirror image of `ZoomIn`.
+    ZoomOut,
+    /// Sorted blocks of the given size, blocks in random order — models
+    /// partially sorted inputs (e.g. merged log segments).
+    SortedBlocks {
+        /// Items per sorted block.
+        block: usize,
+    },
+    /// Ascending arrivals with the global **maximum moved to the front** —
+    /// one early outlier, then sorted data. This is the CKMS killer: every
+    /// subsequent item is inserted just below the maximum, at a rank that
+    /// never grows afterwards, with uncertainty `Δ ≈ f(r)` that the biased
+    /// invariant can then never compress away. Tuple count grows linearly
+    /// (experiment E6).
+    MaxFirstAscending,
+}
+
+impl Ordering {
+    /// Rearrange `items` in place according to this ordering.
+    pub fn apply(&self, items: &mut [u64], seed: u64) {
+        match *self {
+            Ordering::Shuffled => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                items.shuffle(&mut rng);
+            }
+            Ordering::Ascending => items.sort_unstable(),
+            Ordering::Descending => {
+                items.sort_unstable();
+                items.reverse();
+            }
+            Ordering::ZoomIn => {
+                items.sort_unstable();
+                zoom_in(items);
+            }
+            Ordering::ZoomOut => {
+                items.sort_unstable();
+                zoom_in(items);
+                items.reverse();
+            }
+            Ordering::MaxFirstAscending => {
+                items.sort_unstable();
+                if !items.is_empty() {
+                    items.rotate_right(1); // max to the front, rest ascending
+                }
+            }
+            Ordering::SortedBlocks { block } => {
+                let block = block.max(1);
+                items.sort_unstable();
+                let mut blocks: Vec<Vec<u64>> =
+                    items.chunks(block).map(|c| c.to_vec()).collect();
+                let mut rng = SmallRng::seed_from_u64(seed);
+                blocks.shuffle(&mut rng);
+                let mut i = 0;
+                for b in blocks {
+                    for v in b {
+                        items[i] = v;
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// In-place rearrangement of a sorted slice into max, min, 2nd-max, 2nd-min…
+fn zoom_in(sorted: &mut [u64]) {
+    let n = sorted.len();
+    let mut out = Vec::with_capacity(n);
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        hi -= 1;
+        out.push(sorted[hi]);
+        if lo < hi {
+            out.push(sorted[lo]);
+            lo += 1;
+        }
+    }
+    sorted.copy_from_slice(&out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Vec<u64> {
+        (0..10u64).collect()
+    }
+
+    #[test]
+    fn ascending_descending() {
+        let mut a = vec![3u64, 1, 2];
+        Ordering::Ascending.apply(&mut a, 0);
+        assert_eq!(a, vec![1, 2, 3]);
+        Ordering::Descending.apply(&mut a, 0);
+        assert_eq!(a, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_seeded() {
+        let mut a = base();
+        Ordering::Shuffled.apply(&mut a, 42);
+        let mut b = base();
+        Ordering::Shuffled.apply(&mut b, 42);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, base());
+        let mut c = base();
+        Ordering::Shuffled.apply(&mut c, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zoom_in_alternates_extremes() {
+        let mut a = base();
+        Ordering::ZoomIn.apply(&mut a, 0);
+        assert_eq!(a, vec![9, 0, 8, 1, 7, 2, 6, 3, 5, 4]);
+    }
+
+    #[test]
+    fn zoom_out_is_reverse_of_zoom_in() {
+        let mut a = base();
+        Ordering::ZoomOut.apply(&mut a, 0);
+        assert_eq!(a, vec![4, 5, 3, 6, 2, 7, 1, 8, 0, 9]);
+    }
+
+    #[test]
+    fn zoom_in_odd_length() {
+        let mut a = vec![1u64, 2, 3, 4, 5];
+        Ordering::ZoomIn.apply(&mut a, 0);
+        assert_eq!(a, vec![5, 1, 4, 2, 3]);
+    }
+
+    #[test]
+    fn sorted_blocks_preserve_multiset() {
+        // 1024 items divide evenly into 64-blocks, so chunk boundaries align
+        // with block boundaries after the shuffle.
+        let mut a: Vec<u64> = (0..1024).rev().collect();
+        Ordering::SortedBlocks { block: 64 }.apply(&mut a, 5);
+        for chunk in a.chunks(64) {
+            assert!(chunk.windows(2).all(|p| p[0] <= p[1]));
+        }
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1024).collect::<Vec<_>>());
+        // actually shuffled: not globally ascending
+        assert!(a.windows(2).any(|p| p[0] > p[1]));
+    }
+
+    #[test]
+    fn max_first_ascending_layout() {
+        let mut a = vec![5u64, 2, 9, 1];
+        Ordering::MaxFirstAscending.apply(&mut a, 0);
+        assert_eq!(a, vec![9, 1, 2, 5]);
+        let mut empty: Vec<u64> = vec![];
+        Ordering::MaxFirstAscending.apply(&mut empty, 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn orderings_never_change_the_multiset() {
+        for ord in [
+            Ordering::Shuffled,
+            Ordering::Ascending,
+            Ordering::Descending,
+            Ordering::ZoomIn,
+            Ordering::ZoomOut,
+            Ordering::SortedBlocks { block: 7 },
+            Ordering::MaxFirstAscending,
+        ] {
+            let mut a: Vec<u64> = (0..501u64).map(|i| i * 13 % 101).collect();
+            let mut expected = a.clone();
+            expected.sort_unstable();
+            ord.apply(&mut a, 9);
+            a.sort_unstable();
+            assert_eq!(a, expected, "{ord:?} changed the multiset");
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Seeded synthetic value distributions.
+//!
+//! All generators emit `u64` values so that exact rank oracles are cheap and
+//! free of floating-point tie ambiguity. Continuous distributions are scaled
+//! to a fixed-point grid (documented per variant); the *ranks* of the items —
+//! the only thing a comparison-based sketch can observe — are unaffected by
+//! any monotone rescaling.
+//!
+//! Box–Muller, Pareto inversion and the Zipf table sampler are implemented
+//! here directly; the sanctioned `rand` crate supplies only uniform bits.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic value distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Uniform integers in `[0, range)`.
+    Uniform {
+        /// Exclusive upper bound.
+        range: u64,
+    },
+    /// Distinct values `0, 1, …, n−1` (a permutation once shuffled); exact
+    /// ranks are then `y + 1`. Useful for analytical checks.
+    Permutation,
+    /// Gaussian with the given mean and standard deviation, in millis of a
+    /// unit (values are `round(1000·x)` clamped at 0).
+    Gaussian {
+        /// Mean of the underlying normal.
+        mean: f64,
+        /// Standard deviation of the underlying normal.
+        std_dev: f64,
+    },
+    /// Log-normal: `exp(mu + sigma·Z)`, emitted as `round(1000·x)`.
+    /// Heavy-tailed for `sigma ≳ 1`; the classic latency model.
+    LogNormal {
+        /// Location parameter of the underlying normal.
+        mu: f64,
+        /// Scale parameter of the underlying normal.
+        sigma: f64,
+    },
+    /// Pareto with scale `x_m` and shape `alpha` (`x_m / U^{1/alpha}`),
+    /// emitted as `round(1000·x)` saturating at `u64::MAX`.
+    Pareto {
+        /// Minimum value `x_m > 0`.
+        scale: f64,
+        /// Tail index `alpha > 0`; smaller = heavier tail.
+        alpha: f64,
+    },
+    /// Zipf over `{1, …, num_items}` with exponent `s` (table-based inverse
+    /// CDF; `num_items ≤ 2^22` to bound table memory).
+    Zipf {
+        /// Universe size.
+        num_items: u64,
+        /// Exponent `s > 0`.
+        exponent: f64,
+    },
+    /// `num_clusters` Gaussian bumps spread across `[0, 10^9]` — a lumpy
+    /// distribution with near-duplicates.
+    Clustered {
+        /// Number of bumps.
+        num_clusters: u32,
+    },
+    /// Synthetic web-response-time mixture in **microseconds**, calibrated
+    /// to the long-tail shape reported by Masson et al. and quoted in the
+    /// paper's introduction: a log-normal body around tens of milliseconds
+    /// with a Pareto tail, so that the p98.5/p99.5 ratio is roughly 10×
+    /// (≈2 s vs ≈20 s).
+    WebLatency,
+}
+
+/// Deterministic standard-normal sampler (Box–Muller, one value per call,
+/// caching the paired deviate).
+#[derive(Debug, Clone)]
+pub struct Gaussian {
+    rng: SmallRng,
+    spare: Option<f64>,
+}
+
+impl Gaussian {
+    /// New sampler with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Gaussian {
+            rng: SmallRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// One standard-normal deviate.
+    pub fn sample(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller on (0,1]-uniforms; u1 > 0 guaranteed by the 1.0 - gen.
+        let u1: f64 = 1.0 - self.rng.gen::<f64>();
+        let u2: f64 = self.rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+/// Table-based Zipf sampler: precomputes the CDF over `{1..=n}` once, then
+/// samples by binary search. Exact (up to f64 rounding), O(n) memory.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Build the inverse-CDF table for `Zipf(num_items, exponent)`.
+    pub fn new(num_items: u64, exponent: f64) -> Self {
+        assert!((1..=(1u64 << 22)).contains(&num_items), "table too large");
+        assert!(exponent > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(num_items as usize);
+        let mut acc = 0.0f64;
+        for i in 1..=num_items {
+            acc += 1.0 / (i as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfTable { cdf }
+    }
+
+    /// Sample one value in `{1, …, num_items}`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as u64
+    }
+}
+
+fn clamp_to_u64(x: f64) -> u64 {
+    if x.is_nan() || x <= 0.0 {
+        0
+    } else if x >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        x.round() as u64
+    }
+}
+
+impl Distribution {
+    /// Generate `n` values with the given seed (value order is i.i.d.
+    /// arrival order; apply an [`crate::Ordering`] to rearrange).
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match *self {
+            Distribution::Uniform { range } => {
+                let range = range.max(1);
+                (0..n).map(|_| rng.gen_range(0..range)).collect()
+            }
+            Distribution::Permutation => (0..n as u64).collect(),
+            Distribution::Gaussian { mean, std_dev } => {
+                let mut g = Gaussian::new(seed);
+                (0..n)
+                    .map(|_| clamp_to_u64(1000.0 * (mean + std_dev * g.sample())))
+                    .collect()
+            }
+            Distribution::LogNormal { mu, sigma } => {
+                let mut g = Gaussian::new(seed);
+                (0..n)
+                    .map(|_| clamp_to_u64(1000.0 * (mu + sigma * g.sample()).exp()))
+                    .collect()
+            }
+            Distribution::Pareto { scale, alpha } => (0..n)
+                .map(|_| {
+                    let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+                    clamp_to_u64(1000.0 * scale / u.powf(1.0 / alpha))
+                })
+                .collect(),
+            Distribution::Zipf {
+                num_items,
+                exponent,
+            } => {
+                let table = ZipfTable::new(num_items, exponent);
+                (0..n).map(|_| table.sample(&mut rng)).collect()
+            }
+            Distribution::Clustered { num_clusters } => {
+                let clusters = num_clusters.max(1) as u64;
+                let mut g = Gaussian::new(seed ^ 0x5DEECE66D);
+                (0..n)
+                    .map(|_| {
+                        let c = rng.gen_range(0..clusters);
+                        let center = (c + 1) * (1_000_000_000 / (clusters + 1));
+                        let jitter = 1000.0 * g.sample();
+                        clamp_to_u64(center as f64 + jitter)
+                    })
+                    .collect()
+            }
+            Distribution::WebLatency => {
+                let mut g = Gaussian::new(seed ^ 0xDEADBEEF);
+                (0..n)
+                    .map(|_| {
+                        // 97%: log-normal body, median ≈ 55 ms.
+                        // 3%: Pareto tail (scale 0.47 s, alpha 0.48), placing
+                        // p98.5 ≈ 2 s and p99.5 ≈ 20 s — the 10× jump between
+                        // neighbouring tail percentiles reported by Masson et
+                        // al. and quoted in the paper's introduction.
+                        if rng.gen::<f64>() < 0.97 {
+                            let x = (10.92 + 0.55 * g.sample()).exp(); // micros
+                            clamp_to_u64(x)
+                        } else {
+                            let u: f64 = 1.0 - rng.gen::<f64>();
+                            clamp_to_u64(470_000.0 / u.powf(1.0 / 0.48))
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(xs: &[u64]) -> f64 {
+        xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        for d in [
+            Distribution::Uniform { range: 1000 },
+            Distribution::Gaussian {
+                mean: 10.0,
+                std_dev: 2.0,
+            },
+            Distribution::LogNormal { mu: 1.0, sigma: 1.0 },
+            Distribution::Pareto {
+                scale: 1.0,
+                alpha: 1.5,
+            },
+            Distribution::Zipf {
+                num_items: 1000,
+                exponent: 1.1,
+            },
+            Distribution::Clustered { num_clusters: 5 },
+            Distribution::WebLatency,
+        ] {
+            assert_eq!(d.generate(200, 1), d.generate(200, 1), "{d:?}");
+            assert_ne!(d.generate(200, 1), d.generate(200, 2), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let xs = Distribution::Uniform { range: 100 }.generate(10_000, 3);
+        assert!(xs.iter().all(|&x| x < 100));
+        // roughly uniform: mean near 49.5
+        assert!((mean(&xs) - 49.5).abs() < 2.5);
+    }
+
+    #[test]
+    fn permutation_is_identity_values() {
+        let xs = Distribution::Permutation.generate(100, 9);
+        assert_eq!(xs, (0..100u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gaussian_moments_are_close() {
+        let xs = Distribution::Gaussian {
+            mean: 50.0,
+            std_dev: 5.0,
+        }
+        .generate(50_000, 11);
+        let m = mean(&xs) / 1000.0;
+        assert!((m - 50.0).abs() < 0.5, "mean {m}");
+        let var = xs
+            .iter()
+            .map(|&x| (x as f64 / 1000.0 - m).powi(2))
+            .sum::<f64>()
+            / xs.len() as f64;
+        assert!((var.sqrt() - 5.0).abs() < 0.5, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn box_muller_standard_normal() {
+        let mut g = Gaussian::new(5);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample()).collect();
+        let m = samples.iter().sum::<f64>() / n as f64;
+        let v = samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.03, "var {v}");
+        // symmetry of tails
+        let hi = samples.iter().filter(|&&x| x > 1.96).count() as f64 / n as f64;
+        let lo = samples.iter().filter(|&&x| x < -1.96).count() as f64 / n as f64;
+        assert!((hi - 0.025).abs() < 0.005, "upper tail {hi}");
+        assert!((lo - 0.025).abs() < 0.005, "lower tail {lo}");
+    }
+
+    #[test]
+    fn lognormal_is_heavy_tailed() {
+        let xs = Distribution::LogNormal { mu: 0.0, sigma: 1.5 }.generate(100_000, 13);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        let p50 = sorted[sorted.len() / 2] as f64;
+        let p999 = sorted[(sorted.len() as f64 * 0.999) as usize] as f64;
+        // exp(3.09*1.5) / exp(0) ≈ 103x
+        assert!(p999 / p50 > 30.0, "tail ratio {}", p999 / p50);
+    }
+
+    #[test]
+    fn pareto_inversion_matches_cdf() {
+        let xs = Distribution::Pareto {
+            scale: 1.0,
+            alpha: 2.0,
+        }
+        .generate(100_000, 17);
+        // P(X > 2*scale) = (1/2)^alpha = 0.25
+        let frac = xs.iter().filter(|&&x| x > 2_000).count() as f64 / xs.len() as f64;
+        assert!((frac - 0.25).abs() < 0.01, "tail frac {frac}");
+        assert!(xs.iter().all(|&x| x >= 1_000), "support respected");
+    }
+
+    #[test]
+    fn zipf_frequencies_follow_power_law() {
+        let xs = Distribution::Zipf {
+            num_items: 100,
+            exponent: 1.0,
+        }
+        .generate(200_000, 19);
+        let count = |v: u64| xs.iter().filter(|&&x| x == v).count() as f64;
+        let (c1, c2, c10) = (count(1), count(2), count(10));
+        assert!((c1 / c2 - 2.0).abs() < 0.25, "1 vs 2 ratio {}", c1 / c2);
+        assert!((c1 / c10 - 10.0).abs() < 2.0, "1 vs 10 ratio {}", c1 / c10);
+        assert!(xs.iter().all(|&x| (1..=100).contains(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "table too large")]
+    fn zipf_table_size_guard() {
+        let _ = ZipfTable::new(1 << 23, 1.0);
+    }
+
+    #[test]
+    fn web_latency_matches_masson_shape() {
+        // The paper quotes Masson et al.: p98.5 can be ~2s while p99.5 is
+        // ~20s. Check the synthetic mixture has that order-of-magnitude jump.
+        let xs = Distribution::WebLatency.generate(300_000, 23);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        let at = |q: f64| sorted[((sorted.len() as f64 * q) as usize).min(sorted.len() - 1)] as f64;
+        let p985 = at(0.985);
+        let p995 = at(0.995);
+        assert!(
+            p995 / p985 > 4.0,
+            "tail blow-up missing: p98.5={p985} p99.5={p995}"
+        );
+        // body median in tens of milliseconds (micros scale)
+        let p50 = at(0.50);
+        assert!((20_000.0..200_000.0).contains(&p50), "median {p50}");
+    }
+
+    #[test]
+    fn clustered_values_concentrate() {
+        let xs = Distribution::Clustered { num_clusters: 4 }.generate(20_000, 29);
+        // All values near one of the 4 centers: 2e8, 4e8, 6e8, 8e8.
+        let near_center = xs
+            .iter()
+            .filter(|&&x| {
+                (1..=4u64).any(|c| {
+                    let center = c * 200_000_000;
+                    x.abs_diff(center) < 1_000_000
+                })
+            })
+            .count();
+        assert_eq!(near_center, xs.len());
+    }
+}

@@ -1,0 +1,79 @@
+//! # `streams` — workloads and ground truth for quantile-sketch evaluation
+//!
+//! Everything the experiment harness feeds into sketches comes from here:
+//!
+//! * [`generators`] — seeded, reproducible synthetic distributions
+//!   (uniform, Gaussian, log-normal, Pareto, Zipf, clustered, and the
+//!   heavy-tailed web-latency mixture motivating the paper's §1);
+//! * [`adversarial`] — item *orderings* that stress summaries whose
+//!   guarantees depend on arrival order (sorted, descending, zoom-in — the
+//!   pattern under which Zhang et al. observed the CKMS biased-quantiles
+//!   summary needs linear space, see paper §1.1);
+//! * [`oracle`] — exact rank/quantile ground truth: a full-sort oracle and a
+//!   constant-memory counting oracle for a fixed probe set;
+//! * [`probes`] — standard rank/percentile probe grids used by the
+//!   experiments (geometric ranks to expose tail behaviour).
+//!
+//! All randomness is driven by explicit `u64` seeds through `SmallRng`, so
+//! every experiment in EXPERIMENTS.md is exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod generators;
+pub mod oracle;
+pub mod probes;
+
+pub use adversarial::Ordering;
+pub use generators::Distribution;
+pub use oracle::{CountingOracle, SortOracle};
+pub use probes::{geometric_ranks, standard_percentiles};
+
+/// A fully specified workload: a value distribution plus an arrival order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// What the values look like.
+    pub distribution: Distribution,
+    /// The order in which they arrive.
+    pub ordering: Ordering,
+}
+
+impl Workload {
+    /// Uniform values in random order — the default smoke-test workload.
+    pub fn uniform(range: u64) -> Self {
+        Workload {
+            distribution: Distribution::Uniform { range },
+            ordering: Ordering::Shuffled,
+        }
+    }
+
+    /// Generate `n` items with the given seed.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<u64> {
+        let mut items = self.distribution.generate(n, seed);
+        self.ordering.apply(&mut items, seed ^ 0xA5A5_A5A5_A5A5_A5A5);
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_reproducible() {
+        let w = Workload::uniform(1_000_000);
+        assert_eq!(w.generate(1000, 7), w.generate(1000, 7));
+        assert_ne!(w.generate(1000, 7), w.generate(1000, 8));
+    }
+
+    #[test]
+    fn workload_combines_distribution_and_order() {
+        let w = Workload {
+            distribution: Distribution::Uniform { range: 1 << 20 },
+            ordering: Ordering::Ascending,
+        };
+        let items = w.generate(500, 3);
+        assert!(items.windows(2).all(|p| p[0] <= p[1]));
+    }
+}

@@ -1,0 +1,205 @@
+//! Exact rank/quantile ground truth.
+//!
+//! [`SortOracle`] stores the whole stream sorted — simple and exact, fine up
+//! to ~10⁸ items. [`CountingOracle`] answers exact ranks for a *fixed* probe
+//! set in `O(#probes)` memory and `O(log #probes)` per stream item, which is
+//! what the large-`n` experiments use.
+
+/// Exact oracle over a fully materialized stream.
+#[derive(Debug, Clone)]
+pub struct SortOracle {
+    sorted: Vec<u64>,
+}
+
+impl SortOracle {
+    /// Build from any item slice (copies and sorts).
+    pub fn new(items: &[u64]) -> Self {
+        let mut sorted = items.to_vec();
+        sorted.sort_unstable();
+        SortOracle { sorted }
+    }
+
+    /// Stream length.
+    pub fn n(&self) -> u64 {
+        self.sorted.len() as u64
+    }
+
+    /// Exact inclusive rank `R(y) = |{x ≤ y}|`.
+    pub fn rank(&self, y: u64) -> u64 {
+        self.sorted.partition_point(|&x| x <= y) as u64
+    }
+
+    /// Exact exclusive rank `|{x < y}|`.
+    pub fn rank_exclusive(&self, y: u64) -> u64 {
+        self.sorted.partition_point(|&x| x < y) as u64
+    }
+
+    /// The item of 1-based rank `r` (clamped to `[1, n]`); `None` if empty.
+    pub fn item_at_rank(&self, r: u64) -> Option<u64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let idx = (r.clamp(1, self.n()) - 1) as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// The exact `q`-quantile: item at rank `⌈q·n⌉` (at least 1).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.n() as f64).ceil() as u64).clamp(1, self.n());
+        self.item_at_rank(target)
+    }
+}
+
+/// Exact ranks for a fixed, pre-sorted probe set, computable in one streaming
+/// pass without retaining the stream.
+#[derive(Debug, Clone)]
+pub struct CountingOracle {
+    probes: Vec<u64>,
+    /// `diff[i]` = number of stream items `x` whose smallest probe `≥ x` is
+    /// `probes[i]`; prefix sums give inclusive ranks.
+    diff: Vec<u64>,
+    n: u64,
+    finalized: Option<Vec<u64>>,
+}
+
+impl CountingOracle {
+    /// Create for the given probe values (deduplicated, sorted internally).
+    pub fn new(mut probes: Vec<u64>) -> Self {
+        probes.sort_unstable();
+        probes.dedup();
+        let len = probes.len();
+        CountingOracle {
+            probes,
+            diff: vec![0; len],
+            n: 0,
+            finalized: None,
+        }
+    }
+
+    /// Observe one stream item.
+    pub fn observe(&mut self, x: u64) {
+        self.n += 1;
+        self.finalized = None;
+        let idx = self.probes.partition_point(|&p| p < x);
+        if idx < self.diff.len() {
+            self.diff[idx] += 1;
+        }
+    }
+
+    /// Observe a whole slice.
+    pub fn observe_all(&mut self, items: &[u64]) {
+        for &x in items {
+            self.observe(x);
+        }
+    }
+
+    /// Stream length so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The probe set (sorted, deduplicated).
+    pub fn probes(&self) -> &[u64] {
+        &self.probes
+    }
+
+    fn prefix(&mut self) -> &[u64] {
+        if self.finalized.is_none() {
+            let mut acc = 0u64;
+            let pref: Vec<u64> = self
+                .diff
+                .iter()
+                .map(|&d| {
+                    acc += d;
+                    acc
+                })
+                .collect();
+            self.finalized = Some(pref);
+        }
+        self.finalized.as_deref().expect("just set")
+    }
+
+    /// Exact inclusive rank of the `i`-th (sorted) probe.
+    pub fn rank_of_probe(&mut self, i: usize) -> u64 {
+        self.prefix()[i]
+    }
+
+    /// Exact inclusive rank of a probe *value*; `None` if it was not
+    /// registered.
+    pub fn rank(&mut self, y: u64) -> Option<u64> {
+        let idx = self.probes.binary_search(&y).ok()?;
+        Some(self.rank_of_probe(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_oracle_matches_definition() {
+        let o = SortOracle::new(&[5, 1, 9, 5, 3]);
+        assert_eq!(o.n(), 5);
+        assert_eq!(o.rank(0), 0);
+        assert_eq!(o.rank(1), 1);
+        assert_eq!(o.rank(5), 4);
+        assert_eq!(o.rank_exclusive(5), 2);
+        assert_eq!(o.rank(100), 5);
+    }
+
+    #[test]
+    fn sort_oracle_quantiles() {
+        let o = SortOracle::new(&(1..=100u64).collect::<Vec<_>>());
+        assert_eq!(o.quantile(0.0), Some(1));
+        assert_eq!(o.quantile(0.5), Some(50));
+        assert_eq!(o.quantile(0.99), Some(99));
+        assert_eq!(o.quantile(1.0), Some(100));
+        assert_eq!(o.item_at_rank(1), Some(1));
+        assert_eq!(o.item_at_rank(1000), Some(100)); // clamped
+        assert_eq!(SortOracle::new(&[]).quantile(0.5), None);
+    }
+
+    #[test]
+    fn counting_oracle_agrees_with_sort_oracle() {
+        let items: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(2654435761) % 7919).collect();
+        let probes: Vec<u64> = (0..7919u64).step_by(97).collect();
+        let sort = SortOracle::new(&items);
+        let mut count = CountingOracle::new(probes.clone());
+        count.observe_all(&items);
+        assert_eq!(count.n(), sort.n());
+        for &p in &probes {
+            assert_eq!(count.rank(p), Some(sort.rank(p)), "probe {p}");
+        }
+    }
+
+    #[test]
+    fn counting_oracle_unknown_probe_is_none() {
+        let mut o = CountingOracle::new(vec![10, 20]);
+        o.observe(5);
+        assert_eq!(o.rank(15), None);
+        assert_eq!(o.rank(10), Some(1));
+    }
+
+    #[test]
+    fn counting_oracle_dedups_probes() {
+        let o = CountingOracle::new(vec![5, 5, 1, 1, 9]);
+        assert_eq!(o.probes(), &[1, 5, 9]);
+    }
+
+    #[test]
+    fn counting_oracle_interleaved_observe_and_query() {
+        let mut o = CountingOracle::new(vec![10, 50]);
+        o.observe(10);
+        assert_eq!(o.rank(10), Some(1));
+        o.observe(7);
+        assert_eq!(o.rank(10), Some(2));
+        assert_eq!(o.rank(50), Some(2));
+        o.observe(60); // above all probes: counted in n, not in any rank
+        assert_eq!(o.rank(50), Some(2));
+        assert_eq!(o.n(), 3);
+    }
+}

@@ -1,0 +1,79 @@
+//! Standard probe grids for the experiments.
+//!
+//! The point of a *relative*-error guarantee is behaviour across many orders
+//! of magnitude of rank, so the experiments probe ranks geometrically
+//! (1, 2, 4, …, n) rather than on a linear grid that would oversample the
+//! bulk and miss the tails.
+
+/// Geometrically spaced ranks `⌈ratio^i⌉` up to and including `n`
+/// (deduplicated, ascending, always containing 1 and `n`).
+pub fn geometric_ranks(n: u64, ratio: f64) -> Vec<u64> {
+    assert!(ratio > 1.0, "ratio must exceed 1");
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+    let mut r = 1.0f64;
+    loop {
+        let rank = r.ceil() as u64;
+        if rank >= n {
+            break;
+        }
+        out.push(rank);
+        r *= ratio;
+    }
+    out.push(n);
+    out.dedup();
+    out
+}
+
+/// The percentile grid used for latency monitoring in the paper's
+/// introduction: p50, p90, p99, p99.9 plus a p99.99 tail probe and a p10
+/// body probe.
+pub fn standard_percentiles() -> Vec<f64> {
+    vec![0.10, 0.50, 0.90, 0.99, 0.999, 0.9999]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_ranks_cover_both_ends() {
+        let r = geometric_ranks(1_000_000, 2.0);
+        assert_eq!(r.first(), Some(&1));
+        assert_eq!(r.last(), Some(&1_000_000));
+        assert!(r.windows(2).all(|w| w[0] < w[1]));
+        // about log2(n) probes
+        assert!((19..=22).contains(&r.len()), "{} probes", r.len());
+    }
+
+    #[test]
+    fn geometric_ranks_small_inputs() {
+        assert_eq!(geometric_ranks(0, 2.0), Vec::<u64>::new());
+        assert_eq!(geometric_ranks(1, 2.0), vec![1]);
+        assert_eq!(geometric_ranks(2, 2.0), vec![1, 2]);
+        assert_eq!(geometric_ranks(3, 2.0), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fractional_ratio_gives_denser_grid() {
+        let sparse = geometric_ranks(1 << 20, 4.0);
+        let dense = geometric_ranks(1 << 20, 1.3);
+        assert!(dense.len() > 2 * sparse.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must exceed 1")]
+    fn ratio_guard() {
+        let _ = geometric_ranks(100, 1.0);
+    }
+
+    #[test]
+    fn percentiles_are_ascending_probabilities() {
+        let p = standard_percentiles();
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+        assert!(p.iter().all(|&q| (0.0..1.0).contains(&q)));
+        assert!(p.contains(&0.999));
+    }
+}

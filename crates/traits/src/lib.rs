@@ -1,0 +1,182 @@
+//! Shared interfaces for streaming quantile summaries.
+//!
+//! Every sketch in this workspace — the REQ sketch from *Relative Error
+//! Streaming Quantiles* (Cormode, Karnin, Liberty, Thaler, Veselý, PODS 2021)
+//! as well as each baseline it is compared against — implements these traits,
+//! so the experiment harness and the benchmarks are generic over the summary
+//! being evaluated.
+//!
+//! Rank convention (identical to the paper): for a stream `σ` and item `y`,
+//! `R(y; σ) = |{x ∈ σ : x ≤ y}|` — the **inclusive** rank. A normalized rank
+//! is `R(y)/n ∈ [0, 1]`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// The error regime a summary guarantees (or aims for). Used by the harness
+/// to label outputs; it has no behavioural effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorGuarantee {
+    /// `|R̂(y) − R(y)| ≤ εn` for all `y` (KLL, GK, sampling).
+    Additive,
+    /// `|R̂(y) − R(y)| ≤ ε·R(y)` — accurate for low ranks (paper's base
+    /// orientation).
+    RelativeLowRank,
+    /// `|R̂(y) − R(y)| ≤ ε·(n − R(y) + 1)` — accurate for high ranks
+    /// (reversed comparator, the network-latency use case).
+    RelativeHighRank,
+    /// Relative error on the *values* returned, not on ranks (DDSketch).
+    ValueRelative,
+    /// No formal guarantee (t-digest).
+    Heuristic,
+}
+
+impl fmt::Display for ErrorGuarantee {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorGuarantee::Additive => "additive",
+            ErrorGuarantee::RelativeLowRank => "relative(low-rank)",
+            ErrorGuarantee::RelativeHighRank => "relative(high-rank)",
+            ErrorGuarantee::ValueRelative => "value-relative",
+            ErrorGuarantee::Heuristic => "heuristic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A one-pass streaming summary answering rank and quantile queries.
+///
+/// `T` is the universe item type; it only needs a total order (`Ord`), in
+/// keeping with the paper's comparison-based model. Floating-point input is
+/// supported through wrapper types providing a total order (see
+/// `req_core::OrdF64`).
+pub trait QuantileSketch<T> {
+    /// Process one stream item.
+    fn update(&mut self, item: T);
+
+    /// Number of items processed so far (`n`).
+    fn len(&self) -> u64;
+
+    /// True when no items have been processed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Estimate of the inclusive rank `R(y) = |{x ≤ y}|`.
+    fn rank(&self, item: &T) -> u64;
+
+    /// Estimate of the normalized rank `R(y)/n`; `0.0` on an empty sketch.
+    fn normalized_rank(&self, item: &T) -> f64 {
+        let n = self.len();
+        if n == 0 {
+            0.0
+        } else {
+            self.rank(item) as f64 / n as f64
+        }
+    }
+
+    /// Smallest retained item whose estimated normalized rank is `≥ q`
+    /// (`q` is clamped to `[0, 1]`). `None` on an empty sketch.
+    fn quantile(&self, q: f64) -> Option<T>;
+}
+
+/// Pairwise merging of two summaries of disjoint streams into a summary of
+/// their concatenation.
+///
+/// The REQ sketch is *fully mergeable* (paper Theorem 3): the guarantee holds
+/// under arbitrary merge trees. Baselines implement whatever merge their
+/// original papers define (KLL and DDSketch merge fully; GK/CKMS only via
+/// replay).
+pub trait MergeableSketch: Sized {
+    /// Merge `other` into `self`; afterwards `self` summarizes both inputs.
+    fn merge(&mut self, other: Self);
+}
+
+/// Space accounting, in the paper's cost model (number of retained universe
+/// items) and in estimated bytes.
+pub trait SpaceUsage {
+    /// Number of universe items currently stored — the paper's space measure.
+    fn retained(&self) -> usize;
+
+    /// Estimated heap footprint in bytes (items plus per-item bookkeeping).
+    fn size_bytes(&self) -> usize;
+}
+
+/// Convenience: feed an iterator into any sketch.
+pub fn extend_sketch<T, S: QuantileSketch<T>>(sketch: &mut S, items: impl IntoIterator<Item = T>) {
+    for item in items {
+        sketch.update(item);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal exact sketch used to exercise the trait defaults.
+    struct Exact(Vec<u64>);
+
+    impl QuantileSketch<u64> for Exact {
+        fn update(&mut self, item: u64) {
+            self.0.push(item);
+        }
+        fn len(&self) -> u64 {
+            self.0.len() as u64
+        }
+        fn rank(&self, item: &u64) -> u64 {
+            self.0.iter().filter(|x| *x <= item).count() as u64
+        }
+        fn quantile(&self, q: f64) -> Option<u64> {
+            let mut sorted = self.0.clone();
+            sorted.sort_unstable();
+            if sorted.is_empty() {
+                return None;
+            }
+            let q = q.clamp(0.0, 1.0);
+            let target = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+            Some(sorted[target.min(sorted.len()) - 1])
+        }
+    }
+
+    #[test]
+    fn normalized_rank_empty_is_zero() {
+        let s = Exact(vec![]);
+        assert_eq!(s.normalized_rank(&5), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn normalized_rank_matches_definition() {
+        let mut s = Exact(vec![]);
+        extend_sketch(&mut s, [1u64, 2, 3, 4]);
+        assert_eq!(s.normalized_rank(&2), 0.5);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn exact_quantile_endpoints() {
+        let mut s = Exact(vec![]);
+        extend_sketch(&mut s, [10u64, 20, 30, 40]);
+        assert_eq!(s.quantile(0.0), Some(10));
+        assert_eq!(s.quantile(1.0), Some(40));
+        assert_eq!(s.quantile(0.5), Some(20));
+    }
+
+    #[test]
+    fn guarantee_display_is_stable() {
+        assert_eq!(ErrorGuarantee::Additive.to_string(), "additive");
+        assert_eq!(
+            ErrorGuarantee::RelativeLowRank.to_string(),
+            "relative(low-rank)"
+        );
+        assert_eq!(
+            ErrorGuarantee::RelativeHighRank.to_string(),
+            "relative(high-rank)"
+        );
+        assert_eq!(ErrorGuarantee::ValueRelative.to_string(), "value-relative");
+        assert_eq!(ErrorGuarantee::Heuristic.to_string(), "heuristic");
+    }
+}

@@ -1,0 +1,110 @@
+//! A compact tour of the related-work landscape (paper §1.1): run every
+//! summary in this workspace on the same heavy-tailed stream and print what
+//! each one gets right — and wrong — at the tail. (Experiment E12 is the
+//! rigorous version of this; this example is meant for reading.)
+//!
+//! ```text
+//! cargo run -p harness --release --example compare_baselines
+//! ```
+
+use baselines::{CkmsSketch, DdSketch, GkSketch, KllSketch, ReservoirSampler, TDigest};
+use req_core::{QuantileSketch, RankAccuracy, ReqSketch, SpaceUsage};
+use streams::{Distribution, Ordering, SortOracle, Workload};
+
+fn main() {
+    let n = 1 << 20;
+    let items = Workload {
+        distribution: Distribution::WebLatency,
+        ordering: Ordering::Shuffled,
+    }
+    .generate(n, 5);
+    let oracle = SortOracle::new(&items);
+
+    let mut req = ReqSketch::<u64>::builder()
+        .k(32)
+        .rank_accuracy(RankAccuracy::HighRank)
+        .seed(1)
+        .build()
+        .expect("valid");
+    let mut kll = KllSketch::<u64>::new(400, 2);
+    let mut gk = GkSketch::<u64>::new(0.005);
+    let mut ckms = CkmsSketch::<u64>::new(0.01);
+    let mut dd = DdSketch::new(0.01, 2048);
+    let mut td = TDigest::new(200.0);
+    let mut rsv = ReservoirSampler::<u64>::new(4096, 3);
+
+    for &x in &items {
+        req.update(x);
+        kll.update(x);
+        gk.update(x);
+        ckms.update(x);
+        dd.update_f64(x as f64);
+        td.update_f64(x as f64);
+        rsv.update(x);
+    }
+
+    let p999_rank = (0.999 * n as f64).ceil() as u64;
+    let p999_item = oracle.item_at_rank(p999_rank).expect("nonempty");
+    let truth = oracle.rank(p999_item);
+    let tail = n as u64 - truth + 1;
+
+    println!("workload: {} web-latency samples; probing p99.9 (rank {truth}, tail {tail})\n", n);
+    println!(
+        "{:<22} {:>9} {:>12} {:>14}  note",
+        "summary", "retained", "est. rank", "err/tail"
+    );
+
+    let rows: Vec<(String, usize, u64, &str)> = vec![
+        (
+            "REQ (this paper)".into(),
+            req.retained(),
+            req.rank(&p999_item),
+            "relative-error guarantee, fully mergeable",
+        ),
+        (
+            "KLL".into(),
+            kll.retained(),
+            kll.rank(&p999_item),
+            "optimal additive; tail error is a multiple of the tail",
+        ),
+        (
+            "GK".into(),
+            gk.retained(),
+            gk.rank(&p999_item),
+            "deterministic additive",
+        ),
+        (
+            "CKMS biased".into(),
+            ckms.retained(),
+            ckms.rank(&p999_item),
+            "relative on benign orders; linear space adversarially",
+        ),
+        (
+            "DDSketch".into(),
+            dd.retained(),
+            dd.rank(&(p999_item as f64)),
+            "guarantees value error, not rank error",
+        ),
+        (
+            "t-digest".into(),
+            td.retained(),
+            td.rank(&(p999_item as f64)),
+            "heuristic; no formal analysis",
+        ),
+        (
+            "reservoir sample".into(),
+            rsv.retained(),
+            rsv.rank(&p999_item),
+            "additive w.h.p.; cannot resolve extreme ranks",
+        ),
+    ];
+    for (name, retained, est, note) in rows {
+        println!(
+            "{name:<22} {retained:>9} {est:>12} {:>14.4}  {note}",
+            est.abs_diff(truth) as f64 / tail as f64
+        );
+    }
+
+    println!("\nexact p99.9 latency: {:.2}s", p999_item as f64 / 1e6);
+    println!("REQ p99.9 estimate : {:.2}s", req.quantile(0.999).unwrap() as f64 / 1e6);
+}

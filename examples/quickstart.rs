@@ -1,0 +1,75 @@
+//! Quickstart: build a REQ sketch, stream data through it, query ranks and
+//! quantiles, and inspect its structure.
+//!
+//! ```text
+//! cargo run -p harness --release --example quickstart
+//! ```
+
+use req_core::{QuantileSketch, RankAccuracy, ReqSketch, SpaceUsage};
+
+fn main() {
+    // A sketch over u64 items. k controls the accuracy/space trade-off
+    // (measured relative error ≈ sqrt(log2 n)/k, see experiment E13);
+    // high-rank accuracy puts the tight guarantee on p90/p99/p99.9.
+    let mut sketch = ReqSketch::<u64>::builder()
+        .k(32)
+        .rank_accuracy(RankAccuracy::HighRank)
+        .seed(42)
+        .build()
+        .expect("valid parameters");
+
+    // Stream one million values (a shuffled permutation, so the true rank of
+    // value v is exactly v + 1).
+    let n: u64 = 1_000_000;
+    let mut v = 0u64;
+    for _ in 0..n {
+        v = (v + 7_368_787) % n; // 7368787 is coprime with 10^6: a permutation
+        sketch.update(v);
+    }
+    assert_eq!(sketch.len(), n);
+
+    println!("stream length        : {}", sketch.len());
+    println!("retained items       : {}", sketch.retained());
+    println!("heap footprint       : {} KiB", sketch.size_bytes() / 1024);
+    println!("levels               : {}", sketch.num_levels());
+    println!(
+        "compression ratio    : {:.1}x",
+        n as f64 / sketch.retained() as f64
+    );
+    println!();
+
+    // Quantile queries: the high-rank orientation makes tail percentiles
+    // proportionally accurate.
+    let view = sketch.sorted_view(); // build once, query many times
+    for q in [0.5, 0.9, 0.99, 0.999, 0.9999] {
+        let est = *view.quantile(q).expect("nonempty");
+        let truth = (q * n as f64).ceil() as u64 - 1;
+        let tail = n - truth; // items above the target
+        println!(
+            "p{:<7} estimate {:>9}   true {:>9}   tail-relative error {:.4}",
+            q * 100.0,
+            est,
+            truth,
+            est.abs_diff(truth) as f64 / tail.max(1) as f64
+        );
+    }
+    println!();
+
+    // Rank queries (inclusive: how many items are ≤ y?).
+    for y in [999_990, 999_900, 999_000, 990_000, 900_000, 500_000] {
+        let est = view.rank(&y);
+        let truth = y + 1;
+        println!(
+            "rank({y:>7}) ≈ {est:>9}   true {truth:>9}   error relative to tail {:.4}",
+            est.abs_diff(truth) as f64 / (n - truth + 1) as f64
+        );
+    }
+
+    // The exact extremes are always tracked.
+    assert_eq!(sketch.min_item(), Some(&0));
+    assert_eq!(sketch.max_item(), Some(&(n - 1)));
+    println!("\nmin={:?} max={:?}", sketch.min_item(), sketch.max_item());
+
+    // Structural introspection (per-level fill and schedule state).
+    println!("\n{}", sketch.stats());
+}

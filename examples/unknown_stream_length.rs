@@ -1,0 +1,78 @@
+//! Unknown stream lengths (paper §5): the sketch needs no advance knowledge
+//! of `n`. Watch the length-estimate ladder `Nᵢ₊₁ = Nᵢ²` drive parameter
+//! recomputation (footnote 9 / Appendix D) as the stream grows by orders of
+//! magnitude, while the relative guarantee holds throughout; and compare
+//! with the literal §5 construction that closes out read-only summaries.
+//!
+//! ```text
+//! cargo run -p harness --release --example unknown_stream_length
+//! ```
+
+use req_core::{
+    GrowingReqSketch, ParamPolicy, QuantileSketch, RankAccuracy, ReqSketch, SpaceUsage,
+};
+use streams::SortOracle;
+
+fn main() {
+    let eps = 0.1;
+    let delta = 0.05;
+
+    // Footnote-9 variant: one sketch, parameters recomputed in place.
+    let policy = ParamPolicy::mergeable_scaled(eps, delta, 0.5).expect("valid parameters");
+    let mut inplace = ReqSketch::<u64>::with_policy(policy, RankAccuracy::LowRank, 11);
+    // §5 variant: closed-out summaries, one per estimate.
+    let mut growing =
+        GrowingReqSketch::<u64>::new(eps, delta, RankAccuracy::LowRank, 13).expect("valid");
+
+    let final_n: u64 = 3_000_000;
+    let mut items: Vec<u64> = Vec::with_capacity(final_n as usize);
+    let mut last_estimate = inplace.max_n();
+    println!(
+        "start: N0 = {last_estimate} (k={}, B={})",
+        inplace.k(),
+        inplace.level_capacity()
+    );
+    println!();
+
+    let mut x = 0u64;
+    for i in 0..final_n {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let item = x >> 16;
+        items.push(item);
+        inplace.update(item);
+        growing.update(item);
+        if inplace.max_n() != last_estimate {
+            println!(
+                "n = {:>9}: estimate squared {last_estimate} -> {} | k={} B={} levels={} retained={}",
+                i + 1,
+                inplace.max_n(),
+                inplace.k(),
+                inplace.level_capacity(),
+                inplace.num_levels(),
+                inplace.retained()
+            );
+            last_estimate = inplace.max_n();
+        }
+    }
+
+    println!();
+    println!(
+        "final: n={final_n}, in-place retained={} | §5 variant: {} summaries, retained={}",
+        inplace.retained(),
+        growing.num_summaries(),
+        growing.retained()
+    );
+
+    // Accuracy check across the whole rank range.
+    let oracle = SortOracle::new(&items);
+    let inplace_view = inplace.sorted_view();
+    println!("\n{:>12} {:>12} {:>12}", "true rank", "in-place err", "§5 err");
+    for r in [10u64, 1_000, 100_000, 1_000_000, final_n] {
+        let item = oracle.item_at_rank(r).expect("nonempty");
+        let truth = oracle.rank(item);
+        let e1 = inplace_view.rank(&item).abs_diff(truth) as f64 / truth as f64;
+        let e2 = growing.rank(&item).abs_diff(truth) as f64 / truth as f64;
+        println!("{truth:>12} {e1:>12.4} {e2:>12.4}");
+    }
+    println!("\nboth variants keep |R̂ − R| ≤ εR with ε = {eps} while n grew unbounded.");
+}

@@ -1,0 +1,73 @@
+//! Pre-aggregated input: feeding a frequency histogram into the sketch with
+//! weighted updates, then merging it with a raw stream — the common pattern
+//! when backfilling sketches from rollup tables.
+//!
+//! ```text
+//! cargo run -p harness --release --example weighted_histogram
+//! ```
+
+use req_core::{MergeableSketch, QuantileSketch, RankAccuracy, ReqSketch, SpaceUsage};
+
+fn main() {
+    // Yesterday's data only exists as a (value -> count) rollup.
+    // Model: response codes bucketed by latency band, heavily skewed.
+    let histogram: Vec<(u64, u64)> = (0..1_000u64)
+        .map(|band| {
+            let value = 1_000 + band * 97; // band's representative latency
+            let count = 50_000 / (band + 1); // Zipf-ish frequency
+            (value, count)
+        })
+        .collect();
+    let total: u64 = histogram.iter().map(|(_, c)| c).sum();
+
+    let mut backfill = ReqSketch::<u64>::builder()
+        .k(32)
+        .rank_accuracy(RankAccuracy::HighRank)
+        .seed(1)
+        .build()
+        .expect("valid parameters");
+    for &(value, count) in &histogram {
+        backfill.update_weighted(value, count);
+    }
+    assert_eq!(backfill.len(), total);
+    assert_eq!(backfill.total_weight(), total);
+    println!(
+        "backfilled {total} weighted observations into {} retained items ({} KiB)",
+        backfill.retained(),
+        backfill.size_bytes() / 1024
+    );
+
+    // Today's data arrives raw; sketch it normally, then merge.
+    let mut live = ReqSketch::<u64>::builder()
+        .k(32)
+        .rank_accuracy(RankAccuracy::HighRank)
+        .seed(2)
+        .build()
+        .expect("valid parameters");
+    let live_n = 500_000u64;
+    let mut x = 9u64;
+    for _ in 0..live_n {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        live.update(1_000 + (x % 97_000));
+    }
+    backfill.merge(live);
+    assert_eq!(backfill.len(), total + live_n);
+    println!(
+        "after merging {live_n} live observations: n={}, retained={}",
+        backfill.len(),
+        backfill.retained()
+    );
+
+    // Query the combined distribution.
+    println!("\ncombined percentile report:");
+    let view = backfill.sorted_view();
+    for q in [0.5, 0.9, 0.99, 0.999] {
+        let v = *view.quantile(q).expect("nonempty");
+        let (lo, hi) = backfill.rank_bounds(&v);
+        println!(
+            "  p{:<6} ≈ {v:>7}   (rank bounds [{lo}, {hi}], est. ε = {:.4})",
+            q * 100.0,
+            backfill.estimated_epsilon()
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! End-to-end accuracy of the REQ sketch against exact oracles, across
+//! distributions, orderings, and both orientations.
+//!
+//! These are statistical tests with fixed seeds and generous margins: the
+//! sketch's guarantee is probabilistic (Theorem 1), so each assertion uses a
+//! bound a healthy implementation passes with huge slack while any structural
+//! bug (broken schedule, lost protection, biased estimator) fails it.
+
+use req_core::{QuantileSketch, RankAccuracy, ReqSketch, SpaceUsage};
+use streams::{geometric_ranks, Distribution, Ordering, SortOracle, Workload};
+
+fn build(k: u32, acc: RankAccuracy, items: &[u64], seed: u64) -> ReqSketch<u64> {
+    let mut s = ReqSketch::<u64>::builder()
+        .k(k)
+        .rank_accuracy(acc)
+        .seed(seed)
+        .build()
+        .unwrap();
+    for &x in items {
+        s.update(x);
+    }
+    s
+}
+
+#[test]
+fn low_rank_relative_error_across_distributions() {
+    let n = 1u64 << 16;
+    for (i, dist) in [
+        Distribution::Permutation,
+        Distribution::Uniform { range: 1 << 30 },
+        Distribution::LogNormal { mu: 3.0, sigma: 1.5 },
+        Distribution::Zipf {
+            num_items: 10_000,
+            exponent: 1.2,
+        },
+        Distribution::WebLatency,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let items = Workload {
+            distribution: dist,
+            ordering: Ordering::Shuffled,
+        }
+        .generate(n as usize, 42 + i as u64);
+        let oracle = SortOracle::new(&items);
+        let sketch = build(32, RankAccuracy::LowRank, &items, i as u64);
+        for r in geometric_ranks(n, 2.0) {
+            let item = oracle.item_at_rank(r).unwrap();
+            let truth = oracle.rank(item);
+            let est = sketch.rank(&item);
+            let rel = est.abs_diff(truth) as f64 / truth as f64;
+            assert!(
+                rel < 0.05,
+                "{dist:?}: rank {truth} est {est} rel {rel:.4}"
+            );
+        }
+    }
+}
+
+#[test]
+fn high_rank_orientation_mirrors_guarantee() {
+    let n = 1u64 << 16;
+    let items = Workload::uniform(u64::MAX).generate(n as usize, 9);
+    let oracle = SortOracle::new(&items);
+    let sketch = build(32, RankAccuracy::HighRank, &items, 3);
+    for r in geometric_ranks(n, 2.0) {
+        // probe from the top: rank n - r + 1
+        let probe_rank = n - r + 1;
+        let item = oracle.item_at_rank(probe_rank).unwrap();
+        let truth = oracle.rank(item);
+        let est = sketch.rank(&item);
+        let tail = n - truth + 1;
+        let rel = est.abs_diff(truth) as f64 / tail as f64;
+        assert!(
+            rel < 0.05,
+            "tail {tail}: est {est} truth {truth} rel {rel:.4}"
+        );
+    }
+}
+
+#[test]
+fn guarantee_holds_under_every_ordering() {
+    let n = 1u64 << 15;
+    for ordering in [
+        Ordering::Shuffled,
+        Ordering::Ascending,
+        Ordering::Descending,
+        Ordering::ZoomIn,
+        Ordering::ZoomOut,
+        Ordering::SortedBlocks { block: 333 },
+        Ordering::MaxFirstAscending,
+    ] {
+        let mut items: Vec<u64> = (0..n).collect();
+        ordering.apply(&mut items, 17);
+        let sketch = build(32, RankAccuracy::LowRank, &items, 5);
+        // permutation: R(y) = y + 1
+        for r in geometric_ranks(n, 2.0) {
+            let y = r - 1;
+            let est = sketch.rank(&y);
+            let rel = est.abs_diff(r) as f64 / r as f64;
+            assert!(rel < 0.06, "{ordering:?}: rank {r} est {est} rel {rel:.4}");
+        }
+    }
+}
+
+#[test]
+fn quantile_rank_roundtrip() {
+    // quantile(q) must return an item whose true rank is within relative
+    // error of q*n.
+    let n = 1u64 << 16;
+    let items = Workload {
+        distribution: Distribution::LogNormal { mu: 5.0, sigma: 2.0 },
+        ordering: Ordering::Shuffled,
+    }
+    .generate(n as usize, 21);
+    let oracle = SortOracle::new(&items);
+    let sketch = build(48, RankAccuracy::HighRank, &items, 1);
+    let view = sketch.sorted_view();
+    for q in [0.5, 0.9, 0.99, 0.999, 0.9999] {
+        let est_item = *view.quantile(q).unwrap();
+        let true_rank_of_est = oracle.rank(est_item);
+        let target = (q * n as f64).ceil() as u64;
+        let tail = (n - target + 1).max(1);
+        let err = true_rank_of_est.abs_diff(target) as f64 / tail as f64;
+        assert!(
+            err < 0.20,
+            "q={q}: returned item has rank {true_rank_of_est}, target {target} (tail {tail})"
+        );
+    }
+}
+
+#[test]
+fn duplicates_heavy_stream() {
+    // A stream with massive duplication: ranks jump in blocks; estimates must
+    // stay monotone and within bounds.
+    let n = 1u64 << 15;
+    let items: Vec<u64> = (0..n).map(|i| i % 16).collect();
+    let oracle = SortOracle::new(&items);
+    let sketch = build(16, RankAccuracy::LowRank, &items, 8);
+    let mut prev = 0u64;
+    for y in 0..16u64 {
+        let est = sketch.rank(&y);
+        let truth = oracle.rank(y);
+        assert!(est >= prev, "monotonicity broken at {y}");
+        prev = est;
+        let rel = est.abs_diff(truth) as f64 / truth as f64;
+        assert!(rel < 0.05, "value {y}: est {est} truth {truth}");
+    }
+    assert_eq!(sketch.rank(&16), n);
+}
+
+#[test]
+fn epsilon_policy_meets_its_target_with_margin() {
+    // Mergeable policy with paper constants: the guarantee is eps with prob
+    // 1-delta; measured error should be far below eps (constants are
+    // pessimistic).
+    let n = 1u64 << 16;
+    let eps = 0.1;
+    let items = Workload::uniform(1 << 40).generate(n as usize, 33);
+    let oracle = SortOracle::new(&items);
+    let mut s: ReqSketch<u64> = ReqSketch::<u64>::builder()
+        .epsilon_delta(eps, 0.05)
+        .rank_accuracy(RankAccuracy::LowRank)
+        .seed(2)
+        .build()
+        .unwrap();
+    for &x in &items {
+        s.update(x);
+    }
+    for r in geometric_ranks(n, 2.0) {
+        let item = oracle.item_at_rank(r).unwrap();
+        let truth = oracle.rank(item);
+        let rel = s.rank(&item).abs_diff(truth) as f64 / truth as f64;
+        assert!(rel < eps, "rank {truth}: rel {rel} vs eps {eps}");
+    }
+}
+
+#[test]
+fn space_stays_polylogarithmic() {
+    let n = 1u64 << 20;
+    let mut s = ReqSketch::<u64>::builder().k(16).seed(4).build().unwrap();
+    for i in 0..n {
+        s.update(i.wrapping_mul(0x9E3779B97F4A7C15));
+    }
+    // generous polylog budget: B * (#levels + 1)
+    let budget = s.level_capacity() * (s.num_levels() + 1);
+    assert!(s.retained() <= budget, "{} > {budget}", s.retained());
+    assert!(
+        (s.retained() as f64) < 0.02 * n as f64,
+        "sketch is {}% of the stream",
+        100.0 * s.retained() as f64 / n as f64
+    );
+}
+
+#[test]
+fn growing_and_fixed_agree() {
+    // The same stream through the default (footnote 9) sketch and the §5
+    // growing sketch: both meet the target; estimates are close to each
+    // other.
+    let n = 1u64 << 15;
+    let items = Workload::uniform(1 << 32).generate(n as usize, 55);
+    let oracle = SortOracle::new(&items);
+    let mut a: ReqSketch<u64> = ReqSketch::<u64>::builder()
+        .epsilon_delta(0.1, 0.05)
+        .high_rank_accuracy(false)
+        .seed(6)
+        .build()
+        .unwrap();
+    let mut b =
+        req_core::GrowingReqSketch::<u64>::new(0.1, 0.05, RankAccuracy::LowRank, 7).unwrap();
+    for &x in &items {
+        a.update(x);
+        b.update(x);
+    }
+    for r in geometric_ranks(n, 4.0) {
+        let item = oracle.item_at_rank(r).unwrap();
+        let truth = oracle.rank(item) as f64;
+        let ea = (a.rank(&item) as f64 - truth).abs() / truth;
+        let eb = (b.rank(&item) as f64 - truth).abs() / truth;
+        assert!(ea < 0.1, "fixed: {ea}");
+        assert!(eb < 0.1, "growing: {eb}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Baseline summaries against exact oracles on realistic workloads — each
+//! baseline must honour (only) the guarantee its own paper promises, which is
+//! what makes the comparisons in E1/E6/E12 meaningful.
+
+use baselines::{
+    CkmsSketch, DdSketch, DeterministicRelativeSketch, GkSketch, HalvingSketch, KllSketch,
+    ReservoirSampler, TDigest,
+};
+use req_core::RankAccuracy;
+use sketch_traits::{MergeableSketch, QuantileSketch, SpaceUsage};
+use streams::{geometric_ranks, Distribution, Ordering, SortOracle, Workload};
+
+fn workload(n: usize, seed: u64) -> (Vec<u64>, SortOracle) {
+    let items = Workload {
+        distribution: Distribution::Uniform { range: 1 << 32 },
+        ordering: Ordering::Shuffled,
+    }
+    .generate(n, seed);
+    let oracle = SortOracle::new(&items);
+    (items, oracle)
+}
+
+#[test]
+fn kll_additive_guarantee_on_real_workload() {
+    let n = 1 << 17;
+    let (items, oracle) = workload(n, 1);
+    let mut s = KllSketch::<u64>::new(256, 1);
+    for &x in &items {
+        s.update(x);
+    }
+    // KLL with k=256: additive error well under 1% of n
+    for r in geometric_ranks(n as u64, 2.0) {
+        let item = oracle.item_at_rank(r).unwrap();
+        let truth = oracle.rank(item);
+        let add = s.rank(&item).abs_diff(truth) as f64 / n as f64;
+        assert!(add < 0.01, "rank {truth}: additive err {add}");
+    }
+}
+
+#[test]
+fn gk_deterministic_bound_holds_everywhere() {
+    let eps = 0.02;
+    let n = 1u64 << 15;
+    let (items, oracle) = workload(n as usize, 2);
+    let mut s = GkSketch::<u64>::new(eps);
+    for &x in &items {
+        s.update(x);
+    }
+    // GK's bound is worst-case deterministic: check a dense grid.
+    for r in (1..=n).step_by(97) {
+        let item = oracle.item_at_rank(r).unwrap();
+        let truth = oracle.rank(item);
+        let err = s.rank(&item).abs_diff(truth) as f64;
+        assert!(
+            err <= eps * n as f64 + 1.0,
+            "rank {truth}: err {err} > eps*n"
+        );
+    }
+}
+
+#[test]
+fn ckms_relative_bound_on_benign_order() {
+    let eps = 0.02;
+    let n = 1u64 << 15;
+    let (items, oracle) = workload(n as usize, 3);
+    let mut s = CkmsSketch::<u64>::new(eps);
+    for &x in &items {
+        s.update(x);
+    }
+    for r in geometric_ranks(n, 2.0) {
+        let item = oracle.item_at_rank(r).unwrap();
+        let truth = oracle.rank(item);
+        let err = s.rank(&item).abs_diff(truth) as f64;
+        assert!(
+            err <= 3.0 * eps * truth as f64 + 2.0,
+            "rank {truth}: err {err}"
+        );
+    }
+}
+
+#[test]
+fn ddsketch_value_guarantee_on_lognormal() {
+    let alpha = 0.02;
+    let n = 1 << 16;
+    let items = Workload {
+        distribution: Distribution::LogNormal { mu: 4.0, sigma: 1.0 },
+        ordering: Ordering::Shuffled,
+    }
+    .generate(n, 4);
+    let oracle = SortOracle::new(&items);
+    let mut s = DdSketch::new(alpha, 4096);
+    for &x in &items {
+        s.update_f64(x as f64);
+    }
+    for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+        let est = s.quantile_f64(q).unwrap();
+        let truth = oracle.quantile(q).unwrap() as f64;
+        let rel = (est - truth).abs() / truth;
+        // alpha guarantee plus the fixed-point rounding of the workload
+        assert!(rel <= alpha + 0.01, "q={q}: value rel err {rel}");
+    }
+}
+
+#[test]
+fn tdigest_is_sane_but_unbounded_in_theory() {
+    let n = 1 << 16;
+    let (items, oracle) = workload(n, 5);
+    let mut s = TDigest::new(150.0);
+    for &x in &items {
+        s.update_f64(x as f64);
+    }
+    // sanity: median within a few percent; no formal bound claimed
+    let med_est = s.quantile_f64(0.5).unwrap();
+    let med_true = oracle.quantile(0.5).unwrap() as f64;
+    assert!((med_est - med_true).abs() / med_true < 0.05);
+    assert!(s.retained() < 3000);
+}
+
+#[test]
+fn reservoir_additive_but_not_relative() {
+    let n = 1u64 << 16;
+    let (items, oracle) = workload(n as usize, 6);
+    let mut s = ReservoirSampler::<u64>::new(2048, 6);
+    for &x in &items {
+        s.update(x);
+    }
+    // additive fine at the median
+    let mid_item = oracle.item_at_rank(n / 2).unwrap();
+    let add = s.rank(&mid_item).abs_diff(oracle.rank(mid_item)) as f64 / n as f64;
+    assert!(add < 0.05, "additive err {add}");
+    // relative error at rank ~30 is catastrophic (granularity n/m = 32)
+    let low_item = oracle.item_at_rank(30).unwrap();
+    let truth = oracle.rank(low_item);
+    let est = s.rank(&low_item);
+    let rel = est.abs_diff(truth) as f64 / truth as f64;
+    assert!(
+        rel > 0.1,
+        "sampling should NOT resolve rank {truth} (est {est}, rel {rel})"
+    );
+}
+
+#[test]
+fn deterministic_sketch_matches_zw_regime() {
+    let eps = 0.2;
+    let n = 1u64 << 14;
+    let (items, oracle) = workload(n as usize, 7);
+    for seed in 0..5u64 {
+        let mut s =
+            DeterministicRelativeSketch::<u64>::new(eps, n, RankAccuracy::LowRank, seed).unwrap();
+        for &x in &items {
+            s.update(x);
+        }
+        for r in geometric_ranks(n, 2.0) {
+            let item = oracle.item_at_rank(r).unwrap();
+            let truth = oracle.rank(item);
+            let err = s.rank(&item).abs_diff(truth) as f64;
+            assert!(
+                err <= eps * truth as f64 + 1.0,
+                "seed {seed} rank {truth}: err {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn halving_is_relative_but_bigger_per_eps() {
+    let eps = 0.1;
+    let n = 1u64 << 16;
+    let (items, oracle) = workload(n as usize, 8);
+    let mut hal = HalvingSketch::<u64>::from_eps(eps, RankAccuracy::LowRank, 8);
+    for &x in &items {
+        hal.update(x);
+    }
+    for r in geometric_ranks(n, 2.0) {
+        let item = oracle.item_at_rank(r).unwrap();
+        let truth = oracle.rank(item);
+        let rel = hal.rank(&item).abs_diff(truth) as f64 / truth as f64;
+        assert!(rel < eps, "rank {truth}: rel {rel}");
+    }
+}
+
+#[test]
+fn mergeable_baselines_merge_correctly() {
+    // KLL, DDSketch, t-digest declare MergeableSketch; verify counts and a
+    // mid quantile after merging disjoint halves.
+    let n = 1u64 << 15;
+
+    let mut kll_a = KllSketch::<u64>::new(128, 1);
+    let mut kll_b = KllSketch::<u64>::new(128, 2);
+    let mut dd_a = DdSketch::new(0.02, 2048);
+    let mut dd_b = DdSketch::new(0.02, 2048);
+    let mut td_a = TDigest::new(100.0);
+    let mut td_b = TDigest::new(100.0);
+    for i in 0..n {
+        kll_a.update(i);
+        kll_b.update(n + i);
+        dd_a.update_f64((i + 1) as f64);
+        dd_b.update_f64((n + i + 1) as f64);
+        td_a.update_f64(i as f64);
+        td_b.update_f64((n + i) as f64);
+    }
+    kll_a.merge(kll_b);
+    dd_a.merge(dd_b);
+    td_a.merge(td_b);
+    assert_eq!(kll_a.len(), 2 * n);
+    assert_eq!(dd_a.len(), 2 * n);
+    assert_eq!(td_a.len(), 2 * n);
+
+    let mid = n as f64;
+    let kll_med = kll_a.quantile(0.5).unwrap() as f64;
+    let dd_med = dd_a.quantile_f64(0.5).unwrap();
+    let td_med = td_a.quantile_f64(0.5).unwrap();
+    assert!((kll_med - mid).abs() / mid < 0.05, "kll {kll_med}");
+    assert!((dd_med - mid).abs() / mid < 0.05, "dd {dd_med}");
+    assert!((td_med - mid).abs() / mid < 0.05, "td {td_med}");
+}

@@ -1,0 +1,106 @@
+//! Concurrent ingestion: the sharded writer built on mergeability (§1's
+//! parallel-processing motivation), exercised with real thread contention
+//! and verified against an exact oracle.
+
+use req_core::{ConcurrentReqSketch, QuantileSketch, RankAccuracy, ReqSketch, SpaceUsage};
+use streams::{geometric_ranks, SortOracle, Workload};
+
+fn builder(k: u32, seed: u64) -> req_core::ReqSketchBuilder {
+    ReqSketch::<u64>::builder()
+        .k(k)
+        .rank_accuracy(RankAccuracy::LowRank)
+        .seed(seed)
+}
+
+#[test]
+fn parallel_ingest_matches_oracle() {
+    let n = 1 << 18;
+    let threads = 8u64;
+    let items = Workload::uniform(1 << 40).generate(n, 10);
+    let shared = ConcurrentReqSketch::<u64>::new(builder(32, 1), threads as usize).unwrap();
+
+    let chunk = n / threads as usize;
+    std::thread::scope(|scope| {
+        for (t, part) in items.chunks(chunk).enumerate() {
+            let shared = &shared;
+            scope.spawn(move || {
+                for &x in part {
+                    shared.update_in_shard(t, x);
+                }
+            });
+        }
+    });
+    assert_eq!(shared.len(), n as u64);
+
+    let snap = shared.snapshot().unwrap();
+    assert_eq!(snap.len(), n as u64);
+    assert_eq!(snap.weight_drift(), 0);
+    let oracle = SortOracle::new(&items);
+    for r in geometric_ranks(n as u64, 2.0) {
+        let item = oracle.item_at_rank(r).unwrap();
+        let truth = oracle.rank(item);
+        let rel = snap.rank(&item).abs_diff(truth) as f64 / truth as f64;
+        assert!(rel < 0.08, "rank {truth}: rel {rel}");
+    }
+}
+
+#[test]
+fn round_robin_from_many_threads_loses_nothing() {
+    let shared = ConcurrentReqSketch::<u64>::new(builder(12, 2), 4).unwrap();
+    std::thread::scope(|scope| {
+        for t in 0..16u64 {
+            let shared = &shared;
+            scope.spawn(move || {
+                for i in 0..10_000u64 {
+                    shared.update(t * 10_000 + i);
+                }
+            });
+        }
+    });
+    assert_eq!(shared.len(), 160_000);
+    let snap = shared.snapshot().unwrap();
+    assert_eq!(snap.len(), 160_000);
+    assert_eq!(snap.total_weight(), 160_000);
+}
+
+#[test]
+fn snapshot_while_ingesting_is_consistent() {
+    // Take snapshots concurrently with ingestion: every snapshot must be
+    // internally consistent (weight == len) even though it races with
+    // writers.
+    let shared = ConcurrentReqSketch::<u64>::new(builder(12, 3), 4).unwrap();
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let shared = &shared;
+            scope.spawn(move || {
+                for i in 0..50_000u64 {
+                    shared.update_in_shard(t as usize, i);
+                }
+            });
+        }
+        let shared = &shared;
+        scope.spawn(move || {
+            for _ in 0..20 {
+                let snap = shared.snapshot().unwrap();
+                assert_eq!(
+                    snap.total_weight(),
+                    snap.len(),
+                    "snapshot weight must match its item count"
+                );
+                std::thread::yield_now();
+            }
+        });
+    });
+    assert_eq!(shared.len(), 200_000);
+}
+
+#[test]
+fn snapshot_space_is_one_sketch_worth() {
+    let shared = ConcurrentReqSketch::<u64>::new(builder(16, 4), 8).unwrap();
+    for i in 0..200_000u64 {
+        shared.update(i);
+    }
+    let snap = shared.snapshot().unwrap();
+    let budget = snap.level_capacity() * (snap.num_levels() + 1);
+    assert!(snap.retained() <= budget);
+}

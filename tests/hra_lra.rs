@@ -1,0 +1,141 @@
+//! The two rank-accuracy orientations are exact mirror images (paper §1:
+//! "running the same algorithm with the reversed total ordering on the
+//! universe"). These tests pin down the symmetry and each orientation's
+//! protected-end exactness.
+
+use req_core::{QuantileSketch, RankAccuracy, ReqSketch};
+use streams::{SortOracle, Workload};
+
+fn build(acc: RankAccuracy, items: &[u64], seed: u64) -> ReqSketch<u64> {
+    let mut s = ReqSketch::<u64>::builder()
+        .k(16)
+        .rank_accuracy(acc)
+        .seed(seed)
+        .build()
+        .unwrap();
+    for &x in items {
+        s.update(x);
+    }
+    s
+}
+
+/// Mirror a value within a domain of size `m`: x -> m-1-x reverses the order.
+fn mirror(items: &[u64], m: u64) -> Vec<u64> {
+    items.iter().map(|&x| m - 1 - x).collect()
+}
+
+#[test]
+fn hra_equals_lra_on_mirrored_stream() {
+    // With the same seed (same coin sequence), an HRA sketch on x is
+    // structurally identical to an LRA sketch on the mirrored stream:
+    // count_le of HRA at y == n - count_le of LRA at mirror(y) - ... more
+    // robustly: estimated tail counts coincide.
+    let m = 1u64 << 20;
+    let n = 1usize << 15;
+    let items = Workload::uniform(m).generate(n, 42);
+    let mirrored = mirror(&items, m);
+
+    let hra = build(RankAccuracy::HighRank, &items, 7);
+    let lra = build(RankAccuracy::LowRank, &mirrored, 7);
+
+    for probe in (0..m).step_by(1 << 14) {
+        // items > probe in the original == items < mirror(probe) in the
+        // mirrored stream.
+        let tail_hra = hra.len() - hra.rank(&probe);
+        let head_lra = lra.rank_exclusive(&(m - 1 - probe));
+        assert_eq!(
+            tail_hra, head_lra,
+            "mirror symmetry broken at probe {probe}"
+        );
+    }
+}
+
+#[test]
+fn lra_is_exact_at_the_bottom_hra_at_the_top() {
+    let n = 1u64 << 16;
+    let items = Workload::uniform(1 << 32).generate(n as usize, 3);
+    let oracle = SortOracle::new(&items);
+
+    let lra = build(RankAccuracy::LowRank, &items, 1);
+    let hra = build(RankAccuracy::HighRank, &items, 1);
+
+    // The protected half of level 0 is never compacted: the bottom B/2
+    // items are exact for LRA, the top B/2 for HRA.
+    let b_half = (lra.level_capacity() / 2) as u64;
+    let check = b_half.min(64);
+    for r in 1..=check {
+        let low_item = oracle.item_at_rank(r).unwrap();
+        assert_eq!(
+            lra.rank(&low_item),
+            oracle.rank(low_item),
+            "LRA must be exact at rank {r}"
+        );
+        let high_item = oracle.item_at_rank(n - r + 1).unwrap();
+        assert_eq!(
+            hra.rank(&high_item),
+            oracle.rank(high_item),
+            "HRA must be exact at tail rank {r}"
+        );
+    }
+}
+
+#[test]
+fn each_orientation_degrades_at_its_far_end() {
+    // Sanity that the orientations genuinely differ: on the same stream the
+    // LRA sketch's worst error concentrates at high ranks and vice versa.
+    let n = 1u64 << 17;
+    let items = Workload::uniform(1 << 40).generate(n as usize, 5);
+    let oracle = SortOracle::new(&items);
+    let lra = build(RankAccuracy::LowRank, &items, 2);
+    let hra = build(RankAccuracy::HighRank, &items, 2);
+
+    let low_item = oracle.item_at_rank(32).unwrap();
+    let high_item = oracle.item_at_rank(n - 31).unwrap();
+
+    // LRA: exact at the bottom; HRA: exact at the top.
+    assert_eq!(lra.rank(&low_item), oracle.rank(low_item));
+    assert_eq!(hra.rank(&high_item), oracle.rank(high_item));
+
+    // And each has *some* error at its unprotected end (not exact for the
+    // probes deep into the other tail) — over this many items a compaction
+    // has certainly touched them.
+    let lra_top_err = lra.rank(&high_item).abs_diff(oracle.rank(high_item));
+    let hra_bottom_err = hra.rank(&low_item).abs_diff(oracle.rank(low_item));
+    assert!(
+        lra_top_err > 0 || hra_bottom_err > 0,
+        "both orientations exact everywhere is implausible at n={n}"
+    );
+}
+
+#[test]
+fn quantile_queries_work_in_both_orientations() {
+    let n = 1u64 << 16;
+    let items = Workload::uniform(1 << 32).generate(n as usize, 9);
+    let oracle = SortOracle::new(&items);
+    for acc in [RankAccuracy::LowRank, RankAccuracy::HighRank] {
+        let s = build(acc, &items, 4);
+        for q in [0.01, 0.5, 0.99] {
+            let est = s.quantile(q).unwrap();
+            let truth = oracle.quantile(q).unwrap();
+            let est_rank = oracle.rank(est) as f64;
+            let true_rank = oracle.rank(truth) as f64;
+            let rel = (est_rank - true_rank).abs() / true_rank.max(1.0);
+            assert!(rel < 0.1, "{acc:?} q={q}: rel {rel}");
+        }
+    }
+}
+
+#[test]
+fn min_max_exact_in_both_orientations() {
+    let items = Workload::uniform(1 << 30).generate(1 << 14, 11);
+    let true_min = *items.iter().min().unwrap();
+    let true_max = *items.iter().max().unwrap();
+    for acc in [RankAccuracy::LowRank, RankAccuracy::HighRank] {
+        let s = build(acc, &items, 6);
+        assert_eq!(s.min_item(), Some(&true_min));
+        assert_eq!(s.max_item(), Some(&true_max));
+        // q=0 / q=1 quantiles return the exact extremes in either orientation
+        assert_eq!(s.quantile(0.0), Some(true_min));
+        assert_eq!(s.quantile(1.0), Some(true_max));
+    }
+}

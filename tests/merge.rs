@@ -1,0 +1,238 @@
+//! Cross-crate mergeability tests (Theorem 3 / Algorithm 3): arbitrary merge
+//! trees over realistic workloads, exactness invariants, and accuracy of the
+//! merged result against an exact oracle.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use req_core::{
+    merge_balanced, merge_linear, merge_random_tree, QuantileSketch, RankAccuracy, ReqSketch,
+    SpaceUsage,
+};
+use streams::{geometric_ranks, Distribution, Ordering, SortOracle, Workload};
+
+fn sketch(seed: u64) -> ReqSketch<u64> {
+    ReqSketch::<u64>::builder()
+        .k(32)
+        .rank_accuracy(RankAccuracy::LowRank)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+fn shard_items(items: &[u64], shards: usize) -> Vec<Vec<u64>> {
+    let per = items.len().div_ceil(shards);
+    items.chunks(per).map(|c| c.to_vec()).collect()
+}
+
+#[test]
+fn merged_matches_oracle_on_heavy_tail() {
+    let n = 1 << 17;
+    let items = Workload {
+        distribution: Distribution::WebLatency,
+        ordering: Ordering::Shuffled,
+    }
+    .generate(n, 3);
+    let oracle = SortOracle::new(&items);
+    let shards: Vec<ReqSketch<u64>> = shard_items(&items, 32)
+        .into_iter()
+        .enumerate()
+        .map(|(i, chunk)| {
+            let mut s = sketch(i as u64);
+            for x in chunk {
+                s.update(x);
+            }
+            s
+        })
+        .collect();
+    let merged = merge_balanced(shards).unwrap().unwrap();
+    assert_eq!(merged.len(), n as u64);
+    assert_eq!(merged.weight_drift(), 0);
+    for r in geometric_ranks(n as u64, 2.0) {
+        let item = oracle.item_at_rank(r).unwrap();
+        let truth = oracle.rank(item);
+        let rel = merged.rank(&item).abs_diff(truth) as f64 / truth as f64;
+        assert!(rel < 0.08, "rank {truth} rel {rel}");
+    }
+}
+
+#[test]
+fn wildly_unequal_shard_sizes() {
+    // shards of size 1, 10, 100, ..., 100000 merged in shuffled order
+    let sizes = [1usize, 10, 100, 1_000, 10_000, 100_000];
+    let mut value = 0u64;
+    let mut sketches = Vec::new();
+    for (i, &sz) in sizes.iter().enumerate() {
+        let mut s = sketch(50 + i as u64);
+        for _ in 0..sz {
+            s.update(value);
+            value += 1;
+        }
+        sketches.push(s);
+    }
+    let total: u64 = sizes.iter().map(|&s| s as u64).sum();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let merged = merge_random_tree(sketches, &mut rng).unwrap().unwrap();
+    assert_eq!(merged.len(), total);
+    assert_eq!(merged.total_weight(), total);
+    // values were 0..total sorted across shards: spot-check ranks
+    for y in [0u64, 100, 10_000, total - 1] {
+        let rel = merged.rank(&y).abs_diff(y + 1) as f64 / (y + 1) as f64;
+        assert!(rel < 0.1, "rank({y}) rel {rel}");
+    }
+}
+
+#[test]
+fn repeated_self_accumulation_pattern() {
+    // A daily-rollup pattern: accumulate 64 batches one at a time into a
+    // running total (the most lopsided possible tree), then verify.
+    let mut acc = sketch(0);
+    let batch = 4096u64;
+    for day in 0..64u64 {
+        let mut s = sketch(100 + day);
+        for i in 0..batch {
+            s.update((day * batch + i).wrapping_mul(2654435761) % (64 * batch));
+        }
+        acc.try_merge(s).unwrap();
+        assert_eq!(acc.len(), (day + 1) * batch);
+        assert_eq!(acc.weight_drift(), 0, "drift after day {day}");
+    }
+    // ~uniform over 0..64*batch
+    let n = 64 * batch;
+    let mid = acc.rank(&(n / 2));
+    let rel = (mid as f64 - (n / 2) as f64).abs() / (n / 2) as f64;
+    assert!(rel < 0.1, "mid rank rel {rel}");
+}
+
+#[test]
+fn merge_of_disjoint_ranges_keeps_boundaries_sharp() {
+    let mut low = sketch(1);
+    let mut high = sketch(2);
+    for i in 0..50_000u64 {
+        low.update(i);
+        high.update(1_000_000 + i);
+    }
+    low.try_merge(high).unwrap();
+    // everything below 1e6 comes from `low`
+    assert_eq!(low.rank(&999_999), 50_000);
+    assert_eq!(low.rank(&u64::MAX), 100_000);
+    // the very bottom is exact (protected in LRA mode)
+    assert_eq!(low.rank(&10), 11);
+    assert_eq!(low.min_item(), Some(&0));
+    assert_eq!(low.max_item(), Some(&1_049_999));
+}
+
+#[test]
+fn three_topologies_same_multiset_same_n() {
+    let n = 1 << 15;
+    let items = Workload::uniform(1 << 24).generate(n, 77);
+    let chunks = shard_items(&items, 8);
+    let make = |base: u64| -> Vec<ReqSketch<u64>> {
+        chunks
+            .iter()
+            .enumerate()
+            .map(|(i, chunk)| {
+                let mut s = sketch(base + i as u64);
+                for &x in chunk {
+                    s.update(x);
+                }
+                s
+            })
+            .collect()
+    };
+    let a = merge_balanced(make(0)).unwrap().unwrap();
+    let b = merge_linear(make(10)).unwrap().unwrap();
+    let mut rng = SmallRng::seed_from_u64(4);
+    let c = merge_random_tree(make(20), &mut rng).unwrap().unwrap();
+    for s in [&a, &b, &c] {
+        assert_eq!(s.len(), n as u64);
+        assert_eq!(s.total_weight(), n as u64);
+    }
+}
+
+#[test]
+fn hra_sketches_merge_and_keep_tail_accuracy() {
+    let n = 1u64 << 16;
+    let items = Workload {
+        distribution: Distribution::Pareto {
+            scale: 1.0,
+            alpha: 1.2,
+        },
+        ordering: Ordering::Shuffled,
+    }
+    .generate(n as usize, 11);
+    let oracle = SortOracle::new(&items);
+    let mut shards: Vec<ReqSketch<u64>> = Vec::new();
+    for (i, chunk) in shard_items(&items, 16).into_iter().enumerate() {
+        let mut s = ReqSketch::<u64>::builder()
+            .k(32)
+            .rank_accuracy(RankAccuracy::HighRank)
+            .seed(i as u64)
+            .build()
+            .unwrap();
+        for x in chunk {
+            s.update(x);
+        }
+        shards.push(s);
+    }
+    let merged = merge_balanced(shards).unwrap().unwrap();
+    for back in [1u64, 10, 100, 1000] {
+        let item = oracle.item_at_rank(n - back).unwrap();
+        let truth = oracle.rank(item);
+        let tail = n - truth + 1;
+        let err = merged.rank(&item).abs_diff(truth) as f64 / tail as f64;
+        assert!(err < 0.1, "tail {tail}: err {err}");
+    }
+}
+
+#[test]
+fn merge_respects_space_bound() {
+    // merging 128 shards must not accumulate unbounded buffers
+    let mut shards = Vec::new();
+    for i in 0..128u64 {
+        let mut s = sketch(i);
+        for j in 0..2_000u64 {
+            s.update(i * 2_000 + j);
+        }
+        shards.push(s);
+    }
+    let merged = merge_balanced(shards).unwrap().unwrap();
+    assert_eq!(merged.len(), 256_000);
+    let budget = merged.level_capacity() * (merged.num_levels() + 1);
+    assert!(
+        merged.retained() <= budget,
+        "retained {} exceeds per-level budget {}",
+        merged.retained(),
+        budget
+    );
+}
+
+#[test]
+fn randomized_merge_fuzz() {
+    // Random shard sizes, random tree, several repetitions; every result
+    // must conserve weight and keep monotone, bounded ranks.
+    let mut rng = SmallRng::seed_from_u64(2024);
+    for round in 0..5u64 {
+        let shard_count = rng.gen_range(2..20);
+        let mut total = 0u64;
+        let mut sketches = Vec::new();
+        for s in 0..shard_count {
+            let len = rng.gen_range(1..5_000u64);
+            let mut sk = sketch(round * 100 + s);
+            for _ in 0..len {
+                sk.update(rng.gen_range(0..1_000_000));
+            }
+            total += len;
+            sketches.push(sk);
+        }
+        let merged = merge_random_tree(sketches, &mut rng).unwrap().unwrap();
+        assert_eq!(merged.len(), total);
+        assert_eq!(merged.total_weight(), total);
+        let mut prev = 0;
+        for y in (0..1_000_000u64).step_by(50_000) {
+            let r = merged.rank(&y);
+            assert!(r >= prev);
+            prev = r;
+        }
+        assert_eq!(merged.rank(&1_000_000), total);
+    }
+}

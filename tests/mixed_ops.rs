@@ -1,0 +1,172 @@
+//! Long-running mixed-operation stress test: random interleavings of
+//! updates, weighted updates, merges, serialization round-trips, and queries
+//! against a mirrored exact multiset — the "does anything at all break under
+//! realistic abuse" test.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use req_core::{QuantileSketch, RankAccuracy, ReqSketch, SpaceUsage};
+
+/// Exact mirror of everything the sketch has seen.
+#[derive(Default)]
+struct Mirror {
+    items: Vec<u64>,
+    sorted: bool,
+}
+
+impl Mirror {
+    fn push(&mut self, x: u64, w: u64) {
+        for _ in 0..w {
+            self.items.push(x);
+        }
+        self.sorted = false;
+    }
+    fn absorb(&mut self, other: Mirror) {
+        self.items.extend(other.items);
+        self.sorted = false;
+    }
+    fn rank(&mut self, y: u64) -> u64 {
+        if !self.sorted {
+            self.items.sort_unstable();
+            self.sorted = true;
+        }
+        self.items.partition_point(|&x| x <= y) as u64
+    }
+    fn len(&self) -> u64 {
+        self.items.len() as u64
+    }
+}
+
+fn new_sketch(seed: u64) -> ReqSketch<u64> {
+    ReqSketch::<u64>::builder()
+        .k(16)
+        .rank_accuracy(RankAccuracy::LowRank)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn random_op_sequences_preserve_all_invariants() {
+    for round in 0..4u64 {
+        let mut rng = SmallRng::seed_from_u64(round * 31 + 5);
+        let mut sketch = new_sketch(round);
+        let mut mirror = Mirror::default();
+
+        for step in 0..600 {
+            match rng.gen_range(0..100) {
+                // plain updates (common case)
+                0..=59 => {
+                    let burst = rng.gen_range(1..200);
+                    for _ in 0..burst {
+                        let x = rng.gen_range(0..1_000_000u64);
+                        sketch.update(x);
+                        mirror.push(x, 1);
+                    }
+                }
+                // weighted update
+                60..=69 => {
+                    let x = rng.gen_range(0..1_000_000u64);
+                    let w = rng.gen_range(1..500u64);
+                    sketch.update_weighted(x, w);
+                    mirror.push(x, w);
+                }
+                // merge in a freshly built sketch
+                70..=84 => {
+                    let mut other = new_sketch(round * 1000 + step);
+                    let mut other_mirror = Mirror::default();
+                    let count = rng.gen_range(0..3000);
+                    for _ in 0..count {
+                        let x = rng.gen_range(0..1_000_000u64);
+                        other.update(x);
+                        other_mirror.push(x, 1);
+                    }
+                    sketch.try_merge(other).unwrap();
+                    mirror.absorb(other_mirror);
+                }
+                // serialization round-trip
+                85..=92 => {
+                    let bytes = sketch.to_bytes();
+                    sketch = ReqSketch::<u64>::from_bytes(&bytes).unwrap();
+                }
+                // clone swap (exercises Clone)
+                _ => {
+                    sketch = sketch.clone();
+                }
+            }
+
+            // standing invariants after every step
+            assert_eq!(sketch.len(), mirror.len(), "count diverged at step {step}");
+            assert_eq!(
+                sketch.total_weight(),
+                mirror.len(),
+                "weight diverged at step {step}"
+            );
+        }
+
+        // final accuracy audit against the exact mirror
+        let n = mirror.len();
+        if n == 0 {
+            continue;
+        }
+        let mut prev_est = 0u64;
+        for y in (0..1_000_000u64).step_by(37_013) {
+            let est = sketch.rank(&y);
+            assert!(est >= prev_est, "monotonicity broke at {y}");
+            prev_est = est;
+            let truth = mirror.rank(y);
+            let err = est.abs_diff(truth) as f64;
+            // generous: weighted chunks quantize ranks; still must track
+            assert!(
+                err <= 0.05 * truth as f64 + 600.0,
+                "round {round}: rank({y}) est {est} truth {truth}"
+            );
+        }
+        // space sanity after the whole ordeal
+        let budget = sketch.level_capacity() * (sketch.num_levels() + 1);
+        assert!(sketch.retained() <= budget);
+    }
+}
+
+#[test]
+fn alternating_merge_and_stream_matches_pure_stream_statistically() {
+    // Build the same logical stream two ways: (a) pure streaming, (b) chunks
+    // alternately streamed and merged; compare rank estimates.
+    let n_chunks = 20;
+    let chunk = 5_000u64;
+    let value_of = |c: u64, i: u64| (c * chunk + i).wrapping_mul(2654435761) % (n_chunks * chunk);
+
+    let mut pure = new_sketch(1);
+    for c in 0..n_chunks {
+        for i in 0..chunk {
+            pure.update(value_of(c, i));
+        }
+    }
+
+    let mut mixed = new_sketch(2);
+    for c in 0..n_chunks {
+        if c % 2 == 0 {
+            for i in 0..chunk {
+                mixed.update(value_of(c, i));
+            }
+        } else {
+            let mut shard = new_sketch(100 + c);
+            for i in 0..chunk {
+                shard.update(value_of(c, i));
+            }
+            mixed.try_merge(shard).unwrap();
+        }
+    }
+
+    assert_eq!(pure.len(), mixed.len());
+    let total = n_chunks * chunk;
+    for y in (0..total).step_by(9_973) {
+        let a = pure.rank(&y) as f64;
+        let b = mixed.rank(&y) as f64;
+        let denom = a.max(b).max(100.0);
+        assert!(
+            (a - b).abs() / denom < 0.05,
+            "pure {a} vs mixed {b} at {y}"
+        );
+    }
+}

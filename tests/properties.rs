@@ -1,0 +1,244 @@
+//! Property-based tests (proptest) on the invariants the paper's analysis
+//! rests on. Unlike the statistical accuracy tests, every property here must
+//! hold **deterministically** for every input, so proptest gets to hunt for
+//! counterexamples in earnest.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use baselines::{GkSketch, KllSketch};
+use req_core::{QuantileSketch, ReqSketch, SortedView, SpaceUsage};
+
+fn build_req(items: &[u64], k: u32, hra: bool, seed: u64) -> ReqSketch<u64> {
+    let mut s = ReqSketch::<u64>::builder()
+        .k(k)
+        .high_rank_accuracy(hra)
+        .seed(seed)
+        .build()
+        .unwrap();
+    for &x in items {
+        s.update(x);
+    }
+    s
+}
+
+/// Small even section sizes to stress compaction logic hard.
+fn k_strategy() -> impl Strategy<Value = u32> {
+    prop_oneof![Just(4u32), Just(6), Just(8), Just(12), Just(16)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn weight_is_always_conserved(
+        items in vec(any::<u64>(), 0..4000),
+        k in k_strategy(),
+        hra in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let s = build_req(&items, k, hra, seed);
+        prop_assert_eq!(s.len(), items.len() as u64);
+        prop_assert_eq!(s.total_weight(), items.len() as u64);
+        prop_assert_eq!(s.weight_drift(), 0);
+    }
+
+    #[test]
+    fn rank_is_monotone_and_bounded(
+        items in vec(0u64..100_000, 1..3000),
+        k in k_strategy(),
+        seed in any::<u64>(),
+        probes in vec(0u64..110_000, 1..40),
+    ) {
+        let s = build_req(&items, k, false, seed);
+        let mut sorted_probes = probes;
+        sorted_probes.sort_unstable();
+        let mut prev = 0u64;
+        for p in sorted_probes {
+            let r = s.rank(&p);
+            prop_assert!(r >= prev, "monotonicity violated at {}", p);
+            prop_assert!(r <= items.len() as u64);
+            prop_assert!(s.rank_exclusive(&p) <= r);
+            prev = r;
+        }
+        prop_assert_eq!(s.rank(&u64::MAX), items.len() as u64);
+    }
+
+    #[test]
+    fn min_max_always_exact(
+        items in vec(any::<u64>(), 1..2000),
+        k in k_strategy(),
+        hra in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let s = build_req(&items, k, hra, seed);
+        prop_assert_eq!(s.min_item(), items.iter().min());
+        prop_assert_eq!(s.max_item(), items.iter().max());
+    }
+
+    #[test]
+    fn protected_end_is_exact(
+        items in vec(0u64..1_000_000, 100..3000),
+        k in k_strategy(),
+        seed in any::<u64>(),
+    ) {
+        // LRA: every item whose rank fits inside the protected half of the
+        // level-0 buffer **at every point in the sketch's lifetime** has an
+        // exact rank estimate. B grows on the N-ladder, so the binding
+        // protection is the *initial* B/2.
+        let s = build_req(&items, k, false, seed);
+        let policy = req_core::ParamPolicy::fixed_k(k).unwrap();
+        let protect0 = policy.params_for(policy.initial_max_n()).capacity() / 2;
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        let protect = protect0.min(sorted.len());
+        for (i, y) in sorted[..protect].iter().enumerate() {
+            // inclusive rank of sorted[i] is the count of items <= it
+            let truth = sorted.partition_point(|x| x <= y) as u64;
+            if truth <= protect as u64 {
+                prop_assert_eq!(s.rank(y), truth, "rank({}) at index {}", y, i);
+            }
+        }
+    }
+
+    #[test]
+    fn retained_never_exceeds_level_budget(
+        items in vec(any::<u64>(), 0..6000),
+        k in k_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let s = build_req(&items, k, false, seed);
+        let budget = s.level_capacity() * (s.num_levels() + 1);
+        prop_assert!(s.retained() <= budget.max(1));
+        prop_assert!(s.retained() <= items.len());
+    }
+
+    #[test]
+    fn view_agrees_with_direct_queries(
+        items in vec(0u64..50_000, 0..2500),
+        k in k_strategy(),
+        seed in any::<u64>(),
+        probes in vec(0u64..60_000, 0..25),
+    ) {
+        let s = build_req(&items, k, false, seed);
+        let view = s.sorted_view();
+        prop_assert_eq!(view.total_weight(), s.total_weight());
+        for p in probes {
+            prop_assert_eq!(view.rank(&p), s.rank(&p));
+            prop_assert_eq!(view.rank_exclusive(&p), s.rank_exclusive(&p));
+        }
+    }
+
+    #[test]
+    fn merge_conserves_everything(
+        a in vec(any::<u64>(), 0..2500),
+        b in vec(any::<u64>(), 0..2500),
+        k in k_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let mut sa = build_req(&a, k, false, seed);
+        let sb = build_req(&b, k, false, seed.wrapping_add(1));
+        sa.try_merge(sb).unwrap();
+        prop_assert_eq!(sa.len(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(sa.total_weight(), (a.len() + b.len()) as u64);
+        let all_min = a.iter().chain(b.iter()).min();
+        let all_max = a.iter().chain(b.iter()).max();
+        prop_assert_eq!(sa.min_item(), all_min);
+        prop_assert_eq!(sa.max_item(), all_max);
+        // rank stays within the trivial bounds
+        if let Some(&m) = all_max {
+            prop_assert_eq!(sa.rank(&m), (a.len() + b.len()) as u64);
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip_is_lossless(
+        items in vec(any::<u64>(), 0..2000),
+        k in k_strategy(),
+        hra in any::<bool>(),
+        seed in any::<u64>(),
+        probes in vec(any::<u64>(), 0..20),
+    ) {
+        let mut s = build_req(&items, k, hra, seed);
+        let bytes = s.to_bytes();
+        let loaded = ReqSketch::<u64>::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(loaded.len(), s.len());
+        prop_assert_eq!(loaded.retained(), s.retained());
+        for p in probes {
+            prop_assert_eq!(loaded.rank(&p), s.rank(&p));
+        }
+    }
+
+    #[test]
+    fn sorted_view_from_weighted_items_matches_naive(
+        pairs in vec((0u64..1000, 1u64..16), 0..400),
+        probes in vec(0u64..1100, 0..20),
+    ) {
+        let view = SortedView::from_weighted_items(pairs.clone());
+        let naive_total: u64 = pairs.iter().map(|(_, w)| w).sum();
+        prop_assert_eq!(view.total_weight(), naive_total);
+        for p in probes {
+            let naive_rank: u64 = pairs
+                .iter()
+                .filter(|(item, _)| *item <= p)
+                .map(|(_, w)| w)
+                .sum();
+            prop_assert_eq!(view.rank(&p), naive_rank);
+        }
+    }
+
+    #[test]
+    fn gk_invariant_holds_for_any_stream(
+        items in vec(0u64..10_000, 1..2000),
+    ) {
+        // GK's additive bound is deterministic — no stream may violate it.
+        let eps = 0.05;
+        let mut s = GkSketch::<u64>::new(eps);
+        for &x in &items {
+            s.update(x);
+        }
+        let n = items.len() as u64;
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        for idx in (0..sorted.len()).step_by(1 + sorted.len() / 16) {
+            let y = sorted[idx];
+            let truth = sorted.partition_point(|x| *x <= y) as u64;
+            let err = s.rank(&y).abs_diff(truth) as f64;
+            prop_assert!(
+                err <= eps * n as f64 + 1.0,
+                "GK bound violated at {}: err {}", y, err
+            );
+        }
+    }
+
+    #[test]
+    fn kll_conserves_weight_for_any_stream(
+        items in vec(any::<u64>(), 0..3000),
+        seed in any::<u64>(),
+    ) {
+        let mut s = KllSketch::<u64>::new(32, seed);
+        for &x in &items {
+            s.update(x);
+        }
+        prop_assert_eq!(s.total_weight(), items.len() as u64);
+        prop_assert_eq!(s.len(), items.len() as u64);
+    }
+
+    #[test]
+    fn quantile_is_some_iff_nonempty_and_within_extremes(
+        items in vec(any::<u64>(), 0..1500),
+        k in k_strategy(),
+        q in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let s = build_req(&items, k, false, seed);
+        match s.quantile(q) {
+            None => prop_assert!(items.is_empty()),
+            Some(v) => {
+                prop_assert!(!items.is_empty());
+                prop_assert!(v >= *items.iter().min().unwrap());
+                prop_assert!(v <= *items.iter().max().unwrap());
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Unknown-stream-length behaviour (§5 and footnote 9): the estimate ladder,
+//! parameter recomputation, special compactions, and accuracy across growth
+//! boundaries.
+
+use req_core::{
+    GrowingReqSketch, ParamPolicy, QuantileSketch, RankAccuracy, ReqSketch, SpaceUsage,
+};
+use streams::{geometric_ranks, SortOracle};
+
+#[test]
+fn ladder_squares_exactly() {
+    let policy = ParamPolicy::fixed_k(8).unwrap();
+    let mut s = ReqSketch::<u64>::with_policy(policy, RankAccuracy::LowRank, 1);
+    let n0 = s.max_n();
+    assert_eq!(n0, 64);
+    let mut expected = n0;
+    for i in 0..(n0 * n0 + 1) {
+        s.update(i);
+        if s.len() > expected {
+            expected = expected * expected;
+        }
+        assert_eq!(s.max_n(), expected, "at n={}", s.len());
+    }
+    // crossed two boundaries: 64 -> 4096 -> 16M
+    assert_eq!(s.max_n(), 4096 * 4096);
+}
+
+#[test]
+fn parameters_grow_with_the_ladder() {
+    let policy = ParamPolicy::fixed_k(8).unwrap();
+    let mut s = ReqSketch::<u64>::with_policy(policy, RankAccuracy::LowRank, 2);
+    let b0 = s.level_capacity();
+    for i in 0..100_000u64 {
+        s.update(i);
+    }
+    assert!(s.level_capacity() > b0, "B should grow with N");
+    assert_eq!(s.k(), 8, "FixedK keeps k constant");
+    // every level uses the current parameters
+    let stats = s.stats();
+    for level in &stats.levels {
+        assert_eq!(level.capacity, s.level_capacity());
+        assert_eq!(level.section_size, 8);
+    }
+}
+
+#[test]
+fn special_compactions_fire_on_growth_and_weight_is_conserved() {
+    let policy = ParamPolicy::fixed_k(8).unwrap();
+    let mut s = ReqSketch::<u64>::with_policy(policy, RankAccuracy::LowRank, 3);
+    for i in 0..500_000u64 {
+        s.update(i);
+    }
+    let stats = s.stats();
+    assert!(stats.total_special_compactions() > 0);
+    assert_eq!(stats.weight_drift, 0);
+    assert_eq!(stats.total_weight, 500_000);
+}
+
+#[test]
+fn accuracy_straddles_growth_boundaries() {
+    // Check error right before and right after each N-squaring.
+    let policy = ParamPolicy::fixed_k(32).unwrap();
+    let mut s = ReqSketch::<u64>::with_policy(policy, RankAccuracy::LowRank, 4);
+    let n0 = s.max_n(); // 256
+    let boundaries = [n0, n0 * n0]; // 256, 65536
+    let mut items: Vec<u64> = Vec::new();
+    let mut x = 7u64;
+    let total = boundaries[1] + 1000;
+    for i in 0..total {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let v = x >> 16;
+        items.push(v);
+        s.update(v);
+        // at +/- 1 around each boundary, check a couple of ranks
+        if boundaries.contains(&(i + 1)) || boundaries.contains(&i) {
+            let oracle = SortOracle::new(&items);
+            for r in geometric_ranks(items.len() as u64, 8.0) {
+                let item = oracle.item_at_rank(r).unwrap();
+                let truth = oracle.rank(item);
+                let rel = s.rank(&item).abs_diff(truth) as f64 / truth as f64;
+                assert!(rel < 0.1, "n={} rank {truth}: rel {rel}", items.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn growing_sketch_closes_out_at_exact_estimates() {
+    let mut g = GrowingReqSketch::<u64>::new(0.1, 0.1, RankAccuracy::LowRank, 5).unwrap();
+    let n0 = g.current_estimate();
+    for i in 0..n0 {
+        g.update(i);
+    }
+    assert_eq!(g.num_summaries(), 1);
+    g.update(n0);
+    assert_eq!(g.num_summaries(), 2);
+    assert_eq!(g.current_estimate(), n0 * n0);
+    // counts must be exact across the boundary
+    assert_eq!(g.len(), n0 + 1);
+}
+
+#[test]
+fn growing_sketch_summary_count_is_log_log() {
+    let mut g = GrowingReqSketch::<u64>::new(0.05, 0.05, RankAccuracy::LowRank, 6).unwrap();
+    let n = 1u64 << 18;
+    for i in 0..n {
+        g.update(i.wrapping_mul(0x9E3779B97F4A7C15));
+    }
+    // N0 >= 64: ladder 80, 6400, 40960000 → at most 3 summaries at n=262k
+    assert!(g.num_summaries() <= 4, "{} summaries", g.num_summaries());
+}
+
+#[test]
+fn mergeable_policy_sketches_with_different_histories_merge() {
+    // one sketch grew through two boundaries, the other through none
+    let policy = ParamPolicy::mergeable_scaled(0.1, 0.1, 0.5).unwrap();
+    let mut big = ReqSketch::<u64>::with_policy(policy, RankAccuracy::LowRank, 7);
+    let mut small = ReqSketch::<u64>::with_policy(policy, RankAccuracy::LowRank, 8);
+    let n_big = 200_000u64;
+    for i in 0..n_big {
+        big.update(2 * i);
+    }
+    for i in 0..100u64 {
+        small.update(2 * i + 1);
+    }
+    assert!(big.max_n() > small.max_n());
+    // merge shorter into taller and vice versa
+    let mut a = big.clone();
+    a.try_merge(small.clone()).unwrap();
+    let mut b = small;
+    b.try_merge(big).unwrap();
+    for s in [&a, &b] {
+        assert_eq!(s.len(), n_big + 100);
+        assert_eq!(s.weight_drift(), 0);
+        // small's odd values are all below 200: exact low region
+        let r = s.rank(&199);
+        assert!(
+            (100..=220).contains(&r),
+            "rank(199) = {r} should be close to 200"
+        );
+    }
+}
+
+#[test]
+fn stream_far_beyond_initial_estimate_stays_small() {
+    let policy = ParamPolicy::fixed_k(8).unwrap();
+    let mut s = ReqSketch::<u64>::with_policy(policy, RankAccuracy::LowRank, 9);
+    let n = 2_000_000u64;
+    for i in 0..n {
+        s.update(i.wrapping_mul(0x9E3779B97F4A7C15) >> 8);
+    }
+    // n is 31000x the initial estimate of 64; space must stay polylog
+    assert!(s.retained() < 10_000, "retained {}", s.retained());
+    assert_eq!(s.total_weight(), n);
+}
