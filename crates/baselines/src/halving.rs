@@ -32,7 +32,10 @@ impl<T: Ord + Clone> HalvingSketch<T> {
     /// New sketch whose per-level buffer holds `2·half` items and compacts
     /// the top `half` when full. `half` must be even and ≥ 4.
     pub fn new(half: u32, accuracy: RankAccuracy, seed: u64) -> Self {
-        assert!(half >= 4 && half.is_multiple_of(2), "half must be even and >= 4");
+        assert!(
+            half >= 4 && half.is_multiple_of(2),
+            "half must be even and >= 4"
+        );
         HalvingSketch {
             levels: Vec::new(),
             half,

@@ -142,8 +142,8 @@ mod tests {
         for i in 0..n {
             r.update(i);
         }
-        let est = r.rank(&49); // true rank 50
-        // granularity: any sampled count c maps to c*100
+        // True rank is 50; granularity: any sampled count c maps to c*100.
+        let est = r.rank(&49);
         assert_eq!(est % 100, 0);
     }
 

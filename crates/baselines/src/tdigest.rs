@@ -86,8 +86,8 @@ impl TDigest {
             if q <= q_limit {
                 // absorb: weighted mean
                 let w = cur.weight + next.weight;
-                cur.mean = (cur.mean * cur.weight as f64 + next.mean * next.weight as f64)
-                    / w as f64;
+                cur.mean =
+                    (cur.mean * cur.weight as f64 + next.mean * next.weight as f64) / w as f64;
                 cur.weight = w;
             } else {
                 q0 += cur.weight as f64 / total as f64;
@@ -105,7 +105,11 @@ impl TDigest {
             return;
         }
         let mut input = self.centroids.clone();
-        input.extend(self.buffer.drain(..).map(|x| Centroid { mean: x, weight: 1 }));
+        input.extend(
+            self.buffer
+                .drain(..)
+                .map(|x| Centroid { mean: x, weight: 1 }),
+        );
         self.centroids = self.merge_pass(input);
     }
 
@@ -163,10 +167,7 @@ impl TDigest {
     /// centroids have weight 1, so extreme ranks are near-exact).
     pub fn rank_f64(&self, y: f64) -> u64 {
         let cs = self.merged();
-        cs.iter()
-            .filter(|c| c.mean <= y)
-            .map(|c| c.weight)
-            .sum()
+        cs.iter().filter(|c| c.mean <= y).map(|c| c.weight).sum()
     }
 }
 
@@ -262,10 +263,7 @@ mod tests {
     fn tails_are_tight() {
         let t = filled(100_000, 200.0);
         let p999 = t.quantile_f64(0.999).unwrap();
-        assert!(
-            (p999 - 99_900.0).abs() < 300.0,
-            "p99.9 {p999} (true 99900)"
-        );
+        assert!((p999 - 99_900.0).abs() < 300.0, "p99.9 {p999} (true 99900)");
         assert_eq!(t.quantile_f64(0.0), Some(1.0));
         assert_eq!(t.quantile_f64(1.0), Some(100_000.0));
     }

@@ -119,10 +119,9 @@ mod tests {
 
     #[test]
     fn rejects_invalid_parameters() {
-        assert!(DeterministicRelativeSketch::<u64>::new(0.0, 100, RankAccuracy::LowRank, 1)
-            .is_err());
         assert!(
-            DeterministicRelativeSketch::<u64>::new(0.1, 0, RankAccuracy::LowRank, 1).is_err()
+            DeterministicRelativeSketch::<u64>::new(0.0, 100, RankAccuracy::LowRank, 1).is_err()
         );
+        assert!(DeterministicRelativeSketch::<u64>::new(0.1, 0, RankAccuracy::LowRank, 1).is_err());
     }
 }

@@ -175,7 +175,9 @@ fn unpack_policy(input: &mut Bytes) -> Result<ParamPolicy, ReqError> {
             let k = u32::unpack(input)?;
             ParamPolicy::fixed_k(k).map_err(|e| ReqError::CorruptBytes(e.to_string()))
         }
-        other => Err(ReqError::CorruptBytes(format!("unknown policy tag {other}"))),
+        other => Err(ReqError::CorruptBytes(format!(
+            "unknown policy tag {other}"
+        ))),
     }
 }
 
@@ -327,11 +329,8 @@ mod tests {
     use sketch_traits::{QuantileSketch, SpaceUsage};
 
     fn sample_sketch() -> ReqSketch<u64> {
-        let mut s = ReqSketch::with_policy(
-            ParamPolicy::fixed_k(12).unwrap(),
-            RankAccuracy::HighRank,
-            7,
-        );
+        let mut s =
+            ReqSketch::with_policy(ParamPolicy::fixed_k(12).unwrap(), RankAccuracy::HighRank, 7);
         for i in 0..100_000u64 {
             s.update(i.wrapping_mul(2654435761) % 1_000_003);
         }
@@ -464,11 +463,8 @@ mod tests {
     #[test]
     fn merged_then_serialized_roundtrips() {
         let mut a = sample_sketch();
-        let mut b = ReqSketch::with_policy(
-            ParamPolicy::fixed_k(12).unwrap(),
-            RankAccuracy::HighRank,
-            8,
-        );
+        let mut b =
+            ReqSketch::with_policy(ParamPolicy::fixed_k(12).unwrap(), RankAccuracy::HighRank, 8);
         for i in 0..60_000u64 {
             b.update(i);
         }

@@ -155,7 +155,11 @@ mod tests {
     #[test]
     fn seeded_builders_are_reproducible() {
         let make = || {
-            let mut s = ReqSketchBuilder::new().k(8).seed(99).build::<u64>().unwrap();
+            let mut s = ReqSketchBuilder::new()
+                .k(8)
+                .seed(99)
+                .build::<u64>()
+                .unwrap();
             for i in 0..50_000u64 {
                 s.update(i.wrapping_mul(6364136223846793005) >> 32);
             }

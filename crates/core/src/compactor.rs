@@ -233,7 +233,12 @@ impl<T: Ord> RelativeCompactor<T> {
     ///
     /// All items beyond the smallest `B` (possible only mid-merge) are
     /// automatically included in the compaction, exactly as in §D.1.
-    pub fn compact_scheduled(&mut self, acc: RankAccuracy, coin: bool, out: &mut Vec<T>) -> CompactionOutcome {
+    pub fn compact_scheduled(
+        &mut self,
+        acc: RankAccuracy,
+        coin: bool,
+        out: &mut Vec<T>,
+    ) -> CompactionOutcome {
         let sections = self.state.sections_to_compact(self.num_sections);
         let l = sections as usize * self.section_size as usize;
         let protect = self.capacity().saturating_sub(l);
@@ -248,7 +253,12 @@ impl<T: Ord> RelativeCompactor<T> {
     /// everything above the protected `B/2`, used when the stream-length
     /// estimate is squared. No-op (returning `None`) when the buffer holds at
     /// most `B/2` items (plus possibly one parity item).
-    pub fn compact_special(&mut self, acc: RankAccuracy, coin: bool, out: &mut Vec<T>) -> Option<CompactionOutcome> {
+    pub fn compact_special(
+        &mut self,
+        acc: RankAccuracy,
+        coin: bool,
+        out: &mut Vec<T>,
+    ) -> Option<CompactionOutcome> {
         let protect = self.capacity() / 2;
         if self.buf.len() <= protect {
             return None;
@@ -275,7 +285,10 @@ impl<T: Ord> RelativeCompactor<T> {
         sections: u32,
     ) -> CompactionOutcome {
         let len = self.buf.len();
-        debug_assert!(len > protect, "compaction requires items above the protected prefix");
+        debug_assert!(
+            len > protect,
+            "compaction requires items above the protected prefix"
+        );
         debug_assert_eq!((len - protect) % 2, 0, "compacted range must be even");
         if protect > 0 {
             // Partition: buf[..protect] = the `protect` smallest (internal
@@ -487,7 +500,7 @@ mod tests {
         assert_eq!(o.compacted, 10);
         assert_eq!(o.emitted, 5);
         assert_eq!(c.len(), 13); // B/2 + 1 parity item
-        // weight conservation: 2*emitted == compacted
+                                 // weight conservation: 2*emitted == compacted
         assert_eq!(o.emitted * 2, o.compacted);
     }
 
@@ -578,7 +591,9 @@ mod tests {
         let mut rng_state = 0x9E3779B97F4A7C15u64;
         for round in 0..200u64 {
             while !c.is_at_capacity() {
-                rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(round);
+                rng_state = rng_state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(round);
                 c.push(rng_state >> 16);
             }
             let mut out = Vec::new();

@@ -112,8 +112,7 @@ impl<T: Ord + Clone> ConcurrentReqSketch<T> {
         let copies: Vec<ReqSketch<T>> = self.shards.iter().map(|s| s.lock().clone()).collect();
         let policy = copies[0].policy();
         let accuracy = copies[0].rank_accuracy();
-        Ok(merge_balanced(copies)?
-            .unwrap_or_else(|| ReqSketch::with_policy(policy, accuracy, 0)))
+        Ok(merge_balanced(copies)?.unwrap_or_else(|| ReqSketch::with_policy(policy, accuracy, 0)))
     }
 }
 

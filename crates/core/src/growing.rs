@@ -41,12 +41,7 @@ impl<T: Ord + Clone> GrowingReqSketch<T> {
     /// Create with target relative error `eps`, failure probability `delta`,
     /// orientation, and RNG seed. The initial estimate is
     /// `N₀ = max(64, ⌈4/ε⌉)` (§5 suggests `N₀ = O(ε⁻¹)`).
-    pub fn new(
-        eps: f64,
-        delta: f64,
-        accuracy: RankAccuracy,
-        seed: u64,
-    ) -> Result<Self, ReqError> {
+    pub fn new(eps: f64, delta: f64, accuracy: RankAccuracy, seed: u64) -> Result<Self, ReqError> {
         let n0 = ((4.0 / eps).ceil() as u64).max(64);
         let policy = ParamPolicy::streaming(eps, delta, n0)?;
         Ok(GrowingReqSketch {
@@ -125,11 +120,7 @@ impl<T: Ord + Clone> QuantileSketch<T> for GrowingReqSketch<T> {
 
     /// `R̂(y) = Σᵢ R̂ᵢ(y)` over all summaries (§5).
     fn rank(&self, y: &T) -> u64 {
-        self.closed
-            .iter()
-            .map(|s| s.rank(y))
-            .sum::<u64>()
-            + self.active.rank(y)
+        self.closed.iter().map(|s| s.rank(y)).sum::<u64>() + self.active.rank(y)
     }
 
     fn quantile(&self, q: f64) -> Option<T> {

@@ -86,10 +86,7 @@ pub(crate) fn merge_into<T: Ord + Clone>(
     Ok(())
 }
 
-fn check_compatible<T: Ord + Clone>(
-    a: &ReqSketch<T>,
-    b: &ReqSketch<T>,
-) -> Result<(), ReqError> {
+fn check_compatible<T: Ord + Clone>(a: &ReqSketch<T>, b: &ReqSketch<T>) -> Result<(), ReqError> {
     if a.policy != b.policy {
         return Err(ReqError::IncompatibleMerge(format!(
             "parameter policies differ: {:?} vs {:?}",
@@ -276,11 +273,7 @@ mod tests {
     #[test]
     fn incompatible_policies_rejected() {
         let mut a = sketch(1);
-        let b = ReqSketch::with_policy(
-            ParamPolicy::fixed_k(32).unwrap(),
-            RankAccuracy::LowRank,
-            2,
-        );
+        let b = ReqSketch::with_policy(ParamPolicy::fixed_k(32).unwrap(), RankAccuracy::LowRank, 2);
         assert!(matches!(
             a.try_merge(b),
             Err(ReqError::IncompatibleMerge(_))
@@ -290,11 +283,8 @@ mod tests {
     #[test]
     fn incompatible_orientations_rejected() {
         let mut a = sketch(1);
-        let b = ReqSketch::with_policy(
-            ParamPolicy::fixed_k(16).unwrap(),
-            RankAccuracy::HighRank,
-            2,
-        );
+        let b =
+            ReqSketch::with_policy(ParamPolicy::fixed_k(16).unwrap(), RankAccuracy::HighRank, 2);
         assert!(a.try_merge(b).is_err());
     }
 
@@ -302,11 +292,7 @@ mod tests {
     #[should_panic(expected = "incompatible sketches")]
     fn trait_merge_panics_on_incompatible() {
         let mut a = sketch(1);
-        let b = ReqSketch::with_policy(
-            ParamPolicy::fixed_k(32).unwrap(),
-            RankAccuracy::LowRank,
-            2,
-        );
+        let b = ReqSketch::with_policy(ParamPolicy::fixed_k(32).unwrap(), RankAccuracy::LowRank, 2);
         a.merge(b);
     }
 

@@ -13,9 +13,11 @@ use std::cmp::Ordering;
 use std::fmt;
 
 /// `f64` with the IEEE-754 total order, usable as a sketch item type.
+///
+/// With `--features serde` it serializes transparently as a plain `f64`
+/// (manual impls in [`crate::serde_impl`]; the offline serde stand-in has
+/// no derive macro).
 #[derive(Debug, Clone, Copy, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct OrdF64(pub f64);
 
 impl OrdF64 {

@@ -5,54 +5,113 @@
 //! RNG's in-flight state is replaced by the original seed on deserialization;
 //! any coin sequence satisfies the paper's guarantees, so this only changes
 //! *which* valid random execution continues after a round-trip.
+//!
+//! All impls are written by hand against the serde trait subset (the
+//! offline stand-in ships no `#[derive]`); they follow exactly the shape
+//! `#[derive(Serialize, Deserialize)]` would generate for the repr structs.
 
-use serde::de::DeserializeOwned;
+use serde::de::{DeserializeOwned, Error as DeError};
+use serde::ser::{SerializeStruct, SerializeStructVariant};
+use serde::value::FieldMap;
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
 use crate::compactor::{RankAccuracy, RelativeCompactor};
+use crate::ordf64::OrdF64;
 use crate::params::ParamPolicy;
 use crate::schedule::CompactionState;
 use crate::sketch::ReqSketch;
 
-#[derive(Serialize, Deserialize)]
-#[serde(rename = "ParamPolicy")]
-enum PolicyRepr {
-    Mergeable { eps: f64, delta: f64, scale: f64 },
-    Streaming { eps: f64, delta: f64, n: u64 },
-    SmallDelta { eps: f64, delta: f64, n: u64 },
-    Deterministic { eps: f64, n: u64 },
-    FixedK { k: u32 },
+impl Serialize for OrdF64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // `#[serde(transparent)]`: an OrdF64 is exactly its f64.
+        self.0.serialize(serializer)
+    }
 }
 
-impl From<ParamPolicy> for PolicyRepr {
-    fn from(p: ParamPolicy) -> Self {
-        match p {
+impl<'de> Deserialize<'de> for OrdF64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(OrdF64)
+    }
+}
+
+impl Serialize for ParamPolicy {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match *self {
             ParamPolicy::Mergeable { eps, delta, scale } => {
-                PolicyRepr::Mergeable { eps, delta, scale }
+                let mut sv =
+                    serializer.serialize_struct_variant("ParamPolicy", 0, "Mergeable", 3)?;
+                sv.serialize_field("eps", &eps)?;
+                sv.serialize_field("delta", &delta)?;
+                sv.serialize_field("scale", &scale)?;
+                sv.end()
             }
-            ParamPolicy::Streaming { eps, delta, n } => PolicyRepr::Streaming { eps, delta, n },
-            ParamPolicy::SmallDelta { eps, delta, n } => PolicyRepr::SmallDelta { eps, delta, n },
-            ParamPolicy::Deterministic { eps, n } => PolicyRepr::Deterministic { eps, n },
-            ParamPolicy::FixedK { k } => PolicyRepr::FixedK { k },
+            ParamPolicy::Streaming { eps, delta, n } => {
+                let mut sv =
+                    serializer.serialize_struct_variant("ParamPolicy", 1, "Streaming", 3)?;
+                sv.serialize_field("eps", &eps)?;
+                sv.serialize_field("delta", &delta)?;
+                sv.serialize_field("n", &n)?;
+                sv.end()
+            }
+            ParamPolicy::SmallDelta { eps, delta, n } => {
+                let mut sv =
+                    serializer.serialize_struct_variant("ParamPolicy", 2, "SmallDelta", 3)?;
+                sv.serialize_field("eps", &eps)?;
+                sv.serialize_field("delta", &delta)?;
+                sv.serialize_field("n", &n)?;
+                sv.end()
+            }
+            ParamPolicy::Deterministic { eps, n } => {
+                let mut sv =
+                    serializer.serialize_struct_variant("ParamPolicy", 3, "Deterministic", 2)?;
+                sv.serialize_field("eps", &eps)?;
+                sv.serialize_field("n", &n)?;
+                sv.end()
+            }
+            ParamPolicy::FixedK { k } => {
+                let mut sv = serializer.serialize_struct_variant("ParamPolicy", 4, "FixedK", 1)?;
+                sv.serialize_field("k", &k)?;
+                sv.end()
+            }
         }
     }
 }
 
-impl From<PolicyRepr> for ParamPolicy {
-    fn from(p: PolicyRepr) -> Self {
-        match p {
-            PolicyRepr::Mergeable { eps, delta, scale } => {
-                ParamPolicy::Mergeable { eps, delta, scale }
-            }
-            PolicyRepr::Streaming { eps, delta, n } => ParamPolicy::Streaming { eps, delta, n },
-            PolicyRepr::SmallDelta { eps, delta, n } => ParamPolicy::SmallDelta { eps, delta, n },
-            PolicyRepr::Deterministic { eps, n } => ParamPolicy::Deterministic { eps, n },
-            PolicyRepr::FixedK { k } => ParamPolicy::FixedK { k },
+impl<'de> Deserialize<'de> for ParamPolicy {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let (variant, mut fields) =
+            FieldMap::from_variant(deserializer.deserialize_value()?).map_err(D::Error::custom)?;
+        match variant {
+            "Mergeable" => Ok(ParamPolicy::Mergeable {
+                eps: fields.take("eps")?,
+                delta: fields.take("delta")?,
+                scale: fields.take("scale")?,
+            }),
+            "Streaming" => Ok(ParamPolicy::Streaming {
+                eps: fields.take("eps")?,
+                delta: fields.take("delta")?,
+                n: fields.take("n")?,
+            }),
+            "SmallDelta" => Ok(ParamPolicy::SmallDelta {
+                eps: fields.take("eps")?,
+                delta: fields.take("delta")?,
+                n: fields.take("n")?,
+            }),
+            "Deterministic" => Ok(ParamPolicy::Deterministic {
+                eps: fields.take("eps")?,
+                n: fields.take("n")?,
+            }),
+            "FixedK" => Ok(ParamPolicy::FixedK {
+                k: fields.take("k")?,
+            }),
+            other => Err(D::Error::custom(format!(
+                "unknown ParamPolicy variant `{other}`"
+            ))),
         }
     }
 }
 
-#[derive(Serialize, Deserialize)]
+/// Serialized form of one compactor level.
 struct LevelRepr<T> {
     state: u64,
     num_compactions: u64,
@@ -60,69 +119,91 @@ struct LevelRepr<T> {
     items: Vec<T>,
 }
 
-#[derive(Serialize, Deserialize)]
-#[serde(rename = "ReqSketch")]
-struct SketchRepr<T> {
-    policy: PolicyRepr,
-    high_rank_accuracy: bool,
-    n: u64,
-    max_n: u64,
-    k: u32,
-    num_sections: u32,
-    min_item: Option<T>,
-    max_item: Option<T>,
-    seed: u64,
-    levels: Vec<LevelRepr<T>>,
+impl<T: Serialize> Serialize for LevelRepr<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("LevelRepr", 4)?;
+        s.serialize_field("state", &self.state)?;
+        s.serialize_field("num_compactions", &self.num_compactions)?;
+        s.serialize_field("num_special_compactions", &self.num_special_compactions)?;
+        s.serialize_field("items", &self.items)?;
+        s.end()
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for LevelRepr<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut fields =
+            FieldMap::from_value(deserializer.deserialize_value()?).map_err(D::Error::custom)?;
+        Ok(LevelRepr {
+            state: fields.take("state")?,
+            num_compactions: fields.take("num_compactions")?,
+            num_special_compactions: fields.take("num_special_compactions")?,
+            items: fields.take("items")?,
+        })
+    }
 }
 
 impl<T: Ord + Clone + Serialize> Serialize for ReqSketch<T> {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let repr = SketchRepr {
-            policy: self.policy().into(),
-            high_rank_accuracy: self.rank_accuracy() == RankAccuracy::HighRank,
-            n: self.len_raw(),
-            max_n: self.max_n(),
-            k: self.k(),
-            num_sections: self.num_sections(),
-            min_item: self.min_item().cloned(),
-            max_item: self.max_item().cloned(),
-            seed: self.seed(),
-            levels: self
-                .levels
-                .iter()
-                .map(|l| LevelRepr {
-                    state: l.state().raw(),
-                    num_compactions: l.num_compactions(),
-                    num_special_compactions: l.num_special_compactions(),
-                    items: l.items().to_vec(),
-                })
-                .collect(),
-        };
-        repr.serialize(serializer)
+        let levels: Vec<LevelRepr<T>> = self
+            .levels
+            .iter()
+            .map(|l| LevelRepr {
+                state: l.state().raw(),
+                num_compactions: l.num_compactions(),
+                num_special_compactions: l.num_special_compactions(),
+                items: l.items().to_vec(),
+            })
+            .collect();
+        let mut s = serializer.serialize_struct("ReqSketch", 10)?;
+        s.serialize_field("policy", &self.policy())?;
+        s.serialize_field(
+            "high_rank_accuracy",
+            &(self.rank_accuracy() == RankAccuracy::HighRank),
+        )?;
+        s.serialize_field("n", &self.n)?;
+        s.serialize_field("max_n", &self.max_n())?;
+        s.serialize_field("k", &self.k())?;
+        s.serialize_field("num_sections", &self.num_sections())?;
+        s.serialize_field("min_item", &self.min_item().cloned())?;
+        s.serialize_field("max_item", &self.max_item().cloned())?;
+        s.serialize_field("seed", &self.seed())?;
+        s.serialize_field("levels", &levels)?;
+        s.end()
     }
 }
 
 impl<'de, T: Ord + Clone + DeserializeOwned> Deserialize<'de> for ReqSketch<T> {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let repr = SketchRepr::<T>::deserialize(deserializer)?;
-        if repr.k < 4 || repr.k % 2 != 0 || repr.num_sections == 0 {
-            return Err(serde::de::Error::custom(format!(
-                "invalid sketch geometry k={} sections={}",
-                repr.k, repr.num_sections
+        let mut fields =
+            FieldMap::from_value(deserializer.deserialize_value()?).map_err(D::Error::custom)?;
+        let policy: ParamPolicy = fields.take("policy")?;
+        let high_rank_accuracy: bool = fields.take("high_rank_accuracy")?;
+        let n: u64 = fields.take("n")?;
+        let max_n: u64 = fields.take("max_n")?;
+        let k: u32 = fields.take("k")?;
+        let num_sections: u32 = fields.take("num_sections")?;
+        let min_item: Option<T> = fields.take("min_item")?;
+        let max_item: Option<T> = fields.take("max_item")?;
+        let seed: u64 = fields.take("seed")?;
+        let levels: Vec<LevelRepr<T>> = fields.take("levels")?;
+
+        if k < 4 || !k.is_multiple_of(2) || num_sections == 0 {
+            return Err(D::Error::custom(format!(
+                "invalid sketch geometry k={k} sections={num_sections}"
             )));
         }
-        let accuracy = if repr.high_rank_accuracy {
+        let accuracy = if high_rank_accuracy {
             RankAccuracy::HighRank
         } else {
             RankAccuracy::LowRank
         };
-        let levels = repr
-            .levels
+        let levels = levels
             .into_iter()
             .map(|l| {
                 RelativeCompactor::from_parts(
-                    repr.k,
-                    repr.num_sections,
+                    k,
+                    num_sections,
                     l.items,
                     CompactionState::from_raw(l.state),
                     l.num_compactions,
@@ -131,23 +212,90 @@ impl<'de, T: Ord + Clone + DeserializeOwned> Deserialize<'de> for ReqSketch<T> {
             })
             .collect();
         Ok(ReqSketch::from_parts(
-            repr.policy.into(),
+            policy,
             accuracy,
             levels,
-            repr.n,
-            repr.max_n,
-            repr.k,
-            repr.num_sections,
-            repr.min_item,
-            repr.max_item,
-            repr.seed,
+            n,
+            max_n,
+            k,
+            num_sections,
+            min_item,
+            max_item,
+            seed,
         ))
     }
 }
 
-impl<T: Ord + Clone> ReqSketch<T> {
-    /// `n` without going through the trait (internal serde helper).
-    fn len_raw(&self) -> u64 {
-        self.n
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::value::{from_value, to_value};
+    use sketch_traits::QuantileSketch;
+
+    fn sample() -> ReqSketch<u64> {
+        let mut s = ReqSketch::<u64>::with_policy(
+            ParamPolicy::fixed_k(12).unwrap(),
+            RankAccuracy::HighRank,
+            3,
+        );
+        for i in 0..20_000u64 {
+            s.update(i.wrapping_mul(2654435761) % 100_003);
+        }
+        s
+    }
+
+    #[test]
+    fn sketch_roundtrips_through_value_tree() {
+        let s = sample();
+        let v = to_value(&s).unwrap();
+        let t: ReqSketch<u64> = from_value(v).unwrap();
+        assert_eq!(t.len(), s.len());
+        assert_eq!(t.k(), s.k());
+        assert_eq!(t.rank_accuracy(), s.rank_accuracy());
+        assert_eq!(t.min_item(), s.min_item());
+        assert_eq!(t.max_item(), s.max_item());
+        for y in (0..100_003u64).step_by(9_973) {
+            assert_eq!(t.rank(&y), s.rank(&y), "rank mismatch at {y}");
+        }
+    }
+
+    #[test]
+    fn every_policy_roundtrips() {
+        let policies = [
+            ParamPolicy::mergeable(0.05, 0.05).unwrap(),
+            ParamPolicy::streaming(0.1, 0.01, 1 << 20).unwrap(),
+            ParamPolicy::small_delta(0.1, 1e-9, 1 << 20).unwrap(),
+            ParamPolicy::deterministic(0.1, 1 << 20).unwrap(),
+            ParamPolicy::fixed_k(24).unwrap(),
+        ];
+        for p in policies {
+            let roundtripped: ParamPolicy = from_value(to_value(&p).unwrap()).unwrap();
+            assert_eq!(roundtripped, p);
+        }
+    }
+
+    #[test]
+    fn ordf64_is_transparent() {
+        let v = to_value(&OrdF64(2.5)).unwrap();
+        assert_eq!(v, serde::Value::F64(2.5));
+        let x: OrdF64 = from_value(v).unwrap();
+        assert_eq!(x, OrdF64(2.5));
+    }
+
+    #[test]
+    fn corrupt_geometry_is_rejected() {
+        let s = sample();
+        let v = to_value(&s).unwrap();
+        // Sabotage the `k` field.
+        let serde::Value::Struct { name, mut fields } = v else {
+            panic!("sketch must serialize as a struct");
+        };
+        for (key, value) in &mut fields {
+            if *key == "k" {
+                *value = serde::Value::U64(3); // odd and < 4: invalid
+            }
+        }
+        let bad = serde::Value::Struct { name, fields };
+        assert!(from_value::<ReqSketch<u64>>(bad).is_err());
     }
 }

@@ -316,7 +316,6 @@ impl<T: Ord + Clone> ReqSketch<T> {
             self.track_min_max(&m);
         }
     }
-
 }
 
 impl<T: Ord + Clone> QuantileSketch<T> for ReqSketch<T> {

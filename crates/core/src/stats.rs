@@ -125,11 +125,8 @@ mod tests {
     use sketch_traits::QuantileSketch;
 
     fn sketch_with_data(n: u64) -> ReqSketch<u64> {
-        let mut s = ReqSketch::with_policy(
-            ParamPolicy::fixed_k(8).unwrap(),
-            RankAccuracy::LowRank,
-            1,
-        );
+        let mut s =
+            ReqSketch::with_policy(ParamPolicy::fixed_k(8).unwrap(), RankAccuracy::LowRank, 1);
         for i in 0..n {
             s.update(i);
         }
@@ -154,7 +151,10 @@ mod tests {
         let stats = s.stats();
         for l in &stats.levels {
             assert!(l.len <= l.capacity, "level {} over capacity", l.level);
-            assert_eq!(l.capacity, 2 * l.section_size as usize * l.num_sections as usize);
+            assert_eq!(
+                l.capacity,
+                2 * l.section_size as usize * l.num_sections as usize
+            );
         }
         // level 0 has performed the most compactions
         assert!(stats.levels[0].num_compactions >= stats.levels.last().unwrap().num_compactions);

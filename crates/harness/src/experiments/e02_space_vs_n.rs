@@ -54,8 +54,8 @@ pub fn run(cfg: &Config) -> Vec<Table> {
     );
     for &log2n in &cfg.log2_ns {
         let n = 1u64 << log2n;
-        let policy = ParamPolicy::mergeable_scaled(cfg.eps, cfg.delta, cfg.scale)
-            .expect("valid parameters");
+        let policy =
+            ParamPolicy::mergeable_scaled(cfg.eps, cfg.delta, cfg.scale).expect("valid parameters");
         let mut s = ReqSketch::<u64>::with_policy(policy, RankAccuracy::LowRank, log2n as u64);
         for i in 0..n {
             s.update(i.wrapping_mul(0x9E3779B97F4A7C15) >> 16);
@@ -90,13 +90,14 @@ mod tests {
         };
         let t = run(&cfg).pop().unwrap();
         let frac_col = t.column("retained/n").unwrap();
-        let shape_col = t
-            .column("retained/(eps^-1 log2^1.5(eps n))")
-            .unwrap();
+        let shape_col = t.column("retained/(eps^-1 log2^1.5(eps n))").unwrap();
         // space fraction shrinks 64x in n
         let f0: f64 = t.cell(0, frac_col).parse().unwrap();
         let f2: f64 = t.cell(2, frac_col).parse().unwrap();
-        assert!(f2 < f0 / 4.0, "space fraction should collapse: {f0} -> {f2}");
+        assert!(
+            f2 < f0 / 4.0,
+            "space fraction should collapse: {f0} -> {f2}"
+        );
         // shape constant varies by at most ~4x over the sweep
         let s0: f64 = t.cell(0, shape_col).parse().unwrap();
         let s2: f64 = t.cell(2, shape_col).parse().unwrap();

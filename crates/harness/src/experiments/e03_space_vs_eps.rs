@@ -42,13 +42,18 @@ impl Default for Config {
 pub fn run(cfg: &Config) -> Vec<Table> {
     let items: Vec<u64> = {
         // fixed pseudo-random permutation-ish stream
-        (0..cfg.n).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 20).collect()
+        (0..cfg.n)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 20)
+            .collect()
     };
     let oracle = SortOracle::new(&items);
     let ranks = geometric_ranks(cfg.n, 4.0);
 
     let mut t = Table::new(
-        format!("E3 space vs eps at n={} (REQ linear vs halving quadratic in 1/eps)", cfg.n),
+        format!(
+            "E3 space vs eps at n={} (REQ linear vs halving quadratic in 1/eps)",
+            cfg.n
+        ),
         &[
             "eps",
             "REQ retained",
@@ -70,8 +75,13 @@ pub fn run(cfg: &Config) -> Vec<Table> {
             halving.update(x);
         }
         let req_err = summarize(&probe_ranks(&req, &oracle, &ranks, ErrorMode::RelativeLow)).max;
-        let hal_err =
-            summarize(&probe_ranks(&halving, &oracle, &ranks, ErrorMode::RelativeLow)).max;
+        let hal_err = summarize(&probe_ranks(
+            &halving,
+            &oracle,
+            &ranks,
+            ErrorMode::RelativeLow,
+        ))
+        .max;
         let (rg, hg) = match prev {
             Some((pr, ph)) => (
                 fmt_f(req.retained() as f64 / pr as f64),
@@ -121,7 +131,13 @@ mod tests {
             hal_growth > 2.0 * req_growth,
             "separation missing: REQ {req_growth:.1}x vs halving {hal_growth:.1}x"
         );
-        assert!(req_growth < 8.0, "REQ growth {req_growth:.1}x not linear-ish");
-        assert!(hal_growth > 8.0, "halving growth {hal_growth:.1}x not quadratic-ish");
+        assert!(
+            req_growth < 8.0,
+            "REQ growth {req_growth:.1}x not linear-ish"
+        );
+        assert!(
+            hal_growth > 8.0,
+            "halving growth {hal_growth:.1}x not quadratic-ish"
+        );
     }
 }

@@ -41,7 +41,13 @@ pub fn run(cfg: &Config) -> Vec<Table> {
             "E4 delta dependence (eps={}, n={}, {} trials per delta)",
             cfg.eps, cfg.n, cfg.trials
         ),
-        &["delta", "k (Eq.6)", "k/sqrt(ln 1/delta)", "measured fail rate", "bound"],
+        &[
+            "delta",
+            "k (Eq.6)",
+            "k/sqrt(ln 1/delta)",
+            "measured fail rate",
+            "bound",
+        ],
     );
     // fixed query item: the value with true rank n/8 in a fixed permutation
     let n = cfg.n;

@@ -111,7 +111,9 @@ pub fn run(cfg: &Config) -> Vec<Table> {
             drift.to_string(),
         ]);
     }
-    t.note("row `shards=1` is the pure streaming reference; errors should be comparable in every row");
+    t.note(
+        "row `shards=1` is the pure streaming reference; errors should be comparable in every row",
+    );
     vec![t]
 }
 

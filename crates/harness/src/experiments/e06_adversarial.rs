@@ -70,10 +70,8 @@ pub fn run(cfg: &Config) -> Vec<Table> {
         let mut ckms = CkmsSketch::<u64>::new(cfg.ckms_eps);
         feed(&mut ckms, &items);
 
-        let req_err =
-            summarize(&probe_ranks(&req, &oracle, &ranks, ErrorMode::RelativeLow)).max;
-        let ckms_err =
-            summarize(&probe_ranks(&ckms, &oracle, &ranks, ErrorMode::RelativeLow)).max;
+        let req_err = summarize(&probe_ranks(&req, &oracle, &ranks, ErrorMode::RelativeLow)).max;
+        let ckms_err = summarize(&probe_ranks(&ckms, &oracle, &ranks, ErrorMode::RelativeLow)).max;
         t.row(vec![
             name.to_string(),
             req.retained().to_string(),
@@ -107,7 +105,10 @@ mod tests {
             .collect();
         let req_spread = req_sizes.iter().cloned().fold(0.0, f64::max)
             / req_sizes.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(req_spread < 1.5, "REQ space varies {req_spread}x with order");
+        assert!(
+            req_spread < 1.5,
+            "REQ space varies {req_spread}x with order"
+        );
 
         // every REQ error row bounded
         for r in 0..t.num_rows() {

@@ -80,10 +80,20 @@ pub fn run(cfg: &Config) -> Vec<Table> {
         let prefix = &items[..fed];
         let oracle = SortOracle::new(prefix);
         let ranks = geometric_ranks(checkpoint, 4.0);
-        let g_err =
-            summarize(&probe_ranks(&growing, &oracle, &ranks, ErrorMode::RelativeLow)).max;
-        let i_err =
-            summarize(&probe_ranks(&inplace, &oracle, &ranks, ErrorMode::RelativeLow)).max;
+        let g_err = summarize(&probe_ranks(
+            &growing,
+            &oracle,
+            &ranks,
+            ErrorMode::RelativeLow,
+        ))
+        .max;
+        let i_err = summarize(&probe_ranks(
+            &inplace,
+            &oracle,
+            &ranks,
+            ErrorMode::RelativeLow,
+        ))
+        .max;
         t.row(vec![
             checkpoint.to_string(),
             growing.num_summaries().to_string(),

@@ -121,7 +121,10 @@ mod tests {
             "schedule should win at equal space, ratio {ratio}"
         );
         // budgets actually comparable (within 2x)
-        let rr: f64 = t.cell(0, t.column("REQ retained").unwrap()).parse().unwrap();
+        let rr: f64 = t
+            .cell(0, t.column("REQ retained").unwrap())
+            .parse()
+            .unwrap();
         let hr: f64 = t
             .cell(0, t.column("halving retained").unwrap())
             .parse()

@@ -37,7 +37,10 @@ impl Default for Config {
 /// Run E14.
 pub fn run(cfg: &Config) -> Vec<Table> {
     let mut t = Table::new(
-        format!("E14 optimality gap (REQ k={} vs offline-optimal at matched measured eps)", cfg.k),
+        format!(
+            "E14 optimality gap (REQ k={} vs offline-optimal at matched measured eps)",
+            cfg.k
+        ),
         &[
             "n",
             "measured eps",
@@ -58,8 +61,9 @@ pub fn run(cfg: &Config) -> Vec<Table> {
 
         let mut req = req_lra(cfg.k, log2n as u64);
         feed(&mut req, &items);
-        let eps =
-            summarize(&probe_ranks(&req, &oracle, &ranks, ErrorMode::RelativeLow)).max.max(1e-6);
+        let eps = summarize(&probe_ranks(&req, &oracle, &ranks, ErrorMode::RelativeLow))
+            .max
+            .max(1e-6);
 
         let offline = OfflineOptimalSummary::build(&items, eps);
         // sanity: the offline summary really achieves eps

@@ -89,8 +89,7 @@ pub fn summarize(probes: &[ProbeError]) -> RankErrorSummary {
     }
     let max = probes.iter().map(|p| p.err).fold(0.0, f64::max);
     let mean = probes.iter().map(|p| p.err).sum::<f64>() / probes.len() as f64;
-    let rmse =
-        (probes.iter().map(|p| p.err * p.err).sum::<f64>() / probes.len() as f64).sqrt();
+    let rmse = (probes.iter().map(|p| p.err * p.err).sum::<f64>() / probes.len() as f64).sqrt();
     RankErrorSummary { max, mean, rmse }
 }
 
@@ -148,7 +147,12 @@ mod tests {
         let items: Vec<u64> = (0..1000).collect();
         let sketch = Exact(items.clone());
         let oracle = SortOracle::new(&items);
-        let probes = probe_ranks(&sketch, &oracle, &[1, 10, 100, 1000], ErrorMode::RelativeLow);
+        let probes = probe_ranks(
+            &sketch,
+            &oracle,
+            &[1, 10, 100, 1000],
+            ErrorMode::RelativeLow,
+        );
         assert_eq!(probes.len(), 4);
         assert!(probes.iter().all(|p| p.err == 0.0));
         let s = summarize(&probes);
@@ -161,7 +165,12 @@ mod tests {
         let items: Vec<u64> = (1..=10_000).collect();
         let sketch = Biased(Exact(items.clone()));
         let oracle = SortOracle::new(&items);
-        let probes = probe_ranks(&sketch, &oracle, &[100, 1000, 10_000], ErrorMode::RelativeLow);
+        let probes = probe_ranks(
+            &sketch,
+            &oracle,
+            &[100, 1000, 10_000],
+            ErrorMode::RelativeLow,
+        );
         for p in &probes {
             assert!((p.err - 0.1).abs() < 0.01, "err {}", p.err);
         }

@@ -1,0 +1,174 @@
+//! End-to-end smoke test of the experiment pipeline: every experiment
+//! module (e01–e14) runs at a scaled-down `Config` and must produce
+//! well-formed, non-empty, renderable tables. The in-module `#[test]`s
+//! assert each experiment's *direction* (the paper claim); this test
+//! guards the *plumbing* — config handling, workload generation, sketch
+//! feeding, table assembly — on every `cargo test`, cheaply.
+
+use harness::experiments as e;
+use harness::Table;
+
+/// Every produced table must have a non-trivial shape and render.
+fn assert_well_formed(experiment: &str, tables: &[Table]) {
+    assert!(!tables.is_empty(), "{experiment}: no tables produced");
+    for (i, t) in tables.iter().enumerate() {
+        assert!(
+            t.num_rows() > 0,
+            "{experiment}: table #{i} has no data rows"
+        );
+        let rendered = t.to_string();
+        assert!(
+            rendered.lines().count() >= 3,
+            "{experiment}: table #{i} renders to fewer lines than title+header+rule"
+        );
+        assert!(
+            rendered.starts_with("## "),
+            "{experiment}: table #{i} missing title line"
+        );
+    }
+}
+
+macro_rules! smoke {
+    ($name:ident, $module:ident, $config:expr) => {
+        #[test]
+        fn $name() {
+            let cfg = $config;
+            assert_well_formed(stringify!($module), &e::$module::run(&cfg));
+        }
+    };
+}
+
+smoke!(
+    e01_error_vs_rank_smoke,
+    e01_error_vs_rank,
+    e::e01_error_vs_rank::Config {
+        n: 1 << 12,
+        req_k: 16,
+        trials: 1,
+        ratio: 4.0,
+    }
+);
+
+smoke!(
+    e02_space_vs_n_smoke,
+    e02_space_vs_n,
+    e::e02_space_vs_n::Config {
+        log2_ns: vec![10, 12],
+        eps: 0.1,
+        delta: 0.1,
+        scale: 0.25,
+    }
+);
+
+smoke!(
+    e03_space_vs_eps_smoke,
+    e03_space_vs_eps,
+    e::e03_space_vs_eps::Config {
+        n: 1 << 12,
+        epsilons: vec![0.2, 0.1],
+        delta: 0.1,
+        scale: 0.25,
+    }
+);
+
+smoke!(
+    e04_delta_dependence_smoke,
+    e04_delta_dependence,
+    e::e04_delta_dependence::Config {
+        n: 1 << 10,
+        eps: 0.2,
+        deltas: vec![0.25, 0.05],
+        trials: 8,
+    }
+);
+
+smoke!(
+    e05_mergeability_smoke,
+    e05_mergeability,
+    e::e05_mergeability::Config {
+        n: 1 << 12,
+        k: 16,
+        shard_counts: vec![1, 4],
+        trials: 1,
+    }
+);
+
+smoke!(
+    e06_adversarial_smoke,
+    e06_adversarial,
+    e::e06_adversarial::Config {
+        n: 1 << 12,
+        req_k: 16,
+        ckms_eps: 0.1,
+    }
+);
+
+smoke!(
+    e08_unknown_n_smoke,
+    e08_unknown_n,
+    e::e08_unknown_n::Config {
+        checkpoints: vec![1 << 8, 1 << 10],
+        eps: 0.2,
+        delta: 0.1,
+        scale: 0.5,
+    }
+);
+
+smoke!(
+    e09_small_delta_smoke,
+    e09_small_delta,
+    e::e09_small_delta::Config {
+        n: 1 << 12,
+        eps: 0.2,
+        deltas: vec![1e-1, 1e-9],
+    }
+);
+
+smoke!(
+    e10_schedule_ablation_smoke,
+    e10_schedule_ablation,
+    e::e10_schedule_ablation::Config {
+        n: 1 << 12,
+        pairs: vec![(16, 512)],
+        trials: 1,
+        rank_stride: 17,
+    }
+);
+
+smoke!(
+    e11_all_quantiles_smoke,
+    e11_all_quantiles,
+    e::e11_all_quantiles::Config {
+        n: 1 << 12,
+        k: 16,
+        trials: 1,
+    }
+);
+
+smoke!(
+    e12_landscape_smoke,
+    e12_landscape,
+    e::e12_landscape::Config {
+        n: 1 << 12,
+        percentiles: vec![0.5, 0.99],
+    }
+);
+
+smoke!(
+    e13_k_calibration_smoke,
+    e13_k_calibration,
+    e::e13_k_calibration::Config {
+        n: 1 << 12,
+        ks: vec![8, 16],
+        trials: 1,
+    }
+);
+
+smoke!(
+    e14_optimality_gap_smoke,
+    e14_optimality_gap,
+    e::e14_optimality_gap::Config {
+        log2_ns: vec![10, 12],
+        k: 16,
+    }
+);

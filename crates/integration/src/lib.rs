@@ -1,0 +1,8 @@
+//! Anchor crate for the repository-root `tests/` and `examples/`
+//! directories. Those predate the Cargo workspace; this crate's manifest
+//! maps each file to a `[[test]]` / `[[example]]` target so they stay
+//! exactly where every doc reference expects them while still being built
+//! and run by `cargo test` and `cargo build --examples`.
+//!
+//! The library itself is intentionally empty — all content lives in the
+//! attached targets.

@@ -76,8 +76,7 @@ impl Ordering {
             Ordering::SortedBlocks { block } => {
                 let block = block.max(1);
                 items.sort_unstable();
-                let mut blocks: Vec<Vec<u64>> =
-                    items.chunks(block).map(|c| c.to_vec()).collect();
+                let mut blocks: Vec<Vec<u64>> = items.chunks(block).map(|c| c.to_vec()).collect();
                 let mut rng = SmallRng::seed_from_u64(seed);
                 blocks.shuffle(&mut rng);
                 let mut i = 0;

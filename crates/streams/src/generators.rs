@@ -231,7 +231,10 @@ mod tests {
                 mean: 10.0,
                 std_dev: 2.0,
             },
-            Distribution::LogNormal { mu: 1.0, sigma: 1.0 },
+            Distribution::LogNormal {
+                mu: 1.0,
+                sigma: 1.0,
+            },
             Distribution::Pareto {
                 scale: 1.0,
                 alpha: 1.5,
@@ -297,7 +300,11 @@ mod tests {
 
     #[test]
     fn lognormal_is_heavy_tailed() {
-        let xs = Distribution::LogNormal { mu: 0.0, sigma: 1.5 }.generate(100_000, 13);
+        let xs = Distribution::LogNormal {
+            mu: 0.0,
+            sigma: 1.5,
+        }
+        .generate(100_000, 13);
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         let p50 = sorted[sorted.len() / 2] as f64;

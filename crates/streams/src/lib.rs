@@ -51,7 +51,8 @@ impl Workload {
     /// Generate `n` items with the given seed.
     pub fn generate(&self, n: usize, seed: u64) -> Vec<u64> {
         let mut items = self.distribution.generate(n, seed);
-        self.ordering.apply(&mut items, seed ^ 0xA5A5_A5A5_A5A5_A5A5);
+        self.ordering
+            .apply(&mut items, seed ^ 0xA5A5_A5A5_A5A5_A5A5);
         items
     }
 }

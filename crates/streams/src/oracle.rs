@@ -165,7 +165,9 @@ mod tests {
 
     #[test]
     fn counting_oracle_agrees_with_sort_oracle() {
-        let items: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(2654435761) % 7919).collect();
+        let items: Vec<u64> = (0..10_000u64)
+            .map(|i| i.wrapping_mul(2654435761) % 7919)
+            .collect();
         let probes: Vec<u64> = (0..7919u64).step_by(97).collect();
         let sort = SortOracle::new(&items);
         let mut count = CountingOracle::new(probes.clone());

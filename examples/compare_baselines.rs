@@ -48,7 +48,10 @@ fn main() {
     let truth = oracle.rank(p999_item);
     let tail = n as u64 - truth + 1;
 
-    println!("workload: {} web-latency samples; probing p99.9 (rank {truth}, tail {tail})\n", n);
+    println!(
+        "workload: {} web-latency samples; probing p99.9 (rank {truth}, tail {tail})\n",
+        n
+    );
     println!(
         "{:<22} {:>9} {:>12} {:>14}  note",
         "summary", "retained", "est. rank", "err/tail"
@@ -106,5 +109,8 @@ fn main() {
     }
 
     println!("\nexact p99.9 latency: {:.2}s", p999_item as f64 / 1e6);
-    println!("REQ p99.9 estimate : {:.2}s", req.quantile(0.999).unwrap() as f64 / 1e6);
+    println!(
+        "REQ p99.9 estimate : {:.2}s",
+        req.quantile(0.999).unwrap() as f64 / 1e6
+    );
 }

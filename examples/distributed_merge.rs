@@ -43,7 +43,10 @@ fn main() {
             .enumerate()
             .map(|(i, part)| scope.spawn(move || build_shard(part, 1000 + i as u64)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
     });
 
     println!(

@@ -36,7 +36,9 @@ fn main() {
 
     let mut x = 0u64;
     for i in 0..final_n {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let item = x >> 16;
         items.push(item);
         inplace.update(item);
@@ -66,7 +68,10 @@ fn main() {
     // Accuracy check across the whole rank range.
     let oracle = SortOracle::new(&items);
     let inplace_view = inplace.sorted_view();
-    println!("\n{:>12} {:>12} {:>12}", "true rank", "in-place err", "§5 err");
+    println!(
+        "\n{:>12} {:>12} {:>12}",
+        "true rank", "in-place err", "§5 err"
+    );
     for r in [10u64, 1_000, 100_000, 1_000_000, final_n] {
         let item = oracle.item_at_rank(r).expect("nonempty");
         let truth = oracle.rank(item);

@@ -28,7 +28,10 @@ fn low_rank_relative_error_across_distributions() {
     for (i, dist) in [
         Distribution::Permutation,
         Distribution::Uniform { range: 1 << 30 },
-        Distribution::LogNormal { mu: 3.0, sigma: 1.5 },
+        Distribution::LogNormal {
+            mu: 3.0,
+            sigma: 1.5,
+        },
         Distribution::Zipf {
             num_items: 10_000,
             exponent: 1.2,
@@ -50,10 +53,7 @@ fn low_rank_relative_error_across_distributions() {
             let truth = oracle.rank(item);
             let est = sketch.rank(&item);
             let rel = est.abs_diff(truth) as f64 / truth as f64;
-            assert!(
-                rel < 0.05,
-                "{dist:?}: rank {truth} est {est} rel {rel:.4}"
-            );
+            assert!(rel < 0.05, "{dist:?}: rank {truth} est {est} rel {rel:.4}");
         }
     }
 }
@@ -110,7 +110,10 @@ fn quantile_rank_roundtrip() {
     // error of q*n.
     let n = 1u64 << 16;
     let items = Workload {
-        distribution: Distribution::LogNormal { mu: 5.0, sigma: 2.0 },
+        distribution: Distribution::LogNormal {
+            mu: 5.0,
+            sigma: 2.0,
+        },
         ordering: Ordering::Shuffled,
     }
     .generate(n as usize, 21);

@@ -83,7 +83,10 @@ fn ddsketch_value_guarantee_on_lognormal() {
     let alpha = 0.02;
     let n = 1 << 16;
     let items = Workload {
-        distribution: Distribution::LogNormal { mu: 4.0, sigma: 1.0 },
+        distribution: Distribution::LogNormal {
+            mu: 4.0,
+            sigma: 1.0,
+        },
         ordering: Ordering::Shuffled,
     }
     .generate(n, 4);
@@ -128,8 +131,11 @@ fn reservoir_additive_but_not_relative() {
     let mid_item = oracle.item_at_rank(n / 2).unwrap();
     let add = s.rank(&mid_item).abs_diff(oracle.rank(mid_item)) as f64 / n as f64;
     assert!(add < 0.05, "additive err {add}");
-    // relative error at rank ~30 is catastrophic (granularity n/m = 32)
-    let low_item = oracle.item_at_rank(30).unwrap();
+    // Relative error at rank ~10 is catastrophic: rank estimates come in
+    // steps of the sampling granularity n/m = 32, and every multiple of 32
+    // (including 0) is at least 100% away from 10 — so the assertion holds
+    // for every possible coin sequence, not just a lucky seed.
+    let low_item = oracle.item_at_rank(10).unwrap();
     let truth = oracle.rank(low_item);
     let est = s.rank(&low_item);
     let rel = est.abs_diff(truth) as f64 / truth as f64;

@@ -164,9 +164,6 @@ fn alternating_merge_and_stream_matches_pure_stream_statistically() {
         let a = pure.rank(&y) as f64;
         let b = mixed.rank(&y) as f64;
         let denom = a.max(b).max(100.0);
-        assert!(
-            (a - b).abs() / denom < 0.05,
-            "pure {a} vs mixed {b} at {y}"
-        );
+        assert!((a - b).abs() / denom < 0.05, "pure {a} vs mixed {b} at {y}");
     }
 }

@@ -128,7 +128,11 @@ fn corrupt_bytes_never_panic() {
 
 #[test]
 fn string_sketch_roundtrip() {
-    let mut s = ReqSketch::<String>::builder().k(12).seed(9).build().unwrap();
+    let mut s = ReqSketch::<String>::builder()
+        .k(12)
+        .seed(9)
+        .build()
+        .unwrap();
     for i in 0..5_000u32 {
         s.update(format!("user-{:08}", i.wrapping_mul(2654435761) % 100_000));
     }

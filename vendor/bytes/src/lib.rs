@@ -1,0 +1,302 @@
+//! Offline stand-in for the `bytes` crate (bytes 1.x API subset).
+//!
+//! [`BytesMut`] is an append-only byte builder, [`Bytes`] an immutable
+//! buffer with a read cursor; the [`Buf`] / [`BufMut`] traits carry the
+//! little-endian accessors this workspace's binary codec uses, as provided
+//! methods exactly like the real crate. Unlike the real crate there is no
+//! refcounted zero-copy splitting — `copy_to_bytes` copies — which is
+//! semantically invisible to callers.
+
+use std::ops::Deref;
+
+macro_rules! buf_get {
+    ($($(#[$doc:meta])* fn $fn_name:ident -> $t:ty;)*) => {
+        $(
+            $(#[$doc])*
+            ///
+            /// # Panics
+            /// Panics when not enough bytes remain.
+            fn $fn_name(&mut self) -> $t {
+                let mut raw = [0u8; std::mem::size_of::<$t>()];
+                self.copy_to_slice(&mut raw);
+                <$t>::from_le_bytes(raw)
+            }
+        )*
+    };
+}
+
+/// Read access to a byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// View of the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skip `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// `remaining() > 0`.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copy exactly `dst.len()` bytes out, advancing the cursor.
+    ///
+    /// # Panics
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "copy_to_slice: need {} bytes, have {}",
+            dst.len(),
+            self.remaining()
+        );
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Copy the next `len` bytes into an owned [`Bytes`], advancing.
+    ///
+    /// # Panics
+    /// Panics if fewer than `len` bytes remain.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(
+            self.remaining() >= len,
+            "copy_to_bytes: need {len} bytes, have {}",
+            self.remaining()
+        );
+        let out = Bytes::copy_from_slice(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
+
+    /// Read one byte, advancing the cursor.
+    ///
+    /// # Panics
+    /// Panics when no bytes remain.
+    fn get_u8(&mut self) -> u8 {
+        let mut raw = [0u8; 1];
+        self.copy_to_slice(&mut raw);
+        raw[0]
+    }
+
+    buf_get! {
+        /// Read a `u16`, little-endian, advancing the cursor.
+        fn get_u16_le -> u16;
+        /// Read a `u32`, little-endian, advancing the cursor.
+        fn get_u32_le -> u32;
+        /// Read a `u64`, little-endian, advancing the cursor.
+        fn get_u64_le -> u64;
+        /// Read an `i32`, little-endian, advancing the cursor.
+        fn get_i32_le -> i32;
+        /// Read an `i64`, little-endian, advancing the cursor.
+        fn get_i64_le -> i64;
+        /// Read an `f64`, little-endian, advancing the cursor.
+        fn get_f64_le -> f64;
+    }
+}
+
+macro_rules! buf_put {
+    ($($(#[$doc:meta])* fn $fn_name:ident($t:ty);)*) => {
+        $(
+            $(#[$doc])*
+            fn $fn_name(&mut self, v: $t) {
+                self.put_slice(&v.to_le_bytes());
+            }
+        )*
+    };
+}
+
+/// Append access to a growable byte buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    buf_put! {
+        /// Append a `u16`, little-endian.
+        fn put_u16_le(u16);
+        /// Append a `u32`, little-endian.
+        fn put_u32_le(u32);
+        /// Append a `u64`, little-endian.
+        fn put_u64_le(u64);
+        /// Append an `i32`, little-endian.
+        fn put_i32_le(i32);
+        /// Append an `i64`, little-endian.
+        fn put_i64_le(i64);
+        /// Append an `f64`, little-endian.
+        fn put_f64_le(f64);
+    }
+}
+
+/// A growable, append-only byte buffer (freeze into [`Bytes`] when done).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.inner,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// An immutable byte buffer with a read cursor. [`Deref`]s to the unread
+/// remainder, so `&bytes` coerces to `&[u8]` like the real crate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Owned copy of a slice.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// The unread remainder as an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.chunk().to_vec()
+    }
+
+    /// Unread length (alias of [`Buf::remaining`], like the real crate's
+    /// `len`).
+    pub fn len(&self) -> usize {
+        self.remaining()
+    }
+
+    /// True when fully consumed (or empty).
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(
+            cnt <= self.remaining(),
+            "advance past end: {cnt} > {}",
+            self.remaining()
+        );
+        self.pos += cnt;
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut out = BytesMut::with_capacity(64);
+        out.put_u8(7);
+        out.put_u16_le(300);
+        out.put_u32_le(70_000);
+        out.put_u64_le(1 << 40);
+        out.put_i32_le(-5);
+        out.put_i64_le(-6);
+        out.put_f64_le(1.5);
+        out.put_slice(b"xyz");
+        let mut b = out.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16_le(), 300);
+        assert_eq!(b.get_u32_le(), 70_000);
+        assert_eq!(b.get_u64_le(), 1 << 40);
+        assert_eq!(b.get_i32_le(), -5);
+        assert_eq!(b.get_i64_le(), -6);
+        assert_eq!(b.get_f64_le(), 1.5);
+        assert_eq!(b.remaining(), 3);
+        assert_eq!(b.copy_to_bytes(3).to_vec(), b"xyz");
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn deref_tracks_cursor() {
+        let mut b = Bytes::copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(&b[..], &[1, 2, 3, 4]);
+        b.advance(2);
+        assert_eq!(&b[..], &[3, 4]);
+        assert_eq!(b.to_vec(), vec![3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_to_slice")]
+    fn reading_past_end_panics() {
+        let mut b = Bytes::copy_from_slice(&[1]);
+        let _ = b.get_u32_le();
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline stand-in for `criterion` (0.5 API subset).
+//!
+//! A genuinely functional — if statistically simple — benchmark harness:
+//! each benchmark is warmed up once, then timed for [`Criterion`]'s
+//! configured sample count, reporting median / min / max per-iteration
+//! times and derived throughput to stdout. None of the real crate's
+//! statistics (outlier rejection, regression detection, HTML reports) are
+//! reproduced. The macro surface (`criterion_group!`, `criterion_main!`,
+//! both plain and `name/config/targets` forms) matches, so the real crate
+//! can be swapped back in without touching the bench sources.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter display value.
+    pub fn new<P: std::fmt::Display>(function_id: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+}
+
+/// The timing loop driver passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u32,
+    /// Per-sample wall-clock duration of one closure call.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, once per configured sample after one warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up: touch caches, fault in pages
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+/// One group of related benchmarks sharing throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate the work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.criterion.sample_size = samples as u32;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, mut routine: R) {
+        let full = format!("{}/{id}", self.name);
+        let mut bencher = Bencher {
+            samples: self.criterion.sample_size,
+            times: Vec::new(),
+        };
+        routine(&mut bencher);
+        report(&full, &bencher.times, self.throughput);
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I, R>(&mut self, id: BenchmarkId, input: &I, mut routine: R)
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let mut bencher = Bencher {
+            samples: self.criterion.sample_size,
+            times: Vec::new(),
+        };
+        routine(&mut bencher, input);
+        report(&full, &bencher.times, self.throughput);
+    }
+
+    /// Finish the group (reporting is incremental; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Set samples per benchmark (builder style, like the real crate).
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples as u32;
+        self
+    }
+
+    /// Begin a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, mut routine: R) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        routine(&mut bencher);
+        report(id, &bencher.times, None);
+    }
+}
+
+fn report(id: &str, times: &[Duration], throughput: Option<Throughput>) {
+    if times.is_empty() {
+        println!("{id:<56} (no samples — bencher.iter never called)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = times.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+            format!("  {:>12.0} elem/s", n as f64 / median.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+            format!("  {:>12.0} B/s", n as f64 / median.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{id:<56} median {median:>12?}  [min {min:>12?}, max {max:>12?}]{rate}");
+}
+
+/// Define a benchmark group: plain form `criterion_group!(name, target...)`
+/// or configured form `criterion_group! { name = n; config = c; targets = t... }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("test");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn harness_runs_and_times() {
+        benches();
+    }
+
+    #[test]
+    fn configured_group_form_compiles() {
+        criterion_group! {
+            name = configured;
+            config = Criterion::default().sample_size(5);
+            targets = quick
+        }
+        configured();
+    }
+}

@@ -1,0 +1,150 @@
+//! Offline stand-in for `proptest` (1.x API subset).
+//!
+//! Real randomized property testing: the [`proptest!`] macro runs each test
+//! body [`ProptestConfig::cases`] times with inputs drawn from the given
+//! [`Strategy`] expressions, seeded deterministically per test name so CI
+//! failures reproduce locally. The deliberate simplification versus real
+//! proptest is **no shrinking**: a failing case panics with the iteration
+//! number and the generating seed instead of a minimized counterexample.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything a property test module needs in scope.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property body (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` once per generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let seed = $crate::test_runner::seed_for(stringify!($name));
+            for case in 0..config.cases {
+                let case_seed = seed ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let mut rng = $crate::test_runner::TestRng::from_seed_u64(case_seed);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let run = || -> () { $body };
+                if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                    eprintln!(
+                        "proptest case {}/{} failed for `{}` (case seed {:#x}); \
+                         no shrinking in the offline stand-in",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        case_seed,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            x in 10u64..20,
+            y in 0usize..5,
+            z in -3i64..=3,
+            f in 0.0f64..=1.0,
+        ) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((-3..=3).contains(&z));
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(
+            items in vec(any::<u64>(), 3..7),
+        ) {
+            prop_assert!((3..7).contains(&items.len()));
+        }
+
+        #[test]
+        fn tuples_and_oneof(
+            pair in (0u64..10, 100u64..200),
+            k in prop_oneof![Just(4u32), Just(8), Just(16)],
+            b in any::<bool>(),
+        ) {
+            prop_assert!(pair.0 < 10);
+            prop_assert!((100..200).contains(&pair.1));
+            prop_assert!(k == 4 || k == 8 || k == 16);
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn cases_vary_between_iterations() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strategy = crate::collection::vec(any::<u64>(), 4..5);
+        let mut rng1 = TestRng::from_seed_u64(1);
+        let mut rng2 = TestRng::from_seed_u64(2);
+        assert_ne!(strategy.generate(&mut rng1), strategy.generate(&mut rng2));
+    }
+}

@@ -1,0 +1,63 @@
+//! Test execution support: configuration, the case RNG, and seeding.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` iterations.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the offline stand-in's
+        // whole-workspace `cargo test` wall-clock reasonable. Tests that
+        // need more pass `ProptestConfig::with_cases(..)` explicitly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies: a seeded generator, so every case is
+/// reproducible from the seed printed on failure.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Seed from a `u64`.
+    pub fn from_seed_u64(seed: u64) -> Self {
+        TestRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Deterministic 64-bit seed from a test name (FNV-1a).
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}

@@ -1,0 +1,90 @@
+//! Concrete generators: [`SmallRng`] (xoshiro256++) and [`ThreadRng`].
+
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hasher};
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, non-cryptographic PRNG: xoshiro256++ (Blackman & Vigna),
+/// the algorithm behind the real `SmallRng` on 64-bit platforms. Period
+/// 2²⁵⁶ − 1; passes BigCrush.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl RngCore for SmallRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // The all-zero state is the one fixed point of xoshiro; escape it.
+        if s == [0; 4] {
+            s = [
+                0x9E3779B97F4A7C15,
+                0x6A09E667F3BCC909,
+                0xBB67AE8584CAA73B,
+                0x3C6EF372FE94F82B,
+            ];
+        }
+        SmallRng { s }
+    }
+}
+
+/// An owned generator seeded from per-process OS entropy (via
+/// [`RandomState`]) mixed with a monotone counter, so every call site gets
+/// an independent stream without needing OS `getrandom` access.
+#[derive(Debug, Clone)]
+pub struct ThreadRng {
+    inner: SmallRng,
+}
+
+impl ThreadRng {
+    pub(crate) fn new() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let nonce = COUNTER.fetch_add(1, Ordering::Relaxed);
+        // RandomState draws fresh OS entropy once per process; hashing a
+        // unique nonce derives a distinct, unpredictable 64-bit seed per
+        // ThreadRng instance.
+        let mut hasher = RandomState::new().build_hasher();
+        hasher.write_u64(nonce);
+        ThreadRng {
+            inner: SmallRng::seed_from_u64(hasher.finish()),
+        }
+    }
+}
+
+impl RngCore for ThreadRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -1,0 +1,69 @@
+//! Sequence helpers: [`SliceRandom`] (`shuffle`, `choose`).
+
+use crate::RngCore;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Uniformly shuffle in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// One uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        // `SampleRange` is invoked directly because `Rng::gen_range`
+        // requires `Self: Sized` and `R` may be unsized here.
+        for i in (1..self.len()).rev() {
+            let j = crate::SampleRange::sample_single(0..=i, rng);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = crate::SampleRange::sample_single(0..self.len(), rng);
+            Some(&self[i])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_seeded_permutation() {
+        let base: Vec<u32> = (0..100).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a.shuffle(&mut SmallRng::seed_from_u64(9));
+        b.shuffle(&mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        assert_ne!(a, base);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, base);
+    }
+
+    #[test]
+    fn choose_behaviour() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let empty: [u8; 0] = [];
+        assert_eq!(empty.choose(&mut rng), None);
+        let xs = [1, 2, 3];
+        for _ in 0..50 {
+            assert!(xs.contains(xs.choose(&mut rng).unwrap()));
+        }
+    }
+}

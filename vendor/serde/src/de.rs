@@ -1,0 +1,172 @@
+//! Deserialization traits.
+//!
+//! Deviation from real serde: instead of the visitor machinery, a
+//! [`Deserializer`] yields a self-describing [`Value`] tree via
+//! [`Deserializer::deserialize_value`], and [`Deserialize`] impls match on
+//! it. Trait *bounds* (`Deserialize<'de>`, [`DeserializeOwned`]) keep real
+//! serde's shape so generic code is source-compatible.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+use crate::value::Value;
+
+/// An error constructible from a message (mirrors `serde::de::Error`).
+pub trait Error: Sized + std::error::Error {
+    /// Build an error carrying `msg`.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format values can be read from.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Produce the self-describing value tree for the next value.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A data structure that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable without borrowing from the input — blanket-derived
+/// exactly like real serde's `DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// A [`Deserializer`] over an in-memory [`Value`], generic over the error
+/// type so element deserialization inside generic impls unifies with the
+/// outer `D::Error`.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    _marker: PhantomData<fn() -> E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wrap a value.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer {
+            value,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+
+    fn deserialize_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+macro_rules! deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_value()? {
+                    Value::U64(v) => <$t>::try_from(v).map_err(|_| {
+                        D::Error::custom(format!(
+                            "integer {v} out of range for {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    Value::I64(v) => <$t>::try_from(v).map_err(|_| {
+                        D::Error::custom(format!(
+                            "integer {v} out of range for {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    other => Err(D::Error::custom(format!(
+                        "expected integer, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Bool(v) => Ok(v),
+            other => Err(D::Error::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::F64(v) => Ok(v),
+            Value::U64(v) => Ok(v as f64),
+            Value::I64(v) => Ok(v as f64),
+            other => Err(D::Error::custom(format!(
+                "expected float, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Str(v) => Ok(v),
+            other => Err(D::Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Unit => Ok(()),
+            other => Err(D::Error::custom(format!(
+                "expected unit, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Option(None) => Ok(None),
+            Value::Option(Some(inner)) => {
+                T::deserialize(ValueDeserializer::<D::Error>::new(*inner)).map(Some)
+            }
+            // Self-describing formats may omit the option layer.
+            other => T::deserialize(ValueDeserializer::<D::Error>::new(other)).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| T::deserialize(ValueDeserializer::<D::Error>::new(v)))
+                .collect(),
+            other => Err(D::Error::custom(format!(
+                "expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Offline stand-in for `serde` (1.x trait-shape subset).
+//!
+//! [`Serialize`] / [`Serializer`] follow the real crate's signatures for the
+//! subset this workspace uses (primitives, options, sequences, structs, and
+//! struct enum variants). Deserialization deviates from real serde in one
+//! deliberate way: instead of the visitor machinery, a [`Deserializer`]
+//! produces a self-describing [`value::Value`] tree and [`Deserialize`]
+//! impls pattern-match on it. The trait *bounds* (`Serialize`,
+//! `for<'de> Deserialize<'de>`, [`de::DeserializeOwned`]) are identical, so
+//! generic code written against this stand-in compiles unchanged against
+//! real serde; only hand-written `impl Serialize`/`impl Deserialize` bodies
+//! would need porting (there is no `#[derive]` here).
+//!
+//! [`value::to_value`] / [`value::from_value`] give a working round-trip
+//! through the `Value` tree, so serialization impls are testable offline.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use value::Value;
+
+#[cfg(test)]
+mod tests {
+    use super::de::Error as _;
+    use super::ser::SerializeStruct as _;
+    use super::*;
+    use crate::value::{from_value, to_value, FieldMap};
+
+    #[derive(Debug, PartialEq, Clone)]
+    struct Point {
+        x: u64,
+        y: Option<f64>,
+        tags: Vec<String>,
+    }
+
+    impl Serialize for Point {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let mut s = serializer.serialize_struct("Point", 3)?;
+            s.serialize_field("x", &self.x)?;
+            s.serialize_field("y", &self.y)?;
+            s.serialize_field("tags", &self.tags)?;
+            s.end()
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Point {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let mut fields = FieldMap::from_value(deserializer.deserialize_value()?)
+                .map_err(D::Error::custom)?;
+            Ok(Point {
+                x: fields.take("x")?,
+                y: fields.take("y")?,
+                tags: fields.take("tags")?,
+            })
+        }
+    }
+
+    #[test]
+    fn struct_roundtrip() {
+        let p = Point {
+            x: 7,
+            y: Some(1.5),
+            tags: vec!["a".into(), "b".into()],
+        };
+        let v = to_value(&p).unwrap();
+        let q: Point = from_value(v).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn none_and_empty_roundtrip() {
+        let p = Point {
+            x: 0,
+            y: None,
+            tags: vec![],
+        };
+        let q: Point = from_value(to_value(&p).unwrap()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn missing_field_is_an_error_not_a_panic() {
+        let v = to_value(&3u64).unwrap();
+        assert!(from_value::<Point>(v).is_err());
+    }
+
+    #[test]
+    fn primitive_bounds_hold() {
+        fn assert_roundtrips<T: Serialize + de::DeserializeOwned>() {}
+        assert_roundtrips::<u64>();
+        assert_roundtrips::<String>();
+        assert_roundtrips::<Vec<u64>>();
+        assert_roundtrips::<Option<bool>>();
+    }
+
+    #[test]
+    fn out_of_range_integer_rejected() {
+        let v = to_value(&300u64).unwrap();
+        assert!(from_value::<u8>(v).is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! The self-describing [`Value`] tree and a concrete serializer /
+//! deserializer pair over it ([`to_value`] / [`from_value`]).
+
+use std::fmt;
+
+use crate::de::{DeserializeOwned, Error as DeError, ValueDeserializer};
+use crate::ser::{
+    Error as SerError, Serialize, SerializeSeq, SerializeStruct, SerializeStructVariant, Serializer,
+};
+
+/// A self-describing serialized value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unit / nothing.
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer (all unsigned widths widen to this).
+    U64(u64),
+    /// Signed integer (all signed widths widen to this).
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Optional value.
+    Option(Option<Box<Value>>),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Struct: type name plus named fields in declaration order.
+    Struct {
+        /// Type name.
+        name: &'static str,
+        /// Field name/value pairs.
+        fields: Vec<(&'static str, Value)>,
+    },
+    /// Enum struct variant.
+    Variant {
+        /// Enum type name.
+        name: &'static str,
+        /// Variant name.
+        variant: &'static str,
+        /// Field name/value pairs.
+        fields: Vec<(&'static str, Value)>,
+    },
+}
+
+impl Value {
+    /// Human-readable kind tag for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Bool(_) => "bool",
+            Value::U64(_) => "u64",
+            Value::I64(_) => "i64",
+            Value::F64(_) => "f64",
+            Value::Str(_) => "string",
+            Value::Option(_) => "option",
+            Value::Seq(_) => "sequence",
+            Value::Struct { .. } => "struct",
+            Value::Variant { .. } => "variant",
+        }
+    }
+}
+
+/// Error for the in-memory value format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError(String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde value error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl SerError for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl DeError for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// Serialize any [`Serialize`] into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserialize any [`DeserializeOwned`] from a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer::<ValueError>::new(value))
+}
+
+/// The concrete [`Serializer`] producing [`Value`] trees.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueSerializer;
+
+/// In-progress sequence for [`ValueSerializer`].
+#[derive(Debug, Default)]
+pub struct ValueSeq {
+    items: Vec<Value>,
+}
+
+/// In-progress struct (or struct variant) for [`ValueSerializer`].
+#[derive(Debug)]
+pub struct ValueStruct {
+    name: &'static str,
+    variant: Option<&'static str>,
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+    type SerializeSeq = ValueSeq;
+    type SerializeStruct = ValueStruct;
+    type SerializeStructVariant = ValueStruct;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, ValueError> {
+        Ok(Value::Bool(v))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Value, ValueError> {
+        Ok(Value::U64(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Value, ValueError> {
+        Ok(Value::I64(v))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Value, ValueError> {
+        Ok(Value::F64(v))
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Value, ValueError> {
+        Ok(Value::Str(v.to_owned()))
+    }
+
+    fn serialize_unit(self) -> Result<Value, ValueError> {
+        Ok(Value::Unit)
+    }
+
+    fn serialize_none(self) -> Result<Value, ValueError> {
+        Ok(Value::Option(None))
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Value, ValueError> {
+        Ok(Value::Option(Some(Box::new(value.serialize(self)?))))
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<ValueSeq, ValueError> {
+        Ok(ValueSeq {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+
+    fn serialize_struct(self, name: &'static str, len: usize) -> Result<ValueStruct, ValueError> {
+        Ok(ValueStruct {
+            name,
+            variant: None,
+            fields: Vec::with_capacity(len),
+        })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<ValueStruct, ValueError> {
+        Ok(ValueStruct {
+            name,
+            variant: Some(variant),
+            fields: Vec::with_capacity(len),
+        })
+    }
+}
+
+impl SerializeSeq for ValueSeq {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), ValueError> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, ValueError> {
+        Ok(Value::Seq(self.items))
+    }
+}
+
+impl SerializeStruct for ValueStruct {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), ValueError> {
+        self.fields.push((key, value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, ValueError> {
+        Ok(Value::Struct {
+            name: self.name,
+            fields: self.fields,
+        })
+    }
+}
+
+impl SerializeStructVariant for ValueStruct {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), ValueError> {
+        SerializeStruct::serialize_field(self, key, value)
+    }
+
+    fn end(self) -> Result<Value, ValueError> {
+        Ok(Value::Variant {
+            name: self.name,
+            variant: self.variant.expect("struct-variant always has a variant"),
+            fields: self.fields,
+        })
+    }
+}
+
+/// Named fields pulled out of a [`Value::Struct`] / [`Value::Variant`] —
+/// the helper manual `Deserialize` impls use in place of serde's derive.
+#[derive(Debug)]
+pub struct FieldMap {
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl FieldMap {
+    /// Accept a struct value (any type name).
+    pub fn from_value(value: Value) -> Result<Self, String> {
+        match value {
+            Value::Struct { fields, .. } => Ok(FieldMap { fields }),
+            other => Err(format!("expected struct, found {}", other.kind())),
+        }
+    }
+
+    /// Accept an enum struct-variant value, returning the variant name too.
+    pub fn from_variant(value: Value) -> Result<(&'static str, Self), String> {
+        match value {
+            Value::Variant {
+                variant, fields, ..
+            } => Ok((variant, FieldMap { fields })),
+            other => Err(format!("expected enum variant, found {}", other.kind())),
+        }
+    }
+
+    /// Remove and deserialize the named field.
+    pub fn take<T, E>(&mut self, name: &str) -> Result<T, E>
+    where
+        T: DeserializeOwned,
+        E: DeError,
+    {
+        let idx = self
+            .fields
+            .iter()
+            .position(|(k, _)| *k == name)
+            .ok_or_else(|| E::custom(format!("missing field `{name}`")))?;
+        let (_, value) = self.fields.swap_remove(idx);
+        T::deserialize(ValueDeserializer::<E>::new(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(from_value::<u64>(to_value(&42u64).unwrap()).unwrap(), 42);
+        assert_eq!(from_value::<i32>(to_value(&-7i32).unwrap()).unwrap(), -7);
+        assert!(from_value::<bool>(to_value(&true).unwrap()).unwrap());
+        assert_eq!(from_value::<f64>(to_value(&2.5f64).unwrap()).unwrap(), 2.5);
+        assert_eq!(
+            from_value::<String>(to_value("hi").unwrap()).unwrap(),
+            "hi".to_string()
+        );
+        assert_eq!(
+            from_value::<Option<u64>>(to_value(&None::<u64>).unwrap()).unwrap(),
+            None
+        );
+        assert_eq!(
+            from_value::<Vec<u64>>(to_value(&vec![1u64, 2, 3]).unwrap()).unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        assert!(from_value::<bool>(to_value(&1u64).unwrap()).is_err());
+        assert!(from_value::<Vec<u64>>(to_value(&1u64).unwrap()).is_err());
+        assert!(from_value::<String>(to_value(&1u64).unwrap()).is_err());
+    }
+}
