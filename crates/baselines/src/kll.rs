@@ -114,6 +114,26 @@ impl<T: Ord + Clone> QuantileSketch<T> for KllSketch<T> {
         }
     }
 
+    /// Batched ingest, same trick as the REQ sketch: fill level 0 with
+    /// whole sub-slices and compress once per fill. State-identical to
+    /// per-item ingest (compressions trigger at the same points with the
+    /// same coin draws).
+    fn update_batch(&mut self, items: &[T]) {
+        let mut rest = items;
+        while !rest.is_empty() {
+            let cap = self.level_capacity(0);
+            let room = cap.saturating_sub(self.levels[0].len()).max(1);
+            let take = rest.len().min(room);
+            let (chunk, tail) = rest.split_at(take);
+            self.levels[0].extend_from_slice(chunk);
+            self.n += take as u64;
+            rest = tail;
+            if self.levels[0].len() >= cap {
+                self.compress();
+            }
+        }
+    }
+
     fn len(&self) -> u64 {
         self.n
     }
@@ -171,6 +191,25 @@ mod tests {
         }
         for y in 0..100 {
             assert_eq!(s.rank(&y), y + 1);
+        }
+    }
+
+    #[test]
+    fn update_batch_matches_per_item_state() {
+        let items: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(48271)).collect();
+        let mut per_item = KllSketch::<u64>::new(64, 11);
+        for &x in &items {
+            per_item.update(x);
+        }
+        let mut batched = KllSketch::<u64>::new(64, 11);
+        for chunk in items.chunks(1777) {
+            batched.update_batch(chunk);
+        }
+        assert_eq!(batched.len(), per_item.len());
+        assert_eq!(batched.total_weight(), per_item.total_weight());
+        assert_eq!(batched.num_levels(), per_item.num_levels());
+        for y in (0..u64::MAX).step_by(usize::MAX / 13).take(13) {
+            assert_eq!(batched.rank(&y), per_item.rank(&y));
         }
     }
 

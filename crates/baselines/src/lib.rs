@@ -17,7 +17,11 @@
 //! | [`ddsketch`] | DDSketch \[15\] | relative **value** error | a different "relative error" notion (§1.1) |
 //!
 //! All implement [`sketch_traits::QuantileSketch`], so the harness treats
-//! them interchangeably with the REQ sketch.
+//! them interchangeably with the REQ sketch — including the batch trait
+//! methods (`update_batch`, `ranks`, `quantiles`, `cdf`): KLL overrides
+//! `update_batch` with a buffered fast path mirroring REQ's, while the
+//! remaining baselines inherit the per-item defaults (their ingest is
+//! inherently per-item), keeping harness comparisons apples-to-apples.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,86 @@
+//! Batched vs per-item ingest throughput on 1M-item streams (E7 extension).
+//!
+//! `update_batch` appends whole slices into level 0 and runs the compaction
+//! cascade once per buffer fill; the per-item loop pays a capacity check and
+//! two min/max comparisons per item. The resulting sketches are
+//! state-identical (asserted by unit tests), so this measures pure ingest
+//! overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use baselines::KllSketch;
+use req_bench::bench_items;
+use req_core::{ConcurrentReqSketch, QuantileSketch, RankAccuracy, ReqSketch};
+
+const N: usize = 1_000_000;
+
+fn req_sketch(k: u32) -> ReqSketch<u64> {
+    ReqSketch::<u64>::builder()
+        .k(k)
+        .rank_accuracy(RankAccuracy::HighRank)
+        .seed(1)
+        .build()
+        .unwrap()
+}
+
+fn bench_batch_ingest(c: &mut Criterion) {
+    let items = bench_items(N, 7);
+    let mut group = c.benchmark_group("batch_ingest");
+    group.throughput(Throughput::Elements(N as u64));
+
+    for k in [12u32, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("req_per_item", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = req_sketch(k);
+                for &x in &items {
+                    s.update(black_box(x));
+                }
+                black_box(s.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("req_update_batch", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = req_sketch(k);
+                s.update_batch(black_box(&items));
+                black_box(s.len())
+            })
+        });
+    }
+
+    group.bench_function("kll_per_item_k200", |b| {
+        b.iter(|| {
+            let mut s = KllSketch::<u64>::new(200, 1);
+            for &x in &items {
+                s.update(black_box(x));
+            }
+            black_box(s.len())
+        })
+    });
+    group.bench_function("kll_update_batch_k200", |b| {
+        b.iter(|| {
+            let mut s = KllSketch::<u64>::new(200, 1);
+            s.update_batch(black_box(&items));
+            black_box(s.len())
+        })
+    });
+
+    group.bench_function("concurrent_batch_4_shards", |b| {
+        b.iter(|| {
+            let c = ConcurrentReqSketch::<u64>::new(ReqSketch::<u64>::builder().k(12).seed(1), 4)
+                .unwrap();
+            for chunk in items.chunks(64 * 1024) {
+                c.update_batch(black_box(chunk));
+            }
+            black_box(c.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_batch_ingest
+}
+criterion_main!(benches);

@@ -31,6 +31,14 @@ fn bench_queries(c: &mut Criterion) {
         let mut i = 0;
         b.iter(|| {
             i = (i + 1) % probes.len();
+            black_box(sketch.rank_direct(&probes[i]))
+        })
+    });
+
+    group.bench_function("rank_cached_view", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % probes.len();
             black_box(sketch.rank(&probes[i]))
         })
     });
@@ -59,6 +67,29 @@ fn bench_queries(c: &mut Criterion) {
     group.bench_function("cdf_64_splits", |b| {
         let splits: Vec<u64> = (0..64).map(|i| i * (u64::MAX / 64)).collect();
         b.iter(|| black_box(view.cdf(&splits)))
+    });
+
+    // Repeated quantiles on an unchanged sketch: the cached view answers
+    // every query after the first build, vs. rebuilding the view each time
+    // (the pre-cache behaviour of `quantile`).
+    group.bench_function("quantile_rebuild_per_query", |b| {
+        let mut q = 0.0f64;
+        b.iter(|| {
+            q = (q + 0.137) % 1.0;
+            black_box(sketch.sorted_view().quantile(0.25 + q * 0.5).cloned())
+        })
+    });
+
+    group.bench_function("quantile_cached_view", |b| {
+        let mut q = 0.0f64;
+        b.iter(|| {
+            q = (q + 0.137) % 1.0;
+            black_box(sketch.quantile(0.25 + q * 0.5))
+        })
+    });
+
+    group.bench_function("ranks_batch_256_probes", |b| {
+        b.iter(|| black_box(sketch.ranks(&probes)))
     });
 
     group.finish();

@@ -16,6 +16,10 @@
 //! Coin flips after a round-trip therefore differ from those the original
 //! sketch would have drawn, which is immaterial to the guarantee — any coin
 //! sequence satisfies Theorems 1/3.
+//!
+//! The query-view cache (`ReqSketch::cached_view`) is derived state and is
+//! **soundly dropped**: a deserialized sketch starts with a cold cache and a
+//! fresh dirty epoch, and rebuilds the view lazily on its first query.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rand::Rng;
@@ -354,6 +358,18 @@ mod tests {
         for y in (0..1_000_003u64).step_by(30_011) {
             assert_eq!(t.rank(&y), s.rank(&y), "rank mismatch at {y}");
         }
+    }
+
+    #[test]
+    fn roundtrip_drops_cache_soundly_and_answers_match() {
+        let mut s = sample_sketch();
+        // Warm the cache before serializing; the bytes must not carry it.
+        let warm_rank = s.rank(&500_000);
+        let bytes = s.to_bytes();
+        let t = ReqSketch::<u64>::from_bytes(&bytes).unwrap();
+        assert_eq!(t.view_cache_stats(), (0, 0), "cache must arrive cold");
+        assert_eq!(t.rank(&500_000), warm_rank);
+        assert_eq!(t.view_cache_stats().1, 1);
     }
 
     #[test]

@@ -144,6 +144,16 @@ impl<T> RelativeCompactor<T> {
         self.buf.push(item);
     }
 
+    /// Append a whole slice (caller checks `is_at_capacity` afterwards) —
+    /// the bulk counterpart of [`RelativeCompactor::push`] used by the
+    /// batched ingest path.
+    pub fn push_slice(&mut self, items: &[T])
+    where
+        T: Clone,
+    {
+        self.buf.extend_from_slice(items);
+    }
+
     /// Direct access to the backing buffer; compactions at level `h` emit
     /// straight into level `h+1`'s buffer through this.
     pub fn buf_mut(&mut self) -> &mut Vec<T> {
@@ -159,7 +169,11 @@ impl<T> RelativeCompactor<T> {
         self.num_sections = num_sections.max(1);
         let cap = self.capacity();
         if self.buf.capacity() < cap {
-            self.buf.reserve(cap - self.buf.len());
+            // The buffer may transiently hold *more* than the new capacity
+            // (mid-merge reconciliation can shrink `B` while items are still
+            // queued), so the extra headroom wanted may be zero — plain
+            // subtraction would underflow and panic in debug builds.
+            self.buf.reserve(cap.saturating_sub(self.buf.len()));
         }
     }
 
@@ -530,6 +544,35 @@ mod tests {
         assert_eq!(o.compacted, 20);
         assert_eq!(o.emitted, 10);
         assert_eq!(c.len(), 21);
+    }
+
+    #[test]
+    fn push_slice_matches_repeated_push() {
+        let mut a = new_c(4, 3);
+        let mut b = new_c(4, 3);
+        let items: Vec<u64> = (0..17).collect();
+        a.push_slice(&items);
+        for &x in &items {
+            b.push(x);
+        }
+        assert_eq!(a.items(), b.items());
+        assert_eq!(a.len(), 17);
+    }
+
+    #[test]
+    fn set_params_shrinking_below_fill_does_not_underflow() {
+        // Regression: a buffer transiently holding more items than the new
+        // capacity made `cap - len` underflow (debug panic) in the reserve
+        // math. Shrinking params under an over-full buffer must be safe.
+        let mut c = RelativeCompactor::<u64>::new(4, 2); // cap 16
+        let mut big: Vec<u64> = (0..200).collect();
+        c.buf_mut().append(&mut big); // simulate a merge dumping items in
+        c.set_params(4, 1); // cap 8 < len 200: previously panicked
+        assert_eq!(c.capacity(), 8);
+        assert_eq!(c.len(), 200);
+        // Growing params still reserves headroom.
+        c.set_params(12, 10);
+        assert_eq!(c.capacity(), 240);
     }
 
     #[test]

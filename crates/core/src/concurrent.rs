@@ -8,6 +8,7 @@
 //! path to one uncontended lock in the common case.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -16,6 +17,15 @@ use crate::error::ReqError;
 use crate::merge::merge_balanced;
 use crate::sketch::ReqSketch;
 use sketch_traits::QuantileSketch;
+
+/// Memoized merged snapshot, keyed by the per-shard epochs it was built at.
+#[derive(Debug)]
+struct SnapshotCache<T> {
+    snapshot: Option<Arc<ReqSketch<T>>>,
+    epochs: Vec<u64>,
+    hits: u64,
+    builds: u64,
+}
 
 /// A thread-safe, sharded REQ sketch front-end.
 ///
@@ -44,6 +54,7 @@ use sketch_traits::QuantileSketch;
 pub struct ConcurrentReqSketch<T> {
     shards: Vec<Mutex<ReqSketch<T>>>,
     next: AtomicUsize,
+    snapshot_cache: Mutex<SnapshotCache<T>>,
 }
 
 impl<T: Ord + Clone> ConcurrentReqSketch<T> {
@@ -73,6 +84,12 @@ impl<T: Ord + Clone> ConcurrentReqSketch<T> {
         Ok(ConcurrentReqSketch {
             shards,
             next: AtomicUsize::new(0),
+            snapshot_cache: Mutex::new(SnapshotCache {
+                snapshot: None,
+                epochs: Vec::new(),
+                hits: 0,
+                builds: 0,
+            }),
         })
     }
 
@@ -95,6 +112,31 @@ impl<T: Ord + Clone> ConcurrentReqSketch<T> {
         self.shards[i].lock().update(item);
     }
 
+    /// Batched sharded ingest: the slice is split into up to `num_shards`
+    /// contiguous pieces, each routed round-robin to a shard's
+    /// [`QuantileSketch::update_batch`] fast path — one lock acquisition
+    /// and one compaction cascade per piece instead of per item.
+    pub fn update_batch(&self, items: &[T]) {
+        if items.is_empty() {
+            return;
+        }
+        let piece = items.len().div_ceil(self.shards.len());
+        for chunk in items.chunks(piece) {
+            let i = self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+            self.shards[i].lock().update_batch(chunk);
+        }
+    }
+
+    /// Batched ingest into a specific shard (`shard` taken modulo the shard
+    /// count) — for writers that own a thread-local shard index.
+    pub fn update_batch_in_shard(&self, shard: usize, items: &[T]) {
+        if items.is_empty() {
+            return;
+        }
+        let i = shard % self.shards.len();
+        self.shards[i].lock().update_batch(items);
+    }
+
     /// Total items ingested across all shards.
     pub fn len(&self) -> u64 {
         self.shards.iter().map(|s| s.lock().len()).sum()
@@ -110,9 +152,87 @@ impl<T: Ord + Clone> ConcurrentReqSketch<T> {
     /// the snapshot reflects each shard at the moment its lock was held.
     pub fn snapshot(&self) -> Result<ReqSketch<T>, ReqError> {
         let copies: Vec<ReqSketch<T>> = self.shards.iter().map(|s| s.lock().clone()).collect();
+        Self::merge_copies(copies)
+    }
+
+    /// Shared snapshot assembly: balanced merge with an empty-sketch
+    /// fallback carrying the shards' policy. Both [`Self::snapshot`] and
+    /// [`Self::cached_snapshot`] build through here so the cached and
+    /// uncached read paths cannot drift.
+    fn merge_copies(copies: Vec<ReqSketch<T>>) -> Result<ReqSketch<T>, ReqError> {
         let policy = copies[0].policy();
         let accuracy = copies[0].rank_accuracy();
         Ok(merge_balanced(copies)?.unwrap_or_else(|| ReqSketch::with_policy(policy, accuracy, 0)))
+    }
+
+    /// Like [`Self::snapshot`], but memoized: the merged sketch is cached
+    /// together with the per-shard [`ReqSketch::epoch`]s it was built from,
+    /// and reused as long as no shard has been mutated since. Read-heavy
+    /// monitoring (poll p99 every second from a stream that bursts) pays
+    /// for the clone-and-merge only when data actually changed; the
+    /// returned sketch's own view cache then makes repeated queries
+    /// `O(log retained)`.
+    pub fn cached_snapshot(&self) -> Result<Arc<ReqSketch<T>>, ReqError> {
+        let mut cache = self.snapshot_cache.lock();
+        if let Some(snap) = &cache.snapshot {
+            let unchanged = cache.epochs.len() == self.shards.len()
+                && self
+                    .shards
+                    .iter()
+                    .zip(cache.epochs.iter())
+                    .all(|(shard, &epoch)| shard.lock().epoch() == epoch);
+            if unchanged {
+                let snap = Arc::clone(snap);
+                cache.hits += 1;
+                return Ok(snap);
+            }
+        }
+        // Rebuild. Epoch and clone are taken under one lock hold per shard
+        // so each tag matches the state it describes; a shard mutated after
+        // its clone simply invalidates the cache on the next call.
+        let mut epochs = Vec::with_capacity(self.shards.len());
+        let mut copies = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let guard = shard.lock();
+            epochs.push(guard.epoch());
+            copies.push(guard.clone());
+        }
+        let snap = Arc::new(Self::merge_copies(copies)?);
+        cache.snapshot = Some(Arc::clone(&snap));
+        cache.epochs = epochs;
+        cache.builds += 1;
+        Ok(snap)
+    }
+
+    /// Lifetime `(hits, builds)` of the snapshot cache.
+    pub fn snapshot_cache_stats(&self) -> (u64, u64) {
+        let cache = self.snapshot_cache.lock();
+        (cache.hits, cache.builds)
+    }
+
+    /// Rank estimate off the cached snapshot.
+    pub fn rank(&self, y: &T) -> Result<u64, ReqError> {
+        Ok(self.cached_snapshot()?.rank(y))
+    }
+
+    /// Quantile estimate off the cached snapshot.
+    pub fn quantile(&self, q: f64) -> Result<Option<T>, ReqError> {
+        Ok(self.cached_snapshot()?.quantile(q))
+    }
+
+    /// Batch rank estimates off the cached snapshot (one view build).
+    pub fn ranks(&self, ys: &[T]) -> Result<Vec<u64>, ReqError> {
+        Ok(self.cached_snapshot()?.ranks(ys))
+    }
+
+    /// Batch quantile estimates off the cached snapshot (one view build).
+    pub fn quantiles(&self, qs: &[f64]) -> Result<Vec<Option<T>>, ReqError> {
+        Ok(self.cached_snapshot()?.quantiles(qs))
+    }
+
+    /// Normalized CDF at ascending `split_points`, off the cached snapshot.
+    pub fn cdf(&self, split_points: &[T]) -> Result<Vec<f64>, ReqError> {
+        Ok(self.cached_snapshot()?.cdf(split_points))
     }
 }
 
@@ -177,6 +297,77 @@ mod tests {
             let len = shard.lock().len();
             assert_eq!(len, 250);
         }
+    }
+
+    #[test]
+    fn batch_ingest_spreads_across_shards_and_counts() {
+        let c = ConcurrentReqSketch::<u64>::new(builder(), 4).unwrap();
+        let items: Vec<u64> = (0..100_000).collect();
+        c.update_batch(&items);
+        assert_eq!(c.len(), 100_000);
+        for shard in &c.shards {
+            assert_eq!(shard.lock().len(), 25_000);
+        }
+        let snap = c.snapshot().unwrap();
+        assert_eq!(snap.len(), 100_000);
+        let r = snap.rank(&50_000);
+        assert!((r as f64 - 50_001.0).abs() / 50_001.0 < 0.2, "rank {r}");
+    }
+
+    #[test]
+    fn multithreaded_batch_ingest_counts_everything() {
+        let c = ConcurrentReqSketch::<u64>::new(builder(), 8).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let c = &c;
+                scope.spawn(move || {
+                    let items: Vec<u64> = (0..25_000u64).map(|i| t * 25_000 + i).collect();
+                    for chunk in items.chunks(1000) {
+                        c.update_batch_in_shard(t as usize, chunk);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 200_000);
+        assert_eq!(c.snapshot().unwrap().len(), 200_000);
+    }
+
+    #[test]
+    fn cached_snapshot_reuses_until_a_shard_mutates() {
+        let c = ConcurrentReqSketch::<u64>::new(builder(), 4).unwrap();
+        c.update_batch(&(0..10_000u64).collect::<Vec<_>>());
+        let a = c.cached_snapshot().unwrap();
+        let b = c.cached_snapshot().unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "unchanged shards must share a snapshot"
+        );
+        assert_eq!(c.snapshot_cache_stats(), (1, 1));
+        c.update(42);
+        let d = c.cached_snapshot().unwrap();
+        assert!(
+            !Arc::ptr_eq(&a, &d),
+            "mutation must invalidate the snapshot"
+        );
+        assert_eq!(d.len(), 10_001);
+        assert_eq!(c.snapshot_cache_stats(), (1, 2));
+    }
+
+    #[test]
+    fn concurrent_queries_answer_from_cached_snapshot() {
+        let c = ConcurrentReqSketch::<u64>::new(builder(), 4).unwrap();
+        c.update_batch(&(0..50_000u64).collect::<Vec<_>>());
+        let r = c.rank(&25_000).unwrap();
+        assert!((r as f64 - 25_001.0).abs() / 25_001.0 < 0.2);
+        assert!(c.quantile(0.5).unwrap().is_some());
+        let qs = c.quantiles(&[0.1, 0.9]).unwrap();
+        assert_eq!(qs.len(), 2);
+        let cdf = c.cdf(&[10_000, 40_000]).unwrap();
+        assert!(cdf[0] < cdf[1]);
+        // All four query calls shared one snapshot build.
+        let (hits, builds) = c.snapshot_cache_stats();
+        assert_eq!(builds, 1);
+        assert_eq!(hits, 3);
     }
 
     #[test]

@@ -114,6 +114,25 @@ impl<T: Ord + Clone> QuantileSketch<T> for GrowingReqSketch<T> {
         self.active.update(item);
     }
 
+    /// Batched ingest: the slice is split at the §5 close-out boundaries
+    /// (each active summary absorbs at most `Nᵢ − n` items) and each piece
+    /// rides the inner sketch's `update_batch` fast path.
+    fn update_batch(&mut self, items: &[T]) {
+        let mut rest = items;
+        while !rest.is_empty() {
+            if self.active.len() >= self.active.max_n() {
+                self.close_out_and_grow();
+            }
+            let room = usize::try_from(self.active.max_n() - self.active.len())
+                .unwrap_or(usize::MAX)
+                .max(1);
+            let take = rest.len().min(room);
+            let (chunk, tail) = rest.split_at(take);
+            self.active.update_batch(chunk);
+            rest = tail;
+        }
+    }
+
     fn len(&self) -> u64 {
         self.closed.iter().map(|s| s.len()).sum::<u64>() + self.active.len()
     }
@@ -200,6 +219,25 @@ mod tests {
         // 16M: 200k exceeds 4096 so 3 summaries.
         assert_eq!(g.num_summaries(), 3);
         assert_eq!(g.len(), n);
+    }
+
+    #[test]
+    fn update_batch_matches_per_item_across_closeouts() {
+        let items: Vec<u64> = (0..20_000u64)
+            .map(|i| i.wrapping_mul(48271) % 9973)
+            .collect();
+        let mut per_item = growing(0.1, 9);
+        for &x in &items {
+            per_item.update(x);
+        }
+        let mut batched = growing(0.1, 9);
+        batched.update_batch(&items);
+        assert_eq!(batched.len(), per_item.len());
+        assert_eq!(batched.num_summaries(), per_item.num_summaries());
+        assert_eq!(batched.current_estimate(), per_item.current_estimate());
+        for y in (0..9973u64).step_by(313) {
+            assert_eq!(batched.rank(&y), per_item.rank(&y), "mismatch at {y}");
+        }
     }
 
     #[test]

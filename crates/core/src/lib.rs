@@ -50,10 +50,13 @@
 //! * [`params`] — every parameterization the paper proves a theorem for;
 //! * [`merge`] — Algorithm 3 (full mergeability) + merge-tree helpers;
 //! * [`growing`] — the literal §5 unknown-`n` construction;
-//! * [`view`] — sorted weighted snapshots (batched rank/quantile/CDF/PMF);
-//! * [`quantiles_ext`] — rank bounds, batch quantiles, weighted updates;
+//! * [`view`] — sorted weighted snapshots + the epoch-invalidated query
+//!   cache behind `rank`/`quantile`/`cdf`;
+//! * [`quantiles_ext`] — rank bounds, batch ranks/quantiles, weighted
+//!   updates;
 //! * [`binary`] — versioned compact binary serialization;
-//! * [`concurrent`] — sharded multi-writer ingestion;
+//! * [`concurrent`] — sharded multi-writer ingestion (batched) with a
+//!   memoized merged snapshot for read-heavy monitoring;
 //! * [`ordf64`] — total-order `f64` wrapper ([`ReqF64`]).
 
 #![forbid(unsafe_code)]

@@ -32,6 +32,8 @@ pub(crate) fn merge_into<T: Ord + Clone>(
     if other.n == 0 {
         return Ok(());
     }
+    // Every path below mutates `target`: invalidate its cached query view.
+    target.mark_dirty();
     if target.n == 0 {
         adopt(target, other);
         return Ok(());
@@ -325,6 +327,26 @@ mod tests {
             // space stays sublinear under every topology
             assert!(s.retained() < (n as usize) / 4);
         }
+    }
+
+    #[test]
+    fn merge_invalidates_cached_view() {
+        let mut a = sketch(1);
+        let mut b = sketch(2);
+        for i in 0..10_000u64 {
+            a.update(i);
+            b.update(10_000 + i);
+        }
+        // Warm a's cache, then merge: queries must see the combined stream.
+        let before = a.rank(&9_999);
+        assert_eq!(before, 10_000);
+        a.try_merge(b).unwrap();
+        assert_eq!(a.rank(&u64::MAX), 20_000, "stale cached view after merge");
+        // Merging into an empty sketch (adopt path) invalidates too.
+        let mut c = sketch(3);
+        assert_eq!(c.rank(&5), 0); // warms c's (empty) cache
+        c.try_merge(a).unwrap();
+        assert_eq!(c.rank(&u64::MAX), 20_000, "stale cache after adopt");
     }
 
     #[test]

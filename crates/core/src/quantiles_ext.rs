@@ -68,7 +68,18 @@ impl<T: Ord + Clone> ReqSketch<T> {
         }
     }
 
-    /// Batch quantile queries over one sorted view (`qs` need not be
+    /// Batch rank queries off the cached view (`ys` need not be sorted):
+    /// at most one view build for the whole probe set, `O(log retained)`
+    /// per probe afterwards.
+    pub fn ranks(&self, ys: &[T]) -> Vec<u64> {
+        if ys.is_empty() {
+            return Vec::new();
+        }
+        let view = self.cached_view();
+        ys.iter().map(|y| view.rank(y)).collect()
+    }
+
+    /// Batch quantile queries off the cached view (`qs` need not be
     /// sorted). `None` entries only for an empty sketch. Endpoint queries
     /// (`q ≤ 0`, `q ≥ 1`) return the exactly tracked extremes, matching
     /// [`QuantileSketch::quantile`].
@@ -76,7 +87,7 @@ impl<T: Ord + Clone> ReqSketch<T> {
         if self.is_empty() {
             return vec![None; qs.len()];
         }
-        let view = self.sorted_view();
+        let view = self.cached_view();
         qs.iter()
             .map(|&q| {
                 if q.is_nan() || q <= 0.0 {
@@ -90,15 +101,15 @@ impl<T: Ord + Clone> ReqSketch<T> {
             .collect()
     }
 
-    /// Normalized CDF at ascending `split_points` (one sorted-view build).
+    /// Normalized CDF at ascending `split_points` (cached view).
     pub fn cdf(&self, split_points: &[T]) -> Vec<f64> {
-        self.sorted_view().cdf(split_points)
+        self.cached_view().cdf(split_points)
     }
 
     /// Normalized PMF over the intervals induced by ascending
-    /// `split_points` (length `split_points.len() + 1`).
+    /// `split_points` (length `split_points.len() + 1`; cached view).
     pub fn pmf(&self, split_points: &[T]) -> Vec<f64> {
-        self.sorted_view().pmf(split_points)
+        self.cached_view().pmf(split_points)
     }
 
     /// Iterate over retained `(item, weight)` pairs, level by level
@@ -131,6 +142,7 @@ impl<T: Ord + Clone> ReqSketch<T> {
         if weight == 0 {
             return;
         }
+        self.mark_dirty();
         self.track_min_max(&item);
         let new_n = self
             .n
@@ -235,6 +247,32 @@ mod tests {
         }
         let empty = sketch(16, RankAccuracy::LowRank);
         assert_eq!(empty.quantiles(&qs), vec![None; 4]);
+    }
+
+    #[test]
+    fn batch_ranks_match_single_queries_and_share_one_build() {
+        let mut s = sketch(16, RankAccuracy::LowRank);
+        for i in 0..50_000u64 {
+            s.update(i);
+        }
+        let probes: Vec<u64> = (0..500u64).map(|i| i * 97).collect();
+        let batch = s.ranks(&probes);
+        for (y, r) in probes.iter().zip(&batch) {
+            assert_eq!(*r, s.rank(y));
+        }
+        let (_, builds) = s.view_cache_stats();
+        assert_eq!(builds, 1, "501 queries must share one view build");
+        assert!(s.ranks(&[]).is_empty());
+    }
+
+    #[test]
+    fn weighted_update_invalidates_cached_view() {
+        let mut s = sketch(8, RankAccuracy::LowRank);
+        s.update_weighted(10, 100);
+        assert_eq!(s.rank(&10), 100);
+        s.update_weighted(5, 50);
+        assert_eq!(s.rank(&10), 150, "stale cache after weighted update");
+        assert_eq!(s.rank(&5), 50);
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! counters, per-level buffers). As with the [`crate::binary`] format, the
 //! RNG's in-flight state is replaced by the original seed on deserialization;
 //! any coin sequence satisfies the paper's guarantees, so this only changes
-//! *which* valid random execution continues after a round-trip.
+//! *which* valid random execution continues after a round-trip. The query-view
+//! cache is derived state and is soundly dropped the same way: deserialized
+//! sketches rebuild it lazily on first query.
 //!
 //! All impls are written by hand against the serde trait subset (the
 //! offline stand-in ships no `#[derive]`); they follow exactly the shape

@@ -13,6 +13,8 @@
 //! D, so one code path backs both streaming and merging, and Theorem 36's
 //! guarantee applies to any interleaving of the two.
 
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sketch_traits::{MergeableSketch, QuantileSketch, SpaceUsage};
@@ -20,7 +22,7 @@ use sketch_traits::{MergeableSketch, QuantileSketch, SpaceUsage};
 use crate::compactor::{RankAccuracy, RelativeCompactor};
 use crate::error::ReqError;
 use crate::params::{ParamPolicy, Params};
-use crate::view::SortedView;
+use crate::view::{SortedView, ViewCache};
 
 /// The Relative Error Quantiles sketch of Cormode, Karnin, Liberty, Thaler
 /// and Veselý (PODS 2021).
@@ -61,6 +63,10 @@ pub struct ReqSketch<T> {
     pub(crate) max_item: Option<T>,
     pub(crate) rng: SmallRng,
     pub(crate) seed: u64,
+    /// Dirty epoch: bumped by every mutation, validates [`Self::cached_view`].
+    pub(crate) epoch: u64,
+    /// Memoized sorted view serving `rank`/`quantile`/`cdf` between mutations.
+    pub(crate) cache: ViewCache<T>,
 }
 
 impl<T: Ord + Clone> ReqSketch<T> {
@@ -85,6 +91,8 @@ impl<T: Ord + Clone> ReqSketch<T> {
             max_item: None,
             rng: SmallRng::seed_from_u64(seed),
             seed,
+            epoch: 0,
+            cache: ViewCache::new(),
         }
     }
 
@@ -114,6 +122,10 @@ impl<T: Ord + Clone> ReqSketch<T> {
             max_item,
             rng: SmallRng::seed_from_u64(seed),
             seed,
+            // Deserialized sketches start with a cold cache (the cache is
+            // derived state; serialization soundly drops it).
+            epoch: 0,
+            cache: ViewCache::new(),
         }
     }
 
@@ -187,19 +199,61 @@ impl<T: Ord + Clone> ReqSketch<T> {
         self.total_weight() as i64 - self.n as i64
     }
 
-    /// Estimated exclusive rank `|{x < y}|`.
+    /// Estimated exclusive rank `|{x < y}|` (served from the cached view).
     pub fn rank_exclusive(&self, y: &T) -> u64 {
+        self.cached_view().rank_exclusive(y)
+    }
+
+    /// `Estimate-Rank(y)` by direct level scan, bypassing the cached view:
+    /// `Σ_h 2^h · |{x ∈ buf_h : x ≤ y}|`. `O(retained)` per call with no
+    /// allocation — the right tool for a single probe of a sketch that is
+    /// mutated between queries (and the ground truth the cached path is
+    /// tested against).
+    pub fn rank_direct(&self, y: &T) -> u64 {
         self.levels
             .iter()
             .enumerate()
-            .map(|(h, l)| (l.count_lt(y) as u64) << h)
+            .map(|(h, l)| (l.count_le(y) as u64) << h)
             .sum()
     }
 
-    /// Build a sorted weighted snapshot for batched queries
+    /// Build a fresh sorted weighted snapshot
     /// (`O(retained·log retained)` once, `O(log retained)` per query).
+    ///
+    /// Prefer [`Self::cached_view`]: it memoizes this build across queries
+    /// on an unchanged sketch. `sorted_view` always rebuilds and is kept for
+    /// callers that want a view detached from the sketch's cache (and for
+    /// verifying the cache against ground truth).
     pub fn sorted_view(&self) -> SortedView<T> {
         SortedView::from_levels(&self.levels)
+    }
+
+    /// The memoized sorted view backing `rank`/`quantile`/`cdf`/`pmf`.
+    ///
+    /// Built lazily on first query and reused until the next mutation
+    /// (`update`, `update_batch`, `update_weighted`, `merge`, parameter
+    /// growth) bumps the dirty [`Self::epoch`]. Cheap to clone (`Arc`);
+    /// hold it across a probe batch to keep queries `O(log retained)`.
+    pub fn cached_view(&self) -> Arc<SortedView<T>> {
+        self.cache
+            .get_or_build(self.epoch, || SortedView::from_levels(&self.levels))
+    }
+
+    /// Monotone mutation counter; two equal epochs on the same sketch imply
+    /// identical retained contents (the converse need not hold).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Lifetime `(cache_hits, cache_builds)` of the query-view cache.
+    pub fn view_cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Invalidate the cached query view. Every mutating path funnels
+    /// through this.
+    pub(crate) fn mark_dirty(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
     }
 
     /// Structural statistics (per-level fill, schedule states, sizes).
@@ -279,6 +333,36 @@ impl<T: Ord + Clone> ReqSketch<T> {
         }
     }
 
+    /// [`Self::propagate`] with pooled scratch buffers: state-identical
+    /// (items are pushed in the same order and compactions fire at the same
+    /// points with the same coins), but emission buffers are reused from
+    /// `pool` across the whole batch instead of freshly allocated per
+    /// compaction. `pool[h]` receives the output of level-`h` compactions;
+    /// on entry `pool[h - 1]` holds the items destined for level `h`, and it
+    /// is returned to the pool (cleared, capacity kept) on exit. Per-item
+    /// ingest performs `Θ(n/k)` transient allocations over a stream; a batch
+    /// performs amortized zero.
+    pub(crate) fn cascade_pooled(&mut self, h: usize, pool: &mut Vec<Vec<T>>) {
+        while pool.len() <= h {
+            pool.push(Vec::new());
+        }
+        self.ensure_level(h);
+        let mut incoming = std::mem::take(&mut pool[h - 1]);
+        for item in incoming.drain(..) {
+            self.levels[h].push(item);
+            if self.levels[h].is_at_capacity() {
+                let coin = self.rng.gen::<bool>();
+                let accuracy = self.accuracy;
+                let mut out = std::mem::take(&mut pool[h]);
+                out.clear();
+                self.levels[h].compact_scheduled(accuracy, coin, &mut out);
+                pool[h] = out;
+                self.cascade_pooled(h + 1, pool);
+            }
+        }
+        pool[h - 1] = incoming;
+    }
+
     /// One bottom-up pass compacting every at-capacity level
     /// (Algorithm 3 lines 22–24): at most one scheduled compaction per level,
     /// used after merges and parameter growth where buffers can transiently
@@ -320,6 +404,7 @@ impl<T: Ord + Clone> ReqSketch<T> {
 
 impl<T: Ord + Clone> QuantileSketch<T> for ReqSketch<T> {
     fn update(&mut self, item: T) {
+        self.mark_dirty();
         self.track_min_max(&item);
         self.n += 1;
         if self.n > self.max_n {
@@ -336,23 +421,86 @@ impl<T: Ord + Clone> QuantileSketch<T> for ReqSketch<T> {
         }
     }
 
+    /// Batched ingest: append whole slices into level 0 and run the
+    /// compaction cascade once per buffer fill, instead of checking capacity
+    /// per item. Produces a sketch **bit-identical** to per-item ingest of
+    /// the same slice (compactions fire at the same points with the same
+    /// coin flips); only the constant factors change — no per-item branch,
+    /// no per-item min/max comparison against the tracked extremes, and a
+    /// bulk `extend_from_slice` into the level-0 buffer.
+    fn update_batch(&mut self, items: &[T]) {
+        if items.is_empty() {
+            return;
+        }
+        self.mark_dirty();
+        // One pass for the extremes, then two comparisons against the
+        // tracked min/max — instead of two comparisons per item.
+        let mut iter = items.iter();
+        let first = iter.next().expect("non-empty");
+        let (mut lo, mut hi) = (first, first);
+        for x in iter {
+            if x < lo {
+                lo = x;
+            }
+            if x > hi {
+                hi = x;
+            }
+        }
+        let (lo, hi) = (lo.clone(), hi.clone());
+        self.track_min_max(&lo);
+        self.track_min_max(&hi);
+
+        // Reusable emission buffers for the whole batch: pool[h] receives
+        // level-h compaction output (amortized zero allocations, vs one
+        // transient Vec per compaction on the per-item path).
+        let mut pool: Vec<Vec<T>> = vec![Vec::new()];
+        let mut rest = items;
+        while !rest.is_empty() {
+            // Mirror the per-item schedule: the estimate grows exactly when
+            // the next item would push `n` past `N`.
+            if self.n >= self.max_n {
+                let target = self.n + 1;
+                self.grow_to_cover(target);
+            }
+            self.ensure_level(0);
+            let cap = self.level_capacity();
+            let room = cap.saturating_sub(self.levels[0].len()).max(1);
+            let until_growth = usize::try_from(self.max_n - self.n)
+                .unwrap_or(usize::MAX)
+                .max(1);
+            let take = rest.len().min(room).min(until_growth);
+            let (chunk, tail) = rest.split_at(take);
+            self.levels[0].push_slice(chunk);
+            self.n += take as u64;
+            rest = tail;
+            if self.levels[0].is_at_capacity() {
+                let coin = self.rng.gen::<bool>();
+                let accuracy = self.accuracy;
+                let mut out = std::mem::take(&mut pool[0]);
+                out.clear();
+                self.levels[0].compact_scheduled(accuracy, coin, &mut out);
+                pool[0] = out;
+                self.cascade_pooled(1, &mut pool);
+            }
+        }
+    }
+
     fn len(&self) -> u64 {
         self.n
     }
 
-    /// `Estimate-Rank(y)` from Algorithm 2: `Σ_h 2^h · |{x ∈ buf_h : x ≤ y}|`.
+    /// `Estimate-Rank(y)` from Algorithm 2, served from the cached sorted
+    /// view: `O(retained·log retained)` on the first query after a mutation,
+    /// `O(log retained)` afterwards. See [`ReqSketch::rank_direct`] for the
+    /// cache-free scan.
     fn rank(&self, y: &T) -> u64 {
-        self.levels
-            .iter()
-            .enumerate()
-            .map(|(h, l)| (l.count_le(y) as u64) << h)
-            .sum()
+        self.cached_view().rank(y)
     }
 
-    /// Builds a [`SortedView`] per call; use [`ReqSketch::sorted_view`] for
-    /// batches of queries. The endpoints `q = 0` and `q = 1` return the
-    /// exactly tracked minimum/maximum (which may have been compacted out of
-    /// the retained set in the unprotected orientation).
+    /// Served from the cached view (built at most once between mutations).
+    /// The endpoints `q = 0` and `q = 1` return the exactly tracked
+    /// minimum/maximum (which may have been compacted out of the retained
+    /// set in the unprotected orientation).
     fn quantile(&self, q: f64) -> Option<T> {
         if q.is_nan() || q <= 0.0 {
             return self.min_item.clone();
@@ -360,7 +508,19 @@ impl<T: Ord + Clone> QuantileSketch<T> for ReqSketch<T> {
         if q >= 1.0 {
             return self.max_item.clone();
         }
-        self.sorted_view().quantile(q).cloned()
+        self.cached_view().quantile(q).cloned()
+    }
+
+    fn ranks(&self, items: &[T]) -> Vec<u64> {
+        ReqSketch::ranks(self, items)
+    }
+
+    fn quantiles(&self, qs: &[f64]) -> Vec<Option<T>> {
+        ReqSketch::quantiles(self, qs)
+    }
+
+    fn cdf(&self, split_points: &[T]) -> Vec<f64> {
+        ReqSketch::cdf(self, split_points)
     }
 }
 
@@ -647,6 +807,98 @@ mod tests {
         assert_eq!(b.len(), 5000);
         assert_eq!(a.len(), 10_000);
         assert_eq!(b.total_weight(), 5000);
+    }
+
+    #[test]
+    fn update_batch_is_bit_identical_to_per_item() {
+        // Same seed, same items: the batch path must fire the same
+        // compactions with the same coins, landing in the same state —
+        // including the RNG, so the serialized bytes match exactly.
+        for acc in [RankAccuracy::LowRank, RankAccuracy::HighRank] {
+            let items: Vec<u64> = (0..200_000u64)
+                .map(|i| i.wrapping_mul(2654435761) % 100_003)
+                .collect();
+            let mut per_item = fixed_k_sketch(8, acc);
+            for &x in &items {
+                per_item.update(x);
+            }
+            let mut batched = fixed_k_sketch(8, acc);
+            batched.update_batch(&items);
+            assert_eq!(batched.len(), per_item.len());
+            assert_eq!(batched.retained(), per_item.retained());
+            assert_eq!(batched.max_n(), per_item.max_n());
+            assert_eq!(batched.to_bytes(), per_item.to_bytes());
+        }
+    }
+
+    #[test]
+    fn update_batch_in_odd_sized_pieces_matches_one_shot() {
+        let items: Vec<u64> = (0..50_000u64).map(|i| i.wrapping_mul(48271)).collect();
+        let mut whole = fixed_k_sketch(12, RankAccuracy::LowRank);
+        whole.update_batch(&items);
+        let mut pieces = fixed_k_sketch(12, RankAccuracy::LowRank);
+        for chunk in items.chunks(977) {
+            pieces.update_batch(chunk);
+        }
+        assert_eq!(pieces.to_bytes(), whole.to_bytes());
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut s = fixed_k_sketch(12, RankAccuracy::LowRank);
+        s.update_batch(&[1, 2, 3]);
+        let epoch = s.epoch();
+        s.update_batch(&[]);
+        assert_eq!(s.epoch(), epoch);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn queries_on_unchanged_sketch_hit_the_cache() {
+        let mut s = fixed_k_sketch(8, RankAccuracy::LowRank);
+        s.update_batch(&(0..100_000u64).collect::<Vec<_>>());
+        assert_eq!(s.view_cache_stats(), (0, 0));
+        let _ = s.rank(&500); // first query builds
+        let _ = s.rank(&900);
+        let _ = s.quantile(0.5);
+        let _ = s.rank_exclusive(&123);
+        let (hits, builds) = s.view_cache_stats();
+        assert_eq!(builds, 1, "unchanged sketch must not rebuild the view");
+        assert_eq!(hits, 3);
+        // A mutation invalidates; the next query rebuilds exactly once.
+        s.update(7);
+        let _ = s.rank(&500);
+        let _ = s.quantile(0.25);
+        let (hits, builds) = s.view_cache_stats();
+        assert_eq!(builds, 2);
+        assert_eq!(hits, 4);
+    }
+
+    #[test]
+    fn cached_rank_matches_direct_scan() {
+        let mut s = fixed_k_sketch(8, RankAccuracy::HighRank);
+        for i in 0..80_000u64 {
+            s.update(i.wrapping_mul(2654435761) % 80_000);
+        }
+        for y in (0..80_000u64).step_by(1999) {
+            assert_eq!(s.rank(&y), s.rank_direct(&y), "cache/direct split at {y}");
+        }
+    }
+
+    #[test]
+    fn batch_multi_queries_match_singles() {
+        let mut s = fixed_k_sketch(12, RankAccuracy::LowRank);
+        s.update_batch(&(0..30_000u64).collect::<Vec<_>>());
+        let probes = [5u64, 100, 29_999, 40_000];
+        assert_eq!(
+            QuantileSketch::ranks(&s, &probes),
+            probes.iter().map(|y| s.rank(y)).collect::<Vec<_>>()
+        );
+        let qs = [0.0, 0.1, 0.5, 0.999, 1.0];
+        assert_eq!(
+            QuantileSketch::quantiles(&s, &qs),
+            qs.iter().map(|&q| s.quantile(q)).collect::<Vec<_>>()
+        );
     }
 
     #[test]

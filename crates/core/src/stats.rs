@@ -44,6 +44,10 @@ pub struct SketchStats {
     pub total_weight: u64,
     /// Signed difference `total_weight − n` (odd merge compactions).
     pub weight_drift: i64,
+    /// Queries served from the memoized sorted view without a rebuild.
+    pub view_cache_hits: u64,
+    /// Times the sorted view was (re)built for a query.
+    pub view_cache_builds: u64,
     /// Per-level details, level 0 first.
     pub levels: Vec<LevelStats>,
 }
@@ -65,6 +69,7 @@ impl SketchStats {
                 num_special_compactions: l.num_special_compactions(),
             })
             .collect();
+        let (view_cache_hits, view_cache_builds) = sketch.view_cache_stats();
         SketchStats {
             n: sketch.n,
             max_n: sketch.max_n(),
@@ -72,6 +77,8 @@ impl SketchStats {
             size_bytes: sketch.size_bytes(),
             total_weight: sketch.total_weight(),
             weight_drift: sketch.weight_drift(),
+            view_cache_hits,
+            view_cache_builds,
             levels,
         }
     }
@@ -91,8 +98,14 @@ impl fmt::Display for SketchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "ReqSketch: n={} N={} retained={} bytes={} weight_drift={}",
-            self.n, self.max_n, self.retained, self.size_bytes, self.weight_drift
+            "ReqSketch: n={} N={} retained={} bytes={} weight_drift={} view_cache={}h/{}b",
+            self.n,
+            self.max_n,
+            self.retained,
+            self.size_bytes,
+            self.weight_drift,
+            self.view_cache_hits,
+            self.view_cache_builds
         )?;
         writeln!(
             f,
@@ -167,6 +180,19 @@ mod tests {
         assert!(text.contains("ReqSketch: n=50000"));
         let rows = text.lines().count();
         assert_eq!(rows, 2 + s.num_levels());
+    }
+
+    #[test]
+    fn view_cache_counters_surface_in_stats() {
+        let s = sketch_with_data(50_000);
+        assert_eq!(s.stats().view_cache_builds, 0);
+        let _ = s.rank(&100); // build
+        let _ = s.rank(&200); // hit
+        let _ = s.quantile(0.9); // hit
+        let stats = s.stats();
+        assert_eq!(stats.view_cache_builds, 1);
+        assert_eq!(stats.view_cache_hits, 2);
+        assert!(stats.to_string().contains("view_cache=2h/1b"));
     }
 
     #[test]

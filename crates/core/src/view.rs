@@ -6,6 +6,10 @@
 //! weights, so that batches of rank/quantile/CDF queries cost one
 //! `O(retained·log(retained))` build plus `O(log(retained))` per query.
 
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
 use crate::compactor::RelativeCompactor;
 
 /// An immutable, sorted, cumulative-weight snapshot of a sketch.
@@ -167,6 +171,93 @@ impl<T: Ord + Clone> SortedView<T> {
     }
 }
 
+/// A memoized [`SortedView`] keyed by the owning sketch's *dirty epoch*.
+///
+/// The sketch bumps its epoch on every mutation (`update`, `update_batch`,
+/// `update_weighted`, `merge`, parameter growth); queries through
+/// [`ViewCache::get_or_build`] reuse the stored view while the epoch is
+/// unchanged and rebuild it lazily otherwise. Interior mutability is a
+/// `Mutex` (not a `RefCell`) so a read-only sketch stays `Sync` and can be
+/// queried from many threads; the uncontended lock is a few nanoseconds
+/// against an `O(retained·log retained)` rebuild.
+#[derive(Debug)]
+pub(crate) struct ViewCache<T> {
+    inner: Mutex<CacheState<T>>,
+}
+
+#[derive(Debug)]
+struct CacheState<T> {
+    view: Option<Arc<SortedView<T>>>,
+    built_epoch: u64,
+    hits: u64,
+    builds: u64,
+}
+
+// Manual impl: the stored view clones by `Arc`, so no `T: Clone` bound is
+// needed (the derive would add one).
+impl<T> Clone for CacheState<T> {
+    fn clone(&self) -> Self {
+        CacheState {
+            view: self.view.clone(),
+            built_epoch: self.built_epoch,
+            hits: self.hits,
+            builds: self.builds,
+        }
+    }
+}
+
+impl<T> ViewCache<T> {
+    pub(crate) fn new() -> Self {
+        ViewCache {
+            inner: Mutex::new(CacheState {
+                view: None,
+                built_epoch: 0,
+                hits: 0,
+                builds: 0,
+            }),
+        }
+    }
+
+    /// The cached view if it was built at `epoch`, else `build()` memoized.
+    pub(crate) fn get_or_build(
+        &self,
+        epoch: u64,
+        build: impl FnOnce() -> SortedView<T>,
+    ) -> Arc<SortedView<T>> {
+        let mut state = self.inner.lock();
+        if state.built_epoch == epoch && state.view.is_some() {
+            state.hits += 1;
+            return Arc::clone(state.view.as_ref().expect("checked above"));
+        }
+        let view = Arc::new(build());
+        state.view = Some(Arc::clone(&view));
+        state.built_epoch = epoch;
+        state.builds += 1;
+        view
+    }
+
+    /// Lifetime `(hits, builds)` counters, for `SketchStats` observability.
+    pub(crate) fn stats(&self) -> (u64, u64) {
+        let state = self.inner.lock();
+        (state.hits, state.builds)
+    }
+}
+
+impl<T> Default for ViewCache<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Clone for ViewCache<T> {
+    /// Clones carry the memoized view (an `Arc` clone) and counters.
+    fn clone(&self) -> Self {
+        ViewCache {
+            inner: Mutex::new(self.inner.lock().clone()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +339,19 @@ mod tests {
         let v = view_of(vec![(9, 1), (1, 2), (5, 3)]);
         let collected: Vec<(u64, u64, u64)> = v.iter().map(|(i, w, c)| (*i, w, c)).collect();
         assert_eq!(collected, vec![(1, 2, 2), (5, 3, 5), (9, 1, 6)]);
+    }
+
+    #[test]
+    fn view_cache_hits_while_epoch_unchanged() {
+        let cache: ViewCache<u64> = ViewCache::new();
+        let v1 = cache.get_or_build(0, || SortedView::from_weighted_items(vec![(1, 1)]));
+        let v2 = cache.get_or_build(0, || panic!("must not rebuild at same epoch"));
+        assert_eq!(v1.total_weight(), v2.total_weight());
+        assert_eq!(cache.stats(), (1, 1));
+        // Epoch bump forces a rebuild.
+        let v3 = cache.get_or_build(1, || SortedView::from_weighted_items(vec![(1, 1), (2, 1)]));
+        assert_eq!(v3.total_weight(), 2);
+        assert_eq!(cache.stats(), (1, 2));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! `n`.
 
 use req_core::{ParamPolicy, RankAccuracy, ReqSketch};
-use sketch_traits::{QuantileSketch, SpaceUsage};
+use sketch_traits::SpaceUsage;
 
 use crate::table::{fmt_f, Table};
 
@@ -57,9 +57,7 @@ pub fn run(cfg: &Config) -> Vec<Table> {
         let policy =
             ParamPolicy::mergeable_scaled(cfg.eps, cfg.delta, cfg.scale).expect("valid parameters");
         let mut s = ReqSketch::<u64>::with_policy(policy, RankAccuracy::LowRank, log2n as u64);
-        for i in 0..n {
-            s.update(i.wrapping_mul(0x9E3779B97F4A7C15) >> 16);
-        }
+        crate::experiments::feed_generated(&mut s, n, |i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 16);
         let retained = s.retained();
         let shape = (1.0 / cfg.eps) * (cfg.eps * n as f64).log2().powf(1.5);
         t.row(vec![

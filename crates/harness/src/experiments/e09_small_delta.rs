@@ -13,7 +13,7 @@
 //!    (parameterized by `ln(1/δ)` directly) to exhibit the crossover.
 
 use req_core::{ParamPolicy, RankAccuracy, ReqSketch};
-use sketch_traits::{QuantileSketch, SpaceUsage};
+use sketch_traits::SpaceUsage;
 
 use crate::table::{fmt_f, Table};
 
@@ -40,9 +40,7 @@ impl Default for Config {
 
 fn build_and_measure(policy: ParamPolicy, n: u64, seed: u64) -> (u32, usize) {
     let mut s = ReqSketch::<u64>::with_policy(policy, RankAccuracy::LowRank, seed);
-    for i in 0..n {
-        s.update(i.wrapping_mul(0x9E3779B97F4A7C15) >> 24);
-    }
+    crate::experiments::feed_generated(&mut s, n, |i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 24);
     (s.k(), s.retained())
 }
 

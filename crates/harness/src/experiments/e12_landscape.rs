@@ -74,17 +74,27 @@ impl Any {
         }
     }
 
-    fn update(&mut self, x: u64) {
+    fn update_batch(&mut self, xs: &[u64]) {
         match self {
-            Any::ReqHra(s) => s.update(x),
-            Any::Growing(s) => s.update(x),
-            Any::Kll(s) => s.update(x),
-            Any::Gk(s) => s.update(x),
-            Any::Ckms(s) => s.update(x),
-            Any::Dd(s) => s.update(x as f64),
-            Any::Td(s) => s.update(x as f64),
-            Any::Rsv(s) => s.update(x),
-            Any::Halving(s) => s.update(x),
+            Any::ReqHra(s) => s.update_batch(xs),
+            Any::Growing(s) => s.update_batch(xs),
+            Any::Kll(s) => s.update_batch(xs),
+            Any::Gk(s) => s.update_batch(xs),
+            Any::Ckms(s) => s.update_batch(xs),
+            // The f64 sketches take converted items; their ingest is
+            // per-item anyway, so convert-and-update in place.
+            Any::Dd(s) => {
+                for &x in xs {
+                    s.update(x as f64);
+                }
+            }
+            Any::Td(s) => {
+                for &x in xs {
+                    s.update(x as f64);
+                }
+            }
+            Any::Rsv(s) => s.update_batch(xs),
+            Any::Halving(s) => s.update_batch(xs),
         }
     }
 
@@ -141,9 +151,7 @@ pub fn run(cfg: &Config) -> Vec<Table> {
         Any::Halving(HalvingSketch::new(512, RankAccuracy::HighRank, 4)),
     ];
     for s in &mut sketches {
-        for &x in &items {
-            s.update(x);
-        }
+        s.update_batch(&items);
     }
 
     let mut headers: Vec<String> = vec!["sketch".into(), "guarantee".into(), "retained".into()];

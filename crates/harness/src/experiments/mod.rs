@@ -37,9 +37,14 @@ pub fn req_hra(k: u32, seed: u64) -> ReqSketch<u64> {
     )
 }
 
-/// Feed a slice into any sketch.
+/// Feed a slice into any sketch via its batched ingest path.
 pub fn feed<S: QuantileSketch<u64>>(sketch: &mut S, items: &[u64]) {
-    for &x in items {
-        sketch.update(x);
-    }
+    sketch.update_batch(items);
+}
+
+/// Feed `n` generated items through the batch path without materializing
+/// the whole stream (space experiments go to `2^24`). Delegates to
+/// [`sketch_traits::extend_sketch`], which owns the chunk-and-batch logic.
+pub fn feed_generated<S: QuantileSketch<u64>>(sketch: &mut S, n: u64, f: impl Fn(u64) -> u64) {
+    sketch_traits::extend_sketch(sketch, (0..n).map(f));
 }

@@ -60,20 +60,28 @@ pub fn probe_ranks<S: QuantileSketch<u64>>(
     mode: ErrorMode,
 ) -> Vec<ProbeError> {
     let n = oracle.n();
-    ranks
+    // Resolve the probe items first, then ask the sketch for every rank in
+    // one multi-query call — sketches with a sorted-view path answer the
+    // whole probe set off a single view build.
+    let resolved: Vec<(u64, u64)> = ranks
         .iter()
         .filter_map(|&r| {
             let item = oracle.item_at_rank(r)?;
             // The item at rank r may have true rank > r under duplicates;
             // always compare against the item's actual rank.
-            let true_rank = oracle.rank(item);
-            let est_rank = sketch.rank(&item);
-            Some(ProbeError {
-                item,
-                true_rank,
-                est_rank,
-                err: mode.error(est_rank, true_rank, n),
-            })
+            Some((item, oracle.rank(item)))
+        })
+        .collect();
+    let items: Vec<u64> = resolved.iter().map(|&(item, _)| item).collect();
+    let estimates = sketch.ranks(&items);
+    resolved
+        .into_iter()
+        .zip(estimates)
+        .map(|((item, true_rank), est_rank)| ProbeError {
+            item,
+            true_rank,
+            est_rank,
+            err: mode.error(est_rank, true_rank, n),
         })
         .collect()
 }

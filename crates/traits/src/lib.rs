@@ -56,6 +56,23 @@ pub trait QuantileSketch<T> {
     /// Process one stream item.
     fn update(&mut self, item: T);
 
+    /// Process a whole slice of stream items.
+    ///
+    /// Semantically identical to calling [`QuantileSketch::update`] once per
+    /// item, in order. The default does exactly that; implementations with a
+    /// buffered ingest path (the REQ sketch, KLL) override it to append whole
+    /// slices and amortize capacity checks over the batch — the
+    /// Karnin–Lang–Liberty-style trick that makes compactor sketches fast in
+    /// practice.
+    fn update_batch(&mut self, items: &[T])
+    where
+        T: Clone,
+    {
+        for item in items {
+            self.update(item.clone());
+        }
+    }
+
     /// Number of items processed so far (`n`).
     fn len(&self) -> u64;
 
@@ -80,6 +97,33 @@ pub trait QuantileSketch<T> {
     /// Smallest retained item whose estimated normalized rank is `≥ q`
     /// (`q` is clamped to `[0, 1]`). `None` on an empty sketch.
     fn quantile(&self, q: f64) -> Option<T>;
+
+    /// Rank estimates for many probes at once.
+    ///
+    /// The default loops over [`QuantileSketch::rank`]; sketches with a
+    /// sorted-view query path override this to amortize one view build over
+    /// the whole probe set.
+    fn ranks(&self, items: &[T]) -> Vec<u64> {
+        items.iter().map(|y| self.rank(y)).collect()
+    }
+
+    /// Quantile estimates for many ranks at once (`qs` need not be sorted).
+    ///
+    /// `None` entries only for an empty sketch. Default loops over
+    /// [`QuantileSketch::quantile`].
+    fn quantiles(&self, qs: &[f64]) -> Vec<Option<T>> {
+        qs.iter().map(|&q| self.quantile(q)).collect()
+    }
+
+    /// Normalized CDF at each of the ascending `split_points`.
+    ///
+    /// Default loops over [`QuantileSketch::normalized_rank`].
+    fn cdf(&self, split_points: &[T]) -> Vec<f64> {
+        split_points
+            .iter()
+            .map(|s| self.normalized_rank(s))
+            .collect()
+    }
 }
 
 /// Pairwise merging of two summaries of disjoint streams into a summary of
@@ -104,10 +148,32 @@ pub trait SpaceUsage {
     fn size_bytes(&self) -> usize;
 }
 
+/// Items buffered per [`QuantileSketch::update_batch`] call by
+/// [`extend_sketch`]. Large enough to amortize per-batch overhead, small
+/// enough to stay cache-resident.
+const EXTEND_CHUNK: usize = 1024;
+
 /// Convenience: feed an iterator into any sketch.
-pub fn extend_sketch<T, S: QuantileSketch<T>>(sketch: &mut S, items: impl IntoIterator<Item = T>) {
+///
+/// Buffers the iterator into chunks and feeds each through
+/// [`QuantileSketch::update_batch`], so every generic caller gets a sketch's
+/// fast batched ingest path for free. (The old per-item loop this replaces
+/// is exactly what `update_batch`'s default falls back to, so behaviour is
+/// unchanged for sketches without a batch override.)
+pub fn extend_sketch<T: Clone, S: QuantileSketch<T>>(
+    sketch: &mut S,
+    items: impl IntoIterator<Item = T>,
+) {
+    let mut buf: Vec<T> = Vec::with_capacity(EXTEND_CHUNK);
     for item in items {
-        sketch.update(item);
+        buf.push(item);
+        if buf.len() == EXTEND_CHUNK {
+            sketch.update_batch(&buf);
+            buf.clear();
+        }
+    }
+    if !buf.is_empty() {
+        sketch.update_batch(&buf);
     }
 }
 
@@ -163,6 +229,75 @@ mod tests {
         assert_eq!(s.quantile(0.0), Some(10));
         assert_eq!(s.quantile(1.0), Some(40));
         assert_eq!(s.quantile(0.5), Some(20));
+    }
+
+    /// Exact sketch that counts how it was fed, to observe batch routing.
+    struct Counting {
+        inner: Exact,
+        batch_calls: usize,
+        item_calls: usize,
+    }
+
+    impl QuantileSketch<u64> for Counting {
+        fn update(&mut self, item: u64) {
+            self.item_calls += 1;
+            self.inner.update(item);
+        }
+        fn update_batch(&mut self, items: &[u64]) {
+            self.batch_calls += 1;
+            for &x in items {
+                self.inner.update(x);
+            }
+        }
+        fn len(&self) -> u64 {
+            self.inner.len()
+        }
+        fn rank(&self, item: &u64) -> u64 {
+            self.inner.rank(item)
+        }
+        fn quantile(&self, q: f64) -> Option<u64> {
+            self.inner.quantile(q)
+        }
+    }
+
+    #[test]
+    fn update_batch_default_matches_per_item() {
+        let mut a = Exact(vec![]);
+        let mut b = Exact(vec![]);
+        let items = [9u64, 2, 7, 2, 5];
+        a.update_batch(&items);
+        for &x in &items {
+            b.update(x);
+        }
+        assert_eq!(a.0, b.0);
+    }
+
+    #[test]
+    fn multi_query_defaults_match_single_queries() {
+        let mut s = Exact(vec![]);
+        s.update_batch(&[10u64, 20, 30, 40]);
+        assert_eq!(s.ranks(&[5, 20, 99]), vec![0, 2, 4]);
+        assert_eq!(
+            s.quantiles(&[0.0, 0.5, 1.0]),
+            vec![s.quantile(0.0), s.quantile(0.5), s.quantile(1.0)]
+        );
+        let cdf = s.cdf(&[10, 30, 50]);
+        assert_eq!(cdf, vec![0.25, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn extend_sketch_routes_through_update_batch() {
+        let mut s = Counting {
+            inner: Exact(vec![]),
+            batch_calls: 0,
+            item_calls: 0,
+        };
+        // Spans multiple chunks: expect ceil(2500/1024) = 3 batch calls.
+        extend_sketch(&mut s, 0..2500u64);
+        assert_eq!(s.len(), 2500);
+        assert_eq!(s.batch_calls, 3);
+        assert_eq!(s.item_calls, 0, "per-item loop must be gone");
+        assert_eq!(s.rank(&999), 1000);
     }
 
     #[test]

@@ -95,6 +95,62 @@ fn snapshot_while_ingesting_is_consistent() {
 }
 
 #[test]
+fn batched_parallel_ingest_matches_oracle() {
+    let n = 1 << 18;
+    let threads = 8u64;
+    let items = Workload::uniform(1 << 40).generate(n, 11);
+    let shared = ConcurrentReqSketch::<u64>::new(builder(32, 5), threads as usize).unwrap();
+
+    let chunk = n / threads as usize;
+    std::thread::scope(|scope| {
+        for (t, part) in items.chunks(chunk).enumerate() {
+            let shared = &shared;
+            scope.spawn(move || {
+                // Realistic producers hand over buffers, not items.
+                for piece in part.chunks(4096) {
+                    shared.update_batch_in_shard(t, piece);
+                }
+            });
+        }
+    });
+    assert_eq!(shared.len(), n as u64);
+
+    let snap = shared.cached_snapshot().unwrap();
+    assert_eq!(snap.len(), n as u64);
+    let oracle = SortOracle::new(&items);
+    let probe_ranks = geometric_ranks(n as u64, 2.0);
+    let probe_items: Vec<u64> = probe_ranks
+        .iter()
+        .filter_map(|&r| oracle.item_at_rank(r))
+        .collect();
+    // Multi-query API: all probes off one view build.
+    let estimates = snap.ranks(&probe_items);
+    for (item, est) in probe_items.iter().zip(estimates) {
+        let truth = oracle.rank(*item);
+        let rel = est.abs_diff(truth) as f64 / truth as f64;
+        assert!(rel < 0.08, "rank {truth}: rel {rel}");
+    }
+}
+
+#[test]
+fn cached_snapshot_tracks_mutations_under_read_heavy_polling() {
+    let shared = ConcurrentReqSketch::<u64>::new(builder(12, 6), 4).unwrap();
+    shared.update_batch(&(0..100_000u64).collect::<Vec<_>>());
+    // Poll repeatedly without writes: one build, then hits.
+    for _ in 0..10 {
+        let p99 = shared.quantile(0.99).unwrap().unwrap();
+        assert!((p99 as f64 - 99_000.0).abs() < 5_000.0, "p99 {p99}");
+    }
+    let (hits, builds) = shared.snapshot_cache_stats();
+    assert_eq!(builds, 1);
+    assert_eq!(hits, 9);
+    // A write invalidates; polling picks up the new data.
+    shared.update(7);
+    assert_eq!(shared.cached_snapshot().unwrap().len(), 100_001);
+    assert_eq!(shared.snapshot_cache_stats().1, 2);
+}
+
+#[test]
 fn snapshot_space_is_one_sketch_worth() {
     let shared = ConcurrentReqSketch::<u64>::new(builder(16, 4), 8).unwrap();
     for i in 0..200_000u64 {

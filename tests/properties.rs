@@ -188,6 +188,107 @@ proptest! {
     }
 
     #[test]
+    fn cached_view_answers_match_fresh_view_after_any_interleaving(
+        batches in vec(vec(any::<u64>(), 0..400), 1..6),
+        merge_items in vec(any::<u64>(), 0..400),
+        ops in vec(0u8..4, 1..10),
+        k in k_strategy(),
+        hra in any::<bool>(),
+        seed in any::<u64>(),
+        probes in vec(any::<u64>(), 1..16),
+        qs in vec(0.001f64..0.999, 1..6),
+    ) {
+        // Satellite invariant: after ANY interleaving of `update_batch`,
+        // `merge`, and serde/binary round-trips, every answer served off the
+        // cached view is byte-identical to one computed from a freshly built
+        // SortedView.
+        let mut s = ReqSketch::<u64>::builder()
+            .k(k)
+            .high_rank_accuracy(hra)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut sorted_probes = probes;
+        sorted_probes.sort_unstable();
+        let mut batch_idx = 0usize;
+        for (step, op) in ops.into_iter().enumerate() {
+            match op {
+                0 => {
+                    s.update_batch(&batches[batch_idx % batches.len()]);
+                    batch_idx += 1;
+                }
+                1 => {
+                    let mut other = ReqSketch::<u64>::builder()
+                        .k(k)
+                        .high_rank_accuracy(hra)
+                        .seed(seed.wrapping_add(step as u64 + 1))
+                        .build()
+                        .unwrap();
+                    other.update_batch(&merge_items);
+                    // Warm the other sketch's cache so merging consumes a
+                    // sketch whose cache is live.
+                    let _ = other.rank(&0);
+                    s.try_merge(other).unwrap();
+                }
+                2 => {
+                    let bytes = s.to_bytes();
+                    s = ReqSketch::<u64>::from_bytes(&bytes).unwrap();
+                }
+                _ => {
+                    let value = serde::value::to_value(&s).unwrap();
+                    s = serde::value::from_value(value).unwrap();
+                }
+            }
+            // Interleave queries so the cache is warm (and possibly stale if
+            // invalidation were broken) at every step.
+            let fresh = s.sorted_view();
+            for p in &sorted_probes {
+                prop_assert_eq!(s.rank(p), fresh.rank(p), "rank({}) diverged", p);
+                prop_assert_eq!(
+                    s.rank_exclusive(p),
+                    fresh.rank_exclusive(p),
+                    "rank_exclusive({}) diverged", p
+                );
+            }
+            for &q in &qs {
+                prop_assert_eq!(
+                    s.quantile(q),
+                    fresh.quantile(q).cloned(),
+                    "quantile({}) diverged", q
+                );
+            }
+            prop_assert_eq!(s.cdf(&sorted_probes), fresh.cdf(&sorted_probes));
+        }
+    }
+
+    #[test]
+    fn update_batch_equals_per_item_for_any_stream(
+        items in vec(any::<u64>(), 0..4000),
+        chunk in 1usize..700,
+        k in k_strategy(),
+        hra in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let build = || ReqSketch::<u64>::builder()
+            .k(k)
+            .high_rank_accuracy(hra)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut per_item = build();
+        for &x in &items {
+            per_item.update(x);
+        }
+        let mut batched = build();
+        for piece in items.chunks(chunk) {
+            batched.update_batch(piece);
+        }
+        prop_assert_eq!(batched.len(), per_item.len());
+        prop_assert_eq!(batched.total_weight(), per_item.total_weight());
+        prop_assert_eq!(batched.to_bytes(), per_item.to_bytes());
+    }
+
+    #[test]
     fn gk_invariant_holds_for_any_stream(
         items in vec(0u64..10_000, 1..2000),
     ) {

@@ -8,8 +8,28 @@
 //! reproduced. The macro surface (`criterion_group!`, `criterion_main!`,
 //! both plain and `name/config/targets` forms) matches, so the real crate
 //! can be swapped back in without touching the bench sources.
+//!
+//! Like the real crate, passing `--test` to the bench binary (e.g.
+//! `cargo bench -- --test`) switches to smoke mode: every benchmark runs
+//! once instead of its configured sample count, so CI can execute bench
+//! code without paying for full sampling.
 
 use std::time::{Duration, Instant};
+
+/// True when the bench binary was invoked with `--test` (smoke mode).
+fn smoke_test_mode() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
+/// Samples to time: 1 in `--test` smoke mode, else the configured count.
+fn effective_samples(configured: u32) -> u32 {
+    if smoke_test_mode() {
+        1
+    } else {
+        configured
+    }
+}
 
 pub use std::hint::black_box;
 
@@ -82,7 +102,7 @@ impl BenchmarkGroup<'_> {
     pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, mut routine: R) {
         let full = format!("{}/{id}", self.name);
         let mut bencher = Bencher {
-            samples: self.criterion.sample_size,
+            samples: effective_samples(self.criterion.sample_size),
             times: Vec::new(),
         };
         routine(&mut bencher);
@@ -96,7 +116,7 @@ impl BenchmarkGroup<'_> {
     {
         let full = format!("{}/{}", self.name, id.id);
         let mut bencher = Bencher {
-            samples: self.criterion.sample_size,
+            samples: effective_samples(self.criterion.sample_size),
             times: Vec::new(),
         };
         routine(&mut bencher, input);
@@ -138,7 +158,7 @@ impl Criterion {
     /// Run one stand-alone benchmark.
     pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, mut routine: R) {
         let mut bencher = Bencher {
-            samples: self.sample_size,
+            samples: effective_samples(self.sample_size),
             times: Vec::new(),
         };
         routine(&mut bencher);
