@@ -70,10 +70,20 @@ impl<T: Ord + Clone> HalvingSketch<T> {
         }
     }
 
-    fn insert_at(&mut self, h: usize, items: Vec<T>) {
+    /// Insert a sorted run (compaction output) at level `h`: chunks are
+    /// *merged* into the level's sorted run — the same run-maintenance
+    /// building block the full REQ sketch uses — so no level ever re-sorts
+    /// what a compaction below already ordered.
+    fn insert_run_at(&mut self, h: usize, mut items: Vec<T>) {
         self.ensure_level(h);
-        for item in items {
-            self.levels[h].push(item);
+        while !items.is_empty() {
+            let room = self.levels[h]
+                .capacity()
+                .saturating_sub(self.levels[h].len())
+                .max(1);
+            let accuracy = self.accuracy;
+            let take = items.len().min(room);
+            self.levels[h].merge_sorted_run_prefix(&mut items, take, accuracy);
             if self.levels[h].is_at_capacity() {
                 let coin = self.rng.gen::<bool>();
                 let accuracy = self.accuracy;
@@ -81,19 +91,15 @@ impl<T: Ord + Clone> HalvingSketch<T> {
                 // num_sections = 1 ⇒ the schedule always selects the single
                 // B/2-sized section: L = B/2 on every compaction.
                 self.levels[h].compact_scheduled(accuracy, coin, &mut out);
-                self.insert_at(h + 1, out);
+                self.insert_run_at(h + 1, out);
             }
         }
     }
 
-    /// Weighted sorted snapshot for batched queries.
+    /// Weighted sorted snapshot for batched queries — a k-way merge of the
+    /// per-level sorted runs.
     pub fn sorted_view(&self) -> SortedView<T> {
-        let mut raw = Vec::with_capacity(self.retained());
-        for (h, level) in self.levels.iter().enumerate() {
-            let w = 1u64 << h;
-            raw.extend(level.items().iter().map(|x| (x.clone(), w)));
-        }
-        SortedView::from_weighted_items(raw)
+        SortedView::from_levels(&self.levels, self.accuracy)
     }
 
     /// Total weight (equals `n`).
@@ -109,7 +115,15 @@ impl<T: Ord + Clone> HalvingSketch<T> {
 impl<T: Ord + Clone> QuantileSketch<T> for HalvingSketch<T> {
     fn update(&mut self, item: T) {
         self.n += 1;
-        self.insert_at(0, vec![item]);
+        self.ensure_level(0);
+        self.levels[0].push(item);
+        if self.levels[0].is_at_capacity() {
+            let coin = self.rng.gen::<bool>();
+            let accuracy = self.accuracy;
+            let mut out = Vec::new();
+            self.levels[0].compact_scheduled(accuracy, coin, &mut out);
+            self.insert_run_at(1, out);
+        }
     }
 
     fn len(&self) -> u64 {
@@ -120,7 +134,7 @@ impl<T: Ord + Clone> QuantileSketch<T> for HalvingSketch<T> {
         self.levels
             .iter()
             .enumerate()
-            .map(|(h, l)| (l.count_le(y) as u64) << h)
+            .map(|(h, l)| (l.count_le_with(y, self.accuracy) as u64) << h)
             .sum()
     }
 

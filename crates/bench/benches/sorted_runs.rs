@@ -1,0 +1,94 @@
+//! Sorted-run maintenance vs sort-on-compact (PR 3's tentpole A/B).
+//!
+//! The same 1M-item ingest through both [`CompactionMode`]s, across input
+//! orders: random (the steady state), ascending and descending (where the
+//! run+tail invariant makes the tail sort near-free — presorted detection —
+//! and every merge hits the append fast path). A `compactor_fill_cycle`
+//! group isolates one level's fill/compact loop, the exact code the modes
+//! differ in.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use req_bench::bench_items;
+use req_core::compactor::{CompactionMode, RankAccuracy, RelativeCompactor};
+use req_core::{QuantileSketch, ReqSketch};
+
+const N: usize = 1_000_000;
+
+fn sketch(mode: CompactionMode) -> ReqSketch<u64> {
+    ReqSketch::<u64>::builder()
+        .k(32)
+        .rank_accuracy(RankAccuracy::HighRank)
+        .seed(1)
+        .compaction_mode(mode)
+        .build()
+        .unwrap()
+}
+
+fn orders() -> Vec<(&'static str, Vec<u64>)> {
+    let random = bench_items(N, 7);
+    let mut sorted = random.clone();
+    sorted.sort_unstable();
+    let reversed: Vec<u64> = sorted.iter().rev().copied().collect();
+    vec![
+        ("random", random),
+        ("sorted", sorted),
+        ("reversed", reversed),
+    ]
+}
+
+fn bench_ingest_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sorted_runs");
+    group.throughput(Throughput::Elements(N as u64));
+    for (order, items) in orders() {
+        for (name, mode) in [
+            ("merge_runs", CompactionMode::SortedRuns),
+            ("sort_on_compact", CompactionMode::SortOnCompact),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, order), &mode, |b, &mode| {
+                b.iter(|| {
+                    let mut s = sketch(mode);
+                    s.update_batch(black_box(&items));
+                    black_box(s.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_compactor_fill_cycle(c: &mut Criterion) {
+    // One level in isolation: stream 256k items through fill/compact cycles.
+    let mut group = c.benchmark_group("compactor_fill_cycle");
+    let items = bench_items(256 * 1024, 5);
+    group.throughput(Throughput::Elements(items.len() as u64));
+    for (name, mode) in [
+        ("merge_runs", CompactionMode::SortedRuns),
+        ("sort_on_compact", CompactionMode::SortOnCompact),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, "k32_s10"), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut compactor = RelativeCompactor::new_with_mode(32, 10, mode);
+                let mut out = Vec::new();
+                let mut coin = false;
+                for &x in &items {
+                    compactor.push(x);
+                    if compactor.is_at_capacity() {
+                        coin = !coin;
+                        out.clear();
+                        compactor.compact_scheduled(RankAccuracy::LowRank, coin, &mut out);
+                    }
+                }
+                black_box(compactor.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ingest_modes, bench_compactor_fill_cycle
+}
+criterion_main!(benches);

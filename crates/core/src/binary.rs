@@ -8,8 +8,18 @@
 //! n u64 | max_n u64 | k u32 | num_sections u32 | reseed u64
 //! min item (tag u8 + payload) | max item (tag u8 + payload)
 //! num_levels u32
-//! per level: state u64 | compactions u64 | special u64 | len u32 | items
+//! per level: state u64 | compactions u64 | special u64
+//!            | run_len u32 (v2+) | len u32 | items
 //! ```
+//!
+//! Version 2 added `run_len`, the sorted-run prefix of each level buffer
+//! (`items[..run_len]` is sorted by the internal comparator), so a
+//! deserialized sketch resumes merge-maintained compactions without
+//! re-sorting. Version-1 bytes are still accepted: they carry no run
+//! information, so every level loads as all-tail (`run_len = 0`) and the
+//! first ordering operation re-establishes the invariant. Untrusted v2
+//! input is validated — a declared run that is not actually sorted is
+//! rejected as corrupt rather than silently mis-answering rank queries.
 //!
 //! The RNG's in-flight state is not serialized; a fresh seed (`reseed`,
 //! drawn from the sketch's RNG at serialization time) is stored instead.
@@ -32,7 +42,10 @@ use crate::schedule::CompactionState;
 use crate::sketch::ReqSketch;
 
 const MAGIC: &[u8; 4] = b"REQ1";
-const VERSION: u8 = 1;
+/// Current write version. See the module docs for the v1 → v2 delta.
+const VERSION: u8 = 2;
+/// Oldest version `from_bytes` still reads.
+const MIN_VERSION: u8 = 1;
 
 /// Item types that can be encoded into the binary sketch format.
 pub trait Packable: Sized {
@@ -230,6 +243,7 @@ impl<T: Ord + Clone + Packable> ReqSketch<T> {
             out.put_u64_le(level.state().raw());
             out.put_u64_le(level.num_compactions());
             out.put_u64_le(level.num_special_compactions());
+            out.put_u32_le(level.run_len() as u32);
             out.put_u32_le(level.len() as u32);
             for item in level.items() {
                 item.pack(&mut out);
@@ -248,7 +262,7 @@ impl<T: Ord + Clone + Packable> ReqSketch<T> {
             return Err(ReqError::CorruptBytes("bad magic".into()));
         }
         let version = input.get_u8();
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(ReqError::CorruptBytes(format!(
                 "unsupported version {version}"
             )));
@@ -283,7 +297,19 @@ impl<T: Ord + Clone + Packable> ReqSketch<T> {
             let state = u64::unpack(&mut input)?;
             let compactions = u64::unpack(&mut input)?;
             let special = u64::unpack(&mut input)?;
+            // v1 bytes carry no run information: load as all-tail and let
+            // the first ordering operation rebuild the invariant.
+            let run_len = if version >= 2 {
+                u32::unpack(&mut input)? as usize
+            } else {
+                0
+            };
             let len = u32::unpack(&mut input)? as usize;
+            if run_len > len {
+                return Err(ReqError::CorruptBytes(format!(
+                    "run_len {run_len} exceeds level len {len}"
+                )));
+            }
             // Every item occupies at least one byte; a length beyond the
             // remaining input is corruption, and pre-allocating it would be
             // an allocation-of-attacker-chosen-size hazard.
@@ -297,14 +323,21 @@ impl<T: Ord + Clone + Packable> ReqSketch<T> {
             for _ in 0..len {
                 buf.push(T::unpack(&mut input)?);
             }
-            levels.push(RelativeCompactor::from_parts(
+            let level = RelativeCompactor::from_parts(
                 k,
                 num_sections,
                 buf,
+                run_len,
                 CompactionState::from_raw(state),
                 compactions,
                 special,
-            ));
+            );
+            if !level.run_is_sorted(accuracy) {
+                return Err(ReqError::CorruptBytes(
+                    "declared sorted run is not sorted".into(),
+                ));
+            }
+            levels.push(level);
         }
         if input.has_remaining() {
             return Err(ReqError::CorruptBytes(format!(
@@ -474,6 +507,99 @@ mod tests {
         let mut bad = good.clone();
         bad.extend_from_slice(&[1, 2, 3]);
         assert!(ReqSketch::<u64>::from_bytes(&bad).is_err());
+    }
+
+    /// Rewrite v2 bytes of a `FixedK` u64 sketch into the v1 layout (no
+    /// per-level `run_len`), exactly what a pre-sorted-run writer produced.
+    fn downgrade_to_v1(v2: &[u8]) -> Vec<u8> {
+        let mut out = v2.to_vec();
+        out[4] = 1; // version byte
+        let mut off = 4 + 1 + 1; // magic, version, flags
+        off += 1 + 4; // FixedK policy tag + k payload
+        off += 8 + 8 + 4 + 4 + 8; // n, max_n, k, num_sections, reseed
+        for _ in 0..2 {
+            // min/max options with u64 payloads
+            let tag = out[off];
+            off += 1;
+            if tag == 1 {
+                off += 8;
+            }
+        }
+        let num_levels = u32::from_le_bytes(out[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        for _ in 0..num_levels {
+            off += 8 * 3; // state, compactions, special
+            out.drain(off..off + 4); // drop run_len
+            let len = u32::from_le_bytes(out[off..off + 4].try_into().unwrap()) as usize;
+            off += 4 + len * 8;
+        }
+        out
+    }
+
+    #[test]
+    fn version1_bytes_load_as_all_tail_and_reestablish_invariant() {
+        let mut s = sample_sketch();
+        let expectations: Vec<(u64, u64)> = (0..1_000_003u64)
+            .step_by(40_009)
+            .map(|y| (y, s.rank(&y)))
+            .collect();
+        let v1 = downgrade_to_v1(&s.to_bytes());
+        let mut t = ReqSketch::<u64>::from_bytes(&v1).unwrap();
+        assert_eq!(t.len(), s.len());
+        // No run information in v1: every level arrives as all-tail.
+        assert!(t.stats().levels.iter().all(|l| l.run_len == 0));
+        for (y, want) in &expectations {
+            assert_eq!(t.rank(y), *want, "rank mismatch at {y}");
+        }
+        // Continued ingest re-establishes the sorted-run invariant.
+        for i in 0..100_000u64 {
+            t.update(i);
+        }
+        assert!(t.stats().levels.iter().any(|l| l.run_len > 0));
+        assert_eq!(t.len(), 200_000);
+    }
+
+    #[test]
+    fn lying_run_len_is_rejected() {
+        let mut s = sample_sketch();
+        let good = s.to_bytes().to_vec();
+        // Locate the first level's run_len field with the same offset walk
+        // as the downgrade helper.
+        let mut off = 4 + 1 + 1 + 1 + 4 + 8 + 8 + 4 + 4 + 8;
+        for _ in 0..2 {
+            let tag = good[off];
+            off += 1;
+            if tag == 1 {
+                off += 8;
+            }
+        }
+        off += 4; // num_levels
+        off += 8 * 3; // first level's counters
+        let mut bad = good.clone();
+        bad[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = ReqSketch::<u64>::from_bytes(&bad).unwrap_err();
+        assert!(matches!(err, ReqError::CorruptBytes(_)), "{err:?}");
+
+        // A plausible run_len over an actually-unsorted prefix must also be
+        // rejected: shuffle two distinct items inside the declared run.
+        let t = ReqSketch::<u64>::from_bytes(&good).unwrap();
+        let level0 = &t.stats().levels[0];
+        assert!(level0.run_len >= 2, "test needs a non-trivial run");
+        let items_off = off + 4 + 4; // past run_len and len
+        let mut bad = good.clone();
+        let a = items_off;
+        let run = &good[a..a + 8 * level0.run_len];
+        // find two adjacent distinct items to swap
+        let idx = (0..level0.run_len - 1)
+            .find(|i| run[i * 8..i * 8 + 8] != run[(i + 1) * 8..(i + 1) * 8 + 8])
+            .expect("distinct adjacent items");
+        bad.copy_within(a + idx * 8..a + idx * 8 + 8, a + (idx + 1) * 8);
+        bad[a + idx * 8..a + idx * 8 + 8]
+            .copy_from_slice(&good[a + (idx + 1) * 8..a + (idx + 2) * 8]);
+        assert!(
+            ReqSketch::<u64>::from_bytes(&bad).is_err(),
+            "unsorted declared run accepted"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use rand::RngCore;
 
-use crate::compactor::RankAccuracy;
+use crate::compactor::{CompactionMode, RankAccuracy};
 use crate::error::ReqError;
 use crate::ordf64::OrdF64;
 use crate::params::ParamPolicy;
@@ -34,6 +34,7 @@ pub struct ReqSketchBuilder {
     policy: Result<ParamPolicy, ReqError>,
     accuracy: RankAccuracy,
     seed: Option<u64>,
+    mode: CompactionMode,
 }
 
 impl Default for ReqSketchBuilder {
@@ -49,6 +50,7 @@ impl ReqSketchBuilder {
             policy: ParamPolicy::fixed_k(12),
             accuracy: RankAccuracy::HighRank,
             seed: None,
+            mode: CompactionMode::SortedRuns,
         }
     }
 
@@ -97,11 +99,23 @@ impl ReqSketchBuilder {
         self
     }
 
+    /// Select how compactors establish order. The default
+    /// [`CompactionMode::SortedRuns`] maintains each buffer as a sorted run
+    /// plus a small unsorted tail and merges instead of re-sorting;
+    /// [`CompactionMode::SortOnCompact`] is the retained reference path for
+    /// A/B benchmarking and the equivalence proptests.
+    pub fn compaction_mode(mut self, mode: CompactionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
     /// Build a sketch over any totally ordered, clonable item type.
     pub fn build<T: Ord + Clone>(self) -> Result<ReqSketch<T>, ReqError> {
         let policy = self.policy?;
         let seed = self.seed.unwrap_or_else(|| rand::thread_rng().next_u64());
-        Ok(ReqSketch::with_policy(policy, self.accuracy, seed))
+        let mut sketch = ReqSketch::with_policy(policy, self.accuracy, seed);
+        sketch.set_compaction_mode(self.mode);
+        Ok(sketch)
     }
 
     /// Build a sketch over `f64` values (via [`OrdF64`]).

@@ -10,11 +10,31 @@
 //! is **never** compacted, which is what yields the multiplicative guarantee
 //! at that end.
 //!
+//! # Sorted-run maintenance
+//!
+//! The buffer is kept as a **sorted run plus a small unsorted tail**:
+//! `buf[..run_len]` is sorted by the internal comparator and `buf[run_len..]`
+//! holds raw appends since the last ordering operation. When a compaction
+//! needs order, only the tail is sorted and then gallop-merged into the run,
+//! so a fill costs `O(tail·log tail + moved)` instead of re-sorting `O(L log
+//! L)` every time. Crucially, a compaction *emits* an already-sorted half, so
+//! upper levels receive sorted runs and merge them in via
+//! [`RelativeCompactor::merge_sorted_run`] without ever sorting — the
+//! merge-based compaction maintenance of Ivkin, Liberty, Lang, Karnin and
+//! Braverman (*Streaming Quantiles Algorithms with Small Space and Update
+//! Time*), which drops the amortized per-update comparison cost to
+//! `O(log(1/ε))`. The previous sort-on-compact behaviour is retained behind
+//! [`CompactionMode::SortOnCompact`] as a reference implementation: both
+//! modes compact the exact same item multisets with the same coin flips, a
+//! property the equivalence proptests assert byte-for-byte.
+//!
 //! Orientation: with [`RankAccuracy::LowRank`] the protected end holds the
 //! *smallest* items (the paper's presentation); with
 //! [`RankAccuracy::HighRank`] it holds the *largest* (the reversed-comparator
 //! construction from §1, which is what a latency-monitoring deployment
-//! wants). The two are mirror images; all schedule logic is shared.
+//! wants). The two are mirror images; all schedule logic is shared. The
+//! sorted run is ordered by the *internal* comparator, i.e. descending in
+//! external order under `HighRank`.
 
 use std::cmp::Ordering;
 
@@ -41,6 +61,20 @@ impl RankAccuracy {
     }
 }
 
+/// How a compactor establishes order at compaction time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CompactionMode {
+    /// Maintain the buffer as a sorted run + unsorted tail; sort only the
+    /// tail and merge. The production default.
+    #[default]
+    SortedRuns,
+    /// Re-sort the compacted range on every compaction (the pre-sorted-run
+    /// behaviour). Kept as the reference implementation for the equivalence
+    /// proptests and the old-vs-new benchmarks; compacts the exact same item
+    /// multisets as [`CompactionMode::SortedRuns`].
+    SortOnCompact,
+}
+
 /// Result of one compaction operation, for weight bookkeeping and stats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompactionOutcome {
@@ -62,6 +96,10 @@ pub struct CompactionOutcome {
 #[derive(Debug, Clone)]
 pub struct RelativeCompactor<T> {
     buf: Vec<T>,
+    /// `buf[..run_len]` is sorted by the internal comparator; `buf[run_len..]`
+    /// is the unsorted tail. Always 0 in [`CompactionMode::SortOnCompact`].
+    run_len: usize,
+    mode: CompactionMode,
     state: CompactionState,
     section_size: u32,
     num_sections: u32,
@@ -70,21 +108,42 @@ pub struct RelativeCompactor<T> {
     num_compactions: u64,
     /// Special compactions performed (parameter growth / merge reconciliation).
     num_special_compactions: u64,
+    /// Items that went through a comparison sort (tail sorts, or whole
+    /// compacted ranges in the reference mode). Stats only, not serialized.
+    items_sorted: u64,
+    /// Items placed by run merges instead of sorting. Stats only.
+    items_merge_moved: u64,
+    /// Reusable merge scratch (empty between operations; capacity kept).
+    scratch_a: Vec<T>,
+    /// Second merge scratch for the tail side of `ensure_sorted`.
+    scratch_b: Vec<T>,
 }
 
 impl<T> RelativeCompactor<T> {
-    /// Fresh compactor with section size `k` (even, >= 4) and `s` sections.
+    /// Fresh compactor with section size `k` (even, >= 4) and `s` sections,
+    /// in the default [`CompactionMode::SortedRuns`].
     pub fn new(section_size: u32, num_sections: u32) -> Self {
+        Self::new_with_mode(section_size, num_sections, CompactionMode::SortedRuns)
+    }
+
+    /// Fresh compactor with an explicit [`CompactionMode`].
+    pub fn new_with_mode(section_size: u32, num_sections: u32, mode: CompactionMode) -> Self {
         debug_assert!(section_size >= 4 && section_size.is_multiple_of(2));
         debug_assert!(num_sections >= 1);
         let cap = 2 * section_size as usize * num_sections as usize;
         RelativeCompactor {
             buf: Vec::with_capacity(cap),
+            run_len: 0,
+            mode,
             state: CompactionState::new(),
             section_size,
             num_sections,
             num_compactions: 0,
             num_special_compactions: 0,
+            items_sorted: 0,
+            items_merge_moved: 0,
+            scratch_a: Vec::new(),
+            scratch_b: Vec::new(),
         }
     }
 
@@ -124,6 +183,17 @@ impl<T> RelativeCompactor<T> {
         self.state
     }
 
+    /// The active [`CompactionMode`].
+    pub fn mode(&self) -> CompactionMode {
+        self.mode
+    }
+
+    /// Switch compaction mode. Run bookkeeping stays valid: an existing
+    /// sorted prefix is still sorted, and the reference mode ignores it.
+    pub fn set_mode(&mut self, mode: CompactionMode) {
+        self.mode = mode;
+    }
+
     /// Scheduled compactions performed by this buffer.
     pub fn num_compactions(&self) -> u64 {
         self.num_compactions
@@ -134,19 +204,39 @@ impl<T> RelativeCompactor<T> {
         self.num_special_compactions
     }
 
-    /// The buffered items (unsorted).
+    /// Items that have passed through a comparison sort in this buffer
+    /// (process-lifetime stat; additive under merges, not serialized).
+    pub fn items_sorted(&self) -> u64 {
+        self.items_sorted
+    }
+
+    /// Items placed by run merges (sorted-run maintenance) instead of being
+    /// re-sorted (process-lifetime stat; additive under merges, not
+    /// serialized).
+    pub fn items_merge_moved(&self) -> u64 {
+        self.items_merge_moved
+    }
+
+    /// The buffered items: sorted run first, then the unsorted tail.
     pub fn items(&self) -> &[T] {
         &self.buf
     }
 
-    /// Append one item (caller checks `is_at_capacity` afterwards).
+    /// Length of the sorted-run prefix (`items()[..run_len()]` is sorted by
+    /// the internal comparator).
+    pub fn run_len(&self) -> usize {
+        self.run_len
+    }
+
+    /// Append one item to the unsorted tail (caller checks `is_at_capacity`
+    /// afterwards).
     pub fn push(&mut self, item: T) {
         self.buf.push(item);
     }
 
-    /// Append a whole slice (caller checks `is_at_capacity` afterwards) —
-    /// the bulk counterpart of [`RelativeCompactor::push`] used by the
-    /// batched ingest path.
+    /// Append a whole slice to the unsorted tail (caller checks
+    /// `is_at_capacity` afterwards) — the bulk counterpart of
+    /// [`RelativeCompactor::push`] used by the batched ingest path.
     pub fn push_slice(&mut self, items: &[T])
     where
         T: Clone,
@@ -154,8 +244,10 @@ impl<T> RelativeCompactor<T> {
         self.buf.extend_from_slice(items);
     }
 
-    /// Direct access to the backing buffer; compactions at level `h` emit
-    /// straight into level `h+1`'s buffer through this.
+    /// Direct access to the backing buffer. Items appended through this land
+    /// in the **unsorted tail** and are picked up by the next ordering
+    /// operation; callers must not reorder or mutate `buf[..run_len()]`
+    /// (doing so voids the sorted-run invariant).
     pub fn buf_mut(&mut self) -> &mut Vec<T> {
         &mut self.buf
     }
@@ -177,51 +269,203 @@ impl<T> RelativeCompactor<T> {
         }
     }
 
-    /// Absorb a same-level buffer from another sketch (Algorithm 3 lines
-    /// 16–18): schedule states combine by bitwise OR; items are concatenated.
-    pub fn absorb(&mut self, other: RelativeCompactor<T>) {
-        self.state.merge(other.state);
-        self.num_compactions += other.num_compactions;
-        self.num_special_compactions += other.num_special_compactions;
-        let mut other_buf = other.buf;
-        self.buf.append(&mut other_buf);
-    }
-
     /// Estimated heap bytes for this buffer's bookkeeping plus items.
     pub fn size_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.buf.capacity() * std::mem::size_of::<T>()
+        std::mem::size_of::<Self>()
+            + (self.buf.capacity() + self.scratch_a.capacity() + self.scratch_b.capacity())
+                * std::mem::size_of::<T>()
     }
 
-    /// Rebuild from raw parts (deserialization).
+    /// Rebuild from raw parts (deserialization). `run_len` declares the
+    /// sorted-run prefix of `buf`; callers loading untrusted bytes must
+    /// validate it with [`RelativeCompactor::run_is_sorted`] (passing 0 is
+    /// always safe and merely re-establishes the invariant on the first
+    /// compaction).
+    #[allow(clippy::too_many_arguments)]
     pub fn from_parts(
         section_size: u32,
         num_sections: u32,
         buf: Vec<T>,
+        run_len: usize,
         state: CompactionState,
         num_compactions: u64,
         num_special_compactions: u64,
     ) -> Self {
         RelativeCompactor {
+            run_len: run_len.min(buf.len()),
             buf,
+            mode: CompactionMode::SortedRuns,
             state,
             section_size,
             num_sections,
             num_compactions,
             num_special_compactions,
+            items_sorted: 0,
+            items_merge_moved: 0,
+            scratch_a: Vec::new(),
+            scratch_b: Vec::new(),
         }
     }
 }
 
 impl<T: Ord> RelativeCompactor<T> {
+    /// True when the declared run prefix really is sorted by the internal
+    /// comparator — the validation hook for deserializing untrusted bytes.
+    pub fn run_is_sorted(&self, acc: RankAccuracy) -> bool {
+        self.run_len <= self.buf.len()
+            && self.buf[..self.run_len]
+                .windows(2)
+                .all(|w| acc.icmp(&w[0], &w[1]) != Ordering::Greater)
+    }
+
     /// Number of stored items `x` with `x ≤ y` (external order — used by rank
-    /// estimation regardless of orientation).
+    /// estimation regardless of orientation). `O(len)` scan; prefer
+    /// [`RelativeCompactor::count_le_with`] when the orientation is known.
     pub fn count_le(&self, y: &T) -> usize {
         self.buf.iter().filter(|x| *x <= y).count()
     }
 
-    /// Number of stored items `x` with `x < y`.
+    /// Number of stored items `x` with `x < y`. `O(len)` scan; see
+    /// [`RelativeCompactor::count_lt_with`].
     pub fn count_lt(&self, y: &T) -> usize {
         self.buf.iter().filter(|x| *x < y).count()
+    }
+
+    /// Number of stored items `x ≤ y`, binary-searching the sorted run
+    /// (`O(log run + tail)`); `acc` tells which direction the run is sorted.
+    pub fn count_le_with(&self, y: &T, acc: RankAccuracy) -> usize {
+        let run = &self.buf[..self.run_len];
+        let in_run = match acc {
+            RankAccuracy::LowRank => run.partition_point(|x| x <= y),
+            RankAccuracy::HighRank => run.len() - run.partition_point(|x| x > y),
+        };
+        in_run + self.buf[self.run_len..].iter().filter(|x| *x <= y).count()
+    }
+
+    /// Number of stored items `x < y`, binary-searching the sorted run.
+    pub fn count_lt_with(&self, y: &T, acc: RankAccuracy) -> usize {
+        let run = &self.buf[..self.run_len];
+        let in_run = match acc {
+            RankAccuracy::LowRank => run.partition_point(|x| x < y),
+            RankAccuracy::HighRank => run.len() - run.partition_point(|x| x >= y),
+        };
+        in_run + self.buf[self.run_len..].iter().filter(|x| *x < y).count()
+    }
+
+    /// Establish the full sorted-run invariant: sort the unsorted tail and
+    /// gallop-merge it into the run, leaving the whole buffer as one run.
+    /// Cost `O(tail·log tail + moved)` where `moved` is the merged portion —
+    /// the run prefix below the tail minimum is never touched.
+    pub fn ensure_sorted(&mut self, acc: RankAccuracy) {
+        let len = self.buf.len();
+        if self.run_len == len {
+            return;
+        }
+        let tail_len = len - self.run_len;
+        self.buf[self.run_len..].sort_unstable_by(|a, b| acc.icmp(a, b));
+        self.items_sorted += tail_len as u64;
+        if self.run_len == 0 {
+            self.run_len = len;
+            return;
+        }
+        // Fast path: the sorted tail extends the run (ascending streams in
+        // LowRank / descending in HighRank land here and pay nothing).
+        if acc.icmp(&self.buf[self.run_len - 1], &self.buf[self.run_len]) != Ordering::Greater {
+            self.run_len = len;
+            return;
+        }
+        // Gallop: run items at or below the tail minimum keep their place.
+        let split = self.buf[..self.run_len]
+            .partition_point(|x| acc.icmp(x, &self.buf[self.run_len]) != Ordering::Greater);
+        let tail = &mut self.scratch_b;
+        tail.clear();
+        tail.extend(self.buf.drain(self.run_len..));
+        let high = &mut self.scratch_a;
+        high.clear();
+        high.extend(self.buf.drain(split..));
+        self.items_merge_moved += (high.len() + tail.len()) as u64;
+        merge_into(&mut self.buf, high, tail.drain(..), acc);
+        self.run_len = self.buf.len();
+        debug_assert!(self.run_is_sorted(acc));
+    }
+
+    /// Merge an already-sorted run (ordered by `acc.icmp`, draining
+    /// `incoming`) into this buffer's run — how compaction output enters the
+    /// next level without ever being re-sorted. If the buffer currently has
+    /// an unsorted tail, the items are appended to the tail instead (the
+    /// next `ensure_sorted` sorts them); either way the buffered multiset is
+    /// the same as pushing the items one by one.
+    pub fn merge_sorted_run(&mut self, incoming: &mut Vec<T>, acc: RankAccuracy) {
+        let count = incoming.len();
+        self.merge_sorted_run_prefix(incoming, count, acc);
+    }
+
+    /// [`RelativeCompactor::merge_sorted_run`] for the first `count` items
+    /// of `incoming` only (they are drained; the rest stays put) — lets a
+    /// cascade insert room-sized chunks of one emitted run without any
+    /// intermediate chunk allocation.
+    pub fn merge_sorted_run_prefix(
+        &mut self,
+        incoming: &mut Vec<T>,
+        count: usize,
+        acc: RankAccuracy,
+    ) {
+        if count == 0 {
+            return;
+        }
+        debug_assert!(count <= incoming.len());
+        debug_assert!(incoming[..count]
+            .windows(2)
+            .all(|w| acc.icmp(&w[0], &w[1]) != Ordering::Greater));
+        if self.run_len < self.buf.len() || self.mode == CompactionMode::SortOnCompact {
+            // Tail present (or reference mode, which never maintains runs):
+            // plain append.
+            self.buf.extend(incoming.drain(..count));
+            return;
+        }
+        // Fast path: the chunk extends the run (`incoming[0]` is its
+        // smallest item).
+        if self.buf.is_empty()
+            || acc.icmp(self.buf.last().expect("non-empty"), &incoming[0]) != Ordering::Greater
+        {
+            self.items_merge_moved += count as u64;
+            self.buf.extend(incoming.drain(..count));
+            self.run_len = self.buf.len();
+            return;
+        }
+        let split = self
+            .buf
+            .partition_point(|x| acc.icmp(x, &incoming[0]) != Ordering::Greater);
+        let high = &mut self.scratch_a;
+        high.clear();
+        high.extend(self.buf.drain(split..));
+        self.items_merge_moved += (high.len() + count) as u64;
+        merge_into(&mut self.buf, high, incoming.drain(..count), acc);
+        self.run_len = self.buf.len();
+        debug_assert!(self.run_is_sorted(acc));
+    }
+
+    /// Absorb a same-level buffer from another sketch (Algorithm 3 lines
+    /// 16–18): schedule states combine by bitwise OR; item multisets combine.
+    /// In [`CompactionMode::SortedRuns`] the two sorted runs are merged (and
+    /// the tails concatenated) so the invariant — and the avoided sort work —
+    /// survives the merge.
+    pub fn absorb(&mut self, other: RelativeCompactor<T>, acc: RankAccuracy) {
+        self.state.merge(other.state);
+        self.num_compactions += other.num_compactions;
+        self.num_special_compactions += other.num_special_compactions;
+        self.items_sorted += other.items_sorted;
+        self.items_merge_moved += other.items_merge_moved;
+        let mut other_buf = other.buf;
+        if self.mode == CompactionMode::SortOnCompact || other.run_len == 0 {
+            self.buf.append(&mut other_buf);
+            return;
+        }
+        // Merge run with run, then carry both tails as our tail.
+        let mut other_tail = other_buf.split_off(other.run_len);
+        self.ensure_sorted(acc);
+        self.merge_sorted_run(&mut other_buf, acc);
+        self.buf.append(&mut other_tail);
     }
 
     /// Keep the compacted count even by protecting one extra item when the
@@ -242,8 +486,8 @@ impl<T: Ord> RelativeCompactor<T> {
 
     /// A *scheduled* compaction (Algorithm 1 lines 5–10; Algorithm 3
     /// `ScheduledCompaction`). `coin` selects even vs odd indices
-    /// (Observation 4). Emitted items are appended to `out` and belong to the
-    /// next level up.
+    /// (Observation 4). Emitted items are appended to `out` — as a sorted
+    /// run — and belong to the next level up.
     ///
     /// All items beyond the smallest `B` (possible only mid-merge) are
     /// automatically included in the compaction, exactly as in §D.1.
@@ -287,9 +531,12 @@ impl<T: Ord> RelativeCompactor<T> {
         Some(outcome)
     }
 
-    /// Core compaction: keep the `protect` internally-smallest items, sort
+    /// Core compaction: keep the `protect` internally-smallest items, order
     /// the rest, emit every other one (offset chosen by `coin`), drop the
-    /// rest. Runs in `O(B + m log m)` for `m` compacted items.
+    /// rest. In [`CompactionMode::SortedRuns`] ordering is one
+    /// [`RelativeCompactor::ensure_sorted`] (`O(tail log tail + moved)`); in
+    /// the reference mode it is the original `O(B + m log m)` partition+sort
+    /// for `m` compacted items. Both emit the same multiset.
     fn compact_above(
         &mut self,
         protect: usize,
@@ -304,13 +551,24 @@ impl<T: Ord> RelativeCompactor<T> {
             "compaction requires items above the protected prefix"
         );
         debug_assert_eq!((len - protect) % 2, 0, "compacted range must be even");
-        if protect > 0 {
-            // Partition: buf[..protect] = the `protect` smallest (internal
-            // order), buf[protect..] = the items to compact.
-            self.buf
-                .select_nth_unstable_by(protect - 1, |a, b| acc.icmp(a, b));
+        match self.mode {
+            CompactionMode::SortedRuns => {
+                // The whole buffer becomes one sorted run; the compacted
+                // slice buf[protect..] is then already in order.
+                self.ensure_sorted(acc);
+            }
+            CompactionMode::SortOnCompact => {
+                if protect > 0 {
+                    // Partition: buf[..protect] = the `protect` smallest
+                    // (internal order), buf[protect..] = the items to compact.
+                    self.buf
+                        .select_nth_unstable_by(protect - 1, |a, b| acc.icmp(a, b));
+                }
+                self.buf[protect..].sort_unstable_by(|a, b| acc.icmp(a, b));
+                self.items_sorted += (len - protect) as u64;
+                self.run_len = 0;
+            }
         }
-        self.buf[protect..].sort_unstable_by(|a, b| acc.icmp(a, b));
         let compacted = len - protect;
         let offset = usize::from(coin);
         let before = out.len();
@@ -320,10 +578,46 @@ impl<T: Ord> RelativeCompactor<T> {
                 .enumerate()
                 .filter_map(|(i, x)| (i % 2 == offset).then_some(x)),
         );
+        if self.mode == CompactionMode::SortedRuns {
+            self.run_len = protect;
+        }
         CompactionOutcome {
             compacted,
             emitted: out.len() - before,
             sections,
+        }
+    }
+}
+
+/// Merge two runs sorted by `acc.icmp` (draining `a`, consuming `b`) onto
+/// the end of `dst`, preferring `a` on ties so run-side items keep their
+/// place.
+fn merge_into<T: Ord, I: Iterator<Item = T>>(
+    dst: &mut Vec<T>,
+    a: &mut Vec<T>,
+    b: I,
+    acc: RankAccuracy,
+) {
+    dst.reserve(a.len() + b.size_hint().0);
+    let mut ia = a.drain(..).peekable();
+    let mut ib = b.peekable();
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(x), Some(y)) => {
+                if acc.icmp(x, y) != Ordering::Greater {
+                    dst.push(ia.next().expect("peeked"));
+                } else {
+                    dst.push(ib.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => {
+                dst.extend(ia);
+                break;
+            }
+            (None, _) => {
+                dst.extend(ib);
+                break;
+            }
         }
     }
 }
@@ -360,6 +654,9 @@ mod tests {
         assert!(c.items().iter().all(|&x| x < 20));
         // Emitted are every-other of the sorted top section {20,21,22,23}.
         assert_eq!(out, vec![20, 22]);
+        // The survivors are one sorted run.
+        assert_eq!(c.run_len(), c.len());
+        assert!(c.run_is_sorted(RankAccuracy::LowRank));
     }
 
     #[test]
@@ -386,6 +683,7 @@ mod tests {
         // order is descending, so even indices are {3, 1}.
         assert_eq!(out, vec![3, 1]);
         assert!(c.items().iter().all(|&x| x >= 4));
+        assert!(c.run_is_sorted(RankAccuracy::HighRank));
     }
 
     #[test]
@@ -576,7 +874,7 @@ mod tests {
     }
 
     #[test]
-    fn absorb_ors_state_and_concatenates() {
+    fn absorb_ors_state_and_combines_items() {
         let mut a = new_c(4, 3);
         let mut b = new_c(4, 3);
         for i in 0..24 {
@@ -588,10 +886,13 @@ mod tests {
         b.compact_scheduled(RankAccuracy::LowRank, false, &mut out);
         b.compact_scheduled(RankAccuracy::LowRank, false, &mut out); // state -> 2
         let (alen, blen) = (a.len(), b.len());
-        a.absorb(b);
+        a.absorb(b, RankAccuracy::LowRank);
         assert_eq!(a.state().raw(), 0b1 | 0b10);
         assert_eq!(a.len(), alen + blen);
         assert_eq!(a.num_compactions(), 3);
+        // Runs were merged: the combined buffer is one sorted run.
+        assert_eq!(a.run_len(), a.len());
+        assert!(a.run_is_sorted(RankAccuracy::LowRank));
     }
 
     #[test]
@@ -623,6 +924,113 @@ mod tests {
             assert_eq!(c.count_lt(&5), 1);
             assert_eq!(c.count_le(&0), 0);
             assert_eq!(c.count_le(&100), 4);
+        }
+    }
+
+    #[test]
+    fn count_with_matches_linear_scan_after_compactions() {
+        for acc in [RankAccuracy::LowRank, RankAccuracy::HighRank] {
+            let mut c = new_c(4, 3);
+            let mut x = 0x2545F4914F6CDD1Du64;
+            for round in 0..40u64 {
+                while !c.is_at_capacity() {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    c.push(x % 1000);
+                }
+                let mut out = Vec::new();
+                c.compact_scheduled(acc, round % 2 == 0, &mut out);
+                // Mixed run + tail: push a few raw items too.
+                c.push(round % 1000);
+                for y in [0u64, 1, 250, 500, 999, 1000] {
+                    assert_eq!(c.count_le_with(&y, acc), c.count_le(&y), "le {y}");
+                    assert_eq!(c.count_lt_with(&y, acc), c.count_lt(&y), "lt {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ensure_sorted_merges_tail_and_is_idempotent() {
+        let mut c = new_c(4, 3);
+        for i in [50u64, 10, 90, 30, 70] {
+            c.push(i);
+        }
+        c.ensure_sorted(RankAccuracy::LowRank);
+        assert_eq!(c.items(), &[10, 30, 50, 70, 90]);
+        assert_eq!(c.run_len(), 5);
+        let sorted_before = c.items_sorted();
+        c.ensure_sorted(RankAccuracy::LowRank);
+        assert_eq!(c.items_sorted(), sorted_before, "idempotent");
+        // New tail merges in without disturbing the low prefix.
+        c.push(40);
+        c.push(20);
+        c.ensure_sorted(RankAccuracy::LowRank);
+        assert_eq!(c.items(), &[10, 20, 30, 40, 50, 70, 90]);
+        assert!(c.items_merge_moved() > 0);
+    }
+
+    #[test]
+    fn merge_sorted_run_keeps_invariant_and_multiset() {
+        let mut c = new_c(4, 3);
+        c.push_slice(&[10u64, 30, 50]);
+        c.ensure_sorted(RankAccuracy::LowRank);
+        // Appending run (all above): fast path.
+        let mut run = vec![60u64, 70];
+        c.merge_sorted_run(&mut run, RankAccuracy::LowRank);
+        assert!(run.is_empty());
+        assert_eq!(c.items(), &[10, 30, 50, 60, 70]);
+        // Interleaving run: gallop-merge.
+        let mut run = vec![20u64, 55, 65];
+        c.merge_sorted_run(&mut run, RankAccuracy::LowRank);
+        assert_eq!(c.items(), &[10, 20, 30, 50, 55, 60, 65, 70]);
+        assert_eq!(c.run_len(), 8);
+        // With a raw tail present the incoming run lands in the tail.
+        c.push(0);
+        let mut run = vec![5u64];
+        c.merge_sorted_run(&mut run, RankAccuracy::LowRank);
+        assert_eq!(c.run_len(), 8);
+        assert_eq!(c.len(), 10);
+        c.ensure_sorted(RankAccuracy::LowRank);
+        assert_eq!(c.items(), &[0, 5, 10, 20, 30, 50, 55, 60, 65, 70]);
+    }
+
+    #[test]
+    fn reference_mode_emits_identical_multisets() {
+        // The same stream through both modes: every compaction emits the
+        // same (sorted) output and leaves the same retained multiset.
+        for acc in [RankAccuracy::LowRank, RankAccuracy::HighRank] {
+            let mut fast = RelativeCompactor::<u64>::new(6, 3);
+            let mut refc =
+                RelativeCompactor::<u64>::new_with_mode(6, 3, CompactionMode::SortOnCompact);
+            let mut x = 0x9E3779B97F4A7C15u64;
+            for round in 0..60u64 {
+                while !fast.is_at_capacity() {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(round);
+                    fast.push(x % 512);
+                    refc.push(x % 512);
+                }
+                let coin = round % 3 == 0;
+                let mut out_fast = Vec::new();
+                let mut out_ref = Vec::new();
+                let of = fast.compact_scheduled(acc, coin, &mut out_fast);
+                let or = refc.compact_scheduled(acc, coin, &mut out_ref);
+                assert_eq!(of, or);
+                assert_eq!(out_fast, out_ref, "emitted runs diverged");
+                let mut a = fast.items().to_vec();
+                let mut b = refc.items().to_vec();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "retained multisets diverged");
+            }
+            assert_eq!(refc.run_len(), 0);
+            assert!(fast.items_merge_moved() > 0);
+            // At a single level fed raw pushes both modes sort roughly the
+            // compacted count per fill; the run mode's saving shows at the
+            // upper levels of a full sketch (asserted in stats tests). Here
+            // the reference must never report merge-maintenance work.
+            assert_eq!(refc.items_merge_moved(), 0);
         }
     }
 
@@ -659,6 +1067,7 @@ mod tests {
             4,
             3,
             snapshot.clone(),
+            c.run_len(),
             c.state(),
             c.num_compactions(),
             c.num_special_compactions(),
@@ -666,5 +1075,25 @@ mod tests {
         assert_eq!(rebuilt.items(), snapshot.as_slice());
         assert_eq!(rebuilt.state(), c.state());
         assert_eq!(rebuilt.num_compactions(), 1);
+        assert_eq!(rebuilt.run_len(), c.run_len());
+        assert!(rebuilt.run_is_sorted(RankAccuracy::LowRank));
+    }
+
+    #[test]
+    fn from_parts_clamps_run_len_and_validates() {
+        let c = RelativeCompactor::from_parts(
+            4,
+            1,
+            vec![3u64, 1, 2],
+            99, // clamped to len
+            CompactionState::new(),
+            0,
+            0,
+        );
+        assert_eq!(c.run_len(), 3);
+        assert!(!c.run_is_sorted(RankAccuracy::LowRank));
+        let c =
+            RelativeCompactor::from_parts(4, 1, vec![3u64, 1, 2], 0, CompactionState::new(), 0, 0);
+        assert!(c.run_is_sorted(RankAccuracy::LowRank), "empty run is valid");
     }
 }

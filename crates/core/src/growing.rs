@@ -93,14 +93,19 @@ impl<T: Ord + Clone> GrowingReqSketch<T> {
     }
 
     /// Combined weighted view over all summaries, for batched queries.
+    ///
+    /// Each summary's view is served from its epoch cache (closed-out
+    /// summaries never mutate, so theirs are built exactly once) and the
+    /// per-summary views are combined by k-way merge — no re-sorting.
     pub fn sorted_view(&self) -> SortedView<T> {
-        let mut raw: Vec<(T, u64)> = Vec::new();
-        for summary in self.closed.iter().chain(std::iter::once(&self.active)) {
-            for (item, w, _) in summary.sorted_view().iter() {
-                raw.push((item.clone(), w));
-            }
-        }
-        SortedView::from_weighted_items(raw)
+        let views: Vec<_> = self
+            .closed
+            .iter()
+            .chain(std::iter::once(&self.active))
+            .map(|summary| summary.cached_view())
+            .collect();
+        let refs: Vec<&SortedView<T>> = views.iter().map(|v| v.as_ref()).collect();
+        SortedView::merge_views(&refs)
     }
 }
 

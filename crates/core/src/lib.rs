@@ -80,7 +80,7 @@ pub mod stats;
 pub mod view;
 
 pub use builder::ReqSketchBuilder;
-pub use compactor::RankAccuracy;
+pub use compactor::{CompactionMode, RankAccuracy};
 pub use concurrent::ConcurrentReqSketch;
 pub use error::ReqError;
 pub use growing::GrowingReqSketch;

@@ -39,9 +39,15 @@ pub(crate) fn merge_into<T: Ord + Clone>(
         return Ok(());
     }
 
-    // Phase 1: make `target` the taller sketch (S' in Algorithm 3).
+    // Phase 1: make `target` the taller sketch (S' in Algorithm 3). The
+    // target's compaction mode governs the merged sketch; re-apply it in
+    // case the swap brought levels configured differently.
     if other.levels.len() > target.levels.len() {
         swap_contents(target, &mut other);
+        let mode = target.mode;
+        for level in &mut target.levels {
+            level.set_mode(mode);
+        }
     }
 
     // Phase 2: parameter reconciliation.
@@ -62,11 +68,14 @@ pub(crate) fn merge_into<T: Ord + Clone>(
         target.max_n
     );
 
-    // Phase 3: absorb levels (state OR + buffer concatenation).
+    // Phase 3: absorb levels (state OR + level-wise run merging: each pair
+    // of sorted runs merges into one, so the invariant — and the avoided
+    // re-sorting — survives the merge).
+    let accuracy = target.accuracy;
     let other_levels = std::mem::take(&mut other.levels);
     for (h, src) in other_levels.into_iter().enumerate() {
         target.ensure_level(h);
-        target.levels[h].absorb(src);
+        target.levels[h].absorb(src, accuracy);
     }
     target.n = combined_n;
     target.merge_min_max(other.min_item.take(), other.max_item.take());
@@ -104,9 +113,14 @@ fn check_compatible<T: Ord + Clone>(a: &ReqSketch<T>, b: &ReqSketch<T>) -> Resul
     Ok(())
 }
 
-/// Replace an empty target's content with `other`'s (keeping the target's RNG).
+/// Replace an empty target's content with `other`'s (keeping the target's
+/// RNG and compaction mode).
 fn adopt<T: Ord + Clone>(target: &mut ReqSketch<T>, other: ReqSketch<T>) {
     target.levels = other.levels;
+    let mode = target.mode;
+    for level in &mut target.levels {
+        level.set_mode(mode);
+    }
     target.n = other.n;
     target.max_n = other.max_n;
     target.k = other.k;

@@ -118,15 +118,20 @@ struct LevelRepr<T> {
     state: u64,
     num_compactions: u64,
     num_special_compactions: u64,
+    /// Sorted-run prefix of `items`. Absent in pre-sorted-run value trees;
+    /// defaults to 0 (all-tail), which re-establishes the invariant on the
+    /// first ordering operation after load.
+    run_len: u64,
     items: Vec<T>,
 }
 
 impl<T: Serialize> Serialize for LevelRepr<T> {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("LevelRepr", 4)?;
+        let mut s = serializer.serialize_struct("LevelRepr", 5)?;
         s.serialize_field("state", &self.state)?;
         s.serialize_field("num_compactions", &self.num_compactions)?;
         s.serialize_field("num_special_compactions", &self.num_special_compactions)?;
+        s.serialize_field("run_len", &self.run_len)?;
         s.serialize_field("items", &self.items)?;
         s.end()
     }
@@ -136,10 +141,16 @@ impl<'de, T: DeserializeOwned> Deserialize<'de> for LevelRepr<T> {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         let mut fields =
             FieldMap::from_value(deserializer.deserialize_value()?).map_err(D::Error::custom)?;
+        let run_len = if fields.contains("run_len") {
+            fields.take("run_len")?
+        } else {
+            0
+        };
         Ok(LevelRepr {
             state: fields.take("state")?,
             num_compactions: fields.take("num_compactions")?,
             num_special_compactions: fields.take("num_special_compactions")?,
+            run_len,
             items: fields.take("items")?,
         })
     }
@@ -154,6 +165,7 @@ impl<T: Ord + Clone + Serialize> Serialize for ReqSketch<T> {
                 state: l.state().raw(),
                 num_compactions: l.num_compactions(),
                 num_special_compactions: l.num_special_compactions(),
+                run_len: l.run_len() as u64,
                 items: l.items().to_vec(),
             })
             .collect();
@@ -203,16 +215,29 @@ impl<'de, T: Ord + Clone + DeserializeOwned> Deserialize<'de> for ReqSketch<T> {
         let levels = levels
             .into_iter()
             .map(|l| {
-                RelativeCompactor::from_parts(
+                let run_len = usize::try_from(l.run_len)
+                    .map_err(|_| D::Error::custom("run_len overflows usize"))?;
+                if run_len > l.items.len() {
+                    return Err(D::Error::custom(format!(
+                        "run_len {run_len} exceeds level len {}",
+                        l.items.len()
+                    )));
+                }
+                let level = RelativeCompactor::from_parts(
                     k,
                     num_sections,
                     l.items,
+                    run_len,
                     CompactionState::from_raw(l.state),
                     l.num_compactions,
                     l.num_special_compactions,
-                )
+                );
+                if !level.run_is_sorted(accuracy) {
+                    return Err(D::Error::custom("declared sorted run is not sorted"));
+                }
+                Ok(level)
             })
-            .collect();
+            .collect::<Result<Vec<_>, D::Error>>()?;
         Ok(ReqSketch::from_parts(
             policy,
             accuracy,
@@ -282,6 +307,64 @@ mod tests {
         assert_eq!(v, serde::Value::F64(2.5));
         let x: OrdF64 = from_value(v).unwrap();
         assert_eq!(x, OrdF64(2.5));
+    }
+
+    #[test]
+    fn value_trees_without_run_len_still_load() {
+        // Pre-sorted-run serializations carried no `run_len`; such value
+        // trees must load as all-tail levels and answer identically.
+        let s = sample();
+        let mut v = to_value(&s).unwrap();
+        fn strip_run_len(v: &mut serde::Value) {
+            match v {
+                serde::Value::Struct { fields, .. } => {
+                    fields.retain(|(k, _)| *k != "run_len");
+                    for (_, f) in fields {
+                        strip_run_len(f);
+                    }
+                }
+                serde::Value::Seq(items) => {
+                    for item in items {
+                        strip_run_len(item);
+                    }
+                }
+                _ => {}
+            }
+        }
+        strip_run_len(&mut v);
+        let t: ReqSketch<u64> = from_value(v).unwrap();
+        assert_eq!(t.len(), s.len());
+        for y in (0..100_003u64).step_by(9_973) {
+            assert_eq!(t.rank(&y), s.rank(&y), "rank mismatch at {y}");
+        }
+    }
+
+    #[test]
+    fn lying_run_len_in_value_tree_is_rejected() {
+        let s = sample();
+        let v = to_value(&s).unwrap();
+        fn sabotage(v: &mut serde::Value) {
+            match v {
+                serde::Value::Struct { fields, .. } => {
+                    for (k, f) in fields {
+                        if *k == "run_len" {
+                            *f = serde::Value::U64(u64::MAX);
+                        } else {
+                            sabotage(f);
+                        }
+                    }
+                }
+                serde::Value::Seq(items) => {
+                    for item in items {
+                        sabotage(item);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut bad = v;
+        sabotage(&mut bad);
+        assert!(from_value::<ReqSketch<u64>>(bad).is_err());
     }
 
     #[test]

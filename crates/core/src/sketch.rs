@@ -19,7 +19,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sketch_traits::{MergeableSketch, QuantileSketch, SpaceUsage};
 
-use crate::compactor::{RankAccuracy, RelativeCompactor};
+use crate::compactor::{CompactionMode, RankAccuracy, RelativeCompactor};
 use crate::error::ReqError;
 use crate::params::{ParamPolicy, Params};
 use crate::view::{SortedView, ViewCache};
@@ -63,6 +63,9 @@ pub struct ReqSketch<T> {
     pub(crate) max_item: Option<T>,
     pub(crate) rng: SmallRng,
     pub(crate) seed: u64,
+    /// How compactors establish order (sorted-run maintenance vs the
+    /// reference sort-on-compact path). Not serialized.
+    pub(crate) mode: CompactionMode,
     /// Dirty epoch: bumped by every mutation, validates [`Self::cached_view`].
     pub(crate) epoch: u64,
     /// Memoized sorted view serving `rank`/`quantile`/`cdf` between mutations.
@@ -91,6 +94,7 @@ impl<T: Ord + Clone> ReqSketch<T> {
             max_item: None,
             rng: SmallRng::seed_from_u64(seed),
             seed,
+            mode: CompactionMode::SortedRuns,
             epoch: 0,
             cache: ViewCache::new(),
         }
@@ -122,6 +126,9 @@ impl<T: Ord + Clone> ReqSketch<T> {
             max_item,
             rng: SmallRng::seed_from_u64(seed),
             seed,
+            // The mode is transient tuning state: deserialized sketches run
+            // the production sorted-run path.
+            mode: CompactionMode::SortedRuns,
             // Deserialized sketches start with a cold cache (the cache is
             // derived state; serialization soundly drops it).
             epoch: 0,
@@ -137,6 +144,34 @@ impl<T: Ord + Clone> ReqSketch<T> {
     /// Which end of the rank axis carries the multiplicative guarantee.
     pub fn rank_accuracy(&self) -> RankAccuracy {
         self.accuracy
+    }
+
+    /// The active [`CompactionMode`] (sorted-run maintenance by default).
+    pub fn compaction_mode(&self) -> CompactionMode {
+        self.mode
+    }
+
+    /// Switch every level (and future levels) to `mode`. Intended for the
+    /// old-vs-new benchmarks and the equivalence proptests; production
+    /// sketches should stay on the default [`CompactionMode::SortedRuns`].
+    pub fn set_compaction_mode(&mut self, mode: CompactionMode) {
+        self.mode = mode;
+        for level in &mut self.levels {
+            level.set_mode(mode);
+        }
+    }
+
+    /// Normalize every level into one sorted run (tails merged in). Queries
+    /// and serialized state are unaffected semantically; this makes the
+    /// per-level item order — and therefore [`Self::to_bytes`] output —
+    /// canonical for a given retained multiset, which is what the
+    /// equivalence proptests compare across compaction modes.
+    pub fn canonicalize(&mut self) {
+        self.mark_dirty();
+        let acc = self.accuracy;
+        for level in &mut self.levels {
+            level.ensure_sorted(acc);
+        }
     }
 
     /// Current section size `k`.
@@ -204,28 +239,30 @@ impl<T: Ord + Clone> ReqSketch<T> {
         self.cached_view().rank_exclusive(y)
     }
 
-    /// `Estimate-Rank(y)` by direct level scan, bypassing the cached view:
-    /// `Σ_h 2^h · |{x ∈ buf_h : x ≤ y}|`. `O(retained)` per call with no
-    /// allocation — the right tool for a single probe of a sketch that is
-    /// mutated between queries (and the ground truth the cached path is
-    /// tested against).
+    /// `Estimate-Rank(y)` by direct level probe, bypassing the cached view:
+    /// `Σ_h 2^h · |{x ∈ buf_h : x ≤ y}|`. Each level's sorted run is
+    /// binary-searched and only its (small) unsorted tail is scanned —
+    /// `O(Σ_h (log|buf_h| + tail_h))` per call with no allocation — the
+    /// right tool for a single probe of a sketch that is mutated between
+    /// queries (and the ground truth the cached path is tested against).
     pub fn rank_direct(&self, y: &T) -> u64 {
         self.levels
             .iter()
             .enumerate()
-            .map(|(h, l)| (l.count_le(y) as u64) << h)
+            .map(|(h, l)| (l.count_le_with(y, self.accuracy) as u64) << h)
             .sum()
     }
 
-    /// Build a fresh sorted weighted snapshot
-    /// (`O(retained·log retained)` once, `O(log retained)` per query).
+    /// Build a fresh sorted weighted snapshot — a loser-tree k-way merge of
+    /// the per-level sorted runs (`O(retained·log levels)` plus sorting only
+    /// the small unsorted tails), then `O(log retained)` per query.
     ///
     /// Prefer [`Self::cached_view`]: it memoizes this build across queries
     /// on an unchanged sketch. `sorted_view` always rebuilds and is kept for
     /// callers that want a view detached from the sketch's cache (and for
     /// verifying the cache against ground truth).
     pub fn sorted_view(&self) -> SortedView<T> {
-        SortedView::from_levels(&self.levels)
+        SortedView::from_levels(&self.levels, self.accuracy)
     }
 
     /// The memoized sorted view backing `rank`/`quantile`/`cdf`/`pmf`.
@@ -235,8 +272,9 @@ impl<T: Ord + Clone> ReqSketch<T> {
     /// growth) bumps the dirty [`Self::epoch`]. Cheap to clone (`Arc`);
     /// hold it across a probe batch to keep queries `O(log retained)`.
     pub fn cached_view(&self) -> Arc<SortedView<T>> {
-        self.cache
-            .get_or_build(self.epoch, || SortedView::from_levels(&self.levels))
+        self.cache.get_or_build(self.epoch, || {
+            SortedView::from_levels(&self.levels, self.accuracy)
+        })
     }
 
     /// Monotone mutation counter; two equal epochs on the same sketch imply
@@ -269,8 +307,11 @@ impl<T: Ord + Clone> ReqSketch<T> {
 
     pub(crate) fn ensure_level(&mut self, h: usize) {
         while self.levels.len() <= h {
-            self.levels
-                .push(RelativeCompactor::new(self.k, self.num_sections));
+            self.levels.push(RelativeCompactor::new_with_mode(
+                self.k,
+                self.num_sections,
+                self.mode,
+            ));
         }
     }
 
@@ -283,17 +324,25 @@ impl<T: Ord + Clone> ReqSketch<T> {
     }
 
     /// Special-compact every level below the top (Algorithm 3,
-    /// `SpecialCompaction`): each is left with at most `B/2` items.
+    /// `SpecialCompaction`): each is left with at most `B/2` items. Emitted
+    /// halves are sorted runs and are *merged* into the level above, so the
+    /// run invariant survives parameter growth.
     pub(crate) fn special_compact_levels(&mut self) {
         if self.levels.len() < 2 {
             return;
         }
         let top = self.levels.len() - 1;
+        let mut out: Vec<T> = Vec::new();
         for h in 0..top {
             let coin = self.rng.gen::<bool>();
             let accuracy = self.accuracy;
-            let (lo, hi) = self.levels.split_at_mut(h + 1);
-            lo[h].compact_special(accuracy, coin, hi[0].buf_mut());
+            out.clear();
+            if self.levels[h]
+                .compact_special(accuracy, coin, &mut out)
+                .is_some()
+            {
+                self.levels[h + 1].merge_sorted_run(&mut out, accuracy);
+            }
         }
     }
 
@@ -315,44 +364,44 @@ impl<T: Ord + Clone> ReqSketch<T> {
         self.merge_compaction_pass();
     }
 
-    /// Insert compaction output into level `h` one item at a time — the
-    /// `Insert(z, h+1)` recursion of Algorithm 2. This guarantees that every
-    /// streaming compaction fires with the buffer at exactly `B` items, so
-    /// the compacted count is exactly `L` (even) and weight is conserved.
+    /// Insert compaction output into level `h` — the `Insert(z, h+1)`
+    /// recursion of Algorithm 2, upgraded to run maintenance. A thin shim
+    /// over [`Self::cascade_pooled`] (one code path keeps the per-item and
+    /// batched ingest state-identical); the pool it allocates here is
+    /// transient, mirroring the pre-pool per-compaction allocation cost.
     pub(crate) fn propagate(&mut self, h: usize, items: Vec<T>) {
-        self.ensure_level(h);
-        for item in items {
-            self.levels[h].push(item);
-            if self.levels[h].is_at_capacity() {
-                let coin = self.rng.gen::<bool>();
-                let accuracy = self.accuracy;
-                let mut out = Vec::new();
-                self.levels[h].compact_scheduled(accuracy, coin, &mut out);
-                self.propagate(h + 1, out);
-            }
-        }
+        debug_assert!(h >= 1, "level 0 receives raw pushes, not runs");
+        let mut pool: Vec<Vec<T>> = Vec::with_capacity(h);
+        pool.resize_with(h, Vec::new);
+        pool[h - 1] = items;
+        self.cascade_pooled(h, &mut pool);
     }
 
-    /// [`Self::propagate`] with pooled scratch buffers: state-identical
-    /// (items are pushed in the same order and compactions fire at the same
-    /// points with the same coins), but emission buffers are reused from
-    /// `pool` across the whole batch instead of freshly allocated per
-    /// compaction. `pool[h]` receives the output of level-`h` compactions;
-    /// on entry `pool[h - 1]` holds the items destined for level `h`, and it
-    /// is returned to the pool (cleared, capacity kept) on exit. Per-item
-    /// ingest performs `Θ(n/k)` transient allocations over a stream; a batch
-    /// performs amortized zero.
+    /// The compaction cascade: on entry `pool[h - 1]` holds a sorted run
+    /// destined for level `h`; it is *merged* into that level's run in
+    /// room-sized chunks (no intermediate chunk buffer — see
+    /// [`RelativeCompactor::merge_sorted_run_prefix`]), so a compaction
+    /// still fires with the buffer at exactly `B` items (the compacted count
+    /// is exactly `L`, even, and weight is conserved) but the receiving
+    /// level never re-sorts. `pool[h]` receives the output of level-`h`
+    /// compactions and is returned to the pool (cleared, capacity kept) on
+    /// exit, so a whole batch performs amortized zero allocations.
     pub(crate) fn cascade_pooled(&mut self, h: usize, pool: &mut Vec<Vec<T>>) {
         while pool.len() <= h {
             pool.push(Vec::new());
         }
         self.ensure_level(h);
         let mut incoming = std::mem::take(&mut pool[h - 1]);
-        for item in incoming.drain(..) {
-            self.levels[h].push(item);
+        while !incoming.is_empty() {
+            let room = self.levels[h]
+                .capacity()
+                .saturating_sub(self.levels[h].len())
+                .max(1);
+            let accuracy = self.accuracy;
+            let take = incoming.len().min(room);
+            self.levels[h].merge_sorted_run_prefix(&mut incoming, take, accuracy);
             if self.levels[h].is_at_capacity() {
                 let coin = self.rng.gen::<bool>();
-                let accuracy = self.accuracy;
                 let mut out = std::mem::take(&mut pool[h]);
                 out.clear();
                 self.levels[h].compact_scheduled(accuracy, coin, &mut out);
@@ -368,14 +417,16 @@ impl<T: Ord + Clone> ReqSketch<T> {
     /// used after merges and parameter growth where buffers can transiently
     /// exceed `B`.
     pub(crate) fn merge_compaction_pass(&mut self) {
+        let mut out: Vec<T> = Vec::new();
         let mut h = 0;
         while h < self.levels.len() {
             if self.levels[h].is_at_capacity() {
                 self.ensure_level(h + 1);
                 let coin = self.rng.gen::<bool>();
                 let accuracy = self.accuracy;
-                let (lo, hi) = self.levels.split_at_mut(h + 1);
-                lo[h].compact_scheduled(accuracy, coin, hi[0].buf_mut());
+                out.clear();
+                self.levels[h].compact_scheduled(accuracy, coin, &mut out);
+                self.levels[h + 1].merge_sorted_run(&mut out, accuracy);
             }
             h += 1;
         }

@@ -27,6 +27,17 @@ pub struct LevelStats {
     pub num_compactions: u64,
     /// Special compactions performed (growth/merge reconciliation).
     pub num_special_compactions: u64,
+    /// Length of the sorted-run prefix of the buffer (`len - run_len` items
+    /// sit in the unsorted tail).
+    pub run_len: usize,
+    /// Items that went through a comparison sort in this buffer
+    /// (process-lifetime; tail sorts, or full compacted ranges in the
+    /// reference `SortOnCompact` mode).
+    pub items_sorted: u64,
+    /// Items placed by sorted-run merges instead of sorting
+    /// (process-lifetime) — the work the merge maintenance does *instead of*
+    /// the `O(L log L)` re-sorts it avoids.
+    pub items_merge_moved: u64,
 }
 
 /// Whole-sketch structural statistics.
@@ -48,13 +59,18 @@ pub struct SketchStats {
     pub view_cache_hits: u64,
     /// Times the sorted view was (re)built for a query.
     pub view_cache_builds: u64,
+    /// Total items comparison-sorted across all levels (process-lifetime).
+    pub items_sorted: u64,
+    /// Total items placed by sorted-run merges across all levels
+    /// (process-lifetime) — see [`LevelStats::items_merge_moved`].
+    pub items_merge_moved: u64,
     /// Per-level details, level 0 first.
     pub levels: Vec<LevelStats>,
 }
 
 impl SketchStats {
     pub(crate) fn collect<T: Ord + Clone>(sketch: &ReqSketch<T>) -> Self {
-        let levels = sketch
+        let levels: Vec<LevelStats> = sketch
             .levels
             .iter()
             .enumerate()
@@ -67,9 +83,14 @@ impl SketchStats {
                 state: l.state().raw(),
                 num_compactions: l.num_compactions(),
                 num_special_compactions: l.num_special_compactions(),
+                run_len: l.run_len(),
+                items_sorted: l.items_sorted(),
+                items_merge_moved: l.items_merge_moved(),
             })
             .collect();
         let (view_cache_hits, view_cache_builds) = sketch.view_cache_stats();
+        let items_sorted = levels.iter().map(|l| l.items_sorted).sum();
+        let items_merge_moved = levels.iter().map(|l| l.items_merge_moved).sum();
         SketchStats {
             n: sketch.n,
             max_n: sketch.max_n(),
@@ -79,6 +100,8 @@ impl SketchStats {
             weight_drift: sketch.weight_drift(),
             view_cache_hits,
             view_cache_builds,
+            items_sorted,
+            items_merge_moved,
             levels,
         }
     }
@@ -98,24 +121,37 @@ impl fmt::Display for SketchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "ReqSketch: n={} N={} retained={} bytes={} weight_drift={} view_cache={}h/{}b",
+            "ReqSketch: n={} N={} retained={} bytes={} weight_drift={} view_cache={}h/{}b \
+             sorted={} merge_moved={}",
             self.n,
             self.max_n,
             self.retained,
             self.size_bytes,
             self.weight_drift,
             self.view_cache_hits,
-            self.view_cache_builds
+            self.view_cache_builds,
+            self.items_sorted,
+            self.items_merge_moved
         )?;
         writeln!(
             f,
-            "{:>5} {:>8} {:>8} {:>6} {:>9} {:>12} {:>10} {:>8}",
-            "level", "len", "cap", "k", "sections", "state", "compacts", "special"
+            "{:>5} {:>8} {:>8} {:>6} {:>9} {:>12} {:>10} {:>8} {:>8} {:>10} {:>12}",
+            "level",
+            "len",
+            "cap",
+            "k",
+            "sections",
+            "state",
+            "compacts",
+            "special",
+            "run",
+            "sorted",
+            "merge_moved"
         )?;
         for l in &self.levels {
             writeln!(
                 f,
-                "{:>5} {:>8} {:>8} {:>6} {:>9} {:>12} {:>10} {:>8}",
+                "{:>5} {:>8} {:>8} {:>6} {:>9} {:>12} {:>10} {:>8} {:>8} {:>10} {:>12}",
                 l.level,
                 l.len,
                 l.capacity,
@@ -123,7 +159,10 @@ impl fmt::Display for SketchStats {
                 l.num_sections,
                 l.state,
                 l.num_compactions,
-                l.num_special_compactions
+                l.num_special_compactions,
+                l.run_len,
+                l.items_sorted,
+                l.items_merge_moved
             )?;
         }
         Ok(())
@@ -193,6 +232,25 @@ mod tests {
         assert_eq!(stats.view_cache_builds, 1);
         assert_eq!(stats.view_cache_hits, 2);
         assert!(stats.to_string().contains("view_cache=2h/1b"));
+    }
+
+    #[test]
+    fn sort_and_merge_counters_expose_avoided_work() {
+        let s = sketch_with_data(200_000);
+        let stats = s.stats();
+        assert!(stats.items_sorted > 0, "level-0 tails are sorted");
+        assert!(stats.items_merge_moved > 0, "runs are merge-maintained");
+        // The tentpole's observable: with sorted-run maintenance only
+        // level 0 (which receives raw, unordered items) ever sorts anything;
+        // every upper level merges the already-sorted compaction output.
+        let upper_sorted: u64 = stats.levels[1..].iter().map(|l| l.items_sorted).sum();
+        assert_eq!(upper_sorted, 0, "upper levels must merge, never sort");
+        // And the per-level run bookkeeping is surfaced.
+        assert!(stats.levels.iter().any(|l| l.run_len > 0));
+        assert!(s
+            .stats()
+            .to_string()
+            .contains(&format!("merge_moved={}", stats.items_merge_moved)));
     }
 
     #[test]

@@ -3,14 +3,21 @@
 //! Rank estimation (Algorithm 2, `Estimate-Rank`) treats the union of all
 //! level buffers as a weighted set in which a level-`h` item has weight
 //! `2^h`. This module materializes that set once, sorted, with cumulative
-//! weights, so that batches of rank/quantile/CDF queries cost one
-//! `O(retained·log(retained))` build plus `O(log(retained))` per query.
+//! weights, so that batches of rank/quantile/CDF queries cost one build plus
+//! `O(log(retained))` per query. Because each compactor keeps its buffer as
+//! a sorted run (+ small tail), the build is a **loser-tree k-way merge** of
+//! the per-level runs — `O(retained·log(levels))` comparisons plus sorting
+//! only the tails — instead of the `O(retained·log(retained))` full sort a
+//! flat item dump would need. Equal adjacent items coalesce into one entry
+//! with summed weight, shrinking the probe binary searches on
+//! duplicate-heavy streams.
 
+use std::cmp::Ordering;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::compactor::RelativeCompactor;
+use crate::compactor::{RankAccuracy, RelativeCompactor};
 
 /// An immutable, sorted, cumulative-weight snapshot of a sketch.
 #[derive(Debug, Clone)]
@@ -23,22 +30,10 @@ pub struct SortedView<T> {
 }
 
 impl<T: Ord + Clone> SortedView<T> {
-    pub(crate) fn from_levels(levels: &[RelativeCompactor<T>]) -> Self {
-        let retained: usize = levels.iter().map(|l| l.len()).sum();
-        let mut raw: Vec<(T, u64)> = Vec::with_capacity(retained);
-        for (h, level) in levels.iter().enumerate() {
-            let w = 1u64 << h;
-            raw.extend(level.items().iter().map(|item| (item.clone(), w)));
-        }
-        raw.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-
-        let mut entries: Vec<(T, u64)> = Vec::with_capacity(raw.len());
-        for (item, w) in raw {
-            match entries.last_mut() {
-                Some((last, lw)) if *last == item => *lw += w,
-                _ => entries.push((item, w)),
-            }
-        }
+    /// Shared constructor: entries must be ascending with duplicates already
+    /// coalesced; computes the cumulative weights.
+    fn from_sorted_entries(entries: Vec<(T, u64)>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
         let mut cum = Vec::with_capacity(entries.len());
         let mut running = 0u64;
         for (_, w) in &entries {
@@ -52,9 +47,44 @@ impl<T: Ord + Clone> SortedView<T> {
         }
     }
 
-    /// Build directly from `(item, weight)` pairs — used by the §5 growing
-    /// sketch to combine several summaries into one query view, and by
-    /// baseline sketches that need the same weighted-coreset query logic.
+    /// Build from compactor levels by loser-tree k-way merge of the
+    /// per-level sorted runs (each weighted `2^h`); only the small unsorted
+    /// tails are sorted. `acc` tells which direction the runs are ordered
+    /// internally (descending externally under `HighRank`).
+    pub fn from_levels(levels: &[RelativeCompactor<T>], acc: RankAccuracy) -> Self {
+        // Tails are unsorted; snapshot and sort each (they are small — raw
+        // appends since the owning level's last ordering operation).
+        let tails: Vec<(usize, Vec<T>)> = levels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.run_len() < l.len())
+            .map(|(h, l)| {
+                let mut t = l.items()[l.run_len()..].to_vec();
+                t.sort_unstable();
+                (h, t)
+            })
+            .collect();
+        let mut cursors: Vec<Cursor<'_, T>> = Vec::with_capacity(levels.len() + tails.len());
+        for (h, level) in levels.iter().enumerate() {
+            let run = &level.items()[..level.run_len()];
+            if !run.is_empty() {
+                // Runs are sorted by the internal comparator: ascending
+                // external order means reading HighRank runs back to front.
+                cursors.push(match acc {
+                    RankAccuracy::LowRank => Cursor::forward(run, 1u64 << h),
+                    RankAccuracy::HighRank => Cursor::reverse(run, 1u64 << h),
+                });
+            }
+        }
+        for (h, tail) in &tails {
+            cursors.push(Cursor::forward(tail, 1u64 << *h));
+        }
+        Self::from_sorted_entries(kway_merge_coalesce(cursors))
+    }
+
+    /// Build directly from `(item, weight)` pairs — used by baseline
+    /// sketches that need the same weighted-coreset query logic over
+    /// unsorted dumps.
     pub fn from_weighted_items(mut raw: Vec<(T, u64)>) -> Self {
         raw.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         let mut entries: Vec<(T, u64)> = Vec::with_capacity(raw.len());
@@ -64,17 +94,19 @@ impl<T: Ord + Clone> SortedView<T> {
                 _ => entries.push((item, w)),
             }
         }
-        let mut cum = Vec::with_capacity(entries.len());
-        let mut running = 0u64;
-        for (_, w) in &entries {
-            running += w;
-            cum.push(running);
-        }
-        SortedView {
-            entries,
-            cum,
-            total: running,
-        }
+        Self::from_sorted_entries(entries)
+    }
+
+    /// Combine several already-built views into one by loser-tree k-way
+    /// merge — no re-sorting. Used by the §5 growing sketch to answer
+    /// queries across its closed-out summaries.
+    pub fn merge_views(views: &[&SortedView<T>]) -> Self {
+        let cursors: Vec<Cursor<'_, T>> = views
+            .iter()
+            .filter(|v| !v.is_empty())
+            .map(|v| Cursor::weighted(&v.entries))
+            .collect();
+        Self::from_sorted_entries(kway_merge_coalesce(cursors))
     }
 
     /// Total weight (≈ `n`; exactly `n` unless odd-sized merge compactions
@@ -169,6 +201,136 @@ impl<T: Ord + Clone> SortedView<T> {
             .zip(self.cum.iter())
             .map(|((item, w), c)| (item, *w, *c))
     }
+}
+
+/// One sorted input stream of a k-way merge: a run slice read forward or
+/// backward at a fixed weight, or already-weighted view entries.
+enum Cursor<'a, T> {
+    /// Slice ascending in external order; fixed per-item weight.
+    Forward {
+        items: &'a [T],
+        pos: usize,
+        weight: u64,
+    },
+    /// Slice descending in external order (a `HighRank` run), read from the
+    /// back; fixed per-item weight.
+    Reverse {
+        items: &'a [T],
+        left: usize,
+        weight: u64,
+    },
+    /// Ascending `(item, weight)` entries of an existing view.
+    Weighted { entries: &'a [(T, u64)], pos: usize },
+}
+
+impl<'a, T> Cursor<'a, T> {
+    fn forward(items: &'a [T], weight: u64) -> Self {
+        Cursor::Forward {
+            items,
+            pos: 0,
+            weight,
+        }
+    }
+
+    fn reverse(items: &'a [T], weight: u64) -> Self {
+        Cursor::Reverse {
+            items,
+            left: items.len(),
+            weight,
+        }
+    }
+
+    fn weighted(entries: &'a [(T, u64)]) -> Self {
+        Cursor::Weighted { entries, pos: 0 }
+    }
+
+    /// Current smallest unconsumed item and its weight, if any.
+    fn head(&self) -> Option<(&'a T, u64)> {
+        match self {
+            Cursor::Forward { items, pos, weight } => items.get(*pos).map(|x| (x, *weight)),
+            Cursor::Reverse {
+                items,
+                left,
+                weight,
+            } => left.checked_sub(1).map(|i| (&items[i], *weight)),
+            Cursor::Weighted { entries, pos } => entries.get(*pos).map(|(x, w)| (x, *w)),
+        }
+    }
+
+    fn advance(&mut self) {
+        match self {
+            Cursor::Forward { pos, .. } | Cursor::Weighted { pos, .. } => *pos += 1,
+            Cursor::Reverse { left, .. } => *left -= 1,
+        }
+    }
+}
+
+/// Loser-tree k-way merge of ascending cursors, coalescing equal adjacent
+/// items into one entry with summed weight. `O(total·log(k))` comparisons;
+/// ties are broken by cursor index so the output is deterministic.
+fn kway_merge_coalesce<T: Ord + Clone>(mut cursors: Vec<Cursor<'_, T>>) -> Vec<(T, u64)> {
+    cursors.retain(|c| c.head().is_some());
+    let m = cursors.len();
+    let mut entries: Vec<(T, u64)> = Vec::new();
+    let emit = |entries: &mut Vec<(T, u64)>, item: &T, w: u64| match entries.last_mut() {
+        Some((last, lw)) if last == item => *lw += w,
+        _ => entries.push((item.clone(), w)),
+    };
+    if m == 0 {
+        return entries;
+    }
+    if m == 1 {
+        while let Some((item, w)) = cursors[0].head() {
+            emit(&mut entries, item, w);
+            cursors[0].advance();
+        }
+        return entries;
+    }
+    // `beats(a, b)`: cursor `a` wins the match against `b`. An exhausted
+    // cursor compares as +∞; equal heads go to the lower index.
+    let beats = |cursors: &[Cursor<'_, T>], a: usize, b: usize| -> bool {
+        match (cursors[a].head(), cursors[b].head()) {
+            (Some((x, _)), Some((y, _))) => match x.cmp(y) {
+                Ordering::Less => true,
+                Ordering::Greater => false,
+                Ordering::Equal => a < b,
+            },
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => a < b,
+        }
+    };
+    // Nodes 1..m are internal (holding the loser of their subtree); leaf `i`
+    // sits at node `m + i`. Build bottom-up, then replay one root-to-leaf
+    // path per emitted item.
+    let mut tree = vec![0usize; m];
+    let mut winner_at = vec![0usize; 2 * m];
+    for i in 0..m {
+        winner_at[m + i] = i;
+    }
+    for t in (1..m).rev() {
+        let (l, r) = (winner_at[2 * t], winner_at[2 * t + 1]);
+        let (w, lose) = if beats(&cursors, l, r) {
+            (l, r)
+        } else {
+            (r, l)
+        };
+        winner_at[t] = w;
+        tree[t] = lose;
+    }
+    let mut winner = winner_at[1];
+    while let Some((item, w)) = cursors[winner].head() {
+        emit(&mut entries, item, w);
+        cursors[winner].advance();
+        let mut t = (m + winner) / 2;
+        while t > 0 {
+            if beats(&cursors, tree[t], winner) {
+                std::mem::swap(&mut tree[t], &mut winner);
+            }
+            t /= 2;
+        }
+    }
+    entries
 }
 
 /// A memoized [`SortedView`] keyed by the owning sketch's *dirty epoch*.

@@ -156,21 +156,31 @@ proptest! {
         prop_assert_eq!(merged.raw() & b, b);
     }
 
-    /// Absorb = state OR + buffer concatenation, for arbitrary pairs.
+    /// Absorb = state OR + multiset union (runs merged level-wise), for
+    /// arbitrary pairs, in both orientations.
     #[test]
     fn absorb_properties(
         items_a in vec(any::<u64>(), 0..200),
         items_b in vec(any::<u64>(), 0..200),
         state_a in 0u64..1024,
         state_b in 0u64..1024,
+        hra in any::<bool>(),
+        presort in any::<bool>(),
     ) {
+        let acc = if hra { RankAccuracy::HighRank } else { RankAccuracy::LowRank };
         let mut a = RelativeCompactor::<u64>::from_parts(
-            8, 3, items_a.clone(), CompactionState::from_raw(state_a), 0, 0);
-        let b = RelativeCompactor::<u64>::from_parts(
-            8, 3, items_b.clone(), CompactionState::from_raw(state_b), 0, 0);
-        a.absorb(b);
+            8, 3, items_a.clone(), 0, CompactionState::from_raw(state_a), 0, 0);
+        let mut b = RelativeCompactor::<u64>::from_parts(
+            8, 3, items_b.clone(), 0, CompactionState::from_raw(state_b), 0, 0);
+        if presort {
+            // Exercise the run-merging path too, not just tail concatenation.
+            a.ensure_sorted(acc);
+            b.ensure_sorted(acc);
+        }
+        a.absorb(b, acc);
         prop_assert_eq!(a.len(), items_a.len() + items_b.len());
         prop_assert_eq!(a.state().raw(), state_a | state_b);
+        prop_assert!(a.run_is_sorted(acc), "absorb broke the run invariant");
         let mut expected = items_a;
         expected.extend(items_b);
         let mut got = a.items().to_vec();

@@ -180,6 +180,16 @@ pub fn run(cfg: &Config) -> Vec<Table> {
         t.row(row);
     }
     t.note("tail-rel-err = |est − true| / (n − true + 1): the right yardstick for p99+ monitoring");
+    if let Some(Any::ReqHra(s)) = sketches.first() {
+        let stats = s.stats();
+        t.note(format!(
+            "REQ ingest internals: compactions={} items_sorted={} items_merge_moved={} \
+             (sorted-run maintenance: only level-0 tails are ever sorted; everything else merges)",
+            stats.total_compactions(),
+            stats.items_sorted,
+            stats.items_merge_moved
+        ));
+    }
     vec![t]
 }
 

@@ -7,7 +7,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use baselines::{GkSketch, KllSketch};
-use req_core::{QuantileSketch, ReqSketch, SortedView, SpaceUsage};
+use req_core::{CompactionMode, QuantileSketch, ReqSketch, SortedView, SpaceUsage};
 
 fn build_req(items: &[u64], k: u32, hra: bool, seed: u64) -> ReqSketch<u64> {
     let mut s = ReqSketch::<u64>::builder()
@@ -25,6 +25,31 @@ fn build_req(items: &[u64], k: u32, hra: bool, seed: u64) -> ReqSketch<u64> {
 /// Small even section sizes to stress compaction logic hard.
 fn k_strategy() -> impl Strategy<Value = u32> {
     prop_oneof![Just(4u32), Just(6), Just(8), Just(12), Just(16)]
+}
+
+/// Section sizes for the mode-equivalence suite (ISSUE 3: k ∈ {4, 12, 32}).
+fn equivalence_k_strategy() -> impl Strategy<Value = u32> {
+    prop_oneof![Just(4u32), Just(12), Just(32)]
+}
+
+/// Reshape a raw stream into the adversarial orders the sorted-run path
+/// special-cases: 0 = as generated (random), 1 = ascending, 2 = descending,
+/// 3 = duplicate-heavy (17 distinct values).
+fn shape_stream(mut items: Vec<u64>, order: u8) -> Vec<u64> {
+    match order {
+        1 => items.sort_unstable(),
+        2 => {
+            items.sort_unstable();
+            items.reverse();
+        }
+        3 => {
+            for x in &mut items {
+                *x %= 17;
+            }
+        }
+        _ => {}
+    }
+    items
 }
 
 proptest! {
@@ -286,6 +311,139 @@ proptest! {
         prop_assert_eq!(batched.len(), per_item.len());
         prop_assert_eq!(batched.total_weight(), per_item.total_weight());
         prop_assert_eq!(batched.to_bytes(), per_item.to_bytes());
+    }
+
+    #[test]
+    fn sorted_runs_match_sort_on_compact_reference(
+        raw in vec(any::<u64>(), 0..3000),
+        order in 0u8..4,
+        k in equivalence_k_strategy(),
+        hra in any::<bool>(),
+        chunk in 1usize..600,
+        seed in any::<u64>(),
+    ) {
+        // The tentpole's safety net: the same stream (random / sorted /
+        // reversed / duplicate-heavy), ingested with the same seed through
+        // the sorted-run compactor and the retained sort-on-compact
+        // reference, must land in byte-identical sketch state — same n,
+        // params, schedule states, per-level multisets AND the same RNG
+        // position (compactions fired at the same points with the same
+        // coins). `canonicalize` merges the tails so the per-level item
+        // order is comparable.
+        let items = shape_stream(raw, order);
+        let build = |mode: CompactionMode| {
+            ReqSketch::<u64>::builder()
+                .k(k)
+                .high_rank_accuracy(hra)
+                .seed(seed)
+                .compaction_mode(mode)
+                .build()
+                .unwrap()
+        };
+        let mut fast = build(CompactionMode::SortedRuns);
+        let mut reference = build(CompactionMode::SortOnCompact);
+        for piece in items.chunks(chunk) {
+            fast.update_batch(piece);
+            reference.update_batch(piece);
+        }
+        fast.canonicalize();
+        reference.canonicalize();
+        prop_assert_eq!(fast.to_bytes(), reference.to_bytes());
+    }
+
+    #[test]
+    fn sorted_runs_match_reference_through_merge_and_serde(
+        raw_a in vec(any::<u64>(), 0..1500),
+        raw_b in vec(any::<u64>(), 0..1500),
+        order in 0u8..4,
+        k in equivalence_k_strategy(),
+        hra in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        // Same equivalence across the merge path and binary + serde
+        // round-trips taken mid-stream. Round-trips reseed the RNG from the
+        // same draw on both sides, so the executions stay in lockstep; the
+        // reference sketch's mode is transient (not serialized) and is
+        // re-applied after each round-trip.
+        let items_a = shape_stream(raw_a, order);
+        let items_b = shape_stream(raw_b, order);
+        let build = |mode: CompactionMode, s: u64| {
+            ReqSketch::<u64>::builder()
+                .k(k)
+                .high_rank_accuracy(hra)
+                .seed(s)
+                .compaction_mode(mode)
+                .build()
+                .unwrap()
+        };
+        let mut fast = build(CompactionMode::SortedRuns, seed);
+        let mut reference = build(CompactionMode::SortOnCompact, seed);
+        fast.update_batch(&items_a);
+        reference.update_batch(&items_a);
+
+        // Binary round-trip mid-stream (re-establishes the run invariant
+        // from bytes on the fast side; all-tail state on the reference).
+        fast = ReqSketch::<u64>::from_bytes(&fast.to_bytes()).unwrap();
+        reference = ReqSketch::<u64>::from_bytes(&reference.to_bytes()).unwrap();
+        reference.set_compaction_mode(CompactionMode::SortOnCompact);
+
+        // Merge in a second pair built from the other stream.
+        let mut other_fast = build(CompactionMode::SortedRuns, seed.wrapping_add(1));
+        let mut other_ref = build(CompactionMode::SortOnCompact, seed.wrapping_add(1));
+        other_fast.update_batch(&items_b);
+        other_ref.update_batch(&items_b);
+        fast.try_merge(other_fast).unwrap();
+        reference.try_merge(other_ref).unwrap();
+
+        // Serde round-trip after the merge.
+        fast = serde::value::from_value(serde::value::to_value(&fast).unwrap()).unwrap();
+        reference = serde::value::from_value(serde::value::to_value(&reference).unwrap()).unwrap();
+        reference.set_compaction_mode(CompactionMode::SortOnCompact);
+
+        // Keep streaming a little so post-round-trip compactions run too.
+        fast.update_batch(&items_a);
+        reference.update_batch(&items_a);
+
+        fast.canonicalize();
+        reference.canonicalize();
+        prop_assert_eq!(fast.to_bytes(), reference.to_bytes());
+    }
+
+    #[test]
+    fn merge_views_matches_flat_build(
+        groups in vec(vec((0u64..500, 1u64..8), 0..200), 0..5),
+        probes in vec(0u64..600, 0..20),
+    ) {
+        // Combining per-summary views by k-way merge must equal one flat
+        // build over the concatenated weighted items.
+        let views: Vec<SortedView<u64>> = groups
+            .iter()
+            .map(|g| SortedView::from_weighted_items(g.clone()))
+            .collect();
+        let refs: Vec<&SortedView<u64>> = views.iter().collect();
+        let merged = SortedView::merge_views(&refs);
+        let flat = SortedView::from_weighted_items(groups.concat());
+        prop_assert_eq!(merged.total_weight(), flat.total_weight());
+        prop_assert_eq!(merged.num_entries(), flat.num_entries());
+        for p in probes {
+            prop_assert_eq!(merged.rank(&p), flat.rank(&p));
+            prop_assert_eq!(merged.rank_exclusive(&p), flat.rank_exclusive(&p));
+        }
+    }
+
+    #[test]
+    fn view_coalesces_duplicates_below_retained(
+        raw in vec(0u64..32, 100..2000),
+        k in k_strategy(),
+        seed in any::<u64>(),
+    ) {
+        // Duplicate-heavy streams: the view's entry count is bounded by the
+        // number of distinct values, not the retained count, keeping probe
+        // binary searches short.
+        let s = build_req(&raw, k, false, seed);
+        let view = s.sorted_view();
+        prop_assert!(view.num_entries() <= 32);
+        prop_assert_eq!(view.total_weight(), raw.len() as u64);
     }
 
     #[test]

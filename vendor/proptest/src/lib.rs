@@ -1,8 +1,8 @@
 //! Offline stand-in for `proptest` (1.x API subset).
 //!
 //! Real randomized property testing: the [`proptest!`] macro runs each test
-//! body [`ProptestConfig::cases`] times with inputs drawn from the given
-//! [`Strategy`] expressions, seeded deterministically per test name so CI
+//! body [`ProptestConfig::cases`](test_runner::ProptestConfig) times with inputs drawn from the given
+//! [`Strategy`](strategy::Strategy) expressions, seeded deterministically per test name so CI
 //! failures reproduce locally. The deliberate simplification versus real
 //! proptest is **no shrinking**: a failing case panics with the iteration
 //! number and the generating seed instead of a minimized counterexample.

@@ -265,6 +265,12 @@ impl FieldMap {
         }
     }
 
+    /// True when the named field is present (and not yet taken) — lets
+    /// deserializers accept older value trees that predate a field.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fields.iter().any(|(k, _)| *k == name)
+    }
+
     /// Remove and deserialize the named field.
     pub fn take<T, E>(&mut self, name: &str) -> Result<T, E>
     where
