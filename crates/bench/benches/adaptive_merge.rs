@@ -1,0 +1,111 @@
+//! Standard vs adaptive compaction schedules (PR 4's tentpole A/B).
+//!
+//! Three cuts at the schedule seam:
+//!
+//! * `adaptive_merge/fanin` — balanced merge of `s` shards under each
+//!   [`CompactionSchedule`]. The standard schedule pays special compactions
+//!   on every estimate-raising merge; the adaptive schedule widens buffers
+//!   in place instead.
+//! * `adaptive_merge/pairwise` — one big pairwise merge.
+//! * `adaptive_ingest` — single-stream ingest, where the schedules differ
+//!   only in geometry bookkeeping (estimate squaring + special compactions
+//!   vs per-level weight adaptation); the A/B shows the adaptive schedule's
+//!   smaller upper-level buffers are not paid for with ingest throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use req_bench::bench_items;
+use req_core::{merge_balanced, CompactionSchedule, QuantileSketch, RankAccuracy, ReqSketch};
+
+fn sketch(schedule: CompactionSchedule, seed: u64) -> ReqSketch<u64> {
+    ReqSketch::<u64>::builder()
+        .k(32)
+        .rank_accuracy(RankAccuracy::LowRank)
+        .schedule(schedule)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+const SCHEDULES: [(&str, CompactionSchedule); 2] = [
+    ("standard", CompactionSchedule::Standard),
+    ("adaptive", CompactionSchedule::Adaptive),
+];
+
+fn shards(count: usize, per: usize, schedule: CompactionSchedule) -> Vec<ReqSketch<u64>> {
+    (0..count)
+        .map(|i| {
+            let mut s = sketch(schedule, 100 + i as u64);
+            s.update_batch(&bench_items(per, 7 + i as u64));
+            s
+        })
+        .collect()
+}
+
+fn bench_merges(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_merge");
+    for (name, schedule) in SCHEDULES {
+        for count in [16usize, 64] {
+            let built = shards(count, 20_000, schedule);
+            group.bench_with_input(
+                BenchmarkId::new("fanin_20k_each", format!("{name}_{count}")),
+                &built,
+                |b, built| {
+                    b.iter(|| {
+                        let copies = built.clone();
+                        black_box(merge_balanced(copies).unwrap().unwrap().len())
+                    })
+                },
+            );
+        }
+        let left = {
+            let mut s = sketch(schedule, 1);
+            s.update_batch(&bench_items(500_000, 3));
+            s
+        };
+        let right = {
+            let mut s = sketch(schedule, 2);
+            s.update_batch(&bench_items(500_000, 4));
+            s
+        };
+        group.bench_with_input(
+            BenchmarkId::new("pairwise_500k", name),
+            &(left, right),
+            |b, (left, right)| {
+                b.iter(|| {
+                    let mut a = left.clone();
+                    a.try_merge(right.clone()).unwrap();
+                    black_box(a.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_ingest");
+    let items = bench_items(1_000_000, 11);
+    group.throughput(Throughput::Elements(items.len() as u64));
+    for (name, schedule) in SCHEDULES {
+        group.bench_with_input(
+            BenchmarkId::new("batch_1m", name),
+            &schedule,
+            |b, &schedule| {
+                b.iter(|| {
+                    let mut s = sketch(schedule, 5);
+                    s.update_batch(black_box(&items));
+                    black_box(s.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_merges, bench_ingest
+}
+criterion_main!(benches);

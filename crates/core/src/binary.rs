@@ -3,12 +3,14 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! magic "REQ1" | version u8 | flags u8 (bit0 = high-rank accuracy)
+//! magic "REQ1" | version u8
+//! flags u8 (bit0 = high-rank accuracy, bit1 = adaptive schedule (v3+))
 //! policy tag u8 + policy payload
 //! n u64 | max_n u64 | k u32 | num_sections u32 | reseed u64
 //! min item (tag u8 + payload) | max item (tag u8 + payload)
 //! num_levels u32
 //! per level: state u64 | compactions u64 | special u64
+//!            | num_sections u32 (v3+) | absorbed u64 (v3+)
 //!            | run_len u32 (v2+) | len u32 | items
 //! ```
 //!
@@ -20,6 +22,14 @@
 //! first ordering operation re-establishes the invariant. Untrusted v2
 //! input is validated — a declared run that is not actually sorted is
 //! rejected as corrupt rather than silently mis-answering rank queries.
+//!
+//! Version 3 added the adaptive-compactor state (arXiv:2511.17396): flags
+//! bit 1 records the [`crate::CompactionSchedule`], and each level carries
+//! its *own* section count (adaptive levels diverge from the header's
+//! floor) plus its lifetime absorbed item count, which is what the adaptive
+//! schedule re-plans geometry from. v1/v2 bytes load as standard-schedule
+//! sketches with every level on the header geometry and zero absorbed
+//! weight (such sketches never consult it).
 //!
 //! The RNG's in-flight state is not serialized; a fresh seed (`reseed`,
 //! drawn from the sketch's RNG at serialization time) is stored instead.
@@ -38,12 +48,12 @@ use crate::compactor::{RankAccuracy, RelativeCompactor};
 use crate::error::ReqError;
 use crate::ordf64::OrdF64;
 use crate::params::ParamPolicy;
-use crate::schedule::CompactionState;
+use crate::schedule::{CompactionSchedule, CompactionState};
 use crate::sketch::ReqSketch;
 
 const MAGIC: &[u8; 4] = b"REQ1";
-/// Current write version. See the module docs for the v1 → v2 delta.
-const VERSION: u8 = 2;
+/// Current write version. See the module docs for the version deltas.
+const VERSION: u8 = 3;
 /// Oldest version `from_bytes` still reads.
 const MIN_VERSION: u8 = 1;
 
@@ -224,10 +234,13 @@ impl<T: Ord + Clone + Packable> ReqSketch<T> {
         let mut out = BytesMut::with_capacity(64 + 16 * retained);
         out.put_slice(MAGIC);
         out.put_u8(VERSION);
-        let flags = match self.rank_accuracy() {
+        let mut flags = match self.rank_accuracy() {
             RankAccuracy::HighRank => 1u8,
             RankAccuracy::LowRank => 0u8,
         };
+        if self.schedule == CompactionSchedule::Adaptive {
+            flags |= 2;
+        }
         out.put_u8(flags);
         pack_policy(&self.policy, &mut out);
         out.put_u64_le(self.n);
@@ -243,6 +256,8 @@ impl<T: Ord + Clone + Packable> ReqSketch<T> {
             out.put_u64_le(level.state().raw());
             out.put_u64_le(level.num_compactions());
             out.put_u64_le(level.num_special_compactions());
+            out.put_u32_le(level.num_sections());
+            out.put_u64_le(level.absorbed());
             out.put_u32_le(level.run_len() as u32);
             out.put_u32_le(level.len() as u32);
             for item in level.items() {
@@ -273,6 +288,12 @@ impl<T: Ord + Clone + Packable> ReqSketch<T> {
         } else {
             RankAccuracy::LowRank
         };
+        // Pre-v3 writers had no schedule concept: everything was standard.
+        let schedule = if version >= 3 && flags & 2 == 2 {
+            CompactionSchedule::Adaptive
+        } else {
+            CompactionSchedule::Standard
+        };
         let policy = unpack_policy(&mut input)?;
         let n = u64::unpack(&mut input)?;
         let max_n = u64::unpack(&mut input)?;
@@ -297,6 +318,19 @@ impl<T: Ord + Clone + Packable> ReqSketch<T> {
             let state = u64::unpack(&mut input)?;
             let compactions = u64::unpack(&mut input)?;
             let special = u64::unpack(&mut input)?;
+            // Pre-v3 levels all share the header geometry and carry no
+            // absorbed-weight history.
+            let (level_sections, absorbed) = if version >= 3 {
+                let s = u32::unpack(&mut input)?;
+                if s == 0 {
+                    return Err(ReqError::CorruptBytes(
+                        "level declares zero sections".into(),
+                    ));
+                }
+                (s, u64::unpack(&mut input)?)
+            } else {
+                (num_sections, 0)
+            };
             // v1 bytes carry no run information: load as all-tail and let
             // the first ordering operation rebuild the invariant.
             let run_len = if version >= 2 {
@@ -325,12 +359,13 @@ impl<T: Ord + Clone + Packable> ReqSketch<T> {
             }
             let level = RelativeCompactor::from_parts(
                 k,
-                num_sections,
+                level_sections,
                 buf,
                 run_len,
                 CompactionState::from_raw(state),
                 compactions,
                 special,
+                absorbed,
             );
             if !level.run_is_sorted(accuracy) {
                 return Err(ReqError::CorruptBytes(
@@ -356,6 +391,7 @@ impl<T: Ord + Clone + Packable> ReqSketch<T> {
             min_item,
             max_item,
             reseed,
+            schedule,
         ))
     }
 }
@@ -509,22 +545,51 @@ mod tests {
         assert!(ReqSketch::<u64>::from_bytes(&bad).is_err());
     }
 
-    /// Rewrite v2 bytes of a `FixedK` u64 sketch into the v1 layout (no
-    /// per-level `run_len`), exactly what a pre-sorted-run writer produced.
-    fn downgrade_to_v1(v2: &[u8]) -> Vec<u8> {
-        let mut out = v2.to_vec();
-        out[4] = 1; // version byte
+    /// Walk the fixed-size header of `FixedK` u64 sketch bytes, returning
+    /// the offset of the `num_levels` field (magic, version, flags, policy,
+    /// n, max_n, k, num_sections, reseed, min/max options — the layout is
+    /// identical across v1–v3).
+    fn num_levels_offset(bytes: &[u8]) -> usize {
         let mut off = 4 + 1 + 1; // magic, version, flags
         off += 1 + 4; // FixedK policy tag + k payload
         off += 8 + 8 + 4 + 4 + 8; // n, max_n, k, num_sections, reseed
         for _ in 0..2 {
             // min/max options with u64 payloads
-            let tag = out[off];
+            let tag = bytes[off];
             off += 1;
             if tag == 1 {
                 off += 8;
             }
         }
+        off
+    }
+
+    /// Rewrite v3 bytes of a `FixedK` u64 sketch into the v2 layout (no
+    /// per-level `num_sections`/`absorbed`, no schedule flag) — exactly what
+    /// a pre-adaptive writer produced.
+    fn downgrade_to_v2(v3: &[u8]) -> Vec<u8> {
+        let mut out = v3.to_vec();
+        out[4] = 2; // version byte
+        out[5] &= !2; // clear the (v3-only) schedule flag
+        let mut off = num_levels_offset(&out);
+        let num_levels = u32::from_le_bytes(out[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        for _ in 0..num_levels {
+            off += 8 * 3; // state, compactions, special
+            out.drain(off..off + 12); // drop num_sections + absorbed
+            off += 4; // run_len
+            let len = u32::from_le_bytes(out[off..off + 4].try_into().unwrap()) as usize;
+            off += 4 + len * 8;
+        }
+        out
+    }
+
+    /// Rewrite v2 bytes into the v1 layout (no per-level `run_len`), exactly
+    /// what a pre-sorted-run writer produced.
+    fn downgrade_to_v1(v2: &[u8]) -> Vec<u8> {
+        let mut out = v2.to_vec();
+        out[4] = 1; // version byte
+        let mut off = num_levels_offset(&out);
         let num_levels = u32::from_le_bytes(out[off..off + 4].try_into().unwrap()) as usize;
         off += 4;
         for _ in 0..num_levels {
@@ -537,13 +602,36 @@ mod tests {
     }
 
     #[test]
+    fn version2_bytes_load_on_header_geometry() {
+        let mut s = sample_sketch();
+        let expectations: Vec<(u64, u64)> = (0..1_000_003u64)
+            .step_by(40_009)
+            .map(|y| (y, s.rank(&y)))
+            .collect();
+        let v2 = downgrade_to_v2(&s.to_bytes());
+        let t = ReqSketch::<u64>::from_bytes(&v2).unwrap();
+        assert_eq!(t.len(), s.len());
+        assert_eq!(t.compaction_schedule(), crate::CompactionSchedule::Standard);
+        // No absorbed history in v2; levels all on the header geometry.
+        let stats = t.stats();
+        assert!(stats.levels.iter().all(|l| l.absorbed == 0));
+        assert!(stats
+            .levels
+            .iter()
+            .all(|l| l.num_sections == t.num_sections()));
+        for (y, want) in &expectations {
+            assert_eq!(t.rank(y), *want, "rank mismatch at {y}");
+        }
+    }
+
+    #[test]
     fn version1_bytes_load_as_all_tail_and_reestablish_invariant() {
         let mut s = sample_sketch();
         let expectations: Vec<(u64, u64)> = (0..1_000_003u64)
             .step_by(40_009)
             .map(|y| (y, s.rank(&y)))
             .collect();
-        let v1 = downgrade_to_v1(&s.to_bytes());
+        let v1 = downgrade_to_v1(&downgrade_to_v2(&s.to_bytes()));
         let mut t = ReqSketch::<u64>::from_bytes(&v1).unwrap();
         assert_eq!(t.len(), s.len());
         // No run information in v1: every level arrives as all-tail.
@@ -564,17 +652,10 @@ mod tests {
         let mut s = sample_sketch();
         let good = s.to_bytes().to_vec();
         // Locate the first level's run_len field with the same offset walk
-        // as the downgrade helper.
-        let mut off = 4 + 1 + 1 + 1 + 4 + 8 + 8 + 4 + 4 + 8;
-        for _ in 0..2 {
-            let tag = good[off];
-            off += 1;
-            if tag == 1 {
-                off += 8;
-            }
-        }
+        // as the downgrade helpers.
+        let mut off = num_levels_offset(&good);
         off += 4; // num_levels
-        off += 8 * 3; // first level's counters
+        off += 8 * 3 + 4 + 8; // first level's counters, num_sections, absorbed
         let mut bad = good.clone();
         bad[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         let err = ReqSketch::<u64>::from_bytes(&bad).unwrap_err();
@@ -614,6 +695,61 @@ mod tests {
         let t = ReqSketch::<u64>::from_bytes(&a.to_bytes()).unwrap();
         assert_eq!(t.len(), a.len());
         assert_eq!(t.total_weight(), a.total_weight());
+    }
+
+    #[test]
+    fn adaptive_sketch_roundtrips_with_geometry_and_absorbed() {
+        let mut a = ReqSketch::<u64>::builder()
+            .k(8)
+            .schedule(crate::CompactionSchedule::Adaptive)
+            .high_rank_accuracy(false)
+            .seed(11)
+            .build()
+            .unwrap();
+        let mut b = ReqSketch::<u64>::builder()
+            .k(8)
+            .schedule(crate::CompactionSchedule::Adaptive)
+            .high_rank_accuracy(false)
+            .seed(12)
+            .build()
+            .unwrap();
+        for i in 0..60_000u64 {
+            a.update(i.wrapping_mul(2654435761) % 100_003);
+            b.update(i.wrapping_mul(48271) % 100_003);
+        }
+        a.try_merge(b).unwrap();
+        let before = a.stats();
+        let t = ReqSketch::<u64>::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(t.compaction_schedule(), crate::CompactionSchedule::Adaptive);
+        let after = t.stats();
+        for (x, y) in before.levels.iter().zip(&after.levels) {
+            assert_eq!(x.num_sections, y.num_sections, "level {}", x.level);
+            assert_eq!(x.absorbed, y.absorbed, "level {}", x.level);
+            assert_eq!(x.run_len, y.run_len, "level {}", x.level);
+        }
+        // Adaptive levels really did diverge from the header floor.
+        assert!(after
+            .levels
+            .iter()
+            .any(|l| l.num_sections != t.num_sections()));
+        for y in (0..100_003u64).step_by(9_973) {
+            assert_eq!(t.rank(&y), a.rank(&y), "rank mismatch at {y}");
+        }
+    }
+
+    #[test]
+    fn zero_section_level_is_rejected() {
+        let mut s = sample_sketch();
+        let good = s.to_bytes().to_vec();
+        let mut off = num_levels_offset(&good);
+        off += 4; // num_levels
+        off += 8 * 3; // first level's counters
+        let mut bad = good.clone();
+        bad[off..off + 4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            ReqSketch::<u64>::from_bytes(&bad),
+            Err(ReqError::CorruptBytes(_))
+        ));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::compactor::{CompactionMode, RankAccuracy};
 use crate::error::ReqError;
 use crate::ordf64::OrdF64;
 use crate::params::ParamPolicy;
+use crate::schedule::CompactionSchedule;
 use crate::sketch::ReqSketch;
 
 /// Builder for [`ReqSketch`].
@@ -28,6 +29,16 @@ use crate::sketch::ReqSketch;
 ///     .build::<u64>()
 ///     .unwrap();
 /// assert!(t.k() >= 4);
+///
+/// // Adaptive compactors for seamless merge trees (arXiv:2511.17396):
+/// use req_core::CompactionSchedule;
+/// let a = ReqSketchBuilder::new()
+///     .k(24)
+///     .schedule(CompactionSchedule::Adaptive)
+///     .seed(9)
+///     .build::<u64>()
+///     .unwrap();
+/// assert_eq!(a.compaction_schedule(), CompactionSchedule::Adaptive);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReqSketchBuilder {
@@ -35,6 +46,7 @@ pub struct ReqSketchBuilder {
     accuracy: RankAccuracy,
     seed: Option<u64>,
     mode: CompactionMode,
+    schedule: CompactionSchedule,
 }
 
 impl Default for ReqSketchBuilder {
@@ -51,6 +63,7 @@ impl ReqSketchBuilder {
             accuracy: RankAccuracy::HighRank,
             seed: None,
             mode: CompactionMode::SortedRuns,
+            schedule: CompactionSchedule::Standard,
         }
     }
 
@@ -109,11 +122,25 @@ impl ReqSketchBuilder {
         self
     }
 
+    /// Select how per-level geometry evolves. The default
+    /// [`CompactionSchedule::Standard`] follows the paper's estimate-driven
+    /// schedule (square `N`, special-compact); with
+    /// [`CompactionSchedule::Adaptive`] each level re-plans its own section
+    /// count from its absorbed weight on fill and on merge, making merge
+    /// trees of any shape land on the same space–accuracy point as a single
+    /// stream (arXiv:2511.17396). Fixed for the sketch's lifetime: sketches
+    /// on different schedules do not merge.
+    pub fn schedule(mut self, schedule: CompactionSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
     /// Build a sketch over any totally ordered, clonable item type.
     pub fn build<T: Ord + Clone>(self) -> Result<ReqSketch<T>, ReqError> {
         let policy = self.policy?;
         let seed = self.seed.unwrap_or_else(|| rand::thread_rng().next_u64());
-        let mut sketch = ReqSketch::with_policy(policy, self.accuracy, seed);
+        let mut sketch =
+            ReqSketch::with_policy_scheduled(policy, self.accuracy, seed, self.schedule);
         sketch.set_compaction_mode(self.mode);
         Ok(sketch)
     }

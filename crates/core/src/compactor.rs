@@ -28,6 +28,17 @@
 //! modes compact the exact same item multisets with the same coin flips, a
 //! property the equivalence proptests assert byte-for-byte.
 //!
+//! # Absorbed weight
+//!
+//! Each compactor also counts the items it has ever **absorbed** (raw
+//! pushes, merged-in runs, and — additively — everything absorbed by buffers
+//! merged into it). Under the adaptive schedule
+//! ([`crate::CompactionSchedule::Adaptive`], arXiv:2511.17396) this weight
+//! drives [`RelativeCompactor::maybe_adapt`], which re-plans the buffer's
+//! own section count on fill and on merge; under the standard schedule it is
+//! a passive statistic. Either way it is additive under
+//! [`RelativeCompactor::absorb`] and persisted by binary format v3.
+//!
 //! Orientation: with [`RankAccuracy::LowRank`] the protected end holds the
 //! *smallest* items (the paper's presentation); with
 //! [`RankAccuracy::HighRank`] it holds the *largest* (the reversed-comparator
@@ -38,7 +49,7 @@
 
 use std::cmp::Ordering;
 
-use crate::schedule::CompactionState;
+use crate::schedule::{adaptive_num_sections, CompactionState};
 
 /// Which end of the rank axis gets the multiplicative guarantee.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -108,6 +119,14 @@ pub struct RelativeCompactor<T> {
     num_compactions: u64,
     /// Special compactions performed (parameter growth / merge reconciliation).
     num_special_compactions: u64,
+    /// Items ever absorbed by this buffer (raw pushes, merged-in runs, and —
+    /// transitively — everything absorbed by buffers merged into it).
+    /// Additive under merges; drives [`RelativeCompactor::maybe_adapt`] under
+    /// the adaptive schedule. Serialized (format v3+).
+    absorbed: u64,
+    /// Times [`RelativeCompactor::maybe_adapt`] grew the section count.
+    /// Stats only, not serialized.
+    num_adaptations: u64,
     /// Items that went through a comparison sort (tail sorts, or whole
     /// compacted ranges in the reference mode). Stats only, not serialized.
     items_sorted: u64,
@@ -140,6 +159,8 @@ impl<T> RelativeCompactor<T> {
             num_sections,
             num_compactions: 0,
             num_special_compactions: 0,
+            absorbed: 0,
+            num_adaptations: 0,
             items_sorted: 0,
             items_merge_moved: 0,
             scratch_a: Vec::new(),
@@ -204,6 +225,39 @@ impl<T> RelativeCompactor<T> {
         self.num_special_compactions
     }
 
+    /// Items ever absorbed by this buffer (and, transitively, by buffers
+    /// merged into it). Additive under [`RelativeCompactor::absorb`]; the
+    /// adaptive schedule derives this buffer's section count from it.
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed
+    }
+
+    /// Times [`RelativeCompactor::maybe_adapt`] grew the section count
+    /// (process-lifetime stat; additive under merges, not serialized).
+    pub fn num_adaptations(&self) -> u64 {
+        self.num_adaptations
+    }
+
+    /// Re-plan the section count from the absorbed weight (the adaptive
+    /// schedule of arXiv:2511.17396): grow `num_sections` to
+    /// [`adaptive_num_sections`]`(absorbed, k, floor)` if that exceeds the
+    /// current count. Called on fill (instead of compacting, when the weight
+    /// has earned more sections) and after merges. Returns `true` when the
+    /// section count — and therefore the capacity — grew.
+    pub fn maybe_adapt(&mut self, floor: u32) -> bool {
+        let target = adaptive_num_sections(self.absorbed, self.section_size, floor);
+        if target <= self.num_sections {
+            return false;
+        }
+        self.num_sections = target;
+        self.num_adaptations += 1;
+        let cap = self.capacity();
+        if self.buf.capacity() < cap {
+            self.buf.reserve(cap.saturating_sub(self.buf.len()));
+        }
+        true
+    }
+
     /// Items that have passed through a comparison sort in this buffer
     /// (process-lifetime stat; additive under merges, not serialized).
     pub fn items_sorted(&self) -> u64 {
@@ -231,6 +285,7 @@ impl<T> RelativeCompactor<T> {
     /// Append one item to the unsorted tail (caller checks `is_at_capacity`
     /// afterwards).
     pub fn push(&mut self, item: T) {
+        self.absorbed += 1;
         self.buf.push(item);
     }
 
@@ -241,13 +296,15 @@ impl<T> RelativeCompactor<T> {
     where
         T: Clone,
     {
+        self.absorbed += items.len() as u64;
         self.buf.extend_from_slice(items);
     }
 
     /// Direct access to the backing buffer. Items appended through this land
     /// in the **unsorted tail** and are picked up by the next ordering
     /// operation; callers must not reorder or mutate `buf[..run_len()]`
-    /// (doing so voids the sorted-run invariant).
+    /// (doing so voids the sorted-run invariant). Bypasses the absorbed-weight
+    /// bookkeeping, so adaptive-schedule sketches must not ingest through it.
     pub fn buf_mut(&mut self) -> &mut Vec<T> {
         &mut self.buf
     }
@@ -290,6 +347,7 @@ impl<T> RelativeCompactor<T> {
         state: CompactionState,
         num_compactions: u64,
         num_special_compactions: u64,
+        absorbed: u64,
     ) -> Self {
         RelativeCompactor {
             run_len: run_len.min(buf.len()),
@@ -300,6 +358,8 @@ impl<T> RelativeCompactor<T> {
             num_sections,
             num_compactions,
             num_special_compactions,
+            absorbed,
+            num_adaptations: 0,
             items_sorted: 0,
             items_merge_moved: 0,
             scratch_a: Vec::new(),
@@ -413,6 +473,7 @@ impl<T: Ord> RelativeCompactor<T> {
         if count == 0 {
             return;
         }
+        self.absorbed += count as u64;
         debug_assert!(count <= incoming.len());
         debug_assert!(incoming[..count]
             .windows(2)
@@ -456,16 +517,23 @@ impl<T: Ord> RelativeCompactor<T> {
         self.num_special_compactions += other.num_special_compactions;
         self.items_sorted += other.items_sorted;
         self.items_merge_moved += other.items_merge_moved;
+        self.num_adaptations += other.num_adaptations;
+        // Absorbed weights are *additive* (the seamless-merge invariant):
+        // the combined history is exactly the two histories, not the items
+        // changing buffers now — set directly, overriding the per-run
+        // counting the merge below would do.
+        let combined_absorbed = self.absorbed + other.absorbed;
         let mut other_buf = other.buf;
         if self.mode == CompactionMode::SortOnCompact || other.run_len == 0 {
             self.buf.append(&mut other_buf);
-            return;
+        } else {
+            // Merge run with run, then carry both tails as our tail.
+            let mut other_tail = other_buf.split_off(other.run_len);
+            self.ensure_sorted(acc);
+            self.merge_sorted_run(&mut other_buf, acc);
+            self.buf.append(&mut other_tail);
         }
-        // Merge run with run, then carry both tails as our tail.
-        let mut other_tail = other_buf.split_off(other.run_len);
-        self.ensure_sorted(acc);
-        self.merge_sorted_run(&mut other_buf, acc);
-        self.buf.append(&mut other_tail);
+        self.absorbed = combined_absorbed;
     }
 
     /// Keep the compacted count even by protecting one extra item when the
@@ -1071,11 +1139,13 @@ mod tests {
             c.state(),
             c.num_compactions(),
             c.num_special_compactions(),
+            c.absorbed(),
         );
         assert_eq!(rebuilt.items(), snapshot.as_slice());
         assert_eq!(rebuilt.state(), c.state());
         assert_eq!(rebuilt.num_compactions(), 1);
         assert_eq!(rebuilt.run_len(), c.run_len());
+        assert_eq!(rebuilt.absorbed(), 24);
         assert!(rebuilt.run_is_sorted(RankAccuracy::LowRank));
     }
 
@@ -1089,11 +1159,86 @@ mod tests {
             CompactionState::new(),
             0,
             0,
+            0,
         );
         assert_eq!(c.run_len(), 3);
         assert!(!c.run_is_sorted(RankAccuracy::LowRank));
-        let c =
-            RelativeCompactor::from_parts(4, 1, vec![3u64, 1, 2], 0, CompactionState::new(), 0, 0);
+        let c = RelativeCompactor::from_parts(
+            4,
+            1,
+            vec![3u64, 1, 2],
+            0,
+            CompactionState::new(),
+            0,
+            0,
+            0,
+        );
         assert!(c.run_is_sorted(RankAccuracy::LowRank), "empty run is valid");
+    }
+
+    #[test]
+    fn absorbed_counts_every_ingest_path() {
+        let mut c = new_c(4, 3);
+        c.push(5);
+        c.push_slice(&[1, 2, 3]);
+        assert_eq!(c.absorbed(), 4);
+        c.ensure_sorted(RankAccuracy::LowRank);
+        assert_eq!(c.absorbed(), 4, "internal ordering must not count");
+        let mut run = vec![10u64, 20];
+        c.merge_sorted_run(&mut run, RankAccuracy::LowRank);
+        assert_eq!(c.absorbed(), 6);
+        // Compaction removes items but never rewinds absorbed history.
+        let mut c2 = new_c(4, 3);
+        for i in 0..24 {
+            c2.push(i);
+        }
+        let mut out = Vec::new();
+        c2.compact_scheduled(RankAccuracy::LowRank, false, &mut out);
+        assert_eq!(c2.absorbed(), 24);
+    }
+
+    #[test]
+    fn absorb_adds_absorbed_weights_in_both_modes() {
+        for mode in [CompactionMode::SortedRuns, CompactionMode::SortOnCompact] {
+            let mut a = RelativeCompactor::<u64>::new_with_mode(4, 3, mode);
+            let mut b = RelativeCompactor::<u64>::new_with_mode(4, 3, mode);
+            for i in 0..24 {
+                a.push(i);
+                b.push(100 + i);
+            }
+            let mut out = Vec::new();
+            a.compact_scheduled(RankAccuracy::LowRank, false, &mut out);
+            b.compact_scheduled(RankAccuracy::LowRank, true, &mut out);
+            a.absorb(b, RankAccuracy::LowRank);
+            assert_eq!(a.absorbed(), 48, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn maybe_adapt_grows_sections_monotonically() {
+        let mut c = new_c(4, 1); // B = 8
+        assert!(!c.maybe_adapt(1), "no weight, no adaptation");
+        for i in 0..8 {
+            c.push(i);
+        }
+        // W = 8 = 2k: s(W) = ceil(log2(2)) + 1 = 2 > 1.
+        assert!(c.maybe_adapt(1));
+        assert_eq!(c.num_sections(), 2);
+        assert_eq!(c.capacity(), 16);
+        assert_eq!(c.num_adaptations(), 1);
+        assert!(!c.maybe_adapt(1), "idempotent until weight grows");
+        // The floor binds from below but never shrinks an adapted buffer.
+        assert!(!c.maybe_adapt(2));
+        assert_eq!(c.num_sections(), 2);
+        // A big merge jumps several steps at once.
+        let mut big = new_c(4, 1);
+        for i in 0..1000u64 {
+            big.push(i);
+        }
+        c.absorb(big, RankAccuracy::LowRank);
+        assert!(c.maybe_adapt(1));
+        // W = 1008, W/k = 252 -> ceil(log2) = 8 -> s = 9.
+        assert_eq!(c.num_sections(), 9);
+        assert_eq!(c.num_adaptations(), 2);
     }
 }

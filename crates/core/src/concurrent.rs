@@ -6,6 +6,16 @@
 //! tree — "processing the stream in a fully parallel and distributed manner"
 //! (§1, *Mergeability*). Per-shard `parking_lot::Mutex`es keep the hot update
 //! path to one uncontended lock in the common case.
+//!
+//! All shards are derived from one builder configuration (policy,
+//! orientation, [`crate::CompactionMode`], and
+//! [`crate::CompactionSchedule`]) with distinct seeds, so snapshot merges
+//! are always compatible. A sharded writer is also where the *adaptive*
+//! schedule earns its keep: every `snapshot()` is a merge, and with
+//! weight-adaptive compactors the merged snapshot sits at the same
+//! space–accuracy point as a single sketch of the union stream — no
+//! estimate-reconciliation special compactions per snapshot (see
+//! [`crate::schedule`] and experiment E15).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -67,18 +77,24 @@ impl<T: Ord + Clone> ConcurrentReqSketch<T> {
             ));
         }
         // Resolve the base configuration once so every shard shares the
-        // policy (merge compatibility) while seeds differ.
+        // policy, schedule, and mode (merge compatibility) while seeds
+        // differ.
         let base: ReqSketch<T> = builder.clone().build()?;
         let policy = base.policy();
         let accuracy = base.rank_accuracy();
+        let schedule = base.compaction_schedule();
+        let mode = base.compaction_mode();
         let base_seed = base.seed();
         let shards = (0..num_shards)
             .map(|i| {
-                Mutex::new(ReqSketch::with_policy(
+                let mut shard = ReqSketch::with_policy_scheduled(
                     policy,
                     accuracy,
                     base_seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(i as u64 + 1)),
-                ))
+                    schedule,
+                );
+                shard.set_compaction_mode(mode);
+                Mutex::new(shard)
             })
             .collect();
         Ok(ConcurrentReqSketch {

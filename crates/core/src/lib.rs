@@ -46,7 +46,9 @@
 //!
 //! * [`sketch`] — Algorithm 2 (the full sketch) and its query surface;
 //! * [`compactor`] — Algorithm 1 (the relative-compactor building block);
-//! * [`schedule`] — the derandomized-exponential compaction schedule;
+//! * [`schedule`] — the derandomized-exponential compaction schedule, plus
+//!   the standard/adaptive section-planning schedules (adaptive compactors
+//!   for seamless mergeability, arXiv:2511.17396);
 //! * [`params`] — every parameterization the paper proves a theorem for;
 //! * [`merge`] — Algorithm 3 (full mergeability) + merge-tree helpers;
 //! * [`growing`] — the literal §5 unknown-`n` construction;
@@ -87,6 +89,7 @@ pub use growing::GrowingReqSketch;
 pub use merge::{merge_balanced, merge_linear, merge_random_tree};
 pub use ordf64::OrdF64;
 pub use params::{ParamPolicy, Params};
+pub use schedule::CompactionSchedule;
 pub use sketch::{ReqF64, ReqSketch};
 pub use stats::{LevelStats, SketchStats};
 pub use view::SortedView;

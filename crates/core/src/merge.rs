@@ -17,10 +17,27 @@
 //! Theorem 36: a sketch assembled from `n` items by an *arbitrary* sequence
 //! of such merges answers any fixed rank query with relative error `ε` with
 //! probability `1 − δ`, in `O(ε⁻¹·log^1.5(εn)·√log(1/δ))` space.
+//!
+//! # Seamless merging under the adaptive schedule
+//!
+//! Phase 2 is where the standard schedule makes merged sketches
+//! *over-compact* relative to a single streamed sketch: every merge that
+//! raises the length estimate special-compacts both inputs down to `B/2`
+//! per level, so deep or lopsided merge trees pay the halving many times.
+//! Under [`CompactionSchedule::Adaptive`](crate::schedule::CompactionSchedule)
+//! phase 2 performs **no special compactions**: each level's geometry is a
+//! function of its absorbed weight, absorbed weights add in phase 3
+//! (`W = W' + W''`), and each level re-plans its section count from the
+//! combined weight before the phase-4 pass — which therefore widens buffers
+//! instead of compacting wherever the combined weight has earned the room.
+//! The merged sketch lands on the same per-level geometry as one that
+//! streamed the concatenated input, whatever the merge-tree shape
+//! (experiment E15 measures exactly this A/B).
 
 use rand::Rng;
 
 use crate::error::ReqError;
+use crate::schedule::CompactionSchedule;
 use crate::sketch::ReqSketch;
 
 /// Implementation of [`ReqSketch::try_merge`].
@@ -50,7 +67,9 @@ pub(crate) fn merge_into<T: Ord + Clone>(
         }
     }
 
-    // Phase 2: parameter reconciliation.
+    // Phase 2: parameter reconciliation. Adaptive sketches skip the special
+    // compactions entirely (grow_to_cover widens in place and the absorbing
+    // levels re-plan below); the standard schedule reconciles per §D.1.
     let combined_n = target
         .n
         .checked_add(other.n)
@@ -58,7 +77,7 @@ pub(crate) fn merge_into<T: Ord + Clone>(
     if target.max_n < combined_n {
         target.grow_to_cover(combined_n);
     }
-    if other.max_n < target.max_n {
+    if target.schedule == CompactionSchedule::Standard && other.max_n < target.max_n {
         other.special_compact_levels();
     }
     debug_assert!(
@@ -70,12 +89,20 @@ pub(crate) fn merge_into<T: Ord + Clone>(
 
     // Phase 3: absorb levels (state OR + level-wise run merging: each pair
     // of sorted runs merges into one, so the invariant — and the avoided
-    // re-sorting — survives the merge).
+    // re-sorting — survives the merge). Under the adaptive schedule every
+    // absorbing level immediately re-plans its section count from the
+    // combined absorbed weight, so the phase-4 pass sees the post-merge
+    // geometry and only compacts levels the combined weight has not earned.
     let accuracy = target.accuracy;
+    let adaptive = target.schedule == CompactionSchedule::Adaptive;
+    let floor = target.num_sections;
     let other_levels = std::mem::take(&mut other.levels);
     for (h, src) in other_levels.into_iter().enumerate() {
         target.ensure_level(h);
         target.levels[h].absorb(src, accuracy);
+        if adaptive {
+            target.levels[h].maybe_adapt(floor);
+        }
     }
     target.n = combined_n;
     target.merge_min_max(other.min_item.take(), other.max_item.take());
@@ -108,6 +135,12 @@ fn check_compatible<T: Ord + Clone>(a: &ReqSketch<T>, b: &ReqSketch<T>) -> Resul
         return Err(ReqError::IncompatibleMerge(format!(
             "rank-accuracy orientations differ: {:?} vs {:?}",
             a.accuracy, b.accuracy
+        )));
+    }
+    if a.schedule != b.schedule {
+        return Err(ReqError::IncompatibleMerge(format!(
+            "compaction schedules differ: {:?} vs {:?}",
+            a.schedule, b.schedule
         )));
     }
     Ok(())

@@ -7,7 +7,19 @@
 //!
 //! Use [`crate::ReqSketch`]`::<OrdF64>` (alias [`crate::ReqF64`]) for
 //! floating-point streams; convenience methods accepting/returning plain
-//! `f64` are provided on that alias.
+//! `f64` are provided on that alias:
+//!
+//! ```
+//! use req_core::ReqF64;
+//! use sketch_traits::QuantileSketch;
+//!
+//! let mut s = ReqF64::builder().k(16).seed(7).build_f64().unwrap();
+//! for i in 0..10_000 {
+//!     s.update_f64(i as f64 / 100.0);
+//! }
+//! let median = s.quantile_f64(0.5).unwrap();
+//! assert!((median - 50.0).abs() < 5.0);
+//! ```
 
 use std::cmp::Ordering;
 use std::fmt;

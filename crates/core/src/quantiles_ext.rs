@@ -46,6 +46,24 @@ impl<T: Ord + Clone> ReqSketch<T> {
     ///
     /// Bounds are clamped to `[0, n]`. With a theory policy they hold with
     /// probability `1 − δ`; with `FixedK` they are calibrated expectations.
+    ///
+    /// ```
+    /// use req_core::ReqSketch;
+    /// use sketch_traits::QuantileSketch;
+    ///
+    /// let mut s = ReqSketch::<u64>::builder()
+    ///     .k(32)
+    ///     .high_rank_accuracy(false)
+    ///     .seed(3)
+    ///     .build()
+    ///     .unwrap();
+    /// for i in 0..50_000u64 {
+    ///     s.update(i);
+    /// }
+    /// let (lo, hi) = s.rank_bounds(&10_000);
+    /// assert!(lo <= 10_001 && 10_001 <= hi, "true rank inside [{lo}, {hi}]");
+    /// assert!(hi - lo < 2_000, "interval stays proportional to the rank");
+    /// ```
     pub fn rank_bounds(&self, y: &T) -> (u64, u64) {
         let n = self.len();
         let est = self.rank(y);

@@ -20,7 +20,7 @@ use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use crate::compactor::{RankAccuracy, RelativeCompactor};
 use crate::ordf64::OrdF64;
 use crate::params::ParamPolicy;
-use crate::schedule::CompactionState;
+use crate::schedule::{CompactionSchedule, CompactionState};
 use crate::sketch::ReqSketch;
 
 impl Serialize for OrdF64 {
@@ -122,16 +122,25 @@ struct LevelRepr<T> {
     /// defaults to 0 (all-tail), which re-establishes the invariant on the
     /// first ordering operation after load.
     run_len: u64,
+    /// This level's own section count. Absent in pre-adaptive value trees;
+    /// defaults to 0, meaning "use the sketch-level geometry".
+    num_sections: u32,
+    /// Lifetime absorbed item count (adaptive-schedule state). Absent in
+    /// pre-adaptive value trees; defaults to 0 (standard sketches never
+    /// consult it).
+    absorbed: u64,
     items: Vec<T>,
 }
 
 impl<T: Serialize> Serialize for LevelRepr<T> {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("LevelRepr", 5)?;
+        let mut s = serializer.serialize_struct("LevelRepr", 7)?;
         s.serialize_field("state", &self.state)?;
         s.serialize_field("num_compactions", &self.num_compactions)?;
         s.serialize_field("num_special_compactions", &self.num_special_compactions)?;
         s.serialize_field("run_len", &self.run_len)?;
+        s.serialize_field("num_sections", &self.num_sections)?;
+        s.serialize_field("absorbed", &self.absorbed)?;
         s.serialize_field("items", &self.items)?;
         s.end()
     }
@@ -146,11 +155,23 @@ impl<'de, T: DeserializeOwned> Deserialize<'de> for LevelRepr<T> {
         } else {
             0
         };
+        let num_sections = if fields.contains("num_sections") {
+            fields.take("num_sections")?
+        } else {
+            0
+        };
+        let absorbed = if fields.contains("absorbed") {
+            fields.take("absorbed")?
+        } else {
+            0
+        };
         Ok(LevelRepr {
             state: fields.take("state")?,
             num_compactions: fields.take("num_compactions")?,
             num_special_compactions: fields.take("num_special_compactions")?,
             run_len,
+            num_sections,
+            absorbed,
             items: fields.take("items")?,
         })
     }
@@ -166,14 +187,20 @@ impl<T: Ord + Clone + Serialize> Serialize for ReqSketch<T> {
                 num_compactions: l.num_compactions(),
                 num_special_compactions: l.num_special_compactions(),
                 run_len: l.run_len() as u64,
+                num_sections: l.num_sections(),
+                absorbed: l.absorbed(),
                 items: l.items().to_vec(),
             })
             .collect();
-        let mut s = serializer.serialize_struct("ReqSketch", 10)?;
+        let mut s = serializer.serialize_struct("ReqSketch", 11)?;
         s.serialize_field("policy", &self.policy())?;
         s.serialize_field(
             "high_rank_accuracy",
             &(self.rank_accuracy() == RankAccuracy::HighRank),
+        )?;
+        s.serialize_field(
+            "adaptive_schedule",
+            &(self.compaction_schedule() == CompactionSchedule::Adaptive),
         )?;
         s.serialize_field("n", &self.n)?;
         s.serialize_field("max_n", &self.max_n())?;
@@ -193,6 +220,12 @@ impl<'de, T: Ord + Clone + DeserializeOwned> Deserialize<'de> for ReqSketch<T> {
             FieldMap::from_value(deserializer.deserialize_value()?).map_err(D::Error::custom)?;
         let policy: ParamPolicy = fields.take("policy")?;
         let high_rank_accuracy: bool = fields.take("high_rank_accuracy")?;
+        // Pre-adaptive value trees carry no schedule field: standard.
+        let adaptive_schedule: bool = if fields.contains("adaptive_schedule") {
+            fields.take("adaptive_schedule")?
+        } else {
+            false
+        };
         let n: u64 = fields.take("n")?;
         let max_n: u64 = fields.take("max_n")?;
         let k: u32 = fields.take("k")?;
@@ -223,14 +256,21 @@ impl<'de, T: Ord + Clone + DeserializeOwned> Deserialize<'de> for ReqSketch<T> {
                         l.items.len()
                     )));
                 }
+                // 0 = "no per-level geometry recorded": header geometry.
+                let level_sections = if l.num_sections == 0 {
+                    num_sections
+                } else {
+                    l.num_sections
+                };
                 let level = RelativeCompactor::from_parts(
                     k,
-                    num_sections,
+                    level_sections,
                     l.items,
                     run_len,
                     CompactionState::from_raw(l.state),
                     l.num_compactions,
                     l.num_special_compactions,
+                    l.absorbed,
                 );
                 if !level.run_is_sorted(accuracy) {
                     return Err(D::Error::custom("declared sorted run is not sorted"));
@@ -249,6 +289,11 @@ impl<'de, T: Ord + Clone + DeserializeOwned> Deserialize<'de> for ReqSketch<T> {
             min_item,
             max_item,
             seed,
+            if adaptive_schedule {
+                CompactionSchedule::Adaptive
+            } else {
+                CompactionSchedule::Standard
+            },
         ))
     }
 }
@@ -311,29 +356,64 @@ mod tests {
 
     #[test]
     fn value_trees_without_run_len_still_load() {
-        // Pre-sorted-run serializations carried no `run_len`; such value
-        // trees must load as all-tail levels and answer identically.
+        // Pre-sorted-run serializations carried no `run_len`, and
+        // pre-adaptive ones no `adaptive_schedule`/`num_sections`/`absorbed`;
+        // such value trees must load as all-tail, standard-schedule,
+        // header-geometry levels and answer identically.
         let s = sample();
         let mut v = to_value(&s).unwrap();
-        fn strip_run_len(v: &mut serde::Value) {
+        fn strip_new_fields(v: &mut serde::Value) {
             match v {
-                serde::Value::Struct { fields, .. } => {
-                    fields.retain(|(k, _)| *k != "run_len");
+                serde::Value::Struct { name, fields } => {
+                    if *name == "LevelRepr" {
+                        // Per-level additions (PR 3 + PR 4). The sketch-level
+                        // `num_sections` is original and must survive.
+                        fields.retain(|(k, _)| {
+                            !matches!(*k, "run_len" | "num_sections" | "absorbed")
+                        });
+                    } else {
+                        fields.retain(|(k, _)| *k != "adaptive_schedule");
+                    }
                     for (_, f) in fields {
-                        strip_run_len(f);
+                        strip_new_fields(f);
                     }
                 }
                 serde::Value::Seq(items) => {
                     for item in items {
-                        strip_run_len(item);
+                        strip_new_fields(item);
                     }
                 }
                 _ => {}
             }
         }
-        strip_run_len(&mut v);
+        strip_new_fields(&mut v);
         let t: ReqSketch<u64> = from_value(v).unwrap();
         assert_eq!(t.len(), s.len());
+        assert_eq!(t.compaction_schedule(), CompactionSchedule::Standard);
+        for y in (0..100_003u64).step_by(9_973) {
+            assert_eq!(t.rank(&y), s.rank(&y), "rank mismatch at {y}");
+        }
+    }
+
+    #[test]
+    fn adaptive_sketch_roundtrips_through_value_tree() {
+        let mut s = ReqSketch::<u64>::builder()
+            .k(8)
+            .schedule(CompactionSchedule::Adaptive)
+            .high_rank_accuracy(false)
+            .seed(5)
+            .build()
+            .unwrap();
+        for i in 0..40_000u64 {
+            s.update(i.wrapping_mul(2654435761) % 100_003);
+        }
+        let t: ReqSketch<u64> = from_value(to_value(&s).unwrap()).unwrap();
+        assert_eq!(t.compaction_schedule(), CompactionSchedule::Adaptive);
+        let (a, b) = (s.stats(), t.stats());
+        for (x, y) in a.levels.iter().zip(&b.levels) {
+            assert_eq!(x.num_sections, y.num_sections, "level {}", x.level);
+            assert_eq!(x.absorbed, y.absorbed, "level {}", x.level);
+        }
         for y in (0..100_003u64).step_by(9_973) {
             assert_eq!(t.rank(&y), s.rank(&y), "rank mismatch at {y}");
         }

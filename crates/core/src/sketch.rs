@@ -12,6 +12,17 @@
 //! parameter policy. Single-item updates are the "trivial merge" of Appendix
 //! D, so one code path backs both streaming and merging, and Theorem 36's
 //! guarantee applies to any interleaving of the two.
+//!
+//! That estimate-driven geometry is the
+//! [`CompactionSchedule::Standard`](crate::schedule::CompactionSchedule)
+//! schedule. Under
+//! [`CompactionSchedule::Adaptive`](crate::schedule::CompactionSchedule)
+//! (arXiv:2511.17396) the special-compaction machinery is bypassed entirely:
+//! each level re-plans its own section count from the weight it has absorbed
+//! — on fill (the capacity check widens the buffer instead of compacting
+//! when the weight has earned more sections) and on merge — so growth and
+//! merging never over-compact. See [`crate::schedule`] for the planning
+//! function and [`crate::merge`] for the merge-time behaviour.
 
 use std::sync::Arc;
 
@@ -22,6 +33,7 @@ use sketch_traits::{MergeableSketch, QuantileSketch, SpaceUsage};
 use crate::compactor::{CompactionMode, RankAccuracy, RelativeCompactor};
 use crate::error::ReqError;
 use crate::params::{ParamPolicy, Params};
+use crate::schedule::CompactionSchedule;
 use crate::view::{SortedView, ViewCache};
 
 /// The Relative Error Quantiles sketch of Cormode, Karnin, Liberty, Thaler
@@ -66,6 +78,10 @@ pub struct ReqSketch<T> {
     /// How compactors establish order (sorted-run maintenance vs the
     /// reference sort-on-compact path). Not serialized.
     pub(crate) mode: CompactionMode,
+    /// How per-level geometry evolves: the paper's fixed estimate-driven
+    /// schedule, or weight-adaptive compactors (arXiv:2511.17396).
+    /// Structural state — serialized (binary v3+, serde).
+    pub(crate) schedule: CompactionSchedule,
     /// Dirty epoch: bumped by every mutation, validates [`Self::cached_view`].
     pub(crate) epoch: u64,
     /// Memoized sorted view serving `rank`/`quantile`/`cdf` between mutations.
@@ -78,8 +94,26 @@ impl<T: Ord + Clone> ReqSketch<T> {
         crate::builder::ReqSketchBuilder::new()
     }
 
-    /// Build with an explicit policy, orientation, and RNG seed.
+    /// Build with an explicit policy, orientation, and RNG seed, on the
+    /// standard (estimate-driven) schedule.
     pub fn with_policy(policy: ParamPolicy, accuracy: RankAccuracy, seed: u64) -> Self {
+        Self::with_policy_scheduled(policy, accuracy, seed, CompactionSchedule::Standard)
+    }
+
+    /// [`ReqSketch::with_policy`] with an explicit [`CompactionSchedule`].
+    ///
+    /// Under [`CompactionSchedule::Adaptive`] the policy's *initial* section
+    /// count becomes the per-level floor and each level re-plans its own
+    /// geometry from absorbed weight; the known-`n` policies (whose initial
+    /// estimate is the final `n`) therefore gain nothing from it — it is
+    /// aimed at the unknown-`n` [`ParamPolicy::Mergeable`]/
+    /// [`ParamPolicy::FixedK`] deployments.
+    pub fn with_policy_scheduled(
+        policy: ParamPolicy,
+        accuracy: RankAccuracy,
+        seed: u64,
+        schedule: CompactionSchedule,
+    ) -> Self {
         let max_n = policy.initial_max_n();
         let Params { k, num_sections } = policy.params_for(max_n);
         ReqSketch {
@@ -95,6 +129,7 @@ impl<T: Ord + Clone> ReqSketch<T> {
             rng: SmallRng::seed_from_u64(seed),
             seed,
             mode: CompactionMode::SortedRuns,
+            schedule,
             epoch: 0,
             cache: ViewCache::new(),
         }
@@ -113,6 +148,7 @@ impl<T: Ord + Clone> ReqSketch<T> {
         min_item: Option<T>,
         max_item: Option<T>,
         seed: u64,
+        schedule: CompactionSchedule,
     ) -> Self {
         ReqSketch {
             policy,
@@ -129,6 +165,7 @@ impl<T: Ord + Clone> ReqSketch<T> {
             // The mode is transient tuning state: deserialized sketches run
             // the production sorted-run path.
             mode: CompactionMode::SortedRuns,
+            schedule,
             // Deserialized sketches start with a cold cache (the cache is
             // derived state; serialization soundly drops it).
             epoch: 0,
@@ -149,6 +186,13 @@ impl<T: Ord + Clone> ReqSketch<T> {
     /// The active [`CompactionMode`] (sorted-run maintenance by default).
     pub fn compaction_mode(&self) -> CompactionMode {
         self.mode
+    }
+
+    /// The active [`CompactionSchedule`] (standard estimate-driven geometry
+    /// by default; fixed at construction — see
+    /// [`crate::ReqSketchBuilder::schedule`]).
+    pub fn compaction_schedule(&self) -> CompactionSchedule {
+        self.schedule
     }
 
     /// Switch every level (and future levels) to `mode`. Intended for the
@@ -184,7 +228,10 @@ impl<T: Ord + Clone> ReqSketch<T> {
         self.num_sections
     }
 
-    /// Current per-level buffer capacity `B = 2·k·s`.
+    /// Current per-level buffer capacity `B = 2·k·s` under the standard
+    /// schedule. Under [`CompactionSchedule::Adaptive`] this is the *floor*
+    /// capacity of a fresh level; adapted levels report their own (larger)
+    /// capacity via [`crate::LevelStats::capacity`].
     pub fn level_capacity(&self) -> usize {
         2 * self.k as usize * self.num_sections as usize
     }
@@ -300,7 +347,35 @@ impl<T: Ord + Clone> ReqSketch<T> {
     }
 
     /// Merge, returning an error (instead of panicking) on incompatible
-    /// sketches. See [`MergeableSketch::merge`] for the panicking version.
+    /// sketches — differing parameter policies, orientations, or compaction
+    /// schedules. See [`MergeableSketch::merge`] for the panicking version.
+    ///
+    /// ```
+    /// use req_core::{ReqSketch, RankAccuracy};
+    /// use sketch_traits::QuantileSketch;
+    ///
+    /// let build = |seed| {
+    ///     ReqSketch::<u64>::builder()
+    ///         .k(12)
+    ///         .rank_accuracy(RankAccuracy::LowRank)
+    ///         .seed(seed)
+    ///         .build()
+    ///         .unwrap()
+    /// };
+    /// let mut a = build(1);
+    /// let mut b = build(2);
+    /// for i in 0..10_000u64 {
+    ///     a.update(i);           // low half
+    ///     b.update(10_000 + i);  // high half
+    /// }
+    /// a.try_merge(b).expect("same policy + orientation");
+    /// assert_eq!(a.len(), 20_000);
+    /// assert_eq!(a.rank(&99), 100); // low ranks stay exact in LowRank mode
+    ///
+    /// // Mismatched configurations are rejected, not silently merged:
+    /// let other_k = ReqSketch::<u64>::builder().k(32).seed(3).build().unwrap();
+    /// assert!(a.try_merge(other_k).is_err());
+    /// ```
     pub fn try_merge(&mut self, other: Self) -> Result<(), ReqError> {
         crate::merge::merge_into(self, other)
     }
@@ -346,22 +421,70 @@ impl<T: Ord + Clone> ReqSketch<T> {
         }
     }
 
-    /// Grow the stream-length estimate to cover `target_n`
-    /// (§5 / Algorithm 3 lines 4–7): special-compact, square `N` (repeatedly,
-    /// for merge jumps), recompute `k`/`B`.
+    /// Grow the stream-length estimate to cover `target_n`.
+    ///
+    /// * [`CompactionSchedule::Standard`] (§5 / Algorithm 3 lines 4–7):
+    ///   special-compact, square `N` (repeatedly, for merge jumps),
+    ///   recompute `k`/`B` for every level.
+    /// * [`CompactionSchedule::Adaptive`] (arXiv:2511.17396): **no special
+    ///   compactions** — each level re-plans its own geometry from absorbed
+    ///   weight, so growth widens buffers in place. The estimate advances by
+    ///   doubling (not squaring) and only feeds `k` for the `N`-dependent
+    ///   policies; because it is a pure function of the total `n`, merged and
+    ///   streamed sketches land on the same ladder point.
     pub(crate) fn grow_to_cover(&mut self, target_n: u64) {
         debug_assert!(self.max_n < target_n);
-        self.special_compact_levels();
-        while self.max_n < target_n {
-            self.max_n = self.policy.next_max_n(self.max_n);
+        match self.schedule {
+            CompactionSchedule::Standard => {
+                self.special_compact_levels();
+                while self.max_n < target_n {
+                    self.max_n = self.policy.next_max_n(self.max_n);
+                }
+                let Params { k, num_sections } = self.policy.params_for(self.max_n);
+                self.k = k;
+                self.num_sections = num_sections;
+                self.apply_params_to_levels();
+                // Special-compaction output can leave a level (including the
+                // former top) at or above its new capacity; normalize with
+                // one batch pass.
+                self.merge_compaction_pass();
+            }
+            CompactionSchedule::Adaptive => {
+                while self.max_n < target_n {
+                    self.max_n = self.max_n.max(1).saturating_mul(2);
+                }
+                let Params { k, .. } = self.policy.params_for(self.max_n);
+                if k != self.k {
+                    // `self.num_sections` stays at the policy's initial
+                    // count — the adaptive floor; levels keep their own
+                    // adapted section counts.
+                    self.k = k;
+                    for level in &mut self.levels {
+                        let s = level.num_sections();
+                        level.set_params(k, s);
+                    }
+                }
+                for level in &mut self.levels {
+                    level.maybe_adapt(self.num_sections);
+                }
+                // A shrinking k can drop a capacity below its fill;
+                // normalize (a no-op for fixed-k policies).
+                self.merge_compaction_pass();
+            }
         }
-        let Params { k, num_sections } = self.policy.params_for(self.max_n);
-        self.k = k;
-        self.num_sections = num_sections;
-        self.apply_params_to_levels();
-        // Special-compaction output can leave a level (including the former
-        // top) at or above its new capacity; normalize with one batch pass.
-        self.merge_compaction_pass();
+    }
+
+    /// Capacity check that, under the adaptive schedule, first lets level
+    /// `h` re-plan its section count from its absorbed weight — growing the
+    /// buffer instead of compacting when the observed weight says it has
+    /// earned more sections. Every compaction-triggering path funnels
+    /// through this.
+    pub(crate) fn level_due_compaction(&mut self, h: usize) -> bool {
+        if self.schedule == CompactionSchedule::Adaptive && self.levels[h].is_at_capacity() {
+            let floor = self.num_sections;
+            self.levels[h].maybe_adapt(floor);
+        }
+        self.levels[h].is_at_capacity()
     }
 
     /// Insert compaction output into level `h` — the `Insert(z, h+1)`
@@ -400,7 +523,7 @@ impl<T: Ord + Clone> ReqSketch<T> {
             let accuracy = self.accuracy;
             let take = incoming.len().min(room);
             self.levels[h].merge_sorted_run_prefix(&mut incoming, take, accuracy);
-            if self.levels[h].is_at_capacity() {
+            if self.level_due_compaction(h) {
                 let coin = self.rng.gen::<bool>();
                 let mut out = std::mem::take(&mut pool[h]);
                 out.clear();
@@ -420,7 +543,7 @@ impl<T: Ord + Clone> ReqSketch<T> {
         let mut out: Vec<T> = Vec::new();
         let mut h = 0;
         while h < self.levels.len() {
-            if self.levels[h].is_at_capacity() {
+            if self.level_due_compaction(h) {
                 self.ensure_level(h + 1);
                 let coin = self.rng.gen::<bool>();
                 let accuracy = self.accuracy;
@@ -463,7 +586,7 @@ impl<T: Ord + Clone> QuantileSketch<T> for ReqSketch<T> {
         }
         self.ensure_level(0);
         self.levels[0].push(item);
-        if self.levels[0].is_at_capacity() {
+        if self.level_due_compaction(0) {
             let coin = self.rng.gen::<bool>();
             let accuracy = self.accuracy;
             let mut out = Vec::new();
@@ -514,7 +637,9 @@ impl<T: Ord + Clone> QuantileSketch<T> for ReqSketch<T> {
                 self.grow_to_cover(target);
             }
             self.ensure_level(0);
-            let cap = self.level_capacity();
+            // Per-level capacity: under the adaptive schedule level 0 may
+            // have outgrown the sketch-level floor `level_capacity()`.
+            let cap = self.levels[0].capacity();
             let room = cap.saturating_sub(self.levels[0].len()).max(1);
             let until_growth = usize::try_from(self.max_n - self.n)
                 .unwrap_or(usize::MAX)
@@ -524,7 +649,7 @@ impl<T: Ord + Clone> QuantileSketch<T> for ReqSketch<T> {
             self.levels[0].push_slice(chunk);
             self.n += take as u64;
             rest = tail;
-            if self.levels[0].is_at_capacity() {
+            if self.level_due_compaction(0) {
                 let coin = self.rng.gen::<bool>();
                 let accuracy = self.accuracy;
                 let mut out = std::mem::take(&mut pool[0]);

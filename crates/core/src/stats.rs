@@ -6,6 +6,7 @@ use std::fmt;
 
 use sketch_traits::SpaceUsage;
 
+use crate::schedule::CompactionSchedule;
 use crate::sketch::ReqSketch;
 
 /// Snapshot of one level's structure.
@@ -30,6 +31,12 @@ pub struct LevelStats {
     /// Length of the sorted-run prefix of the buffer (`len - run_len` items
     /// sit in the unsorted tail).
     pub run_len: usize,
+    /// Items ever absorbed by this buffer (additive under merges) — what the
+    /// adaptive schedule derives the section count from.
+    pub absorbed: u64,
+    /// Times the adaptive schedule grew this buffer's section count
+    /// (process-lifetime; always 0 under the standard schedule).
+    pub num_adaptations: u64,
     /// Items that went through a comparison sort in this buffer
     /// (process-lifetime; tail sorts, or full compacted ranges in the
     /// reference `SortOnCompact` mode).
@@ -43,6 +50,8 @@ pub struct LevelStats {
 /// Whole-sketch structural statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SketchStats {
+    /// The sketch's [`CompactionSchedule`].
+    pub schedule: CompactionSchedule,
     /// Stream length `n`.
     pub n: u64,
     /// Current stream-length estimate `N`.
@@ -84,6 +93,8 @@ impl SketchStats {
                 num_compactions: l.num_compactions(),
                 num_special_compactions: l.num_special_compactions(),
                 run_len: l.run_len(),
+                absorbed: l.absorbed(),
+                num_adaptations: l.num_adaptations(),
                 items_sorted: l.items_sorted(),
                 items_merge_moved: l.items_merge_moved(),
             })
@@ -92,6 +103,7 @@ impl SketchStats {
         let items_sorted = levels.iter().map(|l| l.items_sorted).sum();
         let items_merge_moved = levels.iter().map(|l| l.items_merge_moved).sum();
         SketchStats {
+            schedule: sketch.compaction_schedule(),
             n: sketch.n,
             max_n: sketch.max_n(),
             retained: sketch.retained(),
@@ -115,6 +127,12 @@ impl SketchStats {
     pub fn total_special_compactions(&self) -> u64 {
         self.levels.iter().map(|l| l.num_special_compactions).sum()
     }
+
+    /// Total adaptive-schedule geometry adaptations across all levels
+    /// (always 0 under [`CompactionSchedule::Standard`]).
+    pub fn total_adaptations(&self) -> u64 {
+        self.levels.iter().map(|l| l.num_adaptations).sum()
+    }
 }
 
 impl fmt::Display for SketchStats {
@@ -122,7 +140,7 @@ impl fmt::Display for SketchStats {
         writeln!(
             f,
             "ReqSketch: n={} N={} retained={} bytes={} weight_drift={} view_cache={}h/{}b \
-             sorted={} merge_moved={}",
+             sorted={} merge_moved={} schedule={:?} adaptations={}",
             self.n,
             self.max_n,
             self.retained,
@@ -131,11 +149,13 @@ impl fmt::Display for SketchStats {
             self.view_cache_hits,
             self.view_cache_builds,
             self.items_sorted,
-            self.items_merge_moved
+            self.items_merge_moved,
+            self.schedule,
+            self.total_adaptations()
         )?;
         writeln!(
             f,
-            "{:>5} {:>8} {:>8} {:>6} {:>9} {:>12} {:>10} {:>8} {:>8} {:>10} {:>12}",
+            "{:>5} {:>8} {:>8} {:>6} {:>9} {:>12} {:>10} {:>8} {:>8} {:>10} {:>12} {:>10} {:>7}",
             "level",
             "len",
             "cap",
@@ -146,12 +166,14 @@ impl fmt::Display for SketchStats {
             "special",
             "run",
             "sorted",
-            "merge_moved"
+            "merge_moved",
+            "absorbed",
+            "adapts"
         )?;
         for l in &self.levels {
             writeln!(
                 f,
-                "{:>5} {:>8} {:>8} {:>6} {:>9} {:>12} {:>10} {:>8} {:>8} {:>10} {:>12}",
+                "{:>5} {:>8} {:>8} {:>6} {:>9} {:>12} {:>10} {:>8} {:>8} {:>10} {:>12} {:>10} {:>7}",
                 l.level,
                 l.len,
                 l.capacity,
@@ -162,7 +184,9 @@ impl fmt::Display for SketchStats {
                 l.num_special_compactions,
                 l.run_len,
                 l.items_sorted,
-                l.items_merge_moved
+                l.items_merge_moved,
+                l.absorbed,
+                l.num_adaptations
             )?;
         }
         Ok(())
@@ -251,6 +275,39 @@ mod tests {
             .stats()
             .to_string()
             .contains(&format!("merge_moved={}", stats.items_merge_moved)));
+    }
+
+    #[test]
+    fn adaptive_counters_surface_in_stats() {
+        let mut s = ReqSketch::<u64>::builder()
+            .k(8)
+            .schedule(CompactionSchedule::Adaptive)
+            .high_rank_accuracy(false)
+            .seed(2)
+            .build()
+            .unwrap();
+        for i in 0..100_000u64 {
+            s.update(i);
+        }
+        let stats = s.stats();
+        assert_eq!(stats.schedule, CompactionSchedule::Adaptive);
+        // Level 0 absorbed the whole stream; its geometry adapted.
+        assert_eq!(stats.levels[0].absorbed, 100_000);
+        assert!(stats.levels[0].num_adaptations > 0);
+        assert!(stats.total_adaptations() > 0);
+        // Seamless growth: the adaptive schedule never special-compacts.
+        assert_eq!(stats.total_special_compactions(), 0);
+        // Upper levels absorbed geometrically less and keep fewer sections.
+        let l0 = &stats.levels[0];
+        let top = stats.levels.last().unwrap();
+        assert!(top.absorbed < l0.absorbed / 2);
+        assert!(top.num_sections <= l0.num_sections);
+        assert!(stats.to_string().contains("schedule=Adaptive"));
+
+        // The standard schedule reports zero adaptations.
+        let std_stats = sketch_with_data(100_000).stats();
+        assert_eq!(std_stats.schedule, CompactionSchedule::Standard);
+        assert_eq!(std_stats.total_adaptations(), 0);
     }
 
     #[test]

@@ -169,9 +169,11 @@ proptest! {
     ) {
         let acc = if hra { RankAccuracy::HighRank } else { RankAccuracy::LowRank };
         let mut a = RelativeCompactor::<u64>::from_parts(
-            8, 3, items_a.clone(), 0, CompactionState::from_raw(state_a), 0, 0);
+            8, 3, items_a.clone(), 0, CompactionState::from_raw(state_a), 0, 0,
+            items_a.len() as u64);
         let mut b = RelativeCompactor::<u64>::from_parts(
-            8, 3, items_b.clone(), 0, CompactionState::from_raw(state_b), 0, 0);
+            8, 3, items_b.clone(), 0, CompactionState::from_raw(state_b), 0, 0,
+            items_b.len() as u64);
         if presort {
             // Exercise the run-merging path too, not just tail concatenation.
             a.ensure_sorted(acc);
@@ -179,6 +181,8 @@ proptest! {
         }
         a.absorb(b, acc);
         prop_assert_eq!(a.len(), items_a.len() + items_b.len());
+        prop_assert_eq!(a.absorbed(), (items_a.len() + items_b.len()) as u64,
+            "absorbed weights must add under merges");
         prop_assert_eq!(a.state().raw(), state_a | state_b);
         prop_assert!(a.run_is_sorted(acc), "absorb broke the run invariant");
         let mut expected = items_a;

@@ -1,0 +1,7 @@
+//! Regenerates experiment `e15_seamless_merge` of EXPERIMENTS.md. Run with `--release`.
+fn main() {
+    let cfg = harness::experiments::e15_seamless_merge::Config::default();
+    for table in harness::experiments::e15_seamless_merge::run(&cfg) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,240 @@
+//! **E15 — seamless mergeability via adaptive compactors.**
+//!
+//! Claim (Domes & Veselý, *Relative Error Streaming Quantiles with Seamless
+//! Mergeability via Adaptive Compactors*, arXiv:2511.17396): when each
+//! compactor re-plans its section count from its **absorbed weight** — on
+//! fill and on merge — a sketch assembled by a merge tree of *any* shape
+//! lands on the same space–accuracy point as one that streamed the
+//! concatenated input. The PODS 2021 estimate-driven schedule instead
+//! over-compacts under merging: every merge that raises the length estimate
+//! special-compacts each non-top level down to `B/2`, so deep or wide merge
+//! trees pay the halving repeatedly.
+//!
+//! This experiment extends E5's merge-tree apparatus into an A/B of
+//! [`CompactionSchedule::Standard`] vs [`CompactionSchedule::Adaptive`]:
+//! the same stream is sketched once end-to-end (the reference) and once
+//! split across `s` shards and combined along balanced, linear, and random
+//! merge trees. For each schedule we report the mean relative rank error of
+//! each topology, the **gap** (worst merged error over streamed error —
+//! seamless means gap ≈ 1), and the special compactions the merges cost
+//! (structurally 0 under the adaptive schedule).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use req_core::{merge_balanced, merge_linear, merge_random_tree, CompactionSchedule, ReqSketch};
+use sketch_traits::SpaceUsage;
+use streams::{geometric_ranks, Distribution, Ordering, SortOracle, Workload};
+
+use crate::experiments::{feed, req_lra_scheduled};
+use crate::metrics::{probe_ranks, summarize, ErrorMode};
+use crate::table::{fmt_f, Table};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Total stream length.
+    pub n: u64,
+    /// REQ section size.
+    pub k: u32,
+    /// Shard counts to test (each ≥ 2; the streamed reference is built
+    /// separately per trial).
+    pub shard_counts: Vec<usize>,
+    /// Trials per configuration (mean error averaged across trials).
+    pub trials: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 1 << 18,
+            k: 32,
+            shard_counts: vec![8, 32, 128],
+            trials: 3,
+        }
+    }
+}
+
+fn build_shards(
+    items: &[u64],
+    shards: usize,
+    k: u32,
+    seed: u64,
+    schedule: CompactionSchedule,
+) -> Vec<ReqSketch<u64>> {
+    let per = items.len().div_ceil(shards);
+    items
+        .chunks(per)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let mut s = req_lra_scheduled(k, seed * 1000 + i as u64, schedule);
+            feed(&mut s, chunk);
+            s
+        })
+        .collect()
+}
+
+fn mean_err(sketch: &ReqSketch<u64>, oracle: &SortOracle, ranks: &[u64]) -> f64 {
+    summarize(&probe_ranks(sketch, oracle, ranks, ErrorMode::RelativeLow)).mean
+}
+
+/// Per-row measurement accumulated over trials.
+#[derive(Default, Clone, Copy)]
+struct Acc {
+    stream: f64,
+    balanced: f64,
+    linear: f64,
+    random: f64,
+    specials: u64,
+    retained: usize,
+}
+
+/// Run E15. The returned table carries, per `(schedule, shards)` row, the
+/// streamed-reference error, the three merged errors, the worst
+/// merged-over-streamed gap, and the special compactions merging cost.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut t = Table::new(
+        format!(
+            "E15 seamless mergeability: merged vs streamed mean rel. error, \
+             standard vs adaptive schedules (n={}, k={}, mean over {} trials)",
+            cfg.n, cfg.k, cfg.trials
+        ),
+        &[
+            "schedule",
+            "shards",
+            "stream",
+            "balanced",
+            "linear",
+            "random",
+            "worst gap",
+            "specials",
+            "retained stream",
+            "retained merged",
+        ],
+    );
+    let ranks = geometric_ranks(cfg.n, 2.0);
+    let workload = Workload {
+        distribution: Distribution::Permutation,
+        ordering: Ordering::Shuffled,
+    };
+    // One stream (and oracle) per trial, shared by both schedules and all
+    // shard counts so every cell measures the same input.
+    let streams: Vec<(Vec<u64>, SortOracle)> = (0..cfg.trials)
+        .map(|trial| {
+            let items = workload.generate(cfg.n as usize, 900 + trial);
+            let oracle = SortOracle::new(&items);
+            (items, oracle)
+        })
+        .collect();
+
+    for schedule in [CompactionSchedule::Standard, CompactionSchedule::Adaptive] {
+        // The streamed reference does not depend on the shard count.
+        let mut stream_e = 0.0f64;
+        let mut stream_retained = 0usize;
+        for (trial, (items, oracle)) in streams.iter().enumerate() {
+            let mut s = req_lra_scheduled(cfg.k, 11 + trial as u64, schedule);
+            feed(&mut s, items);
+            stream_e += mean_err(&s, oracle, &ranks);
+            stream_retained += s.retained();
+        }
+        stream_e /= cfg.trials as f64;
+        stream_retained /= cfg.trials as usize;
+
+        for &shards in &cfg.shard_counts {
+            let mut acc = Acc {
+                stream: stream_e,
+                ..Acc::default()
+            };
+            for (trial, (items, oracle)) in streams.iter().enumerate() {
+                let trial = trial as u64;
+                let bal = merge_balanced(build_shards(items, shards, cfg.k, trial, schedule))
+                    .expect("compatible")
+                    .expect("nonempty");
+                let lin = merge_linear(build_shards(items, shards, cfg.k, trial + 71, schedule))
+                    .expect("compatible")
+                    .expect("nonempty");
+                let mut rng = SmallRng::seed_from_u64(trial);
+                let rnd = merge_random_tree(
+                    build_shards(items, shards, cfg.k, trial + 143, schedule),
+                    &mut rng,
+                )
+                .expect("compatible")
+                .expect("nonempty");
+                acc.balanced += mean_err(&bal, oracle, &ranks);
+                acc.linear += mean_err(&lin, oracle, &ranks);
+                acc.random += mean_err(&rnd, oracle, &ranks);
+                acc.specials += bal.stats().total_special_compactions();
+                acc.retained += bal.retained();
+            }
+            let trials = cfg.trials as f64;
+            acc.balanced /= trials;
+            acc.linear /= trials;
+            acc.random /= trials;
+            acc.retained /= cfg.trials as usize;
+            let worst = acc.balanced.max(acc.linear).max(acc.random);
+            // Guard the ratio against a (near-)exact streamed reference.
+            let gap = worst / acc.stream.max(1e-6);
+            t.row(vec![
+                format!("{schedule:?}"),
+                shards.to_string(),
+                fmt_f(acc.stream),
+                fmt_f(acc.balanced),
+                fmt_f(acc.linear),
+                fmt_f(acc.random),
+                fmt_f(gap),
+                (acc.specials / cfg.trials).to_string(),
+                stream_retained.to_string(),
+                acc.retained.to_string(),
+            ]);
+        }
+    }
+    t.note(
+        "`worst gap` = worst merged topology error / streamed error — seamless merging means \
+         gap ≈ 1; `specials` = special compactions in the balanced merge (per trial), \
+         structurally 0 for the adaptive schedule",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gap(t: &Table, row: usize) -> f64 {
+        t.cell(row, t.column("worst gap").unwrap()).parse().unwrap()
+    }
+
+    #[test]
+    fn adaptive_merge_trees_match_single_stream() {
+        let cfg = Config {
+            n: 1 << 15,
+            k: 32,
+            shard_counts: vec![8, 16],
+            trials: 3,
+        };
+        let t = run(&cfg).pop().unwrap();
+        // Rows: standard × {8, 16}, adaptive × {8, 16}.
+        assert_eq!(t.num_rows(), 4);
+        let specials = t.column("specials").unwrap();
+        let stream = t.column("stream").unwrap();
+        for row in 2..4 {
+            assert_eq!(
+                t.cell(row, t.column("schedule").unwrap()),
+                "Adaptive",
+                "row layout changed"
+            );
+            // The adaptive schedule never special-compacts...
+            assert_eq!(t.cell(row, specials), "0");
+            // ...its streamed reference stays accurate...
+            let stream_err: f64 = t.cell(row, stream).parse().unwrap();
+            assert!(stream_err < 0.1, "streamed err {stream_err}");
+            // ...and merge trees of every shape stay within ~1.2x of it
+            // (the seamless-mergeability claim; slack for trial noise).
+            let g = gap(&t, row);
+            assert!(g <= 1.3, "adaptive merge gap {g} at row {row}");
+        }
+        // The standard schedule pays special compactions for the same merges.
+        for row in 0..2 {
+            assert_ne!(t.cell(row, specials), "0", "standard should reconcile");
+        }
+    }
+}

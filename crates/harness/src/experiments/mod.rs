@@ -14,8 +14,9 @@ pub mod e11_all_quantiles;
 pub mod e12_landscape;
 pub mod e13_k_calibration;
 pub mod e14_optimality_gap;
+pub mod e15_seamless_merge;
 
-use req_core::{ParamPolicy, RankAccuracy, ReqSketch};
+use req_core::{CompactionSchedule, ParamPolicy, RankAccuracy, ReqSketch};
 use sketch_traits::QuantileSketch;
 
 /// REQ sketch with a fixed `k`, low-rank orientation — the workhorse
@@ -25,6 +26,18 @@ pub fn req_lra(k: u32, seed: u64) -> ReqSketch<u64> {
         ParamPolicy::fixed_k(k).expect("valid k"),
         RankAccuracy::LowRank,
         seed,
+    )
+}
+
+/// [`req_lra`] with an explicit [`CompactionSchedule`] — the A/B knob of
+/// experiment E15 (standard estimate-driven geometry vs weight-adaptive
+/// compactors).
+pub fn req_lra_scheduled(k: u32, seed: u64, schedule: CompactionSchedule) -> ReqSketch<u64> {
+    ReqSketch::with_policy_scheduled(
+        ParamPolicy::fixed_k(k).expect("valid k"),
+        RankAccuracy::LowRank,
+        seed,
+        schedule,
     )
 }
 

@@ -1,5 +1,5 @@
 //! End-to-end smoke test of the experiment pipeline: every experiment
-//! module (e01–e14) runs at a scaled-down `Config` and must produce
+//! module (e01–e15) runs at a scaled-down `Config` and must produce
 //! well-formed, non-empty, renderable tables. The in-module `#[test]`s
 //! assert each experiment's *direction* (the paper claim); this test
 //! guards the *plumbing* — config handling, workload generation, sketch
@@ -170,5 +170,16 @@ smoke!(
     e::e14_optimality_gap::Config {
         log2_ns: vec![10, 12],
         k: 16,
+    }
+);
+
+smoke!(
+    e15_seamless_merge_smoke,
+    e15_seamless_merge,
+    e::e15_seamless_merge::Config {
+        n: 1 << 12,
+        k: 16,
+        shard_counts: vec![4],
+        trials: 1,
     }
 );
