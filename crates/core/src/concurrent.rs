@@ -20,8 +20,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 
+use crate::binary::Packable;
 use crate::builder::ReqSketchBuilder;
 use crate::error::ReqError;
 use crate::merge::merge_balanced;
@@ -220,6 +222,14 @@ impl<T: Ord + Clone> ConcurrentReqSketch<T> {
         Ok(snap)
     }
 
+    /// The round-robin routing counter. Together with the per-shard states
+    /// this completes the sketch's *replayable* state: a restored sketch
+    /// with the same rotation routes a replayed op sequence to the same
+    /// shards the original did (see [`Self::from_checkpoint`]).
+    pub fn rotation(&self) -> u64 {
+        self.next.load(Ordering::Relaxed) as u64
+    }
+
     /// Lifetime `(hits, builds)` of the snapshot cache.
     pub fn snapshot_cache_stats(&self) -> (u64, u64) {
         let cache = self.snapshot_cache.lock();
@@ -249,6 +259,103 @@ impl<T: Ord + Clone> ConcurrentReqSketch<T> {
     /// Normalized CDF at ascending `split_points`, off the cached snapshot.
     pub fn cdf(&self, split_points: &[T]) -> Result<Vec<f64>, ReqError> {
         Ok(self.cached_snapshot()?.cdf(split_points))
+    }
+}
+
+impl<T: Ord + Clone + Packable> ConcurrentReqSketch<T> {
+    /// Serialize every shard into its own [`ReqSketch::to_bytes`] payload
+    /// **and reload each shard from those exact bytes in place**.
+    ///
+    /// The swap is what makes durable state *equal to* live state rather
+    /// than merely equivalent: `to_bytes` draws a fresh RNG seed into the
+    /// encoding, so a sketch deserialized later flips different coins than
+    /// the original would have. By continuing the live sketch *from its own
+    /// serialization*, every coin flip after the checkpoint is identical on
+    /// both sides — a replica restored via [`Self::from_checkpoint`] that
+    /// replays the same subsequent ops lands on bit-identical shard states
+    /// and answers value-identical queries. This is the foundation of the
+    /// service layer's crash-recovery proof (experiment E16).
+    ///
+    /// Each shard is swapped under its own lock; concurrent queries keep
+    /// answering (the retained multiset is unchanged). The memoized merged
+    /// snapshot is invalidated because the swap resets shard epochs, which
+    /// would otherwise be allowed to collide with the cache's tags.
+    pub fn checkpoint(&self) -> Result<Vec<Bytes>, ReqError> {
+        let mut parts = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let mut guard = shard.lock();
+            let bytes = guard.to_bytes();
+            let mut reloaded = ReqSketch::from_bytes(&bytes)?;
+            // The binary format does not record the compaction mode;
+            // preserve the live shard's setting across the swap.
+            reloaded.set_compaction_mode(guard.compaction_mode());
+            *guard = reloaded;
+            parts.push(bytes);
+        }
+        let mut cache = self.snapshot_cache.lock();
+        cache.snapshot = None;
+        cache.epochs.clear();
+        Ok(parts)
+    }
+
+    /// Rebuild a sharded sketch from [`Self::checkpoint`] output: one
+    /// serialized shard per element of `parts`, plus the routing
+    /// [`Self::rotation`] captured with them. Shards restore on the
+    /// default [`crate::CompactionMode`]; a sketch checkpointed on a
+    /// non-default mode (which the binary format does not record, but
+    /// [`Self::checkpoint`] preserves on the live side) should restore
+    /// through [`Self::from_checkpoint_with_mode`] to match its twin.
+    ///
+    /// Shards are validated to share one configuration (policy, rank
+    /// orientation, schedule) — per-shard payloads from different sketches
+    /// are rejected as [`ReqError::CorruptBytes`] rather than silently
+    /// producing a front-end whose snapshots can never merge.
+    pub fn from_checkpoint<B: AsRef<[u8]>>(parts: &[B], rotation: u64) -> Result<Self, ReqError> {
+        Self::from_checkpoint_with_mode(parts, rotation, crate::CompactionMode::default())
+    }
+
+    /// [`Self::from_checkpoint`] with every restored shard set to `mode` —
+    /// the mirror of the mode preservation [`Self::checkpoint`] performs
+    /// on the live sketch.
+    pub fn from_checkpoint_with_mode<B: AsRef<[u8]>>(
+        parts: &[B],
+        rotation: u64,
+        mode: crate::CompactionMode,
+    ) -> Result<Self, ReqError> {
+        if parts.is_empty() {
+            return Err(ReqError::CorruptBytes(
+                "checkpoint carries zero shards".into(),
+            ));
+        }
+        let shards: Vec<ReqSketch<T>> = parts
+            .iter()
+            .map(|p| {
+                let mut shard = ReqSketch::from_bytes(p.as_ref())?;
+                shard.set_compaction_mode(mode);
+                Ok(shard)
+            })
+            .collect::<Result<_, ReqError>>()?;
+        let first = &shards[0];
+        for (i, s) in shards.iter().enumerate().skip(1) {
+            if s.policy() != first.policy()
+                || s.rank_accuracy() != first.rank_accuracy()
+                || s.compaction_schedule() != first.compaction_schedule()
+            {
+                return Err(ReqError::CorruptBytes(format!(
+                    "checkpoint shard {i} disagrees with shard 0 on configuration"
+                )));
+            }
+        }
+        Ok(ConcurrentReqSketch {
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            next: AtomicUsize::new(rotation as usize),
+            snapshot_cache: Mutex::new(SnapshotCache {
+                snapshot: None,
+                epochs: Vec::new(),
+                hits: 0,
+                builds: 0,
+            }),
+        })
     }
 }
 
@@ -392,6 +499,141 @@ mod tests {
         assert!(c.is_empty());
         let snap = c.snapshot().unwrap();
         assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_restore_then_identical_ops_stay_value_identical() {
+        let live = ConcurrentReqSketch::<u64>::new(builder(), 4).unwrap();
+        live.update_batch(&(0..50_000u64).collect::<Vec<_>>());
+        let parts = live.checkpoint().unwrap();
+        let restored =
+            ConcurrentReqSketch::<u64>::from_checkpoint(&parts, live.rotation()).unwrap();
+        assert_eq!(restored.len(), live.len());
+        assert_eq!(restored.rotation(), live.rotation());
+
+        // The same op sequence applied to both sides must keep them
+        // value-identical: the swap inside checkpoint() put the live
+        // sketch on exactly the state the bytes describe (same RNG seeds),
+        // and the restored rotation routes chunks to the same shards.
+        for round in 0..5u64 {
+            let batch: Vec<u64> = (0..10_000).map(|i| i * 7 + round).collect();
+            live.update_batch(&batch);
+            restored.update_batch(&batch);
+            live.update(round);
+            restored.update(round);
+        }
+        assert_eq!(restored.len(), live.len());
+        for y in (0..70_000u64).step_by(1_111) {
+            assert_eq!(
+                restored.rank(&y).unwrap(),
+                live.rank(&y).unwrap(),
+                "rank diverged at {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_invalidates_cached_snapshot() {
+        let c = ConcurrentReqSketch::<u64>::new(builder(), 2).unwrap();
+        c.update_batch(&(0..10_000u64).collect::<Vec<_>>());
+        let before = c.cached_snapshot().unwrap();
+        c.checkpoint().unwrap();
+        let after = c.cached_snapshot().unwrap();
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "checkpoint must drop the memoized snapshot (shard epochs reset)"
+        );
+        assert_eq!(after.len(), 10_000);
+    }
+
+    #[test]
+    fn checkpoint_keeps_retained_data_intact() {
+        let c = ConcurrentReqSketch::<u64>::new(builder(), 4).unwrap();
+        c.update_batch(&(0..40_000u64).collect::<Vec<_>>());
+        // Each shard's retained multiset must be untouched by the swap;
+        // assert through per-shard stats rather than the merged snapshot,
+        // whose assembly draws fresh (legitimately different) coin flips.
+        let before: Vec<(u64, usize)> = c
+            .shards
+            .iter()
+            .map(|s| {
+                let g = s.lock();
+                (g.len(), g.retained())
+            })
+            .collect();
+        c.checkpoint().unwrap();
+        let after: Vec<(u64, usize)> = c
+            .shards
+            .iter()
+            .map(|s| {
+                let g = s.lock();
+                (g.len(), g.retained())
+            })
+            .collect();
+        assert_eq!(before, after, "checkpoint changed shard contents");
+        assert_eq!(c.len(), 40_000);
+        // Post-checkpoint answers stay within the sketch's (loose) envelope.
+        let r = c.rank(&20_000).unwrap();
+        assert!((r as f64 - 20_001.0).abs() / 20_001.0 < 0.2, "rank {r}");
+    }
+
+    #[test]
+    fn from_checkpoint_with_mode_restores_the_live_mode() {
+        use crate::CompactionMode;
+        let live = ConcurrentReqSketch::<u64>::new(
+            ReqSketch::<u64>::builder()
+                .k(12)
+                .seed(42)
+                .compaction_mode(CompactionMode::SortOnCompact),
+            2,
+        )
+        .unwrap();
+        live.update_batch(&(0..20_000u64).collect::<Vec<_>>());
+        let parts = live.checkpoint().unwrap();
+        // checkpoint preserved the non-default mode on the live side...
+        for shard in &live.shards {
+            assert_eq!(
+                shard.lock().compaction_mode(),
+                CompactionMode::SortOnCompact
+            );
+        }
+        // ...and the mode-aware restore mirrors it, while the plain
+        // restore lands on the default.
+        let twin = ConcurrentReqSketch::<u64>::from_checkpoint_with_mode(
+            &parts,
+            live.rotation(),
+            CompactionMode::SortOnCompact,
+        )
+        .unwrap();
+        for shard in &twin.shards {
+            assert_eq!(
+                shard.lock().compaction_mode(),
+                CompactionMode::SortOnCompact
+            );
+        }
+        let plain = ConcurrentReqSketch::<u64>::from_checkpoint(&parts, live.rotation()).unwrap();
+        for shard in &plain.shards {
+            assert_eq!(shard.lock().compaction_mode(), CompactionMode::SortedRuns);
+        }
+    }
+
+    #[test]
+    fn from_checkpoint_rejects_garbage() {
+        assert!(ConcurrentReqSketch::<u64>::from_checkpoint::<Vec<u8>>(&[], 0).is_err());
+        assert!(ConcurrentReqSketch::<u64>::from_checkpoint(&[b"junk".to_vec()], 0).is_err());
+
+        // Mixed configurations across shards are rejected.
+        let a = ConcurrentReqSketch::<u64>::new(builder(), 1).unwrap();
+        let b =
+            ConcurrentReqSketch::<u64>::new(ReqSketch::<u64>::builder().k(16).seed(9), 1).unwrap();
+        a.update_batch(&(0..1_000u64).collect::<Vec<_>>());
+        b.update_batch(&(0..1_000u64).collect::<Vec<_>>());
+        let mut parts = a.checkpoint().unwrap();
+        parts.extend(b.checkpoint().unwrap());
+        assert!(matches!(
+            ConcurrentReqSketch::<u64>::from_checkpoint(&parts, 0),
+            Err(ReqError::CorruptBytes(_))
+        ));
     }
 
     #[test]

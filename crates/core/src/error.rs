@@ -13,6 +13,18 @@ pub enum ReqError {
     IncompatibleMerge(String),
     /// A serialized byte stream is malformed or from an unsupported version.
     CorruptBytes(String),
+    /// An operating-system I/O failure (persistence or network paths).
+    ///
+    /// Carries the rendered `std::io::Error` message rather than the error
+    /// itself so `ReqError` stays `Clone + PartialEq + Eq` — sketch code
+    /// compares errors in tests, and an `io::Error` is neither.
+    Io(String),
+}
+
+impl From<std::io::Error> for ReqError {
+    fn from(e: std::io::Error) -> Self {
+        ReqError::Io(e.to_string())
+    }
 }
 
 impl fmt::Display for ReqError {
@@ -21,6 +33,7 @@ impl fmt::Display for ReqError {
             ReqError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             ReqError::IncompatibleMerge(msg) => write!(f, "incompatible merge: {msg}"),
             ReqError::CorruptBytes(msg) => write!(f, "corrupt bytes: {msg}"),
+            ReqError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }
@@ -42,6 +55,24 @@ mod tests {
         assert_eq!(e.to_string(), "incompatible merge: different k");
         let e = ReqError::CorruptBytes("bad magic".into());
         assert_eq!(e.to_string(), "corrupt bytes: bad magic");
+        let e = ReqError::Io("disk on fire".into());
+        assert_eq!(e.to_string(), "io error: disk on fire");
+    }
+
+    #[test]
+    fn io_error_converts_with_message() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "short read");
+        let e: ReqError = io.into();
+        match &e {
+            ReqError::Io(msg) => assert!(msg.contains("short read"), "{msg}"),
+            other => panic!("expected Io, got {other:?}"),
+        }
+        // The conversion supports `?` in functions returning ReqError.
+        fn reads() -> Result<(), ReqError> {
+            Err(std::io::Error::from(std::io::ErrorKind::NotFound))?;
+            Ok(())
+        }
+        assert!(matches!(reads(), Err(ReqError::Io(_))));
     }
 
     #[test]

@@ -57,6 +57,7 @@
 //! * [`quantiles_ext`] — rank bounds, batch ranks/quantiles, weighted
 //!   updates;
 //! * [`binary`] — versioned compact binary serialization;
+//! * [`frame`] — checksummed length-prefixed framing (WAL/snapshot files);
 //! * [`concurrent`] — sharded multi-writer ingestion (batched) with a
 //!   memoized merged snapshot for read-heavy monitoring;
 //! * [`ordf64`] — total-order `f64` wrapper ([`ReqF64`]).
@@ -69,6 +70,7 @@ pub mod builder;
 pub mod compactor;
 pub mod concurrent;
 pub mod error;
+pub mod frame;
 pub mod growing;
 pub mod merge;
 pub mod ordf64;

@@ -1,0 +1,7 @@
+//! Regenerates experiment `e16_service_recovery` of EXPERIMENTS.md. Run with `--release`.
+fn main() {
+    let cfg = harness::experiments::e16_service_recovery::Config::default();
+    for table in harness::experiments::e16_service_recovery::run(&cfg) {
+        println!("{table}");
+    }
+}

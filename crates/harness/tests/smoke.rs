@@ -1,5 +1,5 @@
 //! End-to-end smoke test of the experiment pipeline: every experiment
-//! module (e01–e15) runs at a scaled-down `Config` and must produce
+//! module (e01–e16) runs at a scaled-down `Config` and must produce
 //! well-formed, non-empty, renderable tables. The in-module `#[test]`s
 //! assert each experiment's *direction* (the paper claim); this test
 //! guards the *plumbing* — config handling, workload generation, sketch
@@ -181,5 +181,18 @@ smoke!(
         k: 16,
         shard_counts: vec![4],
         trials: 1,
+    }
+);
+
+smoke!(
+    e16_service_recovery_smoke,
+    e16_service_recovery,
+    e::e16_service_recovery::Config {
+        n: 1 << 12,
+        k: 16,
+        shards: 2,
+        batch: 1 << 8,
+        crash_fracs: vec![0.5],
+        snapshot_every_records: 4,
     }
 );

@@ -1,0 +1,79 @@
+//! `req-cli` — talk to a running `req-server`.
+//!
+//! ```text
+//! req-cli [--addr HOST:PORT] CMD [ARGS...]   one command, print the reply
+//! req-cli [--addr HOST:PORT] repl            interactive: one command per line
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! req-cli CREATE api.latency K=32 HRA
+//! req-cli ADDB api.latency 12.5 100.25 7.5
+//! req-cli QUANTILE api.latency 0.99
+//! req-cli STATS api.latency
+//! ```
+
+use req_service::ReqClient;
+use std::io::BufRead;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: req-cli [--addr HOST:PORT] CMD [ARGS...]\n\
+         \x20      req-cli [--addr HOST:PORT] repl\n\
+         commands: CREATE ADD ADDB RANK QUANTILE CDF STATS LIST SNAPSHOT DROP PING"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7878".to_string();
+    if args.first().map(String::as_str) == Some("--addr") {
+        if args.len() < 2 {
+            usage();
+        }
+        addr = args[1].clone();
+        args.drain(..2);
+    }
+    if args.is_empty() {
+        usage();
+    }
+
+    let mut client = match ReqClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("req-cli: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if args.len() == 1 && args[0] == "repl" {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(_) => break,
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match client.roundtrip(line.trim()) {
+                Ok(payload) if payload.is_empty() => println!("OK"),
+                Ok(payload) => println!("{payload}"),
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+        return;
+    }
+
+    let line = args.join(" ");
+    match client.roundtrip(&line) {
+        Ok(payload) if payload.is_empty() => println!("OK"),
+        Ok(payload) => println!("{payload}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

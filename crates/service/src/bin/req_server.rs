@@ -1,0 +1,95 @@
+//! `req-server` — run the durable quantile service over TCP.
+//!
+//! ```text
+//! req-server --data-dir DIR [--addr 127.0.0.1:7878] [--threads 4]
+//!            [--snapshot-interval-secs 30] [--snapshot-every-records N]
+//!            [--fsync]
+//! ```
+
+use req_service::{serve, QuantileService, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: req-server --data-dir DIR [--addr HOST:PORT] [--threads N]\n\
+         \x20                 [--snapshot-interval-secs N] [--snapshot-every-records N] [--fsync]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (ServiceConfig, String, usize, u64) {
+    let mut data_dir: Option<String> = None;
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut threads = 4usize;
+    let mut interval_secs = 30u64;
+    let mut every_records = 0u64;
+    let mut fsync = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--data-dir" => data_dir = Some(value(&mut i)),
+            "--addr" => addr = value(&mut i),
+            "--threads" => threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--snapshot-interval-secs" => {
+                interval_secs = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--snapshot-every-records" => {
+                every_records = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--fsync" => fsync = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(data_dir) = data_dir else { usage() };
+    let mut cfg = ServiceConfig::new(data_dir);
+    cfg.snapshot_every_records = every_records;
+    cfg.fsync = fsync;
+    (cfg, addr, threads, interval_secs)
+}
+
+fn main() {
+    let (cfg, addr, threads, interval_secs) = parse_args();
+    let data_dir = cfg.data_dir.clone();
+    let service = match QuantileService::open(cfg) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("req-server: cannot open {}: {e}", data_dir.display());
+            std::process::exit(1);
+        }
+    };
+    let report = service.recovery_report();
+    eprintln!(
+        "req-server: recovered data dir {} (snapshot gen {:?}, {} WAL records replayed, {} damaged bytes discarded)",
+        data_dir.display(),
+        report.snapshot_gen,
+        report.records_replayed,
+        report.damaged_bytes,
+    );
+
+    let _snapshotter =
+        (interval_secs > 0).then(|| service.spawn_snapshotter(Duration::from_secs(interval_secs)));
+
+    match serve(Arc::clone(&service), &addr, threads) {
+        Ok(handle) => {
+            println!("req-server: listening on {}", handle.addr());
+            // Serve until killed; durability is the whole point — state is
+            // recovered on the next start.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("req-server: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

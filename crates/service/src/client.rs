@@ -1,0 +1,217 @@
+//! Typed TCP client for the service's line protocol.
+//!
+//! One [`ReqClient`] wraps one connection; every method is a synchronous
+//! request/response round-trip. Remote failures come back as the same
+//! [`ReqError`] variants the server raised (see [`crate::protocol`]), so
+//! callers handle local and remote errors uniformly.
+
+use req_core::ReqError;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::parse_response;
+use crate::service::TenantStats;
+
+/// Options for [`ReqClient::create`] — the typed form of the `CREATE`
+/// option tokens. `None` fields take server defaults.
+#[derive(Debug, Clone, Default)]
+pub struct CreateOptions {
+    /// Relative-error target (switches the tenant to `(ε, δ)` sizing).
+    pub eps: Option<f64>,
+    /// Failure probability (requires `eps`).
+    pub delta: Option<f64>,
+    /// Direct section size (ignored when `eps` is set).
+    pub k: Option<u32>,
+    /// Rank-accuracy orientation: `Some(true)` = HRA, `Some(false)` = LRA.
+    pub hra: Option<bool>,
+    /// `true` = adaptive schedule, `false` = standard.
+    pub adaptive: Option<bool>,
+    /// Ingest shard count.
+    pub shards: Option<u32>,
+    /// Explicit RNG seed.
+    pub seed: Option<u64>,
+}
+
+impl CreateOptions {
+    fn tokens(&self) -> String {
+        let mut out = String::new();
+        if let Some(eps) = self.eps {
+            out.push_str(&format!(" EPS={eps}"));
+        }
+        if let Some(delta) = self.delta {
+            out.push_str(&format!(" DELTA={delta}"));
+        }
+        if let Some(k) = self.k {
+            out.push_str(&format!(" K={k}"));
+        }
+        if let Some(hra) = self.hra {
+            out.push_str(if hra { " HRA" } else { " LRA" });
+        }
+        if let Some(adaptive) = self.adaptive {
+            out.push_str(if adaptive {
+                " SCHEDULE=adaptive"
+            } else {
+                " SCHEDULE=standard"
+            });
+        }
+        if let Some(shards) = self.shards {
+            out.push_str(&format!(" SHARDS={shards}"));
+        }
+        if let Some(seed) = self.seed {
+            out.push_str(&format!(" SEED={seed}"));
+        }
+        out
+    }
+}
+
+/// A connected protocol client.
+#[derive(Debug)]
+pub struct ReqClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ReqClient {
+    /// Connect to a running `req-server`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ReqError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(300)))?;
+        let writer = stream.try_clone()?;
+        Ok(ReqClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one raw request line and return the response payload. The
+    /// typed methods below all funnel through here; it is public for
+    /// `req-cli`'s pass-through mode.
+    pub fn roundtrip(&mut self, line: &str) -> Result<String, ReqError> {
+        if line.contains('\n') || line.contains('\r') {
+            return Err(ReqError::InvalidParameter(
+                "request must be a single line".into(),
+            ));
+        }
+        // One write per request (see server.rs on TCP_NODELAY packets).
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ReqError::Io("server closed the connection".into()));
+        }
+        parse_response(response.trim_end_matches(['\r', '\n']))
+    }
+
+    /// `CREATE key` with options.
+    pub fn create(&mut self, key: &str, opts: &CreateOptions) -> Result<(), ReqError> {
+        self.roundtrip(&format!("CREATE {key}{}", opts.tokens()))
+            .map(|_| ())
+    }
+
+    /// `ADD key value`.
+    pub fn add(&mut self, key: &str, value: f64) -> Result<(), ReqError> {
+        self.roundtrip(&format!("ADD {key} {value}")).map(|_| ())
+    }
+
+    /// `ADDB key v…` — returns how many values the server ingested.
+    pub fn add_batch(&mut self, key: &str, values: &[f64]) -> Result<u64, ReqError> {
+        if values.is_empty() {
+            return Ok(0);
+        }
+        let mut line = format!("ADDB {key}");
+        for v in values {
+            line.push(' ');
+            line.push_str(&v.to_string());
+        }
+        let payload = self.roundtrip(&line)?;
+        payload
+            .parse()
+            .map_err(|_| ReqError::Io(format!("bad ADDB reply `{payload}`")))
+    }
+
+    /// `RANK key value`.
+    pub fn rank(&mut self, key: &str, value: f64) -> Result<u64, ReqError> {
+        let payload = self.roundtrip(&format!("RANK {key} {value}"))?;
+        payload
+            .parse()
+            .map_err(|_| ReqError::Io(format!("bad RANK reply `{payload}`")))
+    }
+
+    /// `QUANTILE key q`; `None` while the tenant is empty.
+    pub fn quantile(&mut self, key: &str, q: f64) -> Result<Option<f64>, ReqError> {
+        let payload = self.roundtrip(&format!("QUANTILE {key} {q}"))?;
+        if payload == "none" {
+            return Ok(None);
+        }
+        payload
+            .parse()
+            .map(Some)
+            .map_err(|_| ReqError::Io(format!("bad QUANTILE reply `{payload}`")))
+    }
+
+    /// `CDF key p…`.
+    pub fn cdf(&mut self, key: &str, points: &[f64]) -> Result<Vec<f64>, ReqError> {
+        let mut line = format!("CDF {key}");
+        for p in points {
+            line.push(' ');
+            line.push_str(&p.to_string());
+        }
+        let payload = self.roundtrip(&line)?;
+        payload
+            .split_whitespace()
+            .map(|t| {
+                t.parse()
+                    .map_err(|_| ReqError::Io(format!("bad CDF reply `{payload}`")))
+            })
+            .collect()
+    }
+
+    /// `STATS key`.
+    pub fn stats(&mut self, key: &str) -> Result<TenantStats, ReqError> {
+        self.roundtrip(&format!("STATS {key}"))?.parse()
+    }
+
+    /// `LIST` — all keys, sorted.
+    pub fn list(&mut self) -> Result<Vec<String>, ReqError> {
+        Ok(self
+            .roundtrip("LIST")?
+            .split_whitespace()
+            .map(str::to_string)
+            .collect())
+    }
+
+    /// `SNAPSHOT` — force a snapshot, returning the new generation.
+    pub fn snapshot(&mut self) -> Result<u64, ReqError> {
+        let payload = self.roundtrip("SNAPSHOT")?;
+        payload
+            .strip_prefix("snapshot ")
+            .and_then(|g| g.parse().ok())
+            .ok_or_else(|| ReqError::Io(format!("bad SNAPSHOT reply `{payload}`")))
+    }
+
+    /// `DROP key`.
+    pub fn drop_key(&mut self, key: &str) -> Result<(), ReqError> {
+        self.roundtrip(&format!("DROP {key}")).map(|_| ())
+    }
+
+    /// `PING`.
+    pub fn ping(&mut self) -> Result<(), ReqError> {
+        let payload = self.roundtrip("PING")?;
+        if payload == "pong" {
+            Ok(())
+        } else {
+            Err(ReqError::Io(format!("bad PING reply `{payload}`")))
+        }
+    }
+
+    /// `QUIT` — ask the server to close this connection.
+    pub fn quit(mut self) -> Result<(), ReqError> {
+        self.roundtrip("QUIT").map(|_| ())
+    }
+}

@@ -1,0 +1,376 @@
+//! Per-tenant sketch configuration and service-wide settings.
+//!
+//! A tenant's [`TenantConfig`] is decided once, at `CREATE`, and then
+//! becomes part of the durable record: it is encoded into the WAL's
+//! `Create` record and into every snapshot, so recovery rebuilds each
+//! tenant's sharded sketch with exactly the parameters — **and seed** —
+//! the original had. The seed is what makes replay deterministic: a
+//! recovered sketch that re-applies the same batches flips the same coins.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use req_core::binary::Packable;
+use req_core::{CompactionSchedule, ConcurrentReqSketch, OrdF64, ParamPolicy, ReqError, ReqSketch};
+use std::fmt;
+use std::path::PathBuf;
+
+/// Longest accepted tenant key (protocol tokens stay single-line friendly).
+pub const MAX_KEY_LEN: usize = 128;
+
+/// How a tenant's REQ sketch is parameterized. One of:
+///
+/// * a direct section size `k` (the workhorse knob), or
+/// * an accuracy target `(ε, δ)` resolved through
+///   [`ParamPolicy::mergeable`] — the right choice when the caller thinks
+///   in error guarantees rather than sketch internals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Accuracy {
+    /// Fixed section size `k` (even, ≥ 4).
+    K(u32),
+    /// Relative-error target `ε` with failure probability `δ`.
+    EpsDelta(f64, f64),
+}
+
+/// Everything needed to (re)build one tenant's sharded sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantConfig {
+    /// Sketch accuracy parameterization.
+    pub accuracy: Accuracy,
+    /// High-rank orientation (`true` = tail quantiles get the tight side
+    /// of the guarantee; the default for latency workloads).
+    pub hra: bool,
+    /// Compaction schedule for every shard. [`CompactionSchedule::Adaptive`]
+    /// is the default: service snapshots merge shards constantly, and the
+    /// adaptive schedule keeps those merges seamless (E15).
+    pub schedule: CompactionSchedule,
+    /// Number of ingest shards behind the tenant's
+    /// [`ConcurrentReqSketch`].
+    pub shards: u32,
+    /// Base RNG seed. Defaults to a stable hash of the key so identical
+    /// `CREATE`s — including replayed ones — build identical sketches.
+    pub seed: u64,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig {
+            accuracy: Accuracy::K(32),
+            hra: true,
+            schedule: CompactionSchedule::Adaptive,
+            shards: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// Stable 64-bit FNV-1a over the key, used for default seeds (and registry
+/// lock sharding). Deliberately *not* `DefaultHasher`: the seed lands in
+/// durable state, so it must never depend on an unspecified std detail.
+pub fn stable_key_hash(key: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Validate a tenant key: printable ASCII without spaces, bounded length.
+pub fn validate_key(key: &str) -> Result<(), ReqError> {
+    if key.is_empty() || key.len() > MAX_KEY_LEN {
+        return Err(ReqError::InvalidParameter(format!(
+            "key must be 1..={MAX_KEY_LEN} bytes"
+        )));
+    }
+    if !key
+        .bytes()
+        .all(|b| b.is_ascii_graphic() && b != b'"' && b != b'\\')
+    {
+        return Err(ReqError::InvalidParameter(
+            "key must be printable ASCII without spaces, quotes, or backslashes".into(),
+        ));
+    }
+    Ok(())
+}
+
+impl TenantConfig {
+    /// Default configuration for `key`: seed derived from the key name.
+    pub fn for_key(key: &str) -> Self {
+        TenantConfig {
+            seed: stable_key_hash(key),
+            ..TenantConfig::default()
+        }
+    }
+
+    /// Parse `CREATE` option tokens (`EPS=0.01`, `DELTA=0.05`, `K=32`,
+    /// `HRA`, `LRA`, `SCHEDULE=standard|adaptive`, `SHARDS=4`, `SEED=7`)
+    /// on top of [`TenantConfig::for_key`] defaults.
+    pub fn parse(key: &str, tokens: &[&str]) -> Result<Self, ReqError> {
+        let mut cfg = TenantConfig::for_key(key);
+        let mut eps: Option<f64> = None;
+        let mut delta: Option<f64> = None;
+        let bad = |t: &str| ReqError::InvalidParameter(format!("bad CREATE option `{t}`"));
+        for t in tokens {
+            let upper = t.to_ascii_uppercase();
+            match upper.as_str() {
+                "HRA" => cfg.hra = true,
+                "LRA" => cfg.hra = false,
+                _ => {
+                    let (name, value) = upper.split_once('=').ok_or_else(|| bad(t))?;
+                    match name {
+                        "EPS" => eps = Some(value.parse().map_err(|_| bad(t))?),
+                        "DELTA" => delta = Some(value.parse().map_err(|_| bad(t))?),
+                        "K" => cfg.accuracy = Accuracy::K(value.parse().map_err(|_| bad(t))?),
+                        "SHARDS" => cfg.shards = value.parse().map_err(|_| bad(t))?,
+                        "SEED" => cfg.seed = value.parse().map_err(|_| bad(t))?,
+                        "SCHEDULE" => {
+                            cfg.schedule = match value {
+                                "STANDARD" => CompactionSchedule::Standard,
+                                "ADAPTIVE" => CompactionSchedule::Adaptive,
+                                _ => return Err(bad(t)),
+                            }
+                        }
+                        _ => return Err(bad(t)),
+                    }
+                }
+            }
+        }
+        if let Some(e) = eps {
+            cfg.accuracy = Accuracy::EpsDelta(e, delta.unwrap_or(0.05));
+        } else if delta.is_some() {
+            return Err(ReqError::InvalidParameter(
+                "DELTA requires EPS to be given too".into(),
+            ));
+        }
+        cfg.build()?; // validate parameters eagerly, before anything is logged
+        Ok(cfg)
+    }
+
+    /// Resolve into the sketch policy this configuration names.
+    pub fn policy(&self) -> Result<ParamPolicy, ReqError> {
+        match self.accuracy {
+            Accuracy::K(k) => ParamPolicy::fixed_k(k),
+            Accuracy::EpsDelta(eps, delta) => ParamPolicy::mergeable(eps, delta),
+        }
+    }
+
+    /// Build the tenant's sharded sketch.
+    pub fn build(&self) -> Result<ConcurrentReqSketch<OrdF64>, ReqError> {
+        if self.shards == 0 || self.shards > 256 {
+            return Err(ReqError::InvalidParameter(
+                "SHARDS must be in 1..=256".into(),
+            ));
+        }
+        let builder = ReqSketch::<OrdF64>::builder()
+            .policy(self.policy()?)
+            .high_rank_accuracy(self.hra)
+            .schedule(self.schedule)
+            .seed(self.seed);
+        ConcurrentReqSketch::new(builder, self.shards as usize)
+    }
+
+    /// Encode into a WAL/snapshot payload fragment.
+    pub fn encode(&self, out: &mut BytesMut) {
+        match self.accuracy {
+            Accuracy::K(k) => {
+                out.put_u8(0);
+                out.put_u32_le(k);
+                out.put_u64_le(0);
+            }
+            Accuracy::EpsDelta(eps, delta) => {
+                out.put_u8(1);
+                out.put_u64_le(eps.to_bits());
+                out.put_u64_le(delta.to_bits());
+            }
+        }
+        out.put_u8(self.hra as u8);
+        out.put_u8(match self.schedule {
+            CompactionSchedule::Standard => 0,
+            CompactionSchedule::Adaptive => 1,
+        });
+        out.put_u32_le(self.shards);
+        out.put_u64_le(self.seed);
+    }
+
+    /// Decode a fragment produced by [`TenantConfig::encode`].
+    pub fn decode(input: &mut Bytes) -> Result<Self, ReqError> {
+        let corrupt = |what: &str| ReqError::CorruptBytes(format!("tenant config: {what}"));
+        let accuracy = match u8::unpack(input)? {
+            0 => {
+                let k = u32::unpack(input)?;
+                u64::unpack(input)?; // reserved
+                Accuracy::K(k)
+            }
+            1 => {
+                let eps = f64::from_bits(u64::unpack(input)?);
+                let delta = f64::from_bits(u64::unpack(input)?);
+                Accuracy::EpsDelta(eps, delta)
+            }
+            t => return Err(corrupt(&format!("unknown accuracy tag {t}"))),
+        };
+        let hra = match u8::unpack(input)? {
+            0 => false,
+            1 => true,
+            b => return Err(corrupt(&format!("bad hra byte {b}"))),
+        };
+        let schedule = match u8::unpack(input)? {
+            0 => CompactionSchedule::Standard,
+            1 => CompactionSchedule::Adaptive,
+            b => return Err(corrupt(&format!("bad schedule byte {b}"))),
+        };
+        let shards = u32::unpack(input)?;
+        let seed = u64::unpack(input)?;
+        let cfg = TenantConfig {
+            accuracy,
+            hra,
+            schedule,
+            shards,
+            seed,
+        };
+        // A config from disk must still name a buildable sketch.
+        cfg.build().map_err(|e| corrupt(&e.to_string()))?;
+        Ok(cfg)
+    }
+}
+
+impl fmt::Display for TenantConfig {
+    /// The `CREATE` option form that reproduces this configuration.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.accuracy {
+            Accuracy::K(k) => write!(f, "K={k}")?,
+            Accuracy::EpsDelta(eps, delta) => write!(f, "EPS={eps} DELTA={delta}")?,
+        }
+        write!(
+            f,
+            " {} SCHEDULE={} SHARDS={} SEED={}",
+            if self.hra { "HRA" } else { "LRA" },
+            match self.schedule {
+                CompactionSchedule::Standard => "standard",
+                CompactionSchedule::Adaptive => "adaptive",
+            },
+            self.shards,
+            self.seed
+        )
+    }
+}
+
+/// Service-wide settings: where durable state lives and when snapshots
+/// happen.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Directory holding `snap-*.snap` and `wal-*.log`. Created on open.
+    pub data_dir: PathBuf,
+    /// Lock-shard count of the tenant registry (keys hash across these).
+    pub registry_shards: usize,
+    /// Write a snapshot (and rotate the WAL) automatically once this many
+    /// records accumulate in the live WAL generation. `0` disables the
+    /// record-count trigger — snapshots then happen only via
+    /// `SNAPSHOT`/`snapshot_now` or the background snapshotter.
+    pub snapshot_every_records: u64,
+    /// `fsync` snapshot files and WAL rotations (crash-of-OS durability).
+    /// Off by default: the service always flushes each WAL record to the
+    /// OS, which survives a crash of the *process* — the failure mode the
+    /// recovery proof (E16) targets.
+    pub fsync: bool,
+}
+
+impl ServiceConfig {
+    /// Settings rooted at `data_dir`, defaults elsewhere.
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        ServiceConfig {
+            data_dir: data_dir.into(),
+            registry_shards: 16,
+            snapshot_every_records: 0,
+            fsync: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Buf;
+
+    #[test]
+    fn default_parse_roundtrips_through_encode() {
+        for (key, tokens) in [
+            ("latency", &[][..]),
+            ("latency", &["K=16", "LRA", "SHARDS=2"][..]),
+            (
+                "api.p99",
+                &["EPS=0.02", "DELTA=0.1", "SCHEDULE=standard"][..],
+            ),
+            ("x", &["SEED=99", "HRA", "SCHEDULE=adaptive"][..]),
+        ] {
+            let cfg = TenantConfig::parse(key, tokens).unwrap();
+            let mut out = BytesMut::new();
+            cfg.encode(&mut out);
+            let mut input = out.freeze();
+            let back = TenantConfig::decode(&mut input).unwrap();
+            assert_eq!(back, cfg, "roundtrip for {tokens:?}");
+            assert!(!input.has_remaining());
+        }
+    }
+
+    #[test]
+    fn display_form_reparses_to_same_config() {
+        let cfg = TenantConfig::parse("t", &["EPS=0.05", "LRA", "SHARDS=3"]).unwrap();
+        let line = cfg.to_string();
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let back = TenantConfig::parse("t", &tokens).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn seed_is_stable_per_key_and_differs_across_keys() {
+        let a = TenantConfig::for_key("alpha");
+        let b = TenantConfig::for_key("alpha");
+        let c = TenantConfig::for_key("beta");
+        assert_eq!(a.seed, b.seed);
+        assert_ne!(a.seed, c.seed);
+    }
+
+    #[test]
+    fn bad_options_are_rejected() {
+        for tokens in [
+            &["NOPE"][..],
+            &["K=3"][..], // odd k rejected by the policy
+            &["K=abc"][..],
+            &["DELTA=0.1"][..], // delta without eps
+            &["EPS=2.0"][..],   // out of range
+            &["SHARDS=0"][..],
+            &["SCHEDULE=soon"][..],
+        ] {
+            assert!(
+                TenantConfig::parse("k", tokens).is_err(),
+                "{tokens:?} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn key_validation() {
+        assert!(validate_key("good-key_9.z").is_ok());
+        assert!(validate_key("").is_err());
+        assert!(validate_key("has space").is_err());
+        assert!(validate_key("quote\"char").is_err());
+        assert!(validate_key(&"x".repeat(MAX_KEY_LEN + 1)).is_err());
+        assert!(validate_key("ünïcode").is_err());
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_fragments() {
+        let cfg = TenantConfig::for_key("t");
+        let mut out = BytesMut::new();
+        cfg.encode(&mut out);
+        let good = out.freeze().to_vec();
+        // Truncations and a bad tag byte all reject.
+        for cut in 0..good.len() {
+            let mut input = Bytes::copy_from_slice(&good[..cut]);
+            assert!(TenantConfig::decode(&mut input).is_err(), "cut {cut}");
+        }
+        let mut bad = good.clone();
+        bad[0] = 7;
+        let mut input = Bytes::copy_from_slice(&bad);
+        assert!(TenantConfig::decode(&mut input).is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! The wire protocol: one line per request, one line per response.
+//!
+//! Text, not binary, on purpose: the service is debuggable with `nc`, and
+//! Rust's `f64` Display/FromStr round-trip exactly (shortest-repr
+//! printing), so no precision is lost crossing the wire.
+//!
+//! ```text
+//! CREATE key [EPS=f] [DELTA=f] [K=n] [HRA|LRA] [SCHEDULE=s] [SHARDS=n] [SEED=n]
+//! ADD key value
+//! ADDB key v1 v2 v3 ...
+//! RANK key value
+//! QUANTILE key q
+//! CDF key p1 p2 ...
+//! STATS key
+//! LIST
+//! SNAPSHOT
+//! DROP key
+//! PING
+//! QUIT
+//! ```
+//!
+//! Responses are `OK[ payload]` or `ERR <kind> <message>`, where `kind`
+//! is one of `invalid`, `incompatible`, `corrupt`, `io` — the client maps
+//! it back onto the matching [`ReqError`] variant, so a remote failure is
+//! indistinguishable (by type) from a local one.
+
+use req_core::ReqError;
+
+use crate::config::TenantConfig;
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `CREATE key [options…]`
+    Create {
+        /// Tenant key.
+        key: String,
+        /// Resolved tenant configuration.
+        config: TenantConfig,
+    },
+    /// `ADD key value`
+    Add {
+        /// Tenant key.
+        key: String,
+        /// Value to ingest.
+        value: f64,
+    },
+    /// `ADDB key v1 v2 …`
+    AddBatch {
+        /// Tenant key.
+        key: String,
+        /// Values to ingest, in order.
+        values: Vec<f64>,
+    },
+    /// `RANK key value`
+    Rank {
+        /// Tenant key.
+        key: String,
+        /// Query point.
+        value: f64,
+    },
+    /// `QUANTILE key q`
+    Quantile {
+        /// Tenant key.
+        key: String,
+        /// Normalized rank in `[0, 1]`.
+        q: f64,
+    },
+    /// `CDF key p1 p2 …`
+    Cdf {
+        /// Tenant key.
+        key: String,
+        /// Ascending split points.
+        points: Vec<f64>,
+    },
+    /// `STATS key`
+    Stats {
+        /// Tenant key.
+        key: String,
+    },
+    /// `LIST`
+    List,
+    /// `SNAPSHOT`
+    Snapshot,
+    /// `DROP key`
+    Drop {
+        /// Tenant key.
+        key: String,
+    },
+    /// `PING`
+    Ping,
+    /// `QUIT`
+    Quit,
+}
+
+fn parse_f64(token: &str) -> Result<f64, ReqError> {
+    token
+        .parse()
+        .map_err(|_| ReqError::InvalidParameter(format!("bad number `{token}`")))
+}
+
+fn parse_f64s(tokens: &[&str]) -> Result<Vec<f64>, ReqError> {
+    tokens.iter().map(|t| parse_f64(t)).collect()
+}
+
+impl Command {
+    /// Parse one request line.
+    pub fn parse(line: &str) -> Result<Command, ReqError> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let bad = |msg: String| Err(ReqError::InvalidParameter(msg));
+        let Some(&verb) = tokens.first() else {
+            return bad("empty command".into());
+        };
+        let args = &tokens[1..];
+        let need_key = || -> Result<String, ReqError> {
+            args.first()
+                .map(|k| k.to_string())
+                .ok_or_else(|| ReqError::InvalidParameter(format!("{verb} needs a key")))
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "CREATE" => {
+                let key = need_key()?;
+                let config = TenantConfig::parse(&key, &args[1..])?;
+                Ok(Command::Create { key, config })
+            }
+            "ADD" | "RANK" | "QUANTILE" => {
+                let key = need_key()?;
+                if args.len() != 2 {
+                    return bad(format!("{verb} needs exactly `key value`"));
+                }
+                let value = parse_f64(args[1])?;
+                Ok(match verb.to_ascii_uppercase().as_str() {
+                    "ADD" => Command::Add { key, value },
+                    "RANK" => Command::Rank { key, value },
+                    _ => Command::Quantile { key, q: value },
+                })
+            }
+            "ADDB" => {
+                let key = need_key()?;
+                if args.len() < 2 {
+                    return bad("ADDB needs at least one value".into());
+                }
+                Ok(Command::AddBatch {
+                    key,
+                    values: parse_f64s(&args[1..])?,
+                })
+            }
+            "CDF" => {
+                let key = need_key()?;
+                if args.len() < 2 {
+                    return bad("CDF needs at least one split point".into());
+                }
+                Ok(Command::Cdf {
+                    key,
+                    points: parse_f64s(&args[1..])?,
+                })
+            }
+            "STATS" => Ok(Command::Stats { key: need_key()? }),
+            "DROP" => Ok(Command::Drop { key: need_key()? }),
+            "LIST" => Ok(Command::List),
+            "SNAPSHOT" => Ok(Command::Snapshot),
+            "PING" => Ok(Command::Ping),
+            "QUIT" => Ok(Command::Quit),
+            other => bad(format!("unknown command `{other}`")),
+        }
+    }
+}
+
+/// Render a handler result as one response line.
+pub fn format_response(result: &Result<String, ReqError>) -> String {
+    match result {
+        Ok(payload) if payload.is_empty() => "OK".to_string(),
+        Ok(payload) => format!("OK {payload}"),
+        Err(e) => {
+            let (kind, msg) = match e {
+                ReqError::InvalidParameter(m) => ("invalid", m),
+                ReqError::IncompatibleMerge(m) => ("incompatible", m),
+                ReqError::CorruptBytes(m) => ("corrupt", m),
+                ReqError::Io(m) => ("io", m),
+            };
+            // Responses are line-framed; a message must not smuggle one.
+            format!("ERR {kind} {}", msg.replace(['\r', '\n'], " "))
+        }
+    }
+}
+
+/// Parse a response line back into the handler result (client side).
+pub fn parse_response(line: &str) -> Result<String, ReqError> {
+    if let Some(payload) = line.strip_prefix("OK") {
+        return Ok(payload.strip_prefix(' ').unwrap_or(payload).to_string());
+    }
+    if let Some(rest) = line.strip_prefix("ERR ") {
+        let (kind, msg) = rest.split_once(' ').unwrap_or((rest, ""));
+        let msg = msg.to_string();
+        return Err(match kind {
+            "invalid" => ReqError::InvalidParameter(msg),
+            "incompatible" => ReqError::IncompatibleMerge(msg),
+            "corrupt" => ReqError::CorruptBytes(msg),
+            "io" => ReqError::Io(msg),
+            _ => ReqError::Io(format!("unparseable error response: {line}")),
+        });
+    }
+    Err(ReqError::Io(format!("unparseable response: {line}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Accuracy;
+
+    #[test]
+    fn commands_parse() {
+        assert_eq!(
+            Command::parse("ADD lat 3.25").unwrap(),
+            Command::Add {
+                key: "lat".into(),
+                value: 3.25
+            }
+        );
+        assert_eq!(
+            Command::parse("addb k 1 2.5 -3e4").unwrap(),
+            Command::AddBatch {
+                key: "k".into(),
+                values: vec![1.0, 2.5, -3e4]
+            }
+        );
+        assert_eq!(
+            Command::parse("QUANTILE k 0.99").unwrap(),
+            Command::Quantile {
+                key: "k".into(),
+                q: 0.99
+            }
+        );
+        assert_eq!(
+            Command::parse("CDF k 1 2 3").unwrap(),
+            Command::Cdf {
+                key: "k".into(),
+                points: vec![1.0, 2.0, 3.0]
+            }
+        );
+        let Command::Create { key, config } =
+            Command::parse("CREATE api.p99 EPS=0.02 LRA SHARDS=2").unwrap()
+        else {
+            panic!("expected CREATE");
+        };
+        assert_eq!(key, "api.p99");
+        assert_eq!(config.accuracy, Accuracy::EpsDelta(0.02, 0.05));
+        assert!(!config.hra);
+        assert_eq!(config.shards, 2);
+        assert_eq!(Command::parse("LIST").unwrap(), Command::List);
+        assert_eq!(Command::parse("ping").unwrap(), Command::Ping);
+        assert_eq!(Command::parse("QUIT").unwrap(), Command::Quit);
+        assert_eq!(Command::parse("SNAPSHOT").unwrap(), Command::Snapshot);
+        assert_eq!(
+            Command::parse("DROP k").unwrap(),
+            Command::Drop { key: "k".into() }
+        );
+    }
+
+    #[test]
+    fn bad_commands_reject() {
+        for line in [
+            "",
+            "   ",
+            "NOPE",
+            "ADD",
+            "ADD key",
+            "ADD key x",
+            "ADD key 1 2",
+            "ADDB key",
+            "CDF key",
+            "RANK key one",
+            "CREATE",
+            "CREATE key BOGUS=1",
+        ] {
+            assert!(Command::parse(line).is_err(), "`{line}` accepted");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for result in [
+            Ok(String::new()),
+            Ok("42".to_string()),
+            Ok("1 2 3".to_string()),
+            Err(ReqError::InvalidParameter("no such key `x`".into())),
+            Err(ReqError::IncompatibleMerge("different k".into())),
+            Err(ReqError::CorruptBytes("checksum".into())),
+            Err(ReqError::Io("broken pipe".into())),
+        ] {
+            let line = format_response(&result);
+            assert!(!line.contains('\n'));
+            let back = parse_response(&line);
+            assert_eq!(back, result, "through `{line}`");
+        }
+    }
+
+    #[test]
+    fn newlines_in_error_messages_are_flattened() {
+        let e = Err(ReqError::Io("two\nlines".into()));
+        let line = format_response(&e);
+        assert!(!line.contains('\n'));
+        assert!(matches!(parse_response(&line), Err(ReqError::Io(m)) if m == "two lines"));
+    }
+
+    #[test]
+    fn f64_display_roundtrips_exactly() {
+        // The protocol's losslessness rests on this std guarantee.
+        for v in [0.1, 1.0 / 3.0, f64::MAX, f64::MIN_POSITIVE, -0.0, 1e-300] {
+            let s = format!("{v}");
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} via `{s}`");
+        }
+    }
+}

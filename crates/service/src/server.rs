@@ -1,0 +1,250 @@
+//! TCP front-end: a small pool of accept-and-serve threads.
+//!
+//! No async runtime — the vendor tree is offline and a quantile query is
+//! microseconds of CPU, so a handful of blocking threads each owning one
+//! connection at a time serves heavy traffic fine (connections are meant
+//! to be pooled/reused by clients; every request is one line, every
+//! response one line). All workers call `accept` on clones of the same
+//! listener; the kernel load-balances.
+//!
+//! Shutdown: a flag flips, then one wake-up connection per worker unblocks
+//! its `accept`, then the threads are joined. In-flight connections finish
+//! their current request and close.
+
+use parking_lot::Mutex;
+use req_core::ReqError;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::protocol::{format_response, Command};
+use crate::service::QuantileService;
+
+/// Longest accepted request line (an `ADDB` of ~400k values). Longer
+/// lines get an error and the connection closes.
+pub const MAX_LINE_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Live-connection table: lets shutdown unblock workers that are mid-read
+/// on an idle client instead of waiting out the read timeout.
+#[derive(Debug, Default)]
+struct ConnTable {
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next: AtomicU64,
+}
+
+impl ConnTable {
+    fn register(&self, stream: &TcpStream) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            self.conns.lock().insert(id, clone);
+        }
+        id
+    }
+
+    fn deregister(&self, id: u64) {
+        self.conns.lock().remove(&id);
+    }
+
+    fn shutdown_all(&self) {
+        for conn in self.conns.lock().values() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Handle to a running server; stops and joins the workers on drop.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns: Arc<ConnTable>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake the workers, and join them.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock workers parked on an idle connection's read...
+        self.conns.shutdown_all();
+        // ...and workers parked in accept.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+/// `service` on `threads` workers.
+pub fn serve(
+    service: Arc<QuantileService>,
+    addr: &str,
+    threads: usize,
+) -> Result<ServerHandle, ReqError> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let conns = Arc::new(ConnTable::default());
+    let threads = threads.clamp(1, 64);
+    let workers = (0..threads)
+        .map(|_| -> Result<_, ReqError> {
+            let listener = listener.try_clone()?;
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            Ok(std::thread::spawn(move || {
+                worker_loop(listener, service, stop, conns)
+            }))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ServerHandle {
+        addr: local,
+        stop,
+        conns,
+        workers,
+    })
+}
+
+fn worker_loop(
+    listener: TcpListener,
+    service: Arc<QuantileService>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<ConnTable>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => {
+                // A persistent accept failure (e.g. fd exhaustion) must
+                // not become a busy spin — and must not outlive shutdown,
+                // whose wake-up connect may itself be failing.
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // One-line responses must leave immediately (Nagle + delayed ACK
+        // turns each round-trip into ~40ms otherwise), and a hung client
+        // must not pin a worker forever.
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(300)));
+        let id = conns.register(&stream);
+        // Close the shutdown race: if stop was set between the check above
+        // and our registration, shutdown_all() may already have swept an
+        // empty table — registration goes through the same lock, so by the
+        // time we got the slot the flag is visible; shut our own stream so
+        // the read below returns immediately instead of holding join()
+        // until the read timeout.
+        if stop.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let _ = handle_connection(stream, &service);
+        conns.deregister(id);
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, service: &QuantileService) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Bound the read so one hostile line cannot exhaust memory.
+        let n = (&mut reader).take(MAX_LINE_BYTES).read_line(&mut line)?;
+        if n == 0 {
+            return Ok(()); // clean EOF
+        }
+        if n as u64 == MAX_LINE_BYTES && !line.ends_with('\n') {
+            let e: Result<String, ReqError> = Err(ReqError::InvalidParameter(format!(
+                "request line exceeds {MAX_LINE_BYTES} bytes"
+            )));
+            let mut response = format_response(&e);
+            response.push('\n');
+            writer.write_all(response.as_bytes())?;
+            return Ok(());
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = Command::parse(&line);
+        let quit = matches!(parsed, Ok(Command::Quit));
+        let result = parsed.and_then(|cmd| dispatch(service, cmd));
+        // One write per response: with TCP_NODELAY a separate newline
+        // write would flush as its own packet on every round-trip.
+        let mut response = format_response(&result);
+        response.push('\n');
+        writer.write_all(response.as_bytes())?;
+        writer.flush()?;
+        if quit {
+            return Ok(());
+        }
+    }
+}
+
+/// Execute one command against the service, rendering the reply payload.
+pub fn dispatch(service: &QuantileService, cmd: Command) -> Result<String, ReqError> {
+    match cmd {
+        Command::Create { key, config } => {
+            service.create(&key, config)?;
+            Ok("created".to_string())
+        }
+        Command::Add { key, value } => {
+            service.add(&key, value)?;
+            Ok(String::new())
+        }
+        Command::AddBatch { key, values } => {
+            let values: Vec<req_core::OrdF64> = values.into_iter().map(req_core::OrdF64).collect();
+            let n = service.add_batch(&key, &values)?;
+            Ok(n.to_string())
+        }
+        Command::Rank { key, value } => Ok(service.rank(&key, value)?.to_string()),
+        Command::Quantile { key, q } => Ok(match service.quantile(&key, q)? {
+            Some(v) => v.to_string(),
+            None => "none".to_string(),
+        }),
+        Command::Cdf { key, points } => {
+            let cdf = service.cdf(&key, &points)?;
+            Ok(cdf.iter().map(f64::to_string).collect::<Vec<_>>().join(" "))
+        }
+        Command::Stats { key } => Ok(service.stats(&key)?.to_string()),
+        Command::List => Ok(service.list().join(" ")),
+        Command::Snapshot => Ok(format!("snapshot {}", service.snapshot_now()?)),
+        Command::Drop { key } => {
+            service.drop_key(&key)?;
+            Ok("dropped".to_string())
+        }
+        Command::Ping => Ok("pong".to_string()),
+        Command::Quit => Ok("bye".to_string()),
+    }
+}

@@ -1,0 +1,328 @@
+//! Snapshot store: full registry images built on binary format v3.
+//!
+//! A snapshot file freezes every tenant — configuration, round-robin
+//! rotation, and each ingest shard's exact [`req_core::binary`] payload —
+//! at one WAL rotation point. Layout:
+//!
+//! ```text
+//! "REQSNAP1" | frame(header: gen u64 | tenant_count u32)
+//!            | frame(tenant 0) | frame(tenant 1) | ...
+//! ```
+//!
+//! Each tenant frame carries `key | config | rotation u64 | shard_count
+//! u32 | (len u32 | sketch bytes)*`. Frames (see [`req_core::frame`]) make
+//! a half-written or bit-rotted snapshot *detectably* invalid: the loader
+//! verifies every checksum and [`latest_valid`] falls back to the newest
+//! snapshot that loads in full.
+//!
+//! Writes go through a `*.tmp` + atomic-rename dance, so a crash mid-write
+//! never shadows the previous good snapshot.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use req_core::binary::Packable;
+use req_core::frame::{read_frame, write_frame};
+use req_core::ReqError;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::config::TenantConfig;
+
+/// Snapshot file magic.
+pub const SNAP_MAGIC: &[u8; 8] = b"REQSNAP1";
+
+/// One tenant frozen at the snapshot's rotation point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSnapshot {
+    /// Tenant key.
+    pub key: String,
+    /// Configuration (carries the seed — recovery rebuilds identically).
+    pub config: TenantConfig,
+    /// The sharded sketch's round-robin counter at checkpoint time.
+    pub rotation: u64,
+    /// Per-shard [`req_core::ReqSketch::to_bytes`] payloads.
+    pub shards: Vec<Vec<u8>>,
+}
+
+/// A fully-loaded snapshot file.
+#[derive(Debug)]
+pub struct SnapshotData {
+    /// WAL generation this snapshot begins (replay `wal-<gen>.log` on top).
+    pub gen: u64,
+    /// Tenants in key order.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+/// `snap-<gen>.snap` path under `dir`.
+pub fn snapshot_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("snap-{gen:010}.snap"))
+}
+
+/// `wal-<gen>.log` path under `dir`.
+pub fn wal_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("wal-{gen:010}.log"))
+}
+
+/// Parse `<stem>-<gen 10 digits>.<ext>` names back into generations.
+fn parse_gen(name: &str, stem: &str, ext: &str) -> Option<u64> {
+    let rest = name.strip_prefix(stem)?.strip_prefix('-')?;
+    let digits = rest.strip_suffix(ext)?.strip_suffix('.')?;
+    if digits.len() != 10 {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Generations of every `snap-*.snap` (ascending).
+pub fn snapshot_gens(dir: &Path) -> Result<Vec<u64>, ReqError> {
+    list_gens(dir, "snap", "snap")
+}
+
+/// Generations of every `wal-*.log` (ascending).
+pub fn wal_gens(dir: &Path) -> Result<Vec<u64>, ReqError> {
+    list_gens(dir, "wal", "log")
+}
+
+fn list_gens(dir: &Path, stem: &str, ext: &str) -> Result<Vec<u64>, ReqError> {
+    let mut gens = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(name) = entry.file_name().to_str() {
+            if let Some(gen) = parse_gen(name, stem, ext) {
+                gens.push(gen);
+            }
+        }
+    }
+    gens.sort_unstable();
+    Ok(gens)
+}
+
+fn encode_tenant(t: &TenantSnapshot) -> Bytes {
+    let mut out = BytesMut::new();
+    t.key.pack(&mut out);
+    t.config.encode(&mut out);
+    out.put_u64_le(t.rotation);
+    out.put_u32_le(t.shards.len() as u32);
+    for shard in &t.shards {
+        out.put_u32_le(shard.len() as u32);
+        out.put_slice(shard);
+    }
+    out.freeze()
+}
+
+fn decode_tenant(payload: &[u8]) -> Result<TenantSnapshot, ReqError> {
+    let mut input = Bytes::copy_from_slice(payload);
+    let key = String::unpack(&mut input)?;
+    let config = TenantConfig::decode(&mut input)?;
+    let rotation = u64::unpack(&mut input)?;
+    let shard_count = u32::unpack(&mut input)? as usize;
+    if shard_count == 0 || shard_count > 256 {
+        return Err(ReqError::CorruptBytes(format!(
+            "snapshot tenant `{key}` claims {shard_count} shards"
+        )));
+    }
+    let mut shards = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        let len = u32::unpack(&mut input)? as usize;
+        if len > input.remaining() {
+            return Err(ReqError::CorruptBytes(format!(
+                "snapshot tenant `{key}` shard claims {len} bytes, {} remain",
+                input.remaining()
+            )));
+        }
+        shards.push(input.copy_to_bytes(len).to_vec());
+    }
+    if input.has_remaining() {
+        return Err(ReqError::CorruptBytes(format!(
+            "{} trailing bytes in snapshot tenant `{key}`",
+            input.remaining()
+        )));
+    }
+    Ok(TenantSnapshot {
+        key,
+        config,
+        rotation,
+        shards,
+    })
+}
+
+/// Write `snap-<gen>.snap` atomically (tmp + rename). With `fsync`, the
+/// file is synced before the rename so the name never points at data the
+/// OS hasn't persisted.
+pub fn write_snapshot(
+    dir: &Path,
+    gen: u64,
+    tenants: &[TenantSnapshot],
+    fsync: bool,
+) -> Result<PathBuf, ReqError> {
+    let mut out = BytesMut::new();
+    out.put_slice(SNAP_MAGIC);
+    let mut header = BytesMut::new();
+    header.put_u64_le(gen);
+    header.put_u32_le(tenants.len() as u32);
+    write_frame(&mut out, &header);
+    for t in tenants {
+        write_frame(&mut out, &encode_tenant(t));
+    }
+
+    let final_path = snapshot_path(dir, gen);
+    let tmp_path = final_path.with_extension("snap.tmp");
+    {
+        let mut f = File::create(&tmp_path)?;
+        f.write_all(&out)?;
+        f.flush()?;
+        if fsync {
+            f.sync_data()?;
+        }
+    }
+    std::fs::rename(&tmp_path, &final_path)?;
+    Ok(final_path)
+}
+
+/// Load and fully validate one snapshot file.
+pub fn load_snapshot(path: &Path) -> Result<SnapshotData, ReqError> {
+    let mut raw = Vec::new();
+    File::open(path)?.read_to_end(&mut raw)?;
+    if raw.len() < SNAP_MAGIC.len() || &raw[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+        return Err(ReqError::CorruptBytes("bad snapshot magic".into()));
+    }
+    let mut input = Bytes::from(raw);
+    input.advance(SNAP_MAGIC.len());
+    let mut header = read_frame(&mut input)?;
+    let gen = u64::unpack(&mut header)?;
+    let count = u32::unpack(&mut header)? as usize;
+    if header.has_remaining() {
+        return Err(ReqError::CorruptBytes("oversized snapshot header".into()));
+    }
+    let mut tenants = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let payload = read_frame(&mut input)?;
+        tenants.push(decode_tenant(&payload)?);
+    }
+    if input.has_remaining() {
+        return Err(ReqError::CorruptBytes(format!(
+            "{} trailing bytes after snapshot tenants",
+            input.remaining()
+        )));
+    }
+    Ok(SnapshotData { gen, tenants })
+}
+
+/// The newest snapshot that loads in full, if any. Invalid candidates are
+/// skipped (reported in the result), never deleted here.
+pub fn latest_valid(dir: &Path) -> Result<(Option<SnapshotData>, Vec<u64>), ReqError> {
+    let mut skipped = Vec::new();
+    for gen in snapshot_gens(dir)?.into_iter().rev() {
+        match load_snapshot(&snapshot_path(dir, gen)) {
+            Ok(data) => return Ok((Some(data), skipped)),
+            Err(_) => skipped.push(gen),
+        }
+    }
+    Ok((None, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+    use req_core::ConcurrentReqSketch;
+
+    fn sample_tenants() -> Vec<TenantSnapshot> {
+        ["alpha", "beta"]
+            .iter()
+            .map(|key| {
+                let config = TenantConfig::parse(key, &["K=8", "SHARDS=2"]).unwrap();
+                let sketch = config.build().unwrap();
+                for i in 0..5_000u64 {
+                    sketch.update(req_core::OrdF64(i as f64));
+                }
+                TenantSnapshot {
+                    key: key.to_string(),
+                    config,
+                    rotation: sketch.rotation(),
+                    shards: sketch
+                        .checkpoint()
+                        .unwrap()
+                        .into_iter()
+                        .map(|b| b.to_vec())
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_load_roundtrip() {
+        let dir = TempDir::new("snap").unwrap();
+        let tenants = sample_tenants();
+        let path = write_snapshot(dir.path(), 3, &tenants, false).unwrap();
+        assert_eq!(path, snapshot_path(dir.path(), 3));
+        let data = load_snapshot(&path).unwrap();
+        assert_eq!(data.gen, 3);
+        assert_eq!(data.tenants, tenants);
+        // The shard payloads really are loadable sketches.
+        let restored = ConcurrentReqSketch::<req_core::OrdF64>::from_checkpoint(
+            &data.tenants[0].shards,
+            data.tenants[0].rotation,
+        )
+        .unwrap();
+        assert_eq!(restored.len(), 5_000);
+    }
+
+    #[test]
+    fn truncation_and_bitflips_reject() {
+        let dir = TempDir::new("snap").unwrap();
+        let path = write_snapshot(dir.path(), 1, &sample_tenants(), false).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        for cut in [0, 4, 8, 12, good.len() / 2, good.len() - 1] {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            assert!(load_snapshot(&path).is_err(), "cut {cut} accepted");
+        }
+        for byte in [8, 20, good.len() / 2, good.len() - 3] {
+            let mut bad = good.clone();
+            bad[byte] ^= 0x40;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(load_snapshot(&path).is_err(), "flip at {byte} accepted");
+        }
+        std::fs::write(&path, &good).unwrap();
+        assert!(load_snapshot(&path).is_ok());
+    }
+
+    #[test]
+    fn latest_valid_skips_corrupt_generations() {
+        let dir = TempDir::new("snap").unwrap();
+        let tenants = sample_tenants();
+        write_snapshot(dir.path(), 1, &tenants, false).unwrap();
+        write_snapshot(dir.path(), 2, &tenants[..1], false).unwrap();
+        // Corrupt generation 2; generation 1 must win.
+        let p2 = snapshot_path(dir.path(), 2);
+        let mut raw = std::fs::read(&p2).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        std::fs::write(&p2, &raw).unwrap();
+        let (data, skipped) = latest_valid(dir.path()).unwrap();
+        let data = data.unwrap();
+        assert_eq!(data.gen, 1);
+        assert_eq!(data.tenants.len(), 2);
+        assert_eq!(skipped, vec![2]);
+    }
+
+    #[test]
+    fn empty_dir_has_no_snapshot() {
+        let dir = TempDir::new("snap").unwrap();
+        let (data, skipped) = latest_valid(dir.path()).unwrap();
+        assert!(data.is_none());
+        assert!(skipped.is_empty());
+    }
+
+    #[test]
+    fn gen_name_parsing_ignores_aliens() {
+        let dir = TempDir::new("snap").unwrap();
+        std::fs::write(dir.path().join("snap-0000000007.snap"), b"x").unwrap();
+        std::fs::write(dir.path().join("wal-0000000003.log"), b"x").unwrap();
+        std::fs::write(dir.path().join("snap-7.snap"), b"x").unwrap();
+        std::fs::write(dir.path().join("notes.txt"), b"x").unwrap();
+        assert_eq!(snapshot_gens(dir.path()).unwrap(), vec![7]);
+        assert_eq!(wal_gens(dir.path()).unwrap(), vec![3]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Throwaway data directories for tests, benches, and experiments.
+//!
+//! Not a general-purpose temp-file crate: just enough to give every
+//! service instance in the test suite its own unique directory and clean
+//! it up on drop. Uniqueness comes from the process id plus a process-wide
+//! counter, so parallel test threads never collide.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A unique (not yet created) path under the system temp directory.
+pub fn unique_dir(prefix: &str) -> PathBuf {
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("req-service-{prefix}-{}-{n}", std::process::id()))
+}
+
+/// A created-on-construction, removed-on-drop directory.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh unique directory.
+    pub fn new(prefix: &str) -> std::io::Result<Self> {
+        let path = unique_dir(prefix);
+        std::fs::create_dir_all(&path)?;
+        Ok(TempDir { path })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_and_cleaned_up() {
+        let a = TempDir::new("t").unwrap();
+        let b = TempDir::new("t").unwrap();
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        std::fs::write(kept.join("f"), b"x").unwrap();
+        drop(a);
+        assert!(!kept.exists());
+        assert!(b.path().is_dir());
+    }
+}

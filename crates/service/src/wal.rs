@@ -1,0 +1,474 @@
+//! Append-only write-ahead log of checksummed record frames.
+//!
+//! Every mutation the service accepts — `CREATE`, `ADD`/`ADDB`, `DROP` —
+//! is appended here *before* it is applied to the in-memory registry, as
+//! one [`req_core::frame`] frame (`len | crc32 | payload`). The file
+//! starts with an 8-byte magic so a stray file is never mistaken for a
+//! log.
+//!
+//! ```text
+//! "REQWAL1\n" | frame | frame | frame | ...
+//! ```
+//!
+//! ## Crash anatomy
+//!
+//! A killed process can leave at most one *torn* frame at the tail (the
+//! write it was in the middle of). [`read_wal`] therefore replays frames
+//! until the first invalid one and reports where the valid prefix ends;
+//! recovery truncates the file there and resumes appending. A CRC failure
+//! *before* the tail is genuine corruption: replay still stops (never
+//! apply records after a hole — ordering is part of the state), and the
+//! outcome marks the log damaged so the operator can see it.
+//!
+//! Records carry `f64` *bit patterns*, not rounded text, so replayed
+//! ingest is exactly the original ingest.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use req_core::binary::Packable;
+use req_core::frame::{frame, read_frame};
+use req_core::{OrdF64, ReqError};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::config::TenantConfig;
+
+/// File magic; the trailing newline makes `head -c8` output readable.
+pub const WAL_MAGIC: &[u8; 8] = b"REQWAL1\n";
+
+const TAG_CREATE: u8 = 1;
+const TAG_ADD_BATCH: u8 = 2;
+const TAG_DROP: u8 = 3;
+
+/// One durable mutation, in arrival order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A tenant was created with this exact configuration.
+    Create {
+        /// Tenant key.
+        key: String,
+        /// The resolved configuration (including seed).
+        config: TenantConfig,
+    },
+    /// A batch of values was ingested into `key` (single `ADD`s are
+    /// one-element batches — the sketch's batch path is bit-identical to
+    /// per-item ingest).
+    AddBatch {
+        /// Tenant key.
+        key: String,
+        /// Ingested values, in order.
+        values: Vec<OrdF64>,
+    },
+    /// The tenant and its data were dropped.
+    Drop {
+        /// Tenant key.
+        key: String,
+    },
+}
+
+/// Key encoding shared by all records (the `String` Packable layout,
+/// without requiring an owned `String`).
+fn pack_key(key: &str, out: &mut BytesMut) {
+    out.put_u32_le(key.len() as u32);
+    out.put_slice(key.as_bytes());
+}
+
+/// Encode a `Create` frame without building a [`WalRecord`].
+pub fn encode_create(key: &str, config: &TenantConfig) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u8(TAG_CREATE);
+    pack_key(key, &mut out);
+    config.encode(&mut out);
+    frame(&out)
+}
+
+/// Encode an `AddBatch` frame straight off the caller's slice — the hot
+/// path appends without cloning the batch into an owned record.
+pub fn encode_add_batch(key: &str, values: &[OrdF64]) -> Bytes {
+    let mut out = BytesMut::with_capacity(1 + 4 + key.len() + 4 + 8 * values.len());
+    out.put_u8(TAG_ADD_BATCH);
+    pack_key(key, &mut out);
+    out.put_u32_le(values.len() as u32);
+    for v in values {
+        out.put_u64_le(v.0.to_bits());
+    }
+    frame(&out)
+}
+
+/// Encode a `Drop` frame.
+pub fn encode_drop(key: &str) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u8(TAG_DROP);
+    pack_key(key, &mut out);
+    frame(&out)
+}
+
+impl WalRecord {
+    /// Encode into one checksummed frame ready for appending.
+    pub fn encode(&self) -> Bytes {
+        match self {
+            WalRecord::Create { key, config } => encode_create(key, config),
+            WalRecord::AddBatch { key, values } => encode_add_batch(key, values),
+            WalRecord::Drop { key } => encode_drop(key),
+        }
+    }
+
+    /// Decode one frame payload (consumed, not re-copied — recovery
+    /// feeds [`read_frame`] output straight through).
+    pub fn decode(mut input: Bytes) -> Result<Self, ReqError> {
+        let rec = match u8::unpack(&mut input)? {
+            TAG_CREATE => WalRecord::Create {
+                key: String::unpack(&mut input)?,
+                config: TenantConfig::decode(&mut input)?,
+            },
+            TAG_ADD_BATCH => {
+                let key = String::unpack(&mut input)?;
+                let count = u32::unpack(&mut input)? as usize;
+                if count * 8 != input.remaining() {
+                    return Err(ReqError::CorruptBytes(format!(
+                        "add-batch claims {count} values, {} bytes remain",
+                        input.remaining()
+                    )));
+                }
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(OrdF64(f64::from_bits(input.get_u64_le())));
+                }
+                WalRecord::AddBatch { key, values }
+            }
+            TAG_DROP => WalRecord::Drop {
+                key: String::unpack(&mut input)?,
+            },
+            t => {
+                return Err(ReqError::CorruptBytes(format!(
+                    "unknown WAL record tag {t}"
+                )))
+            }
+        };
+        if input.has_remaining() {
+            return Err(ReqError::CorruptBytes(format!(
+                "{} trailing bytes in WAL record",
+                input.remaining()
+            )));
+        }
+        Ok(rec)
+    }
+}
+
+/// The replayable content of one WAL file.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Records of the valid prefix, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (magic + whole valid frames) — the
+    /// offset recovery truncates to before appending again.
+    pub valid_len: u64,
+    /// Bytes past the valid prefix (torn tail or corruption), if any.
+    pub damaged_bytes: u64,
+}
+
+/// Read a WAL file, replaying to exactly the last valid frame.
+///
+/// Missing files read as empty-and-clean (a crash can land between
+/// snapshot rename and new-WAL create). A file too short for — or not
+/// carrying — the magic is treated as fully damaged: nothing replays,
+/// `valid_len` is 0, and every byte counts as damage.
+/// [`WalWriter::open_truncated`] treats any `valid_len` shorter than the
+/// magic as "recreate the file from scratch".
+pub fn read_wal(path: &Path) -> Result<WalReplay, ReqError> {
+    let mut raw = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut raw)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalReplay {
+                records: Vec::new(),
+                valid_len: 0,
+                damaged_bytes: 0,
+            })
+        }
+        Err(e) => return Err(e.into()),
+    }
+    if raw.len() < WAL_MAGIC.len() || &raw[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Ok(WalReplay {
+            records: Vec::new(),
+            valid_len: 0,
+            damaged_bytes: raw.len() as u64,
+        });
+    }
+    let total = raw.len() as u64;
+    // Move the file buffer into the cursor (no second full copy — a WAL
+    // can be the entire post-snapshot history).
+    let mut input = Bytes::from(raw);
+    input.advance(WAL_MAGIC.len());
+    let mut records = Vec::new();
+    let mut valid_len = WAL_MAGIC.len() as u64;
+    while input.has_remaining() {
+        let consumed_before = input.remaining();
+        let payload = match read_frame(&mut input) {
+            Ok(p) => p,
+            Err(_) => break, // torn tail or corruption: stop replay here
+        };
+        match WalRecord::decode(payload) {
+            Ok(rec) => records.push(rec),
+            Err(_) => break, // framing intact but content corrupt: stop
+        }
+        valid_len += (consumed_before - input.remaining()) as u64;
+    }
+    Ok(WalReplay {
+        records,
+        valid_len,
+        damaged_bytes: total - valid_len,
+    })
+}
+
+/// Appender for one WAL generation file.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    records: u64,
+    /// Bytes of whole, successfully appended frames (incl. magic) — the
+    /// rollback point when an append fails partway.
+    len: u64,
+    /// Set when a failed append could not be rolled back; every further
+    /// append refuses, so no acknowledged record can ever land *after*
+    /// torn bytes (replay stops at the first invalid frame).
+    poisoned: bool,
+}
+
+impl WalWriter {
+    /// Create (or truncate) a fresh WAL file with its magic header.
+    pub fn create(path: &Path) -> Result<Self, ReqError> {
+        let mut file = File::create(path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.flush()?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            records: 0,
+            len: WAL_MAGIC.len() as u64,
+            poisoned: false,
+        })
+    }
+
+    /// Open an existing WAL for appending, discarding everything past the
+    /// valid prefix `valid_len` (from [`read_wal`]). If the file is missing
+    /// or its header is unusable (`valid_len` shorter than the magic), it
+    /// is recreated fresh.
+    pub fn open_truncated(path: &Path, valid_len: u64) -> Result<Self, ReqError> {
+        if valid_len < WAL_MAGIC.len() as u64 || !path.exists() {
+            return Self::create(path);
+        }
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut writer = WalWriter {
+            file,
+            path: path.to_path_buf(),
+            records: 0,
+            len: valid_len,
+            poisoned: false,
+        };
+        writer.file.seek(SeekFrom::End(0))?;
+        Ok(writer)
+    }
+
+    /// Append one encoded frame and flush it to the OS. A single
+    /// `write_all` of the whole frame keeps the torn-write window to one
+    /// record; flushing (not fsyncing) makes the record survive a crash of
+    /// the *process* — the OS-crash window is closed by [`Self::sync`] or
+    /// the `fsync` service setting.
+    ///
+    /// A failed append (e.g. `ENOSPC` after a partial write) is rolled
+    /// back by truncating to the last whole frame; if even the rollback
+    /// fails, the writer poisons itself and refuses further appends —
+    /// otherwise later (acknowledged!) records would sit beyond torn
+    /// bytes and be silently discarded by replay.
+    pub fn append(&mut self, encoded: &[u8]) -> Result<(), ReqError> {
+        if self.poisoned {
+            return Err(ReqError::Io(format!(
+                "WAL {} is poisoned by an earlier failed append",
+                self.path.display()
+            )));
+        }
+        let result = self
+            .file
+            .write_all(encoded)
+            .and_then(|()| self.file.flush());
+        match result {
+            Ok(()) => {
+                self.len += encoded.len() as u64;
+                self.records += 1;
+                Ok(())
+            }
+            Err(e) => {
+                let rollback = self
+                    .file
+                    .set_len(self.len)
+                    .and_then(|()| self.file.seek(SeekFrom::Start(self.len)).map(|_| ()));
+                if rollback.is_err() {
+                    self.poisoned = true;
+                }
+                Err(e.into())
+            }
+        }
+    }
+
+    /// `fsync` the file.
+    pub fn sync(&self) -> Result<(), ReqError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Records appended through this writer (excludes pre-existing ones).
+    pub fn records_appended(&self) -> u64 {
+        self.records
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = crate::tempdir::unique_dir("wal-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Create {
+                key: "a".into(),
+                config: TenantConfig::for_key("a"),
+            },
+            WalRecord::AddBatch {
+                key: "a".into(),
+                values: (0..100).map(|i| OrdF64(i as f64 * 0.5)).collect(),
+            },
+            WalRecord::AddBatch {
+                key: "a".into(),
+                values: vec![OrdF64(f64::NAN), OrdF64(-0.0)],
+            },
+            WalRecord::Drop { key: "a".into() },
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip_bit_exactly() {
+        for rec in sample_records() {
+            let encoded = rec.encode();
+            let mut input = encoded.clone();
+            let payload = read_frame(&mut input).unwrap();
+            let back = WalRecord::decode(payload).unwrap();
+            // OrdF64 equality is total-order equality, so NaN and -0.0
+            // must round-trip to the same bit patterns.
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn append_then_read_replays_everything() {
+        let path = tmp("clean.log");
+        let mut w = WalWriter::create(&path).unwrap();
+        let records = sample_records();
+        for rec in &records {
+            w.append(&rec.encode()).unwrap();
+        }
+        assert_eq!(w.records_appended(), records.len() as u64);
+        let replay = read_wal(&path).unwrap();
+        assert_eq!(replay.records, records);
+        assert_eq!(replay.damaged_bytes, 0);
+        assert_eq!(replay.valid_len, std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn torn_tail_replays_to_last_valid_frame() {
+        let path = tmp("torn.log");
+        let mut w = WalWriter::create(&path).unwrap();
+        let records = sample_records();
+        for rec in &records {
+            w.append(&rec.encode()).unwrap();
+        }
+        drop(w);
+        let full = std::fs::metadata(&path).unwrap().len();
+        let last = records.last().unwrap().encode().len() as u64;
+        // Tear the last frame in half.
+        let torn_at = full - last / 2;
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(torn_at)
+            .unwrap();
+        let replay = read_wal(&path).unwrap();
+        assert_eq!(replay.records, records[..records.len() - 1]);
+        assert_eq!(replay.valid_len, full - last);
+        assert_eq!(replay.damaged_bytes, torn_at - (full - last));
+    }
+
+    #[test]
+    fn open_truncated_discards_torn_tail_and_appends_cleanly() {
+        let path = tmp("resume.log");
+        let mut w = WalWriter::create(&path).unwrap();
+        let records = sample_records();
+        for rec in &records[..2] {
+            w.append(&rec.encode()).unwrap();
+        }
+        drop(w);
+        // Simulate a torn write.
+        OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .write_all(&[0xAB; 5])
+            .unwrap();
+        let replay = read_wal(&path).unwrap();
+        assert_eq!(replay.damaged_bytes, 5);
+        let mut w = WalWriter::open_truncated(&path, replay.valid_len).unwrap();
+        w.append(&records[2].encode()).unwrap();
+        let replay = read_wal(&path).unwrap();
+        assert_eq!(replay.records, records[..3]);
+        assert_eq!(replay.damaged_bytes, 0);
+    }
+
+    #[test]
+    fn missing_and_alien_files_are_not_replayed() {
+        let missing = tmp("never-created.log");
+        let replay = read_wal(&missing).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.valid_len, 0);
+
+        let alien = tmp("alien.log");
+        std::fs::write(&alien, b"definitely not a WAL file").unwrap();
+        let replay = read_wal(&alien).unwrap();
+        assert!(replay.records.is_empty());
+        assert!(replay.damaged_bytes > 0);
+    }
+
+    #[test]
+    fn mid_file_bitflip_stops_replay_and_reports_damage() {
+        let path = tmp("bitrot.log");
+        let mut w = WalWriter::create(&path).unwrap();
+        let records = sample_records();
+        for rec in &records {
+            w.append(&rec.encode()).unwrap();
+        }
+        drop(w);
+        // Flip one payload bit inside the second frame.
+        let first = records[0].encode().len();
+        let mut raw = std::fs::read(&path).unwrap();
+        let off = WAL_MAGIC.len() + first + 12;
+        raw[off] ^= 1;
+        std::fs::write(&path, &raw).unwrap();
+        let replay = read_wal(&path).unwrap();
+        assert_eq!(replay.records, records[..1], "replay must stop at the hole");
+        assert!(replay.damaged_bytes > 0);
+    }
+}

@@ -250,6 +250,12 @@ impl Deref for Bytes {
     }
 }
 
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
         Bytes { data, pos: 0 }

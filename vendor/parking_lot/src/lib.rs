@@ -1,14 +1,18 @@
 //! Offline stand-in for `parking_lot` (0.12 API subset).
 //!
-//! [`Mutex`] wraps `std::sync::Mutex` behind the `parking_lot` interface:
-//! `lock()` returns the guard directly (no poison `Result`). A panic while
-//! a guard is held does not poison the lock for later callers — matching
-//! `parking_lot` semantics — because poisoned state is deliberately
-//! recovered. The real crate's perf advantage (no syscall on the
-//! uncontended path) is not reproduced; correctness is identical.
+//! [`Mutex`] and [`RwLock`] wrap their `std::sync` counterparts behind the
+//! `parking_lot` interface: `lock()`/`read()`/`write()` return the guard
+//! directly (no poison `Result`). A panic while a guard is held does not
+//! poison the lock for later callers — matching `parking_lot` semantics —
+//! because poisoned state is deliberately recovered. The real crate's perf
+//! advantage (no syscall on the uncontended path) is not reproduced;
+//! correctness is identical.
 
 use std::fmt;
-use std::sync::{Mutex as StdMutex, MutexGuard, PoisonError};
+use std::sync::{
+    Mutex as StdMutex, MutexGuard, PoisonError, RwLock as StdRwLock, RwLockReadGuard,
+    RwLockWriteGuard,
+};
 
 /// A mutual-exclusion lock with the `parking_lot` API.
 #[derive(Default)]
@@ -63,6 +67,73 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+/// A reader-writer lock with the `parking_lot` API.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Unwrap, consuming the lock.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access, blocking until available. Unlike `std`,
+    /// returns the guard directly and ignores poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Try to acquire read access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Try to acquire write access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (exclusive borrow proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_read() {
+            Some(guard) => f.debug_struct("RwLock").field("data", &&*guard).finish(),
+            None => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +165,31 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert_eq!(*m.try_lock().unwrap(), 5);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(1);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 2);
+            assert!(l.try_write().is_none());
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+        assert_eq!(l.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_panicking_writer_does_not_poison() {
+        let l = std::sync::Arc::new(RwLock::new(0));
+        let l2 = l.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*l.read(), 0);
     }
 }
