@@ -20,7 +20,7 @@ use std::sync::Arc;
 use req_bench::bench_items;
 use req_core::{OrdF64, QuantileSketch, RankAccuracy, ReqSketch};
 use req_service::tempdir::TempDir;
-use req_service::{serve, QuantileService, ReqClient, ServiceConfig, TenantConfig};
+use req_service::{serve, ClientApi, QuantileService, ReqClient, ServiceConfig, TenantConfig};
 
 const N: usize = 100_000;
 const BATCH: usize = 1_000;

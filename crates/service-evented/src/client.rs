@@ -1,0 +1,74 @@
+//! Blocking binary-protocol client.
+//!
+//! [`ReqBinClient`] speaks the length-prefixed binary codec to either
+//! server (the evented loop here, or any future binary listener). It
+//! implements [`ClientApi`], so the whole typed method surface —
+//! `create`, `add_batch`, `rank`, … — works unchanged; only the bytes
+//! on the wire differ from [`req_service::ReqClient`].
+//!
+//! The extra capability over the text client is
+//! [`ReqBinClient::call_pipelined`]: write a whole batch of request
+//! frames in one send, then collect the responses in order. With the
+//! evented server each wake-up serves every complete frame it finds, so
+//! a pipelined batch costs ~one round-trip instead of one per command.
+
+use req_core::ReqError;
+use req_service::protocol::binary;
+use req_service::{ClientApi, Request, Response};
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking client for the binary framed protocol.
+#[derive(Debug)]
+pub struct ReqBinClient {
+    stream: TcpStream,
+}
+
+impl ReqBinClient {
+    /// Connect to a binary-protocol server at `addr` (e.g. `"127.0.0.1:7878"`).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ReqBinClient, ReqError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(300)))?;
+        Ok(ReqBinClient { stream })
+    }
+
+    /// Send one request frame without waiting for the response.
+    /// Pair with [`ReqBinClient::read_response`] to drain replies later.
+    pub fn send(&mut self, req: &Request) -> Result<(), ReqError> {
+        let frame = binary::encode_request(req);
+        self.stream.write_all(&frame)?;
+        Ok(())
+    }
+
+    /// Block until one response frame arrives and decode it.
+    pub fn read_response(&mut self) -> Result<Response, ReqError> {
+        let payload = binary::read_frame_blocking(&mut self.stream)?;
+        binary::decode_response(payload)
+    }
+
+    /// Issue a batch of requests as one pipelined write, then read the
+    /// responses back in request order. Transport errors abort the whole
+    /// batch; per-request failures come back as [`Response::Err`] in
+    /// their slot.
+    pub fn call_pipelined(&mut self, reqs: &[Request]) -> Result<Vec<Response>, ReqError> {
+        let mut batch = Vec::new();
+        for req in reqs {
+            batch.extend_from_slice(&binary::encode_request(req));
+        }
+        self.stream.write_all(&batch)?;
+        let mut out = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            out.push(self.read_response()?);
+        }
+        Ok(out)
+    }
+}
+
+impl ClientApi for ReqBinClient {
+    fn call(&mut self, req: &Request) -> Result<Response, ReqError> {
+        self.send(req)?;
+        self.read_response()
+    }
+}

@@ -1,0 +1,375 @@
+//! The event loop: per-connection state machines over oneshot readiness.
+//!
+//! Each loop thread owns a `polling::Poller`, a clone of the shared
+//! listener (key 0, so the kernel load-balances accepts across loops),
+//! and a map of connections. A connection is two buffers and a cursor
+//! pair: bytes read but not yet parsed, bytes rendered but not yet
+//! written. One readiness wake-up drains the socket, parses every
+//! complete frame (that is the pipelining — many requests per wake-up),
+//! executes them through [`req_service::server::execute`], appends the
+//! response frames, and flushes until the socket pushes back.
+//!
+//! Fault taxonomy, by layer:
+//!
+//! * **Transport fault** (unframeable stream: oversized length prefix or
+//!   CRC mismatch) — the server answers with one typed `corrupt` error
+//!   frame and closes; nothing after the damage can be trusted.
+//! * **Request fault** (valid frame, undecodable or failing payload) — a
+//!   typed [`Response::Err`] for *that* frame; the connection lives on.
+//!
+//! Backpressure: while a connection's pending write buffer exceeds
+//! [`MAX_WRITE_BACKLOG`], the loop stops arming its read side — a client
+//! that pipelines faster than it drains responses throttles itself
+//! instead of ballooning server memory.
+
+use polling::{Event, Events, Poller};
+use req_core::ReqError;
+use req_service::protocol::binary;
+use req_service::server::execute;
+use req_service::{QuantileService, Request, Response};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Pending response bytes above which a connection's read side is parked
+/// until the client drains responses (16 MiB).
+pub const MAX_WRITE_BACKLOG: usize = 16 * 1024 * 1024;
+
+/// Read buffer bytes above which an unparseable stream is treated as
+/// hostile: one frame (header + payload) can legitimately reach
+/// [`binary::MAX_MESSAGE_PAYLOAD`]; anything beyond that with no
+/// complete frame is garbage.
+const MAX_READ_BUFFER: usize = binary::MAX_MESSAGE_PAYLOAD + 64;
+
+const LISTENER_KEY: usize = 0;
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received; `[parsed..]` is the unconsumed tail.
+    read_buf: Vec<u8>,
+    /// Offset of the first unparsed byte in `read_buf`.
+    parsed: usize,
+    /// Response bytes not yet accepted by the socket.
+    write_buf: Vec<u8>,
+    /// Offset of the first unwritten byte in `write_buf`.
+    written: usize,
+    /// Close once `write_buf` drains (after `QUIT`, a transport fault,
+    /// or client EOF).
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            parsed: 0,
+            write_buf: Vec::new(),
+            written: 0,
+            close_after_flush: false,
+        }
+    }
+
+    fn pending_write(&self) -> usize {
+        self.write_buf.len() - self.written
+    }
+}
+
+/// Handle to a running evented server; stops and joins the loops on drop.
+#[derive(Debug)]
+pub struct EventedHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    pollers: Vec<Arc<Poller>>,
+    live_conns: Arc<AtomicU64>,
+    loops: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl EventedHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently held open across all loops.
+    pub fn live_connections(&self) -> u64 {
+        self.live_conns.load(Ordering::Relaxed)
+    }
+
+    /// Stop the loops, close every connection, and join.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.loops.is_empty() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        for poller in &self.pollers {
+            let _ = poller.notify();
+        }
+        for handle in self.loops.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for EventedHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Bind `addr` and serve `service` over the binary protocol on `loops`
+/// event-loop threads (clamped to `1..=8`; one loop drives thousands of
+/// connections, more only help past one saturated core).
+pub fn serve_evented(
+    service: Arc<QuantileService>,
+    addr: &str,
+    loops: usize,
+) -> Result<EventedHandle, ReqError> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let live_conns = Arc::new(AtomicU64::new(0));
+    let loops_n = loops.clamp(1, 8);
+    let mut pollers = Vec::with_capacity(loops_n);
+    let mut threads = Vec::with_capacity(loops_n);
+    for _ in 0..loops_n {
+        let poller = Arc::new(Poller::new().map_err(ReqError::from)?);
+        let listener = listener.try_clone()?;
+        poller
+            .add(&listener, Event::readable(LISTENER_KEY))
+            .map_err(ReqError::from)?;
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let live = Arc::clone(&live_conns);
+        let thread_poller = Arc::clone(&poller);
+        pollers.push(poller);
+        threads.push(std::thread::spawn(move || {
+            event_loop(thread_poller, listener, service, stop, live);
+        }));
+    }
+    Ok(EventedHandle {
+        addr: local,
+        stop,
+        pollers,
+        live_conns,
+        loops: threads,
+    })
+}
+
+fn event_loop(
+    poller: Arc<Poller>,
+    listener: TcpListener,
+    service: Arc<QuantileService>,
+    stop: Arc<AtomicBool>,
+    live: Arc<AtomicU64>,
+) {
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut next_key = LISTENER_KEY + 1;
+    let mut events = Events::new();
+    loop {
+        // The timeout is only a stop-flag heartbeat fallback; notify()
+        // wakes the wait promptly on shutdown.
+        if poller
+            .wait(&mut events, Some(Duration::from_secs(1)))
+            .is_err()
+        {
+            break;
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        for ev in events.iter() {
+            if ev.key == LISTENER_KEY {
+                accept_burst(&poller, &listener, &mut conns, &mut next_key, &live);
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&ev.key) else {
+                continue; // already closed this iteration
+            };
+            let alive = drive(conn, &service, ev);
+            if alive {
+                rearm(&poller, ev.key, conn);
+            } else {
+                let conn = conns.remove(&ev.key).expect("checked above");
+                let _ = poller.delete(&conn.stream);
+                live.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+    // Shutdown: drop every connection (clients see EOF/RST) and the
+    // listener registration.
+    for (_, conn) in conns.drain() {
+        let _ = poller.delete(&conn.stream);
+        live.fetch_sub(1, Ordering::Relaxed);
+    }
+    let _ = poller.delete(&listener);
+}
+
+fn accept_burst(
+    poller: &Poller,
+    listener: &TcpListener,
+    conns: &mut HashMap<usize, Conn>,
+    next_key: &mut usize,
+    live: &AtomicU64,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                    continue;
+                }
+                let key = *next_key;
+                *next_key += 1;
+                if poller.add(&stream, Event::readable(key)).is_err() {
+                    continue; // fd pressure; drop the connection
+                }
+                conns.insert(key, Conn::new(stream));
+                live.fetch_add(1, Ordering::Relaxed);
+            }
+            // WouldBlock = burst drained; anything else (EMFILE, reset
+            // races) is per-accept and must not kill the loop.
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(_) => break,
+        }
+    }
+    let _ = poller.modify(listener, Event::readable(LISTENER_KEY));
+}
+
+/// Advance one connection as far as the socket allows. Returns `false`
+/// when the connection is finished and must be dropped.
+fn drive(conn: &mut Conn, service: &QuantileService, ev: Event) -> bool {
+    if ev.readable && !conn.close_after_flush {
+        if !fill(conn) {
+            return conn.pending_write() > 0; // keep only to flush a tail
+        }
+        parse_and_execute(conn, service);
+    }
+    if !flush(conn) {
+        return false;
+    }
+    !(conn.close_after_flush && conn.pending_write() == 0)
+}
+
+/// Read until `WouldBlock`. Returns `false` on EOF or a socket error
+/// (the connection delivers nothing more).
+fn fill(conn: &mut Conn) -> bool {
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.close_after_flush = true;
+                return false;
+            }
+            Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.close_after_flush = true;
+                return false;
+            }
+        }
+    }
+}
+
+/// Parse every complete frame in the read buffer and execute it; this
+/// loop is where pipelined requests all get served off one wake-up.
+fn parse_and_execute(conn: &mut Conn, service: &QuantileService) {
+    loop {
+        match binary::try_deframe(&conn.read_buf, conn.parsed) {
+            Ok(Some((payload, used))) => {
+                conn.parsed += used;
+                let resp;
+                match binary::decode_request(payload) {
+                    Ok(req) => {
+                        let quit = matches!(req, Request::Quit);
+                        resp = execute(service, req);
+                        if quit {
+                            conn.close_after_flush = true;
+                        }
+                    }
+                    // Frame intact, payload bad: a request-level fault —
+                    // answer it, keep the connection.
+                    Err(e) => resp = Response::from_error(&e),
+                }
+                push_response(conn, &resp);
+                if conn.close_after_flush {
+                    break;
+                }
+            }
+            Ok(None) => {
+                // Incomplete — but an over-large buffer with no frame in
+                // it is not a slow client, it is garbage without a
+                // parseable length. Same treatment as a CRC fault.
+                if conn.read_buf.len() - conn.parsed > MAX_READ_BUFFER {
+                    let fault = ReqError::CorruptBytes(format!(
+                        "no complete frame in {MAX_READ_BUFFER} buffered bytes"
+                    ));
+                    push_response(conn, &Response::from_error(&fault));
+                    conn.close_after_flush = true;
+                }
+                break;
+            }
+            // Transport fault: answer with the typed corruption error,
+            // then drop the connection once it flushes.
+            Err(e) => {
+                push_response(conn, &Response::from_error(&e));
+                conn.close_after_flush = true;
+                break;
+            }
+        }
+    }
+    // Reclaim the consumed prefix once it dominates the buffer.
+    if conn.parsed > 4096 && conn.parsed * 2 >= conn.read_buf.len() {
+        conn.read_buf.drain(..conn.parsed);
+        conn.parsed = 0;
+    }
+}
+
+fn push_response(conn: &mut Conn, resp: &Response) {
+    let frame = binary::encode_response(resp);
+    conn.write_buf.extend_from_slice(&frame);
+}
+
+/// Write until `WouldBlock` or drained. Returns `false` on a dead socket.
+fn flush(conn: &mut Conn) -> bool {
+    while conn.written < conn.write_buf.len() {
+        match conn.stream.write(&conn.write_buf[conn.written..]) {
+            Ok(0) => return false,
+            Ok(n) => conn.written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if conn.written == conn.write_buf.len() {
+        conn.write_buf.clear();
+        conn.written = 0;
+    } else if conn.written > 4096 && conn.written * 2 >= conn.write_buf.len() {
+        conn.write_buf.drain(..conn.written);
+        conn.written = 0;
+    }
+    true
+}
+
+/// Re-arm the oneshot interest for whatever the connection still needs.
+fn rearm(poller: &Poller, key: usize, conn: &Conn) {
+    let wants_write = conn.pending_write() > 0;
+    // Backpressure: a client pipelining faster than it reads responses
+    // loses its read interest until the backlog drains.
+    let wants_read = !conn.close_after_flush && conn.pending_write() <= MAX_WRITE_BACKLOG;
+    let interest = Event {
+        key,
+        readable: wants_read,
+        writable: wants_write,
+    };
+    let _ = poller.modify(&conn.stream, interest);
+}

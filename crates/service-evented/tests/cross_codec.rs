@@ -1,0 +1,149 @@
+//! Cross-codec equivalence, live: the same request script driven through
+//! the PR 5 text/thread-pool server and through the evented binary
+//! server must produce response-for-response identical results. Both
+//! transports funnel into `req_service::server::execute`, and this test
+//! pins that the codecs on either side of it are lossless.
+
+use req_evented::{serve_evented, ReqBinClient};
+use req_service::tempdir::TempDir;
+use req_service::{
+    serve, ClientApi, QuantileService, ReqClient, Request, ServiceConfig, TenantConfig,
+};
+use std::sync::Arc;
+
+/// A script touching every command, including deliberate failures.
+fn script() -> Vec<Request> {
+    let mut reqs = vec![
+        Request::Ping,
+        // Errors before state exists: unknown tenant on every query verb.
+        Request::Rank {
+            key: "ghost".into(),
+            value: 3.0,
+        },
+        Request::Stats {
+            key: "ghost".into(),
+        },
+        Request::Create {
+            key: "a".into(),
+            config: TenantConfig::for_key("a"),
+        },
+        // Duplicate create: an Invalid error on both transports.
+        Request::Create {
+            key: "a".into(),
+            config: TenantConfig::for_key("a"),
+        },
+        Request::Create {
+            key: "b".into(),
+            config: TenantConfig {
+                shards: 2,
+                hra: false,
+                ..TenantConfig::for_key("b")
+            },
+        },
+    ];
+    for i in 0..40 {
+        reqs.push(Request::AddBatch {
+            key: if i % 3 == 0 { "b" } else { "a" }.into(),
+            values: (0..100)
+                .map(|j| ((i * 131 + j * 17) % 10_007) as f64)
+                .collect(),
+        });
+        reqs.push(Request::Add {
+            key: "a".into(),
+            value: i as f64,
+        });
+    }
+    for p in [0.0, 250.0, 5_000.0, 9_999.0, f64::INFINITY] {
+        reqs.push(Request::Rank {
+            key: "a".into(),
+            value: p,
+        });
+        reqs.push(Request::Cdf {
+            key: "b".into(),
+            points: vec![p, p + 1.0],
+        });
+    }
+    for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+        reqs.push(Request::Quantile { key: "a".into(), q });
+    }
+    reqs.extend([
+        Request::Quantile {
+            key: "a".into(),
+            q: 1.5, // out of range: Invalid on both transports
+        },
+        Request::Stats { key: "a".into() },
+        Request::Stats { key: "b".into() },
+        Request::List,
+        Request::Snapshot,
+        Request::Drop { key: "b".into() },
+        Request::Stats { key: "b".into() },
+        Request::List,
+        Request::Quit,
+    ]);
+    reqs
+}
+
+#[test]
+fn text_and_binary_transports_answer_identically() {
+    let script = script();
+
+    let text_dir = TempDir::new("cross-text").unwrap();
+    let text_service =
+        Arc::new(QuantileService::open(ServiceConfig::new(text_dir.path())).unwrap());
+    let text_handle = serve(Arc::clone(&text_service), "127.0.0.1:0", 2).unwrap();
+    let mut text_client = ReqClient::connect(text_handle.addr()).unwrap();
+
+    let bin_dir = TempDir::new("cross-bin").unwrap();
+    let bin_service = Arc::new(QuantileService::open(ServiceConfig::new(bin_dir.path())).unwrap());
+    let bin_handle = serve_evented(Arc::clone(&bin_service), "127.0.0.1:0", 1).unwrap();
+    let mut bin_client = ReqBinClient::connect(bin_handle.addr()).unwrap();
+
+    for (i, req) in script.iter().enumerate() {
+        let via_text = text_client.call(req);
+        let via_binary = bin_client.call(req);
+        match (via_text, via_binary) {
+            (Ok(t), Ok(b)) => assert_eq!(t, b, "step {i} ({req:?}) diverged"),
+            (t, b) => panic!("step {i} ({req:?}): transport-level failure {t:?} vs {b:?}"),
+        }
+        if matches!(req, Request::Quit) {
+            break;
+        }
+    }
+
+    // Beyond the wire: the two services hold identical durable state.
+    assert_eq!(
+        text_service.stats("a").unwrap().n,
+        bin_service.stats("a").unwrap().n
+    );
+    drop(text_handle);
+    bin_handle.shutdown();
+}
+
+/// Err responses never collapse into strings anywhere on either path:
+/// the kind survives to the client as the right `ReqError` variant.
+#[test]
+fn error_kinds_survive_both_transports() {
+    let dir = TempDir::new("cross-err").unwrap();
+    let service = Arc::new(QuantileService::open(ServiceConfig::new(dir.path())).unwrap());
+    let text_handle = serve(Arc::clone(&service), "127.0.0.1:0", 1).unwrap();
+    let bin_handle = serve_evented(Arc::clone(&service), "127.0.0.1:0", 1).unwrap();
+    let mut tc = ReqClient::connect(text_handle.addr()).unwrap();
+    let mut bc = ReqBinClient::connect(bin_handle.addr()).unwrap();
+
+    let req = Request::Rank {
+        key: "missing".into(),
+        value: 1.0,
+    };
+    let (t, b) = (
+        tc.call(&req).unwrap().into_result().unwrap_err(),
+        bc.call(&req).unwrap().into_result().unwrap_err(),
+    );
+    for e in [&t, &b] {
+        match e {
+            req_core::ReqError::InvalidParameter(msg) => {
+                assert!(msg.contains("missing"), "{msg}")
+            }
+            other => panic!("expected InvalidParameter, got {other:?}"),
+        }
+    }
+}

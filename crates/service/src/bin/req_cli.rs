@@ -14,6 +14,10 @@
 //! req-cli STATS api.latency
 //! ```
 
+// The CLI is a raw-line pass-through by design; it stays on the
+// deprecated string round-trip until the text shim is removed.
+#![allow(deprecated)]
+
 use req_service::ReqClient;
 use std::io::BufRead;
 

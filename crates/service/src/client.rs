@@ -1,8 +1,16 @@
-//! Typed TCP client for the service's line protocol.
+//! Typed clients for the service's wire API.
 //!
-//! One [`ReqClient`] wraps one connection; every method is a synchronous
-//! request/response round-trip. Remote failures come back as the same
-//! [`ReqError`] variants the server raised (see [`crate::protocol`]), so
+//! [`ClientApi`] is the transport-independent surface: one required
+//! method ([`ClientApi::call`]) sends a typed [`Request`] and returns the
+//! typed [`Response`]; every command gets a typed convenience method
+//! (`rank()`, `quantile()`, `add_batch()`, …) as a default on the trait.
+//! [`ReqClient`] implements it over the text codec (one line per
+//! message); `req_evented::ReqBinClient` implements the same trait over
+//! CRC32-framed binary messages — callers swap transports without
+//! touching call sites.
+//!
+//! Remote failures come back as the same [`ReqError`] variants the server
+//! raised (the error kind round-trips through [`Response::Err`]), so
 //! callers handle local and remote errors uniformly.
 
 use req_core::ReqError;
@@ -10,10 +18,11 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::parse_response;
+use crate::config::TenantConfig;
+use crate::protocol::{text, Request, Response};
 use crate::service::TenantStats;
 
-/// Options for [`ReqClient::create`] — the typed form of the `CREATE`
+/// Options for [`ClientApi::create`] — the typed form of the `CREATE`
 /// option tokens. `None` fields take server defaults.
 #[derive(Debug, Clone, Default)]
 pub struct CreateOptions {
@@ -34,38 +43,192 @@ pub struct CreateOptions {
 }
 
 impl CreateOptions {
-    fn tokens(&self) -> String {
-        let mut out = String::new();
+    fn tokens(&self) -> Vec<String> {
+        let mut out = Vec::new();
         if let Some(eps) = self.eps {
-            out.push_str(&format!(" EPS={eps}"));
+            out.push(format!("EPS={eps}"));
         }
         if let Some(delta) = self.delta {
-            out.push_str(&format!(" DELTA={delta}"));
+            out.push(format!("DELTA={delta}"));
         }
         if let Some(k) = self.k {
-            out.push_str(&format!(" K={k}"));
+            out.push(format!("K={k}"));
         }
         if let Some(hra) = self.hra {
-            out.push_str(if hra { " HRA" } else { " LRA" });
+            out.push(if hra { "HRA" } else { "LRA" }.to_string());
         }
         if let Some(adaptive) = self.adaptive {
-            out.push_str(if adaptive {
-                " SCHEDULE=adaptive"
-            } else {
-                " SCHEDULE=standard"
-            });
+            out.push(format!(
+                "SCHEDULE={}",
+                if adaptive { "adaptive" } else { "standard" }
+            ));
         }
         if let Some(shards) = self.shards {
-            out.push_str(&format!(" SHARDS={shards}"));
+            out.push(format!("SHARDS={shards}"));
         }
         if let Some(seed) = self.seed {
-            out.push_str(&format!(" SEED={seed}"));
+            out.push(format!("SEED={seed}"));
         }
         out
     }
+
+    /// Resolve into the [`TenantConfig`] the server would build.
+    pub fn to_config(&self, key: &str) -> Result<TenantConfig, ReqError> {
+        let tokens = self.tokens();
+        let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
+        TenantConfig::parse(key, &refs)
+    }
 }
 
-/// A connected protocol client.
+fn unexpected(resp: &Response) -> ReqError {
+    ReqError::Io(format!("unexpected response {resp:?}"))
+}
+
+/// The typed client surface, independent of transport and codec.
+///
+/// Implementors provide [`ClientApi::call`]; every command's typed
+/// method rides on it. All methods are synchronous round-trips.
+pub trait ClientApi {
+    /// Send one typed request and return the server's typed response.
+    /// A [`Response::Err`] is returned as-is (the typed methods below
+    /// convert it into the matching [`ReqError`]); transport failures
+    /// surface as [`ReqError::Io`].
+    fn call(&mut self, req: &Request) -> Result<Response, ReqError>;
+
+    /// `CREATE key` with options.
+    fn create(&mut self, key: &str, opts: &CreateOptions) -> Result<(), ReqError> {
+        let req = Request::Create {
+            key: key.to_string(),
+            config: opts.to_config(key)?,
+        };
+        match self.call(&req)?.into_result()? {
+            Response::Created => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `ADD key value`.
+    fn add(&mut self, key: &str, value: f64) -> Result<(), ReqError> {
+        let req = Request::Add {
+            key: key.to_string(),
+            value,
+        };
+        match self.call(&req)?.into_result()? {
+            Response::Added => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `ADDB key v…` — returns how many values the server ingested.
+    fn add_batch(&mut self, key: &str, values: &[f64]) -> Result<u64, ReqError> {
+        if values.is_empty() {
+            return Ok(0);
+        }
+        let req = Request::AddBatch {
+            key: key.to_string(),
+            values: values.to_vec(),
+        };
+        match self.call(&req)?.into_result()? {
+            Response::AddedBatch(n) => Ok(n),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `RANK key value`.
+    fn rank(&mut self, key: &str, value: f64) -> Result<u64, ReqError> {
+        let req = Request::Rank {
+            key: key.to_string(),
+            value,
+        };
+        match self.call(&req)?.into_result()? {
+            Response::Rank(r) => Ok(r),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `QUANTILE key q`; `None` while the tenant is empty.
+    fn quantile(&mut self, key: &str, q: f64) -> Result<Option<f64>, ReqError> {
+        let req = Request::Quantile {
+            key: key.to_string(),
+            q,
+        };
+        match self.call(&req)?.into_result()? {
+            Response::Quantile(v) => Ok(v),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `CDF key p…`.
+    fn cdf(&mut self, key: &str, points: &[f64]) -> Result<Vec<f64>, ReqError> {
+        let req = Request::Cdf {
+            key: key.to_string(),
+            points: points.to_vec(),
+        };
+        match self.call(&req)?.into_result()? {
+            Response::Cdf(ranks) => Ok(ranks),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `STATS key`.
+    fn stats(&mut self, key: &str) -> Result<TenantStats, ReqError> {
+        let req = Request::Stats {
+            key: key.to_string(),
+        };
+        match self.call(&req)?.into_result()? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `LIST` — all keys, sorted.
+    fn list(&mut self) -> Result<Vec<String>, ReqError> {
+        match self.call(&Request::List)?.into_result()? {
+            Response::List(keys) => Ok(keys),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `SNAPSHOT` — force a snapshot, returning the new generation.
+    fn snapshot(&mut self) -> Result<u64, ReqError> {
+        match self.call(&Request::Snapshot)?.into_result()? {
+            Response::Snapshot(generation) => Ok(generation),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `DROP key`.
+    fn drop_key(&mut self, key: &str) -> Result<(), ReqError> {
+        let req = Request::Drop {
+            key: key.to_string(),
+        };
+        match self.call(&req)?.into_result()? {
+            Response::Dropped => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `PING`.
+    fn ping(&mut self) -> Result<(), ReqError> {
+        match self.call(&Request::Ping)?.into_result()? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `QUIT` — ask the server to close this connection.
+    fn quit(mut self) -> Result<(), ReqError>
+    where
+        Self: Sized,
+    {
+        match self.call(&Request::Quit)?.into_result()? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+/// A connected text-protocol client (one line per message).
 #[derive(Debug)]
 pub struct ReqClient {
     reader: BufReader<TcpStream>,
@@ -85,10 +248,8 @@ impl ReqClient {
         })
     }
 
-    /// Send one raw request line and return the response payload. The
-    /// typed methods below all funnel through here; it is public for
-    /// `req-cli`'s pass-through mode.
-    pub fn roundtrip(&mut self, line: &str) -> Result<String, ReqError> {
+    /// Send one raw line, return the raw response line (unparsed).
+    fn send_line(&mut self, line: &str) -> Result<String, ReqError> {
         if line.contains('\n') || line.contains('\r') {
             return Err(ReqError::InvalidParameter(
                 "request must be a single line".into(),
@@ -105,113 +266,28 @@ impl ReqClient {
         if n == 0 {
             return Err(ReqError::Io("server closed the connection".into()));
         }
-        parse_response(response.trim_end_matches(['\r', '\n']))
-    }
-
-    /// `CREATE key` with options.
-    pub fn create(&mut self, key: &str, opts: &CreateOptions) -> Result<(), ReqError> {
-        self.roundtrip(&format!("CREATE {key}{}", opts.tokens()))
-            .map(|_| ())
-    }
-
-    /// `ADD key value`.
-    pub fn add(&mut self, key: &str, value: f64) -> Result<(), ReqError> {
-        self.roundtrip(&format!("ADD {key} {value}")).map(|_| ())
-    }
-
-    /// `ADDB key v…` — returns how many values the server ingested.
-    pub fn add_batch(&mut self, key: &str, values: &[f64]) -> Result<u64, ReqError> {
-        if values.is_empty() {
-            return Ok(0);
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
         }
-        let mut line = format!("ADDB {key}");
-        for v in values {
-            line.push(' ');
-            line.push_str(&v.to_string());
-        }
-        let payload = self.roundtrip(&line)?;
-        payload
-            .parse()
-            .map_err(|_| ReqError::Io(format!("bad ADDB reply `{payload}`")))
+        Ok(response)
     }
 
-    /// `RANK key value`.
-    pub fn rank(&mut self, key: &str, value: f64) -> Result<u64, ReqError> {
-        let payload = self.roundtrip(&format!("RANK {key} {value}"))?;
-        payload
-            .parse()
-            .map_err(|_| ReqError::Io(format!("bad RANK reply `{payload}`")))
+    /// Send one raw request line and return the response payload string.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ClientApi::call` with a typed `Request` (this shim \
+                survives one release for `req-cli` pass-through)"
+    )]
+    pub fn roundtrip(&mut self, line: &str) -> Result<String, ReqError> {
+        let response = self.send_line(line)?;
+        #[allow(deprecated)]
+        crate::protocol::parse_response(&response)
     }
+}
 
-    /// `QUANTILE key q`; `None` while the tenant is empty.
-    pub fn quantile(&mut self, key: &str, q: f64) -> Result<Option<f64>, ReqError> {
-        let payload = self.roundtrip(&format!("QUANTILE {key} {q}"))?;
-        if payload == "none" {
-            return Ok(None);
-        }
-        payload
-            .parse()
-            .map(Some)
-            .map_err(|_| ReqError::Io(format!("bad QUANTILE reply `{payload}`")))
-    }
-
-    /// `CDF key p…`.
-    pub fn cdf(&mut self, key: &str, points: &[f64]) -> Result<Vec<f64>, ReqError> {
-        let mut line = format!("CDF {key}");
-        for p in points {
-            line.push(' ');
-            line.push_str(&p.to_string());
-        }
-        let payload = self.roundtrip(&line)?;
-        payload
-            .split_whitespace()
-            .map(|t| {
-                t.parse()
-                    .map_err(|_| ReqError::Io(format!("bad CDF reply `{payload}`")))
-            })
-            .collect()
-    }
-
-    /// `STATS key`.
-    pub fn stats(&mut self, key: &str) -> Result<TenantStats, ReqError> {
-        self.roundtrip(&format!("STATS {key}"))?.parse()
-    }
-
-    /// `LIST` — all keys, sorted.
-    pub fn list(&mut self) -> Result<Vec<String>, ReqError> {
-        Ok(self
-            .roundtrip("LIST")?
-            .split_whitespace()
-            .map(str::to_string)
-            .collect())
-    }
-
-    /// `SNAPSHOT` — force a snapshot, returning the new generation.
-    pub fn snapshot(&mut self) -> Result<u64, ReqError> {
-        let payload = self.roundtrip("SNAPSHOT")?;
-        payload
-            .strip_prefix("snapshot ")
-            .and_then(|g| g.parse().ok())
-            .ok_or_else(|| ReqError::Io(format!("bad SNAPSHOT reply `{payload}`")))
-    }
-
-    /// `DROP key`.
-    pub fn drop_key(&mut self, key: &str) -> Result<(), ReqError> {
-        self.roundtrip(&format!("DROP {key}")).map(|_| ())
-    }
-
-    /// `PING`.
-    pub fn ping(&mut self) -> Result<(), ReqError> {
-        let payload = self.roundtrip("PING")?;
-        if payload == "pong" {
-            Ok(())
-        } else {
-            Err(ReqError::Io(format!("bad PING reply `{payload}`")))
-        }
-    }
-
-    /// `QUIT` — ask the server to close this connection.
-    pub fn quit(mut self) -> Result<(), ReqError> {
-        self.roundtrip("QUIT").map(|_| ())
+impl ClientApi for ReqClient {
+    fn call(&mut self, req: &Request) -> Result<Response, ReqError> {
+        let line = self.send_line(&text::encode_request(req))?;
+        text::decode_response(&line, req.kind())
     }
 }

@@ -271,6 +271,13 @@ pub struct ServiceConfig {
     /// OS, which survives a crash of the *process* — the failure mode the
     /// recovery proof (E16) targets.
     pub fsync: bool,
+    /// Coalesce concurrent WAL fsyncs into one (`fsync: true` only): an
+    /// appender whose record an in-flight `fsync` already covers waits
+    /// for that result instead of issuing its own. Durability semantics
+    /// are unchanged — no append is acknowledged before a successful
+    /// fsync covering it — only the number of `fsync` calls drops. On by
+    /// default; turn off to force one fsync per record (A/B benchmarks).
+    pub group_commit: bool,
 }
 
 impl ServiceConfig {
@@ -281,6 +288,7 @@ impl ServiceConfig {
             registry_shards: 16,
             snapshot_every_records: 0,
             fsync: false,
+            group_commit: true,
         }
     }
 }

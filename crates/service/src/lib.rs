@@ -12,10 +12,12 @@
 //!   snapshot store (binary format v3 inside [`req_core::frame`] frames)
 //!   periodically folds the log down, rotating it. Crash recovery = load
 //!   the latest valid snapshot, replay the WAL tail ([`service`]);
-//! * **[`server`] + [`client`] + [`protocol`]** — a `std::net` TCP server
-//!   (thread-per-connection over a small pool) speaking a one-line
-//!   request / one-line response text protocol, and the typed client the
-//!   `req-cli` binary uses.
+//! * **[`server`] + [`client`] + [`protocol`]** — the wire API as typed
+//!   [`Request`]/[`Response`] enums with two codecs (one-line text,
+//!   CRC32-framed binary), a `std::net` TCP server (thread-per-connection
+//!   over a small pool) speaking the text codec, and the typed client the
+//!   `req-cli` binary uses. The `req-evented` crate serves the binary
+//!   codec from an event loop on these same cores.
 //!
 //! The recovery guarantee is deliberately stronger than "within the
 //! sketch's ε": because snapshots checkpoint each tenant *onto its own
@@ -49,11 +51,13 @@ pub mod snapshot;
 pub mod tempdir;
 pub mod wal;
 
-pub use client::{CreateOptions, ReqClient};
+pub use client::{ClientApi, CreateOptions, ReqClient};
 pub use config::{Accuracy, ServiceConfig, TenantConfig};
+#[allow(deprecated)]
 pub use protocol::Command;
+pub use protocol::{ErrorKind, Request, RequestKind, Response};
 pub use registry::{Registry, Tenant};
-pub use server::{serve, ServerHandle};
+pub use server::{execute, serve, ServerHandle};
 pub use service::{QuantileService, RecoveryReport, Snapshotter, TenantStats};
 pub use snapshot::{SnapshotData, TenantSnapshot};
 pub use wal::{WalRecord, WalReplay, WalWriter};

@@ -1,0 +1,447 @@
+//! The wire API: typed [`Request`] / [`Response`] enums plus two codecs.
+//!
+//! The protocol is the *enums*, not any one byte layout. A request names a
+//! command and its arguments; a response carries that command's typed
+//! result (or a typed error). Two interchangeable codecs encode them:
+//!
+//! * [`text`] — one line per message, debuggable with `nc`. Rust's `f64`
+//!   Display/FromStr round-trip exactly (shortest-repr printing), so no
+//!   precision is lost crossing the wire. This is the PR 5 line protocol,
+//!   re-expressed as a codec over the typed API.
+//! * [`binary`] — length-prefixed [`req_core::frame`] frames (CRC32 over
+//!   the payload) around a tagged binary payload. Self-describing,
+//!   bit-exact for every `f64` (NaN payloads included), and cheap enough
+//!   to parse that the evented server pipelines thousands of frames per
+//!   connection without the string tax.
+//!
+//! Both codecs round-trip every request and response (proptested in
+//! `tests/protocol_compat.rs`), and a command handled through either codec
+//! produces the same typed [`Response`] — the text protocol is one
+//! *encoding* of the API, no longer the API itself.
+//!
+//! Errors cross the wire with their kind: [`Response::Err`] carries an
+//! [`ErrorKind`] that maps 1:1 onto [`ReqError`] variants, so clients
+//! match on the variant instead of sniffing string prefixes.
+
+pub mod binary;
+pub mod text;
+
+use req_core::ReqError;
+
+use crate::config::TenantConfig;
+use crate::service::TenantStats;
+
+/// One typed request — the unit both codecs encode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `CREATE key [options…]`
+    Create {
+        /// Tenant key.
+        key: String,
+        /// Resolved tenant configuration.
+        config: TenantConfig,
+    },
+    /// `ADD key value`
+    Add {
+        /// Tenant key.
+        key: String,
+        /// Value to ingest.
+        value: f64,
+    },
+    /// `ADDB key v1 v2 …`
+    AddBatch {
+        /// Tenant key.
+        key: String,
+        /// Values to ingest, in order.
+        values: Vec<f64>,
+    },
+    /// `RANK key value`
+    Rank {
+        /// Tenant key.
+        key: String,
+        /// Query point.
+        value: f64,
+    },
+    /// `QUANTILE key q`
+    Quantile {
+        /// Tenant key.
+        key: String,
+        /// Normalized rank in `[0, 1]`.
+        q: f64,
+    },
+    /// `CDF key p1 p2 …`
+    Cdf {
+        /// Tenant key.
+        key: String,
+        /// Ascending split points.
+        points: Vec<f64>,
+    },
+    /// `STATS key`
+    Stats {
+        /// Tenant key.
+        key: String,
+    },
+    /// `LIST`
+    List,
+    /// `SNAPSHOT`
+    Snapshot,
+    /// `DROP key`
+    Drop {
+        /// Tenant key.
+        key: String,
+    },
+    /// `PING`
+    Ping,
+    /// `QUIT`
+    Quit,
+}
+
+/// The command a [`Request`] names, without its arguments. Text responses
+/// are not self-describing (`OK 42` answers both `RANK` and `ADDB`), so
+/// [`text::decode_response`] needs the kind of the request it answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// `CREATE`
+    Create,
+    /// `ADD`
+    Add,
+    /// `ADDB`
+    AddBatch,
+    /// `RANK`
+    Rank,
+    /// `QUANTILE`
+    Quantile,
+    /// `CDF`
+    Cdf,
+    /// `STATS`
+    Stats,
+    /// `LIST`
+    List,
+    /// `SNAPSHOT`
+    Snapshot,
+    /// `DROP`
+    Drop,
+    /// `PING`
+    Ping,
+    /// `QUIT`
+    Quit,
+}
+
+impl Request {
+    /// The command this request names.
+    pub fn kind(&self) -> RequestKind {
+        match self {
+            Request::Create { .. } => RequestKind::Create,
+            Request::Add { .. } => RequestKind::Add,
+            Request::AddBatch { .. } => RequestKind::AddBatch,
+            Request::Rank { .. } => RequestKind::Rank,
+            Request::Quantile { .. } => RequestKind::Quantile,
+            Request::Cdf { .. } => RequestKind::Cdf,
+            Request::Stats { .. } => RequestKind::Stats,
+            Request::List => RequestKind::List,
+            Request::Snapshot => RequestKind::Snapshot,
+            Request::Drop { .. } => RequestKind::Drop,
+            Request::Ping => RequestKind::Ping,
+            Request::Quit => RequestKind::Quit,
+        }
+    }
+
+    /// Parse one text request line.
+    #[deprecated(since = "0.1.0", note = "use `protocol::text::decode_request`")]
+    pub fn parse(line: &str) -> Result<Request, ReqError> {
+        text::decode_request(line)
+    }
+}
+
+/// The [`ReqError`] variant an error response carries — round-tripped
+/// through both codecs so a remote failure is indistinguishable (by type)
+/// from a local one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// [`ReqError::InvalidParameter`]
+    Invalid,
+    /// [`ReqError::IncompatibleMerge`]
+    Incompatible,
+    /// [`ReqError::CorruptBytes`]
+    Corrupt,
+    /// [`ReqError::Io`]
+    Io,
+}
+
+impl ErrorKind {
+    /// The stable wire token (`invalid`, `incompatible`, `corrupt`, `io`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Invalid => "invalid",
+            ErrorKind::Incompatible => "incompatible",
+            ErrorKind::Corrupt => "corrupt",
+            ErrorKind::Io => "io",
+        }
+    }
+
+    /// Parse a wire token back; `None` for unknown tokens.
+    pub fn from_token(token: &str) -> Option<ErrorKind> {
+        Some(match token {
+            "invalid" => ErrorKind::Invalid,
+            "incompatible" => ErrorKind::Incompatible,
+            "corrupt" => ErrorKind::Corrupt,
+            "io" => ErrorKind::Io,
+            _ => return None,
+        })
+    }
+
+    /// Rebuild the matching [`ReqError`] around `msg`.
+    pub fn into_error(self, msg: String) -> ReqError {
+        match self {
+            ErrorKind::Invalid => ReqError::InvalidParameter(msg),
+            ErrorKind::Incompatible => ReqError::IncompatibleMerge(msg),
+            ErrorKind::Corrupt => ReqError::CorruptBytes(msg),
+            ErrorKind::Io => ReqError::Io(msg),
+        }
+    }
+}
+
+impl From<&ReqError> for ErrorKind {
+    fn from(e: &ReqError) -> Self {
+        match e {
+            ReqError::InvalidParameter(_) => ErrorKind::Invalid,
+            ReqError::IncompatibleMerge(_) => ErrorKind::Incompatible,
+            ReqError::CorruptBytes(_) => ErrorKind::Corrupt,
+            ReqError::Io(_) => ErrorKind::Io,
+        }
+    }
+}
+
+/// One typed response. Every success variant answers exactly one
+/// [`RequestKind`]; [`Response::Err`] can answer any of them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `CREATE` succeeded.
+    Created,
+    /// `ADD` succeeded.
+    Added,
+    /// `ADDB` succeeded; how many values landed.
+    AddedBatch(u64),
+    /// `RANK` result.
+    Rank(u64),
+    /// `QUANTILE` result; `None` while the tenant is empty.
+    Quantile(Option<f64>),
+    /// `CDF` result, one normalized rank per split point.
+    Cdf(Vec<f64>),
+    /// `STATS` result.
+    Stats(TenantStats),
+    /// `LIST` result: all keys, sorted.
+    List(Vec<String>),
+    /// `SNAPSHOT` succeeded; the new generation.
+    Snapshot(u64),
+    /// `DROP` succeeded.
+    Dropped,
+    /// `PING` reply.
+    Pong,
+    /// `QUIT` acknowledged; the server closes after sending this.
+    Bye,
+    /// The command failed; `kind` names the [`ReqError`] variant.
+    Err {
+        /// Which [`ReqError`] variant the server raised.
+        kind: ErrorKind,
+        /// The error message.
+        msg: String,
+    },
+}
+
+impl Response {
+    /// Wrap a handler error.
+    pub fn from_error(e: &ReqError) -> Response {
+        let msg = match e {
+            ReqError::InvalidParameter(m)
+            | ReqError::IncompatibleMerge(m)
+            | ReqError::CorruptBytes(m)
+            | ReqError::Io(m) => m.clone(),
+        };
+        Response::Err {
+            kind: ErrorKind::from(e),
+            msg,
+        }
+    }
+
+    /// Split into success-or-[`ReqError`] — the client-side inverse of
+    /// [`Response::from_error`].
+    pub fn into_result(self) -> Result<Response, ReqError> {
+        match self {
+            Response::Err { kind, msg } => Err(kind.into_error(msg)),
+            ok => Ok(ok),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated line-oriented shims (one release): the PR 5 stringly surface,
+// kept as thin wrappers over the typed API + text codec.
+// ---------------------------------------------------------------------------
+
+/// The pre-typed-API name for [`Request`].
+#[deprecated(since = "0.1.0", note = "use `protocol::Request`")]
+pub type Command = Request;
+
+/// Render a stringly handler result as one response line.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `protocol::text::encode_response` with a typed `Response`"
+)]
+pub fn format_response(result: &Result<String, ReqError>) -> String {
+    match result {
+        Ok(payload) if payload.is_empty() => "OK".to_string(),
+        Ok(payload) => format!("OK {payload}"),
+        Err(e) => text::encode_response(&Response::from_error(e)),
+    }
+}
+
+/// Parse a response line back into the stringly handler result.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `protocol::text::decode_response` for a typed `Response`"
+)]
+pub fn parse_response(line: &str) -> Result<String, ReqError> {
+    if let Some(payload) = line.strip_prefix("OK") {
+        return Ok(payload.strip_prefix(' ').unwrap_or(payload).to_string());
+    }
+    match text::decode_error_line(line) {
+        Some((kind, msg)) => Err(kind.into_error(msg)),
+        None => Err(ReqError::Io(format!("unparseable response: {line}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Accuracy;
+
+    #[test]
+    fn commands_parse() {
+        assert_eq!(
+            text::decode_request("ADD lat 3.25").unwrap(),
+            Request::Add {
+                key: "lat".into(),
+                value: 3.25
+            }
+        );
+        assert_eq!(
+            text::decode_request("addb k 1 2.5 -3e4").unwrap(),
+            Request::AddBatch {
+                key: "k".into(),
+                values: vec![1.0, 2.5, -3e4]
+            }
+        );
+        assert_eq!(
+            text::decode_request("QUANTILE k 0.99").unwrap(),
+            Request::Quantile {
+                key: "k".into(),
+                q: 0.99
+            }
+        );
+        assert_eq!(
+            text::decode_request("CDF k 1 2 3").unwrap(),
+            Request::Cdf {
+                key: "k".into(),
+                points: vec![1.0, 2.0, 3.0]
+            }
+        );
+        let Request::Create { key, config } =
+            text::decode_request("CREATE api.p99 EPS=0.02 LRA SHARDS=2").unwrap()
+        else {
+            panic!("expected CREATE");
+        };
+        assert_eq!(key, "api.p99");
+        assert_eq!(config.accuracy, Accuracy::EpsDelta(0.02, 0.05));
+        assert!(!config.hra);
+        assert_eq!(config.shards, 2);
+        assert_eq!(text::decode_request("LIST").unwrap(), Request::List);
+        assert_eq!(text::decode_request("ping").unwrap(), Request::Ping);
+        assert_eq!(text::decode_request("QUIT").unwrap(), Request::Quit);
+        assert_eq!(text::decode_request("SNAPSHOT").unwrap(), Request::Snapshot);
+        assert_eq!(
+            text::decode_request("DROP k").unwrap(),
+            Request::Drop { key: "k".into() }
+        );
+    }
+
+    #[test]
+    fn bad_commands_reject() {
+        for line in [
+            "",
+            "   ",
+            "NOPE",
+            "ADD",
+            "ADD key",
+            "ADD key x",
+            "ADD key 1 2",
+            "ADDB key",
+            "CDF key",
+            "RANK key one",
+            "CREATE",
+            "CREATE key BOGUS=1",
+        ] {
+            assert!(text::decode_request(line).is_err(), "`{line}` accepted");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_stringly_shims_still_roundtrip() {
+        for result in [
+            Ok(String::new()),
+            Ok("42".to_string()),
+            Ok("1 2 3".to_string()),
+            Err(ReqError::InvalidParameter("no such key `x`".into())),
+            Err(ReqError::IncompatibleMerge("different k".into())),
+            Err(ReqError::CorruptBytes("checksum".into())),
+            Err(ReqError::Io("broken pipe".into())),
+        ] {
+            let line = format_response(&result);
+            assert!(!line.contains('\n'));
+            let back = parse_response(&line);
+            assert_eq!(back, result, "through `{line}`");
+        }
+        // The deprecated alias still names the same enum.
+        let cmd: Command = Command::parse("PING").unwrap();
+        assert_eq!(cmd, Request::Ping);
+    }
+
+    #[test]
+    fn newlines_in_error_messages_are_flattened() {
+        let resp = Response::from_error(&ReqError::Io("two\nlines".into()));
+        let line = text::encode_response(&resp);
+        assert!(!line.contains('\n'));
+        let back = text::decode_response(&line, RequestKind::Ping).unwrap();
+        assert_eq!(
+            back,
+            Response::Err {
+                kind: ErrorKind::Io,
+                msg: "two lines".into()
+            }
+        );
+    }
+
+    #[test]
+    fn error_kinds_roundtrip_through_req_error() {
+        for e in [
+            ReqError::InvalidParameter("a".into()),
+            ReqError::IncompatibleMerge("b".into()),
+            ReqError::CorruptBytes("c".into()),
+            ReqError::Io("d".into()),
+        ] {
+            let resp = Response::from_error(&e);
+            assert_eq!(resp.into_result(), Err(e));
+        }
+    }
+
+    #[test]
+    fn f64_display_roundtrips_exactly() {
+        // The text codec's losslessness rests on this std guarantee.
+        for v in [0.1, 1.0 / 3.0, f64::MAX, f64::MIN_POSITIVE, -0.0, 1e-300] {
+            let s = format!("{v}");
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} via `{s}`");
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Line-oriented text codec — one line per message, debuggable with `nc`.
+//!
+//! ```text
+//! CREATE key [EPS=f] [DELTA=f] [K=n] [HRA|LRA] [SCHEDULE=s] [SHARDS=n] [SEED=n]
+//! ADD key value
+//! ADDB key v1 v2 v3 ...
+//! RANK key value
+//! QUANTILE key q
+//! CDF key p1 p2 ...
+//! STATS key
+//! LIST
+//! SNAPSHOT
+//! DROP key
+//! PING
+//! QUIT
+//! ```
+//!
+//! Responses are `OK[ payload]` or `ERR <kind> <message>`, where `kind`
+//! is an [`ErrorKind`] token (`invalid`, `incompatible`, `corrupt`,
+//! `io`). This is byte-for-byte the PR 5 wire format — pre-typed-API
+//! clients and servers interoperate with this codec unchanged.
+//!
+//! Text responses are not self-describing: `OK 42` answers both `RANK`
+//! and `ADDB`. [`decode_response`] therefore takes the [`RequestKind`] of
+//! the request being answered. (The [`binary`](super::binary) codec tags
+//! every response and needs no such context.)
+
+use req_core::ReqError;
+
+use super::{ErrorKind, Request, RequestKind, Response};
+use crate::config::TenantConfig;
+
+fn parse_f64(token: &str) -> Result<f64, ReqError> {
+    token
+        .parse()
+        .map_err(|_| ReqError::InvalidParameter(format!("bad number `{token}`")))
+}
+
+fn parse_f64s(tokens: &[&str]) -> Result<Vec<f64>, ReqError> {
+    tokens.iter().map(|t| parse_f64(t)).collect()
+}
+
+fn join_f64s(prefix: String, values: &[f64]) -> String {
+    let mut out = prefix;
+    for v in values {
+        out.push(' ');
+        out.push_str(&v.to_string());
+    }
+    out
+}
+
+/// Render one request as its line (no trailing newline).
+pub fn encode_request(req: &Request) -> String {
+    match req {
+        Request::Create { key, config } => format!("CREATE {key} {config}"),
+        Request::Add { key, value } => format!("ADD {key} {value}"),
+        Request::AddBatch { key, values } => join_f64s(format!("ADDB {key}"), values),
+        Request::Rank { key, value } => format!("RANK {key} {value}"),
+        Request::Quantile { key, q } => format!("QUANTILE {key} {q}"),
+        Request::Cdf { key, points } => join_f64s(format!("CDF {key}"), points),
+        Request::Stats { key } => format!("STATS {key}"),
+        Request::List => "LIST".to_string(),
+        Request::Snapshot => "SNAPSHOT".to_string(),
+        Request::Drop { key } => format!("DROP {key}"),
+        Request::Ping => "PING".to_string(),
+        Request::Quit => "QUIT".to_string(),
+    }
+}
+
+/// Parse one request line (verbs are case-insensitive).
+pub fn decode_request(line: &str) -> Result<Request, ReqError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let bad = |msg: String| Err(ReqError::InvalidParameter(msg));
+    let Some(&verb) = tokens.first() else {
+        return bad("empty command".into());
+    };
+    let args = &tokens[1..];
+    let need_key = || -> Result<String, ReqError> {
+        args.first()
+            .map(|k| k.to_string())
+            .ok_or_else(|| ReqError::InvalidParameter(format!("{verb} needs a key")))
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "CREATE" => {
+            let key = need_key()?;
+            let config = TenantConfig::parse(&key, &args[1..])?;
+            Ok(Request::Create { key, config })
+        }
+        "ADD" | "RANK" | "QUANTILE" => {
+            let key = need_key()?;
+            if args.len() != 2 {
+                return bad(format!("{verb} needs exactly `key value`"));
+            }
+            let value = parse_f64(args[1])?;
+            Ok(match verb.to_ascii_uppercase().as_str() {
+                "ADD" => Request::Add { key, value },
+                "RANK" => Request::Rank { key, value },
+                _ => Request::Quantile { key, q: value },
+            })
+        }
+        "ADDB" => {
+            let key = need_key()?;
+            if args.len() < 2 {
+                return bad("ADDB needs at least one value".into());
+            }
+            Ok(Request::AddBatch {
+                key,
+                values: parse_f64s(&args[1..])?,
+            })
+        }
+        "CDF" => {
+            let key = need_key()?;
+            if args.len() < 2 {
+                return bad("CDF needs at least one split point".into());
+            }
+            Ok(Request::Cdf {
+                key,
+                points: parse_f64s(&args[1..])?,
+            })
+        }
+        "STATS" => Ok(Request::Stats { key: need_key()? }),
+        "DROP" => Ok(Request::Drop { key: need_key()? }),
+        "LIST" => Ok(Request::List),
+        "SNAPSHOT" => Ok(Request::Snapshot),
+        "PING" => Ok(Request::Ping),
+        "QUIT" => Ok(Request::Quit),
+        other => bad(format!("unknown command `{other}`")),
+    }
+}
+
+/// Render one response as its line (no trailing newline).
+pub fn encode_response(resp: &Response) -> String {
+    match resp {
+        Response::Created => "OK created".to_string(),
+        Response::Added => "OK".to_string(),
+        Response::AddedBatch(n) => format!("OK {n}"),
+        Response::Rank(r) => format!("OK {r}"),
+        Response::Quantile(Some(v)) => format!("OK {v}"),
+        Response::Quantile(None) => "OK none".to_string(),
+        Response::Cdf(points) => join_f64s("OK".to_string(), points),
+        Response::Stats(stats) => format!("OK {stats}"),
+        Response::List(keys) => {
+            let mut out = "OK".to_string();
+            for key in keys {
+                out.push(' ');
+                out.push_str(key);
+            }
+            out
+        }
+        Response::Snapshot(generation) => format!("OK snapshot {generation}"),
+        Response::Dropped => "OK dropped".to_string(),
+        Response::Pong => "OK pong".to_string(),
+        Response::Bye => "OK bye".to_string(),
+        // Responses are line-framed; a message must not smuggle one.
+        Response::Err { kind, msg } => {
+            format!("ERR {} {}", kind.as_str(), msg.replace(['\r', '\n'], " "))
+        }
+    }
+}
+
+/// Parse an `ERR kind msg` line into its typed parts; `None` when the
+/// line is not a well-formed error response.
+pub fn decode_error_line(line: &str) -> Option<(ErrorKind, String)> {
+    let rest = line.strip_prefix("ERR ")?;
+    let (kind, msg) = rest.split_once(' ').unwrap_or((rest, ""));
+    Some((ErrorKind::from_token(kind)?, msg.to_string()))
+}
+
+/// Parse one response line. `kind` is the request the line answers —
+/// text payloads are positional, so the response type is context-bound.
+pub fn decode_response(line: &str, kind: RequestKind) -> Result<Response, ReqError> {
+    if line.starts_with("ERR") {
+        return match decode_error_line(line) {
+            Some((kind, msg)) => Ok(Response::Err { kind, msg }),
+            None => Err(ReqError::Io(format!("unparseable error response: {line}"))),
+        };
+    }
+    let Some(payload) = line.strip_prefix("OK") else {
+        return Err(ReqError::Io(format!("unparseable response: {line}")));
+    };
+    let payload = payload.strip_prefix(' ').unwrap_or(payload);
+    let bad = || ReqError::Io(format!("bad {kind:?} reply `{payload}`"));
+    Ok(match kind {
+        RequestKind::Create => Response::Created,
+        RequestKind::Add => Response::Added,
+        RequestKind::AddBatch => Response::AddedBatch(payload.parse().map_err(|_| bad())?),
+        RequestKind::Rank => Response::Rank(payload.parse().map_err(|_| bad())?),
+        RequestKind::Quantile => Response::Quantile(if payload == "none" {
+            None
+        } else {
+            Some(payload.parse().map_err(|_| bad())?)
+        }),
+        RequestKind::Cdf => Response::Cdf(
+            payload
+                .split_whitespace()
+                .map(|t| t.parse().map_err(|_| bad()))
+                .collect::<Result<_, _>>()?,
+        ),
+        RequestKind::Stats => Response::Stats(payload.parse()?),
+        RequestKind::List => {
+            Response::List(payload.split_whitespace().map(str::to_string).collect())
+        }
+        RequestKind::Snapshot => Response::Snapshot(
+            payload
+                .strip_prefix("snapshot ")
+                .and_then(|g| g.parse().ok())
+                .ok_or_else(bad)?,
+        ),
+        RequestKind::Drop => Response::Dropped,
+        RequestKind::Ping => {
+            if payload != "pong" {
+                return Err(bad());
+            }
+            Response::Pong
+        }
+        RequestKind::Quit => Response::Bye,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_through_lines() {
+        let reqs = [
+            Request::Create {
+                key: "k".into(),
+                config: TenantConfig::parse("k", &["K=16", "HRA", "SHARDS=2"]).unwrap(),
+            },
+            Request::Add {
+                key: "k".into(),
+                value: 3.25,
+            },
+            Request::AddBatch {
+                key: "k".into(),
+                values: vec![1.0, -2.5, 1e300],
+            },
+            Request::Rank {
+                key: "k".into(),
+                value: 0.5,
+            },
+            Request::Quantile {
+                key: "k".into(),
+                q: 0.99,
+            },
+            Request::Cdf {
+                key: "k".into(),
+                points: vec![1.0, 2.0],
+            },
+            Request::Stats { key: "k".into() },
+            Request::List,
+            Request::Snapshot,
+            Request::Drop { key: "k".into() },
+            Request::Ping,
+            Request::Quit,
+        ];
+        for req in reqs {
+            let line = encode_request(&req);
+            assert_eq!(decode_request(&line).unwrap(), req, "through `{line}`");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_with_request_context() {
+        use crate::service::TenantStats;
+        let cases = [
+            (RequestKind::Create, Response::Created),
+            (RequestKind::Add, Response::Added),
+            (RequestKind::AddBatch, Response::AddedBatch(4096)),
+            (RequestKind::Rank, Response::Rank(17)),
+            (RequestKind::Quantile, Response::Quantile(Some(0.125))),
+            (RequestKind::Quantile, Response::Quantile(None)),
+            (RequestKind::Cdf, Response::Cdf(vec![0.25, 0.5, 1.0])),
+            (
+                RequestKind::Stats,
+                Response::Stats(TenantStats {
+                    n: 10,
+                    retained: 10,
+                    bytes: 320,
+                    k: 32,
+                    shards: 2,
+                    hra: true,
+                    adaptive: false,
+                    rotation: 3,
+                }),
+            ),
+            (
+                RequestKind::List,
+                Response::List(vec!["a".into(), "b".into()]),
+            ),
+            (RequestKind::List, Response::List(vec![])),
+            (RequestKind::Snapshot, Response::Snapshot(7)),
+            (RequestKind::Drop, Response::Dropped),
+            (RequestKind::Ping, Response::Pong),
+            (RequestKind::Quit, Response::Bye),
+            (
+                RequestKind::Rank,
+                Response::Err {
+                    kind: ErrorKind::Invalid,
+                    msg: "no such key `x`".into(),
+                },
+            ),
+        ];
+        for (kind, resp) in cases {
+            let line = encode_response(&resp);
+            assert!(!line.contains('\n'));
+            assert_eq!(
+                decode_response(&line, kind).unwrap(),
+                resp,
+                "through `{line}`"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_lines_match_the_pr5_format() {
+        // Old clients parse these exact bytes; don't drift.
+        assert_eq!(encode_response(&Response::Added), "OK");
+        assert_eq!(encode_response(&Response::AddedBatch(3)), "OK 3");
+        assert_eq!(encode_response(&Response::Quantile(None)), "OK none");
+        assert_eq!(encode_response(&Response::Snapshot(2)), "OK snapshot 2");
+        assert_eq!(encode_response(&Response::Pong), "OK pong");
+        assert_eq!(
+            encode_response(&Response::Err {
+                kind: ErrorKind::Corrupt,
+                msg: "checksum".into()
+            }),
+            "ERR corrupt checksum"
+        );
+        assert_eq!(
+            encode_request(&Request::Add {
+                key: "lat".into(),
+                value: 3.25
+            }),
+            "ADD lat 3.25"
+        );
+    }
+
+    #[test]
+    fn garbage_responses_are_io_errors() {
+        assert!(decode_response("NOPE", RequestKind::Ping).is_err());
+        assert!(decode_response("ERR weird x", RequestKind::Ping).is_err());
+        assert!(decode_response("OK not-a-number", RequestKind::Rank).is_err());
+        assert!(decode_response("OK", RequestKind::Snapshot).is_err());
+    }
+}

@@ -19,7 +19,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::protocol::{format_response, Command};
+use crate::protocol::{text, Request, Response};
 use crate::service::QuantileService;
 
 /// Longest accepted request line (an `ADDB` of ~400k values). Longer
@@ -186,10 +186,10 @@ fn handle_connection(stream: TcpStream, service: &QuantileService) -> std::io::R
             return Ok(()); // clean EOF
         }
         if n as u64 == MAX_LINE_BYTES && !line.ends_with('\n') {
-            let e: Result<String, ReqError> = Err(ReqError::InvalidParameter(format!(
+            let resp = Response::from_error(&ReqError::InvalidParameter(format!(
                 "request line exceeds {MAX_LINE_BYTES} bytes"
             )));
-            let mut response = format_response(&e);
+            let mut response = text::encode_response(&resp);
             response.push('\n');
             writer.write_all(response.as_bytes())?;
             return Ok(());
@@ -197,12 +197,18 @@ fn handle_connection(stream: TcpStream, service: &QuantileService) -> std::io::R
         if line.trim().is_empty() {
             continue;
         }
-        let parsed = Command::parse(&line);
-        let quit = matches!(parsed, Ok(Command::Quit));
-        let result = parsed.and_then(|cmd| dispatch(service, cmd));
+        let resp;
+        let mut quit = false;
+        match text::decode_request(&line) {
+            Ok(req) => {
+                quit = matches!(req, Request::Quit);
+                resp = execute(service, req);
+            }
+            Err(e) => resp = Response::from_error(&e),
+        }
         // One write per response: with TCP_NODELAY a separate newline
         // write would flush as its own packet on every round-trip.
-        let mut response = format_response(&result);
+        let mut response = text::encode_response(&resp);
         response.push('\n');
         writer.write_all(response.as_bytes())?;
         writer.flush()?;
@@ -212,39 +218,58 @@ fn handle_connection(stream: TcpStream, service: &QuantileService) -> std::io::R
     }
 }
 
-/// Execute one command against the service, rendering the reply payload.
-pub fn dispatch(service: &QuantileService, cmd: Command) -> Result<String, ReqError> {
-    match cmd {
-        Command::Create { key, config } => {
-            service.create(&key, config)?;
-            Ok("created".to_string())
-        }
-        Command::Add { key, value } => {
-            service.add(&key, value)?;
-            Ok(String::new())
-        }
-        Command::AddBatch { key, values } => {
-            let values: Vec<req_core::OrdF64> = values.into_iter().map(req_core::OrdF64).collect();
-            let n = service.add_batch(&key, &values)?;
-            Ok(n.to_string())
-        }
-        Command::Rank { key, value } => Ok(service.rank(&key, value)?.to_string()),
-        Command::Quantile { key, q } => Ok(match service.quantile(&key, q)? {
-            Some(v) => v.to_string(),
-            None => "none".to_string(),
-        }),
-        Command::Cdf { key, points } => {
-            let cdf = service.cdf(&key, &points)?;
-            Ok(cdf.iter().map(f64::to_string).collect::<Vec<_>>().join(" "))
-        }
-        Command::Stats { key } => Ok(service.stats(&key)?.to_string()),
-        Command::List => Ok(service.list().join(" ")),
-        Command::Snapshot => Ok(format!("snapshot {}", service.snapshot_now()?)),
-        Command::Drop { key } => {
-            service.drop_key(&key)?;
-            Ok("dropped".to_string())
-        }
-        Command::Ping => Ok("pong".to_string()),
-        Command::Quit => Ok("bye".to_string()),
+/// Execute one typed request against the service. Handler failures come
+/// back as [`Response::Err`]; both front-ends (this text server and the
+/// evented binary server) funnel through here, which is what makes the
+/// codecs provably equivalent — same request, same typed response.
+pub fn execute(service: &QuantileService, req: Request) -> Response {
+    let result = (|| -> Result<Response, ReqError> {
+        Ok(match req {
+            Request::Create { key, config } => {
+                service.create(&key, config)?;
+                Response::Created
+            }
+            Request::Add { key, value } => {
+                service.add(&key, value)?;
+                Response::Added
+            }
+            Request::AddBatch { key, values } => {
+                let values: Vec<req_core::OrdF64> =
+                    values.into_iter().map(req_core::OrdF64).collect();
+                Response::AddedBatch(service.add_batch(&key, &values)?)
+            }
+            Request::Rank { key, value } => Response::Rank(service.rank(&key, value)?),
+            Request::Quantile { key, q } => Response::Quantile(service.quantile(&key, q)?),
+            Request::Cdf { key, points } => Response::Cdf(service.cdf(&key, &points)?),
+            Request::Stats { key } => Response::Stats(service.stats(&key)?),
+            Request::List => Response::List(service.list()),
+            Request::Snapshot => Response::Snapshot(service.snapshot_now()?),
+            Request::Drop { key } => {
+                service.drop_key(&key)?;
+                Response::Dropped
+            }
+            Request::Ping => Response::Pong,
+            Request::Quit => Response::Bye,
+        })
+    })();
+    match result {
+        Ok(resp) => resp,
+        Err(e) => Response::from_error(&e),
     }
+}
+
+/// Execute one command, rendering the reply as the old string payload.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `execute` for a typed `Response` instead of a payload string"
+)]
+#[allow(deprecated)]
+pub fn dispatch(
+    service: &QuantileService,
+    cmd: crate::protocol::Command,
+) -> Result<String, ReqError> {
+    let resp = execute(service, cmd).into_result()?;
+    let line = text::encode_response(&resp);
+    let payload = line.strip_prefix("OK").unwrap_or(&line);
+    Ok(payload.strip_prefix(' ').unwrap_or(payload).to_string())
 }

@@ -321,6 +321,16 @@ impl WalWriter {
         Ok(())
     }
 
+    /// A second fd onto the same open file, for syncing *outside* the
+    /// appender lock: `sync_data` on the clone flushes every byte already
+    /// written through the original fd (both share one kernel file
+    /// description), so a group-commit leader can fsync a watermark while
+    /// other appenders keep appending. See
+    /// [`crate::service::QuantileService`]'s group commit.
+    pub fn sync_handle(&self) -> Result<File, ReqError> {
+        Ok(self.file.try_clone()?)
+    }
+
     /// Records appended through this writer (excludes pre-existing ones).
     pub fn records_appended(&self) -> u64 {
         self.records

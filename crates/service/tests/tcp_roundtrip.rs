@@ -3,7 +3,7 @@
 //! server restart, and concurrent clients hammering one tenant.
 
 use req_service::tempdir::TempDir;
-use req_service::{serve, CreateOptions, QuantileService, ReqClient, ServiceConfig};
+use req_service::{serve, ClientApi, CreateOptions, QuantileService, ReqClient, ServiceConfig};
 use std::sync::Arc;
 
 fn start(
@@ -65,6 +65,7 @@ fn full_command_surface_roundtrips() {
 }
 
 #[test]
+#[allow(deprecated)] // raw pass-through still exercises the shim
 fn errors_cross_the_wire_with_their_kind() {
     let dir = TempDir::new("tcp").unwrap();
     let (_service, handle) = start(dir.path(), 1);

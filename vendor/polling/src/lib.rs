@@ -1,0 +1,462 @@
+//! Offline stand-in for the `polling` crate: a portable-API readiness
+//! poller, implemented here over Linux `epoll` only.
+//!
+//! API subset of polling 3.x (smol-rs), matching its semantics:
+//!
+//! * **Oneshot interests.** Every registration uses `EPOLLONESHOT`: after
+//!   an event fires for a source, the source stays registered but
+//!   delivers nothing more until [`Poller::modify`] re-arms it. This is
+//!   the discipline the real crate imposes for portability (kqueue and
+//!   IOCP behave that way), and it is what makes event loops race-free:
+//!   a source never fires on two loop iterations at once.
+//! * **`notify` wake-ups.** [`Poller::notify`] wakes a concurrent
+//!   [`Poller::wait`] from any thread (via an `eventfd` the poller owns).
+//!   Notification events are consumed internally and never surface in
+//!   [`Events`].
+//! * **Level-style readiness flags.** A delivered [`Event`] reports
+//!   whether the source was readable and/or writable; `HUP`/`ERR`
+//!   conditions surface as both, so a consumer that only watches one
+//!   direction still notices a dead peer.
+//!
+//! The real crate's `add` is `unsafe` in recent versions (the caller must
+//! keep the source alive until `delete`); this stand-in keeps the safe
+//! pre-3.0 signature the workspace uses, with the same liveness
+//! obligation documented on [`Poller::add`].
+//!
+//! No `libc` dependency (the vendor tree is offline): the four syscall
+//! entry points are declared as raw `extern "C"` bindings against the
+//! platform C library the binary already links.
+
+#![cfg(target_os = "linux")]
+#![deny(missing_docs)]
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::raw::{c_int, c_uint, c_void};
+use std::time::Duration;
+
+const EPOLL_CLOEXEC: c_int = 0x80000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLONESHOT: u32 = 1 << 30;
+
+const EFD_CLOEXEC: c_int = 0x80000;
+const EFD_NONBLOCK: c_int = 0x800;
+
+/// `struct epoll_event`. On x86-64 the kernel ABI packs it (no padding
+/// between `events` and `data`); other architectures use natural layout.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// The key [`Poller::notify`] wake-ups use internally. User keys must
+/// stay below it.
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+/// Interest in (or delivery of) readiness on one source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier, echoed back on delivery.
+    pub key: usize,
+    /// Interested in / delivered readable readiness.
+    pub readable: bool,
+    /// Interested in / delivered writable readiness.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in both directions.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// Interest in readability only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in writability only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// No interest (keeps the registration alive, delivers nothing —
+    /// useful for backpressure: park a source without `delete`/`add`).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+
+    fn epoll_bits(self) -> u32 {
+        let mut bits = EPOLLONESHOT;
+        if self.readable {
+            bits |= EPOLLIN | EPOLLRDHUP;
+        }
+        if self.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// Buffer [`Poller::wait`] fills with delivered events.
+pub struct Events {
+    raw: Vec<EpollEvent>,
+    parsed: Vec<Event>,
+}
+
+impl Events {
+    /// An empty buffer with the default capacity (1024 events per wait).
+    pub fn new() -> Events {
+        Events::with_capacity(1024)
+    }
+
+    /// An empty buffer delivering at most `cap` events per wait.
+    pub fn with_capacity(cap: usize) -> Events {
+        let cap = cap.max(1);
+        Events {
+            raw: vec![EpollEvent { events: 0, data: 0 }; cap],
+            parsed: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Iterate over the events the last wait delivered.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.parsed.iter().copied()
+    }
+
+    /// Number of events the last wait delivered.
+    pub fn len(&self) -> usize {
+        self.parsed.len()
+    }
+
+    /// True when the last wait delivered nothing (timeout or notify).
+    pub fn is_empty(&self) -> bool {
+        self.parsed.is_empty()
+    }
+
+    /// Drop all buffered events.
+    pub fn clear(&mut self) {
+        self.parsed.clear();
+    }
+}
+
+impl Default for Events {
+    fn default() -> Self {
+        Events::new()
+    }
+}
+
+/// An epoll instance plus the eventfd that backs [`Poller::notify`].
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+    event_fd: RawFd,
+}
+
+// SAFETY: the poller owns two raw fds; epoll_ctl/epoll_wait/read/write on
+// them are thread-safe per POSIX, and the fds live until Drop.
+unsafe impl Send for Poller {}
+// SAFETY: see above — all &self methods are kernel-synchronized.
+unsafe impl Sync for Poller {}
+
+impl Poller {
+    /// Create a poller (epoll instance + notify eventfd).
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: plain syscall, no pointers.
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        // SAFETY: plain syscall, no pointers.
+        let event_fd = match cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+            Ok(fd) => fd,
+            Err(e) => {
+                // SAFETY: epfd came from epoll_create1 just above.
+                unsafe { close(epfd) };
+                return Err(e);
+            }
+        };
+        let poller = Poller { epfd, event_fd };
+        // The notify fd is the one *level-triggered persistent*
+        // registration (no ONESHOT): it must wake every future wait
+        // until drained, with no re-arm bookkeeping.
+        let mut ev = EpollEvent {
+            events: EPOLLIN,
+            data: NOTIFY_KEY as u64,
+        };
+        // SAFETY: both fds are live; `ev` outlives the call.
+        cvt(unsafe { epoll_ctl(poller.epfd, EPOLL_CTL_ADD, poller.event_fd, &mut ev) })?;
+        Ok(poller)
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, interest: Option<Event>) -> io::Result<()> {
+        let mut ev = interest
+            .map(|i| EpollEvent {
+                events: i.epoll_bits(),
+                data: i.key as u64,
+            })
+            .unwrap_or(EpollEvent { events: 0, data: 0 });
+        // SAFETY: `ev` outlives the call; fd validity is the caller's
+        // liveness obligation (documented on `add`).
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Register `source` with a oneshot `interest`. The source must stay
+    /// open until [`Poller::delete`] — closing a registered fd while the
+    /// poller still polls it is a logic error (the kernel drops closed
+    /// fds from the set silently, and a reused fd number would alias).
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key usize::MAX is reserved for notify",
+            ));
+        }
+        self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), Some(interest))
+    }
+
+    /// Re-arm (or change) a registered source's oneshot interest.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key usize::MAX is reserved for notify",
+            ));
+        }
+        self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), Some(interest))
+    }
+
+    /// Remove a source from the poller.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), None)
+    }
+
+    /// Block until at least one event, a [`Poller::notify`], or the
+    /// timeout (`None` = forever). Returns the number of events
+    /// delivered into `events` (0 on timeout or bare notify).
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            Some(d) => {
+                // Round up so a 100µs timeout does not busy-spin at 0ms.
+                let ms = d
+                    .as_millis()
+                    .max(if d.is_zero() { 0 } else { 1 })
+                    .min(c_int::MAX as u128);
+                ms as c_int
+            }
+        };
+        let n = loop {
+            // SAFETY: `raw` is a live, correctly-sized buffer for up to
+            // `raw.len()` epoll_event structs; epfd is live.
+            let rc = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    events.raw.as_mut_ptr(),
+                    events.raw.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            match cvt(rc) {
+                Ok(n) => break n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        for raw in &events.raw[..n] {
+            let key = raw.data as usize;
+            if key == NOTIFY_KEY {
+                self.drain_notify();
+                continue;
+            }
+            let bits = raw.events;
+            events.parsed.push(Event {
+                key,
+                readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+            });
+        }
+        Ok(events.parsed.len())
+    }
+
+    /// Wake one concurrent (or the next) [`Poller::wait`] from any
+    /// thread. Coalesces: many notifies before a wait cost one wake-up.
+    pub fn notify(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        // SAFETY: event_fd is live; the buffer is 8 valid bytes, the size
+        // eventfd requires.
+        let rc = unsafe { write(self.event_fd, (&one as *const u64).cast(), 8) };
+        if rc < 0 {
+            let e = io::Error::last_os_error();
+            // A full counter (EAGAIN) already guarantees a pending wake.
+            if e.kind() != io::ErrorKind::WouldBlock {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    fn drain_notify(&self) {
+        let mut buf: u64 = 0;
+        // SAFETY: event_fd is live; the buffer is 8 writable bytes.
+        // Nonblocking read either consumes the counter or returns EAGAIN
+        // (already drained by a racing wait) — both are fine.
+        let _ = unsafe { read(self.event_fd, (&mut buf as *mut u64).cast(), 8) };
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: both fds are owned by this poller and closed once.
+        unsafe {
+            close(self.event_fd);
+            close(self.epfd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::Arc;
+
+    #[test]
+    fn readable_event_fires_once_until_rearmed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        rx.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&rx, Event::readable(7)).unwrap();
+        let mut events = Events::new();
+
+        tx.write_all(b"x").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 7);
+        assert!(ev.readable);
+
+        // Oneshot: without modify, more data does not fire again.
+        tx.write_all(b"y").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert_eq!(n, 0, "oneshot interest must not re-fire before modify");
+
+        // Re-armed: the still-unread data fires immediately.
+        poller.modify(&rx, Event::readable(7)).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        poller.delete(&rx).unwrap();
+    }
+
+    #[test]
+    fn writable_and_none_interests() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (_rx, _) = listener.accept().unwrap();
+        tx.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        // A fresh socket with an empty send buffer is writable at once.
+        poller.add(&tx, Event::writable(3)).unwrap();
+        let mut events = Events::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events.iter().next().unwrap().writable);
+
+        // Parked with none(): still registered, delivers nothing.
+        poller.modify(&tx, Event::none(3)).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        let poller = Arc::new(Poller::new().unwrap());
+        let waker = Arc::clone(&poller);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.notify().unwrap();
+        });
+        let mut events = Events::new();
+        let start = std::time::Instant::now();
+        // Infinite timeout: only the notify can end this wait.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert_eq!(n, 0, "notify must not surface as a user event");
+        assert!(start.elapsed() < Duration::from_secs(10));
+        handle.join().unwrap();
+
+        // Drained: the next wait times out instead of spinning on the
+        // stale notification.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn reserved_key_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let poller = Poller::new().unwrap();
+        assert!(poller.add(&listener, Event::readable(NOTIFY_KEY)).is_err());
+    }
+}
