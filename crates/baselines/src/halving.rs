@@ -15,12 +15,13 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use req_core::compactor::{RankAccuracy, RelativeCompactor};
-use req_core::SortedView;
+use req_core::{LevelArena, SortedView};
 use sketch_traits::{QuantileSketch, SpaceUsage};
 
 /// Relative-error sketch whose compactions always halve the buffer.
 #[derive(Debug, Clone)]
 pub struct HalvingSketch<T> {
+    arena: LevelArena<T>,
     levels: Vec<RelativeCompactor<T>>,
     half: u32,
     accuracy: RankAccuracy,
@@ -37,6 +38,7 @@ impl<T: Ord + Clone> HalvingSketch<T> {
             "half must be even and >= 4"
         );
         HalvingSketch {
+            arena: LevelArena::new(),
             levels: Vec::new(),
             half,
             accuracy,
@@ -66,7 +68,8 @@ impl<T: Ord + Clone> HalvingSketch<T> {
 
     fn ensure_level(&mut self, h: usize) {
         while self.levels.len() <= h {
-            self.levels.push(RelativeCompactor::new(self.half, 1));
+            self.levels
+                .push(RelativeCompactor::new(&mut self.arena, self.half, 1));
         }
     }
 
@@ -79,18 +82,18 @@ impl<T: Ord + Clone> HalvingSketch<T> {
         while !items.is_empty() {
             let room = self.levels[h]
                 .capacity()
-                .saturating_sub(self.levels[h].len())
+                .saturating_sub(self.levels[h].len(&self.arena))
                 .max(1);
             let accuracy = self.accuracy;
             let take = items.len().min(room);
-            self.levels[h].merge_sorted_run_prefix(&mut items, take, accuracy);
-            if self.levels[h].is_at_capacity() {
+            self.levels[h].merge_sorted_run_prefix(&mut self.arena, &mut items, take, accuracy);
+            if self.levels[h].is_at_capacity(&self.arena) {
                 let coin = self.rng.gen::<bool>();
                 let accuracy = self.accuracy;
                 let mut out = Vec::new();
                 // num_sections = 1 ⇒ the schedule always selects the single
                 // B/2-sized section: L = B/2 on every compaction.
-                self.levels[h].compact_scheduled(accuracy, coin, &mut out);
+                self.levels[h].compact_scheduled(&mut self.arena, accuracy, coin, &mut out);
                 self.insert_run_at(h + 1, out);
             }
         }
@@ -99,7 +102,7 @@ impl<T: Ord + Clone> HalvingSketch<T> {
     /// Weighted sorted snapshot for batched queries — a k-way merge of the
     /// per-level sorted runs.
     pub fn sorted_view(&self) -> SortedView<T> {
-        SortedView::from_levels(&self.levels, self.accuracy)
+        SortedView::from_levels(&self.levels, &self.arena, self.accuracy)
     }
 
     /// Total weight (equals `n`).
@@ -107,7 +110,7 @@ impl<T: Ord + Clone> HalvingSketch<T> {
         self.levels
             .iter()
             .enumerate()
-            .map(|(h, l)| (l.len() as u64) << h)
+            .map(|(h, l)| (l.len(&self.arena) as u64) << h)
             .sum()
     }
 }
@@ -116,12 +119,12 @@ impl<T: Ord + Clone> QuantileSketch<T> for HalvingSketch<T> {
     fn update(&mut self, item: T) {
         self.n += 1;
         self.ensure_level(0);
-        self.levels[0].push(item);
-        if self.levels[0].is_at_capacity() {
+        self.levels[0].push(&mut self.arena, item);
+        if self.levels[0].is_at_capacity(&self.arena) {
             let coin = self.rng.gen::<bool>();
             let accuracy = self.accuracy;
             let mut out = Vec::new();
-            self.levels[0].compact_scheduled(accuracy, coin, &mut out);
+            self.levels[0].compact_scheduled(&mut self.arena, accuracy, coin, &mut out);
             self.insert_run_at(1, out);
         }
     }
@@ -134,7 +137,7 @@ impl<T: Ord + Clone> QuantileSketch<T> for HalvingSketch<T> {
         self.levels
             .iter()
             .enumerate()
-            .map(|(h, l)| (l.count_le_with(y, self.accuracy) as u64) << h)
+            .map(|(h, l)| (l.count_le_with(&self.arena, y, self.accuracy) as u64) << h)
             .sum()
     }
 
@@ -145,11 +148,13 @@ impl<T: Ord + Clone> QuantileSketch<T> for HalvingSketch<T> {
 
 impl<T> SpaceUsage for HalvingSketch<T> {
     fn retained(&self) -> usize {
-        self.levels.iter().map(|l| l.len()).sum()
+        self.levels.iter().map(|l| l.len(&self.arena)).sum()
     }
 
     fn size_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.levels.iter().map(|l| l.size_bytes()).sum::<usize>()
+        std::mem::size_of::<Self>()
+            + self.arena.arena_bytes()
+            + self.levels.len() * std::mem::size_of::<RelativeCompactor<T>>()
     }
 }
 

@@ -5,6 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use req_bench::bench_items;
 use req_core::compactor::{RankAccuracy, RelativeCompactor};
+use req_core::LevelArena;
 
 fn bench_compaction(c: &mut Criterion) {
     let mut group = c.benchmark_group("compaction");
@@ -17,12 +18,18 @@ fn bench_compaction(c: &mut Criterion) {
             &(k, sections),
             |b, &(k, sections)| {
                 b.iter(|| {
-                    let mut compactor = RelativeCompactor::new(k, sections);
+                    let mut arena = LevelArena::new();
+                    let mut compactor = RelativeCompactor::new(&mut arena, k, sections);
                     for &x in &items {
-                        compactor.push(x);
+                        compactor.push(&mut arena, x);
                     }
                     let mut out = Vec::new();
-                    let o = compactor.compact_scheduled(RankAccuracy::LowRank, true, &mut out);
+                    let o = compactor.compact_scheduled(
+                        &mut arena,
+                        RankAccuracy::LowRank,
+                        true,
+                        &mut out,
+                    );
                     black_box((o.compacted, out.len()))
                 })
             },
@@ -33,14 +40,15 @@ fn bench_compaction(c: &mut Criterion) {
     group.bench_function("stream_64k_through_one_level", |b| {
         let items = bench_items(65_536, 5);
         b.iter(|| {
-            let mut compactor = RelativeCompactor::new(32, 10);
+            let mut arena = LevelArena::new();
+            let mut compactor = RelativeCompactor::new(&mut arena, 32, 10);
             let mut out = Vec::new();
             let mut coin = false;
             for &x in &items {
-                compactor.push(x);
-                if compactor.is_at_capacity() {
+                compactor.push(&mut arena, x);
+                if compactor.is_at_capacity(&arena) {
                     coin = !coin;
-                    compactor.compact_scheduled(RankAccuracy::LowRank, coin, &mut out);
+                    compactor.compact_scheduled(&mut arena, RankAccuracy::LowRank, coin, &mut out);
                 }
             }
             black_box(out.len())

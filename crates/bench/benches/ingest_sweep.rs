@@ -1,0 +1,51 @@
+//! k × n ingest sweep (PR 7): batched ingest throughput across the
+//! accuracy/space knob `k` and stream length `n`, on the arena fast path.
+//!
+//! `batch_update.rs` pins one stream length and compares ingest styles and
+//! baselines; this sweep shows how per-item cost scales — compaction work
+//! grows with the level count (≈ log n) and with `k` (larger protected
+//! sections → more items merged per compaction), so elem/s drifts down as
+//! either grows. Input data is generated once, outside every timed closure.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use req_bench::bench_items;
+use req_core::{QuantileSketch, RankAccuracy, ReqSketch};
+
+fn bench_ingest_sweep(c: &mut Criterion) {
+    let ns: &[usize] = &[100_000, 1_000_000, 4_000_000];
+    // One backing stream, sliced per n so data generation never repeats.
+    let items = bench_items(*ns.last().unwrap(), 7);
+
+    let mut group = c.benchmark_group("ingest_sweep");
+    for &n in ns {
+        let data = &items[..n];
+        group.throughput(Throughput::Elements(n as u64));
+        for k in [4u32, 12, 32, 128] {
+            group.bench_with_input(
+                BenchmarkId::new(&format!("k{k}"), n),
+                &(k, n),
+                |b, &(k, _)| {
+                    b.iter(|| {
+                        let mut s = ReqSketch::<u64>::builder()
+                            .k(k)
+                            .rank_accuracy(RankAccuracy::HighRank)
+                            .seed(1)
+                            .build()
+                            .unwrap();
+                        s.update_batch(black_box(data));
+                        black_box(s.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ingest_sweep
+}
+criterion_main!(benches);

@@ -11,7 +11,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use req_bench::bench_items;
 use req_core::compactor::{CompactionMode, RankAccuracy, RelativeCompactor};
-use req_core::{QuantileSketch, ReqSketch};
+use req_core::{LevelArena, QuantileSketch, ReqSketch};
 
 const N: usize = 1_000_000;
 
@@ -68,18 +68,24 @@ fn bench_compactor_fill_cycle(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::new(name, "k32_s10"), &mode, |b, &mode| {
             b.iter(|| {
-                let mut compactor = RelativeCompactor::new_with_mode(32, 10, mode);
+                let mut arena = LevelArena::new();
+                let mut compactor = RelativeCompactor::new_with_mode(&mut arena, 32, 10, mode);
                 let mut out = Vec::new();
                 let mut coin = false;
                 for &x in &items {
-                    compactor.push(x);
-                    if compactor.is_at_capacity() {
+                    compactor.push(&mut arena, x);
+                    if compactor.is_at_capacity(&arena) {
                         coin = !coin;
                         out.clear();
-                        compactor.compact_scheduled(RankAccuracy::LowRank, coin, &mut out);
+                        compactor.compact_scheduled(
+                            &mut arena,
+                            RankAccuracy::LowRank,
+                            coin,
+                            &mut out,
+                        );
                     }
                 }
-                black_box(compactor.len())
+                black_box(compactor.len(&arena))
             })
         });
     }

@@ -116,6 +116,16 @@ impl Packable for OrdF64 {
     }
 }
 
+impl Packable for crate::ordf32::OrdF32 {
+    fn pack(&self, out: &mut BytesMut) {
+        out.put_u32_le(self.0.to_bits());
+    }
+    fn unpack(input: &mut Bytes) -> Result<Self, ReqError> {
+        need(input, 4)?;
+        Ok(crate::ordf32::OrdF32(f32::from_bits(input.get_u32_le())))
+    }
+}
+
 impl Packable for String {
     fn pack(&self, out: &mut BytesMut) {
         let bytes = self.as_bytes();
@@ -230,7 +240,7 @@ fn unpack_option<T: Packable>(input: &mut Bytes) -> Result<Option<T>, ReqError> 
 impl<T: Ord + Clone + Packable> ReqSketch<T> {
     /// Serialize into the versioned binary format.
     pub fn to_bytes(&mut self) -> Bytes {
-        let retained: usize = self.levels.iter().map(|l| l.len()).sum();
+        let retained: usize = self.levels.iter().map(|l| l.len(&self.arena)).sum();
         let mut out = BytesMut::with_capacity(64 + 16 * retained);
         out.put_slice(MAGIC);
         out.put_u8(VERSION);
@@ -258,9 +268,9 @@ impl<T: Ord + Clone + Packable> ReqSketch<T> {
             out.put_u64_le(level.num_special_compactions());
             out.put_u32_le(level.num_sections());
             out.put_u64_le(level.absorbed());
-            out.put_u32_le(level.run_len() as u32);
-            out.put_u32_le(level.len() as u32);
-            for item in level.items() {
+            out.put_u32_le(level.run_len(&self.arena) as u32);
+            out.put_u32_le(level.len(&self.arena) as u32);
+            for item in level.items(&self.arena) {
                 item.pack(&mut out);
             }
         }
@@ -313,6 +323,7 @@ impl<T: Ord + Clone + Packable> ReqSketch<T> {
                 "implausible level count {num_levels}"
             )));
         }
+        let mut arena = crate::arena::LevelArena::new();
         let mut levels = Vec::with_capacity(num_levels);
         for _ in 0..num_levels {
             let state = u64::unpack(&mut input)?;
@@ -358,6 +369,7 @@ impl<T: Ord + Clone + Packable> ReqSketch<T> {
                 buf.push(T::unpack(&mut input)?);
             }
             let level = RelativeCompactor::from_parts(
+                &mut arena,
                 k,
                 level_sections,
                 buf,
@@ -367,7 +379,7 @@ impl<T: Ord + Clone + Packable> ReqSketch<T> {
                 special,
                 absorbed,
             );
-            if !level.run_is_sorted(accuracy) {
+            if !level.run_is_sorted(&arena, accuracy) {
                 return Err(ReqError::CorruptBytes(
                     "declared sorted run is not sorted".into(),
                 ));
@@ -383,6 +395,7 @@ impl<T: Ord + Clone + Packable> ReqSketch<T> {
         Ok(ReqSketch::from_parts(
             policy,
             accuracy,
+            arena,
             levels,
             n,
             max_n,

@@ -10,23 +10,36 @@
 //! is **never** compacted, which is what yields the multiplicative guarantee
 //! at that end.
 //!
+//! # Arena storage
+//!
+//! Since PR 7 a compactor owns no items itself: it is a *slot handle* plus
+//! schedule metadata, and every buffer lives in a shared
+//! [`LevelArena`] (one contiguous allocation,
+//! per-level `(offset, len, cap, run_len)` slots). Every item operation
+//! therefore takes the arena as an explicit argument; the arena's branchless
+//! merge kernels carry the hot path for types without drop glue, and types
+//! with drop glue transparently take a `Vec`-based safe lane
+//! ([`LevelArena::take_level`] / [`LevelArena::restore_level`]) with
+//! identical semantics.
+//!
 //! # Sorted-run maintenance
 //!
 //! The buffer is kept as a **sorted run plus a small unsorted tail**:
-//! `buf[..run_len]` is sorted by the internal comparator and `buf[run_len..]`
-//! holds raw appends since the last ordering operation. When a compaction
-//! needs order, only the tail is sorted and then gallop-merged into the run,
-//! so a fill costs `O(tail·log tail + moved)` instead of re-sorting `O(L log
-//! L)` every time. Crucially, a compaction *emits* an already-sorted half, so
-//! upper levels receive sorted runs and merge them in via
-//! [`RelativeCompactor::merge_sorted_run`] without ever sorting — the
-//! merge-based compaction maintenance of Ivkin, Liberty, Lang, Karnin and
-//! Braverman (*Streaming Quantiles Algorithms with Small Space and Update
-//! Time*), which drops the amortized per-update comparison cost to
-//! `O(log(1/ε))`. The previous sort-on-compact behaviour is retained behind
-//! [`CompactionMode::SortOnCompact`] as a reference implementation: both
-//! modes compact the exact same item multisets with the same coin flips, a
-//! property the equivalence proptests assert byte-for-byte.
+//! `items[..run_len]` is sorted by the internal comparator and
+//! `items[run_len..]` holds raw appends since the last ordering operation.
+//! When a compaction needs order, only the tail is sorted and then
+//! gallop-merged into the run, so a fill costs `O(tail·log tail + moved)`
+//! instead of re-sorting `O(L log L)` every time. Crucially, a compaction
+//! *emits* an already-sorted half, so upper levels receive sorted runs and
+//! merge them in via [`RelativeCompactor::merge_sorted_run`] without ever
+//! sorting — the merge-based compaction maintenance of Ivkin, Liberty,
+//! Lang, Karnin and Braverman (*Streaming Quantiles Algorithms with Small
+//! Space and Update Time*), which drops the amortized per-update comparison
+//! cost to `O(log(1/ε))`. The previous sort-on-compact behaviour is
+//! retained behind [`CompactionMode::SortOnCompact`] as a reference
+//! implementation: both modes compact the exact same item multisets with
+//! the same coin flips, a property the equivalence proptests assert
+//! byte-for-byte.
 //!
 //! # Absorbed weight
 //!
@@ -48,7 +61,9 @@
 //! external order under `HighRank`.
 
 use std::cmp::Ordering;
+use std::marker::PhantomData;
 
+use crate::arena::LevelArena;
 use crate::schedule::{adaptive_num_sections, CompactionState};
 
 /// Which end of the rank axis gets the multiplicative guarantee.
@@ -97,7 +112,8 @@ pub struct CompactionOutcome {
     pub sections: u32,
 }
 
-/// One level of the REQ sketch: Algorithm 1's buffer plus its schedule state.
+/// One level of the REQ sketch: Algorithm 1's schedule state plus a handle
+/// to its buffer slot in a [`LevelArena`].
 ///
 /// Public so that downstream code can assemble *variant* sketches from the
 /// same building block — the `baselines` crate uses it with a single section
@@ -106,10 +122,9 @@ pub struct CompactionOutcome {
 /// regime of Zhang et al. \[22\]).
 #[derive(Debug, Clone)]
 pub struct RelativeCompactor<T> {
-    buf: Vec<T>,
-    /// `buf[..run_len]` is sorted by the internal comparator; `buf[run_len..]`
-    /// is the unsorted tail. Always 0 in [`CompactionMode::SortOnCompact`].
-    run_len: usize,
+    /// Index of this buffer's slot in the arena it was created in. Every
+    /// item method must be passed *that* arena.
+    slot: usize,
     mode: CompactionMode,
     state: CompactionState,
     section_size: u32,
@@ -132,27 +147,48 @@ pub struct RelativeCompactor<T> {
     items_sorted: u64,
     /// Items placed by run merges instead of sorting. Stats only.
     items_merge_moved: u64,
-    /// Reusable merge scratch (empty between operations; capacity kept).
-    scratch_a: Vec<T>,
-    /// Second merge scratch for the tail side of `ensure_sorted`.
-    scratch_b: Vec<T>,
+    /// Length of the *warm* sorted run, `items[run_len..run_len+warm_len]`.
+    ///
+    /// The buffer is laid out as three regions — the cold run
+    /// `items[..run_len]`, this warm run, and raw appends after it. Emitted
+    /// runs from the level below land in (or become) the warm run, and
+    /// compactions extract the top of all three regions directly
+    /// ([`LevelArena::compact_top`]), so the cold run — which holds the
+    /// protected items — is rewritten only when the warm run outgrows
+    /// `B/4` and is flushed into it. Always 0 for types with drop glue and
+    /// in [`CompactionMode::SortOnCompact`]. Not serialized: on load the
+    /// warm items are indistinguishable from raw appends and the first
+    /// ordering operation rebuilds the invariant.
+    warm_len: usize,
+    _items: PhantomData<fn() -> T>,
 }
 
 impl<T> RelativeCompactor<T> {
     /// Fresh compactor with section size `k` (even, >= 4) and `s` sections,
-    /// in the default [`CompactionMode::SortedRuns`].
-    pub fn new(section_size: u32, num_sections: u32) -> Self {
-        Self::new_with_mode(section_size, num_sections, CompactionMode::SortedRuns)
+    /// backed by a new slot in `arena`, in the default
+    /// [`CompactionMode::SortedRuns`].
+    pub fn new(arena: &mut LevelArena<T>, section_size: u32, num_sections: u32) -> Self {
+        Self::new_with_mode(
+            arena,
+            section_size,
+            num_sections,
+            CompactionMode::SortedRuns,
+        )
     }
 
     /// Fresh compactor with an explicit [`CompactionMode`].
-    pub fn new_with_mode(section_size: u32, num_sections: u32, mode: CompactionMode) -> Self {
+    pub fn new_with_mode(
+        arena: &mut LevelArena<T>,
+        section_size: u32,
+        num_sections: u32,
+        mode: CompactionMode,
+    ) -> Self {
         debug_assert!(section_size >= 4 && section_size.is_multiple_of(2));
         debug_assert!(num_sections >= 1);
         let cap = 2 * section_size as usize * num_sections as usize;
+        let slot = arena.add_level(cap);
         RelativeCompactor {
-            buf: Vec::with_capacity(cap),
-            run_len: 0,
+            slot,
             mode,
             state: CompactionState::new(),
             section_size,
@@ -163,8 +199,8 @@ impl<T> RelativeCompactor<T> {
             num_adaptations: 0,
             items_sorted: 0,
             items_merge_moved: 0,
-            scratch_a: Vec::new(),
-            scratch_b: Vec::new(),
+            warm_len: 0,
+            _items: PhantomData,
         }
     }
 
@@ -174,19 +210,24 @@ impl<T> RelativeCompactor<T> {
         2 * self.section_size as usize * self.num_sections as usize
     }
 
+    /// This buffer's slot index in its arena (for a sketch, the level).
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
     /// Items currently buffered.
-    pub fn len(&self) -> usize {
-        self.buf.len()
+    pub fn len(&self, arena: &LevelArena<T>) -> usize {
+        arena.len(self.slot)
     }
 
     /// True when no items are buffered.
-    pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+    pub fn is_empty(&self, arena: &LevelArena<T>) -> bool {
+        arena.is_empty(self.slot)
     }
 
     /// True when the buffer holds at least `B` items (a compaction is due).
-    pub fn is_at_capacity(&self) -> bool {
-        self.buf.len() >= self.capacity()
+    pub fn is_at_capacity(&self, arena: &LevelArena<T>) -> bool {
+        arena.len(self.slot) >= self.capacity()
     }
 
     /// Section size `k`.
@@ -244,17 +285,14 @@ impl<T> RelativeCompactor<T> {
     /// current count. Called on fill (instead of compacting, when the weight
     /// has earned more sections) and after merges. Returns `true` when the
     /// section count — and therefore the capacity — grew.
-    pub fn maybe_adapt(&mut self, floor: u32) -> bool {
+    pub fn maybe_adapt(&mut self, arena: &mut LevelArena<T>, floor: u32) -> bool {
         let target = adaptive_num_sections(self.absorbed, self.section_size, floor);
         if target <= self.num_sections {
             return false;
         }
         self.num_sections = target;
         self.num_adaptations += 1;
-        let cap = self.capacity();
-        if self.buf.capacity() < cap {
-            self.buf.reserve(cap.saturating_sub(self.buf.len()));
-        }
+        arena.reserve(self.slot, self.capacity());
         true
     }
 
@@ -271,87 +309,80 @@ impl<T> RelativeCompactor<T> {
         self.items_merge_moved
     }
 
-    /// The buffered items: sorted run first, then the unsorted tail.
-    pub fn items(&self) -> &[T] {
-        &self.buf
+    /// The buffered items: the cold sorted run first, then the warm sorted
+    /// run, then the raw unsorted tail.
+    pub fn items<'a>(&self, arena: &'a LevelArena<T>) -> &'a [T] {
+        arena.items(self.slot)
     }
 
-    /// Length of the sorted-run prefix (`items()[..run_len()]` is sorted by
-    /// the internal comparator).
-    pub fn run_len(&self) -> usize {
-        self.run_len
+    /// Length of the cold sorted-run prefix (`items()[..run_len()]` is
+    /// sorted by the internal comparator). Authoritative in the arena slot.
+    pub fn run_len(&self, arena: &LevelArena<T>) -> usize {
+        arena.run_len(self.slot)
+    }
+
+    /// Length of the warm sorted run, the second region
+    /// `items()[run_len()..run_len() + warm_len()]` (also sorted by the
+    /// internal comparator, but independent of the cold run's order). See
+    /// the field docs for how it keeps the cold run from being rewritten.
+    pub fn warm_len(&self) -> usize {
+        self.warm_len
     }
 
     /// Append one item to the unsorted tail (caller checks `is_at_capacity`
     /// afterwards).
-    pub fn push(&mut self, item: T) {
+    #[inline]
+    pub fn push(&mut self, arena: &mut LevelArena<T>, item: T) {
         self.absorbed += 1;
-        self.buf.push(item);
+        arena.push(self.slot, item);
     }
 
     /// Append a whole slice to the unsorted tail (caller checks
     /// `is_at_capacity` afterwards) — the bulk counterpart of
     /// [`RelativeCompactor::push`] used by the batched ingest path.
-    pub fn push_slice(&mut self, items: &[T])
+    pub fn push_slice(&mut self, arena: &mut LevelArena<T>, items: &[T])
     where
         T: Clone,
     {
         self.absorbed += items.len() as u64;
-        self.buf.extend_from_slice(items);
-    }
-
-    /// Direct access to the backing buffer. Items appended through this land
-    /// in the **unsorted tail** and are picked up by the next ordering
-    /// operation; callers must not reorder or mutate `buf[..run_len()]`
-    /// (doing so voids the sorted-run invariant). Bypasses the absorbed-weight
-    /// bookkeeping, so adaptive-schedule sketches must not ingest through it.
-    pub fn buf_mut(&mut self) -> &mut Vec<T> {
-        &mut self.buf
+        arena.extend_from_slice(self.slot, items);
     }
 
     /// Update `(k, s)` after the stream-length estimate grew (footnote 9 /
     /// Algorithm 3 line 7). Existing items are untouched; only the logical
-    /// capacity changes.
-    pub fn set_params(&mut self, section_size: u32, num_sections: u32) {
+    /// capacity changes (the slot may transiently hold more items than the
+    /// new capacity mid-merge, which the arena tolerates).
+    pub fn set_params(&mut self, arena: &mut LevelArena<T>, section_size: u32, num_sections: u32) {
         debug_assert!(section_size >= 4 && section_size.is_multiple_of(2));
         self.section_size = section_size;
         self.num_sections = num_sections.max(1);
-        let cap = self.capacity();
-        if self.buf.capacity() < cap {
-            // The buffer may transiently hold *more* than the new capacity
-            // (mid-merge reconciliation can shrink `B` while items are still
-            // queued), so the extra headroom wanted may be zero — plain
-            // subtraction would underflow and panic in debug builds.
-            self.buf.reserve(cap.saturating_sub(self.buf.len()));
-        }
+        arena.reserve(self.slot, self.capacity());
     }
 
-    /// Estimated heap bytes for this buffer's bookkeeping plus items.
-    pub fn size_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + (self.buf.capacity() + self.scratch_a.capacity() + self.scratch_b.capacity())
-                * std::mem::size_of::<T>()
-    }
-
-    /// Rebuild from raw parts (deserialization). `run_len` declares the
-    /// sorted-run prefix of `buf`; callers loading untrusted bytes must
-    /// validate it with [`RelativeCompactor::run_is_sorted`] (passing 0 is
-    /// always safe and merely re-establishes the invariant on the first
-    /// compaction).
+    /// Rebuild from raw parts (deserialization), seeding a fresh slot in
+    /// `arena`. `run_len` declares the sorted-run prefix of `items`; callers
+    /// loading untrusted bytes must validate it with
+    /// [`RelativeCompactor::run_is_sorted`] (passing 0 is always safe and
+    /// merely re-establishes the invariant on the first compaction).
     #[allow(clippy::too_many_arguments)]
     pub fn from_parts(
+        arena: &mut LevelArena<T>,
         section_size: u32,
         num_sections: u32,
-        buf: Vec<T>,
+        items: Vec<T>,
         run_len: usize,
         state: CompactionState,
         num_compactions: u64,
         num_special_compactions: u64,
         absorbed: u64,
     ) -> Self {
+        let slot = arena.add_level_from_vec(items, run_len);
+        arena.reserve(
+            slot,
+            2 * section_size as usize * num_sections.max(1) as usize,
+        );
         RelativeCompactor {
-            run_len: run_len.min(buf.len()),
-            buf,
+            slot,
             mode: CompactionMode::SortedRuns,
             state,
             section_size,
@@ -362,8 +393,8 @@ impl<T> RelativeCompactor<T> {
             num_adaptations: 0,
             items_sorted: 0,
             items_merge_moved: 0,
-            scratch_a: Vec::new(),
-            scratch_b: Vec::new(),
+            warm_len: 0,
+            _items: PhantomData,
         }
     }
 }
@@ -371,9 +402,11 @@ impl<T> RelativeCompactor<T> {
 impl<T: Ord> RelativeCompactor<T> {
     /// True when the declared run prefix really is sorted by the internal
     /// comparator — the validation hook for deserializing untrusted bytes.
-    pub fn run_is_sorted(&self, acc: RankAccuracy) -> bool {
-        self.run_len <= self.buf.len()
-            && self.buf[..self.run_len]
+    pub fn run_is_sorted(&self, arena: &LevelArena<T>, acc: RankAccuracy) -> bool {
+        let items = arena.items(self.slot);
+        let run = arena.run_len(self.slot);
+        run <= items.len()
+            && items[..run]
                 .windows(2)
                 .all(|w| acc.icmp(&w[0], &w[1]) != Ordering::Greater)
     }
@@ -381,83 +414,133 @@ impl<T: Ord> RelativeCompactor<T> {
     /// Number of stored items `x` with `x ≤ y` (external order — used by rank
     /// estimation regardless of orientation). `O(len)` scan; prefer
     /// [`RelativeCompactor::count_le_with`] when the orientation is known.
-    pub fn count_le(&self, y: &T) -> usize {
-        self.buf.iter().filter(|x| *x <= y).count()
+    pub fn count_le(&self, arena: &LevelArena<T>, y: &T) -> usize {
+        arena.items(self.slot).iter().filter(|x| *x <= y).count()
     }
 
     /// Number of stored items `x` with `x < y`. `O(len)` scan; see
     /// [`RelativeCompactor::count_lt_with`].
-    pub fn count_lt(&self, y: &T) -> usize {
-        self.buf.iter().filter(|x| *x < y).count()
+    pub fn count_lt(&self, arena: &LevelArena<T>, y: &T) -> usize {
+        arena.items(self.slot).iter().filter(|x| *x < y).count()
     }
 
-    /// Number of stored items `x ≤ y`, binary-searching the sorted run
-    /// (`O(log run + tail)`); `acc` tells which direction the run is sorted.
-    pub fn count_le_with(&self, y: &T, acc: RankAccuracy) -> usize {
-        let run = &self.buf[..self.run_len];
-        let in_run = match acc {
-            RankAccuracy::LowRank => run.partition_point(|x| x <= y),
-            RankAccuracy::HighRank => run.len() - run.partition_point(|x| x > y),
+    /// Number of stored items `x ≤ y`, binary-searching the cold and warm
+    /// sorted runs (`O(log run + log warm + tail)`); `acc` tells which
+    /// direction the runs are sorted.
+    pub fn count_le_with(&self, arena: &LevelArena<T>, y: &T, acc: RankAccuracy) -> usize {
+        let items = arena.items(self.slot);
+        let run_len = arena.run_len(self.slot);
+        let rw = run_len + self.warm_len;
+        let in_sorted = |s: &[T]| match acc {
+            RankAccuracy::LowRank => s.partition_point(|x| x <= y),
+            RankAccuracy::HighRank => s.len() - s.partition_point(|x| x > y),
         };
-        in_run + self.buf[self.run_len..].iter().filter(|x| *x <= y).count()
+        in_sorted(&items[..run_len])
+            + in_sorted(&items[run_len..rw])
+            + items[rw..].iter().filter(|x| *x <= y).count()
     }
 
-    /// Number of stored items `x < y`, binary-searching the sorted run.
-    pub fn count_lt_with(&self, y: &T, acc: RankAccuracy) -> usize {
-        let run = &self.buf[..self.run_len];
-        let in_run = match acc {
-            RankAccuracy::LowRank => run.partition_point(|x| x < y),
-            RankAccuracy::HighRank => run.len() - run.partition_point(|x| x >= y),
+    /// Number of stored items `x < y`, binary-searching the cold and warm
+    /// sorted runs.
+    pub fn count_lt_with(&self, arena: &LevelArena<T>, y: &T, acc: RankAccuracy) -> usize {
+        let items = arena.items(self.slot);
+        let run_len = arena.run_len(self.slot);
+        let rw = run_len + self.warm_len;
+        let in_sorted = |s: &[T]| match acc {
+            RankAccuracy::LowRank => s.partition_point(|x| x < y),
+            RankAccuracy::HighRank => s.len() - s.partition_point(|x| x >= y),
         };
-        in_run + self.buf[self.run_len..].iter().filter(|x| *x < y).count()
+        in_sorted(&items[..run_len])
+            + in_sorted(&items[run_len..rw])
+            + items[rw..].iter().filter(|x| *x < y).count()
     }
 
-    /// Establish the full sorted-run invariant: sort the unsorted tail and
-    /// gallop-merge it into the run, leaving the whole buffer as one run.
-    /// Cost `O(tail·log tail + moved)` where `moved` is the merged portion —
-    /// the run prefix below the tail minimum is never touched.
-    pub fn ensure_sorted(&mut self, acc: RankAccuracy) {
-        let len = self.buf.len();
-        if self.run_len == len {
+    /// Establish the full sorted-run invariant: sort the raw appends, fold
+    /// them into the warm run, and merge the result into the cold run,
+    /// leaving the whole buffer as one run. Cost
+    /// `O(raw·log raw + moved)` where `moved` is the merged portion — the
+    /// cold-run prefix below the merged minimum is never touched. The
+    /// merges are the arena's backward in-place kernels: only the smaller
+    /// side is staged in scratch.
+    pub fn ensure_sorted(&mut self, arena: &mut LevelArena<T>, acc: RankAccuracy) {
+        let len = arena.len(self.slot);
+        let run = arena.run_len(self.slot);
+        if run == len {
+            debug_assert_eq!(self.warm_len, 0);
             return;
         }
-        let tail_len = len - self.run_len;
-        self.buf[self.run_len..].sort_unstable_by(|a, b| acc.icmp(a, b));
-        self.items_sorted += tail_len as u64;
-        if self.run_len == 0 {
-            self.run_len = len;
+        let rw = run + self.warm_len;
+        if rw < len {
+            // Dispatch on the orientation once, outside the sort: each arm
+            // is a monomorphic comparator with no per-comparison accuracy
+            // branch (the plain `Ord` arm also unlocks std's specialized
+            // integer path).
+            match acc {
+                RankAccuracy::LowRank => arena.items_mut(self.slot)[rw..].sort_unstable(),
+                RankAccuracy::HighRank => {
+                    arena.items_mut(self.slot)[rw..].sort_unstable_by(|a, b| b.cmp(a))
+                }
+            }
+            self.items_sorted += (len - rw) as u64;
+            if self.warm_len > 0 {
+                // Fold the sorted raw span into the warm run so items[run..]
+                // becomes one sorted span. (warm_len > 0 implies no drop
+                // glue — the kernels below are reachable.)
+                let items = arena.items(self.slot);
+                if acc.icmp(&items[rw - 1], &items[rw]) == Ordering::Greater {
+                    let split = items[run..rw]
+                        .partition_point(|x| acc.icmp(x, &items[rw]) != Ordering::Greater);
+                    self.items_merge_moved += ((rw - run - split) + (len - rw)) as u64;
+                    arena.merge_regions(self.slot, run + split, rw, |a, b| acc.icmp(a, b));
+                }
+            }
+        }
+        self.warm_len = 0;
+        if run == 0 {
+            arena.set_run_len(self.slot, len);
             return;
         }
-        // Fast path: the sorted tail extends the run (ascending streams in
+        let items = arena.items(self.slot);
+        // Fast path: the sorted span extends the run (ascending streams in
         // LowRank / descending in HighRank land here and pay nothing).
-        if acc.icmp(&self.buf[self.run_len - 1], &self.buf[self.run_len]) != Ordering::Greater {
-            self.run_len = len;
+        if acc.icmp(&items[run - 1], &items[run]) != Ordering::Greater {
+            arena.set_run_len(self.slot, len);
             return;
         }
-        // Gallop: run items at or below the tail minimum keep their place.
-        let split = self.buf[..self.run_len]
-            .partition_point(|x| acc.icmp(x, &self.buf[self.run_len]) != Ordering::Greater);
-        let tail = &mut self.scratch_b;
-        tail.clear();
-        tail.extend(self.buf.drain(self.run_len..));
-        let high = &mut self.scratch_a;
-        high.clear();
-        high.extend(self.buf.drain(split..));
-        self.items_merge_moved += (high.len() + tail.len()) as u64;
-        merge_into(&mut self.buf, high, tail.drain(..), acc);
-        self.run_len = self.buf.len();
-        debug_assert!(self.run_is_sorted(acc));
+        // Gallop: run items at or below the span minimum keep their place.
+        let split = items[..run].partition_point(|x| acc.icmp(x, &items[run]) != Ordering::Greater);
+        self.items_merge_moved += ((run - split) + (len - run)) as u64;
+        if std::mem::needs_drop::<T>() {
+            // Safe Vec lane for types with drop glue.
+            let (mut buf, _) = arena.take_level(self.slot);
+            let mut tail: Vec<T> = buf.split_off(run);
+            let mut high: Vec<T> = buf.split_off(split);
+            merge_into(&mut buf, &mut high, tail.drain(..), acc);
+            let n = buf.len();
+            arena.restore_level(self.slot, buf, n);
+        } else {
+            arena.merge_regions(self.slot, split, run, |a, b| acc.icmp(a, b));
+            arena.set_run_len(self.slot, len);
+        }
+        debug_assert!(self.run_is_sorted(arena, acc));
     }
 
     /// Merge an already-sorted run (ordered by `acc.icmp`, draining
-    /// `incoming`) into this buffer's run — how compaction output enters the
-    /// next level without ever being re-sorted. If the buffer currently has
-    /// an unsorted tail, the items are appended to the tail instead (the
-    /// next `ensure_sorted` sorts them); either way the buffered multiset is
-    /// the same as pushing the items one by one.
-    pub fn merge_sorted_run(&mut self, incoming: &mut Vec<T>, acc: RankAccuracy) {
+    /// `incoming`) into this buffer — how compaction output enters the next
+    /// level without ever being re-sorted. The chunk lands in (or becomes)
+    /// the *warm* run, so the cold run holding the protected items is not
+    /// rewritten; if the buffer currently has raw appends the items are
+    /// appended after them instead (the next ordering operation folds
+    /// everything). Either way the buffered multiset is the same as pushing
+    /// the items one by one.
+    pub fn merge_sorted_run(
+        &mut self,
+        arena: &mut LevelArena<T>,
+        incoming: &mut Vec<T>,
+        acc: RankAccuracy,
+    ) {
         let count = incoming.len();
-        self.merge_sorted_run_prefix(incoming, count, acc);
+        self.merge_sorted_run_prefix(arena, incoming, count, acc);
     }
 
     /// [`RelativeCompactor::merge_sorted_run`] for the first `count` items
@@ -466,6 +549,7 @@ impl<T: Ord> RelativeCompactor<T> {
     /// intermediate chunk allocation.
     pub fn merge_sorted_run_prefix(
         &mut self,
+        arena: &mut LevelArena<T>,
         incoming: &mut Vec<T>,
         count: usize,
         acc: RankAccuracy,
@@ -478,40 +562,104 @@ impl<T: Ord> RelativeCompactor<T> {
         debug_assert!(incoming[..count]
             .windows(2)
             .all(|w| acc.icmp(&w[0], &w[1]) != Ordering::Greater));
-        if self.run_len < self.buf.len() || self.mode == CompactionMode::SortOnCompact {
-            // Tail present (or reference mode, which never maintains runs):
-            // plain append.
-            self.buf.extend(incoming.drain(..count));
+        let len = arena.len(self.slot);
+        let run = arena.run_len(self.slot);
+        if run + self.warm_len < len || self.mode == CompactionMode::SortOnCompact {
+            // Raw appends present (or reference mode, which never maintains
+            // runs): plain append; the next ordering operation folds all.
+            arena.append_vec_prefix(self.slot, incoming, count);
             return;
         }
-        // Fast path: the chunk extends the run (`incoming[0]` is its
-        // smallest item).
-        if self.buf.is_empty()
-            || acc.icmp(self.buf.last().expect("non-empty"), &incoming[0]) != Ordering::Greater
-        {
+        // Fast path: the chunk extends the topmost region (`incoming[0]` is
+        // its smallest item).
+        let items = arena.items(self.slot);
+        if len == 0 || acc.icmp(&items[len - 1], &incoming[0]) != Ordering::Greater {
             self.items_merge_moved += count as u64;
-            self.buf.extend(incoming.drain(..count));
-            self.run_len = self.buf.len();
+            arena.append_vec_prefix(self.slot, incoming, count);
+            if self.warm_len > 0 {
+                self.warm_len += count;
+                self.maybe_flush_warm(arena, acc);
+            } else {
+                arena.set_run_len(self.slot, len + count);
+            }
             return;
         }
-        let split = self
-            .buf
-            .partition_point(|x| acc.icmp(x, &incoming[0]) != Ordering::Greater);
-        let high = &mut self.scratch_a;
-        high.clear();
-        high.extend(self.buf.drain(split..));
-        self.items_merge_moved += (high.len() + count) as u64;
-        merge_into(&mut self.buf, high, incoming.drain(..count), acc);
-        self.run_len = self.buf.len();
-        debug_assert!(self.run_is_sorted(acc));
+        if std::mem::needs_drop::<T>() {
+            // Safe Vec lane (warm_len is always 0 here): merge into the run.
+            let split = items.partition_point(|x| acc.icmp(x, &incoming[0]) != Ordering::Greater);
+            self.items_merge_moved += ((len - split) + count) as u64;
+            let (mut buf, _) = arena.take_level(self.slot);
+            let mut high: Vec<T> = buf.split_off(split);
+            merge_into(&mut buf, &mut high, incoming.drain(..count), acc);
+            let n = buf.len();
+            arena.restore_level(self.slot, buf, n);
+            debug_assert!(self.run_is_sorted(arena, acc));
+            return;
+        }
+        if self.warm_len == 0 {
+            // The incoming run *becomes* the warm run — zero item moves; the
+            // cold run is not touched at all.
+            arena.append_vec_prefix(self.slot, incoming, count);
+            self.warm_len = count;
+        } else {
+            // Merge into the warm run only (gallop: warm items at or below
+            // the chunk minimum keep their place).
+            let split =
+                items[run..].partition_point(|x| acc.icmp(x, &incoming[0]) != Ordering::Greater);
+            self.items_merge_moved += ((len - run - split) + count) as u64;
+            arena.merge_vec_into_region(self.slot, run + split, incoming, count, |a, b| {
+                acc.icmp(a, b)
+            });
+            self.warm_len += count;
+        }
+        self.maybe_flush_warm(arena, acc);
+    }
+
+    /// Flush the warm run into the cold run once it outgrows `B/4`: one
+    /// gallop-split backward merge, after which the whole buffer is a single
+    /// run again. Amortized this rewrites the cold run only once per `B/4`
+    /// warm items instead of on every incoming chunk. Only called on the
+    /// no-drop lane with no raw appends present.
+    fn maybe_flush_warm(&mut self, arena: &mut LevelArena<T>, acc: RankAccuracy) {
+        let warm = self.warm_len;
+        if warm * 4 <= self.capacity() {
+            return;
+        }
+        let len = arena.len(self.slot);
+        let run = arena.run_len(self.slot);
+        debug_assert_eq!(run + warm, len);
+        self.warm_len = 0;
+        if run == 0 {
+            arena.set_run_len(self.slot, len);
+            return;
+        }
+        let items = arena.items(self.slot);
+        if acc.icmp(&items[run - 1], &items[run]) != Ordering::Greater {
+            arena.set_run_len(self.slot, len);
+            return;
+        }
+        let split = items[..run].partition_point(|x| acc.icmp(x, &items[run]) != Ordering::Greater);
+        self.items_merge_moved += ((run - split) + warm) as u64;
+        arena.merge_regions(self.slot, split, run, |a, b| acc.icmp(a, b));
+        arena.set_run_len(self.slot, len);
+        debug_assert!(self.run_is_sorted(arena, acc));
     }
 
     /// Absorb a same-level buffer from another sketch (Algorithm 3 lines
     /// 16–18): schedule states combine by bitwise OR; item multisets combine.
-    /// In [`CompactionMode::SortedRuns`] the two sorted runs are merged (and
+    /// The other buffer arrives as its metadata plus its items taken out of
+    /// *its* arena ([`LevelArena::take_level`]). In
+    /// [`CompactionMode::SortedRuns`] the two sorted runs are merged (and
     /// the tails concatenated) so the invariant — and the avoided sort work —
     /// survives the merge.
-    pub fn absorb(&mut self, other: RelativeCompactor<T>, acc: RankAccuracy) {
+    pub fn absorb(
+        &mut self,
+        arena: &mut LevelArena<T>,
+        other: &RelativeCompactor<T>,
+        mut other_items: Vec<T>,
+        other_run_len: usize,
+        acc: RankAccuracy,
+    ) {
         self.state.merge(other.state);
         self.num_compactions += other.num_compactions;
         self.num_special_compactions += other.num_special_compactions;
@@ -523,15 +671,20 @@ impl<T: Ord> RelativeCompactor<T> {
         // changing buffers now — set directly, overriding the per-run
         // counting the merge below would do.
         let combined_absorbed = self.absorbed + other.absorbed;
-        let mut other_buf = other.buf;
-        if self.mode == CompactionMode::SortOnCompact || other.run_len == 0 {
-            self.buf.append(&mut other_buf);
+        if self.mode == CompactionMode::SortOnCompact || other_run_len == 0 {
+            let n = other_items.len();
+            arena.append_vec_prefix(self.slot, &mut other_items, n);
         } else {
-            // Merge run with run, then carry both tails as our tail.
-            let mut other_tail = other_buf.split_off(other.run_len);
-            self.ensure_sorted(acc);
-            self.merge_sorted_run(&mut other_buf, acc);
-            self.buf.append(&mut other_tail);
+            // Merge run with run (the incoming run lands in the warm zone),
+            // carry both tails as our tail, then canonicalize: merging is
+            // rare, and leaving the combined buffer as one run means the
+            // next fill starts from the cheapest possible state.
+            let mut other_tail = other_items.split_off(other_run_len);
+            self.ensure_sorted(arena, acc);
+            self.merge_sorted_run(arena, &mut other_items, acc);
+            let n = other_tail.len();
+            arena.append_vec_prefix(self.slot, &mut other_tail, n);
+            self.ensure_sorted(arena, acc);
         }
         self.absorbed = combined_absorbed;
     }
@@ -561,6 +714,7 @@ impl<T: Ord> RelativeCompactor<T> {
     /// automatically included in the compaction, exactly as in §D.1.
     pub fn compact_scheduled(
         &mut self,
+        arena: &mut LevelArena<T>,
         acc: RankAccuracy,
         coin: bool,
         out: &mut Vec<T>,
@@ -568,8 +722,8 @@ impl<T: Ord> RelativeCompactor<T> {
         let sections = self.state.sections_to_compact(self.num_sections);
         let l = sections as usize * self.section_size as usize;
         let protect = self.capacity().saturating_sub(l);
-        let protect = Self::even_parity_protect(self.buf.len(), protect);
-        let outcome = self.compact_above(protect, acc, coin, out, sections);
+        let protect = Self::even_parity_protect(arena.len(self.slot), protect);
+        let outcome = self.compact_above(arena, protect, acc, coin, out, sections);
         self.state.increment();
         self.num_compactions += 1;
         outcome
@@ -581,19 +735,21 @@ impl<T: Ord> RelativeCompactor<T> {
     /// most `B/2` items (plus possibly one parity item).
     pub fn compact_special(
         &mut self,
+        arena: &mut LevelArena<T>,
         acc: RankAccuracy,
         coin: bool,
         out: &mut Vec<T>,
     ) -> Option<CompactionOutcome> {
         let protect = self.capacity() / 2;
-        if self.buf.len() <= protect {
+        let len = arena.len(self.slot);
+        if len <= protect {
             return None;
         }
-        let protect = Self::even_parity_protect(self.buf.len(), protect);
-        if self.buf.len() <= protect {
+        let protect = Self::even_parity_protect(len, protect);
+        if len <= protect {
             return None;
         }
-        let outcome = self.compact_above(protect, acc, coin, out, 0);
+        let outcome = self.compact_above(arena, protect, acc, coin, out, 0);
         self.state.increment();
         self.num_special_compactions += 1;
         Some(outcome)
@@ -601,57 +757,119 @@ impl<T: Ord> RelativeCompactor<T> {
 
     /// Core compaction: keep the `protect` internally-smallest items, order
     /// the rest, emit every other one (offset chosen by `coin`), drop the
-    /// rest. In [`CompactionMode::SortedRuns`] ordering is one
-    /// [`RelativeCompactor::ensure_sorted`] (`O(tail log tail + moved)`); in
-    /// the reference mode it is the original `O(B + m log m)` partition+sort
-    /// for `m` compacted items. Both emit the same multiset.
+    /// rest.
+    ///
+    /// In [`CompactionMode::SortedRuns`] (no drop glue) this is the hot
+    /// lane: only the raw appends are sorted, then
+    /// [`LevelArena::compact_top`] extracts the top `m` items straight out
+    /// of the three sorted regions — the protected prefix of the cold run
+    /// is never rewritten. Types with drop glue canonicalize first
+    /// ([`RelativeCompactor::ensure_sorted`]) and emit on the safe `Vec`
+    /// lane; the reference mode keeps the original `O(B + m log m)`
+    /// partition+sort. All lanes compact the same multiset and emit the
+    /// same sorted item sequence.
     fn compact_above(
         &mut self,
+        arena: &mut LevelArena<T>,
         protect: usize,
         acc: RankAccuracy,
         coin: bool,
         out: &mut Vec<T>,
         sections: u32,
     ) -> CompactionOutcome {
-        let len = self.buf.len();
+        let len = arena.len(self.slot);
         debug_assert!(
             len > protect,
             "compaction requires items above the protected prefix"
         );
         debug_assert_eq!((len - protect) % 2, 0, "compacted range must be even");
-        match self.mode {
-            CompactionMode::SortedRuns => {
-                // The whole buffer becomes one sorted run; the compacted
-                // slice buf[protect..] is then already in order.
-                self.ensure_sorted(acc);
-            }
-            CompactionMode::SortOnCompact => {
-                if protect > 0 {
-                    // Partition: buf[..protect] = the `protect` smallest
-                    // (internal order), buf[protect..] = the items to compact.
-                    self.buf
-                        .select_nth_unstable_by(protect - 1, |a, b| acc.icmp(a, b));
-                }
-                self.buf[protect..].sort_unstable_by(|a, b| acc.icmp(a, b));
-                self.items_sorted += (len - protect) as u64;
-                self.run_len = 0;
-            }
-        }
         let compacted = len - protect;
         let offset = usize::from(coin);
-        let before = out.len();
-        out.extend(
-            self.buf
-                .drain(protect..)
-                .enumerate()
-                .filter_map(|(i, x)| (i % 2 == offset).then_some(x)),
-        );
+        if self.mode == CompactionMode::SortedRuns && !std::mem::needs_drop::<T>() {
+            let run = arena.run_len(self.slot);
+            let warm = self.warm_len;
+            let rw = run + warm;
+            if rw < len {
+                match acc {
+                    RankAccuracy::LowRank => arena.items_mut(self.slot)[rw..].sort_unstable(),
+                    RankAccuracy::HighRank => {
+                        arena.items_mut(self.slot)[rw..].sort_unstable_by(|a, b| b.cmp(a))
+                    }
+                }
+                self.items_sorted += (len - rw) as u64;
+            }
+            let (ri, wi, ti, emitted) =
+                arena.compact_top(self.slot, run, warm, compacted, offset, out, |a, b| {
+                    acc.icmp(a, b)
+                });
+            self.items_merge_moved += compacted as u64
+                + if ri < run { wi as u64 } else { 0 }
+                + if ri + wi < rw { ti as u64 } else { 0 };
+            // Fold the sorted-tail survivors into the warm run (they sit
+            // right after it already — when the warm run is empty they *are*
+            // the new warm run, for free).
+            self.warm_len = wi;
+            if ti > 0 {
+                if wi == 0 {
+                    self.warm_len = ti;
+                } else {
+                    let items = arena.items(self.slot);
+                    let whi = ri + wi;
+                    if acc.icmp(&items[whi - 1], &items[whi]) == Ordering::Greater {
+                        let split = items[ri..whi]
+                            .partition_point(|x| acc.icmp(x, &items[whi]) != Ordering::Greater);
+                        self.items_merge_moved += ((wi - split) + ti) as u64;
+                        arena.merge_regions(self.slot, ri + split, whi, |a, b| acc.icmp(a, b));
+                    }
+                    self.warm_len = wi + ti;
+                }
+            }
+            self.maybe_flush_warm(arena, acc);
+            return CompactionOutcome {
+                compacted,
+                emitted,
+                sections,
+            };
+        }
+        match self.mode {
+            CompactionMode::SortedRuns => {
+                // Drop-glue lane: the whole buffer becomes one sorted run;
+                // the compacted slice items[protect..] is then in order.
+                self.ensure_sorted(arena, acc);
+            }
+            CompactionMode::SortOnCompact => {
+                let items = arena.items_mut(self.slot);
+                if protect > 0 {
+                    // Partition: items[..protect] = the `protect` smallest
+                    // (internal order), items[protect..] = the compactable.
+                    items.select_nth_unstable_by(protect - 1, |a, b| acc.icmp(a, b));
+                }
+                items[protect..].sort_unstable_by(|a, b| acc.icmp(a, b));
+                self.items_sorted += (len - protect) as u64;
+                arena.set_run_len(self.slot, 0);
+                self.warm_len = 0;
+            }
+        }
+        let emitted = if std::mem::needs_drop::<T>() {
+            let (mut buf, run) = arena.take_level(self.slot);
+            let before = out.len();
+            out.extend(
+                buf.drain(protect..)
+                    .enumerate()
+                    .filter_map(|(i, x)| (i % 2 == offset).then_some(x)),
+            );
+            let emitted = out.len() - before;
+            arena.restore_level(self.slot, buf, run.min(protect));
+            emitted
+        } else {
+            arena.emit_every_other(self.slot, protect, offset, out)
+        };
         if self.mode == CompactionMode::SortedRuns {
-            self.run_len = protect;
+            arena.set_run_len(self.slot, protect);
         }
         CompactionOutcome {
             compacted,
-            emitted: out.len() - before,
+            emitted,
             sections,
         }
     }
@@ -659,8 +877,11 @@ impl<T: Ord> RelativeCompactor<T> {
 
 /// Merge two runs sorted by `acc.icmp` (draining `a`, consuming `b`) onto
 /// the end of `dst`, preferring `a` on ties so run-side items keep their
-/// place.
-fn merge_into<T: Ord, I: Iterator<Item = T>>(
+/// place. The safe lane for types with drop glue; the no-drop lane is the
+/// arena's branchless [`LevelArena::merge_regions`] /
+/// [`LevelArena::merge_vec_into_region`] kernels with identical tie
+/// semantics.
+pub(crate) fn merge_into<T: Ord, I: Iterator<Item = T>>(
     dst: &mut Vec<T>,
     a: &mut Vec<T>,
     b: I,
@@ -694,81 +915,83 @@ fn merge_into<T: Ord, I: Iterator<Item = T>>(
 mod tests {
     use super::*;
 
-    fn new_c(k: u32, s: u32) -> RelativeCompactor<u64> {
-        RelativeCompactor::new(k, s)
+    fn new_c(k: u32, s: u32) -> (LevelArena<u64>, RelativeCompactor<u64>) {
+        let mut ar = LevelArena::new();
+        let c = RelativeCompactor::new(&mut ar, k, s);
+        (ar, c)
     }
 
     #[test]
     fn capacity_is_2_k_s() {
-        let c = new_c(4, 3);
+        let (_, c) = new_c(4, 3);
         assert_eq!(c.capacity(), 24);
-        let c = new_c(12, 5);
+        let (_, c) = new_c(12, 5);
         assert_eq!(c.capacity(), 120);
     }
 
     #[test]
     fn first_compaction_compacts_exactly_one_section() {
-        let mut c = new_c(4, 3); // B = 24, protect = 20 on first compaction
+        let (mut ar, mut c) = new_c(4, 3); // B = 24, protect = 20 on first compaction
         for i in 0..24 {
-            c.push(i);
+            c.push(&mut ar, i);
         }
         let mut out = Vec::new();
-        let o = c.compact_scheduled(RankAccuracy::LowRank, false, &mut out);
+        let o = c.compact_scheduled(&mut ar, RankAccuracy::LowRank, false, &mut out);
         assert_eq!(o.compacted, 4);
         assert_eq!(o.emitted, 2);
         assert_eq!(o.sections, 1);
-        assert_eq!(c.len(), 20);
+        assert_eq!(c.len(&ar), 20);
         // LowRank: the *largest* items were compacted.
-        assert!(c.items().iter().all(|&x| x < 20));
+        assert!(c.items(&ar).iter().all(|&x| x < 20));
         // Emitted are every-other of the sorted top section {20,21,22,23}.
         assert_eq!(out, vec![20, 22]);
         // The survivors are one sorted run.
-        assert_eq!(c.run_len(), c.len());
-        assert!(c.run_is_sorted(RankAccuracy::LowRank));
+        assert_eq!(c.run_len(&ar), c.len(&ar));
+        assert!(c.run_is_sorted(&ar, RankAccuracy::LowRank));
     }
 
     #[test]
     fn odd_coin_emits_odd_indexed() {
-        let mut c = new_c(4, 3);
+        let (mut ar, mut c) = new_c(4, 3);
         for i in 0..24 {
-            c.push(i);
+            c.push(&mut ar, i);
         }
         let mut out = Vec::new();
-        c.compact_scheduled(RankAccuracy::LowRank, true, &mut out);
+        c.compact_scheduled(&mut ar, RankAccuracy::LowRank, true, &mut out);
         assert_eq!(out, vec![21, 23]);
     }
 
     #[test]
     fn high_rank_mode_compacts_smallest() {
-        let mut c = new_c(4, 3);
+        let (mut ar, mut c) = new_c(4, 3);
         for i in 0..24 {
-            c.push(i);
+            c.push(&mut ar, i);
         }
         let mut out = Vec::new();
-        let o = c.compact_scheduled(RankAccuracy::HighRank, false, &mut out);
+        let o = c.compact_scheduled(&mut ar, RankAccuracy::HighRank, false, &mut out);
         assert_eq!(o.compacted, 4);
         // HighRank: the smallest items {0,1,2,3} get compacted; internal sort
         // order is descending, so even indices are {3, 1}.
         assert_eq!(out, vec![3, 1]);
-        assert!(c.items().iter().all(|&x| x >= 4));
-        assert!(c.run_is_sorted(RankAccuracy::HighRank));
+        assert!(c.items(&ar).iter().all(|&x| x >= 4));
+        assert!(c.run_is_sorted(&ar, RankAccuracy::HighRank));
     }
 
     #[test]
     fn schedule_growth_follows_trailing_ones() {
         // Feed a compactor through many fill/compact cycles and check the
         // section counts follow the ruler sequence 1,2,1,3,1,2,1,4,...
-        let mut c = new_c(4, 4); // B = 32
+        let (mut ar, mut c) = new_c(4, 4); // B = 32
         let expected = [1u32, 2, 1, 3, 1, 2, 1, 4, 1, 2, 1, 3, 1, 2, 1];
         let mut seen = Vec::new();
         let mut next_val = 0u64;
         for _ in 0..expected.len() {
-            while !c.is_at_capacity() {
-                c.push(next_val);
+            while !c.is_at_capacity(&ar) {
+                c.push(&mut ar, next_val);
                 next_val += 1;
             }
             let mut out = Vec::new();
-            let o = c.compact_scheduled(RankAccuracy::LowRank, false, &mut out);
+            let o = c.compact_scheduled(&mut ar, RankAccuracy::LowRank, false, &mut out);
             seen.push(o.sections);
             assert_eq!(o.compacted, o.sections as usize * 4);
             assert_eq!(o.emitted * 2, o.compacted);
@@ -782,24 +1005,24 @@ mod tests {
         // lowest B/2 items of everything ever inserted must stay put.
         let k = 4;
         let s = 4;
-        let mut c = new_c(k, s);
+        let (mut ar, mut c) = new_c(k, s);
         let b = c.capacity();
         let mut inserted: Vec<u64> = Vec::new();
         let mut val = 0u64;
         for round in 0..50 {
-            while !c.is_at_capacity() {
-                c.push(val);
+            while !c.is_at_capacity(&ar) {
+                c.push(&mut ar, val);
                 inserted.push(val);
                 val += 1;
             }
             let mut out = Vec::new();
-            c.compact_scheduled(RankAccuracy::LowRank, round % 2 == 0, &mut out);
+            c.compact_scheduled(&mut ar, RankAccuracy::LowRank, round % 2 == 0, &mut out);
             // The b/2 smallest inserted so far must all still be in the buffer.
             let mut sorted = inserted.clone();
             sorted.sort_unstable();
             for want in &sorted[..b / 2] {
                 assert!(
-                    c.items().contains(want),
+                    c.items(&ar).contains(want),
                     "protected item {want} evicted at round {round}"
                 );
             }
@@ -812,15 +1035,12 @@ mod tests {
         // R(y;X) - 2 R(y;Z) = 0 for both coin outcomes.
         let input: Vec<u64> = (0..8).collect(); // compact all 8
         for coin in [false, true] {
-            let mut c = new_c(4, 1); // B = 8, protect = B - L; state 0 -> L = 4
+            let (mut ar, mut c) = new_c(4, 1); // B = 8, protect = B - L; state 0 -> L = 4
             for &x in &input {
-                c.push(x);
+                c.push(&mut ar, x);
             }
-            // Force a full compaction by protecting nothing: use special path
-            // with capacity trick — instead compact twice. Simpler: check on
-            // the scheduled compaction of the top section only.
             let mut out = Vec::new();
-            let o = c.compact_scheduled(RankAccuracy::LowRank, coin, &mut out);
+            let o = c.compact_scheduled(&mut ar, RankAccuracy::LowRank, coin, &mut out);
             // top section = {4,5,6,7}; y = 5 has rank 2 (even) within it.
             let r_in = input.iter().filter(|&&x| (4..=5).contains(&x)).count();
             let r_out = out.iter().filter(|&&z| z <= 5).count();
@@ -832,12 +1052,12 @@ mod tests {
     #[test]
     fn odd_rank_items_err_by_exactly_one() {
         for coin in [false, true] {
-            let mut c = new_c(4, 1);
+            let (mut ar, mut c) = new_c(4, 1);
             for x in 0..8u64 {
-                c.push(x);
+                c.push(&mut ar, x);
             }
             let mut out = Vec::new();
-            c.compact_scheduled(RankAccuracy::LowRank, coin, &mut out);
+            c.compact_scheduled(&mut ar, RankAccuracy::LowRank, coin, &mut out);
             // y = 4 has rank 1 (odd) within the compacted {4,5,6,7}.
             let r_in = 1i64;
             let r_out = out.iter().filter(|&&z| z <= 4).count() as i64;
@@ -847,21 +1067,21 @@ mod tests {
 
     #[test]
     fn special_compaction_halves_to_protected() {
-        let mut c = new_c(4, 3); // B = 24
+        let (mut ar, mut c) = new_c(4, 3); // B = 24
         for i in 0..22 {
-            c.push(i);
+            c.push(&mut ar, i);
         }
         let mut out = Vec::new();
         let o = c
-            .compact_special(RankAccuracy::LowRank, false, &mut out)
+            .compact_special(&mut ar, RankAccuracy::LowRank, false, &mut out)
             .unwrap();
-        assert_eq!(c.len(), 12); // B/2
+        assert_eq!(c.len(&ar), 12); // B/2
         assert_eq!(o.compacted, 10);
         assert_eq!(o.emitted, 5);
         assert_eq!(o.sections, 0);
         // no-op when at or below B/2
         assert!(c
-            .compact_special(RankAccuracy::LowRank, false, &mut out)
+            .compact_special(&mut ar, RankAccuracy::LowRank, false, &mut out)
             .is_none());
     }
 
@@ -869,151 +1089,157 @@ mod tests {
     fn special_compaction_rounds_odd_tail_to_even() {
         // 23 items, protect = 12: the 11-item tail is rounded down to 10 so
         // weight stays exactly conserved; one parity item stays behind.
-        let mut c = new_c(4, 3);
+        let (mut ar, mut c) = new_c(4, 3);
         for i in 0..23 {
-            c.push(i);
+            c.push(&mut ar, i);
         }
         let mut out = Vec::new();
         let o = c
-            .compact_special(RankAccuracy::LowRank, true, &mut out)
+            .compact_special(&mut ar, RankAccuracy::LowRank, true, &mut out)
             .unwrap();
         assert_eq!(o.compacted, 10);
         assert_eq!(o.emitted, 5);
-        assert_eq!(c.len(), 13); // B/2 + 1 parity item
-                                 // weight conservation: 2*emitted == compacted
+        assert_eq!(c.len(&ar), 13); // B/2 + 1 parity item
+                                    // weight conservation: 2*emitted == compacted
         assert_eq!(o.emitted * 2, o.compacted);
     }
 
     #[test]
     fn special_compaction_noop_on_single_odd_extra() {
         // B/2 + 1 items with an odd tail of 1: nothing to compact evenly.
-        let mut c = new_c(4, 3);
+        let (mut ar, mut c) = new_c(4, 3);
         for i in 0..13 {
-            c.push(i);
+            c.push(&mut ar, i);
         }
         let mut out = Vec::new();
         assert!(c
-            .compact_special(RankAccuracy::LowRank, false, &mut out)
+            .compact_special(&mut ar, RankAccuracy::LowRank, false, &mut out)
             .is_none());
-        assert_eq!(c.len(), 13);
+        assert_eq!(c.len(&ar), 13);
         assert_eq!(c.state().raw(), 0);
     }
 
     #[test]
     fn scheduled_compaction_on_oversized_odd_buffer_stays_even() {
-        let mut c = new_c(4, 3); // B = 24, first compaction L = 4, protect 20
+        let (mut ar, mut c) = new_c(4, 3); // B = 24, first compaction L = 4, protect 20
         for i in 0..41 {
-            c.push(i); // 41 items: tail of 21 rounded to 20
+            c.push(&mut ar, i); // 41 items: tail of 21 rounded to 20
         }
         let mut out = Vec::new();
-        let o = c.compact_scheduled(RankAccuracy::LowRank, false, &mut out);
+        let o = c.compact_scheduled(&mut ar, RankAccuracy::LowRank, false, &mut out);
         assert_eq!(o.compacted, 20);
         assert_eq!(o.emitted, 10);
-        assert_eq!(c.len(), 21);
+        assert_eq!(c.len(&ar), 21);
     }
 
     #[test]
     fn push_slice_matches_repeated_push() {
-        let mut a = new_c(4, 3);
-        let mut b = new_c(4, 3);
+        let (mut ar_a, mut a) = new_c(4, 3);
+        let (mut ar_b, mut b) = new_c(4, 3);
         let items: Vec<u64> = (0..17).collect();
-        a.push_slice(&items);
+        a.push_slice(&mut ar_a, &items);
         for &x in &items {
-            b.push(x);
+            b.push(&mut ar_b, x);
         }
-        assert_eq!(a.items(), b.items());
-        assert_eq!(a.len(), 17);
+        assert_eq!(a.items(&ar_a), b.items(&ar_b));
+        assert_eq!(a.len(&ar_a), 17);
     }
 
     #[test]
     fn set_params_shrinking_below_fill_does_not_underflow() {
         // Regression: a buffer transiently holding more items than the new
-        // capacity made `cap - len` underflow (debug panic) in the reserve
-        // math. Shrinking params under an over-full buffer must be safe.
-        let mut c = RelativeCompactor::<u64>::new(4, 2); // cap 16
+        // capacity made `cap - len` underflow (debug panic) in the old
+        // reserve math. Shrinking params under an over-full buffer must be
+        // safe. (The over-full state is produced the invariant-preserving
+        // way now that the raw buf_mut escape hatch is gone: a merged-in
+        // oversized run.)
+        let mut ar = LevelArena::new();
+        let mut c = RelativeCompactor::<u64>::new(&mut ar, 4, 2); // cap 16
         let mut big: Vec<u64> = (0..200).collect();
-        c.buf_mut().append(&mut big); // simulate a merge dumping items in
-        c.set_params(4, 1); // cap 8 < len 200: previously panicked
+        c.merge_sorted_run(&mut ar, &mut big, RankAccuracy::LowRank);
+        c.set_params(&mut ar, 4, 1); // cap 8 < len 200: previously panicked
         assert_eq!(c.capacity(), 8);
-        assert_eq!(c.len(), 200);
+        assert_eq!(c.len(&ar), 200);
         // Growing params still reserves headroom.
-        c.set_params(12, 10);
+        c.set_params(&mut ar, 12, 10);
         assert_eq!(c.capacity(), 240);
+        assert!(ar.slot_capacity(c.slot()) >= 240);
     }
 
     #[test]
     fn absorb_ors_state_and_combines_items() {
-        let mut a = new_c(4, 3);
-        let mut b = new_c(4, 3);
+        let (mut ar_a, mut a) = new_c(4, 3);
+        let (mut ar_b, mut b) = new_c(4, 3);
         for i in 0..24 {
-            a.push(i);
-            b.push(100 + i);
+            a.push(&mut ar_a, i);
+            b.push(&mut ar_b, 100 + i);
         }
         let mut out = Vec::new();
-        a.compact_scheduled(RankAccuracy::LowRank, false, &mut out); // state -> 1
-        b.compact_scheduled(RankAccuracy::LowRank, false, &mut out);
-        b.compact_scheduled(RankAccuracy::LowRank, false, &mut out); // state -> 2
-        let (alen, blen) = (a.len(), b.len());
-        a.absorb(b, RankAccuracy::LowRank);
+        a.compact_scheduled(&mut ar_a, RankAccuracy::LowRank, false, &mut out); // state -> 1
+        b.compact_scheduled(&mut ar_b, RankAccuracy::LowRank, false, &mut out);
+        b.compact_scheduled(&mut ar_b, RankAccuracy::LowRank, false, &mut out); // state -> 2
+        let (alen, blen) = (a.len(&ar_a), b.len(&ar_b));
+        let (b_items, b_run) = ar_b.take_level(b.slot());
+        a.absorb(&mut ar_a, &b, b_items, b_run, RankAccuracy::LowRank);
         assert_eq!(a.state().raw(), 0b1 | 0b10);
-        assert_eq!(a.len(), alen + blen);
+        assert_eq!(a.len(&ar_a), alen + blen);
         assert_eq!(a.num_compactions(), 3);
         // Runs were merged: the combined buffer is one sorted run.
-        assert_eq!(a.run_len(), a.len());
-        assert!(a.run_is_sorted(RankAccuracy::LowRank));
+        assert_eq!(a.run_len(&ar_a), a.len(&ar_a));
+        assert!(a.run_is_sorted(&ar_a, RankAccuracy::LowRank));
     }
 
     #[test]
     fn oversized_buffer_compacts_extras() {
         // Mid-merge a buffer may exceed B; everything above the smallest B
         // is included in the compaction.
-        let mut c = new_c(4, 3); // B = 24
+        let (mut ar, mut c) = new_c(4, 3); // B = 24
         for i in 0..40 {
-            c.push(i);
+            c.push(&mut ar, i);
         }
         let mut out = Vec::new();
-        let o = c.compact_scheduled(RankAccuracy::LowRank, false, &mut out);
+        let o = c.compact_scheduled(&mut ar, RankAccuracy::LowRank, false, &mut out);
         // protect = B - L = 24 - 4 = 20; compacted = 40 - 20 = 20.
         assert_eq!(o.compacted, 20);
         assert_eq!(o.emitted, 10);
-        assert_eq!(c.len(), 20);
-        assert!(c.items().iter().all(|&x| x < 20));
+        assert_eq!(c.len(&ar), 20);
+        assert!(c.items(&ar).iter().all(|&x| x < 20));
     }
 
     #[test]
     fn count_le_lt_use_external_order_in_both_modes() {
         for acc in [RankAccuracy::LowRank, RankAccuracy::HighRank] {
-            let mut c = new_c(4, 3);
+            let (mut ar, mut c) = new_c(4, 3);
             for x in [5u64, 1, 9, 5] {
-                c.push(x);
+                c.push(&mut ar, x);
             }
             let _ = acc; // counting is orientation-independent
-            assert_eq!(c.count_le(&5), 3);
-            assert_eq!(c.count_lt(&5), 1);
-            assert_eq!(c.count_le(&0), 0);
-            assert_eq!(c.count_le(&100), 4);
+            assert_eq!(c.count_le(&ar, &5), 3);
+            assert_eq!(c.count_lt(&ar, &5), 1);
+            assert_eq!(c.count_le(&ar, &0), 0);
+            assert_eq!(c.count_le(&ar, &100), 4);
         }
     }
 
     #[test]
     fn count_with_matches_linear_scan_after_compactions() {
         for acc in [RankAccuracy::LowRank, RankAccuracy::HighRank] {
-            let mut c = new_c(4, 3);
+            let (mut ar, mut c) = new_c(4, 3);
             let mut x = 0x2545F4914F6CDD1Du64;
             for round in 0..40u64 {
-                while !c.is_at_capacity() {
+                while !c.is_at_capacity(&ar) {
                     x ^= x << 13;
                     x ^= x >> 7;
                     x ^= x << 17;
-                    c.push(x % 1000);
+                    c.push(&mut ar, x % 1000);
                 }
                 let mut out = Vec::new();
-                c.compact_scheduled(acc, round % 2 == 0, &mut out);
+                c.compact_scheduled(&mut ar, acc, round % 2 == 0, &mut out);
                 // Mixed run + tail: push a few raw items too.
-                c.push(round % 1000);
+                c.push(&mut ar, round % 1000);
                 for y in [0u64, 1, 250, 500, 999, 1000] {
-                    assert_eq!(c.count_le_with(&y, acc), c.count_le(&y), "le {y}");
-                    assert_eq!(c.count_lt_with(&y, acc), c.count_lt(&y), "lt {y}");
+                    assert_eq!(c.count_le_with(&ar, &y, acc), c.count_le(&ar, &y), "le {y}");
+                    assert_eq!(c.count_lt_with(&ar, &y, acc), c.count_lt(&ar, &y), "lt {y}");
                 }
             }
         }
@@ -1021,47 +1247,96 @@ mod tests {
 
     #[test]
     fn ensure_sorted_merges_tail_and_is_idempotent() {
-        let mut c = new_c(4, 3);
+        let (mut ar, mut c) = new_c(4, 3);
         for i in [50u64, 10, 90, 30, 70] {
-            c.push(i);
+            c.push(&mut ar, i);
         }
-        c.ensure_sorted(RankAccuracy::LowRank);
-        assert_eq!(c.items(), &[10, 30, 50, 70, 90]);
-        assert_eq!(c.run_len(), 5);
+        c.ensure_sorted(&mut ar, RankAccuracy::LowRank);
+        assert_eq!(c.items(&ar), &[10, 30, 50, 70, 90]);
+        assert_eq!(c.run_len(&ar), 5);
         let sorted_before = c.items_sorted();
-        c.ensure_sorted(RankAccuracy::LowRank);
+        c.ensure_sorted(&mut ar, RankAccuracy::LowRank);
         assert_eq!(c.items_sorted(), sorted_before, "idempotent");
         // New tail merges in without disturbing the low prefix.
-        c.push(40);
-        c.push(20);
-        c.ensure_sorted(RankAccuracy::LowRank);
-        assert_eq!(c.items(), &[10, 20, 30, 40, 50, 70, 90]);
+        c.push(&mut ar, 40);
+        c.push(&mut ar, 20);
+        c.ensure_sorted(&mut ar, RankAccuracy::LowRank);
+        assert_eq!(c.items(&ar), &[10, 20, 30, 40, 50, 70, 90]);
         assert!(c.items_merge_moved() > 0);
     }
 
     #[test]
+    fn ensure_sorted_drop_type_lane_matches() {
+        // The Vec-based lane for types with drop glue: same semantics.
+        let mut ar = LevelArena::<String>::new();
+        let mut c = RelativeCompactor::new(&mut ar, 4, 3);
+        for s in ["m", "c", "x", "a", "t"] {
+            c.push(&mut ar, s.to_string());
+        }
+        c.ensure_sorted(&mut ar, RankAccuracy::LowRank);
+        assert_eq!(c.items(&ar), &["a", "c", "m", "t", "x"]);
+        c.push(&mut ar, "b".to_string());
+        c.ensure_sorted(&mut ar, RankAccuracy::LowRank);
+        assert_eq!(c.items(&ar), &["a", "b", "c", "m", "t", "x"]);
+        let mut run = vec!["d".to_string(), "z".to_string()];
+        c.merge_sorted_run(&mut ar, &mut run, RankAccuracy::LowRank);
+        assert_eq!(c.items(&ar), &["a", "b", "c", "d", "m", "t", "x", "z"]);
+        // Fill to capacity and compact: the safe emission lane must conserve
+        // weight exactly like the branchless one.
+        let mut i = 0u32;
+        while !c.is_at_capacity(&ar) {
+            c.push(&mut ar, format!("p{i:04}"));
+            i += 1;
+        }
+        let before = c.len(&ar);
+        let mut out = Vec::new();
+        let o = c.compact_scheduled(&mut ar, RankAccuracy::LowRank, false, &mut out);
+        assert_eq!(o.emitted * 2, o.compacted);
+        assert_eq!(c.len(&ar) + o.compacted, before);
+        assert!(c.run_is_sorted(&ar, RankAccuracy::LowRank));
+    }
+
+    #[test]
     fn merge_sorted_run_keeps_invariant_and_multiset() {
-        let mut c = new_c(4, 3);
-        c.push_slice(&[10u64, 30, 50]);
-        c.ensure_sorted(RankAccuracy::LowRank);
-        // Appending run (all above): fast path.
+        let (mut ar, mut c) = new_c(4, 3); // B = 24, warm flush above 6
+        c.push_slice(&mut ar, &[10u64, 30, 50]);
+        c.ensure_sorted(&mut ar, RankAccuracy::LowRank);
+        // Appending run (all above): fast path extends the cold run.
         let mut run = vec![60u64, 70];
-        c.merge_sorted_run(&mut run, RankAccuracy::LowRank);
+        c.merge_sorted_run(&mut ar, &mut run, RankAccuracy::LowRank);
         assert!(run.is_empty());
-        assert_eq!(c.items(), &[10, 30, 50, 60, 70]);
-        // Interleaving run: gallop-merge.
+        assert_eq!(c.items(&ar), &[10, 30, 50, 60, 70]);
+        assert_eq!((c.run_len(&ar), c.warm_len()), (5, 0));
+        // Interleaving run becomes the warm run — the cold run is untouched.
         let mut run = vec![20u64, 55, 65];
-        c.merge_sorted_run(&mut run, RankAccuracy::LowRank);
-        assert_eq!(c.items(), &[10, 20, 30, 50, 55, 60, 65, 70]);
-        assert_eq!(c.run_len(), 8);
-        // With a raw tail present the incoming run lands in the tail.
-        c.push(0);
+        c.merge_sorted_run(&mut ar, &mut run, RankAccuracy::LowRank);
+        assert_eq!(c.items(&ar), &[10, 30, 50, 60, 70, 20, 55, 65]);
+        assert_eq!((c.run_len(&ar), c.warm_len()), (5, 3));
+        // The next interleaving run merges into the warm run only.
+        let mut run = vec![25u64, 57];
+        c.merge_sorted_run(&mut ar, &mut run, RankAccuracy::LowRank);
+        assert_eq!(c.items(&ar), &[10, 30, 50, 60, 70, 20, 25, 55, 57, 65]);
+        assert_eq!((c.run_len(&ar), c.warm_len()), (5, 5));
+        // Growing the warm run past B/4 flushes it into the cold run.
+        let mut run = vec![80u64, 90];
+        c.merge_sorted_run(&mut ar, &mut run, RankAccuracy::LowRank);
+        assert_eq!(
+            c.items(&ar),
+            &[10, 20, 25, 30, 50, 55, 57, 60, 65, 70, 80, 90]
+        );
+        assert_eq!((c.run_len(&ar), c.warm_len()), (12, 0));
+        assert!(c.run_is_sorted(&ar, RankAccuracy::LowRank));
+        // With a raw tail present the incoming run lands after the tail.
+        c.push(&mut ar, 0);
         let mut run = vec![5u64];
-        c.merge_sorted_run(&mut run, RankAccuracy::LowRank);
-        assert_eq!(c.run_len(), 8);
-        assert_eq!(c.len(), 10);
-        c.ensure_sorted(RankAccuracy::LowRank);
-        assert_eq!(c.items(), &[0, 5, 10, 20, 30, 50, 55, 60, 65, 70]);
+        c.merge_sorted_run(&mut ar, &mut run, RankAccuracy::LowRank);
+        assert_eq!(c.run_len(&ar), 12);
+        assert_eq!(c.len(&ar), 14);
+        c.ensure_sorted(&mut ar, RankAccuracy::LowRank);
+        assert_eq!(
+            c.items(&ar),
+            &[0, 5, 10, 20, 25, 30, 50, 55, 57, 60, 65, 70, 80, 90]
+        );
     }
 
     #[test]
@@ -1069,30 +1344,36 @@ mod tests {
         // The same stream through both modes: every compaction emits the
         // same (sorted) output and leaves the same retained multiset.
         for acc in [RankAccuracy::LowRank, RankAccuracy::HighRank] {
-            let mut fast = RelativeCompactor::<u64>::new(6, 3);
-            let mut refc =
-                RelativeCompactor::<u64>::new_with_mode(6, 3, CompactionMode::SortOnCompact);
+            let mut ar_f = LevelArena::new();
+            let mut fast = RelativeCompactor::<u64>::new(&mut ar_f, 6, 3);
+            let mut ar_r = LevelArena::new();
+            let mut refc = RelativeCompactor::<u64>::new_with_mode(
+                &mut ar_r,
+                6,
+                3,
+                CompactionMode::SortOnCompact,
+            );
             let mut x = 0x9E3779B97F4A7C15u64;
             for round in 0..60u64 {
-                while !fast.is_at_capacity() {
+                while !fast.is_at_capacity(&ar_f) {
                     x = x.wrapping_mul(6364136223846793005).wrapping_add(round);
-                    fast.push(x % 512);
-                    refc.push(x % 512);
+                    fast.push(&mut ar_f, x % 512);
+                    refc.push(&mut ar_r, x % 512);
                 }
                 let coin = round % 3 == 0;
                 let mut out_fast = Vec::new();
                 let mut out_ref = Vec::new();
-                let of = fast.compact_scheduled(acc, coin, &mut out_fast);
-                let or = refc.compact_scheduled(acc, coin, &mut out_ref);
+                let of = fast.compact_scheduled(&mut ar_f, acc, coin, &mut out_fast);
+                let or = refc.compact_scheduled(&mut ar_r, acc, coin, &mut out_ref);
                 assert_eq!(of, or);
                 assert_eq!(out_fast, out_ref, "emitted runs diverged");
-                let mut a = fast.items().to_vec();
-                let mut b = refc.items().to_vec();
+                let mut a = fast.items(&ar_f).to_vec();
+                let mut b = refc.items(&ar_r).to_vec();
                 a.sort_unstable();
                 b.sort_unstable();
                 assert_eq!(a, b, "retained multisets diverged");
             }
-            assert_eq!(refc.run_len(), 0);
+            assert_eq!(refc.run_len(&ar_r), 0);
             assert!(fast.items_merge_moved() > 0);
             // At a single level fed raw pushes both modes sort roughly the
             // compacted count per fill; the run mode's saving shows at the
@@ -1106,17 +1387,18 @@ mod tests {
     fn weight_is_conserved_by_even_compactions() {
         // Streaming compactions always compact an even count; the emitted
         // half at doubled weight carries exactly the removed weight.
-        let mut c = new_c(6, 4);
+        let (mut ar, mut c) = new_c(6, 4);
         let mut rng_state = 0x9E3779B97F4A7C15u64;
         for round in 0..200u64 {
-            while !c.is_at_capacity() {
+            while !c.is_at_capacity(&ar) {
                 rng_state = rng_state
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(round);
-                c.push(rng_state >> 16);
+                c.push(&mut ar, rng_state >> 16);
             }
             let mut out = Vec::new();
-            let o = c.compact_scheduled(RankAccuracy::LowRank, rng_state & 1 == 0, &mut out);
+            let o =
+                c.compact_scheduled(&mut ar, RankAccuracy::LowRank, rng_state & 1 == 0, &mut out);
             assert_eq!(o.compacted % 2, 0);
             assert_eq!(o.emitted * 2, o.compacted);
         }
@@ -1124,34 +1406,38 @@ mod tests {
 
     #[test]
     fn parts_roundtrip() {
-        let mut c = new_c(4, 3);
+        let (mut ar, mut c) = new_c(4, 3);
         for i in 0..24 {
-            c.push(i);
+            c.push(&mut ar, i);
         }
         let mut out = Vec::new();
-        c.compact_scheduled(RankAccuracy::LowRank, false, &mut out);
-        let snapshot: Vec<u64> = c.items().to_vec();
+        c.compact_scheduled(&mut ar, RankAccuracy::LowRank, false, &mut out);
+        let snapshot: Vec<u64> = c.items(&ar).to_vec();
+        let mut ar2 = LevelArena::new();
         let rebuilt = RelativeCompactor::from_parts(
+            &mut ar2,
             4,
             3,
             snapshot.clone(),
-            c.run_len(),
+            c.run_len(&ar),
             c.state(),
             c.num_compactions(),
             c.num_special_compactions(),
             c.absorbed(),
         );
-        assert_eq!(rebuilt.items(), snapshot.as_slice());
+        assert_eq!(rebuilt.items(&ar2), snapshot.as_slice());
         assert_eq!(rebuilt.state(), c.state());
         assert_eq!(rebuilt.num_compactions(), 1);
-        assert_eq!(rebuilt.run_len(), c.run_len());
+        assert_eq!(rebuilt.run_len(&ar2), c.run_len(&ar));
         assert_eq!(rebuilt.absorbed(), 24);
-        assert!(rebuilt.run_is_sorted(RankAccuracy::LowRank));
+        assert!(rebuilt.run_is_sorted(&ar2, RankAccuracy::LowRank));
     }
 
     #[test]
     fn from_parts_clamps_run_len_and_validates() {
+        let mut ar = LevelArena::new();
         let c = RelativeCompactor::from_parts(
+            &mut ar,
             4,
             1,
             vec![3u64, 1, 2],
@@ -1161,9 +1447,11 @@ mod tests {
             0,
             0,
         );
-        assert_eq!(c.run_len(), 3);
-        assert!(!c.run_is_sorted(RankAccuracy::LowRank));
+        assert_eq!(c.run_len(&ar), 3);
+        assert!(!c.run_is_sorted(&ar, RankAccuracy::LowRank));
+        let mut ar = LevelArena::new();
         let c = RelativeCompactor::from_parts(
+            &mut ar,
             4,
             1,
             vec![3u64, 1, 2],
@@ -1173,70 +1461,78 @@ mod tests {
             0,
             0,
         );
-        assert!(c.run_is_sorted(RankAccuracy::LowRank), "empty run is valid");
+        assert!(
+            c.run_is_sorted(&ar, RankAccuracy::LowRank),
+            "empty run is valid"
+        );
     }
 
     #[test]
     fn absorbed_counts_every_ingest_path() {
-        let mut c = new_c(4, 3);
-        c.push(5);
-        c.push_slice(&[1, 2, 3]);
+        let (mut ar, mut c) = new_c(4, 3);
+        c.push(&mut ar, 5);
+        c.push_slice(&mut ar, &[1, 2, 3]);
         assert_eq!(c.absorbed(), 4);
-        c.ensure_sorted(RankAccuracy::LowRank);
+        c.ensure_sorted(&mut ar, RankAccuracy::LowRank);
         assert_eq!(c.absorbed(), 4, "internal ordering must not count");
         let mut run = vec![10u64, 20];
-        c.merge_sorted_run(&mut run, RankAccuracy::LowRank);
+        c.merge_sorted_run(&mut ar, &mut run, RankAccuracy::LowRank);
         assert_eq!(c.absorbed(), 6);
         // Compaction removes items but never rewinds absorbed history.
-        let mut c2 = new_c(4, 3);
+        let (mut ar2, mut c2) = new_c(4, 3);
         for i in 0..24 {
-            c2.push(i);
+            c2.push(&mut ar2, i);
         }
         let mut out = Vec::new();
-        c2.compact_scheduled(RankAccuracy::LowRank, false, &mut out);
+        c2.compact_scheduled(&mut ar2, RankAccuracy::LowRank, false, &mut out);
         assert_eq!(c2.absorbed(), 24);
     }
 
     #[test]
     fn absorb_adds_absorbed_weights_in_both_modes() {
         for mode in [CompactionMode::SortedRuns, CompactionMode::SortOnCompact] {
-            let mut a = RelativeCompactor::<u64>::new_with_mode(4, 3, mode);
-            let mut b = RelativeCompactor::<u64>::new_with_mode(4, 3, mode);
+            let mut ar_a = LevelArena::new();
+            let mut a = RelativeCompactor::<u64>::new_with_mode(&mut ar_a, 4, 3, mode);
+            let mut ar_b = LevelArena::new();
+            let mut b = RelativeCompactor::<u64>::new_with_mode(&mut ar_b, 4, 3, mode);
             for i in 0..24 {
-                a.push(i);
-                b.push(100 + i);
+                a.push(&mut ar_a, i);
+                b.push(&mut ar_b, 100 + i);
             }
             let mut out = Vec::new();
-            a.compact_scheduled(RankAccuracy::LowRank, false, &mut out);
-            b.compact_scheduled(RankAccuracy::LowRank, true, &mut out);
-            a.absorb(b, RankAccuracy::LowRank);
+            a.compact_scheduled(&mut ar_a, RankAccuracy::LowRank, false, &mut out);
+            b.compact_scheduled(&mut ar_b, RankAccuracy::LowRank, true, &mut out);
+            let (b_items, b_run) = ar_b.take_level(b.slot());
+            a.absorb(&mut ar_a, &b, b_items, b_run, RankAccuracy::LowRank);
             assert_eq!(a.absorbed(), 48, "mode {mode:?}");
         }
     }
 
     #[test]
     fn maybe_adapt_grows_sections_monotonically() {
-        let mut c = new_c(4, 1); // B = 8
-        assert!(!c.maybe_adapt(1), "no weight, no adaptation");
+        let (mut ar, mut c) = new_c(4, 1); // B = 8
+        assert!(!c.maybe_adapt(&mut ar, 1), "no weight, no adaptation");
         for i in 0..8 {
-            c.push(i);
+            c.push(&mut ar, i);
         }
         // W = 8 = 2k: s(W) = ceil(log2(2)) + 1 = 2 > 1.
-        assert!(c.maybe_adapt(1));
+        assert!(c.maybe_adapt(&mut ar, 1));
         assert_eq!(c.num_sections(), 2);
         assert_eq!(c.capacity(), 16);
         assert_eq!(c.num_adaptations(), 1);
-        assert!(!c.maybe_adapt(1), "idempotent until weight grows");
+        assert!(!c.maybe_adapt(&mut ar, 1), "idempotent until weight grows");
         // The floor binds from below but never shrinks an adapted buffer.
-        assert!(!c.maybe_adapt(2));
+        assert!(!c.maybe_adapt(&mut ar, 2));
         assert_eq!(c.num_sections(), 2);
         // A big merge jumps several steps at once.
-        let mut big = new_c(4, 1);
+        let mut ar_big = LevelArena::new();
+        let mut big = RelativeCompactor::<u64>::new(&mut ar_big, 4, 1);
         for i in 0..1000u64 {
-            big.push(i);
+            big.push(&mut ar_big, i);
         }
-        c.absorb(big, RankAccuracy::LowRank);
-        assert!(c.maybe_adapt(1));
+        let (big_items, big_run) = ar_big.take_level(big.slot());
+        c.absorb(&mut ar, &big, big_items, big_run, RankAccuracy::LowRank);
+        assert!(c.maybe_adapt(&mut ar, 1));
         // W = 1008, W/k = 252 -> ceil(log2) = 8 -> s = 9.
         assert_eq!(c.num_sections(), 9);
         assert_eq!(c.num_adaptations(), 2);

@@ -42,10 +42,41 @@
 //! assert!((p999 as f64 - 999_000.0).abs() < 5_000.0);
 //! ```
 //!
+//! ## Typed fast lanes
+//!
+//! The sketch is generic over any `T: Ord + Clone`, and the ingest hot path
+//! specializes per type: for types without drop glue (`u64`, `i32`,
+//! [`OrdF32`], [`OrdF64`], …) compaction runs through the arena's branchless
+//! merge/emit kernels with zero per-item allocation. Integers and other
+//! naturally ordered types need **no wrapper at all** — `OrdF64` is only for
+//! `f64`, whose `NaN` breaks `Ord`:
+//!
+//! ```
+//! use req_core::{QuantileSketch, RankAccuracy, ReqSketch};
+//!
+//! // Latency samples in integer nanoseconds: plain u64, no float wrapper.
+//! let mut lat = ReqSketch::<u64>::builder()
+//!     .k(16)
+//!     .rank_accuracy(RankAccuracy::HighRank)
+//!     .seed(42)
+//!     .build()
+//!     .unwrap();
+//! lat.update_batch(&(0..100_000u64).map(|i| (i * 7919) % 1_000_000).collect::<Vec<_>>());
+//!
+//! let p99 = lat.quantile(0.99).unwrap();
+//! assert!((980_000..=1_000_000).contains(&p99));
+//! ```
+//!
+//! For floats, [`ReqF32`]/[`ReqF64`] (via `build_f32`/`build_f64`) wrap the
+//! same machinery behind `update_f32`/`quantile_f32`-style accessors.
+//!
 //! ## Module map
 //!
 //! * [`sketch`] — Algorithm 2 (the full sketch) and its query surface;
 //! * [`compactor`] — Algorithm 1 (the relative-compactor building block);
+//! * [`arena`] — the flat per-sketch level arena all compactor buffers
+//!   live in, plus the branchless merge/emit kernels of the ingest hot
+//!   path;
 //! * [`schedule`] — the derandomized-exponential compaction schedule, plus
 //!   the standard/adaptive section-planning schedules (adaptive compactors
 //!   for seamless mergeability, arXiv:2511.17396);
@@ -60,11 +91,18 @@
 //! * [`frame`] — checksummed length-prefixed framing (WAL/snapshot files);
 //! * [`concurrent`] — sharded multi-writer ingestion (batched) with a
 //!   memoized merged snapshot for read-heavy monitoring;
-//! * [`ordf64`] — total-order `f64` wrapper ([`ReqF64`]).
+//! * [`ordf64`] / [`ordf32`] — total-order float wrappers ([`ReqF64`],
+//!   [`ReqF32`]).
 
-#![forbid(unsafe_code)]
+// Unsafe is denied everywhere except the arena module, whose branchless
+// merge/emit kernels are the one place raw-pointer work buys the ingest
+// path its memory-bandwidth budget (each unsafe block there documents its
+// invariants and is covered by the byte-identity proptests).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+#[allow(unsafe_code)]
+pub mod arena;
 pub mod binary;
 pub mod builder;
 pub mod compactor;
@@ -73,6 +111,7 @@ pub mod error;
 pub mod frame;
 pub mod growing;
 pub mod merge;
+pub mod ordf32;
 pub mod ordf64;
 pub mod params;
 pub mod quantiles_ext;
@@ -83,16 +122,18 @@ pub mod sketch;
 pub mod stats;
 pub mod view;
 
+pub use arena::LevelArena;
 pub use builder::ReqSketchBuilder;
 pub use compactor::{CompactionMode, RankAccuracy};
 pub use concurrent::ConcurrentReqSketch;
 pub use error::ReqError;
 pub use growing::GrowingReqSketch;
 pub use merge::{merge_balanced, merge_linear, merge_random_tree};
+pub use ordf32::OrdF32;
 pub use ordf64::OrdF64;
 pub use params::{ParamPolicy, Params};
 pub use schedule::CompactionSchedule;
-pub use sketch::{ReqF64, ReqSketch};
+pub use sketch::{ReqF32, ReqF64, ReqSketch};
 pub use stats::{LevelStats, SketchStats};
 pub use view::SortedView;
 

@@ -97,11 +97,13 @@ pub(crate) fn merge_into<T: Ord + Clone>(
     let adaptive = target.schedule == CompactionSchedule::Adaptive;
     let floor = target.num_sections;
     let other_levels = std::mem::take(&mut other.levels);
+    let mut other_arena = std::mem::take(&mut other.arena);
     for (h, src) in other_levels.into_iter().enumerate() {
         target.ensure_level(h);
-        target.levels[h].absorb(src, accuracy);
+        let (src_items, src_run) = other_arena.take_level(src.slot());
+        target.levels[h].absorb(&mut target.arena, &src, src_items, src_run, accuracy);
         if adaptive {
-            target.levels[h].maybe_adapt(floor);
+            target.levels[h].maybe_adapt(&mut target.arena, floor);
         }
     }
     target.n = combined_n;
@@ -149,6 +151,7 @@ fn check_compatible<T: Ord + Clone>(a: &ReqSketch<T>, b: &ReqSketch<T>) -> Resul
 /// Replace an empty target's content with `other`'s (keeping the target's
 /// RNG and compaction mode).
 fn adopt<T: Ord + Clone>(target: &mut ReqSketch<T>, other: ReqSketch<T>) {
+    target.arena = other.arena;
     target.levels = other.levels;
     let mode = target.mode;
     for level in &mut target.levels {
@@ -165,6 +168,7 @@ fn adopt<T: Ord + Clone>(target: &mut ReqSketch<T>, other: ReqSketch<T>) {
 /// Swap sketch *contents* (levels, counters, extrema) while each sketch keeps
 /// its own RNG stream and identity.
 fn swap_contents<T>(a: &mut ReqSketch<T>, b: &mut ReqSketch<T>) {
+    std::mem::swap(&mut a.arena, &mut b.arena);
     std::mem::swap(&mut a.levels, &mut b.levels);
     std::mem::swap(&mut a.n, &mut b.n);
     std::mem::swap(&mut a.max_n, &mut b.max_n);

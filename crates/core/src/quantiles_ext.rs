@@ -134,10 +134,12 @@ impl<T: Ord + Clone> ReqSketch<T> {
     /// (unordered across levels; use [`Self::sorted_view`] for sorted
     /// iteration with cumulative weights).
     pub fn retained_items(&self) -> impl Iterator<Item = (&T, u64)> {
-        self.levels
-            .iter()
-            .enumerate()
-            .flat_map(|(h, level)| level.items().iter().map(move |item| (item, 1u64 << h)))
+        self.levels.iter().enumerate().flat_map(move |(h, level)| {
+            level
+                .items(&self.arena)
+                .iter()
+                .map(move |item| (item, 1u64 << h))
+        })
     }
 
     /// Update with an item that represents `weight` identical occurrences
@@ -173,7 +175,7 @@ impl<T: Ord + Clone> ReqSketch<T> {
         for h in 0..64 {
             if weight & (1u64 << h) != 0 {
                 self.ensure_level(h);
-                self.levels[h].push(item.clone());
+                self.levels[h].push(&mut self.arena, item.clone());
             }
         }
         // Normalize any level the placement filled (batch pass: at most one

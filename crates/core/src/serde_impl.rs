@@ -36,6 +36,20 @@ impl<'de> Deserialize<'de> for OrdF64 {
     }
 }
 
+impl Serialize for crate::ordf32::OrdF32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // `#[serde(transparent)]`: an OrdF32 is exactly its f32 (widened —
+        // the offline serde stand-in's value tree has one float width).
+        f64::from(self.0).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for crate::ordf32::OrdF32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| crate::ordf32::OrdF32(v as f32))
+    }
+}
+
 impl Serialize for ParamPolicy {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         match *self {
@@ -186,10 +200,10 @@ impl<T: Ord + Clone + Serialize> Serialize for ReqSketch<T> {
                 state: l.state().raw(),
                 num_compactions: l.num_compactions(),
                 num_special_compactions: l.num_special_compactions(),
-                run_len: l.run_len() as u64,
+                run_len: l.run_len(self.arena()) as u64,
                 num_sections: l.num_sections(),
                 absorbed: l.absorbed(),
-                items: l.items().to_vec(),
+                items: l.items(self.arena()).to_vec(),
             })
             .collect();
         let mut s = serializer.serialize_struct("ReqSketch", 11)?;
@@ -245,6 +259,7 @@ impl<'de, T: Ord + Clone + DeserializeOwned> Deserialize<'de> for ReqSketch<T> {
         } else {
             RankAccuracy::LowRank
         };
+        let mut arena = crate::arena::LevelArena::new();
         let levels = levels
             .into_iter()
             .map(|l| {
@@ -263,6 +278,7 @@ impl<'de, T: Ord + Clone + DeserializeOwned> Deserialize<'de> for ReqSketch<T> {
                     l.num_sections
                 };
                 let level = RelativeCompactor::from_parts(
+                    &mut arena,
                     k,
                     level_sections,
                     l.items,
@@ -272,7 +288,7 @@ impl<'de, T: Ord + Clone + DeserializeOwned> Deserialize<'de> for ReqSketch<T> {
                     l.num_special_compactions,
                     l.absorbed,
                 );
-                if !level.run_is_sorted(accuracy) {
+                if !level.run_is_sorted(&arena, accuracy) {
                     return Err(D::Error::custom("declared sorted run is not sorted"));
                 }
                 Ok(level)
@@ -281,6 +297,7 @@ impl<'de, T: Ord + Clone + DeserializeOwned> Deserialize<'de> for ReqSketch<T> {
         Ok(ReqSketch::from_parts(
             policy,
             accuracy,
+            arena,
             levels,
             n,
             max_n,

@@ -30,6 +30,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sketch_traits::{MergeableSketch, QuantileSketch, SpaceUsage};
 
+use crate::arena::LevelArena;
 use crate::compactor::{CompactionMode, RankAccuracy, RelativeCompactor};
 use crate::error::ReqError;
 use crate::params::{ParamPolicy, Params};
@@ -66,6 +67,10 @@ use crate::view::{SortedView, ViewCache};
 pub struct ReqSketch<T> {
     pub(crate) policy: ParamPolicy,
     pub(crate) accuracy: RankAccuracy,
+    /// All level buffers, as slots of one contiguous allocation (slot `h`
+    /// backs `levels[h]`). The compaction cascade, gallop merges, and the
+    /// query-view build all walk this single arena with predictable strides.
+    pub(crate) arena: LevelArena<T>,
     pub(crate) levels: Vec<RelativeCompactor<T>>,
     pub(crate) n: u64,
     pub(crate) max_n: u64,
@@ -119,6 +124,7 @@ impl<T: Ord + Clone> ReqSketch<T> {
         ReqSketch {
             policy,
             accuracy,
+            arena: LevelArena::new(),
             levels: Vec::new(),
             n: 0,
             max_n,
@@ -140,6 +146,7 @@ impl<T: Ord + Clone> ReqSketch<T> {
     pub(crate) fn from_parts(
         policy: ParamPolicy,
         accuracy: RankAccuracy,
+        arena: LevelArena<T>,
         levels: Vec<RelativeCompactor<T>>,
         n: u64,
         max_n: u64,
@@ -150,9 +157,11 @@ impl<T: Ord + Clone> ReqSketch<T> {
         seed: u64,
         schedule: CompactionSchedule,
     ) -> Self {
+        debug_assert_eq!(arena.num_levels(), levels.len());
         ReqSketch {
             policy,
             accuracy,
+            arena,
             levels,
             n,
             max_n,
@@ -214,8 +223,14 @@ impl<T: Ord + Clone> ReqSketch<T> {
         self.mark_dirty();
         let acc = self.accuracy;
         for level in &mut self.levels {
-            level.ensure_sorted(acc);
+            level.ensure_sorted(&mut self.arena, acc);
         }
+    }
+
+    /// The flat level arena backing every compactor buffer (read access,
+    /// for stats and views).
+    pub fn arena(&self) -> &LevelArena<T> {
+        &self.arena
     }
 
     /// Current section size `k`.
@@ -271,7 +286,7 @@ impl<T: Ord + Clone> ReqSketch<T> {
         self.levels
             .iter()
             .enumerate()
-            .map(|(h, l)| (l.len() as u64) << h)
+            .map(|(h, l)| (l.len(&self.arena) as u64) << h)
             .sum()
     }
 
@@ -296,7 +311,7 @@ impl<T: Ord + Clone> ReqSketch<T> {
         self.levels
             .iter()
             .enumerate()
-            .map(|(h, l)| (l.count_le_with(y, self.accuracy) as u64) << h)
+            .map(|(h, l)| (l.count_le_with(&self.arena, y, self.accuracy) as u64) << h)
             .sum()
     }
 
@@ -309,7 +324,7 @@ impl<T: Ord + Clone> ReqSketch<T> {
     /// callers that want a view detached from the sketch's cache (and for
     /// verifying the cache against ground truth).
     pub fn sorted_view(&self) -> SortedView<T> {
-        SortedView::from_levels(&self.levels, self.accuracy)
+        SortedView::from_levels(&self.levels, &self.arena, self.accuracy)
     }
 
     /// The memoized sorted view backing `rank`/`quantile`/`cdf`/`pmf`.
@@ -320,7 +335,7 @@ impl<T: Ord + Clone> ReqSketch<T> {
     /// hold it across a probe batch to keep queries `O(log retained)`.
     pub fn cached_view(&self) -> Arc<SortedView<T>> {
         self.cache.get_or_build(self.epoch, || {
-            SortedView::from_levels(&self.levels, self.accuracy)
+            SortedView::from_levels(&self.levels, &self.arena, self.accuracy)
         })
     }
 
@@ -383,10 +398,12 @@ impl<T: Ord + Clone> ReqSketch<T> {
     pub(crate) fn ensure_level(&mut self, h: usize) {
         while self.levels.len() <= h {
             self.levels.push(RelativeCompactor::new_with_mode(
+                &mut self.arena,
                 self.k,
                 self.num_sections,
                 self.mode,
             ));
+            debug_assert_eq!(self.levels.last().unwrap().slot(), self.levels.len() - 1);
         }
     }
 
@@ -394,7 +411,7 @@ impl<T: Ord + Clone> ReqSketch<T> {
     pub(crate) fn apply_params_to_levels(&mut self) {
         let (k, s) = (self.k, self.num_sections);
         for level in &mut self.levels {
-            level.set_params(k, s);
+            level.set_params(&mut self.arena, k, s);
         }
     }
 
@@ -413,10 +430,10 @@ impl<T: Ord + Clone> ReqSketch<T> {
             let accuracy = self.accuracy;
             out.clear();
             if self.levels[h]
-                .compact_special(accuracy, coin, &mut out)
+                .compact_special(&mut self.arena, accuracy, coin, &mut out)
                 .is_some()
             {
-                self.levels[h + 1].merge_sorted_run(&mut out, accuracy);
+                self.levels[h + 1].merge_sorted_run(&mut self.arena, &mut out, accuracy);
             }
         }
     }
@@ -461,11 +478,12 @@ impl<T: Ord + Clone> ReqSketch<T> {
                     self.k = k;
                     for level in &mut self.levels {
                         let s = level.num_sections();
-                        level.set_params(k, s);
+                        level.set_params(&mut self.arena, k, s);
                     }
                 }
+                let floor = self.num_sections;
                 for level in &mut self.levels {
-                    level.maybe_adapt(self.num_sections);
+                    level.maybe_adapt(&mut self.arena, floor);
                 }
                 // A shrinking k can drop a capacity below its fill;
                 // normalize (a no-op for fixed-k policies).
@@ -480,11 +498,13 @@ impl<T: Ord + Clone> ReqSketch<T> {
     /// earned more sections. Every compaction-triggering path funnels
     /// through this.
     pub(crate) fn level_due_compaction(&mut self, h: usize) -> bool {
-        if self.schedule == CompactionSchedule::Adaptive && self.levels[h].is_at_capacity() {
+        if self.schedule == CompactionSchedule::Adaptive
+            && self.levels[h].is_at_capacity(&self.arena)
+        {
             let floor = self.num_sections;
-            self.levels[h].maybe_adapt(floor);
+            self.levels[h].maybe_adapt(&mut self.arena, floor);
         }
-        self.levels[h].is_at_capacity()
+        self.levels[h].is_at_capacity(&self.arena)
     }
 
     /// Insert compaction output into level `h` — the `Insert(z, h+1)`
@@ -518,16 +538,16 @@ impl<T: Ord + Clone> ReqSketch<T> {
         while !incoming.is_empty() {
             let room = self.levels[h]
                 .capacity()
-                .saturating_sub(self.levels[h].len())
+                .saturating_sub(self.levels[h].len(&self.arena))
                 .max(1);
             let accuracy = self.accuracy;
             let take = incoming.len().min(room);
-            self.levels[h].merge_sorted_run_prefix(&mut incoming, take, accuracy);
+            self.levels[h].merge_sorted_run_prefix(&mut self.arena, &mut incoming, take, accuracy);
             if self.level_due_compaction(h) {
                 let coin = self.rng.gen::<bool>();
                 let mut out = std::mem::take(&mut pool[h]);
                 out.clear();
-                self.levels[h].compact_scheduled(accuracy, coin, &mut out);
+                self.levels[h].compact_scheduled(&mut self.arena, accuracy, coin, &mut out);
                 pool[h] = out;
                 self.cascade_pooled(h + 1, pool);
             }
@@ -548,8 +568,8 @@ impl<T: Ord + Clone> ReqSketch<T> {
                 let coin = self.rng.gen::<bool>();
                 let accuracy = self.accuracy;
                 out.clear();
-                self.levels[h].compact_scheduled(accuracy, coin, &mut out);
-                self.levels[h + 1].merge_sorted_run(&mut out, accuracy);
+                self.levels[h].compact_scheduled(&mut self.arena, accuracy, coin, &mut out);
+                self.levels[h + 1].merge_sorted_run(&mut self.arena, &mut out, accuracy);
             }
             h += 1;
         }
@@ -585,12 +605,12 @@ impl<T: Ord + Clone> QuantileSketch<T> for ReqSketch<T> {
             self.grow_to_cover(self.n);
         }
         self.ensure_level(0);
-        self.levels[0].push(item);
+        self.levels[0].push(&mut self.arena, item);
         if self.level_due_compaction(0) {
             let coin = self.rng.gen::<bool>();
             let accuracy = self.accuracy;
             let mut out = Vec::new();
-            self.levels[0].compact_scheduled(accuracy, coin, &mut out);
+            self.levels[0].compact_scheduled(&mut self.arena, accuracy, coin, &mut out);
             self.propagate(1, out);
         }
     }
@@ -640,13 +660,13 @@ impl<T: Ord + Clone> QuantileSketch<T> for ReqSketch<T> {
             // Per-level capacity: under the adaptive schedule level 0 may
             // have outgrown the sketch-level floor `level_capacity()`.
             let cap = self.levels[0].capacity();
-            let room = cap.saturating_sub(self.levels[0].len()).max(1);
+            let room = cap.saturating_sub(self.levels[0].len(&self.arena)).max(1);
             let until_growth = usize::try_from(self.max_n - self.n)
                 .unwrap_or(usize::MAX)
                 .max(1);
             let take = rest.len().min(room).min(until_growth);
             let (chunk, tail) = rest.split_at(take);
-            self.levels[0].push_slice(chunk);
+            self.levels[0].push_slice(&mut self.arena, chunk);
             self.n += take as u64;
             rest = tail;
             if self.level_due_compaction(0) {
@@ -654,7 +674,7 @@ impl<T: Ord + Clone> QuantileSketch<T> for ReqSketch<T> {
                 let accuracy = self.accuracy;
                 let mut out = std::mem::take(&mut pool[0]);
                 out.clear();
-                self.levels[0].compact_scheduled(accuracy, coin, &mut out);
+                self.levels[0].compact_scheduled(&mut self.arena, accuracy, coin, &mut out);
                 pool[0] = out;
                 self.cascade_pooled(1, &mut pool);
             }
@@ -713,11 +733,13 @@ impl<T: Ord + Clone> MergeableSketch for ReqSketch<T> {
 
 impl<T> SpaceUsage for ReqSketch<T> {
     fn retained(&self) -> usize {
-        self.levels.iter().map(|l| l.len()).sum()
+        self.levels.iter().map(|l| l.len(&self.arena)).sum()
     }
 
     fn size_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.levels.iter().map(|l| l.size_bytes()).sum::<usize>()
+        std::mem::size_of::<Self>()
+            + self.arena.arena_bytes()
+            + self.levels.len() * std::mem::size_of::<RelativeCompactor<T>>()
     }
 }
 
@@ -747,6 +769,28 @@ impl ReqF64 {
 
     /// Quantile as a raw `f64`.
     pub fn quantile_f64(&self, q: f64) -> Option<f64> {
+        self.quantile(q).map(|v| v.0)
+    }
+}
+
+/// REQ sketch over `f32` values via the total-order wrapper — the
+/// single-precision fast lane (4-byte `Copy` items, half the memory traffic
+/// of [`ReqF64`], full arena-kernel ingest path).
+pub type ReqF32 = ReqSketch<crate::ordf32::OrdF32>;
+
+impl ReqF32 {
+    /// Update with a raw `f32`.
+    pub fn update_f32(&mut self, value: f32) {
+        self.update(crate::ordf32::OrdF32(value));
+    }
+
+    /// Estimated inclusive rank of a raw `f32`.
+    pub fn rank_f32(&self, value: f32) -> u64 {
+        self.rank(&crate::ordf32::OrdF32(value))
+    }
+
+    /// Quantile as a raw `f32`.
+    pub fn quantile_f32(&self, q: f64) -> Option<f32> {
         self.quantile(q).map(|v| v.0)
     }
 }

@@ -73,6 +73,14 @@ pub struct SketchStats {
     /// Total items placed by sorted-run merges across all levels
     /// (process-lifetime) — see [`LevelStats::items_merge_moved`].
     pub items_merge_moved: u64,
+    /// Bytes held by the flat level arena (item storage + scratch + slot
+    /// table) — the allocation every level buffer lives in.
+    pub arena_bytes: usize,
+    /// Items memmoved by arena slot rebalancing (a level's capacity grew and
+    /// the levels packed after it shifted right; process-lifetime). A layout
+    /// regression — slots doubling too eagerly, growth ping-pong — shows up
+    /// here long before it shows up in wall-clock.
+    pub items_moved_rebalance: u64,
     /// Per-level details, level 0 first.
     pub levels: Vec<LevelStats>,
 }
@@ -85,14 +93,14 @@ impl SketchStats {
             .enumerate()
             .map(|(h, l)| LevelStats {
                 level: h,
-                len: l.len(),
+                len: l.len(sketch.arena()),
                 capacity: l.capacity(),
                 section_size: l.section_size(),
                 num_sections: l.num_sections(),
                 state: l.state().raw(),
                 num_compactions: l.num_compactions(),
                 num_special_compactions: l.num_special_compactions(),
-                run_len: l.run_len(),
+                run_len: l.run_len(sketch.arena()),
                 absorbed: l.absorbed(),
                 num_adaptations: l.num_adaptations(),
                 items_sorted: l.items_sorted(),
@@ -114,6 +122,8 @@ impl SketchStats {
             view_cache_builds,
             items_sorted,
             items_merge_moved,
+            arena_bytes: sketch.arena().arena_bytes(),
+            items_moved_rebalance: sketch.arena().items_moved_rebalance(),
             levels,
         }
     }
@@ -140,7 +150,8 @@ impl fmt::Display for SketchStats {
         writeln!(
             f,
             "ReqSketch: n={} N={} retained={} bytes={} weight_drift={} view_cache={}h/{}b \
-             sorted={} merge_moved={} schedule={:?} adaptations={}",
+             sorted={} merge_moved={} arena_bytes={} rebalance_moved={} schedule={:?} \
+             adaptations={}",
             self.n,
             self.max_n,
             self.retained,
@@ -150,6 +161,8 @@ impl fmt::Display for SketchStats {
             self.view_cache_builds,
             self.items_sorted,
             self.items_merge_moved,
+            self.arena_bytes,
+            self.items_moved_rebalance,
             self.schedule,
             self.total_adaptations()
         )?;
@@ -275,6 +288,25 @@ mod tests {
             .stats()
             .to_string()
             .contains(&format!("merge_moved={}", stats.items_merge_moved)));
+    }
+
+    #[test]
+    fn arena_counters_surface_in_stats() {
+        let s = sketch_with_data(200_000);
+        let stats = s.stats();
+        // Every retained item lives in the arena, so the arena accounts for
+        // at least the retained bytes.
+        assert!(stats.arena_bytes >= stats.retained * std::mem::size_of::<u64>());
+        assert!(stats.size_bytes >= stats.arena_bytes);
+        // Growing a multi-level sketch forces at least one slot rebalance
+        // (upper levels appear after level 0 and capacities grow with N).
+        assert!(
+            stats.items_moved_rebalance > 0,
+            "multi-level growth must have shifted packed slots"
+        );
+        let text = stats.to_string();
+        assert!(text.contains(&format!("arena_bytes={}", stats.arena_bytes)));
+        assert!(text.contains(&format!("rebalance_moved={}", stats.items_moved_rebalance)));
     }
 
     #[test]

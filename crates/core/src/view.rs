@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::arena::LevelArena;
 use crate::compactor::{RankAccuracy, RelativeCompactor};
 
 /// An immutable, sorted, cumulative-weight snapshot of a sketch.
@@ -51,22 +52,26 @@ impl<T: Ord + Clone> SortedView<T> {
     /// per-level sorted runs (each weighted `2^h`); only the small unsorted
     /// tails are sorted. `acc` tells which direction the runs are ordered
     /// internally (descending externally under `HighRank`).
-    pub fn from_levels(levels: &[RelativeCompactor<T>], acc: RankAccuracy) -> Self {
+    pub fn from_levels(
+        levels: &[RelativeCompactor<T>],
+        arena: &LevelArena<T>,
+        acc: RankAccuracy,
+    ) -> Self {
         // Tails are unsorted; snapshot and sort each (they are small — raw
         // appends since the owning level's last ordering operation).
         let tails: Vec<(usize, Vec<T>)> = levels
             .iter()
             .enumerate()
-            .filter(|(_, l)| l.run_len() < l.len())
+            .filter(|(_, l)| l.run_len(arena) < l.len(arena))
             .map(|(h, l)| {
-                let mut t = l.items()[l.run_len()..].to_vec();
+                let mut t = l.items(arena)[l.run_len(arena)..].to_vec();
                 t.sort_unstable();
                 (h, t)
             })
             .collect();
         let mut cursors: Vec<Cursor<'_, T>> = Vec::with_capacity(levels.len() + tails.len());
         for (h, level) in levels.iter().enumerate() {
-            let run = &level.items()[..level.run_len()];
+            let run = &level.items(arena)[..level.run_len(arena)];
             if !run.is_empty() {
                 // Runs are sorted by the internal comparator: ascending
                 // external order means reading HighRank runs back to front.

@@ -6,6 +6,7 @@ use proptest::prelude::*;
 
 use req_core::compactor::{RankAccuracy, RelativeCompactor};
 use req_core::schedule::CompactionState;
+use req_core::LevelArena;
 
 fn k_strategy() -> impl Strategy<Value = u32> {
     prop_oneof![Just(4u32), Just(6), Just(8), Just(10)]
@@ -31,23 +32,24 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let acc = if hra { RankAccuracy::HighRank } else { RankAccuracy::LowRank };
-        let mut c = RelativeCompactor::<u64>::new(k, sections);
+        let mut ar = LevelArena::new();
+        let mut c = RelativeCompactor::<u64>::new(&mut ar, k, sections);
         let b = c.capacity();
         // fill to capacity + extra (merge-style overfull buffers included)
         let mut x = seed | 1;
         let mut inserted: Vec<u64> = Vec::new();
         for _ in 0..(b + extra) {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            c.push(x);
+            c.push(&mut ar, x);
             inserted.push(x);
         }
-        let before = c.len();
+        let before = c.len(&ar);
         let mut out = Vec::new();
-        let o = c.compact_scheduled(acc, coin, &mut out);
+        let o = c.compact_scheduled(&mut ar, acc, coin, &mut out);
 
         prop_assert_eq!(o.compacted % 2, 0, "odd compaction size");
         prop_assert_eq!(o.emitted * 2, o.compacted, "weight not conserved");
-        prop_assert_eq!(c.len() + o.compacted, before, "items lost/duplicated");
+        prop_assert_eq!(c.len(&ar) + o.compacted, before, "items lost/duplicated");
         prop_assert_eq!(out.len(), o.emitted);
         prop_assert!(o.sections >= 1 && o.sections <= sections);
 
@@ -60,7 +62,7 @@ proptest! {
             inserted.iter().take(b / 2).collect()
         };
         for s in survivors {
-            prop_assert!(c.items().contains(s), "protected item {} evicted", s);
+            prop_assert!(c.items(&ar).contains(s), "protected item {} evicted", s);
         }
         // state advanced by exactly one
         prop_assert_eq!(c.state().raw(), 1);
@@ -75,17 +77,18 @@ proptest! {
         coin in any::<bool>(),
         seed in any::<u64>(),
     ) {
-        let mut c = RelativeCompactor::<u64>::new(k, sections);
+        let mut ar = LevelArena::new();
+        let mut c = RelativeCompactor::<u64>::new(&mut ar, k, sections);
         let b = c.capacity();
         let mut x = seed | 1;
         let mut inserted = Vec::new();
         for _ in 0..b {
             x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
-            c.push(x);
+            c.push(&mut ar, x);
             inserted.push(x);
         }
         let mut out = Vec::new();
-        let o = c.compact_scheduled(RankAccuracy::LowRank, coin, &mut out);
+        let o = c.compact_scheduled(&mut ar, RankAccuracy::LowRank, coin, &mut out);
         // compacted range = largest `compacted` items; emitted = every other
         // of them starting at `coin as usize`, ascending.
         inserted.sort_unstable();
@@ -109,26 +112,27 @@ proptest! {
         coin in any::<bool>(),
         seed in any::<u64>(),
     ) {
-        let mut c = RelativeCompactor::<u64>::new(k, sections);
+        let mut ar = LevelArena::new();
+        let mut c = RelativeCompactor::<u64>::new(&mut ar, k, sections);
         let b = c.capacity();
         let fill = ((b as f64 * fill_fraction) as usize).max(1);
         let mut x = seed | 1;
         for _ in 0..fill {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            c.push(x);
+            c.push(&mut ar, x);
         }
-        let before = c.len();
+        let before = c.len(&ar);
         let mut out = Vec::new();
-        match c.compact_special(RankAccuracy::LowRank, coin, &mut out) {
+        match c.compact_special(&mut ar, RankAccuracy::LowRank, coin, &mut out) {
             None => {
                 prop_assert!(before <= b / 2 + 1, "no-op only near/below B/2");
-                prop_assert_eq!(c.len(), before);
+                prop_assert_eq!(c.len(&ar), before);
             }
             Some(o) => {
                 prop_assert_eq!(o.compacted % 2, 0);
                 prop_assert_eq!(o.emitted * 2, o.compacted);
-                prop_assert!(c.len() <= b / 2 + 1, "left {} > B/2+1", c.len());
-                prop_assert_eq!(c.len() + o.compacted, before);
+                prop_assert!(c.len(&ar) <= b / 2 + 1, "left {} > B/2+1", c.len(&ar));
+                prop_assert_eq!(c.len(&ar) + o.compacted, before);
             }
         }
     }
@@ -168,26 +172,29 @@ proptest! {
         presort in any::<bool>(),
     ) {
         let acc = if hra { RankAccuracy::HighRank } else { RankAccuracy::LowRank };
+        let mut ar_a = LevelArena::new();
+        let mut ar_b = LevelArena::new();
         let mut a = RelativeCompactor::<u64>::from_parts(
-            8, 3, items_a.clone(), 0, CompactionState::from_raw(state_a), 0, 0,
+            &mut ar_a, 8, 3, items_a.clone(), 0, CompactionState::from_raw(state_a), 0, 0,
             items_a.len() as u64);
         let mut b = RelativeCompactor::<u64>::from_parts(
-            8, 3, items_b.clone(), 0, CompactionState::from_raw(state_b), 0, 0,
+            &mut ar_b, 8, 3, items_b.clone(), 0, CompactionState::from_raw(state_b), 0, 0,
             items_b.len() as u64);
         if presort {
             // Exercise the run-merging path too, not just tail concatenation.
-            a.ensure_sorted(acc);
-            b.ensure_sorted(acc);
+            a.ensure_sorted(&mut ar_a, acc);
+            b.ensure_sorted(&mut ar_b, acc);
         }
-        a.absorb(b, acc);
-        prop_assert_eq!(a.len(), items_a.len() + items_b.len());
+        let (b_items, b_run) = ar_b.take_level(b.slot());
+        a.absorb(&mut ar_a, &b, b_items, b_run, acc);
+        prop_assert_eq!(a.len(&ar_a), items_a.len() + items_b.len());
         prop_assert_eq!(a.absorbed(), (items_a.len() + items_b.len()) as u64,
             "absorbed weights must add under merges");
         prop_assert_eq!(a.state().raw(), state_a | state_b);
-        prop_assert!(a.run_is_sorted(acc), "absorb broke the run invariant");
+        prop_assert!(a.run_is_sorted(&ar_a, acc), "absorb broke the run invariant");
         let mut expected = items_a;
         expected.extend(items_b);
-        let mut got = a.items().to_vec();
+        let mut got = a.items(&ar_a).to_vec();
         expected.sort_unstable();
         got.sort_unstable();
         prop_assert_eq!(got, expected);

@@ -184,10 +184,13 @@ pub fn run(cfg: &Config) -> Vec<Table> {
         let stats = s.stats();
         t.note(format!(
             "REQ ingest internals: compactions={} items_sorted={} items_merge_moved={} \
+             arena_bytes={} items_moved_rebalance={} \
              (sorted-run maintenance: only level-0 tails are ever sorted; everything else merges)",
             stats.total_compactions(),
             stats.items_sorted,
-            stats.items_merge_moved
+            stats.items_merge_moved,
+            stats.arena_bytes,
+            stats.items_moved_rebalance
         ));
     }
     vec![t]
