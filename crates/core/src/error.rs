@@ -19,6 +19,15 @@ pub enum ReqError {
     /// itself so `ReqError` stays `Clone + PartialEq + Eq` — sketch code
     /// compares errors in tests, and an `io::Error` is neither.
     Io(String),
+    /// The service cannot accept this operation right now but is still
+    /// alive for reads (e.g. the WAL writer poisoned and the service is
+    /// running in read-only degraded mode). Retrying without operator
+    /// intervention will not succeed.
+    Unavailable(String),
+    /// The service is saturated and shed this request instead of queueing
+    /// it. Unlike [`ReqError::Unavailable`], retrying after backoff is
+    /// expected to succeed.
+    Busy(String),
 }
 
 impl From<std::io::Error> for ReqError {
@@ -34,6 +43,8 @@ impl fmt::Display for ReqError {
             ReqError::IncompatibleMerge(msg) => write!(f, "incompatible merge: {msg}"),
             ReqError::CorruptBytes(msg) => write!(f, "corrupt bytes: {msg}"),
             ReqError::Io(msg) => write!(f, "io error: {msg}"),
+            ReqError::Unavailable(msg) => write!(f, "unavailable: {msg}"),
+            ReqError::Busy(msg) => write!(f, "busy: {msg}"),
         }
     }
 }
@@ -57,6 +68,10 @@ mod tests {
         assert_eq!(e.to_string(), "corrupt bytes: bad magic");
         let e = ReqError::Io("disk on fire".into());
         assert_eq!(e.to_string(), "io error: disk on fire");
+        let e = ReqError::Unavailable("wal poisoned; read-only".into());
+        assert_eq!(e.to_string(), "unavailable: wal poisoned; read-only");
+        let e = ReqError::Busy("mutation queue full".into());
+        assert_eq!(e.to_string(), "busy: mutation queue full");
     }
 
     #[test]

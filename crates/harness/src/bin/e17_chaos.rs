@@ -1,0 +1,20 @@
+//! Regenerates experiment `e17_chaos` of EXPERIMENTS.md. Run with `--release`.
+//! `--smoke` runs one seed at a scaled-down config (the CI chaos smoke).
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        harness::experiments::e17_chaos::Config {
+            seeds: vec![1],
+            rounds: 2,
+            clients: 2,
+            batches_per_client: 6,
+            batch: 32,
+            k: 16,
+        }
+    } else {
+        harness::experiments::e17_chaos::Config::default()
+    };
+    for table in harness::experiments::e17_chaos::run(&cfg) {
+        println!("{table}");
+    }
+}

@@ -16,6 +16,7 @@ pub mod e13_k_calibration;
 pub mod e14_optimality_gap;
 pub mod e15_seamless_merge;
 pub mod e16_service_recovery;
+pub mod e17_chaos;
 
 use req_core::{CompactionSchedule, ParamPolicy, RankAccuracy, ReqSketch};
 use sketch_traits::QuantileSketch;

@@ -1,5 +1,5 @@
 //! End-to-end smoke test of the experiment pipeline: every experiment
-//! module (e01–e16) runs at a scaled-down `Config` and must produce
+//! module (e01–e17) runs at a scaled-down `Config` and must produce
 //! well-formed, non-empty, renderable tables. The in-module `#[test]`s
 //! assert each experiment's *direction* (the paper claim); this test
 //! guards the *plumbing* — config handling, workload generation, sketch
@@ -194,5 +194,18 @@ smoke!(
         batch: 1 << 8,
         crash_fracs: vec![0.5],
         snapshot_every_records: 4,
+    }
+);
+
+smoke!(
+    e17_chaos_smoke,
+    e17_chaos,
+    e::e17_chaos::Config {
+        seeds: vec![7],
+        rounds: 2,
+        clients: 2,
+        batches_per_client: 4,
+        batch: 16,
+        k: 16,
     }
 );

@@ -13,51 +13,115 @@
 //! a pipelined batch costs ~one round-trip instead of one per command.
 
 use req_core::ReqError;
+use req_service::client::{attach_token, fresh_client_id, is_retryable};
 use req_service::protocol::binary;
-use req_service::{ClientApi, Request, Response};
+use req_service::{ClientApi, ErrorKind, Request, Response, RetryPolicy};
 use std::io::Write;
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
-/// A blocking client for the binary framed protocol.
+/// A blocking client for the binary framed protocol, with the same
+/// [`RetryPolicy`]-driven resilience as `req_service::ReqClient`:
+/// connect/read/write timeouts, reconnect-and-retry with deterministic
+/// jittered backoff, and idempotency tokens auto-stamped onto mutations
+/// so an ambiguous retry applies exactly once server-side.
 #[derive(Debug)]
 pub struct ReqBinClient {
-    stream: TcpStream,
+    stream: Option<TcpStream>,
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    client_id: u64,
+    next_seq: u64,
 }
 
 impl ReqBinClient {
-    /// Connect to a binary-protocol server at `addr` (e.g. `"127.0.0.1:7878"`).
+    /// Connect to a binary-protocol server at `addr` (e.g.
+    /// `"127.0.0.1:7878"`) with the default [`RetryPolicy`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<ReqBinClient, ReqError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, RetryPolicy::default())
+    }
+
+    /// Connect with an explicit policy.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+    ) -> Result<ReqBinClient, ReqError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ReqError::InvalidParameter("address resolved to nothing".into()))?;
+        let stream = Self::dial(&addr, &policy)?;
+        Ok(ReqBinClient {
+            stream: Some(stream),
+            addr,
+            policy,
+            client_id: fresh_client_id(),
+            next_seq: 1,
+        })
+    }
+
+    fn dial(addr: &SocketAddr, policy: &RetryPolicy) -> Result<TcpStream, ReqError> {
+        let stream = TcpStream::connect_timeout(addr, policy.connect_timeout)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(300)))?;
-        Ok(ReqBinClient { stream })
+        stream.set_read_timeout(Some(policy.read_timeout))?;
+        stream.set_write_timeout(Some(policy.write_timeout))?;
+        Ok(stream)
+    }
+
+    /// The id stamped into this client's idempotency tokens.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    fn stream(&mut self) -> Result<&mut TcpStream, ReqError> {
+        if self.stream.is_none() {
+            self.stream = Some(Self::dial(&self.addr, &self.policy)?);
+        }
+        Ok(self.stream.as_mut().expect("just ensured"))
     }
 
     /// Send one request frame without waiting for the response.
     /// Pair with [`ReqBinClient::read_response`] to drain replies later.
     pub fn send(&mut self, req: &Request) -> Result<(), ReqError> {
         let frame = binary::encode_request(req);
-        self.stream.write_all(&frame)?;
-        Ok(())
+        let result = self.stream()?.write_all(&frame).map_err(ReqError::from);
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
     }
 
     /// Block until one response frame arrives and decode it.
     pub fn read_response(&mut self) -> Result<Response, ReqError> {
-        let payload = binary::read_frame_blocking(&mut self.stream)?;
-        binary::decode_response(payload)
+        let result = binary::read_frame_blocking(self.stream()?).and_then(binary::decode_response);
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
     }
 
     /// Issue a batch of requests as one pipelined write, then read the
     /// responses back in request order. Transport errors abort the whole
-    /// batch; per-request failures come back as [`Response::Err`] in
-    /// their slot.
+    /// batch (no auto-retry — half-read pipelines are not resumable);
+    /// per-request failures come back as [`Response::Err`] in their slot.
+    /// Mutations still get tokens stamped, so the caller may re-issue the
+    /// same batch and the server dedups whatever already applied.
     pub fn call_pipelined(&mut self, reqs: &[Request]) -> Result<Vec<Response>, ReqError> {
+        let mut stamped = reqs.to_vec();
         let mut batch = Vec::new();
-        for req in reqs {
+        for req in &mut stamped {
+            attach_token(req, self.client_id, &mut self.next_seq);
             batch.extend_from_slice(&binary::encode_request(req));
         }
-        self.stream.write_all(&batch)?;
+        let write = self.stream()?.write_all(&batch).map_err(ReqError::from);
+        if let Err(e) = write {
+            self.stream = None;
+            return Err(e);
+        }
         let mut out = Vec::with_capacity(reqs.len());
         for _ in reqs {
             out.push(self.read_response()?);
@@ -68,7 +132,34 @@ impl ReqBinClient {
 
 impl ClientApi for ReqBinClient {
     fn call(&mut self, req: &Request) -> Result<Response, ReqError> {
-        self.send(req)?;
-        self.read_response()
+        let mut req = req.clone();
+        attach_token(&mut req, self.client_id, &mut self.next_seq);
+        let retryable = is_retryable(&req);
+        let mut attempt = 0u32;
+        loop {
+            let result = self.send(&req).and_then(|()| self.read_response());
+            let give_up = attempt >= self.policy.max_retries;
+            match result {
+                // `Busy` (shed) and `Unavailable` (read-only) replies had
+                // no side effect — back off and retry even without a
+                // token; read-only heals on the next snapshot rotation.
+                Ok(Response::Err {
+                    kind: ErrorKind::Busy | ErrorKind::Unavailable,
+                    msg: _,
+                }) if !give_up => {}
+                // A server-side Io reply is ambiguous (the record may or
+                // may not have reached the WAL) — only the token's dedup
+                // window makes re-sending safe.
+                Ok(Response::Err {
+                    kind: ErrorKind::Io,
+                    msg: _,
+                }) if retryable && !give_up => {}
+                Ok(resp) => return Ok(resp),
+                Err(ReqError::Io(_)) if retryable && !give_up => {}
+                Err(e) => return Err(e),
+            }
+            std::thread::sleep(self.policy.backoff(attempt));
+            attempt += 1;
+        }
     }
 }

@@ -33,4 +33,4 @@ pub mod client;
 pub mod server;
 
 pub use client::ReqBinClient;
-pub use server::{serve_evented, EventedHandle};
+pub use server::{serve_evented, serve_evented_with, EventedHandle, EventedOptions};

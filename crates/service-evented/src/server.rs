@@ -24,6 +24,7 @@
 
 use polling::{Event, Events, Poller};
 use req_core::ReqError;
+use req_service::faults::{Fault, FaultPlane, FaultSite};
 use req_service::protocol::binary;
 use req_service::server::execute;
 use req_service::{QuantileService, Request, Response};
@@ -32,7 +33,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Pending response bytes above which a connection's read side is parked
 /// until the client drains responses (16 MiB).
@@ -45,6 +46,21 @@ pub const MAX_WRITE_BACKLOG: usize = 16 * 1024 * 1024;
 const MAX_READ_BUFFER: usize = binary::MAX_MESSAGE_PAYLOAD + 64;
 
 const LISTENER_KEY: usize = 0;
+
+/// Knobs for [`serve_evented_with`] beyond the bind address.
+#[derive(Debug, Clone, Default)]
+pub struct EventedOptions {
+    /// Event-loop threads (clamped to `1..=8`; 0 means 1).
+    pub loops: usize,
+    /// Fault plane interposed on this server's socket reads/writes
+    /// (`SockRead`/`SockWrite` sites) for deterministic chaos tests.
+    pub faults: Option<Arc<FaultPlane>>,
+    /// Close a connection whose pending responses made no progress for
+    /// this long (a never-draining reader would otherwise pin its
+    /// [`MAX_WRITE_BACKLOG`] of memory forever). Swept on the loop's 1 s
+    /// heartbeat, so sub-second values still take up to ~1 s to act.
+    pub write_stall_timeout: Option<Duration>,
+}
 
 /// One connection's state machine.
 struct Conn {
@@ -60,6 +76,9 @@ struct Conn {
     /// Close once `write_buf` drains (after `QUIT`, a transport fault,
     /// or client EOF).
     close_after_flush: bool,
+    /// Last time the write side progressed (or had nothing pending) —
+    /// the write-stall sweep's clock.
+    last_progress: Instant,
 }
 
 impl Conn {
@@ -71,6 +90,7 @@ impl Conn {
             write_buf: Vec::new(),
             written: 0,
             close_after_flush: false,
+            last_progress: Instant::now(),
         }
     }
 
@@ -133,12 +153,29 @@ pub fn serve_evented(
     addr: &str,
     loops: usize,
 ) -> Result<EventedHandle, ReqError> {
+    serve_evented_with(
+        service,
+        addr,
+        EventedOptions {
+            loops,
+            ..EventedOptions::default()
+        },
+    )
+}
+
+/// [`serve_evented`] with the full option set (socket fault injection,
+/// write-stall eviction).
+pub fn serve_evented_with(
+    service: Arc<QuantileService>,
+    addr: &str,
+    opts: EventedOptions,
+) -> Result<EventedHandle, ReqError> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let live_conns = Arc::new(AtomicU64::new(0));
-    let loops_n = loops.clamp(1, 8);
+    let loops_n = opts.loops.clamp(1, 8);
     let mut pollers = Vec::with_capacity(loops_n);
     let mut threads = Vec::with_capacity(loops_n);
     for _ in 0..loops_n {
@@ -151,9 +188,10 @@ pub fn serve_evented(
         let stop = Arc::clone(&stop);
         let live = Arc::clone(&live_conns);
         let thread_poller = Arc::clone(&poller);
+        let opts = opts.clone();
         pollers.push(poller);
         threads.push(std::thread::spawn(move || {
-            event_loop(thread_poller, listener, service, stop, live);
+            event_loop(thread_poller, listener, service, stop, live, opts);
         }));
     }
     Ok(EventedHandle {
@@ -171,13 +209,15 @@ fn event_loop(
     service: Arc<QuantileService>,
     stop: Arc<AtomicBool>,
     live: Arc<AtomicU64>,
+    opts: EventedOptions,
 ) {
     let mut conns: HashMap<usize, Conn> = HashMap::new();
     let mut next_key = LISTENER_KEY + 1;
     let mut events = Events::new();
+    let faults = opts.faults.as_deref();
     loop {
-        // The timeout is only a stop-flag heartbeat fallback; notify()
-        // wakes the wait promptly on shutdown.
+        // The timeout is only a heartbeat fallback (stop flag + stall
+        // sweep); notify() wakes the wait promptly on shutdown.
         if poller
             .wait(&mut events, Some(Duration::from_secs(1)))
             .is_err()
@@ -195,11 +235,30 @@ fn event_loop(
             let Some(conn) = conns.get_mut(&ev.key) else {
                 continue; // already closed this iteration
             };
-            let alive = drive(conn, &service, ev);
+            let alive = drive(conn, &service, ev, faults);
             if alive {
                 rearm(&poller, ev.key, conn);
             } else {
                 let conn = conns.remove(&ev.key).expect("checked above");
+                let _ = poller.delete(&conn.stream);
+                live.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        // Evict connections whose pending responses made no progress
+        // within the stall budget — the explicit close path for a reader
+        // that parked its own read side via the backlog cap and never
+        // drains (the oneshot interest would otherwise idle forever).
+        if let Some(stall) = opts.write_stall_timeout {
+            let now = Instant::now();
+            let stalled: Vec<usize> = conns
+                .iter()
+                .filter(|(_, c)| {
+                    c.pending_write() > 0 && now.duration_since(c.last_progress) > stall
+                })
+                .map(|(&k, _)| k)
+                .collect();
+            for key in stalled {
+                let conn = conns.remove(&key).expect("collected above");
                 let _ = poller.delete(&conn.stream);
                 live.fetch_sub(1, Ordering::Relaxed);
             }
@@ -246,14 +305,31 @@ fn accept_burst(
 
 /// Advance one connection as far as the socket allows. Returns `false`
 /// when the connection is finished and must be dropped.
-fn drive(conn: &mut Conn, service: &QuantileService, ev: Event) -> bool {
+fn drive(
+    conn: &mut Conn,
+    service: &QuantileService,
+    ev: Event,
+    faults: Option<&FaultPlane>,
+) -> bool {
     if ev.readable && !conn.close_after_flush {
+        match faults.map_or(Fault::None, |p| p.next(FaultSite::SockRead)) {
+            // A stalled read: no progress this readiness turn — exactly
+            // what a peer that stops sending mid-frame looks like.
+            Fault::Stall => return true,
+            // A read-side error: the kernel gave up on the connection.
+            Fault::Error | Fault::Torn { .. } => {
+                conn.close_after_flush = true;
+                return conn.pending_write() > 0;
+            }
+            Fault::Delay(ms) => std::thread::sleep(Duration::from_millis(u64::from(ms))),
+            Fault::None => {}
+        }
         if !fill(conn) {
             return conn.pending_write() > 0; // keep only to flush a tail
         }
         parse_and_execute(conn, service);
     }
-    if !flush(conn) {
+    if !flush(conn, faults) {
         return false;
     }
     !(conn.close_after_flush && conn.pending_write() == 0)
@@ -340,11 +416,38 @@ fn push_response(conn: &mut Conn, resp: &Response) {
 }
 
 /// Write until `WouldBlock` or drained. Returns `false` on a dead socket.
-fn flush(conn: &mut Conn) -> bool {
+/// Injected write faults model a peer that vanishes mid-frame (`Error`,
+/// `Torn` — the prefix goes out, then the connection dies) or a congested
+/// uplink (`Stall`, `Delay`).
+fn flush(conn: &mut Conn, faults: Option<&FaultPlane>) -> bool {
+    let pending = conn.pending_write();
+    let mut torn_budget: Option<usize> = None;
+    if pending > 0 {
+        match faults.map_or(Fault::None, |p| p.next_sized(FaultSite::SockWrite, pending)) {
+            Fault::Error => return false,
+            Fault::Torn { keep } => torn_budget = Some(keep),
+            Fault::Stall => return true,
+            Fault::Delay(ms) => std::thread::sleep(Duration::from_millis(u64::from(ms))),
+            Fault::None => {}
+        }
+    }
     while conn.written < conn.write_buf.len() {
-        match conn.stream.write(&conn.write_buf[conn.written..]) {
+        let mut end = conn.write_buf.len();
+        if let Some(budget) = torn_budget {
+            end = end.min(conn.written + budget);
+            if end == conn.written {
+                return false; // prefix sent; the connection now dies
+            }
+        }
+        match conn.stream.write(&conn.write_buf[conn.written..end]) {
             Ok(0) => return false,
-            Ok(n) => conn.written += n,
+            Ok(n) => {
+                conn.written += n;
+                conn.last_progress = Instant::now();
+                if let Some(budget) = &mut torn_budget {
+                    *budget -= n;
+                }
+            }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => return false,
@@ -353,6 +456,7 @@ fn flush(conn: &mut Conn) -> bool {
     if conn.written == conn.write_buf.len() {
         conn.write_buf.clear();
         conn.written = 0;
+        conn.last_progress = Instant::now();
     } else if conn.written > 4096 && conn.written * 2 >= conn.write_buf.len() {
         conn.write_buf.drain(..conn.written);
         conn.written = 0;

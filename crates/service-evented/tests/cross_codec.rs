@@ -26,11 +26,13 @@ fn script() -> Vec<Request> {
         Request::Create {
             key: "a".into(),
             config: TenantConfig::for_key("a"),
+            token: None,
         },
         // Duplicate create: an Invalid error on both transports.
         Request::Create {
             key: "a".into(),
             config: TenantConfig::for_key("a"),
+            token: None,
         },
         Request::Create {
             key: "b".into(),
@@ -39,6 +41,7 @@ fn script() -> Vec<Request> {
                 hra: false,
                 ..TenantConfig::for_key("b")
             },
+            token: None,
         },
     ];
     for i in 0..40 {
@@ -47,6 +50,7 @@ fn script() -> Vec<Request> {
             values: (0..100)
                 .map(|j| ((i * 131 + j * 17) % 10_007) as f64)
                 .collect(),
+            token: None,
         });
         reqs.push(Request::Add {
             key: "a".into(),
@@ -75,7 +79,10 @@ fn script() -> Vec<Request> {
         Request::Stats { key: "b".into() },
         Request::List,
         Request::Snapshot,
-        Request::Drop { key: "b".into() },
+        Request::Drop {
+            key: "b".into(),
+            token: None,
+        },
         Request::Stats { key: "b".into() },
         Request::List,
         Request::Quit,

@@ -259,6 +259,142 @@ fn quit_closes_only_that_connection() {
     assert!(matches!(resps[2], Response::Bye));
 }
 
+/// The write-backlog satellite: a client that pipelines huge responses
+/// and never reads them cannot pin the server. The loop parks the
+/// connection's read side once [`MAX_WRITE_BACKLOG`] is queued, and the
+/// stall sweep closes the connection outright once the backlog makes no
+/// progress for `write_stall_timeout` — while every other client keeps
+/// being served.
+#[test]
+fn never_draining_reader_is_evicted_after_the_stall_timeout() {
+    use req_evented::server::MAX_WRITE_BACKLOG;
+    use req_evented::{serve_evented_with, EventedOptions};
+    use std::time::{Duration, Instant};
+
+    let dir = TempDir::new("evented-stall").unwrap();
+    let service = Arc::new(QuantileService::open(ServiceConfig::new(dir.path())).unwrap());
+    let handle = serve_evented_with(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        EventedOptions {
+            loops: 1,
+            faults: None,
+            write_stall_timeout: Some(Duration::from_secs(1)),
+        },
+    )
+    .unwrap();
+
+    {
+        let mut c = ReqBinClient::connect(handle.addr()).unwrap();
+        c.create("t", &CreateOptions::default()).unwrap();
+        c.add_batch("t", &[1.0, 2.0, 3.0]).unwrap();
+    }
+
+    // One CDF request whose response is ~512 KiB; pipeline copies of it
+    // and never read a byte back. Writes are paced so the server's greedy
+    // fill() hits `WouldBlock` and re-arms between bursts — that re-arm
+    // is where the >16 MiB backlog parks the connection's read interest,
+    // after which the kernel buffers jam and our writes time out.
+    let frame = req_service::protocol::binary::encode_request(&Request::Cdf {
+        key: "t".into(),
+        points: vec![2.0; 65_536],
+    });
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    raw.set_write_timeout(Some(Duration::from_secs(2))).unwrap();
+    let mut written = 0usize;
+    let jam_bound = 8 * MAX_WRITE_BACKLOG;
+    while written < jam_bound {
+        match std::io::Write::write_all(&mut raw, &frame) {
+            Ok(()) => written += frame.len(),
+            Err(_) => break, // jammed (or already evicted) — both are the point
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(
+        written < jam_bound,
+        "server never parked the connection's read side; accepted {written} bytes"
+    );
+
+    // The stall sweep (1 s heartbeat granularity) must evict the reader.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while handle.live_connections() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "stalled connection still live after 15 s ({} tracked)",
+            handle.live_connections()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The server sheds the parasite, not its health.
+    let mut c = ReqBinClient::connect(handle.addr()).unwrap();
+    c.ping().unwrap();
+    assert_eq!(c.stats("t").unwrap().n, 3);
+    drop(raw);
+    handle.shutdown();
+}
+
+/// Socket-level chaos: with deterministic read/write faults injected at
+/// the server's socket edges, a retrying client with idempotency tokens
+/// still lands every batch exactly once — torn responses and dropped
+/// connections surface as transport errors, never as duplicated or lost
+/// ingest.
+#[test]
+fn injected_socket_faults_never_duplicate_or_lose_acked_batches() {
+    use req_evented::{serve_evented_with, EventedOptions};
+    use req_service::{FaultKind, FaultPlane, FaultSite, RetryPolicy};
+    use std::time::Duration;
+
+    for seed in [1u64, 2, 3] {
+        let dir = TempDir::new("evented-chaos").unwrap();
+        let plane = Arc::new(
+            FaultPlane::new(seed)
+                .with(FaultSite::SockWrite, FaultKind::Torn, 1, 5)
+                .with(FaultSite::SockRead, FaultKind::Error, 1, 7),
+        );
+        let service = Arc::new(QuantileService::open(ServiceConfig::new(dir.path())).unwrap());
+        let handle = serve_evented_with(
+            Arc::clone(&service),
+            "127.0.0.1:0",
+            EventedOptions {
+                loops: 1,
+                faults: Some(Arc::clone(&plane)),
+                write_stall_timeout: Some(Duration::from_secs(5)),
+            },
+        )
+        .unwrap();
+
+        let policy = RetryPolicy {
+            max_retries: 32,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(5),
+            read_timeout: Duration::from_secs(5),
+            seed,
+            ..RetryPolicy::default()
+        };
+        let mut c = ReqBinClient::connect_with(handle.addr(), policy).unwrap();
+        c.create("t", &CreateOptions::default()).unwrap();
+        let mut expected = 0u64;
+        for i in 0..60u64 {
+            let batch: Vec<f64> = (0..1 + i % 7).map(|j| (i * 10 + j) as f64).collect();
+            assert_eq!(
+                c.add_batch("t", &batch).unwrap(),
+                batch.len() as u64,
+                "seed {seed}, batch {i}"
+            );
+            expected += batch.len() as u64;
+        }
+        assert!(
+            plane.injected() > 0,
+            "seed {seed} injected nothing — chaos test is vacuous"
+        );
+        // Exactly-once: ground truth read straight off the service.
+        assert_eq!(service.stats("t").unwrap().n, expected, "seed {seed}");
+        assert_eq!(c.stats("t").unwrap().n, expected, "seed {seed}");
+        handle.shutdown();
+    }
+}
+
 #[test]
 fn concurrent_binary_clients_share_one_tenant() {
     let dir = TempDir::new("evented").unwrap();

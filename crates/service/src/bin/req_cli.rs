@@ -1,8 +1,16 @@
 //! `req-cli` — talk to a running `req-server`.
 //!
 //! ```text
-//! req-cli [--addr HOST:PORT] CMD [ARGS...]   one command, print the reply
-//! req-cli [--addr HOST:PORT] repl            interactive: one command per line
+//! req-cli [OPTIONS] CMD [ARGS...]   one command, print the reply
+//! req-cli [OPTIONS] repl            interactive: one command per line
+//!
+//! options:
+//!   --addr HOST:PORT        server address      (default 127.0.0.1:7878)
+//!   --connect-timeout SECS  dial timeout        (default 5)
+//!   --timeout SECS          read/write timeout  (default 30)
+//!   --retries N             max automatic retries of a failed command
+//!                           (default 4; mutations retry only with their
+//!                           idempotency token attached)
 //! ```
 //!
 //! Examples:
@@ -18,13 +26,15 @@
 // deprecated string round-trip until the text shim is removed.
 #![allow(deprecated)]
 
-use req_service::ReqClient;
+use req_service::{ReqClient, RetryPolicy};
 use std::io::BufRead;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: req-cli [--addr HOST:PORT] CMD [ARGS...]\n\
-         \x20      req-cli [--addr HOST:PORT] repl\n\
+        "usage: req-cli [--addr HOST:PORT] [--connect-timeout SECS] [--timeout SECS]\n\
+         \x20              [--retries N] CMD [ARGS...]\n\
+         \x20      req-cli [same options] repl\n\
          commands: CREATE ADD ADDB RANK QUANTILE CDF STATS LIST SNAPSHOT DROP PING"
     );
     std::process::exit(2);
@@ -33,18 +43,32 @@ fn usage() -> ! {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7878".to_string();
-    if args.first().map(String::as_str) == Some("--addr") {
+    let mut policy = RetryPolicy::default();
+    while let Some(flag) = args.first().filter(|a| a.starts_with("--")) {
         if args.len() < 2 {
             usage();
         }
-        addr = args[1].clone();
+        let value = args[1].clone();
+        let secs = |v: &str| -> Duration {
+            Duration::from_secs_f64(v.parse().unwrap_or_else(|_| usage()))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value,
+            "--connect-timeout" => policy.connect_timeout = secs(&value),
+            "--timeout" => {
+                policy.read_timeout = secs(&value);
+                policy.write_timeout = secs(&value);
+            }
+            "--retries" => policy.max_retries = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
         args.drain(..2);
     }
     if args.is_empty() {
         usage();
     }
 
-    let mut client = match ReqClient::connect(&addr) {
+    let mut client = match ReqClient::connect_with(&addr, policy) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("req-cli: cannot connect to {addr}: {e}");

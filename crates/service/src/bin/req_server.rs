@@ -3,8 +3,13 @@
 //! ```text
 //! req-server --data-dir DIR [--addr 127.0.0.1:7878] [--threads 4]
 //!            [--snapshot-interval-secs 30] [--snapshot-every-records N]
-//!            [--fsync]
+//!            [--fsync] [--max-inflight N] [--dedup-window N]
 //! ```
+//!
+//! `--max-inflight` bounds concurrently queued mutations (excess sheds
+//! with `BUSY`; 0 = unbounded); `--dedup-window` sets how many recent
+//! per-client idempotency tokens the service remembers for exactly-once
+//! retries (default 64).
 
 use req_service::{serve, QuantileService, ServiceConfig};
 use std::sync::Arc;
@@ -13,7 +18,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: req-server --data-dir DIR [--addr HOST:PORT] [--threads N]\n\
-         \x20                 [--snapshot-interval-secs N] [--snapshot-every-records N] [--fsync]"
+         \x20                 [--snapshot-interval-secs N] [--snapshot-every-records N] [--fsync]\n\
+         \x20                 [--max-inflight N] [--dedup-window N]"
     );
     std::process::exit(2);
 }
@@ -25,6 +31,8 @@ fn parse_args() -> (ServiceConfig, String, usize, u64) {
     let mut interval_secs = 30u64;
     let mut every_records = 0u64;
     let mut fsync = false;
+    let mut max_inflight = 0u64;
+    let mut dedup_window: Option<u64> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -44,6 +52,10 @@ fn parse_args() -> (ServiceConfig, String, usize, u64) {
                 every_records = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--fsync" => fsync = true,
+            "--max-inflight" => max_inflight = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--dedup-window" => {
+                dedup_window = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -53,6 +65,10 @@ fn parse_args() -> (ServiceConfig, String, usize, u64) {
     let mut cfg = ServiceConfig::new(data_dir);
     cfg.snapshot_every_records = every_records;
     cfg.fsync = fsync;
+    cfg.max_inflight_mutations = max_inflight;
+    if let Some(window) = dedup_window {
+        cfg.dedup_window = window;
+    }
     (cfg, addr, threads, interval_secs)
 }
 

@@ -12,15 +12,89 @@
 //! Remote failures come back as the same [`ReqError`] variants the server
 //! raised (the error kind round-trips through [`Response::Err`]), so
 //! callers handle local and remote errors uniformly.
+//!
+//! ## Resilience
+//!
+//! [`ReqClient`] carries a [`RetryPolicy`]: connect/read/write timeouts,
+//! plus capped exponential backoff with deterministic jitter. Mutations
+//! (`CREATE`/`ADDB`/`DROP`) are stamped with an idempotency token
+//! (`client_id:seq`) before the first send, so a retry after an ambiguous
+//! timeout re-sends the *same* token and the server's dedup window applies
+//! it exactly once — even across a server crash and recovery. Queries are
+//! naturally idempotent and retry freely; a plain `ADD` carries no token
+//! and is never auto-retried.
 
 use req_core::ReqError;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::config::TenantConfig;
-use crate::protocol::{text, Request, Response};
+use crate::faults::mix;
+use crate::protocol::{text, IdemToken, Request, Response};
 use crate::service::TenantStats;
+
+/// Timeouts and retry/backoff settings for resilient clients.
+///
+/// Backoff for attempt `k` is `min(base_backoff · 2^k, max_backoff)`,
+/// scaled into `[cap/2, cap)` by a deterministic jitter derived from
+/// `seed` and `k` — two clients with different seeds desynchronize their
+/// retry storms, yet a given client replays exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-response read timeout.
+    pub read_timeout: Duration,
+    /// Per-request write timeout.
+    pub write_timeout: Duration,
+    /// Retries after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// First retry's backoff cap.
+    pub base_backoff: Duration,
+    /// Backoff ceiling for late retries.
+    pub max_backoff: Duration,
+    /// Jitter seed (deterministic per client).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            max_retries: 4,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (timeouts still apply).
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before retry `attempt` (0-based): deterministic, jittered,
+    /// always within `[cap/2, cap)` where
+    /// `cap = min(base_backoff · 2^attempt, max_backoff)`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let base = self.base_backoff.as_nanos() as u64;
+        let max = self.max_backoff.as_nanos() as u64;
+        let cap = base.saturating_mul(1u64 << attempt.min(32)).min(max).max(1);
+        // Jitter fraction in [0, 1): the top 53 bits of a SplitMix64 hash
+        // of (seed, attempt), exactly representable in an f64.
+        let frac = (mix(self.seed ^ mix(u64::from(attempt))) >> 11) as f64 / (1u64 << 53) as f64;
+        let nanos = (cap / 2) + ((cap as f64 / 2.0) * frac) as u64;
+        Duration::from_nanos(nanos.min(cap.saturating_sub(1).max(1)))
+    }
+}
 
 /// Options for [`ClientApi::create`] — the typed form of the `CREATE`
 /// option tokens. `None` fields take server defaults.
@@ -100,6 +174,7 @@ pub trait ClientApi {
         let req = Request::Create {
             key: key.to_string(),
             config: opts.to_config(key)?,
+            token: None,
         };
         match self.call(&req)?.into_result()? {
             Response::Created => Ok(()),
@@ -127,6 +202,7 @@ pub trait ClientApi {
         let req = Request::AddBatch {
             key: key.to_string(),
             values: values.to_vec(),
+            token: None,
         };
         match self.call(&req)?.into_result()? {
             Response::AddedBatch(n) => Ok(n),
@@ -201,6 +277,7 @@ pub trait ClientApi {
     fn drop_key(&mut self, key: &str) -> Result<(), ReqError> {
         let req = Request::Drop {
             key: key.to_string(),
+            token: None,
         };
         match self.call(&req)?.into_result()? {
             Response::Dropped => Ok(()),
@@ -228,21 +305,77 @@ pub trait ClientApi {
     }
 }
 
-/// A connected text-protocol client (one line per message).
+/// Stamp an unstamped mutation with the next `(client_id, seq)` token.
+/// `next_seq` is bumped only when a token is attached, so queries don't
+/// burn window slots. Explicitly pre-stamped requests pass through.
+pub fn attach_token(req: &mut Request, client_id: u64, next_seq: &mut u64) {
+    let slot = match req {
+        Request::Create { token, .. }
+        | Request::AddBatch { token, .. }
+        | Request::Drop { token, .. } => token,
+        _ => return,
+    };
+    if slot.is_none() {
+        *slot = Some(IdemToken {
+            client_id,
+            seq: *next_seq,
+        });
+        *next_seq += 1;
+    }
+}
+
+/// May this request be re-sent after an ambiguous transport failure?
+/// Queries always; mutations only when carrying an idempotency token.
+pub fn is_retryable(req: &Request) -> bool {
+    match req {
+        Request::Create { token, .. }
+        | Request::AddBatch { token, .. }
+        | Request::Drop { token, .. } => token.is_some(),
+        Request::Add { .. } => false,
+        _ => true,
+    }
+}
+
+/// A process-unique client id: pid mixed with a monotonic counter and a
+/// clock sample, so concurrently spawned clients (or a restarted process
+/// reusing a pid) get distinct dedup windows on the server.
+pub fn fresh_client_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    mix(nanos)
+        ^ mix(u64::from(std::process::id()).wrapping_shl(32))
+        ^ mix(COUNTER.fetch_add(1, Ordering::Relaxed))
+}
+
+/// A connected text-protocol client (one line per message) with
+/// reconnect-and-retry resilience (see the module docs).
 #[derive(Debug)]
 pub struct ReqClient {
+    conn: Option<TextConn>,
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    client_id: u64,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct TextConn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
-impl ReqClient {
-    /// Connect to a running `req-server`.
-    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ReqError> {
-        let stream = TcpStream::connect(addr)?;
+impl TextConn {
+    fn dial(addr: &SocketAddr, policy: &RetryPolicy) -> Result<Self, ReqError> {
+        let stream = TcpStream::connect_timeout(addr, policy.connect_timeout)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(300)))?;
+        stream.set_read_timeout(Some(policy.read_timeout))?;
+        stream.set_write_timeout(Some(policy.write_timeout))?;
         let writer = stream.try_clone()?;
-        Ok(ReqClient {
+        Ok(TextConn {
             reader: BufReader::new(stream),
             writer,
         })
@@ -250,11 +383,6 @@ impl ReqClient {
 
     /// Send one raw line, return the raw response line (unparsed).
     fn send_line(&mut self, line: &str) -> Result<String, ReqError> {
-        if line.contains('\n') || line.contains('\r') {
-            return Err(ReqError::InvalidParameter(
-                "request must be a single line".into(),
-            ));
-        }
         // One write per request (see server.rs on TCP_NODELAY packets).
         let mut framed = String::with_capacity(line.len() + 1);
         framed.push_str(line);
@@ -270,6 +398,62 @@ impl ReqClient {
             response.pop();
         }
         Ok(response)
+    }
+}
+
+impl ReqClient {
+    /// Connect to a running `req-server` with the default [`RetryPolicy`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ReqError> {
+        Self::connect_with(addr, RetryPolicy::default())
+    }
+
+    /// Connect with an explicit policy.
+    pub fn connect_with(addr: impl ToSocketAddrs, policy: RetryPolicy) -> Result<Self, ReqError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ReqError::InvalidParameter("address resolved to nothing".into()))?;
+        let conn = TextConn::dial(&addr, &policy)?;
+        Ok(ReqClient {
+            conn: Some(conn),
+            addr,
+            policy,
+            client_id: fresh_client_id(),
+            next_seq: 1,
+        })
+    }
+
+    /// The id stamped into this client's idempotency tokens.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    fn conn(&mut self) -> Result<&mut TextConn, ReqError> {
+        if self.conn.is_none() {
+            self.conn = Some(TextConn::dial(&self.addr, &self.policy)?);
+        }
+        Ok(self.conn.as_mut().expect("just ensured"))
+    }
+
+    /// Send one raw line, reconnecting first if the previous attempt
+    /// dropped the connection. Transport failures poison the connection
+    /// so the next call redials.
+    fn send_line(&mut self, line: &str) -> Result<String, ReqError> {
+        if line.contains('\n') || line.contains('\r') {
+            return Err(ReqError::InvalidParameter(
+                "request must be a single line".into(),
+            ));
+        }
+        let result = self.conn()?.send_line(line);
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
     }
 
     /// Send one raw request line and return the response payload string.
@@ -287,7 +471,39 @@ impl ReqClient {
 
 impl ClientApi for ReqClient {
     fn call(&mut self, req: &Request) -> Result<Response, ReqError> {
-        let line = self.send_line(&text::encode_request(req))?;
-        text::decode_response(&line, req.kind())
+        let mut req = req.clone();
+        attach_token(&mut req, self.client_id, &mut self.next_seq);
+        let retryable = is_retryable(&req);
+        let line = text::encode_request(&req);
+        let mut attempt = 0u32;
+        loop {
+            let result = self
+                .send_line(&line)
+                .and_then(|resp| text::decode_response(&resp, req.kind()));
+            let give_up = attempt >= self.policy.max_retries;
+            match result {
+                // `Busy` (shed) and `Unavailable` (read-only) replies had
+                // no side effect — back off and retry even without a
+                // token; read-only heals on the next snapshot rotation.
+                Ok(Response::Err {
+                    kind: crate::protocol::ErrorKind::Busy | crate::protocol::ErrorKind::Unavailable,
+                    msg: _,
+                }) if !give_up => {}
+                // A server-side Io reply is ambiguous (the record may or
+                // may not have reached the WAL) — only the token's dedup
+                // window makes re-sending safe.
+                Ok(Response::Err {
+                    kind: crate::protocol::ErrorKind::Io,
+                    msg: _,
+                }) if retryable && !give_up => {}
+                Ok(resp) => return Ok(resp),
+                // Transport-level Io failures are equally ambiguous; the
+                // token (or natural idempotence) makes the re-send safe.
+                Err(ReqError::Io(_)) if retryable && !give_up => {}
+                Err(e) => return Err(e),
+            }
+            std::thread::sleep(self.policy.backoff(attempt));
+            attempt += 1;
+        }
     }
 }

@@ -278,6 +278,20 @@ pub struct ServiceConfig {
     /// fsync covering it — only the number of `fsync` calls drops. On by
     /// default; turn off to force one fsync per record (A/B benchmarks).
     pub group_commit: bool,
+    /// Per-client idempotency dedup window: how many of a client's most
+    /// recent sequence numbers the service remembers (and persists through
+    /// WAL + snapshots) to make tokened retries exactly-once. Retries
+    /// older than the window are rejected as stale instead of re-applied.
+    pub dedup_window: u64,
+    /// Load-shedding bound: at most this many mutations may be in flight
+    /// (queued on the WAL) at once; excess requests fail fast with
+    /// [`req_core::ReqError::Busy`] instead of stalling their server
+    /// thread/event loop. `0` disables shedding.
+    pub max_inflight_mutations: u64,
+    /// Optional deterministic fault-injection schedule, threaded through
+    /// every WAL/snapshot syscall site. `None` (the default) costs one
+    /// branch per site. See [`crate::faults::FaultPlane`].
+    pub faults: Option<std::sync::Arc<crate::faults::FaultPlane>>,
 }
 
 impl ServiceConfig {
@@ -289,6 +303,9 @@ impl ServiceConfig {
             snapshot_every_records: 0,
             fsync: false,
             group_commit: true,
+            dedup_window: 64,
+            max_inflight_mutations: 0,
+            faults: None,
         }
     }
 }

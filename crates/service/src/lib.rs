@@ -43,6 +43,7 @@
 
 pub mod client;
 pub mod config;
+pub mod faults;
 pub mod protocol;
 pub mod registry;
 pub mod server;
@@ -51,13 +52,14 @@ pub mod snapshot;
 pub mod tempdir;
 pub mod wal;
 
-pub use client::{ClientApi, CreateOptions, ReqClient};
+pub use client::{ClientApi, CreateOptions, ReqClient, RetryPolicy};
 pub use config::{Accuracy, ServiceConfig, TenantConfig};
+pub use faults::{FaultKind, FaultPlane, FaultSite};
 #[allow(deprecated)]
 pub use protocol::Command;
-pub use protocol::{ErrorKind, Request, RequestKind, Response};
+pub use protocol::{ErrorKind, IdemToken, Request, RequestKind, Response};
 pub use registry::{Registry, Tenant};
 pub use server::{execute, serve, ServerHandle};
 pub use service::{QuantileService, RecoveryReport, Snapshotter, TenantStats};
-pub use snapshot::{SnapshotData, TenantSnapshot};
+pub use snapshot::{AppliedOutcome, DedupClientSnapshot, SnapshotData, TenantSnapshot};
 pub use wal::{WalRecord, WalReplay, WalWriter};

@@ -24,7 +24,7 @@ use req_core::frame::{crc32, write_frame, FRAME_HEADER_LEN};
 use req_core::ReqError;
 use std::io::Read;
 
-use super::{ErrorKind, Request, Response};
+use super::{ErrorKind, IdemToken, Request, Response};
 use crate::config::TenantConfig;
 use crate::service::TenantStats;
 
@@ -78,6 +78,30 @@ fn get_f64s(input: &mut Bytes) -> Result<Vec<f64>, ReqError> {
     (0..count).map(|_| get_f64(input)).collect()
 }
 
+fn put_token(out: &mut BytesMut, token: &Option<IdemToken>) {
+    match token {
+        Some(t) => {
+            out.put_u8(1);
+            out.put_u64_le(t.client_id);
+            out.put_u64_le(t.seq);
+        }
+        None => out.put_u8(0),
+    }
+}
+
+fn get_token(input: &mut Bytes) -> Result<Option<IdemToken>, ReqError> {
+    match get_u8(input)? {
+        0 => Ok(None),
+        1 => Ok(Some(IdemToken {
+            client_id: get_u64(input)?,
+            seq: get_u64(input)?,
+        })),
+        other => Err(ReqError::CorruptBytes(format!(
+            "bad token presence byte {other}"
+        ))),
+    }
+}
+
 const REQ_CREATE: u8 = 1;
 const REQ_ADD: u8 = 2;
 const REQ_ADD_BATCH: u8 = 3;
@@ -112,6 +136,8 @@ impl ErrorKind {
             ErrorKind::Incompatible => 2,
             ErrorKind::Corrupt => 3,
             ErrorKind::Io => 4,
+            ErrorKind::Unavailable => 5,
+            ErrorKind::Busy => 6,
         }
     }
 
@@ -121,6 +147,8 @@ impl ErrorKind {
             2 => ErrorKind::Incompatible,
             3 => ErrorKind::Corrupt,
             4 => ErrorKind::Io,
+            5 => ErrorKind::Unavailable,
+            6 => ErrorKind::Busy,
             other => {
                 return Err(ReqError::CorruptBytes(format!(
                     "unknown error kind byte {other}"
@@ -132,20 +160,22 @@ impl ErrorKind {
 
 fn encode_request_payload(req: &Request, out: &mut BytesMut) {
     match req {
-        Request::Create { key, config } => {
+        Request::Create { key, config, token } => {
             out.put_u8(REQ_CREATE);
             key.pack(out);
             config.encode(out);
+            put_token(out, token);
         }
         Request::Add { key, value } => {
             out.put_u8(REQ_ADD);
             key.pack(out);
             out.put_u64_le(value.to_bits());
         }
-        Request::AddBatch { key, values } => {
+        Request::AddBatch { key, values, token } => {
             out.put_u8(REQ_ADD_BATCH);
             key.pack(out);
             put_f64s(out, values);
+            put_token(out, token);
         }
         Request::Rank { key, value } => {
             out.put_u8(REQ_RANK);
@@ -168,9 +198,10 @@ fn encode_request_payload(req: &Request, out: &mut BytesMut) {
         }
         Request::List => out.put_u8(REQ_LIST),
         Request::Snapshot => out.put_u8(REQ_SNAPSHOT),
-        Request::Drop { key } => {
+        Request::Drop { key, token } => {
             out.put_u8(REQ_DROP);
             key.pack(out);
+            put_token(out, token);
         }
         Request::Ping => out.put_u8(REQ_PING),
         Request::Quit => out.put_u8(REQ_QUIT),
@@ -213,6 +244,10 @@ fn encode_response_payload(resp: &Response, out: &mut BytesMut) {
             out.put_u8(s.hra as u8);
             out.put_u8(s.adaptive as u8);
             out.put_u64_le(s.rotation);
+            out.put_u64_le(s.snapshot_failures);
+            out.put_u64_le(s.wal_poisoned);
+            out.put_u64_le(s.shed);
+            out.put_u8(s.read_only as u8);
         }
         Response::List(keys) => {
             out.put_u8(RESP_LIST);
@@ -282,7 +317,8 @@ pub fn decode_request(mut payload: Bytes) -> Result<Request, ReqError> {
         REQ_CREATE => {
             let key = String::unpack(&mut payload)?;
             let config = TenantConfig::decode(&mut payload)?;
-            Request::Create { key, config }
+            let token = get_token(&mut payload)?;
+            Request::Create { key, config, token }
         }
         REQ_ADD => Request::Add {
             key: String::unpack(&mut payload)?,
@@ -291,6 +327,7 @@ pub fn decode_request(mut payload: Bytes) -> Result<Request, ReqError> {
         REQ_ADD_BATCH => Request::AddBatch {
             key: String::unpack(&mut payload)?,
             values: get_f64s(&mut payload)?,
+            token: get_token(&mut payload)?,
         },
         REQ_RANK => Request::Rank {
             key: String::unpack(&mut payload)?,
@@ -311,6 +348,7 @@ pub fn decode_request(mut payload: Bytes) -> Result<Request, ReqError> {
         REQ_SNAPSHOT => Request::Snapshot,
         REQ_DROP => Request::Drop {
             key: String::unpack(&mut payload)?,
+            token: get_token(&mut payload)?,
         },
         REQ_PING => Request::Ping,
         REQ_QUIT => Request::Quit,
@@ -351,6 +389,10 @@ pub fn decode_response(mut payload: Bytes) -> Result<Response, ReqError> {
             hra: get_u8(&mut payload)? != 0,
             adaptive: get_u8(&mut payload)? != 0,
             rotation: get_u64(&mut payload)?,
+            snapshot_failures: get_u64(&mut payload)?,
+            wal_poisoned: get_u64(&mut payload)?,
+            shed: get_u64(&mut payload)?,
+            read_only: get_u8(&mut payload)? != 0,
         }),
         RESP_LIST => {
             let count = get_u32(&mut payload)? as usize;
@@ -438,10 +480,20 @@ mod tests {
     use req_core::frame::read_frame;
 
     fn sample_requests() -> Vec<Request> {
+        let token = Some(IdemToken {
+            client_id: u64::MAX,
+            seq: 3,
+        });
         vec![
             Request::Create {
                 key: "api.p99".into(),
                 config: TenantConfig::parse("api.p99", &["EPS=0.02", "LRA", "SHARDS=2"]).unwrap(),
+                token: None,
+            },
+            Request::Create {
+                key: "api.p99".into(),
+                config: TenantConfig::parse("api.p99", &["K=16"]).unwrap(),
+                token,
             },
             Request::Add {
                 key: "k".into(),
@@ -450,6 +502,12 @@ mod tests {
             Request::AddBatch {
                 key: "k".into(),
                 values: vec![1.0, -0.0, 1e-300],
+                token: None,
+            },
+            Request::AddBatch {
+                key: "k".into(),
+                values: vec![1.0],
+                token,
             },
             Request::Rank {
                 key: "k".into(),
@@ -466,7 +524,14 @@ mod tests {
             Request::Stats { key: "k".into() },
             Request::List,
             Request::Snapshot,
-            Request::Drop { key: "k".into() },
+            Request::Drop {
+                key: "k".into(),
+                token: None,
+            },
+            Request::Drop {
+                key: "k".into(),
+                token,
+            },
             Request::Ping,
             Request::Quit,
         ]
@@ -490,6 +555,10 @@ mod tests {
                 hra: true,
                 adaptive: true,
                 rotation: 6,
+                snapshot_failures: 7,
+                wal_poisoned: 8,
+                shed: 9,
+                read_only: true,
             }),
             Response::List(vec!["a".into(), "b".into()]),
             Response::List(vec![]),
@@ -500,6 +569,14 @@ mod tests {
             Response::Err {
                 kind: ErrorKind::Incompatible,
                 msg: "different k".into(),
+            },
+            Response::Err {
+                kind: ErrorKind::Unavailable,
+                msg: "read-only".into(),
+            },
+            Response::Err {
+                kind: ErrorKind::Busy,
+                msg: "shed".into(),
             },
         ]
     }

@@ -31,15 +31,58 @@ use req_core::ReqError;
 use crate::config::TenantConfig;
 use crate::service::TenantStats;
 
+/// An idempotency token: a client identity plus a per-client sequence
+/// number. Mutating requests ([`Request::Create`], [`Request::AddBatch`],
+/// [`Request::Drop`]) may carry one; the server records applied `(client,
+/// seq)` pairs in a dedup window persisted through the WAL, so a retry
+/// after an ambiguous failure (timeout, dropped connection, crash between
+/// append and reply) is applied **exactly once**.
+///
+/// Text form is `TOKEN=client_id:seq`; the binary codec appends both
+/// `u64`s behind a presence byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IdemToken {
+    /// Stable identity of the issuing client (random or configured).
+    pub client_id: u64,
+    /// Monotonically increasing per-client mutation counter.
+    pub seq: u64,
+}
+
+impl std::fmt::Display for IdemToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.client_id, self.seq)
+    }
+}
+
+impl std::str::FromStr for IdemToken {
+    type Err = ReqError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (cid, seq) = s
+            .split_once(':')
+            .ok_or_else(|| ReqError::InvalidParameter(format!("bad token `{s}`")))?;
+        let parse = |t: &str| {
+            t.parse::<u64>()
+                .map_err(|_| ReqError::InvalidParameter(format!("bad token `{s}`")))
+        };
+        Ok(IdemToken {
+            client_id: parse(cid)?,
+            seq: parse(seq)?,
+        })
+    }
+}
+
 /// One typed request — the unit both codecs encode.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// `CREATE key [options…]`
+    /// `CREATE key [options…] [TOKEN=cid:seq]`
     Create {
         /// Tenant key.
         key: String,
         /// Resolved tenant configuration.
         config: TenantConfig,
+        /// Optional idempotency token.
+        token: Option<IdemToken>,
     },
     /// `ADD key value`
     Add {
@@ -48,12 +91,14 @@ pub enum Request {
         /// Value to ingest.
         value: f64,
     },
-    /// `ADDB key v1 v2 …`
+    /// `ADDB key v1 v2 … [TOKEN=cid:seq]`
     AddBatch {
         /// Tenant key.
         key: String,
         /// Values to ingest, in order.
         values: Vec<f64>,
+        /// Optional idempotency token.
+        token: Option<IdemToken>,
     },
     /// `RANK key value`
     Rank {
@@ -85,10 +130,12 @@ pub enum Request {
     List,
     /// `SNAPSHOT`
     Snapshot,
-    /// `DROP key`
+    /// `DROP key [TOKEN=cid:seq]`
     Drop {
         /// Tenant key.
         key: String,
+        /// Optional idempotency token.
+        token: Option<IdemToken>,
     },
     /// `PING`
     Ping,
@@ -166,16 +213,23 @@ pub enum ErrorKind {
     Corrupt,
     /// [`ReqError::Io`]
     Io,
+    /// [`ReqError::Unavailable`] — degraded (read-only) mode.
+    Unavailable,
+    /// [`ReqError::Busy`] — request shed under load; retry after backoff.
+    Busy,
 }
 
 impl ErrorKind {
-    /// The stable wire token (`invalid`, `incompatible`, `corrupt`, `io`).
+    /// The stable wire token (`invalid`, `incompatible`, `corrupt`, `io`,
+    /// `unavailable`, `busy`).
     pub fn as_str(self) -> &'static str {
         match self {
             ErrorKind::Invalid => "invalid",
             ErrorKind::Incompatible => "incompatible",
             ErrorKind::Corrupt => "corrupt",
             ErrorKind::Io => "io",
+            ErrorKind::Unavailable => "unavailable",
+            ErrorKind::Busy => "busy",
         }
     }
 
@@ -186,6 +240,8 @@ impl ErrorKind {
             "incompatible" => ErrorKind::Incompatible,
             "corrupt" => ErrorKind::Corrupt,
             "io" => ErrorKind::Io,
+            "unavailable" => ErrorKind::Unavailable,
+            "busy" => ErrorKind::Busy,
             _ => return None,
         })
     }
@@ -197,6 +253,8 @@ impl ErrorKind {
             ErrorKind::Incompatible => ReqError::IncompatibleMerge(msg),
             ErrorKind::Corrupt => ReqError::CorruptBytes(msg),
             ErrorKind::Io => ReqError::Io(msg),
+            ErrorKind::Unavailable => ReqError::Unavailable(msg),
+            ErrorKind::Busy => ReqError::Busy(msg),
         }
     }
 }
@@ -208,6 +266,8 @@ impl From<&ReqError> for ErrorKind {
             ReqError::IncompatibleMerge(_) => ErrorKind::Incompatible,
             ReqError::CorruptBytes(_) => ErrorKind::Corrupt,
             ReqError::Io(_) => ErrorKind::Io,
+            ReqError::Unavailable(_) => ErrorKind::Unavailable,
+            ReqError::Busy(_) => ErrorKind::Busy,
         }
     }
 }
@@ -256,7 +316,9 @@ impl Response {
             ReqError::InvalidParameter(m)
             | ReqError::IncompatibleMerge(m)
             | ReqError::CorruptBytes(m)
-            | ReqError::Io(m) => m.clone(),
+            | ReqError::Io(m)
+            | ReqError::Unavailable(m)
+            | ReqError::Busy(m) => m.clone(),
         };
         Response::Err {
             kind: ErrorKind::from(e),
@@ -329,7 +391,19 @@ mod tests {
             text::decode_request("addb k 1 2.5 -3e4").unwrap(),
             Request::AddBatch {
                 key: "k".into(),
-                values: vec![1.0, 2.5, -3e4]
+                values: vec![1.0, 2.5, -3e4],
+                token: None,
+            }
+        );
+        assert_eq!(
+            text::decode_request("ADDB k 7 TOKEN=3:9").unwrap(),
+            Request::AddBatch {
+                key: "k".into(),
+                values: vec![7.0],
+                token: Some(IdemToken {
+                    client_id: 3,
+                    seq: 9
+                }),
             }
         );
         assert_eq!(
@@ -346,11 +420,12 @@ mod tests {
                 points: vec![1.0, 2.0, 3.0]
             }
         );
-        let Request::Create { key, config } =
+        let Request::Create { key, config, token } =
             text::decode_request("CREATE api.p99 EPS=0.02 LRA SHARDS=2").unwrap()
         else {
             panic!("expected CREATE");
         };
+        assert_eq!(token, None);
         assert_eq!(key, "api.p99");
         assert_eq!(config.accuracy, Accuracy::EpsDelta(0.02, 0.05));
         assert!(!config.hra);
@@ -361,7 +436,10 @@ mod tests {
         assert_eq!(text::decode_request("SNAPSHOT").unwrap(), Request::Snapshot);
         assert_eq!(
             text::decode_request("DROP k").unwrap(),
-            Request::Drop { key: "k".into() }
+            Request::Drop {
+                key: "k".into(),
+                token: None
+            }
         );
     }
 
@@ -429,9 +507,23 @@ mod tests {
             ReqError::IncompatibleMerge("b".into()),
             ReqError::CorruptBytes("c".into()),
             ReqError::Io("d".into()),
+            ReqError::Unavailable("e".into()),
+            ReqError::Busy("f".into()),
         ] {
             let resp = Response::from_error(&e);
             assert_eq!(resp.into_result(), Err(e));
+        }
+    }
+
+    #[test]
+    fn idem_tokens_roundtrip_their_text_form() {
+        let t = IdemToken {
+            client_id: u64::MAX,
+            seq: 0,
+        };
+        assert_eq!(t.to_string().parse::<IdemToken>().unwrap(), t);
+        for bad in ["", "1", "1:", ":2", "1:2:3", "x:2", "1:y", "-1:2"] {
+            assert!(bad.parse::<IdemToken>().is_err(), "`{bad}` accepted");
         }
     }
 

@@ -1,19 +1,22 @@
 //! Line-oriented text codec — one line per message, debuggable with `nc`.
 //!
 //! ```text
-//! CREATE key [EPS=f] [DELTA=f] [K=n] [HRA|LRA] [SCHEDULE=s] [SHARDS=n] [SEED=n]
+//! CREATE key [EPS=f] [DELTA=f] [K=n] [HRA|LRA] [SCHEDULE=s] [SHARDS=n] [SEED=n] [TOKEN=cid:seq]
 //! ADD key value
-//! ADDB key v1 v2 v3 ...
+//! ADDB key v1 v2 v3 ... [TOKEN=cid:seq]
 //! RANK key value
 //! QUANTILE key q
 //! CDF key p1 p2 ...
 //! STATS key
 //! LIST
 //! SNAPSHOT
-//! DROP key
+//! DROP key [TOKEN=cid:seq]
 //! PING
 //! QUIT
 //! ```
+//!
+//! The optional trailing `TOKEN=cid:seq` on the three mutating commands is
+//! an [`IdemToken`]; see its docs for the exactly-once retry contract.
 //!
 //! Responses are `OK[ payload]` or `ERR <kind> <message>`, where `kind`
 //! is an [`ErrorKind`] token (`invalid`, `incompatible`, `corrupt`,
@@ -27,7 +30,7 @@
 
 use req_core::ReqError;
 
-use super::{ErrorKind, Request, RequestKind, Response};
+use super::{ErrorKind, IdemToken, Request, RequestKind, Response};
 use crate::config::TenantConfig;
 
 fn parse_f64(token: &str) -> Result<f64, ReqError> {
@@ -49,19 +52,53 @@ fn join_f64s(prefix: String, values: &[f64]) -> String {
     out
 }
 
+fn push_token(mut line: String, token: &Option<IdemToken>) -> String {
+    if let Some(t) = token {
+        line.push_str(" TOKEN=");
+        line.push_str(&t.to_string());
+    }
+    line
+}
+
+/// Pull the (at most one) `TOKEN=cid:seq` argument out of an argument
+/// list, returning the remaining arguments in order. The token may appear
+/// anywhere after the key, matching how CREATE options are order-free.
+fn split_token<'a>(args: &[&'a str]) -> Result<(Vec<&'a str>, Option<IdemToken>), ReqError> {
+    let mut token = None;
+    let mut rest = Vec::with_capacity(args.len());
+    for arg in args {
+        let is_token = arg.len() >= 6 && arg[..6].eq_ignore_ascii_case("TOKEN=");
+        if is_token {
+            if token.is_some() {
+                return Err(ReqError::InvalidParameter(
+                    "at most one TOKEN= per command".into(),
+                ));
+            }
+            token = Some(arg[6..].parse()?);
+        } else {
+            rest.push(*arg);
+        }
+    }
+    Ok((rest, token))
+}
+
 /// Render one request as its line (no trailing newline).
 pub fn encode_request(req: &Request) -> String {
     match req {
-        Request::Create { key, config } => format!("CREATE {key} {config}"),
+        Request::Create { key, config, token } => {
+            push_token(format!("CREATE {key} {config}"), token)
+        }
         Request::Add { key, value } => format!("ADD {key} {value}"),
-        Request::AddBatch { key, values } => join_f64s(format!("ADDB {key}"), values),
+        Request::AddBatch { key, values, token } => {
+            push_token(join_f64s(format!("ADDB {key}"), values), token)
+        }
         Request::Rank { key, value } => format!("RANK {key} {value}"),
         Request::Quantile { key, q } => format!("QUANTILE {key} {q}"),
         Request::Cdf { key, points } => join_f64s(format!("CDF {key}"), points),
         Request::Stats { key } => format!("STATS {key}"),
         Request::List => "LIST".to_string(),
         Request::Snapshot => "SNAPSHOT".to_string(),
-        Request::Drop { key } => format!("DROP {key}"),
+        Request::Drop { key, token } => push_token(format!("DROP {key}"), token),
         Request::Ping => "PING".to_string(),
         Request::Quit => "QUIT".to_string(),
     }
@@ -83,8 +120,9 @@ pub fn decode_request(line: &str) -> Result<Request, ReqError> {
     match verb.to_ascii_uppercase().as_str() {
         "CREATE" => {
             let key = need_key()?;
-            let config = TenantConfig::parse(&key, &args[1..])?;
-            Ok(Request::Create { key, config })
+            let (opts, token) = split_token(&args[1..])?;
+            let config = TenantConfig::parse(&key, &opts)?;
+            Ok(Request::Create { key, config, token })
         }
         "ADD" | "RANK" | "QUANTILE" => {
             let key = need_key()?;
@@ -100,12 +138,14 @@ pub fn decode_request(line: &str) -> Result<Request, ReqError> {
         }
         "ADDB" => {
             let key = need_key()?;
-            if args.len() < 2 {
+            let (values, token) = split_token(&args[1..])?;
+            if values.is_empty() {
                 return bad("ADDB needs at least one value".into());
             }
             Ok(Request::AddBatch {
                 key,
-                values: parse_f64s(&args[1..])?,
+                values: parse_f64s(&values)?,
+                token,
             })
         }
         "CDF" => {
@@ -119,7 +159,11 @@ pub fn decode_request(line: &str) -> Result<Request, ReqError> {
             })
         }
         "STATS" => Ok(Request::Stats { key: need_key()? }),
-        "DROP" => Ok(Request::Drop { key: need_key()? }),
+        "DROP" => {
+            let key = need_key()?;
+            let (_, token) = split_token(&args[1..])?;
+            Ok(Request::Drop { key, token })
+        }
         "LIST" => Ok(Request::List),
         "SNAPSHOT" => Ok(Request::Snapshot),
         "PING" => Ok(Request::Ping),
@@ -223,10 +267,20 @@ mod tests {
 
     #[test]
     fn requests_roundtrip_through_lines() {
+        let token = Some(IdemToken {
+            client_id: 7,
+            seq: 41,
+        });
         let reqs = [
             Request::Create {
                 key: "k".into(),
                 config: TenantConfig::parse("k", &["K=16", "HRA", "SHARDS=2"]).unwrap(),
+                token: None,
+            },
+            Request::Create {
+                key: "k".into(),
+                config: TenantConfig::parse("k", &["K=16"]).unwrap(),
+                token,
             },
             Request::Add {
                 key: "k".into(),
@@ -235,6 +289,12 @@ mod tests {
             Request::AddBatch {
                 key: "k".into(),
                 values: vec![1.0, -2.5, 1e300],
+                token: None,
+            },
+            Request::AddBatch {
+                key: "k".into(),
+                values: vec![1.0],
+                token,
             },
             Request::Rank {
                 key: "k".into(),
@@ -251,7 +311,14 @@ mod tests {
             Request::Stats { key: "k".into() },
             Request::List,
             Request::Snapshot,
-            Request::Drop { key: "k".into() },
+            Request::Drop {
+                key: "k".into(),
+                token: None,
+            },
+            Request::Drop {
+                key: "k".into(),
+                token,
+            },
             Request::Ping,
             Request::Quit,
         ];
@@ -283,6 +350,10 @@ mod tests {
                     hra: true,
                     adaptive: false,
                     rotation: 3,
+                    snapshot_failures: 1,
+                    wal_poisoned: 0,
+                    shed: 2,
+                    read_only: true,
                 }),
             ),
             (
@@ -343,5 +414,30 @@ mod tests {
         assert!(decode_response("ERR weird x", RequestKind::Ping).is_err());
         assert!(decode_response("OK not-a-number", RequestKind::Rank).is_err());
         assert!(decode_response("OK", RequestKind::Snapshot).is_err());
+    }
+
+    #[test]
+    fn malformed_tokens_reject() {
+        for line in [
+            "ADDB k 1 TOKEN=",
+            "ADDB k 1 TOKEN=5",
+            "ADDB k 1 TOKEN=a:b",
+            "ADDB k 1 TOKEN=1:2 TOKEN=1:3",
+            "ADDB k TOKEN=1:2",
+            "DROP k TOKEN=1:-2",
+        ] {
+            assert!(decode_request(line).is_err(), "`{line}` accepted");
+        }
+        // Token casing is as forgiving as the verbs are.
+        assert_eq!(
+            decode_request("drop k token=1:2").unwrap(),
+            Request::Drop {
+                key: "k".into(),
+                token: Some(IdemToken {
+                    client_id: 1,
+                    seq: 2
+                }),
+            }
+        );
     }
 }

@@ -96,10 +96,13 @@ impl Registry {
     /// Insert a new tenant under `key`, running `log` (the WAL append)
     /// while the map's write lock is held — a concurrent duplicate
     /// `CREATE` therefore cannot interleave between the existence check,
-    /// the durable record, and the insert.
-    pub fn create_with<F>(&self, key: &str, config: TenantConfig, log: F) -> Result<(), ReqError>
+    /// the durable record, and the insert. `log`'s success value is
+    /// passed through (the service uses it to report "logged but the
+    /// fsync failed" — the tenant is still inserted in that case, since
+    /// the record is in the WAL and replay would recreate it).
+    pub fn create_with<T, F>(&self, key: &str, config: TenantConfig, log: F) -> Result<T, ReqError>
     where
-        F: FnOnce() -> Result<(), ReqError>,
+        F: FnOnce() -> Result<T, ReqError>,
     {
         let mut map = self.shard_for(key).write();
         if map.contains_key(key) {
@@ -108,9 +111,9 @@ impl Registry {
             )));
         }
         let tenant = Arc::new(Tenant::new(key, config)?);
-        log()?;
+        let out = log()?;
         map.insert(key.to_string(), tenant);
-        Ok(())
+        Ok(out)
     }
 
     /// Insert a tenant rebuilt from a snapshot (recovery path — nothing is
@@ -133,21 +136,22 @@ impl Registry {
     /// precedes the `Drop` in the WAL) or has not appended yet (it will
     /// observe the tenant's `dropped` flag and abort) — WAL order stays
     /// replayable.
-    pub fn drop_with<F>(&self, key: &str, log: F) -> Result<(), ReqError>
+    pub fn drop_with<T, F>(&self, key: &str, log: F) -> Result<T, ReqError>
     where
-        F: FnOnce() -> Result<(), ReqError>,
+        F: FnOnce() -> Result<T, ReqError>,
     {
         let mut map = self.shard_for(key).write();
         let Some(tenant) = map.get(key).cloned() else {
             return Err(ReqError::InvalidParameter(format!("no such key `{key}`")));
         };
+        let out;
         {
             let _op = tenant.op_lock.lock();
-            log()?;
+            out = log()?;
             tenant.dropped.store(true, Ordering::SeqCst);
         }
         map.remove(key);
-        Ok(())
+        Ok(out)
     }
 
     /// Number of tenants.
@@ -228,7 +232,8 @@ mod tests {
     #[test]
     fn failed_log_aborts_creation() {
         let r = Registry::new(4);
-        let err = r.create_with("a", cfg(), || Err(ReqError::Io("disk full".into())));
+        let err: Result<(), _> =
+            r.create_with("a", cfg(), || Err(ReqError::Io("disk full".into())));
         assert!(matches!(err, Err(ReqError::Io(_))));
         assert!(r.get("a").is_none(), "failed WAL append must not insert");
     }

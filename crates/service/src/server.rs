@@ -225,18 +225,18 @@ fn handle_connection(stream: TcpStream, service: &QuantileService) -> std::io::R
 pub fn execute(service: &QuantileService, req: Request) -> Response {
     let result = (|| -> Result<Response, ReqError> {
         Ok(match req {
-            Request::Create { key, config } => {
-                service.create(&key, config)?;
+            Request::Create { key, config, token } => {
+                service.create_with_token(&key, config, token)?;
                 Response::Created
             }
             Request::Add { key, value } => {
                 service.add(&key, value)?;
                 Response::Added
             }
-            Request::AddBatch { key, values } => {
+            Request::AddBatch { key, values, token } => {
                 let values: Vec<req_core::OrdF64> =
                     values.into_iter().map(req_core::OrdF64).collect();
-                Response::AddedBatch(service.add_batch(&key, &values)?)
+                Response::AddedBatch(service.add_batch_with_token(&key, &values, token)?)
             }
             Request::Rank { key, value } => Response::Rank(service.rank(&key, value)?),
             Request::Quantile { key, q } => Response::Quantile(service.quantile(&key, q)?),
@@ -244,8 +244,8 @@ pub fn execute(service: &QuantileService, req: Request) -> Response {
             Request::Stats { key } => Response::Stats(service.stats(&key)?),
             Request::List => Response::List(service.list()),
             Request::Snapshot => Response::Snapshot(service.snapshot_now()?),
-            Request::Drop { key } => {
-                service.drop_key(&key)?;
+            Request::Drop { key, token } => {
+                service.drop_key_with_token(&key, token)?;
                 Response::Dropped
             }
             Request::Ping => Response::Pong,

@@ -39,16 +39,20 @@
 use parking_lot::{Mutex, RwLock};
 use req_core::{ConcurrentReqSketch, OrdF64, ReqError};
 use sketch_traits::SpaceUsage;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::str::FromStr;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Duration;
 
 use crate::config::{validate_key, Accuracy, ServiceConfig, TenantConfig};
+use crate::faults::{faulted_op, FaultSite};
+use crate::protocol::IdemToken;
 use crate::registry::{Registry, Tenant};
 use crate::snapshot::{
-    latest_valid, snapshot_gens, snapshot_path, wal_gens, wal_path, write_snapshot, TenantSnapshot,
+    latest_valid, snapshot_gens, snapshot_path, wal_gens, wal_path, write_snapshot, AppliedOutcome,
+    DedupClientSnapshot, TenantSnapshot,
 };
 use crate::wal::{encode_add_batch, encode_create, encode_drop, read_wal, WalRecord, WalWriter};
 
@@ -160,13 +164,22 @@ pub struct TenantStats {
     pub adaptive: bool,
     /// Round-robin rotation (ops routed so far).
     pub rotation: u64,
+    /// Service-wide: automatic snapshot attempts that failed.
+    pub snapshot_failures: u64,
+    /// Service-wide: times the WAL writer poisoned (entered read-only).
+    pub wal_poisoned: u64,
+    /// Service-wide: mutations shed under the in-flight limit.
+    pub shed: u64,
+    /// Service-wide: currently serving in read-only degraded mode?
+    pub read_only: bool,
 }
 
 impl fmt::Display for TenantStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "n={} retained={} bytes={} k={} shards={} orient={} schedule={} rotation={}",
+            "n={} retained={} bytes={} k={} shards={} orient={} schedule={} rotation={} \
+             snapshot_failures={} wal_poisoned={} shed={} mode={}",
             self.n,
             self.retained,
             self.bytes,
@@ -179,6 +192,10 @@ impl fmt::Display for TenantStats {
                 "standard"
             },
             self.rotation,
+            self.snapshot_failures,
+            self.wal_poisoned,
+            self.shed,
+            if self.read_only { "ro" } else { "rw" },
         )
     }
 }
@@ -196,6 +213,10 @@ impl FromStr for TenantStats {
             hra: true,
             adaptive: true,
             rotation: 0,
+            snapshot_failures: 0,
+            wal_poisoned: 0,
+            shed: 0,
+            read_only: false,
         };
         let bad = |what: &str| ReqError::CorruptBytes(format!("bad STATS field `{what}`"));
         for pair in s.split_whitespace() {
@@ -221,6 +242,18 @@ impl FromStr for TenantStats {
                     }
                 }
                 "rotation" => stats.rotation = value.parse().map_err(|_| bad(pair))?,
+                "snapshot_failures" => {
+                    stats.snapshot_failures = value.parse().map_err(|_| bad(pair))?
+                }
+                "wal_poisoned" => stats.wal_poisoned = value.parse().map_err(|_| bad(pair))?,
+                "shed" => stats.shed = value.parse().map_err(|_| bad(pair))?,
+                "mode" => {
+                    stats.read_only = match value {
+                        "ro" => true,
+                        "rw" => false,
+                        _ => return Err(bad(pair)),
+                    }
+                }
                 _ => return Err(bad(pair)),
             }
         }
@@ -240,6 +273,138 @@ struct SyncState {
     /// An fsync leader is in flight; later appenders wait instead of
     /// issuing their own fsync.
     leader: bool,
+}
+
+/// What [`QuantileService::append_wal`] achieved. `Logged` means the
+/// record is durable per the config. `LoggedUnsynced` means the frame is
+/// *fully in the WAL file* but the fsync failed — its durability across a
+/// power cut is unknown, yet within this process (and after any crash
+/// that preserves the written bytes) recovery replays it. The mutation
+/// therefore **must still apply** and record its idempotency outcome
+/// before surfacing the error, or a client retry would double-ingest.
+#[derive(Debug)]
+enum LogOutcome {
+    Logged,
+    LoggedUnsynced(ReqError),
+}
+
+/// How a token fared against its client's dedup window.
+#[derive(Debug)]
+enum DedupCheck {
+    /// Never seen: apply it, then record.
+    Fresh,
+    /// Already applied: answer with the recorded outcome, do nothing.
+    Duplicate(AppliedOutcome),
+    /// Below the window: it may or may not have been applied long ago —
+    /// refusing is the only answer that never double-applies.
+    Stale,
+}
+
+/// One client's sliding idempotency window: the highest sequence seen and
+/// the outcomes of every applied sequence within `window` of it.
+#[derive(Debug, Default)]
+struct ClientWindow {
+    hi: u64,
+    applied: BTreeMap<u64, AppliedOutcome>,
+}
+
+impl ClientWindow {
+    fn check(&self, seq: u64, window: u64) -> DedupCheck {
+        if let Some(outcome) = self.applied.get(&seq) {
+            return DedupCheck::Duplicate(*outcome);
+        }
+        if self.hi >= window && seq <= self.hi - window {
+            return DedupCheck::Stale;
+        }
+        DedupCheck::Fresh
+    }
+
+    fn record(&mut self, seq: u64, outcome: AppliedOutcome, window: u64) {
+        self.applied.insert(seq, outcome);
+        self.hi = self.hi.max(seq);
+        // Evict sequences that fell below the window.
+        while let Some((&lo, _)) = self.applied.first_key_value() {
+            if self.hi >= window && lo <= self.hi - window {
+                self.applied.remove(&lo);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// All clients' windows. The outer map lock is held only for the probe;
+/// each window's own mutex is then held across the client's whole
+/// `[check → append → apply → record]` so two racing retries of the same
+/// `(client_id, seq)` serialize instead of both passing the check.
+#[derive(Debug)]
+struct DedupTable {
+    window: u64,
+    clients: Mutex<HashMap<u64, Arc<Mutex<ClientWindow>>>>,
+}
+
+impl DedupTable {
+    fn new(window: u64) -> Self {
+        DedupTable {
+            window: window.max(1),
+            clients: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn window_for(&self, client_id: u64) -> Arc<Mutex<ClientWindow>> {
+        Arc::clone(self.clients.lock().entry(client_id).or_default())
+    }
+
+    /// Replay/recovery path: record without checking (the WAL is truth).
+    fn record_replayed(&self, token: IdemToken, outcome: AppliedOutcome) {
+        let win = self.window_for(token.client_id);
+        let mut win = win.lock();
+        win.record(token.seq, outcome, self.window);
+    }
+
+    /// Deterministic (client-id-sorted) dump for the snapshot's dedup
+    /// frame. Called under the exclusive service gate — no window moves.
+    fn to_snapshot(&self) -> Vec<DedupClientSnapshot> {
+        let mut out: Vec<DedupClientSnapshot> = self
+            .clients
+            .lock()
+            .iter()
+            .map(|(&client_id, win)| {
+                let win = win.lock();
+                DedupClientSnapshot {
+                    client_id,
+                    entries: win.applied.iter().map(|(&s, &o)| (s, o)).collect(),
+                }
+            })
+            .filter(|c| !c.entries.is_empty())
+            .collect();
+        out.sort_by_key(|c| c.client_id);
+        out
+    }
+
+    fn restore(&self, snapshot: &[DedupClientSnapshot]) {
+        for client in snapshot {
+            let win = self.window_for(client.client_id);
+            let mut win = win.lock();
+            for &(seq, outcome) in &client.entries {
+                win.record(seq, outcome, self.window);
+            }
+        }
+    }
+}
+
+/// Releases one in-flight-mutation slot on drop (no-op when shedding is
+/// disabled).
+struct InflightPermit<'a> {
+    counter: Option<&'a AtomicU64>,
+}
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        if let Some(c) = self.counter {
+            c.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
 }
 
 /// The durable, multi-tenant quantile service (in-process core; the TCP
@@ -268,6 +433,19 @@ pub struct QuantileService {
     records_in_gen: AtomicU64,
     snapshots_written: AtomicU64,
     snapshot_failures: AtomicU64,
+    /// Per-client idempotency windows (persisted via snapshot + WAL
+    /// tokens, so retries dedup across crash recovery).
+    dedup: DedupTable,
+    /// Serving in read-only degraded mode (WAL writer poisoned)?
+    /// Mutations get `Unavailable`; queries keep answering. Cleared when
+    /// a snapshot rotation installs a fresh WAL writer.
+    read_only: AtomicBool,
+    /// Times the WAL writer poisoned (read-only entries, cumulative).
+    wal_poisoned: AtomicU64,
+    /// In-flight mutations right now (only tracked when shedding is on).
+    inflight: AtomicU64,
+    /// Mutations shed with `Busy` under `max_inflight_mutations`.
+    shed: AtomicU64,
     recovery: RecoveryReport,
     /// Exclusive hold on the data dir; released (file removed) on drop.
     _dir_lock: DirLock,
@@ -294,6 +472,7 @@ impl QuantileService {
             }
         }
         let registry = Registry::new(cfg.registry_shards);
+        let dedup = DedupTable::new(cfg.dedup_window);
         let mut report = RecoveryReport::default();
 
         let (snap, skipped) = latest_valid(&cfg.data_dir)?;
@@ -306,6 +485,7 @@ impl QuantileService {
             None => 0,
         };
         if let Some(data) = snap {
+            dedup.restore(&data.dedup);
             for t in data.tenants {
                 let sketch = ConcurrentReqSketch::from_checkpoint(&t.shards, t.rotation)?;
                 registry.create_from_snapshot(Tenant::from_parts(t.key, t.config, sketch))?;
@@ -345,19 +525,21 @@ impl QuantileService {
             live_valid_len = replay.valid_len;
             live_records = replay.records.len() as u64;
             for rec in replay.records {
-                Self::apply(&registry, rec)?;
+                Self::apply(&registry, &dedup, rec)?;
             }
         }
 
         let wal_file = wal_path(&cfg.data_dir, live_gen);
-        let writer = if gens.is_empty() {
+        let mut writer = if gens.is_empty() {
             WalWriter::create(&wal_file)?
         } else {
             WalWriter::open_truncated(&wal_file, live_valid_len)?
         };
+        writer.set_faults(cfg.faults.clone());
 
         let service = QuantileService {
             registry,
+            dedup,
             gate: RwLock::new(()),
             wal: Mutex::new(writer),
             append_seq: AtomicU64::new(0),
@@ -368,6 +550,10 @@ impl QuantileService {
             records_in_gen: AtomicU64::new(live_records),
             snapshots_written: AtomicU64::new(0),
             snapshot_failures: AtomicU64::new(0),
+            read_only: AtomicBool::new(false),
+            wal_poisoned: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             recovery: report,
             cfg,
             _dir_lock: dir_lock,
@@ -381,20 +567,29 @@ impl QuantileService {
     }
 
     /// Replay-side application of one WAL record (no logging, no gate).
-    fn apply(registry: &Registry, rec: WalRecord) -> Result<(), ReqError> {
-        match rec {
-            WalRecord::Create { key, config } => {
+    /// Tokens found on replayed records are re-recorded into the dedup
+    /// windows, so a client retrying across the crash still dedups.
+    fn apply(registry: &Registry, dedup: &DedupTable, rec: WalRecord) -> Result<(), ReqError> {
+        let token = rec.token();
+        let outcome = match rec {
+            WalRecord::Create { key, config, .. } => {
                 registry.create_with(&key, config, || Ok(()))?;
+                AppliedOutcome::Created
             }
-            WalRecord::AddBatch { key, values } => {
+            WalRecord::AddBatch { key, values, .. } => {
                 let tenant = registry.get(&key).ok_or_else(|| {
                     ReqError::CorruptBytes(format!("WAL ingests into unknown key `{key}`"))
                 })?;
                 tenant.sketch.update_batch(&values);
+                AppliedOutcome::Added(values.len() as u64)
             }
-            WalRecord::Drop { key } => {
+            WalRecord::Drop { key, .. } => {
                 registry.drop_with(&key, || Ok(()))?;
+                AppliedOutcome::Dropped
             }
+        };
+        if let Some(token) = token {
+            dedup.record_replayed(token, outcome);
         }
         Ok(())
     }
@@ -429,23 +624,47 @@ impl QuantileService {
     /// the service gate (shared) for the whole `[append → apply]` window,
     /// which is what lets group commit fsync through a cloned fd without
     /// racing a WAL rotation — rotation takes the gate exclusively.
-    fn append_wal(&self, frame: &[u8]) -> Result<(), ReqError> {
+    ///
+    /// `Err` means the frame is **not** in the file (a failed write rolls
+    /// the file back; a failed rollback poisons the writer and trips
+    /// read-only mode, and the torn bytes are exactly what recovery's
+    /// torn-tail truncation discards). [`LogOutcome::LoggedUnsynced`]
+    /// means the frame **is** in the file but its fsync failed — the
+    /// caller must apply-and-record before surfacing the error.
+    fn append_wal(&self, frame: &[u8]) -> Result<LogOutcome, ReqError> {
         let seq;
         {
             let mut wal = self.wal.lock();
-            wal.append(frame)?;
+            if let Err(e) = wal.append(frame) {
+                if wal.poisoned() {
+                    self.enter_read_only();
+                }
+                return Err(e);
+            }
             // Under the wal lock: sequence order equals file order.
             seq = self.append_seq.fetch_add(1, Ordering::Relaxed) + 1;
             if !self.cfg.fsync {
-                return Ok(());
+                return Ok(LogOutcome::Logged);
             }
             if !self.cfg.group_commit {
-                wal.sync()?;
                 self.wal_syncs.fetch_add(1, Ordering::Relaxed);
-                return Ok(());
+                return Ok(match wal.sync() {
+                    Ok(()) => LogOutcome::Logged,
+                    Err(e) => LogOutcome::LoggedUnsynced(e),
+                });
             }
         }
-        self.group_commit(seq)
+        Ok(match self.group_commit(seq) {
+            Ok(()) => LogOutcome::Logged,
+            Err(e) => LogOutcome::LoggedUnsynced(e),
+        })
+    }
+
+    /// Trip read-only degraded mode (idempotent; counts first entries).
+    fn enter_read_only(&self) {
+        if !self.read_only.swap(true, Ordering::SeqCst) {
+            self.wal_poisoned.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Wait until a successful fsync covers append sequence `seq`,
@@ -491,7 +710,13 @@ impl QuantileService {
                 let wal = self.wal.lock();
                 (self.append_seq.load(Ordering::Relaxed), wal.sync_handle())
             };
-            let result = handle.and_then(|file| file.sync_data().map_err(ReqError::from));
+            // The cloned-fd leader sync bypasses `WalWriter::sync`, so it
+            // carries its own injection point for the WalSync fault site.
+            let result = handle.and_then(|file| {
+                faulted_op(self.cfg.faults.as_deref(), FaultSite::WalSync)
+                    .map_err(ReqError::from)?;
+                file.sync_data().map_err(ReqError::from)
+            });
             self.wal_syncs.fetch_add(1, Ordering::Relaxed);
             state = self.sync_state.lock().unwrap_or_else(|p| p.into_inner());
             state.leader = false;
@@ -519,19 +744,105 @@ impl QuantileService {
         self.wal_syncs.load(Ordering::Relaxed)
     }
 
+    /// Admission control for mutations: refuse in read-only mode, shed
+    /// when the in-flight limit is hit; otherwise hand out a permit that
+    /// releases its slot on drop.
+    fn mutation_permit(&self) -> Result<InflightPermit<'_>, ReqError> {
+        if self.read_only.load(Ordering::SeqCst) {
+            return Err(ReqError::Unavailable(
+                "service is read-only (WAL writer poisoned); queries still answer — \
+                 mutations resume after the next successful snapshot rotation"
+                    .into(),
+            ));
+        }
+        let max = self.cfg.max_inflight_mutations;
+        if max == 0 {
+            return Ok(InflightPermit { counter: None });
+        }
+        let now = self.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        if now > max {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ReqError::Busy(format!(
+                "load shed: {now} in-flight mutations exceed the limit of {max}; retry \
+                 after backoff"
+            )));
+        }
+        Ok(InflightPermit {
+            counter: Some(&self.inflight),
+        })
+    }
+
+    /// Resolve `token` against its client's **already locked** window.
+    /// `Ok(None)` means fresh (proceed, then `record` under the same
+    /// guard); `Ok(Some(outcome))` means duplicate (answer without
+    /// re-applying). The caller holds the guard across the whole
+    /// `[check → append → apply → record]`, so a racing retry of the
+    /// same seq serializes behind it and then observes the duplicate.
+    fn dedup_check(
+        &self,
+        win: Option<&ClientWindow>,
+        token: Option<IdemToken>,
+    ) -> Result<Option<AppliedOutcome>, ReqError> {
+        let (Some(win), Some(token)) = (win, token) else {
+            return Ok(None);
+        };
+        match win.check(token.seq, self.dedup.window) {
+            DedupCheck::Fresh => Ok(None),
+            DedupCheck::Duplicate(outcome) => Ok(Some(outcome)),
+            DedupCheck::Stale => Err(ReqError::InvalidParameter(format!(
+                "idempotency token {token} fell out of the {}-op dedup window; \
+                 its outcome is unknowable",
+                self.dedup.window
+            ))),
+        }
+    }
+
     /// Create tenant `key`. Fails if it exists; the configuration is
     /// validated, logged, and only then applied.
     pub fn create(&self, key: &str, config: TenantConfig) -> Result<(), ReqError> {
+        self.create_with_token(key, config, None).map(|_| ())
+    }
+
+    /// [`Self::create`] carrying an idempotency token: a retry of an
+    /// already-applied `(client_id, seq)` returns the recorded outcome
+    /// instead of `already exists`.
+    pub fn create_with_token(
+        &self,
+        key: &str,
+        config: TenantConfig,
+        token: Option<IdemToken>,
+    ) -> Result<AppliedOutcome, ReqError> {
         validate_key(key)?;
-        {
+        let _permit = self.mutation_permit()?;
+        let log = {
             let _gate = self.gate.read();
-            let frame = encode_create(key, &config);
-            self.registry
+            let win = token.map(|t| self.dedup.window_for(t.client_id));
+            let mut win = win.as_ref().map(|w| w.lock());
+            if let Some(outcome) = self.dedup_check(win.as_deref(), token)? {
+                return match outcome {
+                    AppliedOutcome::Created => Ok(outcome),
+                    other => Err(ReqError::InvalidParameter(format!(
+                        "idempotency token {} was used for a different operation ({other:?})",
+                        token.expect("dup implies token")
+                    ))),
+                };
+            }
+            let frame = encode_create(key, &config, &token);
+            let log = self
+                .registry
                 .create_with(key, config, || self.append_wal(&frame))?;
             self.records_in_gen.fetch_add(1, Ordering::Relaxed);
-        }
+            if let (Some(win), Some(token)) = (win.as_deref_mut(), token) {
+                win.record(token.seq, AppliedOutcome::Created, self.dedup.window);
+            }
+            log
+        };
         self.maybe_snapshot();
-        Ok(())
+        match log {
+            LogOutcome::Logged => Ok(AppliedOutcome::Created),
+            LogOutcome::LoggedUnsynced(e) => Err(e),
+        }
     }
 
     /// Ingest a batch into `key`, returning how many values landed.
@@ -539,6 +850,18 @@ impl QuantileService {
     /// one WAL frame are rejected (chunk them) rather than encoded into a
     /// frame the recovery reader would refuse.
     pub fn add_batch(&self, key: &str, values: &[OrdF64]) -> Result<u64, ReqError> {
+        self.add_batch_with_token(key, values, None)
+    }
+
+    /// [`Self::add_batch`] carrying an idempotency token: a retry of an
+    /// already-applied `(client_id, seq)` answers with the original count
+    /// without ingesting the batch a second time.
+    pub fn add_batch_with_token(
+        &self,
+        key: &str,
+        values: &[OrdF64],
+        token: Option<IdemToken>,
+    ) -> Result<u64, ReqError> {
         if values.is_empty() {
             return Ok(0);
         }
@@ -549,8 +872,20 @@ impl QuantileService {
                 values.len()
             )));
         }
-        {
+        let _permit = self.mutation_permit()?;
+        let log = {
             let _gate = self.gate.read();
+            let win = token.map(|t| self.dedup.window_for(t.client_id));
+            let mut win = win.as_ref().map(|w| w.lock());
+            if let Some(outcome) = self.dedup_check(win.as_deref(), token)? {
+                return match outcome {
+                    AppliedOutcome::Added(n) => Ok(n),
+                    other => Err(ReqError::InvalidParameter(format!(
+                        "idempotency token {} was used for a different operation ({other:?})",
+                        token.expect("dup implies token")
+                    ))),
+                };
+            }
             let tenant = self.tenant(key)?;
             let _op = tenant.op_lock.lock();
             // Re-check under the op lock: a concurrent DROP may have
@@ -560,12 +895,23 @@ impl QuantileService {
             if tenant.dropped.load(std::sync::atomic::Ordering::SeqCst) {
                 return Err(ReqError::InvalidParameter(format!("no such key `{key}`")));
             }
-            self.append_wal(&encode_add_batch(key, values))?;
+            let log = self.append_wal(&encode_add_batch(key, values, &token))?;
             tenant.sketch.update_batch(values);
             self.records_in_gen.fetch_add(1, Ordering::Relaxed);
-        }
+            if let (Some(win), Some(token)) = (win.as_deref_mut(), token) {
+                win.record(
+                    token.seq,
+                    AppliedOutcome::Added(values.len() as u64),
+                    self.dedup.window,
+                );
+            }
+            log
+        };
         self.maybe_snapshot();
-        Ok(values.len() as u64)
+        match log {
+            LogOutcome::Logged => Ok(values.len() as u64),
+            LogOutcome::LoggedUnsynced(e) => Err(e),
+        }
     }
 
     /// Ingest one value (logged as a one-element batch; the sketch's batch
@@ -576,14 +922,44 @@ impl QuantileService {
 
     /// Drop tenant `key` and its data.
     pub fn drop_key(&self, key: &str) -> Result<(), ReqError> {
-        {
+        self.drop_key_with_token(key, None).map(|_| ())
+    }
+
+    /// [`Self::drop_key`] carrying an idempotency token: a retry of an
+    /// already-applied `(client_id, seq)` returns the recorded outcome
+    /// instead of `no such key`.
+    pub fn drop_key_with_token(
+        &self,
+        key: &str,
+        token: Option<IdemToken>,
+    ) -> Result<AppliedOutcome, ReqError> {
+        let _permit = self.mutation_permit()?;
+        let log = {
             let _gate = self.gate.read();
-            let frame = encode_drop(key);
-            self.registry.drop_with(key, || self.append_wal(&frame))?;
+            let win = token.map(|t| self.dedup.window_for(t.client_id));
+            let mut win = win.as_ref().map(|w| w.lock());
+            if let Some(outcome) = self.dedup_check(win.as_deref(), token)? {
+                return match outcome {
+                    AppliedOutcome::Dropped => Ok(outcome),
+                    other => Err(ReqError::InvalidParameter(format!(
+                        "idempotency token {} was used for a different operation ({other:?})",
+                        token.expect("dup implies token")
+                    ))),
+                };
+            }
+            let frame = encode_drop(key, &token);
+            let log = self.registry.drop_with(key, || self.append_wal(&frame))?;
             self.records_in_gen.fetch_add(1, Ordering::Relaxed);
-        }
+            if let (Some(win), Some(token)) = (win.as_deref_mut(), token) {
+                win.record(token.seq, AppliedOutcome::Dropped, self.dedup.window);
+            }
+            log
+        };
         self.maybe_snapshot();
-        Ok(())
+        match log {
+            LogOutcome::Logged => Ok(AppliedOutcome::Dropped),
+            LogOutcome::LoggedUnsynced(e) => Err(e),
+        }
     }
 
     /// Estimated rank `|{x ≤ v}|` for tenant `key`.
@@ -625,7 +1001,26 @@ impl QuantileService {
             hra: tenant.config.hra,
             adaptive: tenant.config.schedule == req_core::CompactionSchedule::Adaptive,
             rotation: tenant.sketch.rotation(),
+            snapshot_failures: self.snapshot_failures(),
+            wal_poisoned: self.wal_poisoned.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            read_only: self.read_only.load(Ordering::SeqCst),
         })
+    }
+
+    /// Serving in read-only degraded mode right now?
+    pub fn read_only(&self) -> bool {
+        self.read_only.load(Ordering::SeqCst)
+    }
+
+    /// Times the WAL writer poisoned (read-only entries, cumulative).
+    pub fn wal_poisoned(&self) -> u64 {
+        self.wal_poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Mutations shed with `Busy` under the in-flight limit.
+    pub fn shed_requests(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// All tenant keys, sorted.
@@ -665,8 +1060,11 @@ impl QuantileService {
             let _gate = self.gate.write(); // quiesce writers
                                            // Another racer may have snapshotted while we waited; if the
                                            // live generation has no records, there is nothing to fold in.
+                                           // (Unless we are read-only: then the rotation itself is the
+                                           // point — it installs a fresh, unpoisoned WAL writer.)
             if self.records_in_gen.load(Ordering::Relaxed) == 0
                 && self.snapshots_written.load(Ordering::Relaxed) > 0
+                && !self.read_only.load(Ordering::SeqCst)
             {
                 return Ok(self.gen.load(Ordering::Relaxed));
             }
@@ -689,11 +1087,23 @@ impl QuantileService {
                     })
                 })
                 .collect::<Result<_, _>>()?;
-            write_snapshot(&self.cfg.data_dir, new_gen, &tenants, self.cfg.fsync)?;
-            *self.wal.lock() = WalWriter::create(&wal_path(&self.cfg.data_dir, new_gen))?;
+            write_snapshot(
+                &self.cfg.data_dir,
+                new_gen,
+                &tenants,
+                &self.dedup.to_snapshot(),
+                self.cfg.fsync,
+                self.cfg.faults.as_deref(),
+            )?;
+            let mut writer = WalWriter::create(&wal_path(&self.cfg.data_dir, new_gen))?;
+            writer.set_faults(self.cfg.faults.clone());
+            *self.wal.lock() = writer;
             self.gen.store(new_gen, Ordering::Relaxed);
             self.records_in_gen.store(0, Ordering::Relaxed);
             self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+            // The fresh writer is unpoisoned and the snapshot holds every
+            // applied record — safe to exit read-only degraded mode.
+            self.read_only.store(false, Ordering::SeqCst);
         }
         // Generations before the *previous* one are now doubly shadowed;
         // delete them best-effort. The immediately-previous snapshot and

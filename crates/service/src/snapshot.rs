@@ -7,6 +7,7 @@
 //! ```text
 //! "REQSNAP1" | frame(header: gen u64 | tenant_count u32)
 //!            | frame(tenant 0) | frame(tenant 1) | ...
+//!            | [frame(0xDD | dedup table)]
 //! ```
 //!
 //! Each tenant frame carries `key | config | rotation u64 | shard_count
@@ -14,6 +15,13 @@
 //! a half-written or bit-rotted snapshot *detectably* invalid: the loader
 //! verifies every checksum and [`latest_valid`] falls back to the newest
 //! snapshot that loads in full.
+//!
+//! The optional trailing *dedup frame* (first payload byte `0xDD`)
+//! carries the per-client idempotency window — every applied `(client,
+//! seq)` pair with its recorded reply — so exactly-once retry semantics
+//! survive the WAL rotation a snapshot performs. A snapshot with an
+//! empty window omits the frame entirely, which keeps such files
+//! byte-identical to the pre-dedup (v3) layout; the loader accepts both.
 //!
 //! Writes go through a `*.tmp` + atomic-rename dance, so a crash mid-write
 //! never shadows the previous good snapshot.
@@ -27,9 +35,35 @@ use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 use crate::config::TenantConfig;
+use crate::faults::{faulted_op, faulted_write, FaultPlane, FaultSite};
 
 /// Snapshot file magic.
 pub const SNAP_MAGIC: &[u8; 8] = b"REQSNAP1";
+
+/// First payload byte of the optional dedup frame.
+const DEDUP_FRAME_TAG: u8 = 0xDD;
+
+/// The reply recorded for one applied idempotent mutation — what a
+/// duplicate retry of the same `(client, seq)` gets back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppliedOutcome {
+    /// A `CREATE` landed.
+    Created,
+    /// An `ADDB` landed; how many values it ingested.
+    Added(u64),
+    /// A `DROP` landed.
+    Dropped,
+}
+
+/// One client's idempotency window, as persisted in a snapshot: every
+/// remembered `(seq, outcome)` pair, ascending by seq.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DedupClientSnapshot {
+    /// The client identity.
+    pub client_id: u64,
+    /// Remembered applied sequence numbers with their recorded replies.
+    pub entries: Vec<(u64, AppliedOutcome)>,
+}
 
 /// One tenant frozen at the snapshot's rotation point.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +85,9 @@ pub struct SnapshotData {
     pub gen: u64,
     /// Tenants in key order.
     pub tenants: Vec<TenantSnapshot>,
+    /// Per-client idempotency windows at checkpoint time (empty for
+    /// pre-dedup snapshot files).
+    pub dedup: Vec<DedupClientSnapshot>,
 }
 
 /// `snap-<gen>.snap` path under `dir`.
@@ -146,14 +183,81 @@ fn decode_tenant(payload: &[u8]) -> Result<TenantSnapshot, ReqError> {
     })
 }
 
+fn encode_dedup(dedup: &[DedupClientSnapshot]) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u8(DEDUP_FRAME_TAG);
+    out.put_u32_le(dedup.len() as u32);
+    for client in dedup {
+        out.put_u64_le(client.client_id);
+        out.put_u32_le(client.entries.len() as u32);
+        for (seq, outcome) in &client.entries {
+            out.put_u64_le(*seq);
+            match outcome {
+                AppliedOutcome::Created => {
+                    out.put_u8(1);
+                    out.put_u64_le(0);
+                }
+                AppliedOutcome::Added(n) => {
+                    out.put_u8(2);
+                    out.put_u64_le(*n);
+                }
+                AppliedOutcome::Dropped => {
+                    out.put_u8(3);
+                    out.put_u64_le(0);
+                }
+            }
+        }
+    }
+    out.freeze()
+}
+
+fn decode_dedup(mut input: Bytes) -> Result<Vec<DedupClientSnapshot>, ReqError> {
+    let corrupt = |what: &str| ReqError::CorruptBytes(format!("snapshot dedup table: {what}"));
+    if u8::unpack(&mut input)? != DEDUP_FRAME_TAG {
+        return Err(corrupt("bad frame tag"));
+    }
+    let client_count = u32::unpack(&mut input)? as usize;
+    let mut dedup = Vec::with_capacity(client_count.min(1 << 16));
+    for _ in 0..client_count {
+        let client_id = u64::unpack(&mut input)?;
+        let entry_count = u32::unpack(&mut input)? as usize;
+        // 17 bytes per entry must already be present.
+        if input.remaining() < entry_count.saturating_mul(17) {
+            return Err(corrupt("truncated client entries"));
+        }
+        let mut entries = Vec::with_capacity(entry_count);
+        for _ in 0..entry_count {
+            let seq = u64::unpack(&mut input)?;
+            let tag = u8::unpack(&mut input)?;
+            let n = u64::unpack(&mut input)?;
+            let outcome = match tag {
+                1 => AppliedOutcome::Created,
+                2 => AppliedOutcome::Added(n),
+                3 => AppliedOutcome::Dropped,
+                t => return Err(corrupt(&format!("unknown outcome tag {t}"))),
+            };
+            entries.push((seq, outcome));
+        }
+        dedup.push(DedupClientSnapshot { client_id, entries });
+    }
+    if input.has_remaining() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(dedup)
+}
+
 /// Write `snap-<gen>.snap` atomically (tmp + rename). With `fsync`, the
 /// file is synced before the rename so the name never points at data the
-/// OS hasn't persisted.
+/// OS hasn't persisted. `dedup` is the idempotency window to persist
+/// (empty slices write the pre-dedup v3 layout); `faults` optionally
+/// injects failures at the write/sync/rename sites.
 pub fn write_snapshot(
     dir: &Path,
     gen: u64,
     tenants: &[TenantSnapshot],
+    dedup: &[DedupClientSnapshot],
     fsync: bool,
+    faults: Option<&FaultPlane>,
 ) -> Result<PathBuf, ReqError> {
     let mut out = BytesMut::new();
     out.put_slice(SNAP_MAGIC);
@@ -164,17 +268,22 @@ pub fn write_snapshot(
     for t in tenants {
         write_frame(&mut out, &encode_tenant(t));
     }
+    if !dedup.is_empty() {
+        write_frame(&mut out, &encode_dedup(dedup));
+    }
 
     let final_path = snapshot_path(dir, gen);
     let tmp_path = final_path.with_extension("snap.tmp");
     {
         let mut f = File::create(&tmp_path)?;
-        f.write_all(&out)?;
+        faulted_write(faults, FaultSite::SnapWrite, &mut f, &out)?;
         f.flush()?;
         if fsync {
+            faulted_op(faults, FaultSite::SnapSync)?;
             f.sync_data()?;
         }
     }
+    faulted_op(faults, FaultSite::SnapRename)?;
     std::fs::rename(&tmp_path, &final_path)?;
     Ok(final_path)
 }
@@ -199,13 +308,24 @@ pub fn load_snapshot(path: &Path) -> Result<SnapshotData, ReqError> {
         let payload = read_frame(&mut input)?;
         tenants.push(decode_tenant(&payload)?);
     }
+    // Anything after the tenants must be exactly one dedup frame;
+    // pre-dedup (v3) files simply end here.
+    let dedup = if input.has_remaining() {
+        decode_dedup(read_frame(&mut input)?)?
+    } else {
+        Vec::new()
+    };
     if input.has_remaining() {
         return Err(ReqError::CorruptBytes(format!(
             "{} trailing bytes after snapshot tenants",
             input.remaining()
         )));
     }
-    Ok(SnapshotData { gen, tenants })
+    Ok(SnapshotData {
+        gen,
+        tenants,
+        dedup,
+    })
 }
 
 /// The newest snapshot that loads in full, if any. Invalid candidates are
@@ -255,7 +375,7 @@ mod tests {
     fn write_load_roundtrip() {
         let dir = TempDir::new("snap").unwrap();
         let tenants = sample_tenants();
-        let path = write_snapshot(dir.path(), 3, &tenants, false).unwrap();
+        let path = write_snapshot(dir.path(), 3, &tenants, &[], false, None).unwrap();
         assert_eq!(path, snapshot_path(dir.path(), 3));
         let data = load_snapshot(&path).unwrap();
         assert_eq!(data.gen, 3);
@@ -272,7 +392,7 @@ mod tests {
     #[test]
     fn truncation_and_bitflips_reject() {
         let dir = TempDir::new("snap").unwrap();
-        let path = write_snapshot(dir.path(), 1, &sample_tenants(), false).unwrap();
+        let path = write_snapshot(dir.path(), 1, &sample_tenants(), &[], false, None).unwrap();
         let good = std::fs::read(&path).unwrap();
         for cut in [0, 4, 8, 12, good.len() / 2, good.len() - 1] {
             std::fs::write(&path, &good[..cut]).unwrap();
@@ -292,8 +412,8 @@ mod tests {
     fn latest_valid_skips_corrupt_generations() {
         let dir = TempDir::new("snap").unwrap();
         let tenants = sample_tenants();
-        write_snapshot(dir.path(), 1, &tenants, false).unwrap();
-        write_snapshot(dir.path(), 2, &tenants[..1], false).unwrap();
+        write_snapshot(dir.path(), 1, &tenants, &[], false, None).unwrap();
+        write_snapshot(dir.path(), 2, &tenants[..1], &[], false, None).unwrap();
         // Corrupt generation 2; generation 1 must win.
         let p2 = snapshot_path(dir.path(), 2);
         let mut raw = std::fs::read(&p2).unwrap();
@@ -313,6 +433,77 @@ mod tests {
         let (data, skipped) = latest_valid(dir.path()).unwrap();
         assert!(data.is_none());
         assert!(skipped.is_empty());
+    }
+
+    #[test]
+    fn dedup_table_roundtrips_and_empty_table_stays_v3() {
+        let dir = TempDir::new("snap").unwrap();
+        let tenants = sample_tenants();
+        let dedup = vec![
+            DedupClientSnapshot {
+                client_id: 42,
+                entries: vec![
+                    (7, AppliedOutcome::Created),
+                    (8, AppliedOutcome::Added(1000)),
+                    (9, AppliedOutcome::Dropped),
+                ],
+            },
+            DedupClientSnapshot {
+                client_id: u64::MAX,
+                entries: vec![(1, AppliedOutcome::Added(1))],
+            },
+        ];
+        let path = write_snapshot(dir.path(), 4, &tenants, &dedup, false, None).unwrap();
+        let data = load_snapshot(&path).unwrap();
+        assert_eq!(data.dedup, dedup);
+        assert_eq!(data.tenants, tenants);
+
+        // Empty window → byte-identical to a pre-dedup snapshot, which
+        // loads with an empty table.
+        let p_new = write_snapshot(dir.path(), 5, &tenants, &[], false, None).unwrap();
+        let data = load_snapshot(&p_new).unwrap();
+        assert!(data.dedup.is_empty());
+
+        // A truncated or bit-flipped dedup frame rejects the whole file.
+        let good = std::fs::read(&path).unwrap();
+        for cut in [good.len() - 1, good.len() - 10] {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            assert!(load_snapshot(&path).is_err(), "cut {cut} accepted");
+        }
+        let mut bad = good.clone();
+        let last = bad.len() - 3;
+        bad[last] ^= 0x10;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(load_snapshot(&path).is_err());
+    }
+
+    #[test]
+    fn injected_faults_fail_writes_without_shadowing_the_previous_snapshot() {
+        use crate::faults::{FaultKind, FaultPlane, FaultSite};
+        let dir = TempDir::new("snap").unwrap();
+        let tenants = sample_tenants();
+        write_snapshot(dir.path(), 1, &tenants, &[], false, None).unwrap();
+
+        for (site, kind) in [
+            (FaultSite::SnapWrite, FaultKind::Torn),
+            (FaultSite::SnapWrite, FaultKind::Error),
+            (FaultSite::SnapSync, FaultKind::Error),
+            (FaultSite::SnapRename, FaultKind::Error),
+        ] {
+            let plane = FaultPlane::new(1).with(site, kind, 1, 1);
+            let err = write_snapshot(dir.path(), 2, &tenants, &[], true, Some(&plane));
+            assert!(err.is_err(), "{site:?} {kind:?} did not fail");
+            // Generation 2 must not exist as a *named* snapshot: the torn
+            // bytes live only in the tmp file, so recovery still finds
+            // generation 1 intact.
+            let (data, skipped) = latest_valid(dir.path()).unwrap();
+            assert_eq!(data.unwrap().gen, 1, "{site:?} {kind:?}");
+            assert!(skipped.is_empty());
+        }
+        // Without the plane the same write goes through.
+        write_snapshot(dir.path(), 2, &tenants, &[], true, None).unwrap();
+        let (data, _) = latest_valid(dir.path()).unwrap();
+        assert_eq!(data.unwrap().gen, 2);
     }
 
     #[test]

@@ -10,6 +10,23 @@
 //! "REQWAL1\n" | frame | frame | frame | ...
 //! ```
 //!
+//! ## Record format v4: idempotency tokens
+//!
+//! Mutations that arrived with an [`IdemToken`] are logged with the
+//! *tokenized* record tags (4–6), whose payload is the v3 payload with
+//! `client_id u64 | seq u64` spliced in right after the tag:
+//!
+//! ```text
+//! v3:  tag(1|2|3) | key | payload…
+//! v4:  tag(4|5|6) | client_id u64 | seq u64 | key | payload…
+//! ```
+//!
+//! Untokenized mutations still use tags 1–3, byte-identical to v3 — a
+//! v4 reader replays v3 logs unchanged, and a v4 log without tokens *is*
+//! a v3 log. Replay re-populates the per-client dedup window from the
+//! tokens, which is what makes client retries exactly-once across
+//! crash+recovery.
+//!
 //! ## Crash anatomy
 //!
 //! A killed process can leave at most one *torn* frame at the tail (the
@@ -32,6 +49,9 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use crate::config::TenantConfig;
+use crate::faults::{faulted_op, faulted_write, FaultPlane, FaultSite};
+use crate::protocol::IdemToken;
+use std::sync::Arc;
 
 /// File magic; the trailing newline makes `head -c8` output readable.
 pub const WAL_MAGIC: &[u8; 8] = b"REQWAL1\n";
@@ -39,6 +59,10 @@ pub const WAL_MAGIC: &[u8; 8] = b"REQWAL1\n";
 const TAG_CREATE: u8 = 1;
 const TAG_ADD_BATCH: u8 = 2;
 const TAG_DROP: u8 = 3;
+// v4: the same three records, carrying an idempotency token.
+const TAG_CREATE_T: u8 = 4;
+const TAG_ADD_BATCH_T: u8 = 5;
+const TAG_DROP_T: u8 = 6;
 
 /// One durable mutation, in arrival order.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +73,8 @@ pub enum WalRecord {
         key: String,
         /// The resolved configuration (including seed).
         config: TenantConfig,
+        /// The idempotency token the mutation arrived with, if any.
+        token: Option<IdemToken>,
     },
     /// A batch of values was ingested into `key` (single `ADD`s are
     /// one-element batches — the sketch's batch path is bit-identical to
@@ -58,11 +84,15 @@ pub enum WalRecord {
         key: String,
         /// Ingested values, in order.
         values: Vec<OrdF64>,
+        /// The idempotency token the mutation arrived with, if any.
+        token: Option<IdemToken>,
     },
     /// The tenant and its data were dropped.
     Drop {
         /// Tenant key.
         key: String,
+        /// The idempotency token the mutation arrived with, if any.
+        token: Option<IdemToken>,
     },
 }
 
@@ -73,10 +103,36 @@ fn pack_key(key: &str, out: &mut BytesMut) {
     out.put_slice(key.as_bytes());
 }
 
+/// Tag selection + token splice shared by all encoders: tokenless records
+/// stay byte-identical to v3; tokened ones use the v4 tag and carry the
+/// token right after it.
+fn put_tag(out: &mut BytesMut, v3_tag: u8, v4_tag: u8, token: &Option<IdemToken>) {
+    match token {
+        None => out.put_u8(v3_tag),
+        Some(t) => {
+            out.put_u8(v4_tag);
+            out.put_u64_le(t.client_id);
+            out.put_u64_le(t.seq);
+        }
+    }
+}
+
+fn get_tagged_token(input: &mut Bytes) -> Result<IdemToken, ReqError> {
+    if input.remaining() < 16 {
+        return Err(ReqError::CorruptBytes(
+            "tokenized WAL record too short for its token".into(),
+        ));
+    }
+    Ok(IdemToken {
+        client_id: input.get_u64_le(),
+        seq: input.get_u64_le(),
+    })
+}
+
 /// Encode a `Create` frame without building a [`WalRecord`].
-pub fn encode_create(key: &str, config: &TenantConfig) -> Bytes {
+pub fn encode_create(key: &str, config: &TenantConfig, token: &Option<IdemToken>) -> Bytes {
     let mut out = BytesMut::new();
-    out.put_u8(TAG_CREATE);
+    put_tag(&mut out, TAG_CREATE, TAG_CREATE_T, token);
     pack_key(key, &mut out);
     config.encode(&mut out);
     frame(&out)
@@ -84,9 +140,9 @@ pub fn encode_create(key: &str, config: &TenantConfig) -> Bytes {
 
 /// Encode an `AddBatch` frame straight off the caller's slice — the hot
 /// path appends without cloning the batch into an owned record.
-pub fn encode_add_batch(key: &str, values: &[OrdF64]) -> Bytes {
-    let mut out = BytesMut::with_capacity(1 + 4 + key.len() + 4 + 8 * values.len());
-    out.put_u8(TAG_ADD_BATCH);
+pub fn encode_add_batch(key: &str, values: &[OrdF64], token: &Option<IdemToken>) -> Bytes {
+    let mut out = BytesMut::with_capacity(1 + 16 + 4 + key.len() + 4 + 8 * values.len());
+    put_tag(&mut out, TAG_ADD_BATCH, TAG_ADD_BATCH_T, token);
     pack_key(key, &mut out);
     out.put_u32_le(values.len() as u32);
     for v in values {
@@ -96,9 +152,9 @@ pub fn encode_add_batch(key: &str, values: &[OrdF64]) -> Bytes {
 }
 
 /// Encode a `Drop` frame.
-pub fn encode_drop(key: &str) -> Bytes {
+pub fn encode_drop(key: &str, token: &Option<IdemToken>) -> Bytes {
     let mut out = BytesMut::new();
-    out.put_u8(TAG_DROP);
+    put_tag(&mut out, TAG_DROP, TAG_DROP_T, token);
     pack_key(key, &mut out);
     frame(&out)
 }
@@ -107,21 +163,37 @@ impl WalRecord {
     /// Encode into one checksummed frame ready for appending.
     pub fn encode(&self) -> Bytes {
         match self {
-            WalRecord::Create { key, config } => encode_create(key, config),
-            WalRecord::AddBatch { key, values } => encode_add_batch(key, values),
-            WalRecord::Drop { key } => encode_drop(key),
+            WalRecord::Create { key, config, token } => encode_create(key, config, token),
+            WalRecord::AddBatch { key, values, token } => encode_add_batch(key, values, token),
+            WalRecord::Drop { key, token } => encode_drop(key, token),
+        }
+    }
+
+    /// The token this record was logged with, if any.
+    pub fn token(&self) -> Option<IdemToken> {
+        match self {
+            WalRecord::Create { token, .. }
+            | WalRecord::AddBatch { token, .. }
+            | WalRecord::Drop { token, .. } => *token,
         }
     }
 
     /// Decode one frame payload (consumed, not re-copied — recovery
-    /// feeds [`read_frame`] output straight through).
+    /// feeds [`read_frame`] output straight through). Accepts both the
+    /// v3 tags (1–3, tokenless) and the v4 tokenized tags (4–6).
     pub fn decode(mut input: Bytes) -> Result<Self, ReqError> {
-        let rec = match u8::unpack(&mut input)? {
-            TAG_CREATE => WalRecord::Create {
+        let tag = u8::unpack(&mut input)?;
+        let token = match tag {
+            TAG_CREATE_T | TAG_ADD_BATCH_T | TAG_DROP_T => Some(get_tagged_token(&mut input)?),
+            _ => None,
+        };
+        let rec = match tag {
+            TAG_CREATE | TAG_CREATE_T => WalRecord::Create {
                 key: String::unpack(&mut input)?,
                 config: TenantConfig::decode(&mut input)?,
+                token,
             },
-            TAG_ADD_BATCH => {
+            TAG_ADD_BATCH | TAG_ADD_BATCH_T => {
                 let key = String::unpack(&mut input)?;
                 let count = u32::unpack(&mut input)? as usize;
                 if count * 8 != input.remaining() {
@@ -134,10 +206,11 @@ impl WalRecord {
                 for _ in 0..count {
                     values.push(OrdF64(f64::from_bits(input.get_u64_le())));
                 }
-                WalRecord::AddBatch { key, values }
+                WalRecord::AddBatch { key, values, token }
             }
-            TAG_DROP => WalRecord::Drop {
+            TAG_DROP | TAG_DROP_T => WalRecord::Drop {
                 key: String::unpack(&mut input)?,
+                token,
             },
             t => {
                 return Err(ReqError::CorruptBytes(format!(
@@ -236,6 +309,9 @@ pub struct WalWriter {
     /// append refuses, so no acknowledged record can ever land *after*
     /// torn bytes (replay stops at the first invalid frame).
     poisoned: bool,
+    /// Optional deterministic fault injection on the append/sync/rollback
+    /// syscalls; `None` in production.
+    faults: Option<Arc<FaultPlane>>,
 }
 
 impl WalWriter {
@@ -250,6 +326,7 @@ impl WalWriter {
             records: 0,
             len: WAL_MAGIC.len() as u64,
             poisoned: false,
+            faults: None,
         })
     }
 
@@ -269,9 +346,17 @@ impl WalWriter {
             records: 0,
             len: valid_len,
             poisoned: false,
+            faults: None,
         };
         writer.file.seek(SeekFrom::End(0))?;
         Ok(writer)
+    }
+
+    /// Install a fault plane on this writer's append/sync/rollback sites.
+    /// (Creation itself is never faulted: a writer that can't even write
+    /// its magic is indistinguishable from a missing disk.)
+    pub fn set_faults(&mut self, faults: Option<Arc<FaultPlane>>) {
+        self.faults = faults;
     }
 
     /// Append one encoded frame and flush it to the OS. A single
@@ -292,10 +377,13 @@ impl WalWriter {
                 self.path.display()
             )));
         }
-        let result = self
-            .file
-            .write_all(encoded)
-            .and_then(|()| self.file.flush());
+        let result = faulted_write(
+            self.faults.as_deref(),
+            FaultSite::WalWrite,
+            &mut self.file,
+            encoded,
+        )
+        .and_then(|()| self.file.flush());
         match result {
             Ok(()) => {
                 self.len += encoded.len() as u64;
@@ -303,9 +391,8 @@ impl WalWriter {
                 Ok(())
             }
             Err(e) => {
-                let rollback = self
-                    .file
-                    .set_len(self.len)
+                let rollback = faulted_op(self.faults.as_deref(), FaultSite::WalRollback)
+                    .and_then(|()| self.file.set_len(self.len))
                     .and_then(|()| self.file.seek(SeekFrom::Start(self.len)).map(|_| ()));
                 if rollback.is_err() {
                     self.poisoned = true;
@@ -317,8 +404,17 @@ impl WalWriter {
 
     /// `fsync` the file.
     pub fn sync(&self) -> Result<(), ReqError> {
+        faulted_op(self.faults.as_deref(), FaultSite::WalSync)?;
         self.file.sync_data()?;
         Ok(())
+    }
+
+    /// Has an unrecoverable append failure poisoned this writer? Once
+    /// true, every append fails until the WAL is rotated (a snapshot
+    /// starts a fresh generation) — the service surfaces this as
+    /// read-only mode.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// A second fd onto the same open file, for syncing *outside* the
@@ -353,20 +449,30 @@ mod tests {
     }
 
     fn sample_records() -> Vec<WalRecord> {
+        let token = Some(IdemToken {
+            client_id: 11,
+            seq: 5,
+        });
         vec![
             WalRecord::Create {
                 key: "a".into(),
                 config: TenantConfig::for_key("a"),
+                token: None,
             },
             WalRecord::AddBatch {
                 key: "a".into(),
                 values: (0..100).map(|i| OrdF64(i as f64 * 0.5)).collect(),
+                token,
             },
             WalRecord::AddBatch {
                 key: "a".into(),
                 values: vec![OrdF64(f64::NAN), OrdF64(-0.0)],
+                token: None,
             },
-            WalRecord::Drop { key: "a".into() },
+            WalRecord::Drop {
+                key: "a".into(),
+                token,
+            },
         ]
     }
 
@@ -381,6 +487,93 @@ mod tests {
             // must round-trip to the same bit patterns.
             assert_eq!(back, rec);
         }
+    }
+
+    #[test]
+    fn tokenless_records_are_byte_identical_to_v3() {
+        // The v4 writer must emit exactly the v3 bytes when no token is
+        // attached: tag 2, then key, then count, then bits — nothing else.
+        let rec = WalRecord::AddBatch {
+            key: "k".into(),
+            values: vec![OrdF64(1.5)],
+            token: None,
+        };
+        let mut framed = rec.encode();
+        let payload = read_frame(&mut framed).unwrap();
+        let mut want = BytesMut::new();
+        want.put_u8(2); // v3 TAG_ADD_BATCH
+        want.put_u32_le(1);
+        want.put_slice(b"k");
+        want.put_u32_le(1);
+        want.put_u64_le(1.5f64.to_bits());
+        assert_eq!(&payload[..], &want[..]);
+        // And a tokenized record is the same payload behind tag 5 + token.
+        let rec_t = WalRecord::AddBatch {
+            key: "k".into(),
+            values: vec![OrdF64(1.5)],
+            token: Some(IdemToken {
+                client_id: 9,
+                seq: 2,
+            }),
+        };
+        let mut framed = rec_t.encode();
+        let payload_t = read_frame(&mut framed).unwrap();
+        assert_eq!(payload_t[0], 5);
+        assert_eq!(&payload_t[17..], &want[1..]);
+    }
+
+    #[test]
+    fn truncated_tokenized_records_reject() {
+        let rec = WalRecord::Drop {
+            key: "k".into(),
+            token: Some(IdemToken {
+                client_id: 1,
+                seq: 2,
+            }),
+        };
+        let mut framed = rec.encode();
+        let payload = read_frame(&mut framed).unwrap();
+        for cut in 0..payload.len() {
+            let prefix = Bytes::copy_from_slice(&payload[..cut]);
+            assert!(WalRecord::decode(prefix).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn injected_torn_append_rolls_back_and_injected_rollback_poisons() {
+        use crate::faults::{FaultKind, FaultPlane, FaultSite};
+
+        // Every append tears; the rollback still succeeds, so the writer
+        // stays healthy and the file holds only whole frames.
+        let path = tmp("chaos.log");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.set_faults(Some(Arc::new(FaultPlane::new(5).with(
+            FaultSite::WalWrite,
+            FaultKind::Torn,
+            1,
+            1,
+        ))));
+        let rec = &sample_records()[1];
+        assert!(w.append(&rec.encode()).is_err());
+        assert!(!w.poisoned());
+        let replay = read_wal(&path).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.damaged_bytes, 0, "rollback must erase the tear");
+
+        // Now fault the rollback too: the writer must poison and refuse.
+        w.set_faults(Some(Arc::new(
+            FaultPlane::new(5)
+                .with(FaultSite::WalWrite, FaultKind::Torn, 1, 1)
+                .with(FaultSite::WalRollback, FaultKind::Error, 1, 1),
+        )));
+        assert!(w.append(&rec.encode()).is_err());
+        assert!(w.poisoned());
+        let err = w.append(&rec.encode()).unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        // The torn tail is on disk, but replay still stops cleanly.
+        let replay = read_wal(&path).unwrap();
+        assert!(replay.records.is_empty());
+        assert!(replay.damaged_bytes > 0);
     }
 
     #[test]

@@ -15,7 +15,9 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use req_service::protocol::{binary, text};
-use req_service::{Accuracy, ErrorKind, Request, RequestKind, Response, TenantConfig, TenantStats};
+use req_service::{
+    Accuracy, ErrorKind, IdemToken, Request, RequestKind, Response, TenantConfig, TenantStats,
+};
 
 /// Key charset: a slice of the registry's legal alphabet.
 fn mk_key(seed: u64) -> String {
@@ -56,12 +58,22 @@ fn mk_msg(words: &[u64]) -> String {
 }
 
 fn mk_kind(choice: u64) -> ErrorKind {
-    match choice % 4 {
+    match choice % 6 {
         0 => ErrorKind::Invalid,
         1 => ErrorKind::Incompatible,
         2 => ErrorKind::Corrupt,
+        3 => ErrorKind::Unavailable,
+        4 => ErrorKind::Busy,
         _ => ErrorKind::Io,
     }
+}
+
+/// Roughly a third of mutations carry an idempotency token.
+fn mk_token(seed: u64) -> Option<IdemToken> {
+    (seed.is_multiple_of(3)).then_some(IdemToken {
+        client_id: seed.rotate_left(17),
+        seq: seed % 1_000,
+    })
 }
 
 /// A buildable tenant configuration (the text decoder validates
@@ -92,11 +104,13 @@ fn mk_request(variant: u64, key_seed: u64, bits: &[u64], knob: f64) -> Request {
         0 => Request::Create {
             key,
             config: mk_config(at(0), knob, at(1) as u32, at(2)),
+            token: mk_token(at(3)),
         },
         1 => Request::Add { key, value },
         2 => Request::AddBatch {
             key,
             values: mk_f64s(bits),
+            token: mk_token(at(1).rotate_left(7)),
         },
         3 => Request::Rank { key, value },
         4 => Request::Quantile { key, q: knob },
@@ -107,7 +121,10 @@ fn mk_request(variant: u64, key_seed: u64, bits: &[u64], knob: f64) -> Request {
         6 => Request::Stats { key },
         7 => Request::List,
         8 => Request::Snapshot,
-        9 => Request::Drop { key },
+        9 => Request::Drop {
+            key,
+            token: mk_token(at(2).rotate_left(31)),
+        },
         10 => Request::Ping,
         _ => Request::Quit,
     }
@@ -123,6 +140,10 @@ fn mk_stats(words: &[u64]) -> TenantStats {
         hra: words[5].is_multiple_of(2),
         adaptive: words[6].is_multiple_of(2),
         rotation: words[7],
+        snapshot_failures: words[0].rotate_left(9),
+        wal_poisoned: words[1].rotate_left(23),
+        shed: words[2].rotate_left(41),
+        read_only: words[3].is_multiple_of(2),
     }
 }
 

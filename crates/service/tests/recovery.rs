@@ -26,11 +26,13 @@ fn records_from(batches: &[Vec<u64>]) -> Vec<WalRecord> {
     let mut records = vec![WalRecord::Create {
         key: "t".into(),
         config: TenantConfig::parse("t", &["K=8", "SHARDS=2"]).unwrap(),
+        token: None,
     }];
     for batch in batches {
         records.push(WalRecord::AddBatch {
             key: "t".into(),
             values: batch.iter().map(|&v| OrdF64(v as f64)).collect(),
+            token: None,
         });
     }
     records
