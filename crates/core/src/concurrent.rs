@@ -298,6 +298,23 @@ impl<T: Ord + Clone + Packable> ConcurrentReqSketch<T> {
         Ok(parts)
     }
 
+    /// Serialize every shard **read-only**: each shard is cloned under its
+    /// lock and the *clone* is encoded, so — unlike [`Self::checkpoint`] —
+    /// the live shards keep their exact RNG state and epochs. Because a
+    /// clone carries its shard's RNG, the drawn reseed (and therefore every
+    /// byte) is identical to what [`Self::checkpoint`] would produce from
+    /// the same state. That makes this the right entry point wherever the
+    /// sketch must be *observed* without being *perturbed*: serving wire
+    /// `MERGE` queries, and probing primary/follower byte-identity in the
+    /// replication tests — a probe that itself advanced the RNG would
+    /// break the very identity it is checking.
+    pub fn encode_shards(&self) -> Vec<Bytes> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().clone().to_bytes())
+            .collect()
+    }
+
     /// Rebuild a sharded sketch from [`Self::checkpoint`] output: one
     /// serialized shard per element of `parts`, plus the routing
     /// [`Self::rotation`] captured with them. Shards restore on the
@@ -408,6 +425,25 @@ mod tests {
             (r as f64 - 1_001.0).abs() / 1_001.0 < 0.25,
             "rank(1000) = {r}"
         );
+    }
+
+    #[test]
+    fn encode_shards_matches_checkpoint_without_perturbing() {
+        let c = ConcurrentReqSketch::<u64>::new(builder(), 4).unwrap();
+        for i in 0..10_000 {
+            c.update(i);
+        }
+        // Read-only encoding is idempotent: the live RNG never advances.
+        let first = c.encode_shards();
+        let second = c.encode_shards();
+        assert_eq!(first, second);
+        // And it produces the exact bytes checkpoint would have — the
+        // clone carries the shard's RNG, so the drawn reseed is the same.
+        let checkpointed = c.checkpoint().unwrap();
+        assert_eq!(first, checkpointed);
+        // After the checkpoint swap, both views continue in lockstep.
+        c.update(77);
+        assert_eq!(c.encode_shards(), c.encode_shards());
     }
 
     #[test]

@@ -128,7 +128,7 @@ pub use compactor::{CompactionMode, RankAccuracy};
 pub use concurrent::ConcurrentReqSketch;
 pub use error::ReqError;
 pub use growing::GrowingReqSketch;
-pub use merge::{merge_balanced, merge_linear, merge_random_tree};
+pub use merge::{merge_balanced, merge_linear, merge_random_tree, merge_wire_parts};
 pub use ordf32::OrdF32;
 pub use ordf64::OrdF64;
 pub use params::{ParamPolicy, Params};

@@ -213,6 +213,31 @@ pub fn merge_linear<T: Ord + Clone>(
     Ok(Some(acc))
 }
 
+/// Decode wire-serialized sketches ([`ReqSketch::to_bytes`] payloads) and
+/// fold them into one via [`ReqSketch::try_merge`] — the merge entry point
+/// for sketches that crossed a process boundary. A cluster `MERGE` query
+/// gathers each owning node's serialized shards and combines them here;
+/// Theorem 3 makes the fold order immaterial to the guarantee, so a plain
+/// left fold suffices. Incompatible parts (differing policy, orientation,
+/// or schedule) fail with [`ReqError::IncompatibleMerge`]; corrupt bytes
+/// with [`ReqError::CorruptBytes`]; an empty part list is rejected rather
+/// than answered with a sketch of unknowable configuration.
+pub fn merge_wire_parts<T, B>(parts: &[B]) -> Result<ReqSketch<T>, ReqError>
+where
+    T: Ord + Clone + crate::binary::Packable,
+    B: AsRef<[u8]>,
+{
+    let mut iter = parts.iter();
+    let first = iter
+        .next()
+        .ok_or_else(|| ReqError::InvalidParameter("no sketch parts to merge".into()))?;
+    let mut target = ReqSketch::from_bytes(first.as_ref())?;
+    for part in iter {
+        target.try_merge(ReqSketch::from_bytes(part.as_ref())?)?;
+    }
+    Ok(target)
+}
+
 /// Merge in a uniformly random pairing order (random merge tree), driven by
 /// the supplied RNG — used by the mergeability experiments (E5).
 pub fn merge_random_tree<T: Ord + Clone, R: Rng>(
@@ -269,6 +294,59 @@ mod tests {
         a.try_merge(b).unwrap();
         assert_eq!(a.len(), 1000);
         assert_eq!(a.rank(&499), 500);
+    }
+
+    #[test]
+    fn wire_parts_merge_like_local_sketches() {
+        let mut a = sketch(1);
+        let mut b = sketch(2);
+        let mut c = sketch(3);
+        for i in 0..30_000u64 {
+            a.update(3 * i);
+            b.update(3 * i + 1);
+            c.update(3 * i + 2);
+        }
+        let parts = [a.to_bytes(), b.to_bytes(), c.to_bytes()];
+        let merged = merge_wire_parts::<u64, _>(&parts).unwrap();
+        assert_eq!(merged.len(), 90_000);
+        // Deserialize-then-merge must agree with local merge on the data
+        // (RNG reseeds differ, so compare answers, not bytes).
+        let mut local = ReqSketch::<u64>::from_bytes(&parts[0]).unwrap();
+        local
+            .try_merge(ReqSketch::from_bytes(&parts[1]).unwrap())
+            .unwrap();
+        local
+            .try_merge(ReqSketch::from_bytes(&parts[2]).unwrap())
+            .unwrap();
+        assert_eq!(merged.len(), local.len());
+        let r = merged.rank(&45_000);
+        assert!((r as f64 - 45_001.0).abs() / 45_001.0 < 0.1, "rank {r}");
+    }
+
+    #[test]
+    fn wire_parts_reject_empty_corrupt_and_incompatible() {
+        let empty: [&[u8]; 0] = [];
+        assert!(matches!(
+            merge_wire_parts::<u64, _>(&empty),
+            Err(ReqError::InvalidParameter(_))
+        ));
+        let mut a = sketch(1);
+        a.update(7);
+        let good = a.to_bytes();
+        assert!(matches!(
+            merge_wire_parts::<u64, _>(&[&good[..], &good[..good.len() / 2]]),
+            Err(ReqError::CorruptBytes(_))
+        ));
+        let mut hra = ReqSketch::<u64>::with_policy(
+            ParamPolicy::fixed_k(16).unwrap(),
+            RankAccuracy::HighRank,
+            9,
+        );
+        hra.update(7);
+        assert!(matches!(
+            merge_wire_parts::<u64, _>(&[a.to_bytes(), hra.to_bytes()]),
+            Err(ReqError::IncompatibleMerge(_))
+        ));
     }
 
     #[test]

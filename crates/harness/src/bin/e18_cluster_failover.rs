@@ -1,0 +1,20 @@
+//! Regenerates experiment `e18_cluster_failover` of EXPERIMENTS.md. Run with
+//! `--release`. `--smoke` runs one seed at a scaled-down config (the CI
+//! cluster smoke).
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        harness::experiments::e18_cluster_failover::Config {
+            seeds: vec![1],
+            batches: 12,
+            batch: 48,
+            k: 16,
+            kill_at: vec![0.25, 0.50, 0.90],
+        }
+    } else {
+        harness::experiments::e18_cluster_failover::Config::default()
+    };
+    for table in harness::experiments::e18_cluster_failover::run(&cfg) {
+        println!("{table}");
+    }
+}

@@ -17,6 +17,7 @@ pub mod e14_optimality_gap;
 pub mod e15_seamless_merge;
 pub mod e16_service_recovery;
 pub mod e17_chaos;
+pub mod e18_cluster_failover;
 
 use req_core::{CompactionSchedule, ParamPolicy, RankAccuracy, ReqSketch};
 use sketch_traits::QuantileSketch;

@@ -1,5 +1,5 @@
 //! End-to-end smoke test of the experiment pipeline: every experiment
-//! module (e01–e17) runs at a scaled-down `Config` and must produce
+//! module (e01–e18) runs at a scaled-down `Config` and must produce
 //! well-formed, non-empty, renderable tables. The in-module `#[test]`s
 //! assert each experiment's *direction* (the paper claim); this test
 //! guards the *plumbing* — config handling, workload generation, sketch
@@ -207,5 +207,17 @@ smoke!(
         batches_per_client: 4,
         batch: 16,
         k: 16,
+    }
+);
+
+smoke!(
+    e18_cluster_failover_smoke,
+    e18_cluster_failover,
+    e::e18_cluster_failover::Config {
+        seeds: vec![7],
+        batches: 8,
+        batch: 32,
+        k: 16,
+        kill_at: vec![0.25, 0.50, 0.90],
     }
 );

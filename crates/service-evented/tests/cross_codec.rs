@@ -5,13 +5,18 @@
 //! pins that the codecs on either side of it are lossless.
 
 use req_evented::{serve_evented, ReqBinClient};
+use req_service::client::attach_token;
 use req_service::tempdir::TempDir;
 use req_service::{
     serve, ClientApi, QuantileService, ReqClient, Request, ServiceConfig, TenantConfig,
 };
 use std::sync::Arc;
 
-/// A script touching every command, including deliberate failures.
+/// A script touching every command, including deliberate failures. Every
+/// mutation is pre-stamped with a fixed-client-id idempotency token:
+/// otherwise each transport's client stamps its own random `client_id`,
+/// the tokens land in the WAL records, and the byte-level `TAIL`
+/// comparison below would (correctly!) flag the two WALs as different.
 fn script() -> Vec<Request> {
     let mut reqs = vec![
         Request::Ping,
@@ -77,8 +82,29 @@ fn script() -> Vec<Request> {
         },
         Request::Stats { key: "a".into() },
         Request::Stats { key: "b".into() },
+        // Scatter/gather MERGE: serialized shard parts. Tenant seeds
+        // derive from the key and the script is deterministic, so the
+        // two services' parts must be byte-identical, not merely
+        // equivalent.
+        Request::Merge { key: "a".into() },
+        Request::Merge {
+            key: "ghost".into(), // unknown tenant: Invalid on both
+        },
+        Request::Tail {
+            gen: 99, // no such WAL generation: Invalid on both
+            offset: 0,
+            max_bytes: 4096,
+        },
         Request::List,
         Request::Snapshot,
+        // Replication TAIL of the now-sealed generation 0: raw WAL
+        // bytes. Identical scripts ⇒ identical WALs ⇒ identical
+        // segments across both transports.
+        Request::Tail {
+            gen: 0,
+            offset: 0,
+            max_bytes: 1 << 20,
+        },
         Request::Drop {
             key: "b".into(),
             token: None,
@@ -87,6 +113,10 @@ fn script() -> Vec<Request> {
         Request::List,
         Request::Quit,
     ]);
+    let mut seq = 1;
+    for req in &mut reqs {
+        attach_token(req, 0xC0DEC, &mut seq);
+    }
     reqs
 }
 

@@ -31,7 +31,7 @@ use std::time::Duration;
 
 use crate::config::TenantConfig;
 use crate::faults::mix;
-use crate::protocol::{text, IdemToken, Request, Response};
+use crate::protocol::{text, IdemToken, Request, Response, TailSegment};
 use crate::service::TenantStats;
 
 /// Timeouts and retry/backoff settings for resilient clients.
@@ -281,6 +281,40 @@ pub trait ClientApi {
         };
         match self.call(&req)?.into_result()? {
             Response::Dropped => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `TAIL gen offset max_bytes` — fetch a replication slice of the
+    /// server's WAL: whole valid frames of generation `gen` from byte
+    /// `offset` (0 = first frame), plus the seal/latest-generation
+    /// markers a follower needs to track rotations.
+    fn tail_wal(
+        &mut self,
+        generation: u64,
+        offset: u64,
+        max_bytes: u32,
+    ) -> Result<TailSegment, ReqError> {
+        let req = Request::Tail {
+            gen: generation,
+            offset,
+            max_bytes,
+        };
+        match self.call(&req)?.into_result()? {
+            Response::Tailed(segment) => Ok(segment),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `MERGE key` — the tenant's serialized per-shard sketches, for
+    /// scatter/gather merging at a router via
+    /// [`req_core::merge_wire_parts`].
+    fn merge_parts(&mut self, key: &str) -> Result<Vec<Vec<u8>>, ReqError> {
+        let req = Request::Merge {
+            key: key.to_string(),
+        };
+        match self.call(&req)?.into_result()? {
+            Response::Merged(parts) => Ok(parts),
             other => Err(unexpected(&other)),
         }
     }

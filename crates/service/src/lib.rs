@@ -53,11 +53,11 @@ pub mod tempdir;
 pub mod wal;
 
 pub use client::{ClientApi, CreateOptions, ReqClient, RetryPolicy};
-pub use config::{Accuracy, ServiceConfig, TenantConfig};
+pub use config::{stable_key_hash, Accuracy, ServiceConfig, TenantConfig};
 pub use faults::{FaultKind, FaultPlane, FaultSite};
 #[allow(deprecated)]
 pub use protocol::Command;
-pub use protocol::{ErrorKind, IdemToken, Request, RequestKind, Response};
+pub use protocol::{ErrorKind, IdemToken, Request, RequestKind, Response, TailSegment};
 pub use registry::{Registry, Tenant};
 pub use server::{execute, serve, ServerHandle};
 pub use service::{QuantileService, RecoveryReport, Snapshotter, TenantStats};

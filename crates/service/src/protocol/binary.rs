@@ -6,10 +6,11 @@
 //! little-endian, `f64` as raw IEEE-754 bits (bit-exact, NaN payloads
 //! included), strings and vectors length-prefixed with a `u32` count.
 //!
-//! Request tags count `1..=12` in [`Request`] declaration order;
-//! response tags count `1..=13` in [`Response`] declaration order
+//! Request tags count `1..=14` in [`Request`] declaration order;
+//! response tags count `1..=15` in [`Response`] declaration order
 //! ([`Response::Err`] is tag 13, carrying an [`ErrorKind`] byte plus the
-//! message). Unlike the [`text`](super::text) codec, responses are
+//! message; the cluster-layer `Tailed`/`Merged` replies are 14/15).
+//! Unlike the [`text`](super::text) codec, responses are
 //! self-describing — no request context is needed to decode them, which
 //! is what makes deep pipelining tractable.
 //!
@@ -24,7 +25,7 @@ use req_core::frame::{crc32, write_frame, FRAME_HEADER_LEN};
 use req_core::ReqError;
 use std::io::Read;
 
-use super::{ErrorKind, IdemToken, Request, Response};
+use super::{ErrorKind, IdemToken, Request, Response, TailSegment};
 use crate::config::TenantConfig;
 use crate::service::TenantStats;
 
@@ -78,6 +79,21 @@ fn get_f64s(input: &mut Bytes) -> Result<Vec<f64>, ReqError> {
     (0..count).map(|_| get_f64(input)).collect()
 }
 
+fn put_bytes(out: &mut BytesMut, bytes: &[u8]) {
+    out.put_u32_le(bytes.len() as u32);
+    out.put_slice(bytes);
+}
+
+fn get_bytes(input: &mut Bytes) -> Result<Vec<u8>, ReqError> {
+    let count = get_u32(input)? as usize;
+    // The declared length must already be present — a huge count with a
+    // short payload is corrupt, not an allocation request.
+    need(input, count)?;
+    let mut bytes = vec![0u8; count];
+    input.copy_to_slice(&mut bytes);
+    Ok(bytes)
+}
+
 fn put_token(out: &mut BytesMut, token: &Option<IdemToken>) {
     match token {
         Some(t) => {
@@ -114,6 +130,8 @@ const REQ_SNAPSHOT: u8 = 9;
 const REQ_DROP: u8 = 10;
 const REQ_PING: u8 = 11;
 const REQ_QUIT: u8 = 12;
+const REQ_TAIL: u8 = 13;
+const REQ_MERGE: u8 = 14;
 
 const RESP_CREATED: u8 = 1;
 const RESP_ADDED: u8 = 2;
@@ -128,6 +146,8 @@ const RESP_DROPPED: u8 = 10;
 const RESP_PONG: u8 = 11;
 const RESP_BYE: u8 = 12;
 const RESP_ERR: u8 = 13;
+const RESP_TAILED: u8 = 14;
+const RESP_MERGED: u8 = 15;
 
 impl ErrorKind {
     fn wire_byte(self) -> u8 {
@@ -205,6 +225,20 @@ fn encode_request_payload(req: &Request, out: &mut BytesMut) {
         }
         Request::Ping => out.put_u8(REQ_PING),
         Request::Quit => out.put_u8(REQ_QUIT),
+        Request::Tail {
+            gen,
+            offset,
+            max_bytes,
+        } => {
+            out.put_u8(REQ_TAIL);
+            out.put_u64_le(*gen);
+            out.put_u64_le(*offset);
+            out.put_u32_le(*max_bytes);
+        }
+        Request::Merge { key } => {
+            out.put_u8(REQ_MERGE);
+            key.pack(out);
+        }
     }
 }
 
@@ -267,6 +301,21 @@ fn encode_response_payload(resp: &Response, out: &mut BytesMut) {
             out.put_u8(RESP_ERR);
             out.put_u8(kind.wire_byte());
             msg.pack(out);
+        }
+        Response::Tailed(seg) => {
+            out.put_u8(RESP_TAILED);
+            out.put_u64_le(seg.gen);
+            out.put_u64_le(seg.offset);
+            out.put_u8(seg.sealed as u8);
+            out.put_u64_le(seg.latest_gen);
+            put_bytes(out, &seg.frames);
+        }
+        Response::Merged(parts) => {
+            out.put_u8(RESP_MERGED);
+            out.put_u32_le(parts.len() as u32);
+            for part in parts {
+                put_bytes(out, part);
+            }
         }
     }
 }
@@ -352,6 +401,14 @@ pub fn decode_request(mut payload: Bytes) -> Result<Request, ReqError> {
         },
         REQ_PING => Request::Ping,
         REQ_QUIT => Request::Quit,
+        REQ_TAIL => Request::Tail {
+            gen: get_u64(&mut payload)?,
+            offset: get_u64(&mut payload)?,
+            max_bytes: get_u32(&mut payload)?,
+        },
+        REQ_MERGE => Request::Merge {
+            key: String::unpack(&mut payload)?,
+        },
         other => {
             return Err(ReqError::CorruptBytes(format!(
                 "unknown request tag {other}"
@@ -412,6 +469,27 @@ pub fn decode_response(mut payload: Bytes) -> Result<Response, ReqError> {
             kind: ErrorKind::from_wire_byte(get_u8(&mut payload)?)?,
             msg: String::unpack(&mut payload)?,
         },
+        RESP_TAILED => Response::Tailed(TailSegment {
+            gen: get_u64(&mut payload)?,
+            offset: get_u64(&mut payload)?,
+            sealed: match get_u8(&mut payload)? {
+                0 => false,
+                1 => true,
+                other => return Err(ReqError::CorruptBytes(format!("bad sealed byte {other}"))),
+            },
+            latest_gen: get_u64(&mut payload)?,
+            frames: get_bytes(&mut payload)?,
+        }),
+        RESP_MERGED => {
+            let count = get_u32(&mut payload)? as usize;
+            // 4 bytes of length prefix per part must already be present.
+            need(&payload, count.saturating_mul(4))?;
+            Response::Merged(
+                (0..count)
+                    .map(|_| get_bytes(&mut payload))
+                    .collect::<Result<_, _>>()?,
+            )
+        }
         other => {
             return Err(ReqError::CorruptBytes(format!(
                 "unknown response tag {other}"
@@ -534,6 +612,12 @@ mod tests {
             },
             Request::Ping,
             Request::Quit,
+            Request::Tail {
+                gen: 3,
+                offset: u64::MAX,
+                max_bytes: 65_536,
+            },
+            Request::Merge { key: "k".into() },
         ]
     }
 
@@ -578,6 +662,22 @@ mod tests {
                 kind: ErrorKind::Busy,
                 msg: "shed".into(),
             },
+            Response::Tailed(TailSegment {
+                gen: 2,
+                offset: 8,
+                sealed: true,
+                latest_gen: 4,
+                frames: vec![0xAB, 0x00, 0xFF],
+            }),
+            Response::Tailed(TailSegment {
+                gen: 0,
+                offset: 0,
+                sealed: false,
+                latest_gen: 0,
+                frames: vec![],
+            }),
+            Response::Merged(vec![vec![1, 2, 3], vec![], vec![0xFE]]),
+            Response::Merged(vec![]),
         ]
     }
 

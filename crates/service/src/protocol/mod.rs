@@ -141,6 +141,48 @@ pub enum Request {
     Ping,
     /// `QUIT`
     Quit,
+    /// `TAIL gen offset max_bytes` — replication: ship a slice of the
+    /// server's WAL generation `gen` starting at byte `offset`, as whole
+    /// CRC-valid frames (never a torn tail). Declared after `Quit` so the
+    /// binary tags of the original twelve commands stay stable.
+    Tail {
+        /// WAL generation to read.
+        gen: u64,
+        /// Byte offset within that generation's file (0 = from the start).
+        offset: u64,
+        /// Most frame bytes to ship in one reply.
+        max_bytes: u32,
+    },
+    /// `MERGE key` — scatter/gather: the tenant's serialized per-shard
+    /// sketches (binary v3 `to_bytes`), for merging at a router via
+    /// [`req_core::merge_wire_parts`].
+    Merge {
+        /// Tenant key.
+        key: String,
+    },
+}
+
+/// One shipped slice of a primary's WAL — the [`Request::Tail`] reply.
+///
+/// `frames` holds zero or more *whole* WAL frames exactly as they sit in
+/// the primary's file; a follower appends them verbatim to its own WAL
+/// and applies each record, mirroring the primary byte-for-byte. A
+/// partially written or rolled-back tail frame is never shipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailSegment {
+    /// The generation the frames come from.
+    pub gen: u64,
+    /// Byte offset the slice starts at (resolved: 0 in the request maps
+    /// to the first frame after the file magic).
+    pub offset: u64,
+    /// Is `gen` final? `true` once the primary rotated past it — after
+    /// draining the remaining frames, the follower performs its own
+    /// rotation at the same record index and resumes from `gen + 1`.
+    pub sealed: bool,
+    /// The primary's live generation when the reply was built.
+    pub latest_gen: u64,
+    /// Whole WAL frames, concatenated.
+    pub frames: Vec<u8>,
 }
 
 /// The command a [`Request`] names, without its arguments. Text responses
@@ -172,6 +214,10 @@ pub enum RequestKind {
     Ping,
     /// `QUIT`
     Quit,
+    /// `TAIL`
+    Tail,
+    /// `MERGE`
+    Merge,
 }
 
 impl Request {
@@ -190,6 +236,8 @@ impl Request {
             Request::Drop { .. } => RequestKind::Drop,
             Request::Ping => RequestKind::Ping,
             Request::Quit => RequestKind::Quit,
+            Request::Tail { .. } => RequestKind::Tail,
+            Request::Merge { .. } => RequestKind::Merge,
         }
     }
 
@@ -307,6 +355,10 @@ pub enum Response {
         /// The error message.
         msg: String,
     },
+    /// `TAIL` result. Declared after `Err` so `Err` keeps binary tag 13.
+    Tailed(TailSegment),
+    /// `MERGE` result: one serialized sketch per shard.
+    Merged(Vec<Vec<u8>>),
 }
 
 impl Response {

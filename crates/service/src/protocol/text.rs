@@ -13,7 +13,16 @@
 //! DROP key [TOKEN=cid:seq]
 //! PING
 //! QUIT
+//! TAIL gen offset max_bytes
+//! MERGE key
 //! ```
+//!
+//! The two cluster-layer commands carry binary payloads in their replies
+//! (`TAIL` ships raw WAL frames, `MERGE` ships serialized sketches);
+//! those cross the text wire lowercase-hex-encoded, with a lone `-` for
+//! an empty blob — still one line, still `nc`-debuggable. Production
+//! replication uses the binary codec; the text forms exist so every
+//! command stays reachable from either transport.
 //!
 //! The optional trailing `TOKEN=cid:seq` on the three mutating commands is
 //! an [`IdemToken`]; see its docs for the exactly-once retry contract.
@@ -30,8 +39,46 @@
 
 use req_core::ReqError;
 
-use super::{ErrorKind, IdemToken, Request, RequestKind, Response};
+use super::{ErrorKind, IdemToken, Request, RequestKind, Response, TailSegment};
 use crate::config::TenantConfig;
+
+fn to_hex(bytes: &[u8]) -> String {
+    if bytes.is_empty() {
+        return "-".to_string();
+    }
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0xF) as usize] as char);
+    }
+    out
+}
+
+fn from_hex(s: &str) -> Result<Vec<u8>, ReqError> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    let bad = || ReqError::InvalidParameter(format!("bad hex blob `{s}`"));
+    let digits = s.as_bytes();
+    if digits.is_empty() || !digits.len().is_multiple_of(2) {
+        return Err(bad());
+    }
+    digits
+        .chunks_exact(2)
+        .map(|pair| {
+            let hi = (pair[0] as char).to_digit(16).ok_or_else(bad)?;
+            let lo = (pair[1] as char).to_digit(16).ok_or_else(bad)?;
+            Ok((hi * 16 + lo) as u8)
+        })
+        .collect()
+}
+
+fn parse_int<T: std::str::FromStr>(token: &str) -> Result<T, ReqError> {
+    token
+        .parse()
+        .map_err(|_| ReqError::InvalidParameter(format!("bad integer `{token}`")))
+}
 
 fn parse_f64(token: &str) -> Result<f64, ReqError> {
     token
@@ -101,6 +148,12 @@ pub fn encode_request(req: &Request) -> String {
         Request::Drop { key, token } => push_token(format!("DROP {key}"), token),
         Request::Ping => "PING".to_string(),
         Request::Quit => "QUIT".to_string(),
+        Request::Tail {
+            gen,
+            offset,
+            max_bytes,
+        } => format!("TAIL {gen} {offset} {max_bytes}"),
+        Request::Merge { key } => format!("MERGE {key}"),
     }
 }
 
@@ -168,6 +221,22 @@ pub fn decode_request(line: &str) -> Result<Request, ReqError> {
         "SNAPSHOT" => Ok(Request::Snapshot),
         "PING" => Ok(Request::Ping),
         "QUIT" => Ok(Request::Quit),
+        "TAIL" => {
+            if args.len() != 3 {
+                return bad("TAIL needs exactly `gen offset max_bytes`".into());
+            }
+            Ok(Request::Tail {
+                gen: parse_int(args[0])?,
+                offset: parse_int(args[1])?,
+                max_bytes: parse_int(args[2])?,
+            })
+        }
+        "MERGE" => {
+            if args.len() != 1 {
+                return bad("MERGE needs exactly `key`".into());
+            }
+            Ok(Request::Merge { key: need_key()? })
+        }
         other => bad(format!("unknown command `{other}`")),
     }
 }
@@ -198,6 +267,22 @@ pub fn encode_response(resp: &Response) -> String {
         // Responses are line-framed; a message must not smuggle one.
         Response::Err { kind, msg } => {
             format!("ERR {} {}", kind.as_str(), msg.replace(['\r', '\n'], " "))
+        }
+        Response::Tailed(seg) => format!(
+            "OK {} {} {} {} {}",
+            seg.gen,
+            seg.offset,
+            seg.sealed as u8,
+            seg.latest_gen,
+            to_hex(&seg.frames)
+        ),
+        Response::Merged(parts) => {
+            let mut out = format!("OK {}", parts.len());
+            for part in parts {
+                out.push(' ');
+                out.push_str(&to_hex(part));
+            }
+            out
         }
     }
 }
@@ -258,6 +343,34 @@ pub fn decode_response(line: &str, kind: RequestKind) -> Result<Response, ReqErr
             Response::Pong
         }
         RequestKind::Quit => Response::Bye,
+        RequestKind::Tail => {
+            let tokens: Vec<&str> = payload.split_whitespace().collect();
+            let [gen, offset, sealed, latest_gen, frames] = tokens[..] else {
+                return Err(bad());
+            };
+            Response::Tailed(TailSegment {
+                gen: gen.parse().map_err(|_| bad())?,
+                offset: offset.parse().map_err(|_| bad())?,
+                sealed: match sealed {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(bad()),
+                },
+                latest_gen: latest_gen.parse().map_err(|_| bad())?,
+                frames: from_hex(frames).map_err(|_| bad())?,
+            })
+        }
+        RequestKind::Merge => {
+            let mut tokens = payload.split_whitespace();
+            let count: usize = tokens.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+            let parts: Vec<Vec<u8>> = tokens
+                .map(|t| from_hex(t).map_err(|_| bad()))
+                .collect::<Result<_, _>>()?;
+            if parts.len() != count {
+                return Err(bad());
+            }
+            Response::Merged(parts)
+        }
     })
 }
 
@@ -321,6 +434,12 @@ mod tests {
             },
             Request::Ping,
             Request::Quit,
+            Request::Tail {
+                gen: 7,
+                offset: 8,
+                max_bytes: 4096,
+            },
+            Request::Merge { key: "k".into() },
         ];
         for req in reqs {
             let line = encode_request(&req);
@@ -365,6 +484,31 @@ mod tests {
             (RequestKind::Drop, Response::Dropped),
             (RequestKind::Ping, Response::Pong),
             (RequestKind::Quit, Response::Bye),
+            (
+                RequestKind::Tail,
+                Response::Tailed(TailSegment {
+                    gen: 2,
+                    offset: 8,
+                    sealed: true,
+                    latest_gen: 3,
+                    frames: vec![0x00, 0xAB, 0xFF],
+                }),
+            ),
+            (
+                RequestKind::Tail,
+                Response::Tailed(TailSegment {
+                    gen: 0,
+                    offset: 0,
+                    sealed: false,
+                    latest_gen: 0,
+                    frames: vec![],
+                }),
+            ),
+            (
+                RequestKind::Merge,
+                Response::Merged(vec![vec![1, 2, 3], vec![], vec![0xFE]]),
+            ),
+            (RequestKind::Merge, Response::Merged(vec![])),
             (
                 RequestKind::Rank,
                 Response::Err {
@@ -414,6 +558,29 @@ mod tests {
         assert!(decode_response("ERR weird x", RequestKind::Ping).is_err());
         assert!(decode_response("OK not-a-number", RequestKind::Rank).is_err());
         assert!(decode_response("OK", RequestKind::Snapshot).is_err());
+        assert!(decode_response("OK 1 2 1", RequestKind::Tail).is_err());
+        assert!(decode_response("OK 1 2 5 3 -", RequestKind::Tail).is_err());
+        assert!(decode_response("OK 1 2 1 3 abc", RequestKind::Tail).is_err());
+        assert!(decode_response("OK 2 aa", RequestKind::Merge).is_err());
+        assert!(decode_response("OK 1 xyz!", RequestKind::Merge).is_err());
+    }
+
+    #[test]
+    fn hex_blobs_roundtrip() {
+        for blob in [
+            vec![],
+            vec![0u8],
+            vec![0xFF, 0x00, 0x7E],
+            (0..=255).collect(),
+        ] {
+            let hex = to_hex(&blob);
+            assert!(!hex.contains(' '));
+            assert_eq!(from_hex(&hex).unwrap(), blob, "through `{hex}`");
+        }
+        assert_eq!(to_hex(&[]), "-");
+        for bad in ["", "a", "g0", "0G", "--"] {
+            assert!(from_hex(bad).is_err(), "`{bad}` accepted");
+        }
     }
 
     #[test]

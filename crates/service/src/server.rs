@@ -250,6 +250,12 @@ pub fn execute(service: &QuantileService, req: Request) -> Response {
             }
             Request::Ping => Response::Pong,
             Request::Quit => Response::Bye,
+            Request::Tail {
+                gen,
+                offset,
+                max_bytes,
+            } => Response::Tailed(service.tail(gen, offset, max_bytes)?),
+            Request::Merge { key } => Response::Merged(service.sketch_parts(&key)?),
         })
     })();
     match result {

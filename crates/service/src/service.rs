@@ -36,6 +36,7 @@
 //! replay never re-executes the lost checkpoint's RNG swap, so answers
 //! are then merely within-guarantee rather than bit-identical.)
 
+use bytes::{Buf, Bytes};
 use parking_lot::{Mutex, RwLock};
 use req_core::{ConcurrentReqSketch, OrdF64, ReqError};
 use sketch_traits::SpaceUsage;
@@ -48,13 +49,15 @@ use std::time::Duration;
 
 use crate::config::{validate_key, Accuracy, ServiceConfig, TenantConfig};
 use crate::faults::{faulted_op, FaultSite};
-use crate::protocol::IdemToken;
+use crate::protocol::{IdemToken, TailSegment};
 use crate::registry::{Registry, Tenant};
 use crate::snapshot::{
     latest_valid, snapshot_gens, snapshot_path, wal_gens, wal_path, write_snapshot, AppliedOutcome,
     DedupClientSnapshot, TenantSnapshot,
 };
-use crate::wal::{encode_add_batch, encode_create, encode_drop, read_wal, WalRecord, WalWriter};
+use crate::wal::{
+    encode_add_batch, encode_create, encode_drop, read_wal, WalRecord, WalWriter, WAL_MAGIC,
+};
 
 /// Holds the data directory's `LOCK` file; removed on drop. See
 /// [`acquire_dir_lock`].
@@ -446,6 +449,11 @@ pub struct QuantileService {
     inflight: AtomicU64,
     /// Mutations shed with `Busy` under `max_inflight_mutations`.
     shed: AtomicU64,
+    /// Replication follower mode: client mutations are refused with
+    /// `Unavailable` while [`Self::replicate_frames`] keeps applying the
+    /// primary's shipped WAL frames; queries answer (bounded-lag reads).
+    /// Promotion flips it off and the node starts accepting writes.
+    follower: AtomicBool,
     recovery: RecoveryReport,
     /// Exclusive hold on the data dir; released (file removed) on drop.
     _dir_lock: DirLock,
@@ -554,6 +562,7 @@ impl QuantileService {
             wal_poisoned: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            follower: AtomicBool::new(false),
             recovery: report,
             cfg,
             _dir_lock: dir_lock,
@@ -748,6 +757,13 @@ impl QuantileService {
     /// when the in-flight limit is hit; otherwise hand out a permit that
     /// releases its slot on drop.
     fn mutation_permit(&self) -> Result<InflightPermit<'_>, ReqError> {
+        if self.follower.load(Ordering::SeqCst) {
+            return Err(ReqError::Unavailable(
+                "node is a replication follower; mutations apply on the primary — \
+                 retry there (or here after promotion)"
+                    .into(),
+            ));
+        }
         if self.read_only.load(Ordering::SeqCst) {
             return Err(ReqError::Unavailable(
                 "service is read-only (WAL writer poisoned); queries still answer — \
@@ -1055,14 +1071,30 @@ impl QuantileService {
     /// `wal-<g+1>.log`, and delete generations older than the previous
     /// one. Returns the new generation.
     pub fn snapshot_now(&self) -> Result<u64, ReqError> {
+        self.rotate(false)
+    }
+
+    /// [`Self::snapshot_now`] without the empty-generation early return:
+    /// the rotation happens even when nothing new landed. A replication
+    /// follower mirrors its primary's generation seals with this — the
+    /// checkpoint's shard swap then executes at the *same record index*
+    /// on both sides, which is what keeps follower state byte-identical
+    /// to the primary across a primary snapshot rotation.
+    pub fn rotate_generation(&self) -> Result<u64, ReqError> {
+        self.rotate(true)
+    }
+
+    fn rotate(&self, force: bool) -> Result<u64, ReqError> {
         let new_gen;
         {
             let _gate = self.gate.write(); // quiesce writers
                                            // Another racer may have snapshotted while we waited; if the
                                            // live generation has no records, there is nothing to fold in.
                                            // (Unless we are read-only: then the rotation itself is the
-                                           // point — it installs a fresh, unpoisoned WAL writer.)
-            if self.records_in_gen.load(Ordering::Relaxed) == 0
+                                           // point — it installs a fresh, unpoisoned WAL writer. A forced
+                                           // rotation — a follower mirroring a seal — always proceeds.)
+            if !force
+                && self.records_in_gen.load(Ordering::Relaxed) == 0
                 && self.snapshots_written.load(Ordering::Relaxed) > 0
                 && !self.read_only.load(Ordering::SeqCst)
             {
@@ -1153,6 +1185,169 @@ impl QuantileService {
             signal,
             handle: Some(handle),
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Replication: WAL-tail shipping (primary side) and frame replay
+    // (follower side). See docs/ARCHITECTURE.md "Cluster layer".
+    // -----------------------------------------------------------------
+
+    /// Switch follower mode on or off. A follower refuses client
+    /// mutations with `Unavailable` (they belong on the primary) while
+    /// [`Self::replicate_frames`] keeps applying shipped records; queries
+    /// keep answering — that is the bounded-lag follower read. Promotion
+    /// after a primary failure is `set_follower(false)`.
+    pub fn set_follower(&self, follower: bool) {
+        self.follower.store(follower, Ordering::SeqCst);
+    }
+
+    /// Is this node currently a replication follower?
+    pub fn is_follower(&self) -> bool {
+        self.follower.load(Ordering::SeqCst)
+    }
+
+    /// The live WAL generation and the byte length of its valid prefix —
+    /// the exact position a fully caught-up follower's [`Self::tail`]
+    /// cursor points at. Taken under the shared gate so the pair is never
+    /// split by a rotation.
+    pub fn wal_watermark(&self) -> (u64, u64) {
+        let _gate = self.gate.read();
+        let wal = self.wal.lock();
+        (self.gen.load(Ordering::Relaxed), wal.valid_len())
+    }
+
+    /// Serve one slice of generation `gen`'s WAL for a replication
+    /// follower: whole, CRC-valid, decodable frames starting at byte
+    /// `offset` (0 resolves to the first frame after the file magic), at
+    /// most `max_bytes` of them — but always at least one frame when one
+    /// is available, so a frame larger than the budget cannot wedge the
+    /// stream. A torn or rolled-back tail is *never* shipped: the
+    /// follower sees exactly the bytes crash recovery would replay.
+    ///
+    /// Reads the file without the service gate — an append racing this
+    /// read can only make the tail's last frame incomplete, and
+    /// incomplete frames are excluded the same way recovery excludes
+    /// them. `sealed` reports whether `gen` has been rotated away (its
+    /// file is final); the follower then mirrors the rotation via
+    /// [`Self::rotate_generation`] and resumes from `gen + 1`.
+    pub fn tail(&self, gen: u64, offset: u64, max_bytes: u32) -> Result<TailSegment, ReqError> {
+        let raw = match std::fs::read(wal_path(&self.cfg.data_dir, gen)) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(ReqError::InvalidParameter(format!(
+                    "WAL generation {gen} is not on disk (pruned or never written); \
+                     re-seed the follower from a snapshot"
+                )));
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if raw.len() < WAL_MAGIC.len() || raw[..WAL_MAGIC.len()] != WAL_MAGIC[..] {
+            return Err(ReqError::CorruptBytes(format!(
+                "WAL generation {gen} has no valid magic header"
+            )));
+        }
+        let start = if offset == 0 {
+            WAL_MAGIC.len() as u64
+        } else {
+            offset
+        };
+        if start < WAL_MAGIC.len() as u64 || start > raw.len() as u64 {
+            return Err(ReqError::InvalidParameter(format!(
+                "tail offset {offset} outside generation {gen}'s {} bytes",
+                raw.len()
+            )));
+        }
+        let mut input = Bytes::copy_from_slice(&raw[start as usize..]);
+        let budget = (max_bytes as usize).min(crate::protocol::binary::MAX_MESSAGE_PAYLOAD - 4096);
+        let mut shipped = 0usize;
+        loop {
+            let before = input.remaining();
+            // Mirror recovery's stop conditions exactly: a frame must be
+            // length-complete, CRC-clean, *and* decode to a record.
+            let Ok(payload) = req_core::frame::read_frame(&mut input) else {
+                break;
+            };
+            if WalRecord::decode(payload).is_err() {
+                break;
+            }
+            let consumed = before - input.remaining();
+            if shipped > 0 && shipped + consumed > budget {
+                break;
+            }
+            shipped += consumed;
+            if shipped >= budget {
+                break;
+            }
+        }
+        // Load the live generation *after* reading the file: if a
+        // rotation raced us, the file we read was already final.
+        let latest_gen = self.gen.load(Ordering::Relaxed);
+        Ok(TailSegment {
+            gen,
+            offset: start,
+            sealed: gen < latest_gen,
+            latest_gen,
+            frames: raw[start as usize..start as usize + shipped].to_vec(),
+        })
+    }
+
+    /// Follower-side replay of a [`TailSegment`]'s frames: append each
+    /// frame to the local WAL **byte-for-byte** and apply its record, in
+    /// the primary's `[append → apply]` order. Tokens on replicated
+    /// records re-populate the dedup windows, so a client retrying a
+    /// mutation against this node *after promotion* still dedups.
+    /// Returns how many records were applied.
+    ///
+    /// The walk validates each frame before touching anything; it stops
+    /// at the first invalid one with an error. Everything applied before
+    /// the stop is durable and consistent — re-shipping from the local
+    /// [`Self::wal_watermark`] resumes cleanly, so a torn or corrupted
+    /// replication stream can delay convergence but never corrupt state.
+    pub fn replicate_frames(&self, frames: &[u8]) -> Result<u64, ReqError> {
+        if !self.is_follower() {
+            return Err(ReqError::InvalidParameter(
+                "replicate_frames on a non-follower node; demote it explicitly first".into(),
+            ));
+        }
+        let _gate = self.gate.read();
+        let mut input = Bytes::copy_from_slice(frames);
+        let mut consumed_total = 0usize;
+        let mut applied = 0u64;
+        while input.has_remaining() {
+            let before = input.remaining();
+            let payload = req_core::frame::read_frame(&mut input)?;
+            let rec = WalRecord::decode(payload)?;
+            let consumed = before - input.remaining();
+            let frame_bytes = &frames[consumed_total..consumed_total + consumed];
+            consumed_total += consumed;
+            // Same contract as the primary's mutation path: even when the
+            // fsync outcome is unknown, a frame that reached the file
+            // must be applied before the error surfaces, or the durable
+            // and in-memory states would diverge.
+            let log = self.append_wal(frame_bytes)?;
+            Self::apply(&self.registry, &self.dedup, rec)?;
+            self.records_in_gen.fetch_add(1, Ordering::Relaxed);
+            applied += 1;
+            if let LogOutcome::LoggedUnsynced(e) = log {
+                return Err(e);
+            }
+        }
+        Ok(applied)
+    }
+
+    /// The tenant's serialized per-shard sketches (binary v3), for
+    /// scatter/gather `MERGE` at a router. Encodes *clones* of the live
+    /// shards — byte-identical to what a checkpoint would write, while
+    /// the live RNGs and epochs stay untouched, so serving merge queries
+    /// never perturbs replication byte-identity.
+    pub fn sketch_parts(&self, key: &str) -> Result<Vec<Vec<u8>>, ReqError> {
+        Ok(self
+            .tenant(key)?
+            .sketch
+            .encode_shards()
+            .into_iter()
+            .map(|b| b.to_vec())
+            .collect())
     }
 }
 
@@ -1444,5 +1639,173 @@ mod tests {
         let after = s.snapshots_written();
         std::thread::sleep(Duration::from_millis(60));
         assert_eq!(s.snapshots_written(), after, "thread kept running");
+    }
+
+    /// Pump the primary's WAL into the follower until the follower's
+    /// watermark matches: the loop a TailShipper runs, inlined.
+    fn catch_up(primary: &QuantileService, follower: &QuantileService) {
+        loop {
+            let (gen, len) = follower.wal_watermark();
+            let seg = primary.tail(gen, len, 1 << 20).unwrap();
+            if !seg.frames.is_empty() {
+                follower.replicate_frames(&seg.frames).unwrap();
+                continue;
+            }
+            if seg.sealed {
+                follower.rotate_generation().unwrap();
+                continue;
+            }
+            break;
+        }
+    }
+
+    #[test]
+    fn follower_refuses_mutations_until_promoted() {
+        let dir = TempDir::new("svc").unwrap();
+        let s = svc(dir.path());
+        s.create("t", TenantConfig::for_key("t")).unwrap();
+        s.set_follower(true);
+        assert!(s.is_follower());
+        let err = s.add("t", 1.0).unwrap_err();
+        assert!(matches!(err, ReqError::Unavailable(_)), "got {err:?}");
+        assert!(s.create("u", TenantConfig::for_key("u")).is_err());
+        // Bounded-lag reads keep answering on a follower.
+        assert_eq!(s.rank("t", 1.0).unwrap(), 0);
+        s.set_follower(false); // promotion
+        s.add("t", 1.0).unwrap();
+        assert_eq!(s.stats("t").unwrap().n, 1);
+    }
+
+    #[test]
+    fn replication_reaches_byte_identical_state() {
+        let pdir = TempDir::new("svc-p").unwrap();
+        let fdir = TempDir::new("svc-f").unwrap();
+        let p = svc(pdir.path());
+        let f = svc(fdir.path());
+        f.set_follower(true);
+        p.create(
+            "t",
+            TenantConfig::parse("t", &["K=16", "SHARDS=2"]).unwrap(),
+        )
+        .unwrap();
+        for c in 0..8u64 {
+            p.add_batch("t", &batch(c * 1_000..(c + 1) * 1_000))
+                .unwrap();
+            catch_up(&p, &f);
+            // Byte identity at every shipped watermark: serialized shard
+            // state (v3 bytes incl. RNG reseed draws) and the WAL file.
+            assert_eq!(f.sketch_parts("t").unwrap(), p.sketch_parts("t").unwrap());
+            assert_eq!(f.wal_watermark(), p.wal_watermark());
+        }
+        let p_wal = std::fs::read(wal_path(pdir.path(), 0)).unwrap();
+        let f_wal = std::fs::read(wal_path(fdir.path(), 0)).unwrap();
+        assert_eq!(p_wal, f_wal, "replicated WAL is not byte-identical");
+        // Promote and verify the follower serves the same answers.
+        f.set_follower(false);
+        for probe in [0.0, 1_999.0, 4_000.5, 7_999.0] {
+            assert_eq!(f.rank("t", probe).unwrap(), p.rank("t", probe).unwrap());
+        }
+        assert_eq!(f.stats("t").unwrap().n, 8_000);
+    }
+
+    #[test]
+    fn replication_stays_identical_across_snapshot_rotation() {
+        let pdir = TempDir::new("svc-p").unwrap();
+        let fdir = TempDir::new("svc-f").unwrap();
+        let p = svc(pdir.path());
+        let f = svc(fdir.path());
+        f.set_follower(true);
+        p.create("t", TenantConfig::for_key("t")).unwrap();
+        p.add_batch("t", &batch(0..5_000)).unwrap();
+        // Primary rotates: checkpoint (shard swap) + new WAL generation.
+        // The follower must mirror the seal at the same record index for
+        // the deterministic shard-swap transition to line up.
+        assert_eq!(p.snapshot_now().unwrap(), 1);
+        p.add_batch("t", &batch(5_000..9_000)).unwrap();
+        catch_up(&p, &f);
+        assert_eq!(f.wal_watermark(), p.wal_watermark());
+        assert_eq!(f.sketch_parts("t").unwrap(), p.sketch_parts("t").unwrap());
+        for g in 0..=1u64 {
+            let p_wal = std::fs::read(wal_path(pdir.path(), g)).unwrap();
+            let f_wal = std::fs::read(wal_path(fdir.path(), g)).unwrap();
+            assert_eq!(p_wal, f_wal, "generation {g} WAL diverged");
+        }
+        // The mirrored rotation also wrote a byte-identical snapshot.
+        let p_snap = std::fs::read(snapshot_path(pdir.path(), 1)).unwrap();
+        let f_snap = std::fs::read(snapshot_path(fdir.path(), 1)).unwrap();
+        assert_eq!(p_snap, f_snap, "snapshot diverged");
+    }
+
+    #[test]
+    fn tail_rejects_unknown_generation_and_bad_offsets() {
+        let dir = TempDir::new("svc").unwrap();
+        let s = svc(dir.path());
+        s.create("t", TenantConfig::for_key("t")).unwrap();
+        assert!(matches!(
+            s.tail(7, 0, 1 << 20),
+            Err(ReqError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            s.tail(0, 3, 1 << 20), // inside the magic header
+            Err(ReqError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            s.tail(0, 1 << 40, 1 << 20), // past end of file
+            Err(ReqError::InvalidParameter(_))
+        ));
+        // A fully caught-up cursor yields an empty, unsealed segment.
+        let (gen, len) = s.wal_watermark();
+        let seg = s.tail(gen, len, 1 << 20).unwrap();
+        assert!(seg.frames.is_empty() && !seg.sealed);
+        assert_eq!(seg.latest_gen, gen);
+    }
+
+    #[test]
+    fn tail_always_ships_at_least_one_frame() {
+        let dir = TempDir::new("svc").unwrap();
+        let s = svc(dir.path());
+        s.create("t", TenantConfig::for_key("t")).unwrap();
+        s.add_batch("t", &batch(0..2_000)).unwrap(); // one big frame
+        let seg = s.tail(0, 0, 1).unwrap(); // 1-byte budget
+        assert!(
+            !seg.frames.is_empty(),
+            "an oversized frame must not wedge the stream"
+        );
+        // And the shipped bytes are whole frames: a follower applies them.
+        let fdir = TempDir::new("svc-f").unwrap();
+        let f = svc(fdir.path());
+        f.set_follower(true);
+        assert_eq!(f.replicate_frames(&seg.frames).unwrap(), 1);
+    }
+
+    #[test]
+    fn replicate_frames_guards_and_torn_tail_resumes_clean() {
+        let pdir = TempDir::new("svc-p").unwrap();
+        let fdir = TempDir::new("svc-f").unwrap();
+        let p = svc(pdir.path());
+        p.create("t", TenantConfig::for_key("t")).unwrap();
+        p.add_batch("t", &batch(0..100)).unwrap();
+        let seg = p.tail(0, 0, 1 << 20).unwrap();
+        let f = svc(fdir.path());
+        // Not a follower: refused outright, nothing applied.
+        assert!(f.replicate_frames(&seg.frames).is_err());
+        f.set_follower(true);
+        // Torn stream: all but the last 3 bytes. The whole leading frames
+        // apply; the torn one errors without corrupting anything.
+        let torn = &seg.frames[..seg.frames.len() - 3];
+        let applied = match f.replicate_frames(torn) {
+            Ok(n) => n,
+            Err(_) => {
+                // Partial progress is durable; resume from the local
+                // watermark and converge.
+                let (gen, len) = f.wal_watermark();
+                let rest = p.tail(gen, len, 1 << 20).unwrap();
+                f.replicate_frames(&rest.frames).unwrap();
+                2
+            }
+        };
+        assert_eq!(applied, 2);
+        assert_eq!(f.wal_watermark(), p.wal_watermark());
+        assert_eq!(f.sketch_parts("t").unwrap(), p.sketch_parts("t").unwrap());
     }
 }

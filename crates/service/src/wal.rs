@@ -432,6 +432,12 @@ impl WalWriter {
         self.records
     }
 
+    /// Byte length of the file's valid prefix (magic + whole appended
+    /// frames) — the watermark replication tails from.
+    pub fn valid_len(&self) -> u64 {
+        self.len
+    }
+
     /// The file this writer appends to.
     pub fn path(&self) -> &Path {
         &self.path

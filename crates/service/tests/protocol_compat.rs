@@ -100,7 +100,7 @@ fn mk_request(variant: u64, key_seed: u64, bits: &[u64], knob: f64) -> Request {
     let key = mk_key(key_seed);
     let at = |i: usize| bits.get(i).copied().unwrap_or(i as u64);
     let value = mk_f64(at(0));
-    match variant % 12 {
+    match variant % 14 {
         0 => Request::Create {
             key,
             config: mk_config(at(0), knob, at(1) as u32, at(2)),
@@ -126,8 +126,19 @@ fn mk_request(variant: u64, key_seed: u64, bits: &[u64], knob: f64) -> Request {
             token: mk_token(at(2).rotate_left(31)),
         },
         10 => Request::Ping,
-        _ => Request::Quit,
+        11 => Request::Quit,
+        12 => Request::Tail {
+            gen: at(0),
+            offset: at(1),
+            max_bytes: at(2) as u32,
+        },
+        _ => Request::Merge { key },
     }
+}
+
+/// Arbitrary binary blob (hex-encoded on the text wire).
+fn mk_blob(words: &[u64]) -> Vec<u8> {
+    words.iter().map(|&w| (w % 256) as u8).collect()
 }
 
 fn mk_stats(words: &[u64]) -> TenantStats {
@@ -148,7 +159,7 @@ fn mk_stats(words: &[u64]) -> TenantStats {
 }
 
 fn mk_response(variant: u64, _key_seed: u64, bits: &[u64]) -> Response {
-    match variant % 13 {
+    match variant % 15 {
         0 => Response::Created,
         1 => Response::Added,
         2 => Response::AddedBatch(bits[0]),
@@ -165,10 +176,23 @@ fn mk_response(variant: u64, _key_seed: u64, bits: &[u64]) -> Response {
         9 => Response::Dropped,
         10 => Response::Pong,
         11 => Response::Bye,
-        _ => Response::Err {
+        12 => Response::Err {
             kind: mk_kind(bits[0]),
             msg: mk_msg(&bits[..bits.len() % 40]),
         },
+        13 => Response::Tailed(req_service::TailSegment {
+            gen: bits[0],
+            offset: bits[0].rotate_left(19),
+            sealed: bits[0].is_multiple_of(2),
+            latest_gen: bits[0].rotate_left(37),
+            frames: mk_blob(&bits[..bits.len() % 24]),
+        }),
+        _ => Response::Merged(
+            bits.chunks(5)
+                .take(bits[0] as usize % 4)
+                .map(mk_blob)
+                .collect(),
+        ),
     }
 }
 
@@ -188,6 +212,8 @@ fn kind_for(resp: &Response) -> RequestKind {
         Response::Dropped => RequestKind::Drop,
         Response::Pong => RequestKind::Ping,
         Response::Bye => RequestKind::Quit,
+        Response::Tailed(_) => RequestKind::Tail,
+        Response::Merged(_) => RequestKind::Merge,
         // An error can answer anything; Ping exercises the strictest arm.
         Response::Err { .. } => RequestKind::Ping,
     }
