@@ -1,0 +1,94 @@
+//! Telemetry overhead A/B: every hot-path primitive benchmarked with
+//! recording enabled and disabled, plus the full service ingest path
+//! both ways. The disabled numbers are the cost of *having* the
+//! instrumentation compiled in (one relaxed load per site); the spread
+//! between enabled and disabled is what a production operator pays for
+//! live metrics — BENCH.md records both, and e19 holds the service-level
+//! overhead under 3%.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use req_service::tempdir::TempDir;
+use req_service::{Accuracy, QuantileService, ServiceConfig, TenantConfig};
+
+const BATCH: usize = 256;
+
+fn tenant_config() -> TenantConfig {
+    TenantConfig {
+        accuracy: Accuracy::K(32),
+        hra: true,
+        schedule: req_core::CompactionSchedule::Standard,
+        shards: 4,
+        seed: 42,
+    }
+}
+
+/// Counter / gauge / histogram primitives, enabled vs disabled, on a
+/// private registry (the global one stays untouched for the service
+/// benches below).
+fn bench_primitives(c: &mut Criterion) {
+    let registry = req_telemetry::Registry::new();
+    let counter = registry.counter("bench_counter");
+    let gauge = registry.gauge("bench_gauge");
+    let hist = registry.histogram("bench_hist");
+
+    let mut group = c.benchmark_group("telemetry");
+    group.throughput(Throughput::Elements(1));
+    for enabled in [true, false] {
+        let tag = if enabled { "enabled" } else { "disabled" };
+        registry.set_enabled(enabled);
+        group.bench_function(&format!("counter_inc_{tag}"), |b| {
+            b.iter(|| counter.inc());
+        });
+        group.bench_function(&format!("gauge_set_{tag}"), |b| {
+            let mut v = 0u64;
+            b.iter(|| {
+                v = v.wrapping_add(17);
+                gauge.set(black_box(v));
+            });
+        });
+        group.bench_function(&format!("histogram_observe_{tag}"), |b| {
+            let mut v = 0u64;
+            b.iter(|| {
+                v = v.wrapping_add(13) % 10_000;
+                hist.observe(black_box(v));
+            });
+        });
+        group.bench_function(&format!("histogram_span_{tag}"), |b| {
+            b.iter(|| {
+                let t = hist.begin();
+                black_box(hist.finish(t))
+            });
+        });
+    }
+    registry.set_enabled(true);
+    group.finish();
+}
+
+/// The number that matters: full durable ingest (`add_batch` of 256
+/// values through WAL append + apply) with the global registry recording
+/// vs frozen. This is the instrumented path every real mutation takes.
+fn bench_service_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_service");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for enabled in [true, false] {
+        let tag = if enabled { "enabled" } else { "disabled" };
+        req_telemetry::global().set_enabled(enabled);
+        let dir = TempDir::new(&format!("bench-tel-{tag}")).unwrap();
+        let service = QuantileService::open(ServiceConfig::new(dir.path())).unwrap();
+        service.create("bench.ingest", tenant_config()).unwrap();
+        let values: Vec<req_core::OrdF64> =
+            (0..BATCH).map(|i| req_core::OrdF64(i as f64)).collect();
+        group.bench_function(&format!("add_batch_{tag}"), |b| {
+            b.iter(|| {
+                service
+                    .add_batch("bench.ingest", black_box(&values))
+                    .unwrap()
+            });
+        });
+    }
+    req_telemetry::global().set_enabled(true);
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_service_ingest);
+criterion_main!(benches);

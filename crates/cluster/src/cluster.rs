@@ -218,6 +218,10 @@ impl Cluster {
         let addr = standby.addr();
         node.primary = Some(standby);
         self.router.repoint(name, addr)?;
+        req_telemetry::global()
+            .counter("cluster_promotions_total")
+            .inc();
+        req_telemetry::global().event("node_promoted", format!("node={name} addr={addr}"));
         Ok(addr)
     }
 

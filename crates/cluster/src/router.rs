@@ -43,6 +43,11 @@ pub struct Router {
     policy: RetryPolicy,
     client_id: u64,
     next_seq: u64,
+    /// Calls that failed against a node (connection dropped, retry will
+    /// redial) — surfaced as `cluster_router_node_errors_total`.
+    node_errors: req_telemetry::Counter,
+    /// Failover repoints performed — `cluster_router_repoints_total`.
+    repoints: req_telemetry::Counter,
 }
 
 impl Router {
@@ -56,6 +61,8 @@ impl Router {
             policy,
             client_id: fresh_client_id(),
             next_seq: 1,
+            node_errors: req_telemetry::global().counter("cluster_router_node_errors_total"),
+            repoints: req_telemetry::global().counter("cluster_router_repoints_total"),
         }
     }
 
@@ -90,6 +97,8 @@ impl Router {
         }
         self.addrs.insert(name.to_string(), addr);
         self.clients.remove(name);
+        self.repoints.inc();
+        req_telemetry::global().event("router_repoint", format!("node={name} addr={addr}"));
         Ok(())
     }
 
@@ -106,12 +115,16 @@ impl Router {
 
     fn call_on(&mut self, name: &str, req: &Request) -> Result<Response, ReqError> {
         let name = name.to_string();
-        let result = self.client(&name)?.call(req);
+        let result = match self.client(&name) {
+            Ok(conn) => conn.call(req),
+            Err(e) => Err(e),
+        };
         if result.is_err() {
             // Drop the connection: the node may be dead, and after a
             // repoint the retry must dial the promoted address, not
             // reuse a socket to the corpse.
             self.clients.remove(&name);
+            self.node_errors.inc();
         }
         result
     }
@@ -171,6 +184,34 @@ impl Router {
                     }
                 }
                 Ok(Response::Snapshot(newest))
+            }
+            Request::Metrics => {
+                // Fan out: one exposition per node, stitched under
+                // `# node <name>` headers so series with the same name
+                // stay attributable to their origin.
+                let mut joined = String::new();
+                for name in self.members().to_vec() {
+                    match self.call_on(&name, req)? {
+                        Response::MetricsText(text) => {
+                            joined.push_str(&format!("# node {name}\n"));
+                            joined.push_str(&text);
+                        }
+                        other => return Ok(other),
+                    }
+                }
+                Ok(Response::MetricsText(joined))
+            }
+            Request::Events { .. } => {
+                let mut lines = Vec::new();
+                for name in self.members().to_vec() {
+                    match self.call_on(&name, req)? {
+                        Response::Events(part) => {
+                            lines.extend(part.into_iter().map(|line| format!("{name} {line}")));
+                        }
+                        other => return Ok(other),
+                    }
+                }
+                Ok(Response::Events(lines))
             }
             Request::Quit => Err(ReqError::InvalidParameter(
                 "QUIT is connection-scoped; the router owns its connections".into(),

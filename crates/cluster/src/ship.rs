@@ -128,6 +128,14 @@ fn pump(
     gens_behind: &AtomicU64,
     errors_in_row: &AtomicU64,
 ) {
+    // Global-registry mirrors of the shipper's own atomics, so lag is
+    // visible over the wire (METRICS) and not only via the in-process
+    // `TailShipper::lag` handle. Registered once per pump (cold path);
+    // multiple shippers in one process sum into the same series.
+    let telemetry = req_telemetry::global();
+    let shipped_total = telemetry.counter("cluster_shipper_shipped_records_total");
+    let lag_gauge = telemetry.gauge("cluster_shipper_gens_behind");
+    let error_total = telemetry.counter("cluster_shipper_errors_total");
     let mut client: Option<ReqBinClient> = None;
     while !stop.load(Ordering::SeqCst) {
         let round = (|| -> Result<bool, req_core::ReqError> {
@@ -137,10 +145,13 @@ fn pump(
             let conn = client.as_mut().expect("just connected");
             let (generation, offset) = follower.wal_watermark();
             let seg = conn.tail_wal(generation, offset, TAIL_BUDGET)?;
-            gens_behind.store(seg.latest_gen.saturating_sub(generation), Ordering::Relaxed);
+            let behind = seg.latest_gen.saturating_sub(generation);
+            gens_behind.store(behind, Ordering::Relaxed);
+            lag_gauge.set(behind);
             if !seg.frames.is_empty() {
                 let applied = follower.replicate_frames(&seg.frames)?;
                 shipped.fetch_add(applied, Ordering::Relaxed);
+                shipped_total.add(applied);
                 return Ok(true);
             }
             if seg.sealed {
@@ -166,6 +177,7 @@ fn pump(
                 // own watermark — partial progress is already durable.
                 client = None;
                 errors_in_row.fetch_add(1, Ordering::Relaxed);
+                error_total.inc();
                 std::thread::sleep(poll);
             }
         }

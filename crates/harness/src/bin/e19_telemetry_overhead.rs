@@ -1,0 +1,19 @@
+//! Regenerates experiment `e19_telemetry_overhead` of EXPERIMENTS.md. Run
+//! with `--release`. `--smoke` runs a scaled-down config (the CI smoke).
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        harness::experiments::e19_telemetry_overhead::Config {
+            pairs: 9,
+            batches: 30,
+            batch: 128,
+            roundtrips: 120,
+            k: 16,
+        }
+    } else {
+        harness::experiments::e19_telemetry_overhead::Config::default()
+    };
+    for table in harness::experiments::e19_telemetry_overhead::run(&cfg) {
+        println!("{table}");
+    }
+}

@@ -18,6 +18,7 @@ pub mod e15_seamless_merge;
 pub mod e16_service_recovery;
 pub mod e17_chaos;
 pub mod e18_cluster_failover;
+pub mod e19_telemetry_overhead;
 
 use req_core::{CompactionSchedule, ParamPolicy, RankAccuracy, ReqSketch};
 use sketch_traits::QuantileSketch;

@@ -47,6 +47,38 @@ const MAX_READ_BUFFER: usize = binary::MAX_MESSAGE_PAYLOAD + 64;
 
 const LISTENER_KEY: usize = 0;
 
+/// Cached handles into the global telemetry registry, built once per
+/// event loop (registration is the cold path; the loop body touches only
+/// handle atomics). All loops in a process share the same series.
+struct LoopTelemetry {
+    /// Time from a readiness wake-up to the loop having drained it.
+    wakeup_micros: req_telemetry::Histogram,
+    /// Complete frames executed per wake-up — the pipelining win.
+    frames_per_wakeup: req_telemetry::Histogram,
+    live_connections: req_telemetry::Gauge,
+    accepts: req_telemetry::Counter,
+    /// Read-interest parks under [`MAX_WRITE_BACKLOG`] backpressure.
+    backpressure_parks: req_telemetry::Counter,
+    /// High-water pending response bytes on any one connection.
+    write_backlog_bytes: req_telemetry::Gauge,
+    stall_evictions: req_telemetry::Counter,
+}
+
+impl LoopTelemetry {
+    fn new() -> LoopTelemetry {
+        let t = req_telemetry::global();
+        LoopTelemetry {
+            wakeup_micros: t.histogram("evented_wakeup_micros"),
+            frames_per_wakeup: t.histogram("evented_frames_per_wakeup"),
+            live_connections: t.gauge("evented_live_connections"),
+            accepts: t.counter("evented_accepts_total"),
+            backpressure_parks: t.counter("evented_backpressure_parks_total"),
+            write_backlog_bytes: t.gauge("evented_write_backlog_bytes"),
+            stall_evictions: t.counter("evented_stall_evictions_total"),
+        }
+    }
+}
+
 /// Knobs for [`serve_evented_with`] beyond the bind address.
 #[derive(Debug, Clone, Default)]
 pub struct EventedOptions {
@@ -79,6 +111,9 @@ struct Conn {
     /// Last time the write side progressed (or had nothing pending) —
     /// the write-stall sweep's clock.
     last_progress: Instant,
+    /// Read interest currently parked under backlog backpressure (so the
+    /// park is counted on the transition, not on every re-arm).
+    parked: bool,
 }
 
 impl Conn {
@@ -91,6 +126,7 @@ impl Conn {
             written: 0,
             close_after_flush: false,
             last_progress: Instant::now(),
+            parked: false,
         }
     }
 
@@ -215,6 +251,8 @@ fn event_loop(
     let mut next_key = LISTENER_KEY + 1;
     let mut events = Events::new();
     let faults = opts.faults.as_deref();
+    let telemetry = LoopTelemetry::new();
+    let mut wakeups: u64 = 0;
     loop {
         // The timeout is only a heartbeat fallback (stop flag + stall
         // sweep); notify() wakes the wait promptly on shutdown.
@@ -227,23 +265,54 @@ fn event_loop(
         if stop.load(Ordering::SeqCst) {
             break;
         }
+        // Span one wake-up's full drain; recorded only when the wake-up
+        // carried readiness (heartbeat ticks would drown the signal), and
+        // only for one wake-up in eight — two clock reads plus two
+        // histogram inserts per drain cost a measurable slice of a small
+        // round trip, and a uniform sample estimates the same latency
+        // distribution while the exact counters stay untouched.
+        let wake_timer = if wakeups & 7 == 0 {
+            Some(telemetry.wakeup_micros.begin())
+        } else {
+            None
+        };
+        let mut frames: u64 = 0;
+        let mut saw_event = false;
         for ev in events.iter() {
+            saw_event = true;
             if ev.key == LISTENER_KEY {
-                accept_burst(&poller, &listener, &mut conns, &mut next_key, &live);
+                accept_burst(
+                    &poller,
+                    &listener,
+                    &mut conns,
+                    &mut next_key,
+                    &live,
+                    &telemetry,
+                );
                 continue;
             }
             let Some(conn) = conns.get_mut(&ev.key) else {
                 continue; // already closed this iteration
             };
-            let alive = drive(conn, &service, ev, faults);
+            let alive = drive(conn, &service, ev, faults, &mut frames);
             if alive {
-                rearm(&poller, ev.key, conn);
+                rearm(&poller, ev.key, conn, &telemetry);
             } else {
                 let conn = conns.remove(&ev.key).expect("checked above");
                 let _ = poller.delete(&conn.stream);
                 live.fetch_sub(1, Ordering::Relaxed);
             }
         }
+        if saw_event {
+            if let Some(timer) = wake_timer {
+                telemetry.wakeup_micros.finish(timer);
+                if frames > 0 {
+                    telemetry.frames_per_wakeup.observe(frames);
+                }
+            }
+            wakeups = wakeups.wrapping_add(1);
+        }
+        telemetry.live_connections.set(live.load(Ordering::Relaxed));
         // Evict connections whose pending responses made no progress
         // within the stall budget — the explicit close path for a reader
         // that parked its own read side via the backlog cap and never
@@ -261,6 +330,11 @@ fn event_loop(
                 let conn = conns.remove(&key).expect("collected above");
                 let _ = poller.delete(&conn.stream);
                 live.fetch_sub(1, Ordering::Relaxed);
+                telemetry.stall_evictions.inc();
+                req_telemetry::global().event(
+                    "write_stall_evicted",
+                    format!("pending={} bytes", conn.pending_write()),
+                );
             }
         }
     }
@@ -279,6 +353,7 @@ fn accept_burst(
     conns: &mut HashMap<usize, Conn>,
     next_key: &mut usize,
     live: &AtomicU64,
+    telemetry: &LoopTelemetry,
 ) {
     loop {
         match listener.accept() {
@@ -293,6 +368,7 @@ fn accept_burst(
                 }
                 conns.insert(key, Conn::new(stream));
                 live.fetch_add(1, Ordering::Relaxed);
+                telemetry.accepts.inc();
             }
             // WouldBlock = burst drained; anything else (EMFILE, reset
             // races) is per-accept and must not kill the loop.
@@ -310,6 +386,7 @@ fn drive(
     service: &QuantileService,
     ev: Event,
     faults: Option<&FaultPlane>,
+    frames: &mut u64,
 ) -> bool {
     if ev.readable && !conn.close_after_flush {
         match faults.map_or(Fault::None, |p| p.next(FaultSite::SockRead)) {
@@ -327,7 +404,7 @@ fn drive(
         if !fill(conn) {
             return conn.pending_write() > 0; // keep only to flush a tail
         }
-        parse_and_execute(conn, service);
+        *frames += parse_and_execute(conn, service);
     }
     if !flush(conn, faults) {
         return false;
@@ -358,11 +435,15 @@ fn fill(conn: &mut Conn) -> bool {
 
 /// Parse every complete frame in the read buffer and execute it; this
 /// loop is where pipelined requests all get served off one wake-up.
-fn parse_and_execute(conn: &mut Conn, service: &QuantileService) {
+/// Returns the number of complete frames handled (the per-wakeup
+/// pipelining width the telemetry histograms record).
+fn parse_and_execute(conn: &mut Conn, service: &QuantileService) -> u64 {
+    let mut handled = 0u64;
     loop {
         match binary::try_deframe(&conn.read_buf, conn.parsed) {
             Ok(Some((payload, used))) => {
                 conn.parsed += used;
+                handled += 1;
                 let resp;
                 match binary::decode_request(payload) {
                     Ok(req) => {
@@ -408,6 +489,7 @@ fn parse_and_execute(conn: &mut Conn, service: &QuantileService) {
         conn.read_buf.drain(..conn.parsed);
         conn.parsed = 0;
     }
+    handled
 }
 
 fn push_response(conn: &mut Conn, resp: &Response) {
@@ -465,11 +547,23 @@ fn flush(conn: &mut Conn, faults: Option<&FaultPlane>) -> bool {
 }
 
 /// Re-arm the oneshot interest for whatever the connection still needs.
-fn rearm(poller: &Poller, key: usize, conn: &Conn) {
-    let wants_write = conn.pending_write() > 0;
+fn rearm(poller: &Poller, key: usize, conn: &mut Conn, telemetry: &LoopTelemetry) {
+    let pending = conn.pending_write();
+    let wants_write = pending > 0;
+    telemetry.write_backlog_bytes.set_max(pending as u64);
     // Backpressure: a client pipelining faster than it reads responses
-    // loses its read interest until the backlog drains.
-    let wants_read = !conn.close_after_flush && conn.pending_write() <= MAX_WRITE_BACKLOG;
+    // loses its read interest until the backlog drains. Count parks on
+    // the transition only, so a long park is one event, not thousands.
+    let parked = pending > MAX_WRITE_BACKLOG;
+    if parked && !conn.parked {
+        telemetry.backpressure_parks.inc();
+        req_telemetry::global().event(
+            "backpressure_park",
+            format!("pending={pending} bytes > {MAX_WRITE_BACKLOG} cap"),
+        );
+    }
+    conn.parked = parked;
+    let wants_read = !conn.close_after_flush && !parked;
     let interest = Event {
         key,
         readable: wants_read,

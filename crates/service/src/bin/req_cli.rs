@@ -26,7 +26,7 @@
 // deprecated string round-trip until the text shim is removed.
 #![allow(deprecated)]
 
-use req_service::{ReqClient, RetryPolicy};
+use req_service::{ClientApi, ReqClient, RetryPolicy};
 use std::io::BufRead;
 use std::time::Duration;
 
@@ -35,7 +35,10 @@ fn usage() -> ! {
         "usage: req-cli [--addr HOST:PORT] [--connect-timeout SECS] [--timeout SECS]\n\
          \x20              [--retries N] CMD [ARGS...]\n\
          \x20      req-cli [same options] repl\n\
-         commands: CREATE ADD ADDB RANK QUANTILE CDF STATS LIST SNAPSHOT DROP PING"
+         \x20      req-cli [same options] metrics\n\
+         \x20      req-cli [same options] events [N]\n\
+         commands: CREATE ADD ADDB RANK QUANTILE CDF STATS LIST SNAPSHOT DROP PING\n\
+         \x20         METRICS EVENTS"
     );
     std::process::exit(2);
 }
@@ -75,6 +78,38 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    // Telemetry verbs get typed handling: their payloads are hex-armored
+    // multi-line blobs on the text wire, so the raw pass-through below
+    // would print unreadable hex. Decode and print the real thing.
+    if args[0].eq_ignore_ascii_case("metrics") && args.len() == 1 {
+        match client.metrics() {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if args[0].eq_ignore_ascii_case("events") && args.len() <= 2 {
+        let max: u32 = args
+            .get(1)
+            .map(|v| v.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(64);
+        match client.events(max) {
+            Ok(lines) => {
+                for line in lines {
+                    println!("{line}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     if args.len() == 1 && args[0] == "repl" {
         let stdin = std::io::stdin();

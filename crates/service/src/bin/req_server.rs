@@ -4,12 +4,14 @@
 //! req-server --data-dir DIR [--addr 127.0.0.1:7878] [--threads 4]
 //!            [--snapshot-interval-secs 30] [--snapshot-every-records N]
 //!            [--fsync] [--max-inflight N] [--dedup-window N]
+//!            [--no-telemetry]
 //! ```
 //!
 //! `--max-inflight` bounds concurrently queued mutations (excess sheds
 //! with `BUSY`; 0 = unbounded); `--dedup-window` sets how many recent
 //! per-client idempotency tokens the service remembers for exactly-once
-//! retries (default 64).
+//! retries (default 64); `--no-telemetry` turns off metric and event
+//! recording (`METRICS`/`EVENTS` still answer, with frozen values).
 
 use req_service::{serve, QuantileService, ServiceConfig};
 use std::sync::Arc;
@@ -19,7 +21,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: req-server --data-dir DIR [--addr HOST:PORT] [--threads N]\n\
          \x20                 [--snapshot-interval-secs N] [--snapshot-every-records N] [--fsync]\n\
-         \x20                 [--max-inflight N] [--dedup-window N]"
+         \x20                 [--max-inflight N] [--dedup-window N] [--no-telemetry]"
     );
     std::process::exit(2);
 }
@@ -52,6 +54,7 @@ fn parse_args() -> (ServiceConfig, String, usize, u64) {
                 every_records = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--fsync" => fsync = true,
+            "--no-telemetry" => req_telemetry::global().set_enabled(false),
             "--max-inflight" => max_inflight = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--dedup-window" => {
                 dedup_window = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))

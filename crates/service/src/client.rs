@@ -319,6 +319,25 @@ pub trait ClientApi {
         }
     }
 
+    /// `METRICS` — the server's telemetry registry as Prometheus-style
+    /// text exposition (multi-line).
+    fn metrics(&mut self) -> Result<String, ReqError> {
+        match self.call(&Request::Metrics)?.into_result()? {
+            Response::MetricsText(text) => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `EVENTS max` — the newest `max` structured lifecycle events,
+    /// oldest first, one rendered line per event.
+    fn events(&mut self, max: u32) -> Result<Vec<String>, ReqError> {
+        let req = Request::Events { max };
+        match self.call(&req)?.into_result()? {
+            Response::Events(lines) => Ok(lines),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// `PING`.
     fn ping(&mut self) -> Result<(), ReqError> {
         match self.call(&Request::Ping)?.into_result()? {

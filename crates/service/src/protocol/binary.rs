@@ -6,10 +6,11 @@
 //! little-endian, `f64` as raw IEEE-754 bits (bit-exact, NaN payloads
 //! included), strings and vectors length-prefixed with a `u32` count.
 //!
-//! Request tags count `1..=14` in [`Request`] declaration order;
-//! response tags count `1..=15` in [`Response`] declaration order
+//! Request tags count `1..=16` in [`Request`] declaration order;
+//! response tags count `1..=17` in [`Response`] declaration order
 //! ([`Response::Err`] is tag 13, carrying an [`ErrorKind`] byte plus the
-//! message; the cluster-layer `Tailed`/`Merged` replies are 14/15).
+//! message; the cluster-layer `Tailed`/`Merged` replies are 14/15 and the
+//! telemetry `MetricsText`/`Events` replies are 16/17).
 //! Unlike the [`text`](super::text) codec, responses are
 //! self-describing — no request context is needed to decode them, which
 //! is what makes deep pipelining tractable.
@@ -132,6 +133,8 @@ const REQ_PING: u8 = 11;
 const REQ_QUIT: u8 = 12;
 const REQ_TAIL: u8 = 13;
 const REQ_MERGE: u8 = 14;
+const REQ_METRICS: u8 = 15;
+const REQ_EVENTS: u8 = 16;
 
 const RESP_CREATED: u8 = 1;
 const RESP_ADDED: u8 = 2;
@@ -148,6 +151,8 @@ const RESP_BYE: u8 = 12;
 const RESP_ERR: u8 = 13;
 const RESP_TAILED: u8 = 14;
 const RESP_MERGED: u8 = 15;
+const RESP_METRICS: u8 = 16;
+const RESP_EVENTS: u8 = 17;
 
 impl ErrorKind {
     fn wire_byte(self) -> u8 {
@@ -239,6 +244,11 @@ fn encode_request_payload(req: &Request, out: &mut BytesMut) {
             out.put_u8(REQ_MERGE);
             key.pack(out);
         }
+        Request::Metrics => out.put_u8(REQ_METRICS),
+        Request::Events { max } => {
+            out.put_u8(REQ_EVENTS);
+            out.put_u32_le(*max);
+        }
     }
 }
 
@@ -315,6 +325,17 @@ fn encode_response_payload(resp: &Response, out: &mut BytesMut) {
             out.put_u32_le(parts.len() as u32);
             for part in parts {
                 put_bytes(out, part);
+            }
+        }
+        Response::MetricsText(text) => {
+            out.put_u8(RESP_METRICS);
+            text.pack(out);
+        }
+        Response::Events(lines) => {
+            out.put_u8(RESP_EVENTS);
+            out.put_u32_le(lines.len() as u32);
+            for line in lines {
+                line.pack(out);
             }
         }
     }
@@ -409,6 +430,10 @@ pub fn decode_request(mut payload: Bytes) -> Result<Request, ReqError> {
         REQ_MERGE => Request::Merge {
             key: String::unpack(&mut payload)?,
         },
+        REQ_METRICS => Request::Metrics,
+        REQ_EVENTS => Request::Events {
+            max: get_u32(&mut payload)?,
+        },
         other => {
             return Err(ReqError::CorruptBytes(format!(
                 "unknown request tag {other}"
@@ -487,6 +512,17 @@ pub fn decode_response(mut payload: Bytes) -> Result<Response, ReqError> {
             Response::Merged(
                 (0..count)
                     .map(|_| get_bytes(&mut payload))
+                    .collect::<Result<_, _>>()?,
+            )
+        }
+        RESP_METRICS => Response::MetricsText(String::unpack(&mut payload)?),
+        RESP_EVENTS => {
+            let count = get_u32(&mut payload)? as usize;
+            // 4 bytes of length prefix per line must already be present.
+            need(&payload, count.saturating_mul(4))?;
+            Response::Events(
+                (0..count)
+                    .map(|_| String::unpack(&mut payload))
                     .collect::<Result<_, _>>()?,
             )
         }
@@ -618,6 +654,8 @@ mod tests {
                 max_bytes: 65_536,
             },
             Request::Merge { key: "k".into() },
+            Request::Metrics,
+            Request::Events { max: 256 },
         ]
     }
 
@@ -678,6 +716,10 @@ mod tests {
             }),
             Response::Merged(vec![vec![1, 2, 3], vec![], vec![0xFE]]),
             Response::Merged(vec![]),
+            Response::MetricsText("# TYPE x counter\nx 1\n".into()),
+            Response::MetricsText(String::new()),
+            Response::Events(vec!["0 +12us wal_healed gen=2".into(), String::new()]),
+            Response::Events(vec![]),
         ]
     }
 

@@ -160,6 +160,16 @@ pub enum Request {
         /// Tenant key.
         key: String,
     },
+    /// `METRICS` — render the process-wide telemetry registry as
+    /// Prometheus-style text exposition. Declared after `Merge` so the
+    /// binary tags of the first fourteen commands stay stable.
+    Metrics,
+    /// `EVENTS max` — the newest `max` lines of the structured lifecycle
+    /// event journal, oldest first.
+    Events {
+        /// Most event lines to return.
+        max: u32,
+    },
 }
 
 /// One shipped slice of a primary's WAL — the [`Request::Tail`] reply.
@@ -218,6 +228,10 @@ pub enum RequestKind {
     Tail,
     /// `MERGE`
     Merge,
+    /// `METRICS`
+    Metrics,
+    /// `EVENTS`
+    Events,
 }
 
 impl Request {
@@ -238,6 +252,8 @@ impl Request {
             Request::Quit => RequestKind::Quit,
             Request::Tail { .. } => RequestKind::Tail,
             Request::Merge { .. } => RequestKind::Merge,
+            Request::Metrics => RequestKind::Metrics,
+            Request::Events { .. } => RequestKind::Events,
         }
     }
 
@@ -359,6 +375,11 @@ pub enum Response {
     Tailed(TailSegment),
     /// `MERGE` result: one serialized sketch per shard.
     Merged(Vec<Vec<u8>>),
+    /// `METRICS` result: the full Prometheus-style exposition text
+    /// (multi-line; the text codec hex-armors it onto one line).
+    MetricsText(String),
+    /// `EVENTS` result: rendered journal lines, oldest first.
+    Events(Vec<String>),
 }
 
 impl Response {

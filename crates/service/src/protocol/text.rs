@@ -15,6 +15,8 @@
 //! QUIT
 //! TAIL gen offset max_bytes
 //! MERGE key
+//! METRICS
+//! EVENTS max
 //! ```
 //!
 //! The two cluster-layer commands carry binary payloads in their replies
@@ -22,7 +24,9 @@
 //! those cross the text wire lowercase-hex-encoded, with a lone `-` for
 //! an empty blob — still one line, still `nc`-debuggable. Production
 //! replication uses the binary codec; the text forms exist so every
-//! command stays reachable from either transport.
+//! command stays reachable from either transport. The two telemetry
+//! replies (`METRICS` exposition text, `EVENTS` journal lines) are armored
+//! the same way: multi-line content crosses as hex blobs, one line total.
 //!
 //! The optional trailing `TOKEN=cid:seq` on the three mutating commands is
 //! an [`IdemToken`]; see its docs for the exactly-once retry contract.
@@ -154,6 +158,8 @@ pub fn encode_request(req: &Request) -> String {
             max_bytes,
         } => format!("TAIL {gen} {offset} {max_bytes}"),
         Request::Merge { key } => format!("MERGE {key}"),
+        Request::Metrics => "METRICS".to_string(),
+        Request::Events { max } => format!("EVENTS {max}"),
     }
 }
 
@@ -237,6 +243,19 @@ pub fn decode_request(line: &str) -> Result<Request, ReqError> {
             }
             Ok(Request::Merge { key: need_key()? })
         }
+        "METRICS" => Ok(Request::Metrics),
+        "EVENTS" => {
+            if args.len() > 1 {
+                return bad("EVENTS takes at most `max`".into());
+            }
+            Ok(Request::Events {
+                max: args
+                    .first()
+                    .map(|t| parse_int(t))
+                    .transpose()?
+                    .unwrap_or(64),
+            })
+        }
         other => bad(format!("unknown command `{other}`")),
     }
 }
@@ -281,6 +300,15 @@ pub fn encode_response(resp: &Response) -> String {
             for part in parts {
                 out.push(' ');
                 out.push_str(&to_hex(part));
+            }
+            out
+        }
+        Response::MetricsText(text) => format!("OK {}", to_hex(text.as_bytes())),
+        Response::Events(lines) => {
+            let mut out = format!("OK {}", lines.len());
+            for line in lines {
+                out.push(' ');
+                out.push_str(&to_hex(line.as_bytes()));
             }
             out
         }
@@ -371,6 +399,27 @@ pub fn decode_response(line: &str, kind: RequestKind) -> Result<Response, ReqErr
             }
             Response::Merged(parts)
         }
+        RequestKind::Metrics => {
+            if payload.split_whitespace().count() != 1 {
+                return Err(bad());
+            }
+            let bytes = from_hex(payload.trim()).map_err(|_| bad())?;
+            Response::MetricsText(String::from_utf8(bytes).map_err(|_| bad())?)
+        }
+        RequestKind::Events => {
+            let mut tokens = payload.split_whitespace();
+            let count: usize = tokens.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+            let lines: Vec<String> = tokens
+                .map(|t| {
+                    let bytes = from_hex(t).map_err(|_| bad())?;
+                    String::from_utf8(bytes).map_err(|_| bad())
+                })
+                .collect::<Result<_, _>>()?;
+            if lines.len() != count {
+                return Err(bad());
+            }
+            Response::Events(lines)
+        }
     })
 }
 
@@ -440,6 +489,8 @@ mod tests {
                 max_bytes: 4096,
             },
             Request::Merge { key: "k".into() },
+            Request::Metrics,
+            Request::Events { max: 128 },
         ];
         for req in reqs {
             let line = encode_request(&req);
@@ -510,6 +561,16 @@ mod tests {
             ),
             (RequestKind::Merge, Response::Merged(vec![])),
             (
+                RequestKind::Metrics,
+                Response::MetricsText("# TYPE a counter\na 1\n".into()),
+            ),
+            (RequestKind::Metrics, Response::MetricsText(String::new())),
+            (
+                RequestKind::Events,
+                Response::Events(vec!["0 +5us wal_poisoned err=oops".into(), String::new()]),
+            ),
+            (RequestKind::Events, Response::Events(vec![])),
+            (
                 RequestKind::Rank,
                 Response::Err {
                     kind: ErrorKind::Invalid,
@@ -563,6 +624,15 @@ mod tests {
         assert!(decode_response("OK 1 2 1 3 abc", RequestKind::Tail).is_err());
         assert!(decode_response("OK 2 aa", RequestKind::Merge).is_err());
         assert!(decode_response("OK 1 xyz!", RequestKind::Merge).is_err());
+        assert!(decode_response("OK", RequestKind::Metrics).is_err());
+        assert!(decode_response("OK aa bb", RequestKind::Metrics).is_err());
+        assert!(decode_response("OK zz", RequestKind::Metrics).is_err());
+        assert!(
+            decode_response("OK ff", RequestKind::Metrics).is_err(),
+            "not utf8"
+        );
+        assert!(decode_response("OK 2 aa", RequestKind::Events).is_err());
+        assert!(decode_response("OK x", RequestKind::Events).is_err());
     }
 
     #[test]

@@ -410,6 +410,44 @@ impl Drop for InflightPermit<'_> {
     }
 }
 
+/// Cached handles into the global telemetry registry. Registration takes
+/// the registry's name-table lock, so it happens once here (cold path);
+/// the hot paths below touch only the handles' atomics/shard locks.
+#[derive(Debug)]
+struct ServiceTelemetry {
+    wal_append_micros: req_telemetry::Histogram,
+    /// Monotonic tick driving 1-in-8 sampling of the append span: timing
+    /// every append puts two clock reads and a sketch insert on the
+    /// hottest path in the tree, and a uniform sample estimates the same
+    /// latency distribution (counters elsewhere stay exact).
+    append_ticks: AtomicU64,
+    wal_fsync_micros: req_telemetry::Histogram,
+    /// Appends acknowledged per leader fsync — the group-commit win.
+    group_commit_coalesce: req_telemetry::Histogram,
+    snapshot_micros: req_telemetry::Histogram,
+    mutations_shed: req_telemetry::Counter,
+    dedup_hits: req_telemetry::Counter,
+    dedup_misses: req_telemetry::Counter,
+    dedup_stale: req_telemetry::Counter,
+}
+
+impl ServiceTelemetry {
+    fn new() -> ServiceTelemetry {
+        let t = req_telemetry::global();
+        ServiceTelemetry {
+            wal_append_micros: t.histogram("service_wal_append_micros"),
+            append_ticks: AtomicU64::new(0),
+            wal_fsync_micros: t.histogram("service_wal_fsync_micros"),
+            group_commit_coalesce: t.histogram("service_wal_group_commit_coalesce"),
+            snapshot_micros: t.histogram("service_snapshot_micros"),
+            mutations_shed: t.counter("service_mutations_shed_total"),
+            dedup_hits: t.counter("service_dedup_hits_total"),
+            dedup_misses: t.counter("service_dedup_misses_total"),
+            dedup_stale: t.counter("service_dedup_stale_rejects_total"),
+        }
+    }
+}
+
 /// The durable, multi-tenant quantile service (in-process core; the TCP
 /// layer in [`crate::server`] is a thin shell over this).
 #[derive(Debug)]
@@ -455,6 +493,7 @@ pub struct QuantileService {
     /// Promotion flips it off and the node starts accepting writes.
     follower: AtomicBool,
     recovery: RecoveryReport,
+    telemetry: ServiceTelemetry,
     /// Exclusive hold on the data dir; released (file removed) on drop.
     _dir_lock: DirLock,
 }
@@ -564,6 +603,7 @@ impl QuantileService {
             shed: AtomicU64::new(0),
             follower: AtomicBool::new(false),
             recovery: report,
+            telemetry: ServiceTelemetry::new(),
             cfg,
             _dir_lock: dir_lock,
         };
@@ -641,6 +681,16 @@ impl QuantileService {
     /// means the frame **is** in the file but its fsync failed — the
     /// caller must apply-and-record before surfacing the error.
     fn append_wal(&self, frame: &[u8]) -> Result<LogOutcome, ReqError> {
+        if self.telemetry.append_ticks.fetch_add(1, Ordering::Relaxed) & 7 != 0 {
+            return self.append_wal_inner(frame);
+        }
+        let timer = self.telemetry.wal_append_micros.begin();
+        let result = self.append_wal_inner(frame);
+        self.telemetry.wal_append_micros.finish(timer);
+        result
+    }
+
+    fn append_wal_inner(&self, frame: &[u8]) -> Result<LogOutcome, ReqError> {
         let seq;
         {
             let mut wal = self.wal.lock();
@@ -657,7 +707,10 @@ impl QuantileService {
             }
             if !self.cfg.group_commit {
                 self.wal_syncs.fetch_add(1, Ordering::Relaxed);
-                return Ok(match wal.sync() {
+                let fsync_timer = self.telemetry.wal_fsync_micros.begin();
+                let synced = wal.sync();
+                self.telemetry.wal_fsync_micros.finish(fsync_timer);
+                return Ok(match synced {
                     Ok(()) => LogOutcome::Logged,
                     Err(e) => LogOutcome::LoggedUnsynced(e),
                 });
@@ -673,6 +726,13 @@ impl QuantileService {
     fn enter_read_only(&self) {
         if !self.read_only.swap(true, Ordering::SeqCst) {
             self.wal_poisoned.fetch_add(1, Ordering::Relaxed);
+            req_telemetry::global().event(
+                "wal_poisoned",
+                format!(
+                    "gen={} serving read-only until rotation heals the writer",
+                    self.gen.load(Ordering::Relaxed)
+                ),
+            );
         }
     }
 
@@ -721,16 +781,25 @@ impl QuantileService {
             };
             // The cloned-fd leader sync bypasses `WalWriter::sync`, so it
             // carries its own injection point for the WalSync fault site.
+            let fsync_timer = self.telemetry.wal_fsync_micros.begin();
             let result = handle.and_then(|file| {
                 faulted_op(self.cfg.faults.as_deref(), FaultSite::WalSync)
                     .map_err(ReqError::from)?;
                 file.sync_data().map_err(ReqError::from)
             });
+            self.telemetry.wal_fsync_micros.finish(fsync_timer);
             self.wal_syncs.fetch_add(1, Ordering::Relaxed);
             state = self.sync_state.lock().unwrap_or_else(|p| p.into_inner());
             state.leader = false;
             match &result {
-                Ok(()) => state.synced = state.synced.max(covered),
+                Ok(()) => {
+                    if covered > state.synced {
+                        self.telemetry
+                            .group_commit_coalesce
+                            .observe(covered - state.synced);
+                    }
+                    state.synced = state.synced.max(covered);
+                }
                 Err(_) => state.failed_through = state.failed_through.max(covered),
             }
             self.sync_cond.notify_all();
@@ -779,6 +848,7 @@ impl QuantileService {
         if now > max {
             self.inflight.fetch_sub(1, Ordering::SeqCst);
             self.shed.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.mutations_shed.inc();
             return Err(ReqError::Busy(format!(
                 "load shed: {now} in-flight mutations exceed the limit of {max}; retry \
                  after backoff"
@@ -804,13 +874,23 @@ impl QuantileService {
             return Ok(None);
         };
         match win.check(token.seq, self.dedup.window) {
-            DedupCheck::Fresh => Ok(None),
-            DedupCheck::Duplicate(outcome) => Ok(Some(outcome)),
-            DedupCheck::Stale => Err(ReqError::InvalidParameter(format!(
-                "idempotency token {token} fell out of the {}-op dedup window; \
-                 its outcome is unknowable",
-                self.dedup.window
-            ))),
+            DedupCheck::Fresh => {
+                self.telemetry.dedup_misses.inc();
+                Ok(None)
+            }
+            DedupCheck::Duplicate(outcome) => {
+                self.telemetry.dedup_hits.inc();
+                Ok(Some(outcome))
+            }
+            DedupCheck::Stale => {
+                self.telemetry.dedup_stale.inc();
+                req_telemetry::global().event("dedup_stale_reject", format!("token={token}"));
+                Err(ReqError::InvalidParameter(format!(
+                    "idempotency token {token} fell out of the {}-op dedup window; \
+                     its outcome is unknowable",
+                    self.dedup.window
+                )))
+            }
         }
     }
 
@@ -1085,6 +1165,8 @@ impl QuantileService {
     }
 
     fn rotate(&self, force: bool) -> Result<u64, ReqError> {
+        // Dropping the token (early return, error) records nothing.
+        let timer = self.telemetry.snapshot_micros.begin();
         let new_gen;
         {
             let _gate = self.gate.write(); // quiesce writers
@@ -1133,9 +1215,14 @@ impl QuantileService {
             self.gen.store(new_gen, Ordering::Relaxed);
             self.records_in_gen.store(0, Ordering::Relaxed);
             self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+            let micros = self.telemetry.snapshot_micros.finish(timer);
+            let telemetry = req_telemetry::global();
+            telemetry.event("snapshot_rotated", format!("gen={new_gen} micros={micros}"));
             // The fresh writer is unpoisoned and the snapshot holds every
             // applied record — safe to exit read-only degraded mode.
-            self.read_only.store(false, Ordering::SeqCst);
+            if self.read_only.swap(false, Ordering::SeqCst) {
+                telemetry.event("wal_healed", format!("gen={new_gen} read-write restored"));
+            }
         }
         // Generations before the *previous* one are now doubly shadowed;
         // delete them best-effort. The immediately-previous snapshot and
@@ -1198,7 +1285,16 @@ impl QuantileService {
     /// keep answering — that is the bounded-lag follower read. Promotion
     /// after a primary failure is `set_follower(false)`.
     pub fn set_follower(&self, follower: bool) {
-        self.follower.store(follower, Ordering::SeqCst);
+        if self.follower.swap(follower, Ordering::SeqCst) != follower {
+            req_telemetry::global().event(
+                if follower {
+                    "follower_entered"
+                } else {
+                    "follower_left"
+                },
+                format!("gen={}", self.gen.load(Ordering::Relaxed)),
+            );
+        }
     }
 
     /// Is this node currently a replication follower?

@@ -100,7 +100,7 @@ fn mk_request(variant: u64, key_seed: u64, bits: &[u64], knob: f64) -> Request {
     let key = mk_key(key_seed);
     let at = |i: usize| bits.get(i).copied().unwrap_or(i as u64);
     let value = mk_f64(at(0));
-    match variant % 14 {
+    match variant % 16 {
         0 => Request::Create {
             key,
             config: mk_config(at(0), knob, at(1) as u32, at(2)),
@@ -132,7 +132,9 @@ fn mk_request(variant: u64, key_seed: u64, bits: &[u64], knob: f64) -> Request {
             offset: at(1),
             max_bytes: at(2) as u32,
         },
-        _ => Request::Merge { key },
+        13 => Request::Merge { key },
+        14 => Request::Metrics,
+        _ => Request::Events { max: at(0) as u32 },
     }
 }
 
@@ -158,8 +160,22 @@ fn mk_stats(words: &[u64]) -> TenantStats {
     }
 }
 
+/// Arbitrary (possibly multi-line) exposition-style text: the telemetry
+/// replies are the one place the wire carries newlines, which the text
+/// codec must hex-armor onto a single line.
+fn mk_text(words: &[u64]) -> String {
+    let mut out = String::new();
+    for (i, &w) in words.iter().enumerate() {
+        out.push(char::from(0x20 + (w % 0x5f) as u8));
+        if i % 7 == 3 {
+            out.push('\n');
+        }
+    }
+    out
+}
+
 fn mk_response(variant: u64, _key_seed: u64, bits: &[u64]) -> Response {
-    match variant % 15 {
+    match variant % 17 {
         0 => Response::Created,
         1 => Response::Added,
         2 => Response::AddedBatch(bits[0]),
@@ -187,10 +203,17 @@ fn mk_response(variant: u64, _key_seed: u64, bits: &[u64]) -> Response {
             latest_gen: bits[0].rotate_left(37),
             frames: mk_blob(&bits[..bits.len() % 24]),
         }),
-        _ => Response::Merged(
+        14 => Response::Merged(
             bits.chunks(5)
                 .take(bits[0] as usize % 4)
                 .map(mk_blob)
+                .collect(),
+        ),
+        15 => Response::MetricsText(mk_text(&bits[..bits.len() % 40])),
+        _ => Response::Events(
+            bits.chunks(6)
+                .take(bits[0] as usize % 5)
+                .map(mk_text)
                 .collect(),
         ),
     }
@@ -214,6 +237,8 @@ fn kind_for(resp: &Response) -> RequestKind {
         Response::Bye => RequestKind::Quit,
         Response::Tailed(_) => RequestKind::Tail,
         Response::Merged(_) => RequestKind::Merge,
+        Response::MetricsText(_) => RequestKind::Metrics,
+        Response::Events(_) => RequestKind::Events,
         // An error can answer anything; Ping exercises the strictest arm.
         Response::Err { .. } => RequestKind::Ping,
     }

@@ -1,0 +1,156 @@
+//! Satellite coverage for the telemetry crate: registry correctness under
+//! 16 concurrent writers, event-ring overflow semantics, and golden tests
+//! pinning the exposition format byte-for-byte.
+
+use req_telemetry::Registry;
+use std::sync::Arc;
+
+const WRITERS: usize = 16;
+const OPS_PER_WRITER: u64 = 10_000;
+
+#[test]
+fn sixteen_concurrent_writers_lose_nothing() {
+    let reg = Arc::new(Registry::new());
+    let counter = reg.counter("ops_total");
+    let hist = reg.histogram("op_micros");
+    let gauge = reg.gauge("last_writer");
+
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let (c, h, g) = (counter.clone(), hist.clone(), gauge.clone());
+            std::thread::spawn(move || {
+                for i in 0..OPS_PER_WRITER {
+                    c.inc();
+                    h.observe(w as u64 * OPS_PER_WRITER + i);
+                    g.set_max(w as u64);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let total = WRITERS as u64 * OPS_PER_WRITER;
+    assert_eq!(counter.get(), total, "counters are exact");
+    assert_eq!(hist.count(), total, "histogram n == observations");
+    assert_eq!(gauge.get(), WRITERS as u64 - 1);
+    // Values were 0..total uniformly; the REQ sketch's p50 must land near
+    // the middle (±2% relative is far looser than the sketch guarantees).
+    let p50 = hist.quantile(0.5).unwrap();
+    let mid = total / 2;
+    assert!(
+        (p50 as i64 - mid as i64).unsigned_abs() < total / 50,
+        "p50 {p50} vs {mid}"
+    );
+}
+
+#[test]
+fn concurrent_event_writers_drop_only_oldest() {
+    let cap = 64;
+    let reg = Arc::new(Registry::with_event_capacity(cap));
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    reg.event("stress", format!("w={w} i={i}"));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total = WRITERS as u64 * 100;
+    assert_eq!(reg.events_recorded(), total);
+    assert_eq!(reg.events_dropped(), total - cap as u64);
+    let recent = reg.recent_events(usize::MAX);
+    assert_eq!(recent.len(), cap);
+    // Sequence numbers are assigned under the ring lock, so the survivors
+    // are exactly the newest `cap` and come back in order.
+    let seqs: Vec<u64> = recent
+        .iter()
+        .map(|line| line.split_whitespace().next().unwrap().parse().unwrap())
+        .collect();
+    let expect: Vec<u64> = (total - cap as u64..total).collect();
+    assert_eq!(seqs, expect);
+}
+
+#[test]
+fn golden_exposition_counters_and_gauges() {
+    let reg = Registry::new();
+    reg.counter("wal_appends_total").add(42);
+    reg.gauge("evented_live_connections").set(3);
+    reg.event("boot", "");
+    reg.event("boot", "again");
+    assert_eq!(
+        reg.render(),
+        "# TYPE evented_live_connections gauge\n\
+         evented_live_connections 3\n\
+         # TYPE wal_appends_total counter\n\
+         wal_appends_total 42\n\
+         # TYPE telemetry_events_total counter\n\
+         telemetry_events_total 2\n\
+         # TYPE telemetry_events_dropped_total counter\n\
+         telemetry_events_dropped_total 0\n"
+    );
+}
+
+#[test]
+fn golden_exposition_histogram_summary() {
+    let reg = Registry::new();
+    let h = reg.histogram("req_micros");
+    // Few enough observations that the sketch is still exact: quantiles
+    // are deterministic order statistics, not randomized estimates.
+    for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+        h.observe(v);
+    }
+    assert_eq!(
+        reg.render(),
+        "# TYPE req_micros summary\n\
+         req_micros{quantile=\"0.5\"} 50\n\
+         req_micros{quantile=\"0.9\"} 90\n\
+         req_micros{quantile=\"0.99\"} 100\n\
+         req_micros{quantile=\"0.999\"} 100\n\
+         req_micros{quantile=\"1\"} 100\n\
+         req_micros_count 10\n\
+         req_micros_sum 550\n\
+         # TYPE telemetry_events_total counter\n\
+         telemetry_events_total 0\n\
+         # TYPE telemetry_events_dropped_total counter\n\
+         telemetry_events_dropped_total 0\n"
+    );
+}
+
+#[test]
+fn golden_empty_histogram_renders_count_and_sum_only() {
+    let reg = Registry::new();
+    let _ = reg.histogram("idle_micros");
+    assert_eq!(
+        reg.render(),
+        "# TYPE idle_micros summary\n\
+         idle_micros_count 0\n\
+         idle_micros_sum 0\n\
+         # TYPE telemetry_events_total counter\n\
+         telemetry_events_total 0\n\
+         # TYPE telemetry_events_dropped_total counter\n\
+         telemetry_events_dropped_total 0\n"
+    );
+}
+
+#[test]
+fn golden_event_lines() {
+    let reg = Registry::with_event_capacity(8);
+    reg.event("wal_poisoned", "err=disk full");
+    reg.event("wal_healed", "gen=4");
+    let lines = reg.recent_events(10);
+    assert_eq!(lines.len(), 2);
+    // `0 +123us wal_poisoned err=disk full` — seq, offset, kind, detail.
+    let mut parts = lines[0].splitn(3, ' ');
+    assert_eq!(parts.next(), Some("0"));
+    let t = parts.next().unwrap();
+    assert!(t.starts_with('+') && t.ends_with("us"), "time token {t}");
+    assert_eq!(parts.next(), Some("wal_poisoned err=disk full"));
+    assert!(lines[1].ends_with("wal_healed gen=4"));
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Machine-readable bench smoke run: execute every req-bench target in
+# `--test` smoke mode with the vendored criterion's BENCH_JSON sink
+# enabled, then fold the emitted `"name": {...}` lines into one JSON
+# object (default BENCH_pr10.json at the repo root).
+#
+# usage: scripts/bench_smoke_json.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pr10.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+benches="$(awk '/^\[\[bench\]\]/ { getline; gsub(/name = |"/, ""); print }' crates/bench/Cargo.toml)"
+for bench in $benches; do
+  echo "==> $bench" >&2
+  BENCH_JSON="$tmp" cargo bench -q -p req-bench --bench "$bench" -- --test >&2
+done
+
+# Assemble: dedupe by key (last run wins), comma-join, wrap in braces.
+{
+  echo '{'
+  tac "$tmp" | awk -F'": ' '!seen[$1]++' | tac | sed 's/^/  /; $!s/$/,/'
+  echo '}'
+} > "$out"
+echo "wrote $out ($(grep -c ns_per_iter "$out") benchmarks)"

@@ -186,6 +186,33 @@ fn report(id: &str, times: &[Duration], throughput: Option<Throughput>) {
         _ => String::new(),
     };
     println!("{id:<56} median {median:>12?}  [min {min:>12?}, max {max:>12?}]{rate}");
+    // Machine-readable sink: when BENCH_JSON names a file, append one
+    // `"id": {...}` line per benchmark. A wrapper script folds the lines
+    // into a single JSON object (see scripts/bench_smoke_json.sh).
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        use std::io::Write;
+        let escaped = id.replace('\\', "\\\\").replace('"', "\\\"");
+        let rate_field = match throughput {
+            Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+                format!(", \"elem_per_s\": {:.0}", n as f64 / median.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+                format!(", \"bytes_per_s\": {:.0}", n as f64 / median.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(
+                file,
+                "\"{escaped}\": {{\"ns_per_iter\": {}{rate_field}}}",
+                median.as_nanos()
+            );
+        }
+    }
 }
 
 /// Define a benchmark group: plain form `criterion_group!(name, target...)`
